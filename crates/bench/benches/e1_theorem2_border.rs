@@ -1,0 +1,33 @@
+//! E1 — Theorem 2 border: cost of the Theorem 1 checker construction
+//! (solo runs + pasting + restriction replay) across grid points, for both
+//! candidates. The correctness rows live in the `experiments` binary; this
+//! bench tracks how the construction scales with n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use kset_impossibility::theorem2::{demo_decide_own, demo_two_stage};
+
+fn bench_checker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_theorem2_checker");
+    group.sample_size(10);
+    for n in [4usize, 6, 8, 10] {
+        let f = n - 1; // wait-free corner: k = 2 impossible for every n ≥ 3
+        let k = 2;
+        group.bench_with_input(BenchmarkId::new("decide_own", n), &n, |b, _| {
+            b.iter(|| {
+                let demo = demo_decide_own(n, f, k, 100_000).expect("impossible point");
+                assert!(demo.refuted());
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("two_stage", n), &n, |b, _| {
+            b.iter(|| {
+                let demo = demo_two_stage(n, f, k, 200_000).expect("impossible point");
+                assert!(demo.refuted());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_checker);
+criterion_main!(benches);

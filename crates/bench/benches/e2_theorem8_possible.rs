@@ -1,0 +1,64 @@
+//! E2 — Theorem 8 possibility side: latency (steps) of the two-stage
+//! protocol to termination as n grows, under fair and hostile schedules.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use kset_core::algorithms::two_stage::{kset_threshold, two_stage_inputs, TwoStage};
+use kset_core::runner::{run_round_robin, run_seeded};
+use kset_core::task::distinct_proposals;
+use kset_sim::{CrashPlan, ProcessId};
+
+fn bench_two_stage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_two_stage");
+    group.sample_size(10);
+    for n in [4usize, 6, 8, 12, 16] {
+        let f = n / 3;
+        let l = kset_threshold(n, f);
+        let dead: Vec<ProcessId> = (0..f).map(|i| ProcessId::new(n - 1 - i)).collect();
+        group.bench_with_input(BenchmarkId::new("round_robin", n), &n, |b, _| {
+            b.iter(|| {
+                let report = run_round_robin::<TwoStage>(
+                    two_stage_inputs(l, &distinct_proposals(n)),
+                    CrashPlan::initially_dead(dead.clone()),
+                    1_000_000,
+                );
+                assert!(report.all_correct_decided());
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("seeded_random", n), &n, |b, _| {
+            b.iter(|| {
+                let report = run_seeded::<TwoStage>(
+                    two_stage_inputs(l, &distinct_proposals(n)),
+                    CrashPlan::initially_dead(dead.clone()),
+                    42,
+                    5_000_000,
+                );
+                assert!(report.all_correct_decided());
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: threshold L vs termination cost and decision spread.
+fn bench_threshold_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_threshold_ablation");
+    group.sample_size(10);
+    let n = 12usize;
+    for l in [1usize, 2, 3, 4, 6, 7] {
+        group.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, &l| {
+            b.iter(|| {
+                let report = run_round_robin::<TwoStage>(
+                    two_stage_inputs(l, &distinct_proposals(n)),
+                    CrashPlan::none(),
+                    1_000_000,
+                );
+                assert!(report.all_correct_decided());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_two_stage, bench_threshold_ablation);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! E3 — Theorem 8 border construction: cost of building and verifying the
+//! k+1-partition pasted run as n and k grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use kset_impossibility::theorem8::border_demo;
+
+fn bench_border(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_theorem8_border");
+    group.sample_size(10);
+    for (n, k) in [(4usize, 1usize), (8, 1), (6, 2), (12, 2), (12, 3), (20, 4)] {
+        group.bench_with_input(BenchmarkId::new("paste_and_verify", format!("n{n}_k{k}")), &(n, k), |b, &(n, k)| {
+            b.iter(|| {
+                let demo = border_demo(n, k, 500_000).expect("border point");
+                assert!(demo.violates_k_agreement());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_border);
+criterion_main!(benches);

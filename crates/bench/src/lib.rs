@@ -1,0 +1,119 @@
+//! # kset-bench — experiment harness
+//!
+//! Shared table-formatting helpers for the `experiments` binary and the
+//! Criterion benches. Each experiment (E1–E7, see DESIGN.md §4) regenerates
+//! one of the paper's borders or validates one of its constructions; the
+//! binary prints the rows recorded in EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt::Write as _;
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringifying each cell).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience: appends a row of displayable cells.
+    pub fn push<D: std::fmt::Display>(&mut self, cells: &[D]) {
+        self.row(&cells.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            let mut s = String::from("|");
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(s, " {:w$} |", cell, w = widths[i]);
+            }
+            let _ = writeln!(out, "{s}");
+        };
+        line(&mut out, &self.header);
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{}|", "-".repeat(w + 2));
+        }
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Renders a boolean as the table glyphs used throughout EXPERIMENTS.md.
+pub fn glyph(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "no"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["a", "bbbb"]);
+        t.push(&[1, 2]);
+        t.push(&[333, 4]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("| a   | bbbb |"));
+        assert!(s.contains("| 333 | 4    |"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_rejected() {
+        let mut t = Table::new("demo", &["a"]);
+        t.push(&[1, 2]);
+    }
+}

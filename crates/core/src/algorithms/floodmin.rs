@@ -1,0 +1,202 @@
+//! FloodMin: synchronous-round k-set agreement.
+//!
+//! The classic algorithm (Chaudhuri et al.) for the fully favourable model
+//! point: in each of `⌊f/k⌋ + 1` rounds every process broadcasts the
+//! smallest value it has seen; after the last round it decides that
+//! minimum. With at most `f` crash failures, at most `k` distinct values
+//! survive: each round in which more than `k` "fresh" minima persist must
+//! burn more than `k` crashes, and the adversary only has `f`.
+//!
+//! FloodMin complements the paper's story: at the *favourable* end of the
+//! DDS lattice k-set agreement is solvable for **any** `f < n` — the
+//! impossibility of Theorem 2 is driven purely by the asynchrony of
+//! communication, not by the number of failures.
+
+use std::collections::BTreeMap;
+
+use kset_sim::ProcessId;
+
+use crate::sync::RoundProcess;
+use crate::task::Val;
+
+/// The number of rounds FloodMin needs: `⌊f/k⌋ + 1`.
+pub fn floodmin_rounds(f: usize, k: usize) -> usize {
+    assert!(k >= 1, "k-set agreement needs k ≥ 1");
+    f / k + 1
+}
+
+/// Per-process FloodMin state.
+#[derive(Debug, Clone)]
+pub struct FloodMin {
+    min: Val,
+    total_rounds: usize,
+    rounds_done: usize,
+}
+
+impl FloodMin {
+    /// Creates a FloodMin process with proposal `value`, running
+    /// `total_rounds` rounds.
+    pub fn new(value: Val, total_rounds: usize) -> Self {
+        assert!(total_rounds >= 1, "at least one round");
+        FloodMin { min: value, total_rounds, rounds_done: 0 }
+    }
+
+    /// Builds a full system of FloodMin processes for `f` failures and
+    /// target `k`.
+    pub fn system(values: &[Val], f: usize, k: usize) -> Vec<FloodMin> {
+        let rounds = floodmin_rounds(f, k);
+        values.iter().map(|v| FloodMin::new(*v, rounds)).collect()
+    }
+}
+
+impl RoundProcess for FloodMin {
+    type Msg = Val;
+
+    fn message(&self, _round: usize) -> Val {
+        self.min
+    }
+
+    fn receive(&mut self, _round: usize, msgs: &BTreeMap<ProcessId, Val>) {
+        if let Some(m) = msgs.values().min() {
+            self.min = self.min.min(*m);
+        }
+        self.rounds_done += 1;
+    }
+
+    fn decision(&self) -> Option<Val> {
+        (self.rounds_done >= self.total_rounds).then_some(self.min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync::{run_sync, RoundCrash};
+    use crate::task::distinct_proposals;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::{Rng, SeedableRng};
+    use std::collections::BTreeSet;
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn failure_free_run_is_consensus_on_minimum() {
+        let values = vec![5, 2, 9, 4];
+        let procs = FloodMin::system(&values, 0, 1);
+        let out = run_sync(procs, floodmin_rounds(0, 1), &[]);
+        assert_eq!(out.decisions, vec![Some(2); 4]);
+    }
+
+    #[test]
+    fn rounds_formula() {
+        assert_eq!(floodmin_rounds(0, 1), 1);
+        assert_eq!(floodmin_rounds(3, 1), 4);
+        assert_eq!(floodmin_rounds(3, 2), 2);
+        assert_eq!(floodmin_rounds(4, 2), 3);
+        assert_eq!(floodmin_rounds(5, 3), 2);
+    }
+
+    /// The classic worst case for consensus (k = 1): a chain of crashes,
+    /// one per round, each reaching a single receiver. f+1 rounds defeat it.
+    #[test]
+    fn chained_crashes_do_not_break_consensus() {
+        let n = 5;
+        let f = 3;
+        let values = distinct_proposals(n);
+        let procs = FloodMin::system(&values, f, 1);
+        let crashes: Vec<RoundCrash> = (0..f)
+            .map(|r| RoundCrash {
+                round: r + 1,
+                pid: pid(r),
+                receivers: [pid(r + 1)].into(),
+            })
+            .collect();
+        let out = run_sync(procs, floodmin_rounds(f, 1), &crashes);
+        let distinct = out.distinct_decisions();
+        assert_eq!(distinct.len(), 1, "decisions: {:?}", out.decisions);
+    }
+
+    /// With only ⌊f/k⌋ rounds (one too few) the same chain CAN produce more
+    /// than k values — showing the round bound is tight for k = 1.
+    #[test]
+    fn one_round_too_few_breaks_agreement() {
+        let n = 5;
+        let f = 3;
+        let values = distinct_proposals(n);
+        let rounds = floodmin_rounds(f, 1) - 1;
+        let procs: Vec<FloodMin> =
+            values.iter().map(|v| FloodMin::new(*v, rounds)).collect();
+        let crashes: Vec<RoundCrash> = (0..f)
+            .map(|r| RoundCrash {
+                round: r + 1,
+                pid: pid(r),
+                receivers: [pid(r + 1)].into(),
+            })
+            .collect();
+        let out = run_sync(procs, rounds, &crashes);
+        assert!(
+            out.distinct_decisions().len() > 1,
+            "the chain must defeat {rounds} rounds: {:?}",
+            out.decisions
+        );
+    }
+
+    #[test]
+    fn k_agreement_under_random_crash_patterns() {
+        let n = 7;
+        for seed in 0..40u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let f = rng.gen_range(0..n); // up to n−1 crashes
+            let k = rng.gen_range(1..=3usize);
+            let values = distinct_proposals(n);
+            let rounds = floodmin_rounds(f, k);
+            let procs = FloodMin::system(&values, f, k);
+            // Random crash schedule: f distinct processes, random rounds,
+            // random receiver subsets.
+            let mut victims: Vec<usize> = (0..n).collect();
+            victims.shuffle(&mut rng);
+            let crashes: Vec<RoundCrash> = victims[..f]
+                .iter()
+                .map(|&v| {
+                    let receivers: BTreeSet<ProcessId> = (0..n)
+                        .filter(|_| rng.gen_bool(0.5))
+                        .map(pid)
+                        .collect();
+                    RoundCrash { round: rng.gen_range(1..=rounds), pid: pid(v), receivers }
+                })
+                .collect();
+            let out = run_sync(procs, rounds, &crashes);
+            let distinct = out.distinct_decisions();
+            assert!(
+                distinct.len() <= k,
+                "seed {seed}: f={f} k={k} rounds={rounds} decisions={:?}",
+                out.decisions
+            );
+            // All correct processes decided.
+            for i in 0..n {
+                if !out.crashed.contains(&pid(i)) {
+                    assert!(out.decisions[i].is_some(), "seed {seed}: p{} undecided", i + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn any_f_less_than_n_is_tolerated() {
+        // The favourable model point solves k-set agreement for ANY f < n —
+        // the contrast to Theorem 2's border.
+        let n = 6;
+        let f = n - 1;
+        let k = 2;
+        let values = distinct_proposals(n);
+        let procs = FloodMin::system(&values, f, k);
+        let crashes: Vec<RoundCrash> = (0..f)
+            .map(|i| RoundCrash { round: i / k + 1, pid: pid(i), receivers: [pid(i + 1)].into() })
+            .collect();
+        let out = run_sync(procs, floodmin_rounds(f, k), &crashes);
+        assert!(out.distinct_decisions().len() <= k);
+    }
+}

@@ -1,0 +1,145 @@
+//! (n−1)-set agreement from the loneliness detector L: the k = n−1
+//! endpoint of Corollary 13.
+//!
+//! The paper cites Bonnet–Raynal for "Σ(n−1) is sufficient for solving
+//! (n−1)-set agreement". We realize the endpoint with the classical
+//! loneliness-based algorithm of Delporte-Gallet et al. (DISC'08) — also the
+//! basis of the authors' own L(k) work [2] — which is equivalent for this
+//! purpose and elementary to verify (the substitution is documented in
+//! DESIGN.md):
+//!
+//! * every process broadcasts its initial value once;
+//! * on receiving any value `v` from another process, decide
+//!   `min(x_own, v)`;
+//! * if L ever outputs `true` ("you may be alone"), decide `x_own`.
+//!
+//! **Safety** (at most n−1 distinct decisions): suppose all n processes
+//! decide pairwise distinct values (with distinct inputs — the worst case).
+//! An *adoption chain* `p` adopted from `q` means `p` decided
+//! `min(x_p, x_q) ≤ x_q`. Following chains downward in value order they
+//! terminate at the process with the minimal initial value, whose adopter
+//! would decide that same minimal value — a duplicate. So distinctness
+//! forces *every* process to decide via loneliness, i.e. L output `true` at
+//! all n processes, contradicting the L safety property (some process never
+//! sees `true`).
+//!
+//! **Termination**: with ≥ 2 correct processes each eventually receives the
+//! other's value; with exactly 1, L liveness fires.
+
+use kset_fd::LonelinessSample;
+use kset_sim::{Effects, Envelope, Process, ProcessId, ProcessInfo};
+
+use crate::task::Val;
+
+/// Per-process state of the loneliness-based set agreement.
+#[derive(Debug, Clone, Hash)]
+pub struct LonelySetAgreement {
+    me: ProcessId,
+    value: Val,
+    sent: bool,
+    decided: bool,
+}
+
+impl Process for LonelySetAgreement {
+    type Msg = Val;
+    type Input = Val;
+    type Output = Val;
+    type Fd = LonelinessSample;
+
+    fn init(info: ProcessInfo, input: Val) -> Self {
+        LonelySetAgreement { me: info.id, value: input, sent: false, decided: false }
+    }
+
+    fn step(
+        &mut self,
+        delivered: &[Envelope<Val>],
+        fd: Option<&LonelinessSample>,
+        effects: &mut Effects<Val, Val>,
+    ) {
+        if !self.sent {
+            self.sent = true;
+            effects.broadcast_others(self.value);
+        }
+        if self.decided {
+            return;
+        }
+        if let Some(env) = delivered.iter().find(|e| e.src != self.me) {
+            self.decided = true;
+            effects.decide(self.value.min(env.payload));
+            return;
+        }
+        if matches!(fd, Some(LonelinessSample(true))) {
+            self.decided = true;
+            effects.decide(self.value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{distinct_proposals, KSetTask};
+    use kset_fd::LonelinessOracle;
+    use kset_sim::sched::random::SeededRandom;
+    use kset_sim::sched::round_robin::RoundRobin;
+    use kset_sim::{CrashPlan, RunReport, Simulation};
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn run(values: &[Val], plan: CrashPlan, seed: Option<u64>) -> RunReport<Val> {
+        let oracle = LonelinessOracle::new(values.len());
+        let mut sim: Simulation<LonelySetAgreement, _> =
+            Simulation::with_oracle(values.to_vec(), oracle, plan);
+        match seed {
+            None => sim.run_to_report(&mut RoundRobin::new(), 50_000),
+            Some(s) => sim.run_to_report(&mut SeededRandom::new(s), 200_000),
+        }
+    }
+
+    #[test]
+    fn all_correct_satisfy_set_agreement() {
+        let n = 5;
+        let values = distinct_proposals(n);
+        let report = run(&values, CrashPlan::none(), None);
+        let v = KSetTask::set_agreement(n).judge(&values, &report);
+        assert!(v.holds(), "{v}");
+    }
+
+    #[test]
+    fn wait_free_lone_survivor_decides_via_loneliness() {
+        // n−1 initial crashes: the survivor can only decide through L.
+        let n = 4;
+        let values = distinct_proposals(n);
+        let plan = CrashPlan::initially_dead([pid(0), pid(1), pid(3)]);
+        let report = run(&values, plan, None);
+        assert_eq!(report.decisions[2], Some(2));
+        let v = KSetTask::set_agreement(n).judge(&values, &report);
+        assert!(v.holds(), "{v}");
+    }
+
+    #[test]
+    fn set_agreement_under_random_schedules_and_crashes() {
+        let n = 6;
+        let values = distinct_proposals(n);
+        for seed in 0..20 {
+            let f = (seed as usize) % n; // up to n−1 initial crashes
+            let dead: Vec<ProcessId> = (0..f).map(pid).collect();
+            let report = run(&values, CrashPlan::initially_dead(dead), Some(seed));
+            let v = KSetTask::set_agreement(n).judge(&values, &report);
+            assert!(v.holds(), "seed {seed}: {v}");
+            assert!(report.distinct_decisions.len() < n);
+        }
+    }
+
+    #[test]
+    fn adoption_takes_minimum() {
+        // p2 receives p1's value (0) before deciding: min(1, 0) = 0.
+        let values = vec![7, 3];
+        let report = run(&values, CrashPlan::none(), None);
+        for d in report.distinct_decisions.iter() {
+            assert_eq!(*d, 3, "both adopt the minimum of the pair");
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! The agreement algorithms of the paper (and its cited endpoints).
+//!
+//! | Module | Algorithm | Paper hook |
+//! |---|---|---|
+//! | [`two_stage`] | FLP two-stage protocol, generalized to threshold `L` | Section VI (consensus with `L = ⌈(n+1)/2⌉`, k-set with `L = n−f`, Theorem 8) |
+//! | [`sigma_omega_consensus`] | quorum-ballot consensus from (Σ, Ω) | Corollary 13, k = 1 endpoint |
+//! | [`lonely_set`] | (n−1)-set agreement from loneliness L | Corollary 13, k = n−1 endpoint |
+//! | [`floodmin`] | synchronous-round FloodMin | the favourable DDS point contrasting Theorem 2 |
+//! | [`naive`] | DecideOwn, LeaderAdopt | flawed candidates the Theorem 1 checker flags |
+//! | [`rotating`] | rotating-coordinator consensus with P | the dimension-6 contrast to Theorem 2 |
+
+pub mod floodmin;
+pub mod lonely_set;
+pub mod naive;
+pub mod rotating;
+pub mod sigma_omega_consensus;
+pub mod two_stage;

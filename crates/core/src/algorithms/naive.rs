@@ -1,0 +1,180 @@
+//! Deliberately weak/flawed candidate algorithms.
+//!
+//! The paper's Remarks on Theorem 1 suggest using the theorem as a *quick
+//! verification tool*: "if (dec-D) can be satisfied in some runs, i.e., (A)
+//! holds, the algorithm is very likely flawed". These candidates exist to
+//! be flagged:
+//!
+//! * [`DecideOwn`] — decides its own value in its first step. Perfectly
+//!   fine n-set agreement; hopeless for any `k < n`, and the canonical
+//!   witness that wait-free k-set agreement fails (Section V: "it suffices
+//!   to simply delay all communication until every process has decided on
+//!   its own propose value").
+//! * [`LeaderAdopt`] — a plausible-looking (Σk, Ωk) candidate: processes
+//!   that see themselves among the Ωk leaders decide their own value and
+//!   announce it; everyone else adopts the first announced value. Under a
+//!   *partition* history (Definition 7) every block elects in-block leaders
+//!   before stabilization, so the blocks decide independently — exactly the
+//!   failure mode Theorem 10 proves unavoidable.
+
+use kset_fd::SigmaOmegaSample;
+use kset_sim::{Effects, Envelope, Process, ProcessId, ProcessInfo};
+
+use crate::task::Val;
+
+/// Decides its own proposal immediately (valid n-set agreement only).
+#[derive(Debug, Clone, Hash)]
+pub struct DecideOwn {
+    value: Val,
+    decided: bool,
+}
+
+impl Process for DecideOwn {
+    type Msg = Val;
+    type Input = Val;
+    type Output = Val;
+    type Fd = ();
+
+    fn init(_info: ProcessInfo, input: Val) -> Self {
+        DecideOwn { value: input, decided: false }
+    }
+
+    fn step(
+        &mut self,
+        _delivered: &[Envelope<Val>],
+        _fd: Option<&()>,
+        effects: &mut Effects<Val, Val>,
+    ) {
+        if !self.decided {
+            self.decided = true;
+            effects.decide(self.value);
+        }
+    }
+}
+
+/// Messages of the flawed leader-adoption candidate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum LeaderAdoptMsg {
+    /// A self-elected leader announces its decided value.
+    Announce {
+        /// The announced value.
+        value: Val,
+    },
+}
+
+/// The flawed (Σk, Ωk) candidate: leaders decide own values, others adopt.
+#[derive(Debug, Clone, Hash)]
+pub struct LeaderAdopt {
+    me: ProcessId,
+    value: Val,
+    decided: bool,
+}
+
+impl Process for LeaderAdopt {
+    type Msg = LeaderAdoptMsg;
+    type Input = Val;
+    type Output = Val;
+    type Fd = SigmaOmegaSample;
+
+    fn init(info: ProcessInfo, input: Val) -> Self {
+        LeaderAdopt { me: info.id, value: input, decided: false }
+    }
+
+    fn step(
+        &mut self,
+        delivered: &[Envelope<LeaderAdoptMsg>],
+        fd: Option<&SigmaOmegaSample>,
+        effects: &mut Effects<LeaderAdoptMsg, Val>,
+    ) {
+        if self.decided {
+            return;
+        }
+        // Adopt the first announced value, if any arrived.
+        if let Some(env) = delivered.first() {
+            let LeaderAdoptMsg::Announce { value } = env.payload;
+            self.decided = true;
+            effects.decide(value);
+            return;
+        }
+        // Otherwise: am I a leader right now?
+        if let Some(sample) = fd {
+            if sample.omega.contains(&self.me) {
+                self.decided = true;
+                effects.broadcast_others(LeaderAdoptMsg::Announce { value: self.value });
+                effects.decide(self.value);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{distinct_proposals, KSetTask};
+    use kset_fd::RealisticSigmaOmega;
+    use kset_sim::sched::round_robin::RoundRobin;
+    use kset_sim::{CrashPlan, Simulation, Time};
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn decide_own_is_valid_n_set_agreement() {
+        let n = 4;
+        let values = distinct_proposals(n);
+        let mut sim: Simulation<DecideOwn, _> =
+            Simulation::new(values.clone(), CrashPlan::none());
+        let report = sim.run_to_report(&mut RoundRobin::new(), 100);
+        let v = KSetTask::new(n, n).judge(&values, &report);
+        assert!(v.holds(), "{v}");
+        assert_eq!(report.distinct_decisions.len(), n);
+    }
+
+    #[test]
+    fn decide_own_violates_any_smaller_k() {
+        let n = 4;
+        let values = distinct_proposals(n);
+        let mut sim: Simulation<DecideOwn, _> =
+            Simulation::new(values.clone(), CrashPlan::none());
+        let report = sim.run_to_report(&mut RoundRobin::new(), 100);
+        for k in 1..n {
+            let v = KSetTask::new(n, k).judge(&values, &report);
+            assert!(!v.k_agreement, "k={k} should be violated");
+        }
+    }
+
+    #[test]
+    fn leader_adopt_behaves_with_stable_singleton_leader() {
+        // With Ω1 stabilized from the start on p1, every process adopts x1:
+        // the candidate LOOKS like a fine consensus algorithm…
+        let n = 4;
+        let values = distinct_proposals(n);
+        let oracle = RealisticSigmaOmega::consensus(n, Time::ZERO, pid(0));
+        let mut sim: Simulation<LeaderAdopt, _> =
+            Simulation::with_oracle(values.clone(), oracle, CrashPlan::none());
+        let report = sim.run_to_report(&mut RoundRobin::new(), 10_000);
+        let v = KSetTask::consensus(n).judge(&values, &report);
+        assert!(v.holds(), "{v}");
+    }
+
+    #[test]
+    fn leader_adopt_breaks_before_stabilization() {
+        // …but pre-GST every process sees itself as leader, and an
+        // asynchronous adversary that delays all messages makes each decide
+        // its own value: n distinct decisions. (The Theorem 1 checker flags
+        // the same flaw via partition histories; see kset-impossibility.)
+        use kset_sim::sched::partition::{PartitionScheduler, ReleasePolicy};
+        let n = 4;
+        let values = distinct_proposals(n);
+        let oracle = RealisticSigmaOmega::consensus(n, Time::new(1_000), pid(0));
+        let mut sim: Simulation<LeaderAdopt, _> =
+            Simulation::with_oracle(values.clone(), oracle, CrashPlan::none());
+        // Singleton partitions: every process is alone until it decides.
+        let mut sched = PartitionScheduler::new(vec![], ReleasePolicy::AfterAllDecided);
+        let report = sim.run_to_report(&mut sched, 10_000);
+        let v = KSetTask::consensus(n).judge(&values, &report);
+        assert!(!v.k_agreement, "{v}");
+        assert_eq!(report.distinct_decisions.len(), n);
+    }
+}

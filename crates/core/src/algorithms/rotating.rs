@@ -1,0 +1,232 @@
+//! Rotating-coordinator consensus with the perfect detector P.
+//!
+//! The classical Chandra–Toueg-style algorithm for detector class S (weak
+//! accuracy + strong completeness), run here with P ⊆ S: processes march
+//! through rounds `1..=n`; the coordinator of round `r` is `p_r`, which
+//! broadcasts its current estimate; everyone else waits in round `r` until
+//! it either receives the coordinator's round-`r` value (and adopts it) or
+//! suspects the coordinator (and skips the round). After completing round
+//! `n` a process decides its estimate.
+//!
+//! **Safety sketch** (with P there is a correct, never-suspected
+//! coordinator `c*` — indeed every correct process qualifies): every
+//! process passes round `c*`, cannot skip it (strong accuracy), and
+//! therefore adopts `c*`'s single round-`c*` value; later coordinators
+//! have passed round `c*` before broadcasting, so every estimate from then
+//! on equals that value.
+//!
+//! In the workspace's story this algorithm is the **dimension 6 contrast**
+//! to Theorem 2: the same asynchronous communication that makes 1-resilient
+//! consensus impossible without detectors becomes (n−1)-resilient the
+//! moment a perfect detector is available.
+
+use std::collections::BTreeMap;
+
+use kset_fd::SuspectSample;
+use kset_sim::{Effects, Envelope, Process, ProcessId, ProcessInfo};
+
+use crate::task::Val;
+
+/// Round-tagged coordinator broadcast.
+pub type RoundMsg = (u64, Val);
+
+/// Per-process state of the rotating-coordinator consensus.
+#[derive(Debug, Clone, Hash)]
+pub struct RotatingConsensus {
+    me: ProcessId,
+    n: usize,
+    est: Val,
+    /// Current round, 1-based; `n + 1` means ready to decide.
+    round: u64,
+    /// Rounds whose coordinator broadcast has been received.
+    inbox: BTreeMap<u64, Val>,
+    /// Whether this process has broadcast for its own coordinator round.
+    sent_own_round: bool,
+    decided: bool,
+}
+
+impl RotatingConsensus {
+    fn coordinator(&self, round: u64) -> ProcessId {
+        ProcessId::new(((round - 1) as usize) % self.n)
+    }
+}
+
+impl Process for RotatingConsensus {
+    type Msg = RoundMsg;
+    type Input = Val;
+    type Output = Val;
+    type Fd = SuspectSample;
+
+    fn init(info: ProcessInfo, input: Val) -> Self {
+        RotatingConsensus {
+            me: info.id,
+            n: info.n,
+            est: input,
+            round: 1,
+            inbox: BTreeMap::new(),
+            sent_own_round: false,
+            decided: false,
+        }
+    }
+
+    fn step(
+        &mut self,
+        delivered: &[Envelope<RoundMsg>],
+        fd: Option<&SuspectSample>,
+        effects: &mut Effects<RoundMsg, Val>,
+    ) {
+        for env in delivered {
+            let (r, v) = env.payload;
+            // Only the legitimate coordinator's broadcast counts.
+            if env.src == ProcessId::new(((r - 1) as usize) % self.n) {
+                self.inbox.entry(r).or_insert(v);
+            }
+        }
+        if self.decided {
+            return;
+        }
+        let Some(suspects) = fd else {
+            return; // the algorithm needs P
+        };
+        // March through rounds as far as the inbox and suspicions allow.
+        while self.round <= self.n as u64 {
+            let coord = self.coordinator(self.round);
+            if coord == self.me {
+                if !self.sent_own_round {
+                    self.sent_own_round = true;
+                    effects.broadcast_others((self.round, self.est));
+                }
+                self.inbox.insert(self.round, self.est);
+            }
+            if let Some(v) = self.inbox.get(&self.round) {
+                self.est = *v;
+                self.round += 1;
+                if self.coordinator(self.round.min(self.n as u64)) == self.me {
+                    self.sent_own_round = false;
+                }
+            } else if suspects.contains(&coord) {
+                self.round += 1;
+                if self.coordinator(self.round.min(self.n as u64)) == self.me {
+                    self.sent_own_round = false;
+                }
+            } else {
+                break; // wait for the coordinator or its suspicion
+            }
+        }
+        if self.round > self.n as u64 && !self.decided {
+            self.decided = true;
+            effects.decide(self.est);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_round_robin_with_oracle, run_seeded_with_oracle};
+    use crate::task::{distinct_proposals, KSetTask};
+    use kset_fd::PerfectOracle;
+    use kset_sim::{CrashPlan, Omission};
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn failure_free_consensus_on_first_coordinator() {
+        let n = 5;
+        let values = distinct_proposals(n);
+        let report = run_round_robin_with_oracle::<RotatingConsensus, _>(
+            values.clone(),
+            PerfectOracle::new(),
+            CrashPlan::none(),
+            200_000,
+        );
+        let verdict = KSetTask::consensus(n).judge(&values, &report);
+        assert!(verdict.holds(), "{verdict}");
+        // Round 1's coordinator is p1: its value wins.
+        assert_eq!(report.decisions[1], Some(0));
+    }
+
+    #[test]
+    fn survives_any_number_of_initial_crashes() {
+        // (n−1)-resilience: the Theorem 2 contrast.
+        let n = 5;
+        let values = distinct_proposals(n);
+        for f in 1..n {
+            let dead: Vec<ProcessId> = (0..f).map(pid).collect();
+            let report = run_round_robin_with_oracle::<RotatingConsensus, _>(
+                values.clone(),
+                PerfectOracle::new(),
+                CrashPlan::initially_dead(dead),
+                200_000,
+            );
+            let verdict = KSetTask::consensus(n).judge(&values, &report);
+            assert!(verdict.holds(), "f={f}: {verdict}");
+        }
+    }
+
+    #[test]
+    fn survives_mid_run_coordinator_crash_with_partial_broadcast() {
+        // p1 (round-1 coordinator) crashes during its broadcast, reaching
+        // only p2: estimates diverge, the first correct coordinator round
+        // re-converges them.
+        let n = 4;
+        let values = distinct_proposals(n);
+        let keep = Omission::KeepOnlyTo([pid(1)].into());
+        let plan = CrashPlan::none().with_crash_after(pid(0), 1, keep);
+        let report = run_round_robin_with_oracle::<RotatingConsensus, _>(
+            values.clone(),
+            PerfectOracle::new(),
+            plan,
+            200_000,
+        );
+        let verdict = KSetTask::consensus(n).judge(&values, &report);
+        assert!(verdict.holds(), "{verdict}");
+    }
+
+    #[test]
+    fn safety_and_termination_under_hostile_schedules() {
+        let n = 5;
+        let values = distinct_proposals(n);
+        for seed in 0..10 {
+            let f = (seed as usize) % (n - 1);
+            let dead: Vec<ProcessId> = (0..f).map(|i| pid((i * 2 + 1) % n)).collect();
+            let dead: std::collections::BTreeSet<ProcessId> = dead.into_iter().collect();
+            let report = run_seeded_with_oracle::<RotatingConsensus, _>(
+                values.clone(),
+                PerfectOracle::new(),
+                CrashPlan::initially_dead(dead),
+                seed,
+                1_000_000,
+            );
+            let verdict = KSetTask::consensus(n).judge(&values, &report);
+            assert!(verdict.holds(), "seed {seed}: {verdict}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_small_system_verification() {
+        use kset_sim::explore::{explore, Branching, ExploreConfig};
+        use kset_sim::Simulation;
+        let sim: Simulation<RotatingConsensus, _> = Simulation::with_oracle(
+            distinct_proposals(3),
+            PerfectOracle::new(),
+            CrashPlan::none(),
+        );
+        let config = ExploreConfig {
+            max_depth: 12,
+            max_states: 300_000,
+            branching: Branching::NoneOrAll,
+        };
+        let report = explore(&sim, &config, |s| {
+            let d: std::collections::BTreeSet<Val> =
+                s.decisions().iter().flatten().copied().collect();
+            if d.len() > 1 {
+                return Err(format!("{} distinct decisions", d.len()));
+            }
+            Ok(())
+        });
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+    }
+}

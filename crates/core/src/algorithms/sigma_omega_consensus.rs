@@ -1,0 +1,354 @@
+//! Consensus from (Σ, Ω): the k = 1 endpoint of Corollary 13.
+//!
+//! (Σ, Ω) is the weakest failure detector for message-passing consensus
+//! (Delporte-Gallet et al.). This module implements the classical
+//! quorum-ballot (Paxos-style) algorithm driven by the pair:
+//!
+//! * **Ω** elects the coordinator: a process leads while its Ω sample
+//!   contains itself.
+//! * **Σ** provides the quorums: a leader's phase completes when the set of
+//!   responders *covers its current Σ sample*. Any two Σ samples intersect
+//!   (the Σ1 intersection property), which gives exactly the quorum
+//!   intersection Paxos safety rests on.
+//!
+//! Ballots are made unique by the usual `attempt · n + id + 1` encoding. A
+//! leader that observes no progress for a while starts a fresh ballot, so
+//! liveness follows once Ω stabilizes on a correct leader and Σ samples
+//! shrink to the correct set.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use kset_fd::SigmaOmegaSample;
+use kset_sim::{Effects, Envelope, Process, ProcessId, ProcessInfo};
+
+use crate::task::Val;
+
+/// Ballot number (0 = none yet).
+type Ballot = u64;
+
+/// Messages of the quorum-ballot consensus.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PaxosMsg {
+    /// Phase-1a: leader asks for promises under `ballot`.
+    Prepare {
+        /// The leader's ballot.
+        ballot: Ballot,
+    },
+    /// Phase-1b: acceptor promises and reports its last accepted pair.
+    Promise {
+        /// Echoed ballot.
+        ballot: Ballot,
+        /// Last accepted `(ballot, value)`, if any.
+        accepted: Option<(Ballot, Val)>,
+    },
+    /// Phase-2a: leader proposes `value` under `ballot`.
+    Propose {
+        /// The leader's ballot.
+        ballot: Ballot,
+        /// The proposed value.
+        value: Val,
+    },
+    /// Phase-2b: acceptor accepted the proposal of `ballot`.
+    Accepted {
+        /// Echoed ballot.
+        ballot: Ballot,
+    },
+    /// Decision announcement.
+    Decide {
+        /// The decided value.
+        value: Val,
+    },
+}
+
+/// Leader-side phase.
+#[derive(Debug, Clone, Hash, PartialEq, Eq)]
+enum LeaderPhase {
+    Idle,
+    Collecting {
+        promises: BTreeMap<ProcessId, Option<(Ballot, Val)>>,
+    },
+    Proposing {
+        value: Val,
+        accepts: BTreeSet<ProcessId>,
+    },
+}
+
+/// Per-process state of the (Σ, Ω) consensus.
+#[derive(Debug, Clone, Hash)]
+pub struct SigmaOmegaConsensus {
+    me: ProcessId,
+    n: usize,
+    input: Val,
+    // Acceptor state.
+    promised: Ballot,
+    accepted: Option<(Ballot, Val)>,
+    // Leader state.
+    ballot: Ballot,
+    attempt: u64,
+    phase: LeaderPhase,
+    steps_in_phase: u64,
+    retry_after: u64,
+    // Decision state.
+    decided: Option<Val>,
+    relayed_decide: bool,
+}
+
+impl SigmaOmegaConsensus {
+    fn start_ballot(&mut self, effects: &mut Effects<PaxosMsg, Val>) {
+        self.attempt += 1;
+        self.ballot = self.attempt * self.n as u64 + self.me.index() as u64 + 1;
+        self.promised = self.promised.max(self.ballot);
+        let mut promises = BTreeMap::new();
+        promises.insert(self.me, self.accepted); // self-promise
+        self.phase = LeaderPhase::Collecting { promises };
+        self.steps_in_phase = 0;
+        effects.broadcast_others(PaxosMsg::Prepare { ballot: self.ballot });
+    }
+
+    /// Whether `responders` covers the quorum `sigma` (self counts).
+    fn quorum_met(responders: &BTreeSet<ProcessId>, sigma: &BTreeSet<ProcessId>) -> bool {
+        sigma.iter().all(|q| responders.contains(q))
+    }
+}
+
+impl Process for SigmaOmegaConsensus {
+    type Msg = PaxosMsg;
+    type Input = Val;
+    type Output = Val;
+    type Fd = SigmaOmegaSample;
+
+    fn init(info: ProcessInfo, input: Val) -> Self {
+        SigmaOmegaConsensus {
+            me: info.id,
+            n: info.n,
+            input,
+            promised: 0,
+            accepted: None,
+            ballot: 0,
+            attempt: 0,
+            phase: LeaderPhase::Idle,
+            steps_in_phase: 0,
+            retry_after: 16 * info.n as u64,
+            decided: None,
+            relayed_decide: false,
+        }
+    }
+
+    fn step(
+        &mut self,
+        delivered: &[Envelope<PaxosMsg>],
+        fd: Option<&SigmaOmegaSample>,
+        effects: &mut Effects<PaxosMsg, Val>,
+    ) {
+        // ---- Message handling (acceptor + leader response collection) ----
+        for env in delivered {
+            match &env.payload {
+                PaxosMsg::Prepare { ballot } => {
+                    if *ballot > self.promised {
+                        self.promised = *ballot;
+                        effects.send(
+                            env.src,
+                            PaxosMsg::Promise { ballot: *ballot, accepted: self.accepted },
+                        );
+                    }
+                }
+                PaxosMsg::Promise { ballot, accepted } => {
+                    if *ballot == self.ballot {
+                        if let LeaderPhase::Collecting { promises } = &mut self.phase {
+                            promises.insert(env.src, *accepted);
+                        }
+                    }
+                }
+                PaxosMsg::Propose { ballot, value } => {
+                    if *ballot >= self.promised {
+                        self.promised = *ballot;
+                        self.accepted = Some((*ballot, *value));
+                        effects.send(env.src, PaxosMsg::Accepted { ballot: *ballot });
+                    }
+                }
+                PaxosMsg::Accepted { ballot } => {
+                    if *ballot == self.ballot {
+                        if let LeaderPhase::Proposing { accepts, .. } = &mut self.phase {
+                            accepts.insert(env.src);
+                        }
+                    }
+                }
+                PaxosMsg::Decide { value } => {
+                    if self.decided.is_none() {
+                        self.decided = Some(*value);
+                        effects.decide(*value);
+                    }
+                    if !self.relayed_decide {
+                        self.relayed_decide = true;
+                        effects.broadcast_others(PaxosMsg::Decide { value: *value });
+                    }
+                }
+            }
+        }
+        if self.decided.is_some() {
+            return;
+        }
+        // ---- Leader logic, driven by the failure detector ----
+        let Some(sample) = fd else {
+            return; // algorithm requires (Σ, Ω); without it, only react
+        };
+        let i_lead = sample.omega.contains(&self.me);
+        if !i_lead {
+            self.phase = LeaderPhase::Idle;
+            self.steps_in_phase = 0;
+            return;
+        }
+        self.steps_in_phase += 1;
+        let stuck = self.steps_in_phase > self.retry_after;
+        match &mut self.phase {
+            LeaderPhase::Idle => self.start_ballot(effects),
+            _ if stuck => self.start_ballot(effects),
+            LeaderPhase::Collecting { promises } => {
+                let responders: BTreeSet<ProcessId> = promises.keys().copied().collect();
+                if Self::quorum_met(&responders, &sample.sigma) {
+                    // Adopt the highest-ballot accepted value, else own input.
+                    let value = promises
+                        .values()
+                        .flatten()
+                        .max_by_key(|(b, _)| *b)
+                        .map(|(_, v)| *v)
+                        .unwrap_or(self.input);
+                    self.accepted = Some((self.ballot, value));
+                    let mut accepts = BTreeSet::new();
+                    accepts.insert(self.me);
+                    self.phase = LeaderPhase::Proposing { value, accepts };
+                    self.steps_in_phase = 0;
+                    effects.broadcast_others(PaxosMsg::Propose { ballot: self.ballot, value });
+                }
+            }
+            LeaderPhase::Proposing { value, accepts } => {
+                if Self::quorum_met(accepts, &sample.sigma) {
+                    let v = *value;
+                    self.decided = Some(v);
+                    effects.broadcast_others(PaxosMsg::Decide { value: v });
+                    effects.decide(v);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{distinct_proposals, KSetTask};
+    use kset_fd::RealisticSigmaOmega;
+    use kset_sim::sched::random::SeededRandom;
+    use kset_sim::sched::round_robin::RoundRobin;
+    use kset_sim::{CrashPlan, Omission, RunReport, Simulation, Time};
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn run(
+        values: &[Val],
+        plan: CrashPlan,
+        leader: ProcessId,
+        tgst: u64,
+        seed: Option<u64>,
+        max: u64,
+    ) -> RunReport<Val> {
+        let oracle = RealisticSigmaOmega::consensus(values.len(), Time::new(tgst), leader);
+        let mut sim: Simulation<SigmaOmegaConsensus, _> =
+            Simulation::with_oracle(values.to_vec(), oracle, plan);
+        match seed {
+            None => sim.run_to_report(&mut RoundRobin::new(), max),
+            Some(s) => sim.run_to_report(
+                &mut SeededRandom::new(s)
+                    .with_deliver_percent(85)
+                    .with_fairness_window(8),
+                max,
+            ),
+        }
+    }
+
+    #[test]
+    fn all_correct_reach_consensus() {
+        let n = 4;
+        let values = distinct_proposals(n);
+        let report = run(&values, CrashPlan::none(), pid(2), 0, None, 100_000);
+        let v = KSetTask::consensus(n).judge(&values, &report);
+        assert!(v.holds(), "{v}");
+        assert_eq!(report.decisions[0], Some(2), "stable leader p3 drives its own value");
+    }
+
+    #[test]
+    fn consensus_with_late_stabilization() {
+        // Pre-GST every process believes it leads: duelling ballots, still
+        // safe; after t_GST = 200 the system converges on p1.
+        let n = 4;
+        let values = distinct_proposals(n);
+        let report = run(&values, CrashPlan::none(), pid(0), 200, None, 300_000);
+        let v = KSetTask::consensus(n).judge(&values, &report);
+        assert!(v.holds(), "{v}");
+    }
+
+    #[test]
+    fn consensus_survives_minority_crashes() {
+        let n = 5;
+        let values = distinct_proposals(n);
+        let plan = CrashPlan::initially_dead([pid(3)])
+            .with_crash_after(pid(4), 3, Omission::All);
+        let report = run(&values, plan, pid(0), 50, None, 300_000);
+        let v = KSetTask::consensus(n).judge(&values, &report);
+        assert!(v.holds(), "{v}");
+    }
+
+    #[test]
+    fn wait_free_consensus_with_sigma_omega() {
+        // (Σ,Ω) consensus is (n−1)-resilient: n = 4, 3 crashes, the lone
+        // correct process p1 still decides (its Σ sample shrinks to {p1}).
+        let n = 4;
+        let values = distinct_proposals(n);
+        let plan = CrashPlan::initially_dead([pid(1), pid(2), pid(3)]);
+        let report = run(&values, plan, pid(0), 10, None, 100_000);
+        let v = KSetTask::consensus(n).judge(&values, &report);
+        assert!(v.holds(), "{v}");
+        assert_eq!(report.decisions[0], Some(0));
+    }
+
+    #[test]
+    fn safety_under_random_schedules() {
+        let n = 5;
+        let values = distinct_proposals(n);
+        for seed in 0..15 {
+            let report = run(&values, CrashPlan::none(), pid(1), 100, Some(seed), 400_000);
+            let v = KSetTask::consensus(n).judge(&values, &report);
+            assert!(v.safe(), "seed {seed}: {v}");
+            if report.all_correct_decided() {
+                assert_eq!(report.distinct_decisions.len(), 1, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_decision_without_failure_detector() {
+        // Running the same algorithm with fd = None (dimension 6
+        // unfavourable) must stall, not decide wrongly.
+        #[derive(Debug, Clone)]
+        struct NeverOracle;
+        impl kset_sim::Oracle for NeverOracle {
+            type Sample = SigmaOmegaSample;
+            fn sample(
+                &mut self,
+                _p: ProcessId,
+                _t: Time,
+                _o: &kset_sim::FailurePattern,
+            ) -> SigmaOmegaSample {
+                SigmaOmegaSample::new(BTreeSet::new(), BTreeSet::new())
+            }
+        }
+        let values = distinct_proposals(3);
+        let oracle = NeverOracle; // empty omega: nobody ever leads
+        let mut sim: Simulation<SigmaOmegaConsensus, _> =
+            Simulation::with_oracle(values.clone(), oracle, CrashPlan::none());
+        let report = sim.run_to_report(&mut RoundRobin::new(), 5_000);
+        assert!(report.distinct_decisions.is_empty());
+    }
+}

@@ -1,0 +1,384 @@
+//! The two-stage protocol of Section VI: FLP's initial-crash consensus,
+//! generalized to k-set agreement.
+//!
+//! The protocol (for a waiting threshold `L`):
+//!
+//! * **Stage 1** — every process broadcasts a `Stage1` message (carrying its
+//!   id) and waits until it has received `L − 1` such messages from distinct
+//!   other processes.
+//! * **Stage 2** — it then broadcasts its initial value together with the
+//!   list of the `L − 1` processes heard in stage 1, and waits for stage-2
+//!   messages from those `L − 1` processes *and from every remote process
+//!   mentioned in one of the lists it receives* (transitive closure).
+//!
+//! After stage 2 the process knows an in-neighbour-closed fragment of the
+//! *stage-one graph* `G` (edge `u → w` iff `w` heard `u` in stage 1),
+//! containing every source component that reaches it. It deterministically
+//! selects one ([`kset_graph::chosen_source_component`]) and decides the
+//! value proposed by the minimum-id member.
+//!
+//! * With `L = ⌈(n+1)/2⌉` and `n > 2f` the source component is unique
+//!   (`2δ ≥ n` with δ = L−1) and the protocol is FLP's initial-crash
+//!   **consensus**.
+//! * With `L = n − f` there are at most `⌊n/L⌋` source components
+//!   (Lemmas 6/7), so the protocol solves **k-set agreement** for every
+//!   `k ≥ ⌊n/(n−f)⌋` — equivalently whenever `kn > (k+1)f` (Theorem 8).
+//!
+//! The protocol tolerates **initial crashes only** (the Section VI model):
+//! a process mentioned in a heard-list must eventually send its stage-2
+//! message, which holds because having sent `Stage1` proves it was not
+//! initially dead.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use kset_graph::{chosen_source_component, Digraph};
+use kset_sim::{Effects, Envelope, Process, ProcessId, ProcessInfo};
+
+use crate::task::Val;
+
+/// Messages of the two-stage protocol.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TwoStageMsg {
+    /// Stage-1 beacon ("I am alive"); the sender id travels in the
+    /// envelope.
+    Stage1,
+    /// Stage-2 payload: the sender's proposal and its frozen stage-1
+    /// heard-list.
+    Stage2 {
+        /// The sender's initial value.
+        value: Val,
+        /// The `L − 1` processes the sender heard from in stage 1.
+        heard: BTreeSet<ProcessId>,
+    },
+}
+
+/// Input of a two-stage process: the waiting threshold `L` and the proposal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TwoStageInput {
+    /// Waiting threshold `L` (the paper's `L`); every process must use the
+    /// same value.
+    pub l: usize,
+    /// The proposal value `x_p`.
+    pub value: Val,
+}
+
+/// Builds the input vector for a homogeneous threshold `L`.
+pub fn two_stage_inputs(l: usize, values: &[Val]) -> Vec<TwoStageInput> {
+    values.iter().map(|v| TwoStageInput { l, value: *v }).collect()
+}
+
+/// The consensus threshold `L = ⌈(n+1)/2⌉` of FLP.
+pub fn consensus_threshold(n: usize) -> usize {
+    n.div_ceil(2) + usize::from(n.is_multiple_of(2))
+}
+
+/// The k-set threshold `L = n − f` of Section VI.
+///
+/// # Panics
+///
+/// Panics if `f ≥ n`.
+pub fn kset_threshold(n: usize, f: usize) -> usize {
+    assert!(f < n, "need at least one live process");
+    n - f
+}
+
+/// The number of distinct decisions the protocol guarantees:
+/// `⌊n/L⌋` source components at most.
+pub fn decision_bound(n: usize, l: usize) -> usize {
+    n / l
+}
+
+/// Per-process state of the two-stage protocol.
+#[derive(Debug, Clone, Hash)]
+pub struct TwoStage {
+    me: ProcessId,
+    n: usize,
+    l: usize,
+    value: Val,
+    sent_stage1: bool,
+    /// Stage-1 senders in arrival order (first `L − 1` freeze the list).
+    heard1: Vec<ProcessId>,
+    /// Frozen heard-list (stage 1 complete once set).
+    my_heard: Option<BTreeSet<ProcessId>>,
+    /// Stage-2 data per process: `(value, heard)`. Includes self.
+    infos: BTreeMap<ProcessId, (Val, BTreeSet<ProcessId>)>,
+    decided: bool,
+}
+
+impl TwoStage {
+    /// Whether stage 1 is complete (heard-list frozen).
+    pub fn stage1_complete(&self) -> bool {
+        self.my_heard.is_some()
+    }
+
+    /// The in-neighbour closure from this process over the known stage-2
+    /// infos: `K = {me} ∪ heard(me) ∪ heard(heard(me)) ∪ …`. Returns
+    /// `Some(K)` when every member's info is known (closure complete).
+    fn closure(&self) -> Option<BTreeSet<ProcessId>> {
+        let my_heard = self.my_heard.as_ref()?;
+        let mut k: BTreeSet<ProcessId> = [self.me].into();
+        k.extend(my_heard.iter().copied());
+        loop {
+            let mut grew = false;
+            for p in k.clone() {
+                if p == self.me {
+                    continue; // own heard-list already added
+                }
+                let (_, heard) = self.infos.get(&p)?; // info missing: not closed yet
+                for q in heard {
+                    if k.insert(*q) {
+                        grew = true;
+                    }
+                }
+            }
+            if !grew {
+                return Some(k);
+            }
+        }
+    }
+
+    /// Builds the known fragment of the stage-one graph over the closed set
+    /// `K`, decides, and returns the decision value.
+    fn decide_from(&self, k_set: &BTreeSet<ProcessId>) -> Val {
+        let keep: BTreeSet<usize> = k_set.iter().map(|p| p.index()).collect();
+        // Build the full-size graph with edges inside K only, then induce.
+        let mut g = Digraph::new(self.n);
+        for p in k_set {
+            let heard = if *p == self.me {
+                self.my_heard.as_ref().expect("closure implies stage 1 complete")
+            } else {
+                &self.infos[p].1
+            };
+            for u in heard {
+                if u.index() != p.index() {
+                    g.add_edge(u.index(), p.index());
+                }
+            }
+        }
+        let (sub, old_of_new) = g.induced(&keep);
+        let me_new = old_of_new
+            .iter()
+            .position(|old| *old == self.me.index())
+            .expect("self is in its own closure");
+        let comp = chosen_source_component(&sub, me_new);
+        let min_old = comp
+            .iter()
+            .map(|new| old_of_new[*new])
+            .min()
+            .expect("source components are nonempty");
+        let min_pid = ProcessId::new(min_old);
+        if min_pid == self.me {
+            self.value
+        } else {
+            self.infos[&min_pid].0
+        }
+    }
+}
+
+impl Process for TwoStage {
+    type Msg = TwoStageMsg;
+    type Input = TwoStageInput;
+    type Output = Val;
+    type Fd = ();
+
+    fn init(info: ProcessInfo, input: TwoStageInput) -> Self {
+        assert!(input.l >= 1 && input.l <= info.n, "need 1 ≤ L ≤ n");
+        TwoStage {
+            me: info.id,
+            n: info.n,
+            l: input.l,
+            value: input.value,
+            sent_stage1: false,
+            heard1: Vec::new(),
+            my_heard: None,
+            infos: BTreeMap::new(),
+            decided: false,
+        }
+    }
+
+    fn step(
+        &mut self,
+        delivered: &[Envelope<TwoStageMsg>],
+        _fd: Option<&()>,
+        effects: &mut Effects<TwoStageMsg, Val>,
+    ) {
+        if !self.sent_stage1 {
+            self.sent_stage1 = true;
+            effects.broadcast_others(TwoStageMsg::Stage1);
+        }
+        for env in delivered {
+            if env.src == self.me {
+                continue;
+            }
+            match &env.payload {
+                TwoStageMsg::Stage1 => {
+                    if self.my_heard.is_none() && !self.heard1.contains(&env.src) {
+                        self.heard1.push(env.src);
+                    }
+                }
+                TwoStageMsg::Stage2 { value, heard } => {
+                    self.infos
+                        .entry(env.src)
+                        .or_insert_with(|| (*value, heard.clone()));
+                }
+            }
+        }
+        // Freeze the heard-list at the first L−1 distinct stage-1 senders
+        // and enter stage 2.
+        if self.my_heard.is_none() && self.heard1.len() >= self.l.saturating_sub(1) {
+            let frozen: BTreeSet<ProcessId> =
+                self.heard1.iter().take(self.l - 1).copied().collect();
+            self.my_heard = Some(frozen.clone());
+            self.infos.insert(self.me, (self.value, frozen.clone()));
+            effects.broadcast_others(TwoStageMsg::Stage2 { value: self.value, heard: frozen });
+        }
+        // Decide once the in-neighbour closure is complete.
+        if !self.decided {
+            if let Some(k_set) = self.closure() {
+                self.decided = true;
+                effects.decide(self.decide_from(&k_set));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{distinct_proposals, KSetTask};
+    use kset_sim::sched::random::SeededRandom;
+    use kset_sim::sched::round_robin::RoundRobin;
+    use kset_sim::{CrashPlan, RunReport, Simulation};
+
+    fn run_two_stage(
+        l: usize,
+        values: &[Val],
+        plan: CrashPlan,
+        seed: Option<u64>,
+    ) -> RunReport<Val> {
+        let inputs = two_stage_inputs(l, values);
+        let mut sim: Simulation<TwoStage, _> = Simulation::new(inputs, plan);
+        match seed {
+            None => sim.run_to_report(&mut RoundRobin::new(), 100_000),
+            Some(s) => sim.run_to_report(
+                &mut SeededRandom::new(s).with_deliver_percent(80),
+                500_000,
+            ),
+        }
+    }
+
+    #[test]
+    fn consensus_no_crashes() {
+        let n = 5;
+        let l = consensus_threshold(n);
+        let values = distinct_proposals(n);
+        let report = run_two_stage(l, &values, CrashPlan::none(), None);
+        let v = KSetTask::consensus(n).judge(&values, &report);
+        assert!(v.holds(), "{v}");
+    }
+
+    #[test]
+    fn consensus_with_initial_crashes() {
+        // n = 5, f = 2 (minority): L = 3.
+        let n = 5;
+        let l = consensus_threshold(n);
+        let values = distinct_proposals(n);
+        let plan = CrashPlan::initially_dead([ProcessId::new(1), ProcessId::new(4)]);
+        let report = run_two_stage(l, &values, plan, None);
+        let v = KSetTask::consensus(n).judge(&values, &report);
+        assert!(v.holds(), "{v}");
+    }
+
+    #[test]
+    fn consensus_threshold_values() {
+        // Uniqueness of the source component needs 2L > n: two source
+        // components are disjoint and each has ≥ δ + 1 = L members.
+        for n in 1..20 {
+            let l = consensus_threshold(n);
+            assert!(2 * l > n, "n={n} L={l}");
+            assert!(l <= n, "n={n} L={l}");
+        }
+    }
+
+    #[test]
+    fn kset_bound_holds_under_random_schedules() {
+        // n = 6, f = 4 initial crashes, L = 2: at most ⌊6/2⌋ = 3 decisions.
+        let n = 6;
+        let f = 4;
+        let l = kset_threshold(n, f);
+        let k = decision_bound(n, l);
+        assert_eq!(k, 3);
+        let values = distinct_proposals(n);
+        for seed in 0..10 {
+            let dead: Vec<ProcessId> = (0..f).map(|i| ProcessId::new(5 - i)).collect();
+            let report = run_two_stage(l, &values, CrashPlan::initially_dead(dead), Some(seed));
+            let verdict = KSetTask::new(n, k).judge(&values, &report);
+            assert!(verdict.holds(), "seed {seed}: {verdict}");
+        }
+    }
+
+    #[test]
+    fn fully_isolated_processes_decide_own_values() {
+        // L = 1: nobody waits for anyone; every process decides its own
+        // value (n-set agreement, the wait-free degenerate case).
+        let n = 4;
+        let values = distinct_proposals(n);
+        let report = run_two_stage(1, &values, CrashPlan::none(), None);
+        assert_eq!(report.distinct_decisions.len(), n);
+        for (i, d) in report.decisions.iter().enumerate() {
+            assert_eq!(*d, Some(values[i]));
+        }
+    }
+
+    #[test]
+    fn decision_is_minimum_id_of_source_component() {
+        // No crashes, round-robin: everyone hears from everyone quickly;
+        // the single source component contains p1, so all decide x1.
+        let n = 4;
+        let l = kset_threshold(n, 1);
+        let values = vec![40, 10, 20, 30];
+        let report = run_two_stage(l, &values, CrashPlan::none(), None);
+        assert!(report.all_correct_decided());
+        assert_eq!(report.distinct_decisions.len(), 1);
+    }
+
+    #[test]
+    fn single_process_system() {
+        let report = run_two_stage(1, &[7], CrashPlan::none(), None);
+        assert_eq!(report.decisions, vec![Some(7)]);
+    }
+
+    #[test]
+    fn validity_always_holds() {
+        let n = 6;
+        let values: Vec<Val> = vec![100, 200, 300, 400, 500, 600];
+        for f in 0..n {
+            let l = kset_threshold(n, f);
+            let dead: Vec<ProcessId> = (0..f).map(ProcessId::new).collect();
+            let report =
+                run_two_stage(l, &values, CrashPlan::initially_dead(dead), Some(f as u64));
+            for d in report.distinct_decisions.iter() {
+                assert!(values.contains(d));
+            }
+        }
+    }
+
+    #[test]
+    fn theorem8_borderline_f_still_works() {
+        // Theorem 8: solvable iff kn > (k+1)f. Take n = 6, k = 2:
+        // f = 3 gives 12 > 9 ✓ (solvable), L = 3, bound ⌊6/3⌋ = 2 = k.
+        let n = 6;
+        let k = 2;
+        let f = 3;
+        assert!(k * n > (k + 1) * f);
+        let l = kset_threshold(n, f);
+        assert_eq!(decision_bound(n, l), k);
+        let values = distinct_proposals(n);
+        for seed in 0..10 {
+            let dead: Vec<ProcessId> = (0..f).map(|i| ProcessId::new(n - 1 - i)).collect();
+            let report = run_two_stage(l, &values, CrashPlan::initially_dead(dead), Some(seed));
+            let verdict = KSetTask::new(n, k).judge(&values, &report);
+            assert!(verdict.holds(), "seed {seed}: {verdict}");
+        }
+    }
+}

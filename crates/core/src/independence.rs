@@ -1,0 +1,326 @@
+//! T-independence (Definition 6 of the paper), executably.
+//!
+//! An algorithm `A` satisfies **T-independence** in model `M`, for a family
+//! `T ⊆ 2^Π`, if for every `S ∈ T` there is a run of `A` in which the
+//! processes of `S` receive messages only from `S` until every process of
+//! `S` has decided or crashed. (The *strong* variant requires this only
+//! eventually; the plain variant is what the impossibility machinery
+//! needs.)
+//!
+//! The paper expresses the classic progress conditions in this language:
+//! wait-freedom is (strong) `2^Π`-independence, `f`-resilience gives
+//! independence for all sets of size ≥ n − f, obstruction-freedom gives
+//! singleton independence, and asymmetric conditions pick the sets
+//! containing a distinguished process.
+//!
+//! [`isolated_run`] *constructs* the witnessing run for a given `S` (an
+//! isolation scheduler starves `S` of outside messages);
+//! [`check_independence`] quantifies over a [`Family`]. A successful check
+//! is precisely condition (A) of Theorem 1 for the partition blocks — this
+//! is how the impossibility engine consumes it.
+
+use std::collections::BTreeSet;
+
+use kset_sim::sched::{Choice, Delivery, Scheduler, SimView};
+use kset_sim::{CrashPlan, NoOracle, Oracle, Process, ProcessId, RunReport, Simulation};
+
+/// A family `T ⊆ 2^Π` of process sets, explicitly enumerated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Family {
+    n: usize,
+    sets: Vec<BTreeSet<ProcessId>>,
+}
+
+impl Family {
+    /// Creates a family from explicit sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a set is empty or references processes outside `0..n`.
+    pub fn new(n: usize, sets: Vec<BTreeSet<ProcessId>>) -> Self {
+        for s in &sets {
+            assert!(!s.is_empty(), "independence sets must be nonempty");
+            assert!(s.iter().all(|p| p.index() < n), "set member out of range");
+        }
+        Family { n, sets }
+    }
+
+    /// Wait-freedom: every nonempty subset of `Π`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 16` (the family is exponential).
+    pub fn wait_free(n: usize) -> Self {
+        assert!(n <= 16, "wait-free family is exponential; keep n ≤ 16");
+        let mut sets = Vec::new();
+        for mask in 1u32..(1 << n) {
+            let s: BTreeSet<ProcessId> = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(ProcessId::new)
+                .collect();
+            sets.push(s);
+        }
+        Family { n, sets }
+    }
+
+    /// `f`-resilience: all subsets of size ≥ `n − f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 16` or `f >= n`.
+    pub fn f_resilient(n: usize, f: usize) -> Self {
+        assert!(f < n, "f must be < n");
+        let all = Self::wait_free(n);
+        let sets = all
+            .sets
+            .into_iter()
+            .filter(|s| s.len() >= n - f)
+            .collect();
+        Family { n, sets }
+    }
+
+    /// Obstruction-freedom: the singletons `{p1}, …, {pn}`.
+    pub fn singletons(n: usize) -> Self {
+        let sets = ProcessId::all(n).map(|p| BTreeSet::from([p])).collect();
+        Family { n, sets }
+    }
+
+    /// The asymmetric condition `{S | {p} ⊆ S ⊆ Π}` (wait-freedom of `p`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 16`.
+    pub fn containing(n: usize, p: ProcessId) -> Self {
+        let all = Self::wait_free(n);
+        let sets = all.sets.into_iter().filter(|s| s.contains(&p)).collect();
+        Family { n, sets }
+    }
+
+    /// The member sets.
+    pub fn sets(&self) -> &[BTreeSet<ProcessId>] {
+        &self.sets
+    }
+
+    /// Number of member sets.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Whether the family is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Observation 1(b): a subfamily is still satisfied. Returns the family
+    /// restricted to sets satisfying `keep`.
+    pub fn filter(&self, keep: impl Fn(&BTreeSet<ProcessId>) -> bool) -> Family {
+        Family {
+            n: self.n,
+            sets: self.sets.iter().filter(|s| keep(s)).cloned().collect(),
+        }
+    }
+}
+
+/// Scheduler that isolates `S`: members of `S` receive only from `S`;
+/// everyone else receives everything. Stops once every member of `S` has
+/// decided or crashed.
+#[derive(Debug, Clone)]
+pub struct IsolationScheduler {
+    s: BTreeSet<ProcessId>,
+    cursor: usize,
+}
+
+impl IsolationScheduler {
+    /// Creates the scheduler isolating `s`.
+    pub fn new(s: BTreeSet<ProcessId>) -> Self {
+        IsolationScheduler { s, cursor: 0 }
+    }
+
+    fn s_done<M>(&self, view: &SimView<'_, M>) -> bool {
+        self.s
+            .iter()
+            .all(|p| !view.is_alive(*p) || view.has_decided(*p))
+    }
+}
+
+impl<M> Scheduler<M> for IsolationScheduler {
+    fn next(&mut self, view: &SimView<'_, M>) -> Option<Choice> {
+        if self.s_done(view) {
+            return None;
+        }
+        for offset in 0..view.n {
+            let idx = (self.cursor + offset) % view.n;
+            let pid = ProcessId::new(idx);
+            if view.is_alive(pid) {
+                self.cursor = (idx + 1) % view.n;
+                let delivery = if self.s.contains(&pid) {
+                    Delivery::AllFrom(self.s.clone())
+                } else {
+                    Delivery::All
+                };
+                return Some(Choice { pid, delivery });
+            }
+        }
+        None
+    }
+}
+
+/// Runs `A` with `S` isolated until every member of `S` decided or crashed
+/// (or `max_steps` elapsed). Returns the report; the caller checks whether
+/// all of `S` decided.
+pub fn isolated_run<P, O>(
+    inputs: Vec<P::Input>,
+    oracle: O,
+    s: &BTreeSet<ProcessId>,
+    plan: CrashPlan,
+    max_steps: u64,
+) -> RunReport<P::Output>
+where
+    P: Process,
+    P::Fd: std::hash::Hash,
+    O: Oracle<Sample = P::Fd>,
+{
+    let mut sched = IsolationScheduler::new(s.clone());
+    let mut sim: Simulation<P, O> = Simulation::with_oracle(inputs, oracle, plan);
+    sim.run_to_report(&mut sched, max_steps)
+}
+
+/// [`isolated_run`] for algorithms without failure detectors.
+pub fn isolated_run_no_fd<P>(
+    inputs: Vec<P::Input>,
+    s: &BTreeSet<ProcessId>,
+    plan: CrashPlan,
+    max_steps: u64,
+) -> RunReport<P::Output>
+where
+    P: Process<Fd = ()>,
+{
+    let mut sched = IsolationScheduler::new(s.clone());
+    let mut sim: Simulation<P, NoOracle> = Simulation::new(inputs, plan);
+    sim.run_to_report(&mut sched, max_steps)
+}
+
+/// Whether the isolated run witnessed independence for `S`: every member
+/// decided or crashed while hearing only from `S`.
+pub fn witnesses_independence<V: Clone + Ord>(
+    report: &RunReport<V>,
+    s: &BTreeSet<ProcessId>,
+) -> bool {
+    s.iter().all(|p| {
+        report.decisions[p.index()].is_some()
+            || report.failure_pattern.crash_time(*p).is_some()
+    })
+}
+
+/// Checks T-independence of an oracle-less algorithm over a whole family:
+/// returns the first set with no witnessing run, or `Ok(())`.
+pub fn check_independence<P>(
+    make_inputs: impl Fn() -> Vec<P::Input>,
+    family: &Family,
+    max_steps: u64,
+) -> Result<(), BTreeSet<ProcessId>>
+where
+    P: Process<Fd = ()>,
+{
+    for s in family.sets() {
+        let report = isolated_run_no_fd::<P>(make_inputs(), s, CrashPlan::none(), max_steps);
+        if !witnesses_independence(&report, s) {
+            return Err(s.clone());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::naive::DecideOwn;
+    use crate::algorithms::two_stage::{two_stage_inputs, TwoStage};
+    use crate::task::distinct_proposals;
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn family_constructors() {
+        assert_eq!(Family::wait_free(3).len(), 7);
+        assert_eq!(Family::singletons(4).len(), 4);
+        // n=4, f=1: sets of size ≥ 3: C(4,3)+C(4,4) = 5.
+        assert_eq!(Family::f_resilient(4, 1).len(), 5);
+        // Sets containing p1 among subsets of {p1,p2,p3}: 4.
+        assert_eq!(Family::containing(3, pid(0)).len(), 4);
+    }
+
+    #[test]
+    fn family_filter_is_observation_1b() {
+        let wf = Family::wait_free(3);
+        let big = wf.filter(|s| s.len() >= 2);
+        assert_eq!(big.len(), 4);
+        assert!(big.sets().iter().all(|s| s.len() >= 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_set_rejected() {
+        let _ = Family::new(2, vec![BTreeSet::new()]);
+    }
+
+    #[test]
+    fn decide_own_is_wait_free_independent() {
+        // DecideOwn decides without hearing anyone: 2^Π-independence.
+        let check = check_independence::<DecideOwn>(
+            || distinct_proposals(4),
+            &Family::wait_free(4),
+            1_000,
+        );
+        assert!(check.is_ok());
+    }
+
+    #[test]
+    fn two_stage_is_f_resilient_independent() {
+        // Lemma 4 (instantiated): with L = n − f, the two-stage protocol is
+        // independent for every set of size ≥ L = n − f.
+        let n = 6;
+        let f = 3;
+        let l = n - f;
+        let family = Family::f_resilient(n, f).filter(|s| s.len() >= l);
+        let check = check_independence::<TwoStage>(
+            || two_stage_inputs(l, &distinct_proposals(n)),
+            &family,
+            100_000,
+        );
+        assert!(check.is_ok());
+    }
+
+    #[test]
+    fn two_stage_is_not_singleton_independent() {
+        // A single isolated process waits forever for L−1 = 2 messages:
+        // {singletons}-independence fails (the algorithm is not
+        // obstruction-free) — the flip side of the same lemma.
+        let n = 6;
+        let l = 3;
+        let family = Family::singletons(n);
+        let check = check_independence::<TwoStage>(
+            || two_stage_inputs(l, &distinct_proposals(n)),
+            &family,
+            20_000,
+        );
+        assert!(check.is_err());
+    }
+
+    #[test]
+    fn isolation_scheduler_starves_outside_sources() {
+        let n = 4;
+        let s: BTreeSet<ProcessId> = [pid(0), pid(1)].into();
+        let inputs = two_stage_inputs(2, &distinct_proposals(n));
+        let report = isolated_run_no_fd::<TwoStage>(inputs, &s, CrashPlan::none(), 50_000);
+        // S members decided while isolated (L−1 = 1 message from within S).
+        assert!(witnesses_independence(&report, &s));
+        // Their decisions involve only S values.
+        for p in &s {
+            let d = report.decisions[p.index()].unwrap();
+            assert!(d < 2, "decision {d} must come from within S");
+        }
+    }
+}

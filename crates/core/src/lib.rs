@@ -1,0 +1,54 @@
+//! # kset-core — k-set agreement: task, algorithms, progress conditions
+//!
+//! The agreement layer of the `kset` workspace, implementing the problem
+//! definitions and all algorithms of Biely–Robinson–Schmid (OPODIS 2011):
+//!
+//! * the **k-set agreement task** and run-level verdict checkers
+//!   ([`KSetTask`], [`Verdict`]);
+//! * **T-independence** (Definition 6) with the classic progress conditions
+//!   as families, and an isolation scheduler that *constructs* witnessing
+//!   runs ([`independence`]);
+//! * the **two-stage protocol** of Section VI — FLP's initial-crash
+//!   consensus and its k-set generalization with threshold `L = n − f`
+//!   ([`algorithms::two_stage`]);
+//! * **(Σ, Ω) consensus** and **loneliness-based (n−1)-set agreement** —
+//!   the two endpoints of Corollary 13 ([`algorithms::sigma_omega_consensus`],
+//!   [`algorithms::lonely_set`]);
+//! * **FloodMin** on a lock-step synchronous substrate — the favourable
+//!   model point contrasting Theorem 2 ([`sync`], [`algorithms::floodmin`]);
+//! * deliberately **flawed candidates** for the Theorem 1 checker
+//!   ([`algorithms::naive`]).
+//!
+//! ## Quickstart: Theorem 8's algorithm
+//!
+//! ```
+//! use kset_core::algorithms::two_stage::{kset_threshold, two_stage_inputs, TwoStage};
+//! use kset_core::runner::run_round_robin;
+//! use kset_core::task::{distinct_proposals, KSetTask};
+//! use kset_sim::{CrashPlan, ProcessId};
+//!
+//! // n = 6 processes, f = 3 initial crashes, k = 2: solvable since
+//! // kn = 12 > (k+1)f = 9 (Theorem 8).
+//! let (n, f, k) = (6, 3, 2);
+//! let values = distinct_proposals(n);
+//! let inputs = two_stage_inputs(kset_threshold(n, f), &values);
+//! let dead = (0..f).map(|i| ProcessId::new(n - 1 - i));
+//! let report = run_round_robin::<TwoStage>(inputs, CrashPlan::initially_dead(dead), 100_000);
+//! let verdict = KSetTask::new(n, k).judge(&values, &report);
+//! assert!(verdict.holds());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod algorithms;
+pub mod independence;
+pub mod runner;
+pub mod sync;
+pub mod task;
+
+pub use independence::{
+    check_independence, isolated_run, isolated_run_no_fd, witnesses_independence, Family,
+    IsolationScheduler,
+};
+pub use task::{distinct_proposals, KSetTask, Val, Verdict};

@@ -1,0 +1,164 @@
+//! Convenience runners: one-liners for the common (algorithm, scheduler,
+//! crash plan) combinations used by tests, examples, and the experiment
+//! harness.
+
+use std::collections::BTreeSet;
+
+use kset_sim::sched::partition::{PartitionScheduler, ReleasePolicy};
+use kset_sim::sched::random::SeededRandom;
+use kset_sim::sched::round_robin::RoundRobin;
+use kset_sim::{CrashPlan, NoOracle, Oracle, Process, ProcessId, RunReport, Simulation};
+
+/// Runs an oracle-less algorithm under fair round-robin scheduling.
+pub fn run_round_robin<P>(
+    inputs: Vec<P::Input>,
+    plan: CrashPlan,
+    max_steps: u64,
+) -> RunReport<P::Output>
+where
+    P: Process<Fd = ()>,
+{
+    let mut sim: Simulation<P, NoOracle> = Simulation::new(inputs, plan);
+    sim.run_to_report(&mut RoundRobin::new(), max_steps)
+}
+
+/// Runs an oracle-less algorithm under seeded random scheduling.
+pub fn run_seeded<P>(
+    inputs: Vec<P::Input>,
+    plan: CrashPlan,
+    seed: u64,
+    max_steps: u64,
+) -> RunReport<P::Output>
+where
+    P: Process<Fd = ()>,
+{
+    let mut sim: Simulation<P, NoOracle> = Simulation::new(inputs, plan);
+    let mut sched = SeededRandom::new(seed).with_fairness_window(16);
+    sim.run_to_report(&mut sched, max_steps)
+}
+
+/// Runs an algorithm with a failure-detector oracle under round-robin.
+pub fn run_round_robin_with_oracle<P, O>(
+    inputs: Vec<P::Input>,
+    oracle: O,
+    plan: CrashPlan,
+    max_steps: u64,
+) -> RunReport<P::Output>
+where
+    P: Process,
+    P::Fd: std::hash::Hash,
+    O: Oracle<Sample = P::Fd>,
+{
+    let mut sim: Simulation<P, O> = Simulation::with_oracle(inputs, oracle, plan);
+    sim.run_to_report(&mut RoundRobin::new(), max_steps)
+}
+
+/// Runs an algorithm with a failure-detector oracle under seeded random
+/// scheduling.
+pub fn run_seeded_with_oracle<P, O>(
+    inputs: Vec<P::Input>,
+    oracle: O,
+    plan: CrashPlan,
+    seed: u64,
+    max_steps: u64,
+) -> RunReport<P::Output>
+where
+    P: Process,
+    P::Fd: std::hash::Hash,
+    O: Oracle<Sample = P::Fd>,
+{
+    let mut sim: Simulation<P, O> = Simulation::with_oracle(inputs, oracle, plan);
+    let mut sched = SeededRandom::new(seed).with_fairness_window(16);
+    sim.run_to_report(&mut sched, max_steps)
+}
+
+/// Runs an oracle-less algorithm under the partitioning adversary: messages
+/// between blocks are delayed until every alive process decided, then
+/// delivered.
+pub fn run_partitioned<P>(
+    inputs: Vec<P::Input>,
+    blocks: Vec<BTreeSet<ProcessId>>,
+    plan: CrashPlan,
+    max_steps: u64,
+) -> RunReport<P::Output>
+where
+    P: Process<Fd = ()>,
+{
+    let mut sim: Simulation<P, NoOracle> = Simulation::new(inputs, plan);
+    let mut sched = PartitionScheduler::new(blocks, ReleasePolicy::AfterAllDecided);
+    sim.run_to_report(&mut sched, max_steps)
+}
+
+/// As [`run_partitioned`], with an oracle.
+pub fn run_partitioned_with_oracle<P, O>(
+    inputs: Vec<P::Input>,
+    oracle: O,
+    blocks: Vec<BTreeSet<ProcessId>>,
+    plan: CrashPlan,
+    max_steps: u64,
+) -> RunReport<P::Output>
+where
+    P: Process,
+    P::Fd: std::hash::Hash,
+    O: Oracle<Sample = P::Fd>,
+{
+    let mut sim: Simulation<P, O> = Simulation::with_oracle(inputs, oracle, plan);
+    let mut sched = PartitionScheduler::new(blocks, ReleasePolicy::AfterAllDecided);
+    sim.run_to_report(&mut sched, max_steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::naive::DecideOwn;
+    use crate::algorithms::two_stage::{two_stage_inputs, TwoStage};
+    use crate::task::distinct_proposals;
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn round_robin_runner_works() {
+        let report =
+            run_round_robin::<DecideOwn>(distinct_proposals(3), CrashPlan::none(), 100);
+        assert!(report.all_correct_decided());
+    }
+
+    #[test]
+    fn seeded_runner_is_reproducible() {
+        let a = run_seeded::<TwoStage>(
+            two_stage_inputs(2, &distinct_proposals(4)),
+            CrashPlan::none(),
+            7,
+            100_000,
+        );
+        let b = run_seeded::<TwoStage>(
+            two_stage_inputs(2, &distinct_proposals(4)),
+            CrashPlan::none(),
+            7,
+            100_000,
+        );
+        assert_eq!(a.decisions, b.decisions);
+        assert_eq!(a.steps, b.steps);
+    }
+
+    #[test]
+    fn partitioned_runner_isolates_blocks() {
+        // Two-stage with L = 2 under a {p1,p2} | {p3,p4} partition: each
+        // block decides among its own values.
+        let n = 4;
+        let blocks: Vec<BTreeSet<ProcessId>> =
+            vec![[pid(0), pid(1)].into(), [pid(2), pid(3)].into()];
+        let report = run_partitioned::<TwoStage>(
+            two_stage_inputs(2, &distinct_proposals(n)),
+            blocks,
+            CrashPlan::none(),
+            100_000,
+        );
+        assert!(report.all_correct_decided());
+        assert_eq!(report.decisions[0], Some(0));
+        assert_eq!(report.decisions[2], Some(2));
+        assert_eq!(report.distinct_decisions.len(), 2);
+    }
+}

@@ -1,0 +1,191 @@
+//! Lock-step synchronous rounds: the fully favourable DDS model point.
+//!
+//! The paper's impossibility (Theorem 2 / Corollary 5) lives at model points
+//! with *asynchronous communication*. To exhibit the border it helps to also
+//! implement the fully favourable point — synchronous processes **and**
+//! synchronous communication — where classic round-based algorithms such as
+//! FloodMin solve k-set agreement for any number of crash failures. This
+//! module provides that substrate: a lock-step round executor with
+//! mid-round crash injection (a crashing process delivers its round message
+//! to an adversary-chosen subset of receivers, the synchronous analogue of
+//! final-step send omission).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use kset_sim::ProcessId;
+
+use crate::task::Val;
+
+/// A per-round state machine for the synchronous executor.
+pub trait RoundProcess: Clone + fmt::Debug {
+    /// The round-message type.
+    type Msg: Clone + fmt::Debug;
+
+    /// The message this process broadcasts in round `r` (rounds are
+    /// 1-based).
+    fn message(&self, round: usize) -> Self::Msg;
+
+    /// Receives the round-`r` messages (by sender; absent senders crashed
+    /// or omitted) and updates the state.
+    fn receive(&mut self, round: usize, msgs: &BTreeMap<ProcessId, Self::Msg>);
+
+    /// The decision, if the process has decided.
+    fn decision(&self) -> Option<Val>;
+}
+
+/// A crash scheduled in the synchronous executor: in round `round`, process
+/// `pid` sends its round message only to `receivers` and then crashes.
+#[derive(Debug, Clone)]
+pub struct RoundCrash {
+    /// The round in which the crash occurs (1-based).
+    pub round: usize,
+    /// The crashing process.
+    pub pid: ProcessId,
+    /// The receivers that still get the final round message.
+    pub receivers: BTreeSet<ProcessId>,
+}
+
+/// Outcome of a synchronous execution.
+#[derive(Debug, Clone)]
+pub struct SyncOutcome {
+    /// Per-process decisions.
+    pub decisions: Vec<Option<Val>>,
+    /// Which processes crashed during the execution.
+    pub crashed: BTreeSet<ProcessId>,
+    /// Rounds executed.
+    pub rounds: usize,
+}
+
+impl SyncOutcome {
+    /// The set of distinct decision values.
+    pub fn distinct_decisions(&self) -> BTreeSet<Val> {
+        self.decisions.iter().flatten().copied().collect()
+    }
+}
+
+/// Runs `rounds` lock-step rounds of processes initialized by `init`,
+/// applying the scheduled crashes.
+///
+/// # Panics
+///
+/// Panics if two crashes name the same process.
+pub fn run_sync<P: RoundProcess>(
+    mut procs: Vec<P>,
+    rounds: usize,
+    crashes: &[RoundCrash],
+) -> SyncOutcome {
+    let n = procs.len();
+    {
+        let mut seen = BTreeSet::new();
+        for c in crashes {
+            assert!(seen.insert(c.pid), "duplicate crash for {}", c.pid);
+        }
+    }
+    let mut crashed: BTreeSet<ProcessId> = BTreeSet::new();
+    for round in 1..=rounds {
+        // Send phase: every alive process emits its round message; crashing
+        // processes deliver to their chosen subset only.
+        let mut inboxes: Vec<BTreeMap<ProcessId, P::Msg>> = vec![BTreeMap::new(); n];
+        for (i, p) in procs.iter().enumerate() {
+            let pid = ProcessId::new(i);
+            if crashed.contains(&pid) {
+                continue;
+            }
+            let msg = p.message(round);
+            let crash_now = crashes.iter().find(|c| c.pid == pid && c.round == round);
+            for dst in ProcessId::all(n) {
+                let delivered = match crash_now {
+                    Some(c) => c.receivers.contains(&dst),
+                    None => true,
+                };
+                if delivered {
+                    inboxes[dst.index()].insert(pid, msg.clone());
+                }
+            }
+            if crash_now.is_some() {
+                crashed.insert(pid);
+            }
+        }
+        // Receive phase: every alive process consumes its round inbox.
+        for (i, p) in procs.iter_mut().enumerate() {
+            let pid = ProcessId::new(i);
+            if crashed.contains(&pid) {
+                continue;
+            }
+            p.receive(round, &inboxes[i]);
+        }
+    }
+    SyncOutcome {
+        decisions: procs.iter().map(RoundProcess::decision).collect(),
+        crashed,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Trivial echo: decides the number of senders heard in round 1.
+    #[derive(Debug, Clone)]
+    struct CountRound1 {
+        heard: Option<usize>,
+    }
+
+    impl RoundProcess for CountRound1 {
+        type Msg = ();
+
+        fn message(&self, _round: usize) {}
+
+        fn receive(&mut self, round: usize, msgs: &BTreeMap<ProcessId, ()>) {
+            if round == 1 {
+                self.heard = Some(msgs.len());
+            }
+        }
+
+        fn decision(&self) -> Option<Val> {
+            self.heard.map(|h| h as Val)
+        }
+    }
+
+    #[test]
+    fn all_alive_hear_everyone() {
+        let procs = vec![CountRound1 { heard: None }; 3];
+        let out = run_sync(procs, 1, &[]);
+        assert_eq!(out.decisions, vec![Some(3), Some(3), Some(3)]);
+        assert!(out.crashed.is_empty());
+    }
+
+    #[test]
+    fn mid_round_crash_partitions_receivers() {
+        // p1 crashes in round 1, reaching only p2.
+        let procs = vec![CountRound1 { heard: None }; 3];
+        let crash = RoundCrash {
+            round: 1,
+            pid: ProcessId::new(0),
+            receivers: [ProcessId::new(1)].into(),
+        };
+        let out = run_sync(procs, 1, &[crash]);
+        assert_eq!(out.decisions[1], Some(3), "p2 heard everyone incl. crasher");
+        assert_eq!(out.decisions[2], Some(2), "p3 missed the crasher");
+        assert_eq!(out.decisions[0], None, "crashed processes do not receive");
+        assert_eq!(out.crashed, [ProcessId::new(0)].into());
+    }
+
+    #[test]
+    fn crashed_process_sends_nothing_later() {
+        let procs = vec![CountRound1 { heard: None }; 2];
+        let crash = RoundCrash { round: 1, pid: ProcessId::new(0), receivers: BTreeSet::new() };
+        let out = run_sync(procs, 2, &[crash]);
+        assert_eq!(out.decisions[1], Some(1), "only its own message in round 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate crash")]
+    fn duplicate_crash_rejected() {
+        let procs = vec![CountRound1 { heard: None }; 2];
+        let c = |round| RoundCrash { round, pid: ProcessId::new(0), receivers: BTreeSet::new() };
+        let _ = run_sync(procs, 2, &[c(1), c(2)]);
+    }
+}

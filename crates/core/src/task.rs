@@ -1,0 +1,213 @@
+//! The k-set agreement task and run-level verdict checkers.
+//!
+//! Section II-A of the paper: processes must irrevocably set their outputs
+//! `y_p` based on proposal values `x_q ∈ V` such that
+//!
+//! * **k-Agreement** — at most `k` different decision values system-wide
+//!   (over correct *and* faulty processes);
+//! * **Validity** — every decision was proposed by some process;
+//! * **Termination** — every correct process eventually decides.
+//!
+//! `k = 1` is (uniform) consensus; `k = n − 1` is set agreement. The
+//! checkers in this module turn a finished [`RunReport`] into a
+//! [`Verdict`]; the whole test and experiment harness is built on them.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use kset_sim::RunReport;
+
+/// The proposal/decision value type used by all algorithms in this crate.
+///
+/// The paper assumes `|V| > n` so that runs where all processes propose
+/// distinct values exist; `u64` provides that in abundance.
+pub type Val = u64;
+
+/// A k-set agreement task instance over `n` processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KSetTask {
+    /// System size.
+    pub n: usize,
+    /// Maximum number of distinct decision values allowed.
+    pub k: usize,
+}
+
+impl KSetTask {
+    /// Creates a task instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ k` and `n ≥ 1`.
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(n >= 1, "need at least one process");
+        assert!(k >= 1, "k-set agreement needs k ≥ 1");
+        KSetTask { n, k }
+    }
+
+    /// The consensus instance (`k = 1`).
+    pub fn consensus(n: usize) -> Self {
+        Self::new(n, 1)
+    }
+
+    /// The set-agreement instance (`k = n − 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn set_agreement(n: usize) -> Self {
+        assert!(n >= 2, "set agreement needs n ≥ 2");
+        Self::new(n, n - 1)
+    }
+
+    /// Judges a finished run against the three properties.
+    pub fn judge(&self, proposals: &[Val], report: &RunReport<Val>) -> Verdict {
+        assert_eq!(proposals.len(), self.n, "one proposal per process");
+        let proposed: BTreeSet<Val> = proposals.iter().copied().collect();
+        let distinct = report.distinct_decisions.len();
+        let k_agreement = distinct <= self.k;
+        let validity = report
+            .distinct_decisions
+            .iter()
+            .all(|v| proposed.contains(v));
+        let termination = report.all_correct_decided();
+        let write_once = report.violations.is_empty();
+        Verdict { k_agreement, validity, termination, write_once, distinct }
+    }
+}
+
+/// The outcome of judging one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Verdict {
+    /// At most `k` distinct decisions.
+    pub k_agreement: bool,
+    /// Every decision was proposed.
+    pub validity: bool,
+    /// Every correct process decided.
+    pub termination: bool,
+    /// No write-once violation occurred.
+    pub write_once: bool,
+    /// The observed number of distinct decisions.
+    pub distinct: usize,
+}
+
+impl Verdict {
+    /// Whether the run satisfies all properties.
+    pub fn holds(&self) -> bool {
+        self.k_agreement && self.validity && self.termination && self.write_once
+    }
+
+    /// Whether the run satisfies the safety properties only (k-Agreement +
+    /// Validity + write-once) — used for runs that are intentionally cut
+    /// short.
+    pub fn safe(&self) -> bool {
+        self.k_agreement && self.validity && self.write_once
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "k-agreement: {} ({} distinct), validity: {}, termination: {}, write-once: {}",
+            self.k_agreement, self.distinct, self.validity, self.termination, self.write_once
+        )
+    }
+}
+
+/// Distinct proposal values `0, 1, …, n−1` — the worst case for agreement
+/// (the paper's impossibility runs all start from distinct proposals).
+pub fn distinct_proposals(n: usize) -> Vec<Val> {
+    (0..n as Val).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kset_sim::{FailurePattern, StopReason, Trace};
+
+    fn report(n: usize, decisions: Vec<Option<Val>>) -> RunReport<Val> {
+        let distinct: BTreeSet<Val> = decisions.iter().flatten().copied().collect();
+        RunReport {
+            decisions,
+            distinct_decisions: distinct,
+            failure_pattern: FailurePattern::all_correct(n),
+            violations: vec![],
+            stop: StopReason::AllCorrectDecided,
+            steps: 0,
+            trace: Trace::new(n),
+        }
+    }
+
+    #[test]
+    fn consensus_run_passes() {
+        let task = KSetTask::consensus(3);
+        let v = task.judge(&[5, 6, 7], &report(3, vec![Some(5), Some(5), Some(5)]));
+        assert!(v.holds());
+        assert_eq!(v.distinct, 1);
+    }
+
+    #[test]
+    fn too_many_decisions_fail_k_agreement() {
+        let task = KSetTask::new(3, 2);
+        let v = task.judge(&[5, 6, 7], &report(3, vec![Some(5), Some(6), Some(7)]));
+        assert!(!v.k_agreement);
+        assert!(v.validity);
+        assert_eq!(v.distinct, 3);
+        assert!(!v.holds());
+    }
+
+    #[test]
+    fn unproposed_value_fails_validity() {
+        let task = KSetTask::consensus(2);
+        let v = task.judge(&[5, 6], &report(2, vec![Some(9), Some(9)]));
+        assert!(!v.validity);
+        assert!(v.k_agreement);
+    }
+
+    #[test]
+    fn undecided_correct_process_fails_termination() {
+        let task = KSetTask::consensus(2);
+        let v = task.judge(&[5, 6], &report(2, vec![Some(5), None]));
+        assert!(!v.termination);
+        assert!(v.safe(), "safety holds even without termination");
+    }
+
+    #[test]
+    fn crashed_process_exempt_from_termination() {
+        let task = KSetTask::consensus(2);
+        let mut rep = report(2, vec![Some(5), None]);
+        rep.failure_pattern.record_crash(kset_sim::ProcessId::new(1), kset_sim::Time::new(1));
+        let v = task.judge(&[5, 6], &rep);
+        assert!(v.termination);
+        assert!(v.holds());
+    }
+
+    #[test]
+    fn faulty_decisions_still_count_for_agreement() {
+        // Uniform k-agreement: a crashed process's earlier decision counts.
+        let task = KSetTask::consensus(2);
+        let mut rep = report(2, vec![Some(5), Some(6)]);
+        rep.failure_pattern.record_crash(kset_sim::ProcessId::new(1), kset_sim::Time::new(9));
+        let v = task.judge(&[5, 6], &rep);
+        assert!(!v.k_agreement, "uniform agreement binds faulty decisions too");
+    }
+
+    #[test]
+    fn set_agreement_and_consensus_constructors() {
+        assert_eq!(KSetTask::set_agreement(5).k, 4);
+        assert_eq!(KSetTask::consensus(5).k, 1);
+    }
+
+    #[test]
+    fn distinct_proposals_are_distinct() {
+        let p = distinct_proposals(6);
+        let set: BTreeSet<Val> = p.iter().copied().collect();
+        assert_eq!(set.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "k ≥ 1")]
+    fn zero_k_rejected() {
+        let _ = KSetTask::new(3, 0);
+    }
+}

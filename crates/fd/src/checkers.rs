@@ -1,0 +1,398 @@
+//! History validity checkers: executable forms of Definitions 4, 5 and 7.
+//!
+//! The checkers are *oracles for finite histories*: they verify every
+//! finitely refutable aspect of the class definitions and project the
+//! "eventually" clauses onto the recorded horizon (documented per checker).
+//! They are used as test oracles — e.g. Lemma 9 ("every history of
+//! (Σ′k,Ω′k) is a history of (Σk,Ωk)") is verified by generating partition
+//! histories and feeding them to [`check_sigma_k`] / [`check_omega_k`].
+
+use std::collections::BTreeSet;
+
+use kset_sim::{FailurePattern, ProcessId, Time};
+
+use crate::history::History;
+use crate::samples::{LeaderSample, QuorumSample};
+
+/// A way a quorum history fails Σk (Definition 4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SigmaViolation {
+    /// `k + 1` pairwise disjoint quorums were output to `k + 1` distinct
+    /// processes — refuting the intersection property.
+    DisjointQuorums {
+        /// The witnessing `(process, query time)` pairs.
+        witnesses: Vec<(ProcessId, Time)>,
+    },
+    /// A correct process's final recorded sample still trusts a faulty
+    /// process — the finite-horizon refutation of the liveness property.
+    LivenessTail {
+        /// The querier whose tail sample is dirty.
+        pid: ProcessId,
+        /// The faulty process still trusted.
+        trusts: ProcessId,
+    },
+}
+
+/// A way a leader history fails Ωk (Definition 5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OmegaViolation {
+    /// A sample does not contain exactly `k` ids (Validity).
+    WrongSize {
+        /// The querier.
+        pid: ProcessId,
+        /// Query time.
+        time: Time,
+        /// Observed size.
+        size: usize,
+    },
+    /// The final samples of two processes disagree — no common `LD` at the
+    /// horizon (Eventual Leadership refuted on the prefix).
+    NotStabilized {
+        /// First process and its final sample.
+        a: ProcessId,
+        /// Second process with a different final sample.
+        b: ProcessId,
+    },
+    /// The stabilized leader set contains no correct process.
+    LeadersAllFaulty {
+        /// The stabilized set.
+        ld: LeaderSample,
+    },
+}
+
+/// Checks a quorum history against Σk (Definition 4).
+///
+/// * **Intersection** is checked exactly: the property fails iff there exist
+///   `k + 1` samples at `k + 1` *distinct* processes that are pairwise
+///   disjoint; we search for such a witness by backtracking.
+/// * **Liveness** (`∃t ∀t′>t ∀ correct p: H(p,t′) ∩ F = ∅`) is projected to
+///   the horizon: with `t` = the last dirty sample time, all later samples
+///   are clean by construction, so on a finite prefix the property can only
+///   be refuted by a correct process whose *final* sample still trusts a
+///   faulty process — which is what we flag. (A run extended long enough
+///   would turn such a tail into a genuine violation for detectors that
+///   never clean up.)
+pub fn check_sigma_k(
+    history: &History<QuorumSample>,
+    k: usize,
+    fp: &FailurePattern,
+) -> Result<(), SigmaViolation> {
+    // --- Intersection ---
+    if let Some(witnesses) = find_disjoint_family(history, k + 1) {
+        return Err(SigmaViolation::DisjointQuorums { witnesses });
+    }
+    // --- Liveness (finite-horizon projection) ---
+    let faulty = fp.faulty();
+    for p in fp.correct() {
+        if let Some((_, last)) = history.of_process(p).last() {
+            if let Some(bad) = last.iter().find(|q| faulty.contains(q)) {
+                return Err(SigmaViolation::LivenessTail { pid: p, trusts: *bad });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Searches for `family` pairwise-disjoint samples at distinct processes.
+/// Returns the witnessing `(process, time)` pairs if found.
+fn find_disjoint_family(
+    history: &History<QuorumSample>,
+    family: usize,
+) -> Option<Vec<(ProcessId, Time)>> {
+    // Distinct samples per process (dedup keeps the first time of each).
+    let queriers = history.queriers();
+    let mut per_proc: Vec<(ProcessId, Vec<(Time, &QuorumSample)>)> = Vec::new();
+    for p in queriers {
+        let mut distinct: Vec<(Time, &QuorumSample)> = Vec::new();
+        for (t, s) in history.of_process(p) {
+            if !distinct.iter().any(|(_, d)| *d == s) {
+                distinct.push((t, s));
+            }
+        }
+        if !distinct.is_empty() {
+            per_proc.push((p, distinct));
+        }
+    }
+    if per_proc.len() < family {
+        return None;
+    }
+    // Backtracking: a family is pairwise disjoint iff each member is
+    // disjoint from the union of the previously chosen ones.
+    fn rec(
+        per_proc: &[(ProcessId, Vec<(Time, &QuorumSample)>)],
+        idx: usize,
+        need: usize,
+        union: &BTreeSet<ProcessId>,
+        chosen: &mut Vec<(ProcessId, Time)>,
+    ) -> bool {
+        if need == 0 {
+            return true;
+        }
+        if per_proc.len() - idx < need {
+            return false;
+        }
+        // Option 1: skip this process.
+        if rec(per_proc, idx + 1, need, union, chosen) {
+            return true;
+        }
+        // Option 2: pick one of its samples disjoint from the union.
+        let (p, samples) = &per_proc[idx];
+        for (t, s) in samples {
+            if s.iter().all(|q| !union.contains(q)) {
+                let mut u2 = union.clone();
+                u2.extend(s.iter().copied());
+                chosen.push((*p, *t));
+                if rec(per_proc, idx + 1, need - 1, &u2, chosen) {
+                    return true;
+                }
+                chosen.pop();
+            }
+        }
+        false
+    }
+    let mut chosen = Vec::new();
+    if rec(&per_proc, 0, family, &BTreeSet::new(), &mut chosen) {
+        Some(chosen)
+    } else {
+        None
+    }
+}
+
+/// Checks a leader history against Ωk (Definition 5).
+///
+/// * **Validity** is exact: every sample must contain exactly `k` ids.
+/// * **Eventual Leadership** is projected to the horizon: the final samples
+///   of all queriers must agree on a common `LD` with
+///   `LD ∩ (Π \ F) ≠ ∅`. The implied `t_GST` (last time any sample differed
+///   from `LD`) is returned on success.
+pub fn check_omega_k(
+    history: &History<LeaderSample>,
+    k: usize,
+    fp: &FailurePattern,
+) -> Result<Time, OmegaViolation> {
+    // --- Validity ---
+    for (p, t, s) in history.iter() {
+        if s.len() != k {
+            return Err(OmegaViolation::WrongSize { pid: p, time: t, size: s.len() });
+        }
+    }
+    // --- Eventual leadership (finite-horizon projection) ---
+    // Only *correct* queriers are constrained: a process that crashes
+    // before t_GST may hold any pre-stabilization sample forever.
+    let correct = fp.correct();
+    let mut final_samples: Vec<(ProcessId, &LeaderSample)> = Vec::new();
+    for p in history.queriers() {
+        if !correct.contains(&p) {
+            continue;
+        }
+        if let Some((_, s)) = history.of_process(p).last() {
+            final_samples.push((p, s));
+        }
+    }
+    let Some((first_p, ld)) = final_samples.first().copied() else {
+        return Ok(Time::ZERO); // no correct querier: vacuously fine
+    };
+    for (p, s) in &final_samples[1..] {
+        if *s != ld {
+            return Err(OmegaViolation::NotStabilized { a: first_p, b: *p });
+        }
+    }
+    if !ld.iter().any(|q| correct.contains(q)) {
+        return Err(OmegaViolation::LeadersAllFaulty { ld: ld.clone() });
+    }
+    // t_GST = last time any sample differed from LD.
+    let tgst = history
+        .iter()
+        .filter(|(_, _, s)| *s != ld)
+        .map(|(_, t, _)| t)
+        .max()
+        .unwrap_or(Time::ZERO);
+    Ok(tgst)
+}
+
+/// Checks part 1 of Definition 7: for each partition block `Di`, the quorum
+/// history at the (alive) processes of `Di` is a valid Σ (= Σ1) history for
+/// the restricted model `⟨Di⟩` in which only members of `Di` are ever
+/// output.
+pub fn check_partition_sigma(
+    history: &History<QuorumSample>,
+    blocks: &[BTreeSet<ProcessId>],
+    fp: &FailurePattern,
+) -> Result<(), String> {
+    for (i, block) in blocks.iter().enumerate() {
+        let sub = history.restricted_to(block);
+        // Outputs must stay within the block (pre-crash queries only; a
+        // crashed process never queries, so every recorded sample counts).
+        for (p, t, s) in sub.iter() {
+            if !s.is_subset(block) {
+                return Err(format!(
+                    "block {i}: sample of {p} at {t} leaves the block: {s:?}"
+                ));
+            }
+        }
+        // Σ1 within the block, w.r.t. the failure pattern projected to it.
+        let fp_block = fp.projected_to(block);
+        check_sigma_k(&sub, 1, &fp_block)
+            .map_err(|v| format!("block {i}: Σ violated: {v:?}"))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn q(ids: &[usize]) -> QuorumSample {
+        ids.iter().map(|i| pid(*i)).collect()
+    }
+
+    #[test]
+    fn sigma1_accepts_intersecting_quorums() {
+        let mut h = History::new();
+        h.record(pid(0), Time::new(1), q(&[0, 1]));
+        h.record(pid(1), Time::new(2), q(&[1, 2]));
+        let fp = FailurePattern::all_correct(3);
+        assert!(check_sigma_k(&h, 1, &fp).is_ok());
+    }
+
+    #[test]
+    fn sigma1_rejects_two_disjoint_quorums() {
+        let mut h = History::new();
+        h.record(pid(0), Time::new(1), q(&[0]));
+        h.record(pid(1), Time::new(2), q(&[1]));
+        let fp = FailurePattern::all_correct(2);
+        let err = check_sigma_k(&h, 1, &fp).unwrap_err();
+        assert!(matches!(err, SigmaViolation::DisjointQuorums { ref witnesses } if witnesses.len() == 2));
+    }
+
+    #[test]
+    fn sigma2_tolerates_two_disjoint_but_not_three() {
+        let mut h = History::new();
+        h.record(pid(0), Time::new(1), q(&[0, 1]));
+        h.record(pid(2), Time::new(2), q(&[2, 3]));
+        let fp = FailurePattern::all_correct(6);
+        assert!(check_sigma_k(&h, 2, &fp).is_ok(), "only 2 disjoint: fine for Σ2");
+        h.record(pid(4), Time::new(3), q(&[4, 5]));
+        assert!(check_sigma_k(&h, 2, &fp).is_err(), "3 pairwise disjoint refute Σ2");
+    }
+
+    #[test]
+    fn disjointness_must_span_distinct_processes() {
+        // The same process outputting two disjoint quorums at different
+        // times does NOT refute Σ1 (the definition quantifies over k+1
+        // distinct processes).
+        let mut h = History::new();
+        h.record(pid(0), Time::new(1), q(&[1]));
+        h.record(pid(0), Time::new(2), q(&[2]));
+        let fp = FailurePattern::all_correct(3);
+        assert!(check_sigma_k(&h, 1, &fp).is_ok());
+    }
+
+    #[test]
+    fn sigma_liveness_tail_detected() {
+        let mut fp = FailurePattern::all_correct(2);
+        fp.record_crash(pid(1), Time::new(1));
+        let mut h = History::new();
+        // p0 (correct) ends still trusting crashed p1.
+        h.record(pid(0), Time::new(5), q(&[0, 1]));
+        let err = check_sigma_k(&h, 1, &fp).unwrap_err();
+        assert_eq!(err, SigmaViolation::LivenessTail { pid: pid(0), trusts: pid(1) });
+    }
+
+    #[test]
+    fn sigma_liveness_clean_tail_ok() {
+        let mut fp = FailurePattern::all_correct(2);
+        fp.record_crash(pid(1), Time::new(1));
+        let mut h = History::new();
+        h.record(pid(0), Time::new(2), q(&[0, 1])); // dirty, but not final
+        h.record(pid(0), Time::new(5), q(&[0]));
+        assert!(check_sigma_k(&h, 1, &fp).is_ok());
+    }
+
+    #[test]
+    fn omega_validity_checks_size() {
+        let mut h = History::new();
+        h.record(pid(0), Time::new(1), q(&[0, 1]));
+        let fp = FailurePattern::all_correct(2);
+        assert!(check_omega_k(&h, 2, &fp).is_ok());
+        let err = check_omega_k(&h, 1, &fp).unwrap_err();
+        assert!(matches!(err, OmegaViolation::WrongSize { size: 2, .. }));
+    }
+
+    #[test]
+    fn omega_stabilization_and_tgst() {
+        let mut h = History::new();
+        h.record(pid(0), Time::new(1), q(&[0]));
+        h.record(pid(1), Time::new(2), q(&[1])); // differs: pre-GST noise
+        h.record(pid(0), Time::new(3), q(&[1]));
+        h.record(pid(1), Time::new(4), q(&[1]));
+        let fp = FailurePattern::all_correct(2);
+        let tgst = check_omega_k(&h, 1, &fp).unwrap();
+        assert_eq!(tgst, Time::new(1), "last divergent sample is at t1");
+    }
+
+    #[test]
+    fn omega_unstabilized_rejected() {
+        let mut h = History::new();
+        h.record(pid(0), Time::new(1), q(&[0]));
+        h.record(pid(1), Time::new(2), q(&[1]));
+        let fp = FailurePattern::all_correct(2);
+        assert!(matches!(
+            check_omega_k(&h, 1, &fp),
+            Err(OmegaViolation::NotStabilized { .. })
+        ));
+    }
+
+    #[test]
+    fn omega_all_faulty_leaders_rejected() {
+        let mut fp = FailurePattern::all_correct(2);
+        fp.record_crash(pid(0), Time::new(1));
+        let mut h = History::new();
+        h.record(pid(1), Time::new(2), q(&[0]));
+        assert!(matches!(
+            check_omega_k(&h, 1, &fp),
+            Err(OmegaViolation::LeadersAllFaulty { .. })
+        ));
+    }
+
+    #[test]
+    fn partition_sigma_enforces_block_containment() {
+        let blocks: Vec<BTreeSet<ProcessId>> = vec![q(&[0, 1]), q(&[2, 3])];
+        let fp = FailurePattern::all_correct(4);
+        let mut h = History::new();
+        h.record(pid(0), Time::new(1), q(&[0, 1]));
+        h.record(pid(2), Time::new(2), q(&[2, 3]));
+        assert!(check_partition_sigma(&h, &blocks, &fp).is_ok());
+        // A sample leaking outside its block is rejected.
+        h.record(pid(0), Time::new(3), q(&[0, 2]));
+        assert!(check_partition_sigma(&h, &blocks, &fp)
+            .unwrap_err()
+            .contains("leaves the block"));
+    }
+
+    #[test]
+    fn partition_sigma_blocks_are_independent() {
+        // Disjoint quorums ACROSS blocks are fine for the partition
+        // detector (that is its whole point) even though they would refute
+        // plain Σ1 system-wide.
+        let blocks: Vec<BTreeSet<ProcessId>> = vec![q(&[0]), q(&[1])];
+        let fp = FailurePattern::all_correct(2);
+        let mut h = History::new();
+        h.record(pid(0), Time::new(1), q(&[0]));
+        h.record(pid(1), Time::new(2), q(&[1]));
+        assert!(check_partition_sigma(&h, &blocks, &fp).is_ok());
+        assert!(check_sigma_k(&h, 1, &fp).is_err());
+    }
+
+    #[test]
+    fn empty_history_is_valid_everything() {
+        let h: History<QuorumSample> = History::new();
+        let fp = FailurePattern::all_correct(3);
+        assert!(check_sigma_k(&h, 1, &fp).is_ok());
+        assert!(check_omega_k(&h, 1, &fp).is_ok());
+    }
+}

@@ -1,0 +1,153 @@
+//! Ωk oracles: generalized leader detectors (Definition 5 of the paper).
+//!
+//! [`EventualLeaderOmega`] is the canonical *planned-stabilization*
+//! generator: before a configured `t_GST` it emits per-querier "noise" (a
+//! deterministic window of k ids around the querier — different processes
+//! see different leaders, as real Ω implementations do during chaos); from
+//! `t_GST` on, every query returns the same fixed set `LD`. The caller
+//! chooses `LD`; Definition 5 requires `LD ∩ (Π \ F) ≠ ∅`, which the
+//! history checker [`crate::checkers::check_omega_k`] verifies against the
+//! actual failure pattern.
+
+use std::collections::BTreeSet;
+
+use kset_sim::{FailurePattern, Oracle, ProcessId, Time};
+
+use crate::samples::LeaderSample;
+
+/// Ωk oracle with planned stabilization.
+#[derive(Debug, Clone)]
+pub struct EventualLeaderOmega {
+    n: usize,
+    k: usize,
+    tgst: Time,
+    ld: LeaderSample,
+}
+
+impl EventualLeaderOmega {
+    /// Creates an Ωk oracle that stabilizes on `ld` strictly after `tgst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `|ld| != k`, `k` is zero or exceeds `n`, or `ld` contains
+    /// out-of-range ids.
+    pub fn new(n: usize, k: usize, tgst: Time, ld: LeaderSample) -> Self {
+        assert!(k >= 1 && k <= n, "Ωk needs 1 ≤ k ≤ n");
+        assert_eq!(ld.len(), k, "LD must contain exactly k ids");
+        assert!(ld.iter().all(|p| p.index() < n), "LD id out of range");
+        EventualLeaderOmega { n, k, tgst, ld }
+    }
+
+    /// An Ω1 oracle stabilizing on a single `leader`.
+    pub fn single(n: usize, tgst: Time, leader: ProcessId) -> Self {
+        Self::new(n, 1, tgst, [leader].into())
+    }
+
+    /// The stabilization time.
+    pub fn tgst(&self) -> Time {
+        self.tgst
+    }
+
+    /// The final leader set `LD`.
+    pub fn ld(&self) -> &LeaderSample {
+        &self.ld
+    }
+
+    /// The deterministic pre-GST noise for querier `p`: the window of `k`
+    /// ids `{p, p+1, …, p+k−1}` (mod n). Distinct queriers see distinct
+    /// sets (for k < n), modelling pre-stabilization disagreement.
+    fn noise(&self, p: ProcessId) -> LeaderSample {
+        (0..self.k)
+            .map(|i| ProcessId::new((p.index() + i) % self.n))
+            .collect()
+    }
+}
+
+impl Oracle for EventualLeaderOmega {
+    type Sample = LeaderSample;
+
+    fn sample(&mut self, p: ProcessId, t: Time, _observed: &FailurePattern) -> LeaderSample {
+        if t > self.tgst {
+            self.ld.clone()
+        } else {
+            self.noise(p)
+        }
+    }
+}
+
+/// A window-of-ids helper used by several oracles: the `k` smallest ids of
+/// `pool`, padded (if the pool is too small) with the smallest ids of
+/// `0..n` not already chosen.
+pub(crate) fn k_window(pool: &BTreeSet<ProcessId>, k: usize, n: usize) -> LeaderSample {
+    let mut out: LeaderSample = pool.iter().copied().take(k).collect();
+    let mut filler = ProcessId::all(n);
+    while out.len() < k {
+        let next = filler.next().expect("k ≤ n guarantees enough filler ids");
+        out.insert(next);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkers::check_omega_k;
+    use crate::history::History;
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn stabilizes_after_tgst() {
+        let mut omega = EventualLeaderOmega::single(4, Time::new(5), pid(2));
+        let fp = FailurePattern::all_correct(4);
+        let pre = omega.sample(pid(0), Time::new(3), &fp);
+        assert_eq!(pre, [pid(0)].into(), "pre-GST noise is the querier window");
+        let post = omega.sample(pid(0), Time::new(6), &fp);
+        assert_eq!(post, [pid(2)].into());
+        let post_b = omega.sample(pid(3), Time::new(9), &fp);
+        assert_eq!(post_b, [pid(2)].into(), "all queriers agree after GST");
+    }
+
+    #[test]
+    fn noise_windows_have_size_k() {
+        let mut omega = EventualLeaderOmega::new(5, 3, Time::new(10), [pid(0), pid(1), pid(2)].into());
+        let fp = FailurePattern::all_correct(5);
+        for i in 0..5 {
+            let s = omega.sample(pid(i), Time::new(1), &fp);
+            assert_eq!(s.len(), 3);
+        }
+        // Wrap-around window of p4: {4, 0, 1}.
+        let s = omega.sample(pid(4), Time::new(1), &fp);
+        assert_eq!(s, [pid(4), pid(0), pid(1)].into());
+    }
+
+    #[test]
+    fn generated_history_passes_omega_checker() {
+        let mut omega = EventualLeaderOmega::new(4, 2, Time::new(4), [pid(1), pid(3)].into());
+        let fp = FailurePattern::all_correct(4);
+        let mut h = History::new();
+        for t in 1..12u64 {
+            let p = pid((t % 4) as usize);
+            let s = omega.sample(p, Time::new(t), &fp);
+            h.record(p, Time::new(t), s);
+        }
+        let tgst = check_omega_k(&h, 2, &fp).unwrap();
+        assert!(tgst <= Time::new(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly k ids")]
+    fn wrong_ld_size_rejected() {
+        let _ = EventualLeaderOmega::new(4, 2, Time::ZERO, [pid(0)].into());
+    }
+
+    #[test]
+    fn k_window_pads_from_universe() {
+        let pool: BTreeSet<ProcessId> = [pid(3)].into();
+        let w = k_window(&pool, 3, 5);
+        assert_eq!(w, [pid(3), pid(0), pid(1)].into());
+        assert_eq!(k_window(&BTreeSet::new(), 2, 4), [pid(0), pid(1)].into());
+    }
+}

@@ -1,0 +1,319 @@
+//! The partition failure detector (Σ′k, Ω′k) of Definition 7, and the
+//! realistic combined (Σk, Ωk) oracle.
+//!
+//! Definition 7 fixes a partitioning `{D1, …, D(k−1), Dk}` of Π (with
+//! `D̄ = Dk`) and strengthens (Σk, Ωk) just enough to keep the proofs of
+//! Lemmas 11/12 simple while still *allowing up to k partitions*:
+//!
+//! 1. the Σ′k output at every process of `Di` is a valid Σ (= Σ1) history
+//!    **of the restricted model ⟨Di⟩** — only members of `Di` are ever
+//!    output;
+//! 2. Ω′k = Ωk: a common leader set `LD` (of size k, intersecting the
+//!    correct processes) from some stabilization time `t_GST` on.
+//!
+//! Lemma 9 — every (Σ′k,Ω′k) history is a (Σk,Ωk) history — is checked
+//! executably in this crate's tests by feeding [`PartitionSigmaOmega`]
+//! histories to the Σk/Ωk oracles of [`crate::checkers`].
+
+use std::collections::BTreeSet;
+
+use kset_sim::{FailurePattern, Oracle, ProcessId, Time};
+
+use crate::omega::k_window;
+use crate::samples::{LeaderSample, QuorumSample, SigmaOmegaSample};
+
+/// The partition detector (Σ′k, Ω′k).
+///
+/// * Σ′ samples for `p ∈ Di`: the not-yet-crashed members of `Di` — nested
+///   and nonempty while `p` is alive, hence a valid Σ1 history of `⟨Di⟩`.
+/// * Ω′ samples: before `t_GST`, the k-window of the querier's own block
+///   (each block sees leaders from inside itself — exactly what lets every
+///   block decide in splendid isolation in Lemma 12); after `t_GST`, the
+///   fixed set `LD`.
+#[derive(Debug, Clone)]
+pub struct PartitionSigmaOmega {
+    n: usize,
+    k: usize,
+    blocks: Vec<BTreeSet<ProcessId>>,
+    tgst: Time,
+    ld: LeaderSample,
+}
+
+impl PartitionSigmaOmega {
+    /// Creates the detector for a partitioning of `Π` into `blocks`
+    /// (`D1, …, Dk` in the paper's notation — the last block plays `D̄`),
+    /// stabilizing on `ld` strictly after `tgst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blocks do not partition `0..n`, if `|ld| != k` where
+    /// `k = blocks.len()`, or if `ld` contains out-of-range ids.
+    pub fn new(n: usize, blocks: Vec<BTreeSet<ProcessId>>, tgst: Time, ld: LeaderSample) -> Self {
+        let k = blocks.len();
+        assert!(k >= 1, "at least one block");
+        let mut seen: BTreeSet<ProcessId> = BTreeSet::new();
+        for b in &blocks {
+            assert!(!b.is_empty(), "blocks must be nonempty");
+            for p in b {
+                assert!(p.index() < n, "block member out of range");
+                assert!(seen.insert(*p), "blocks must be disjoint");
+            }
+        }
+        assert_eq!(seen.len(), n, "blocks must cover Π");
+        assert_eq!(ld.len(), k, "LD must contain exactly k = #blocks ids");
+        assert!(ld.iter().all(|p| p.index() < n), "LD id out of range");
+        PartitionSigmaOmega { n, k, blocks, tgst, ld }
+    }
+
+    /// The number of blocks `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The partition blocks.
+    pub fn blocks(&self) -> &[BTreeSet<ProcessId>] {
+        &self.blocks
+    }
+
+    /// The stabilization time.
+    pub fn tgst(&self) -> Time {
+        self.tgst
+    }
+
+    /// Replaces the stabilized leader set (used when pasting runs per
+    /// Lemma 11 step 5: choose a fresh `t_GST` and `LD` for the combined
+    /// run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `|ld| != k`.
+    pub fn restabilize(&mut self, tgst: Time, ld: LeaderSample) {
+        assert_eq!(ld.len(), self.k, "LD must contain exactly k ids");
+        self.tgst = tgst;
+        self.ld = ld;
+    }
+
+    /// The block containing `p`.
+    pub fn block_of(&self, p: ProcessId) -> &BTreeSet<ProcessId> {
+        self.blocks
+            .iter()
+            .find(|b| b.contains(&p))
+            .expect("blocks cover Π")
+    }
+
+    fn sigma_sample(&self, p: ProcessId, t: Time, observed: &FailurePattern) -> QuorumSample {
+        let alive: QuorumSample = self
+            .block_of(p)
+            .iter()
+            .copied()
+            .filter(|q| !observed.is_crashed(*q, t))
+            .collect();
+        if alive.is_empty() {
+            // p itself is the last member standing (it is querying, so it
+            // has not crashed *before* t; the observed pattern may list its
+            // crash at exactly t when this is its final step).
+            [p].into()
+        } else {
+            alive
+        }
+    }
+
+    fn omega_sample(&self, p: ProcessId, t: Time) -> LeaderSample {
+        if t > self.tgst {
+            self.ld.clone()
+        } else {
+            k_window(self.block_of(p), self.k, self.n)
+        }
+    }
+}
+
+impl Oracle for PartitionSigmaOmega {
+    type Sample = SigmaOmegaSample;
+
+    fn sample(&mut self, p: ProcessId, t: Time, observed: &FailurePattern) -> SigmaOmegaSample {
+        SigmaOmegaSample::new(self.sigma_sample(p, t, observed), self.omega_sample(p, t))
+    }
+}
+
+/// The realistic combined (Σk, Ωk) oracle for the *possibility* side: Σ
+/// trusts the not-yet-crashed processes system-wide (a valid Σ1 ⊆ Σk
+/// history), Ωk stabilizes on a configured leader set.
+#[derive(Debug, Clone)]
+pub struct RealisticSigmaOmega {
+    n: usize,
+    k: usize,
+    tgst: Time,
+    ld: LeaderSample,
+}
+
+impl RealisticSigmaOmega {
+    /// Creates the oracle; `ld` must contain exactly `k` ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatches, as for
+    /// [`crate::omega::EventualLeaderOmega`].
+    pub fn new(n: usize, k: usize, tgst: Time, ld: LeaderSample) -> Self {
+        assert!(k >= 1 && k <= n, "need 1 ≤ k ≤ n");
+        assert_eq!(ld.len(), k, "LD must contain exactly k ids");
+        RealisticSigmaOmega { n, k, tgst, ld }
+    }
+
+    /// The (Σ, Ω) instance (k = 1) stabilizing on `leader` — the weakest
+    /// failure detector for consensus, used on the k = 1 endpoint of
+    /// Corollary 13.
+    pub fn consensus(n: usize, tgst: Time, leader: ProcessId) -> Self {
+        Self::new(n, 1, tgst, [leader].into())
+    }
+}
+
+impl Oracle for RealisticSigmaOmega {
+    type Sample = SigmaOmegaSample;
+
+    fn sample(&mut self, p: ProcessId, t: Time, observed: &FailurePattern) -> SigmaOmegaSample {
+        let sigma: QuorumSample = ProcessId::all(self.n)
+            .filter(|q| !observed.is_crashed(*q, t))
+            .collect();
+        let omega = if t > self.tgst {
+            self.ld.clone()
+        } else {
+            k_window(&[p].into(), self.k, self.n)
+        };
+        SigmaOmegaSample::new(sigma, omega)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkers::{check_omega_k, check_partition_sigma, check_sigma_k};
+    use crate::history::History;
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    /// Theorem 10 layout for n = 6, k = 3: D1 = {p1}, D2 = {p2},
+    /// D̄ = {p3..p6}.
+    fn theorem10_blocks() -> Vec<BTreeSet<ProcessId>> {
+        vec![[pid(0)].into(), [pid(1)].into(), [pid(2), pid(3), pid(4), pid(5)].into()]
+    }
+
+    fn sample_everything(
+        oracle: &mut PartitionSigmaOmega,
+        fp: &FailurePattern,
+        horizon: u64,
+    ) -> (History<QuorumSample>, History<LeaderSample>) {
+        let mut hs = History::new();
+        let mut ho = History::new();
+        for t in 1..=horizon {
+            let p = pid((t % 6) as usize);
+            if fp.is_crashed(p, Time::new(t)) {
+                continue;
+            }
+            let s = oracle.sample(p, Time::new(t), fp);
+            hs.record(p, Time::new(t), s.sigma);
+            ho.record(p, Time::new(t), s.omega);
+        }
+        (hs, ho)
+    }
+
+    #[test]
+    fn sigma_prime_stays_in_block() {
+        let mut oracle =
+            PartitionSigmaOmega::new(6, theorem10_blocks(), Time::new(10), [pid(0), pid(1), pid(2)].into());
+        let fp = FailurePattern::all_correct(6);
+        let s = oracle.sample(pid(3), Time::new(1), &fp);
+        assert_eq!(s.sigma, [pid(2), pid(3), pid(4), pid(5)].into());
+        let s1 = oracle.sample(pid(0), Time::new(2), &fp);
+        assert_eq!(s1.sigma, [pid(0)].into());
+    }
+
+    #[test]
+    fn partition_histories_satisfy_definition7_part1() {
+        let blocks = theorem10_blocks();
+        let mut oracle =
+            PartitionSigmaOmega::new(6, blocks.clone(), Time::new(20), [pid(0), pid(1), pid(2)].into());
+        let mut fp = FailurePattern::all_correct(6);
+        fp.record_crash(pid(4), Time::new(9));
+        let (hs, _) = sample_everything(&mut oracle, &fp, 40);
+        check_partition_sigma(&hs, &blocks, &fp).unwrap();
+    }
+
+    #[test]
+    fn lemma9_histories_also_satisfy_sigma_k_and_omega_k() {
+        // Lemma 9: (Σk,Ωk) is weaker than (Σ′k,Ω′k) — every partition
+        // history passes the plain Σk and Ωk checkers.
+        let blocks = theorem10_blocks();
+        let k = blocks.len();
+        let mut oracle =
+            PartitionSigmaOmega::new(6, blocks, Time::new(15), [pid(0), pid(1), pid(2)].into());
+        let fp = FailurePattern::all_correct(6);
+        let (hs, ho) = sample_everything(&mut oracle, &fp, 40);
+        check_sigma_k(&hs, k, &fp).unwrap();
+        check_omega_k(&ho, k, &fp).unwrap();
+    }
+
+    #[test]
+    fn sigma_k_minus_one_would_be_violated() {
+        // The same histories REFUTE Σ_{k−1}: the k blocks provide k pairwise
+        // disjoint quorums — that is exactly the partitioning power.
+        let blocks = theorem10_blocks();
+        let mut oracle =
+            PartitionSigmaOmega::new(6, blocks, Time::new(15), [pid(0), pid(1), pid(2)].into());
+        let fp = FailurePattern::all_correct(6);
+        let (hs, _) = sample_everything(&mut oracle, &fp, 40);
+        assert!(check_sigma_k(&hs, 2, &fp).is_err(), "3 disjoint quorums refute Σ2");
+    }
+
+    #[test]
+    fn omega_prime_pre_gst_points_into_own_block() {
+        let mut oracle =
+            PartitionSigmaOmega::new(6, theorem10_blocks(), Time::new(50), [pid(0), pid(1), pid(2)].into());
+        let fp = FailurePattern::all_correct(6);
+        let s = oracle.sample(pid(4), Time::new(1), &fp);
+        // D̄ = {p3..p6}: window = 3 smallest members {2,3,4}.
+        assert_eq!(s.omega, [pid(2), pid(3), pid(4)].into());
+        assert!(s.omega.iter().any(|q| oracle.block_of(pid(4)).contains(q)));
+    }
+
+    #[test]
+    fn restabilize_changes_ld() {
+        let mut oracle =
+            PartitionSigmaOmega::new(6, theorem10_blocks(), Time::new(5), [pid(0), pid(1), pid(2)].into());
+        oracle.restabilize(Time::new(100), [pid(3), pid(4), pid(5)].into());
+        let fp = FailurePattern::all_correct(6);
+        let pre = oracle.sample(pid(0), Time::new(50), &fp);
+        assert_eq!(pre.omega, [pid(0), pid(1), pid(2)].into(), "back to noise until new GST");
+        let post = oracle.sample(pid(0), Time::new(101), &fp);
+        assert_eq!(post.omega, [pid(3), pid(4), pid(5)].into());
+    }
+
+    #[test]
+    #[should_panic(expected = "cover")]
+    fn non_covering_blocks_rejected() {
+        let _ = PartitionSigmaOmega::new(
+            3,
+            vec![[pid(0)].into(), [pid(1)].into()],
+            Time::ZERO,
+            [pid(0), pid(1)].into(),
+        );
+    }
+
+    #[test]
+    fn realistic_oracle_histories_validate() {
+        let mut oracle = RealisticSigmaOmega::consensus(4, Time::new(8), pid(1));
+        let mut fp = FailurePattern::all_correct(4);
+        fp.record_crash(pid(3), Time::new(3));
+        let mut hs = History::new();
+        let mut ho = History::new();
+        for t in 1..30u64 {
+            let p = pid((t % 3) as usize); // p4 crashed; only p1..p3 query
+            let s = oracle.sample(p, Time::new(t), &fp);
+            hs.record(p, Time::new(t), s.sigma);
+            ho.record(p, Time::new(t), s.omega);
+        }
+        check_sigma_k(&hs, 1, &fp).unwrap();
+        check_omega_k(&ho, 1, &fp).unwrap();
+    }
+}

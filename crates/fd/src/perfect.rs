@@ -1,0 +1,124 @@
+//! The perfect failure detector P.
+//!
+//! The strongest class of Chandra–Toueg's hierarchy: *strong accuracy* (no
+//! process is suspected before it crashes) and *strong completeness*
+//! (eventually every crashed process is suspected by every correct
+//! process). With P, consensus is solvable for any number of crash
+//! failures — the workspace uses it as the dimension-6 contrast point: the
+//! same asynchronous system where Theorem 2 rules out 1-resilient
+//! consensus becomes (n−1)-resilient once dimension 6 turns favourable
+//! with a strong enough detector.
+
+use std::collections::BTreeSet;
+
+use kset_sim::{FailurePattern, Oracle, ProcessId, Time};
+
+/// Output of P: the set of currently *suspected* processes.
+pub type SuspectSample = BTreeSet<ProcessId>;
+
+/// A perfect failure detector driven by the observed failure pattern: it
+/// suspects exactly the processes that have already crashed.
+///
+/// * Strong accuracy: `H(p, t) ⊆ F(t)` by construction.
+/// * Strong completeness: once `q` crashes, every later sample contains
+///   `q`.
+#[derive(Debug, Clone, Default)]
+pub struct PerfectOracle;
+
+impl PerfectOracle {
+    /// Creates the oracle.
+    pub fn new() -> Self {
+        PerfectOracle
+    }
+}
+
+impl Oracle for PerfectOracle {
+    type Sample = SuspectSample;
+
+    fn sample(&mut self, _p: ProcessId, t: Time, observed: &FailurePattern) -> SuspectSample {
+        observed.crashed_at(t)
+    }
+}
+
+/// Checks a suspect history against the P specification on the finite
+/// horizon: accuracy exactly (no sample may suspect a process before its
+/// crash time), completeness projected (the final sample of every correct
+/// process contains every process that crashed before it).
+pub fn check_perfect(
+    history: &crate::history::History<SuspectSample>,
+    fp: &FailurePattern,
+) -> Result<(), String> {
+    for (p, t, s) in history.iter() {
+        for q in s {
+            if !fp.is_crashed(*q, t) {
+                return Err(format!("accuracy violated: {p} suspects alive {q} at {t}"));
+            }
+        }
+    }
+    for p in fp.correct() {
+        if let Some((t, last)) = history.of_process(p).last() {
+            for q in fp.crashed_at(t) {
+                // Allow the crash at exactly t (the sample may predate the
+                // crash within the same instant).
+                if fp.crash_time(q).map(|c| c < t).unwrap_or(false) && !last.contains(&q) {
+                    return Err(format!(
+                        "completeness violated: {p}'s final sample at {t} misses crashed {q}"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::History;
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn suspects_exactly_the_crashed() {
+        let mut oracle = PerfectOracle::new();
+        let mut fp = FailurePattern::all_correct(3);
+        assert!(oracle.sample(pid(0), Time::new(1), &fp).is_empty());
+        fp.record_crash(pid(2), Time::new(2));
+        assert_eq!(oracle.sample(pid(0), Time::new(3), &fp), [pid(2)].into());
+        assert!(oracle.sample(pid(0), Time::new(1), &fp).is_empty(), "not before the crash");
+    }
+
+    #[test]
+    fn generated_history_is_valid() {
+        let mut oracle = PerfectOracle::new();
+        let mut fp = FailurePattern::all_correct(3);
+        let mut h = History::new();
+        for t in 1..10u64 {
+            if t == 4 {
+                fp.record_crash(pid(1), Time::new(4));
+            }
+            let s = oracle.sample(pid(0), Time::new(t), &fp);
+            h.record(pid(0), Time::new(t), s);
+        }
+        check_perfect(&h, &fp).unwrap();
+    }
+
+    #[test]
+    fn checker_rejects_false_suspicion() {
+        let fp = FailurePattern::all_correct(2);
+        let mut h = History::new();
+        h.record(pid(0), Time::new(1), SuspectSample::from([pid(1)]));
+        assert!(check_perfect(&h, &fp).unwrap_err().contains("accuracy"));
+    }
+
+    #[test]
+    fn checker_rejects_missing_suspicion() {
+        let mut fp = FailurePattern::all_correct(2);
+        fp.record_crash(pid(1), Time::new(1));
+        let mut h = History::new();
+        h.record(pid(0), Time::new(9), SuspectSample::new());
+        assert!(check_perfect(&h, &fp).unwrap_err().contains("completeness"));
+    }
+}

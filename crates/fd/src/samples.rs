@@ -1,0 +1,62 @@
+//! Sample types produced by the failure-detector classes.
+
+use std::collections::BTreeSet;
+
+use kset_sim::ProcessId;
+
+/// Output of a quorum detector of class Σk: a set of *trusted* process ids
+/// (Definition 4 of the paper).
+pub type QuorumSample = BTreeSet<ProcessId>;
+
+/// Output of a leader detector of class Ωk: a set of exactly `k` *leader
+/// candidates* (Definition 5 of the paper).
+pub type LeaderSample = BTreeSet<ProcessId>;
+
+/// Combined sample of the pair (Σk, Ωk) — the detector family
+/// `(Σk, Ωk)_{1 ≤ k ≤ n−1}` of Bonnet and Raynal whose k-set-agreement power
+/// Theorem 10 delimits.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SigmaOmegaSample {
+    /// The Σk component: trusted quorum.
+    pub sigma: QuorumSample,
+    /// The Ωk component: leader candidates (|omega| = k).
+    pub omega: LeaderSample,
+}
+
+impl SigmaOmegaSample {
+    /// Creates a combined sample.
+    pub fn new(sigma: QuorumSample, omega: LeaderSample) -> Self {
+        SigmaOmegaSample { sigma, omega }
+    }
+}
+
+/// Output of the loneliness detector L: `true` means "you may be the only
+/// correct process" (see Biely–Robinson–Schmid OPODIS'09 and
+/// Delporte-Gallet et al., DISC'08).
+///
+/// Specification:
+/// * **Safety (PL)**: there is at least one process at which the output is
+///   `false` forever;
+/// * **Liveness (AL)**: if exactly one process is correct, its output is
+///   eventually `true` forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LonelinessSample(pub bool);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combined_sample_roundtrip() {
+        let sigma: QuorumSample = [ProcessId::new(0), ProcessId::new(1)].into();
+        let omega: LeaderSample = [ProcessId::new(1)].into();
+        let s = SigmaOmegaSample::new(sigma.clone(), omega.clone());
+        assert_eq!(s.sigma, sigma);
+        assert_eq!(s.omega, omega);
+    }
+
+    #[test]
+    fn loneliness_is_a_bool_wrapper() {
+        assert_ne!(LonelinessSample(true), LonelinessSample(false));
+    }
+}

@@ -1,0 +1,88 @@
+//! Realistic Σ oracles.
+//!
+//! [`TrustAliveSigma`] outputs the set of processes that have not crashed
+//! yet. Its samples are nested (shrinking over time), and any two nonempty
+//! nested sets intersect, so the intersection property of Σ1 — and a
+//! fortiori Σk for every k — holds; once all faulty processes have crashed
+//! the output equals the correct set, giving liveness. This is the
+//! "perfect-information" quorum detector used on the possibility side
+//! (experiment E5).
+
+use kset_sim::{FailurePattern, Oracle, ProcessId, Time};
+
+use crate::samples::QuorumSample;
+
+/// Σ oracle trusting exactly the not-yet-crashed processes.
+///
+/// # Examples
+///
+/// ```
+/// use kset_fd::TrustAliveSigma;
+/// use kset_sim::{FailurePattern, Oracle, ProcessId, Time};
+///
+/// let mut sigma = TrustAliveSigma::new(3);
+/// let mut fp = FailurePattern::all_correct(3);
+/// fp.record_crash(ProcessId::new(2), Time::new(1));
+/// let s = sigma.sample(ProcessId::new(0), Time::new(2), &fp);
+/// assert_eq!(s, [ProcessId::new(0), ProcessId::new(1)].into());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrustAliveSigma {
+    n: usize,
+}
+
+impl TrustAliveSigma {
+    /// Creates the oracle for a system of `n` processes.
+    pub fn new(n: usize) -> Self {
+        TrustAliveSigma { n }
+    }
+}
+
+impl Oracle for TrustAliveSigma {
+    type Sample = QuorumSample;
+
+    fn sample(&mut self, _p: ProcessId, t: Time, observed: &FailurePattern) -> QuorumSample {
+        ProcessId::all(self.n)
+            .filter(|q| !observed.is_crashed(*q, t))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkers::check_sigma_k;
+    use crate::history::History;
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn samples_shrink_with_crashes() {
+        let mut sigma = TrustAliveSigma::new(3);
+        let mut fp = FailurePattern::all_correct(3);
+        let s1 = sigma.sample(pid(0), Time::new(1), &fp);
+        assert_eq!(s1.len(), 3);
+        fp.record_crash(pid(1), Time::new(2));
+        let s2 = sigma.sample(pid(0), Time::new(3), &fp);
+        assert_eq!(s2, [pid(0), pid(2)].into());
+        assert!(s2.is_subset(&s1), "samples are nested");
+    }
+
+    #[test]
+    fn histories_validate_as_sigma1() {
+        let mut sigma = TrustAliveSigma::new(4);
+        let mut fp = FailurePattern::all_correct(4);
+        let mut h = History::new();
+        for t in 1..10u64 {
+            if t == 4 {
+                fp.record_crash(pid(3), Time::new(4));
+            }
+            let p = pid((t % 3) as usize);
+            let s = sigma.sample(p, Time::new(t), &fp);
+            h.record(p, Time::new(t), s);
+        }
+        assert!(check_sigma_k(&h, 1, &fp).is_ok());
+    }
+}

@@ -1,0 +1,277 @@
+//! Failure-detector transformations and the comparison relation.
+//!
+//! Section II-C of the paper: an algorithm `A_{D→D′}` *transforms* `D`
+//! into `D′` if processes maintain output variables that emulate histories
+//! of `D′` admissible for the same failure pattern. `D′` is *weaker* than
+//! `D` when such a transformation exists; the hierarchy (weaker / strictly
+//! weaker / equivalent / incomparable) is built on this.
+//!
+//! Our transformations are *history-level* (sample-to-sample, stateful per
+//! process), which covers every transformation the paper actually uses:
+//!
+//! * [`PartitionToPlain`] — the **identity** transformation behind
+//!   Lemma 9: every (Σ′k, Ω′k) sample *is* a (Σk, Ωk) sample; validity of
+//!   the emulated history is what the lemma proves (and what the checkers
+//!   verify on the wire).
+//! * [`GammaToOmega2`] — the extraction in Theorem 10's condition (C):
+//!   from the constrained leader oracle Γ (an Ωk whose stabilized set
+//!   intersects `D̄` in exactly two processes `ps`, `pt`), emulate Ω2 for
+//!   the subsystem `D̄` by projecting the sample onto `D̄` and padding to
+//!   two ids. Since (Σ, Ω2) is strictly weaker than (Σ, Ω) (Neiger), this
+//!   is why the restricted detector cannot solve consensus in `⟨D̄⟩`.
+//! * [`SuspectsToTrusted`] — P's complement view: a perfect suspect list
+//!   emulates a Σ history (trust the unsuspected), showing `Σ ⪯ P`.
+//!
+//! [`emulate`] runs a transformation over a recorded history, producing
+//! the emulated history for the class checkers to validate — the
+//! executable form of "the emulated outputs are admissible for `F(·)`".
+
+use std::collections::BTreeSet;
+
+use kset_sim::{ProcessId, Time};
+
+use crate::history::History;
+use crate::omega::k_window;
+use crate::samples::{LeaderSample, QuorumSample, SigmaOmegaSample};
+
+/// A stateful, per-query transformation from samples of `In` to samples of
+/// `Out` (the algorithm `A_{D→D′}` restricted to its oracle interface).
+pub trait FdTransform {
+    /// Input sample type (class `D`).
+    type In;
+    /// Output sample type (class `D′`).
+    type Out;
+
+    /// Emulates one output sample from one input sample.
+    fn transform(&mut self, p: ProcessId, t: Time, sample: &Self::In) -> Self::Out;
+}
+
+/// Runs a transformation over an entire history, producing the emulated
+/// history (queries at the same `(p, t)` points).
+pub fn emulate<T: FdTransform>(
+    transform: &mut T,
+    history: &History<T::In>,
+) -> History<T::Out> {
+    let mut out = History::new();
+    for (p, t, s) in history.iter() {
+        out.record(p, t, transform.transform(p, t, s));
+    }
+    out
+}
+
+/// Lemma 9's transformation: (Σ′k, Ω′k) samples pass through unchanged and
+/// are read as (Σk, Ωk) samples. The *content* of the lemma is that the
+/// emulated history always validates — see the tests and
+/// `props_fd.rs::lemma9_on_random_partitions`.
+#[derive(Debug, Clone, Default)]
+pub struct PartitionToPlain;
+
+impl FdTransform for PartitionToPlain {
+    type In = SigmaOmegaSample;
+    type Out = SigmaOmegaSample;
+
+    fn transform(&mut self, _p: ProcessId, _t: Time, sample: &SigmaOmegaSample) -> SigmaOmegaSample {
+        sample.clone()
+    }
+}
+
+/// Theorem 10(C)'s extraction: emulate Ω2 for the subsystem `D̄` from the
+/// constrained leader oracle Γ. Projects each Ωk sample onto `D̄`; once the
+/// input stabilizes on `LD` with `|LD ∩ D̄| = 2`, the output stabilizes on
+/// those two processes. Pre-stabilization samples are padded/truncated to
+/// exactly two ids from `D̄`.
+#[derive(Debug, Clone)]
+pub struct GammaToOmega2 {
+    dbar: BTreeSet<ProcessId>,
+}
+
+impl GammaToOmega2 {
+    /// Creates the extraction for the subsystem `dbar`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `|dbar| < 2` (Ω2 needs two candidates to point at).
+    pub fn new(dbar: BTreeSet<ProcessId>) -> Self {
+        assert!(dbar.len() >= 2, "Ω2 extraction needs |D̄| ≥ 2");
+        GammaToOmega2 { dbar }
+    }
+}
+
+impl FdTransform for GammaToOmega2 {
+    type In = LeaderSample;
+    type Out = LeaderSample;
+
+    fn transform(&mut self, _p: ProcessId, _t: Time, sample: &LeaderSample) -> LeaderSample {
+        let in_dbar: BTreeSet<ProcessId> =
+            sample.intersection(&self.dbar).copied().collect();
+        if in_dbar.len() == 2 {
+            return in_dbar;
+        }
+        // Pad (or trim) deterministically from D̄'s smallest ids; the
+        // emulation only needs to be *eventually* exactly the stabilized
+        // pair, which the |LD ∩ D̄| = 2 property of Γ guarantees.
+        let mut out: LeaderSample = in_dbar.into_iter().take(2).collect();
+        for q in &self.dbar {
+            if out.len() == 2 {
+                break;
+            }
+            out.insert(*q);
+        }
+        out
+    }
+}
+
+/// `Σ ⪯ P`: trust everyone not suspected by a perfect detector. The
+/// emulated quorums are supersets of the correct set at all times, hence
+/// intersect pairwise, and they shed crashed processes as P reports them —
+/// a valid Σ history.
+#[derive(Debug, Clone)]
+pub struct SuspectsToTrusted {
+    n: usize,
+}
+
+impl SuspectsToTrusted {
+    /// Creates the complementation for a system of `n` processes.
+    pub fn new(n: usize) -> Self {
+        SuspectsToTrusted { n }
+    }
+}
+
+impl FdTransform for SuspectsToTrusted {
+    type In = BTreeSet<ProcessId>; // suspect set
+    type Out = QuorumSample;
+
+    fn transform(&mut self, _p: ProcessId, _t: Time, suspects: &BTreeSet<ProcessId>) -> QuorumSample {
+        ProcessId::all(self.n)
+            .filter(|q| !suspects.contains(q))
+            .collect()
+    }
+}
+
+/// Convenience: the Ωk-side of a combined (Σk, Ωk) history.
+pub fn omega_component(history: &History<SigmaOmegaSample>) -> History<LeaderSample> {
+    let mut out = History::new();
+    for (p, t, s) in history.iter() {
+        out.record(p, t, s.omega.clone());
+    }
+    out
+}
+
+/// Convenience: the Σk-side of a combined (Σk, Ωk) history.
+pub fn sigma_component(history: &History<SigmaOmegaSample>) -> History<QuorumSample> {
+    let mut out = History::new();
+    for (p, t, s) in history.iter() {
+        out.record(p, t, s.sigma.clone());
+    }
+    out
+}
+
+/// The `k_window` helper re-exported for transformation authors.
+pub fn window(pool: &BTreeSet<ProcessId>, k: usize, n: usize) -> LeaderSample {
+    k_window(pool, k, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkers::{check_omega_k, check_sigma_k};
+    use crate::partition_fd::PartitionSigmaOmega;
+    use crate::perfect::PerfectOracle;
+    use kset_sim::{FailurePattern, Oracle};
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    /// Lemma 9 through the transformation API: emulated (Σk, Ωk) histories
+    /// from the partition detector validate.
+    #[test]
+    fn lemma9_via_emulation() {
+        let n = 5;
+        let blocks: Vec<BTreeSet<ProcessId>> =
+            vec![[pid(0)].into(), [pid(1)].into(), [pid(2), pid(3), pid(4)].into()];
+        let k = blocks.len();
+        let tgst = Time::new(10);
+        let mut oracle =
+            PartitionSigmaOmega::new(n, blocks, tgst, [pid(0), pid(1), pid(2)].into());
+        let fp = FailurePattern::all_correct(n);
+        let mut raw: History<SigmaOmegaSample> = History::new();
+        for t in 1..30u64 {
+            let p = pid((t % 5) as usize);
+            raw.record(p, Time::new(t), oracle.sample(p, Time::new(t), &fp));
+        }
+        let mut id = PartitionToPlain;
+        let emulated = emulate(&mut id, &raw);
+        check_sigma_k(&sigma_component(&emulated), k, &fp).unwrap();
+        check_omega_k(&omega_component(&emulated), k, &fp).unwrap();
+    }
+
+    /// The Γ → Ω2 extraction stabilizes on the two D̄ members of LD and
+    /// validates as an Ω2 history of the subsystem.
+    #[test]
+    fn gamma_to_omega2_extraction() {
+        let dbar: BTreeSet<ProcessId> = [pid(0), pid(1), pid(2), pid(3)].into();
+        let mut t10 = GammaToOmega2::new(dbar.clone());
+        // Γ's stabilized LD intersects D̄ in {p1, p2} and holds one
+        // outsider (p5).
+        let ld: LeaderSample = [pid(0), pid(1), pid(4)].into();
+        let mut raw: History<LeaderSample> = History::new();
+        // Pre-stabilization noise, then LD.
+        raw.record(pid(0), Time::new(1), [pid(2), pid(3), pid(4)].into());
+        for t in 5..12u64 {
+            let p = pid((t % 4) as usize);
+            raw.record(p, Time::new(t), ld.clone());
+        }
+        let emulated = emulate(&mut t10, &raw);
+        // Every output is 2 ids from D̄.
+        for (_, _, s) in emulated.iter() {
+            assert_eq!(s.len(), 2);
+            assert!(s.is_subset(&dbar));
+        }
+        // The stabilized output is exactly LD ∩ D̄ = {p1, p2}.
+        let fp_sub = FailurePattern::all_correct(4);
+        let tgst = check_omega_k(&emulated, 2, &fp_sub).unwrap();
+        assert!(tgst >= Time::new(1));
+        let (_, last) = emulated.of_process(pid(0)).last().unwrap();
+        assert_eq!(last, &[pid(0), pid(1)].into());
+    }
+
+    #[test]
+    #[should_panic(expected = "≥ 2")]
+    fn omega2_extraction_needs_two_candidates() {
+        let _ = GammaToOmega2::new([pid(0)].into());
+    }
+
+    /// Σ ⪯ P: the complemented perfect-detector history validates as Σ1.
+    #[test]
+    fn sigma_from_perfect() {
+        let n = 4;
+        let mut p_oracle = PerfectOracle::new();
+        let mut fp = FailurePattern::all_correct(n);
+        let mut raw: History<BTreeSet<ProcessId>> = History::new();
+        for t in 1..20u64 {
+            if t == 6 {
+                fp.record_crash(pid(3), Time::new(6));
+            }
+            let p = pid((t % 3) as usize);
+            raw.record(p, Time::new(t), p_oracle.sample(p, Time::new(t), &fp));
+        }
+        let mut compl = SuspectsToTrusted::new(n);
+        let emulated = emulate(&mut compl, &raw);
+        check_sigma_k(&emulated, 1, &fp).unwrap();
+    }
+
+    #[test]
+    fn component_projections_split_pairs() {
+        let mut h: History<SigmaOmegaSample> = History::new();
+        h.record(
+            pid(0),
+            Time::new(1),
+            SigmaOmegaSample::new([pid(0)].into(), [pid(1)].into()),
+        );
+        let sigma = sigma_component(&h);
+        let omega = omega_component(&h);
+        assert_eq!(sigma.get(pid(0), Time::new(1)), Some(&[pid(0)].into()));
+        assert_eq!(omega.get(pid(0), Time::new(1)), Some(&[pid(1)].into()));
+    }
+}

@@ -1,0 +1,118 @@
+//! The condensation DAG of a digraph.
+//!
+//! Contracting every strongly connected component of `G` to a single vertex
+//! yields a directed acyclic graph `G′` — the paper uses it to define
+//! *source components*: an SCC whose condensation vertex has in-degree 0
+//! (Section VI).
+
+use crate::digraph::Digraph;
+use crate::scc::{tarjan_scc, SccDecomposition};
+
+/// A digraph together with its SCC decomposition and condensation DAG.
+#[derive(Debug, Clone)]
+pub struct Condensation {
+    scc: SccDecomposition,
+    /// DAG over component indices.
+    dag: Digraph,
+}
+
+impl Condensation {
+    /// Computes the condensation of `g`.
+    pub fn of(g: &Digraph) -> Self {
+        let scc = tarjan_scc(g);
+        let mut dag = Digraph::new(scc.count());
+        for (u, w) in g.edges() {
+            let cu = scc.component_of(u);
+            let cw = scc.component_of(w);
+            if cu != cw {
+                dag.add_edge(cu, cw);
+            }
+        }
+        Condensation { scc, dag }
+    }
+
+    /// The SCC decomposition.
+    pub fn scc(&self) -> &SccDecomposition {
+        &self.scc
+    }
+
+    /// The condensation DAG (vertices = component indices).
+    pub fn dag(&self) -> &Digraph {
+        &self.dag
+    }
+
+    /// Indices of the source components: condensation vertices with
+    /// in-degree 0.
+    pub fn source_component_indices(&self) -> Vec<usize> {
+        (0..self.dag.n())
+            .filter(|c| self.dag.in_degree(*c) == 0)
+            .collect()
+    }
+
+    /// The member sets of the source components, each sorted.
+    pub fn source_components(&self) -> Vec<Vec<usize>> {
+        self.source_component_indices()
+            .into_iter()
+            .map(|c| self.scc.members(c).to_vec())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn condensation_of_dag_is_itself() {
+        let g = Digraph::from_edges(3, [(0, 1), (1, 2)]);
+        let c = Condensation::of(&g);
+        assert_eq!(c.dag().n(), 3);
+        assert_eq!(c.dag().edge_count(), 2);
+        assert_eq!(c.source_components(), vec![vec![0]]);
+    }
+
+    #[test]
+    fn condensation_is_acyclic() {
+        // Two 2-cycles bridged: {0,1} → {2,3}.
+        let g = Digraph::from_edges(4, [(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)]);
+        let c = Condensation::of(&g);
+        assert_eq!(c.dag().n(), 2);
+        assert_eq!(c.dag().edge_count(), 1);
+        // The only source component is {0,1}.
+        assert_eq!(c.source_components(), vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn parallel_scc_edges_collapse() {
+        // Two edges between the same pair of SCCs must appear once.
+        let g = Digraph::from_edges(4, [(0, 1), (1, 0), (0, 2), (1, 3), (2, 3), (3, 2)]);
+        let c = Condensation::of(&g);
+        assert_eq!(c.dag().edge_count(), 1);
+    }
+
+    #[test]
+    fn multiple_sources() {
+        // 0 → 2 ← 1: two singleton sources {0} and {1}.
+        let g = Digraph::from_edges(3, [(0, 2), (1, 2)]);
+        let c = Condensation::of(&g);
+        let mut sources = c.source_components();
+        sources.sort();
+        assert_eq!(sources, vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn single_cycle_is_single_source() {
+        let g = Digraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let c = Condensation::of(&g);
+        assert_eq!(c.source_components(), vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn isolated_vertices_are_sources() {
+        let g = Digraph::new(2);
+        let c = Condensation::of(&g);
+        let mut sources = c.source_components();
+        sources.sort();
+        assert_eq!(sources, vec![vec![0], vec![1]]);
+    }
+}

@@ -1,0 +1,45 @@
+//! # kset-graph — directed-graph substrate for the two-stage protocol
+//!
+//! Graph machinery behind Section VI of Biely–Robinson–Schmid (OPODIS 2011):
+//! the first-stage graph `G` of the generalized FLP protocol, its strongly
+//! connected components, the condensation DAG, **source components**
+//! (Lemmas 6/7) and **initial cliques**.
+//!
+//! ## Lemmas as code
+//!
+//! * Lemma 6 — [`source::check_lemma6`]: min in-degree δ > 0 ⟹ some source
+//!   component has ≥ δ + 1 vertices.
+//! * Lemma 7 — [`source::check_lemma7`]: the same per weakly connected
+//!   component.
+//! * Count bound — [`source::check_source_count_bound`]: at most
+//!   `⌊n/(δ+1)⌋` source components; unique when `2δ ≥ n`.
+//!
+//! ```
+//! use kset_graph::{stage_one_graph, source_components, check_lemma6};
+//!
+//! let g = stage_one_graph(9, 2, 1);
+//! check_lemma6(&g, 2).expect("Lemma 6 holds");
+//! assert!(source_components(&g).len() <= 3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod clique;
+mod condensation;
+mod digraph;
+mod generate;
+pub mod scc;
+pub mod source;
+mod weakly;
+
+pub use clique::{has_no_incoming, initial_cliques, is_clique};
+pub use condensation::Condensation;
+pub use digraph::Digraph;
+pub use generate::{camps, gnp_digraph, stage_one_graph};
+pub use scc::{tarjan_scc, SccDecomposition};
+pub use source::{
+    check_lemma6, check_lemma7, check_source_count_bound, chosen_source_component,
+    max_source_components, source_components, source_components_reaching,
+};
+pub use weakly::weakly_connected_components;

@@ -1,0 +1,225 @@
+//! Strongly connected components via Tarjan's algorithm (iterative).
+//!
+//! The decision rule of the generalized two-stage protocol (Section VI of
+//! the paper) hinges on *source components* of the first-stage graph; source
+//! components are defined on the condensation of the SCC decomposition, so
+//! SCCs are the workhorse.
+
+use crate::digraph::Digraph;
+
+/// The strongly-connected-component decomposition of a digraph.
+///
+/// Components are numbered `0..count` in **reverse topological order of the
+/// condensation** (Tarjan emits sinks first): if there is an edge from
+/// component `a` to component `b` in the condensation, then `a > b`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SccDecomposition {
+    /// `component_of[v]` = component index of vertex `v`.
+    component_of: Vec<usize>,
+    /// `members[c]` = sorted vertices of component `c`.
+    members: Vec<Vec<usize>>,
+}
+
+impl SccDecomposition {
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Component index of `v`.
+    pub fn component_of(&self, v: usize) -> usize {
+        self.component_of[v]
+    }
+
+    /// Sorted members of component `c`.
+    pub fn members(&self, c: usize) -> &[usize] {
+        &self.members[c]
+    }
+
+    /// Iterates over all components as member slices.
+    pub fn iter(&self) -> impl Iterator<Item = &[usize]> {
+        self.members.iter().map(Vec::as_slice)
+    }
+
+    /// The raw `vertex → component` map.
+    pub fn component_map(&self) -> &[usize] {
+        &self.component_of
+    }
+}
+
+/// Computes the SCC decomposition of `g` with an iterative Tarjan.
+///
+/// # Examples
+///
+/// ```
+/// use kset_graph::{Digraph, tarjan_scc};
+///
+/// // 0 ⇄ 1 → 2
+/// let g = Digraph::from_edges(3, [(0, 1), (1, 0), (1, 2)]);
+/// let scc = tarjan_scc(&g);
+/// assert_eq!(scc.count(), 2);
+/// assert_eq!(scc.component_of(0), scc.component_of(1));
+/// assert_ne!(scc.component_of(0), scc.component_of(2));
+/// ```
+pub fn tarjan_scc(g: &Digraph) -> SccDecomposition {
+    let n = g.n();
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut component_of = vec![UNVISITED; n];
+    let mut members: Vec<Vec<usize>> = Vec::new();
+
+    // Explicit DFS stack: (vertex, iterator position over successors).
+    enum Frame {
+        Enter(usize),
+        Resume(usize, usize), // (v, index into succ list)
+    }
+
+    for start in 0..n {
+        if index[start] != UNVISITED {
+            continue;
+        }
+        let mut dfs: Vec<Frame> = vec![Frame::Enter(start)];
+        while let Some(frame) = dfs.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    index[v] = next_index;
+                    lowlink[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                    dfs.push(Frame::Resume(v, 0));
+                }
+                Frame::Resume(v, succ_pos) => {
+                    let succs: Vec<usize> = g.successors(v).collect();
+                    let mut pos = succ_pos;
+                    let mut descended = false;
+                    while pos < succs.len() {
+                        let w = succs[pos];
+                        pos += 1;
+                        if index[w] == UNVISITED {
+                            dfs.push(Frame::Resume(v, pos));
+                            dfs.push(Frame::Enter(w));
+                            descended = true;
+                            break;
+                        } else if on_stack[w] {
+                            lowlink[v] = lowlink[v].min(index[w]);
+                        }
+                    }
+                    if descended {
+                        continue;
+                    }
+                    // All successors handled: close v.
+                    if lowlink[v] == index[v] {
+                        let c = members.len();
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack invariant");
+                            on_stack[w] = false;
+                            component_of[w] = c;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.sort_unstable();
+                        members.push(comp);
+                    }
+                    // Propagate lowlink to parent, if any.
+                    if let Some(Frame::Resume(parent, _)) = dfs.last() {
+                        let parent = *parent;
+                        lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                    }
+                }
+            }
+        }
+    }
+
+    SccDecomposition { component_of, members }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_components_in_dag() {
+        let g = Digraph::from_edges(3, [(0, 1), (1, 2)]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count(), 3);
+        // Reverse topological: sink (2) first.
+        assert!(scc.component_of(2) < scc.component_of(1));
+        assert!(scc.component_of(1) < scc.component_of(0));
+    }
+
+    #[test]
+    fn cycle_is_one_component() {
+        let g = Digraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count(), 1);
+        assert_eq!(scc.members(0), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn two_cycles_with_bridge() {
+        // {0,1} → {2,3}
+        let g = Digraph::from_edges(4, [(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count(), 2);
+        let c01 = scc.component_of(0);
+        let c23 = scc.component_of(2);
+        assert_eq!(scc.component_of(1), c01);
+        assert_eq!(scc.component_of(3), c23);
+        assert!(c01 > c23, "edge c01→c23 means c01 comes later in Tarjan order");
+    }
+
+    #[test]
+    fn isolated_vertices() {
+        let g = Digraph::new(4);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count(), 4);
+        for v in 0..4 {
+            assert_eq!(scc.members(scc.component_of(v)), &[v]);
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let scc = tarjan_scc(&Digraph::new(0));
+        assert_eq!(scc.count(), 0);
+    }
+
+    #[test]
+    fn members_are_sorted_and_partition_vertices() {
+        let g = Digraph::from_edges(6, [(0, 1), (1, 0), (2, 3), (4, 5), (5, 4), (1, 2), (3, 4)]);
+        let scc = tarjan_scc(&g);
+        let mut all: Vec<usize> = scc.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..6).collect::<Vec<_>>());
+        for c in scc.iter() {
+            assert!(c.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // 10_000-vertex path exercises the iterative DFS.
+        let n = 10_000;
+        let g = Digraph::from_edges(n, (0..n - 1).map(|i| (i, i + 1)));
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count(), n);
+    }
+
+    #[test]
+    fn lowlink_propagates_through_nested_cycles() {
+        // 0 → 1 → 2 → 0 and 2 → 3 → 4 → 2: all five strongly connected
+        // except... actually 0,1,2,3,4 form one SCC via the two cycles.
+        let g = Digraph::from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count(), 1);
+        assert_eq!(scc.members(0), &[0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Closed-form solvability borders from the paper's theorems.
+//!
+//! These predicates are the "ground truth" rows of the experiment tables
+//! (EXPERIMENTS.md); the simulation-based demos in the sibling modules
+//! regenerate the same borders constructively.
+
+/// Theorem 2: k-set agreement is **impossible** with synchronous processes,
+/// asynchronous communication, atomic broadcast and `f` failures (of which
+/// `f − 1` may be initial and one mid-run) when
+///
+/// ```text
+/// k ≤ (n − 1) / (n − f)          (equivalently k·(n − f) + 1 ≤ n)
+/// ```
+///
+/// By Corollary 5 the impossibility carries over to all weaker models,
+/// including `M_ASYNC`.
+pub fn theorem2_impossible(n: usize, f: usize, k: usize) -> bool {
+    assert!(k >= 1 && n >= 1);
+    if f >= n {
+        return true; // everyone may fail: nothing is solvable wait-free
+    }
+    k * (n - f) < n
+}
+
+/// Lemma 3's arithmetic: with `ℓ = n − f`, the Theorem 2 layout needs
+/// `k·ℓ + 1 ≤ n`, which leaves `|D̄| = n − (k−1)ℓ ≥ ℓ + 1` processes for the
+/// consensus reduction. Returns `ℓ` when the layout exists.
+pub fn theorem2_layout_ell(n: usize, f: usize, k: usize) -> Option<usize> {
+    if f >= n {
+        return None;
+    }
+    let ell = n - f;
+    (k * ell < n).then_some(ell)
+}
+
+/// Theorem 8: with up to `f` **initially dead** processes, k-set agreement
+/// is solvable **iff**
+///
+/// ```text
+/// k·n > (k + 1)·f          (equivalently k > f / (n − f))
+/// ```
+pub fn theorem8_solvable(n: usize, f: usize, k: usize) -> bool {
+    assert!(k >= 1 && n >= 1);
+    k * n > (k + 1) * f
+}
+
+/// The borderline of Theorem 8 — `k·n = (k+1)·f` — where the standard
+/// (k+1)-partition argument applies: the system splits into `k + 1` groups
+/// of `n − f = n/(k+1)` processes each.
+pub fn theorem8_borderline(n: usize, f: usize, k: usize) -> bool {
+    k * n == (k + 1) * f
+}
+
+/// Theorem 10: no (n−1)-resilient algorithm solves k-set agreement in
+/// `⟨M_ASYNC, (Σk, Ωk)⟩` for `2 ≤ k ≤ n − 2`.
+pub fn theorem10_impossible(n: usize, k: usize) -> bool {
+    k >= 2 && k + 2 <= n
+}
+
+/// Corollary 13: (Σk, Ωk) solves k-set agreement (wait-free) **iff**
+/// `k = 1` or `k = n − 1`.
+pub fn corollary13_solvable(n: usize, k: usize) -> bool {
+    assert!(n >= 2 && k >= 1 && k < n, "need 1 ≤ k ≤ n−1");
+    k == 1 || k == n - 1
+}
+
+/// The previously best impossibility bound for (Σk, Ωk), due to Bouzid and
+/// Travers (cited as [5, Theorem 2]): impossible if `1 < 2k² ≤ n`. Strictly
+/// narrower than Theorem 10; used for the comparison column of
+/// experiment E4. (The bound is only meaningful for `k ≥ 2`: (Σ1, Ω1)
+/// solves consensus, so we read the `1 < 2k²` side as excluding `k = 1`.)
+pub fn bouzid_travers_impossible(n: usize, k: usize) -> bool {
+    k >= 2 && 2 * k * k <= n
+}
+
+/// FloodMin's round requirement at the favourable model point: `⌊f/k⌋ + 1`
+/// rounds solve k-set agreement for **any** `f < n` — no border at all,
+/// which is the contrast row of experiment E1.
+pub fn synchronous_solvable(n: usize, f: usize, _k: usize) -> bool {
+    f < n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem2_examples() {
+        // n = 5, f = 3: impossible for k ≤ (5−1)/(5−3) = 2.
+        assert!(theorem2_impossible(5, 3, 1));
+        assert!(theorem2_impossible(5, 3, 2));
+        assert!(!theorem2_impossible(5, 3, 3));
+        // Consensus with a single failure: FLP for every n ≥ 2.
+        for n in 2..12 {
+            assert!(theorem2_impossible(n, 1, 1), "FLP at n={n}");
+        }
+    }
+
+    #[test]
+    fn theorem2_wait_free_case() {
+        // f = n − 1 (wait-free): impossible for every k ≤ n − 1.
+        let n = 6;
+        for k in 1..n {
+            assert!(theorem2_impossible(n, n - 1, k));
+        }
+    }
+
+    #[test]
+    fn theorem2_layout_exists_iff_impossible() {
+        for n in 2..12 {
+            for f in 1..n {
+                for k in 1..n {
+                    assert_eq!(
+                        theorem2_layout_ell(n, f, k).is_some(),
+                        theorem2_impossible(n, f, k),
+                        "n={n} f={f} k={k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma3_dbar_size() {
+        // Whenever the layout exists, |D̄| = n − (k−1)ℓ ≥ ℓ + 1.
+        for n in 2..14 {
+            for f in 1..n {
+                for k in 1..n {
+                    if let Some(ell) = theorem2_layout_ell(n, f, k) {
+                        let dbar = n - (k - 1) * ell;
+                        assert!(dbar > ell, "n={n} f={f} k={k}: |D̄|={dbar} < ℓ+1");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem8_examples() {
+        // n = 6, k = 2: solvable iff 12 > 3f, i.e. f ≤ 3.
+        assert!(theorem8_solvable(6, 3, 2));
+        assert!(!theorem8_solvable(6, 4, 2));
+        assert!(theorem8_borderline(6, 4, 2));
+        // Consensus: majority requirement kn > 2f ⇔ n > 2f.
+        assert!(theorem8_solvable(5, 2, 1));
+        assert!(!theorem8_solvable(4, 2, 1));
+        assert!(theorem8_borderline(4, 2, 1));
+    }
+
+    #[test]
+    fn theorem8_monotone_in_k_and_antitone_in_f() {
+        for n in 2..12 {
+            for f in 0..n {
+                for k in 1..n {
+                    if theorem8_solvable(n, f, k) {
+                        assert!(theorem8_solvable(n, f, k + 1), "monotone in k");
+                        if f > 0 {
+                            assert!(theorem8_solvable(n, f - 1, k), "antitone in f");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem10_and_corollary13_partition_the_range() {
+        for n in 3..12 {
+            for k in 1..n {
+                assert_ne!(
+                    corollary13_solvable(n, k),
+                    theorem10_impossible(n, k),
+                    "n={n} k={k}: solvable xor impossible"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn theorem10_strictly_extends_bouzid_travers() {
+        // Every (n, k) the old bound covers, the new one covers too…
+        for n in 2usize..40 {
+            for k in 2..n.saturating_sub(1) {
+                if bouzid_travers_impossible(n, k) {
+                    assert!(theorem10_impossible(n, k), "n={n} k={k}");
+                }
+            }
+        }
+        // …and the new bound covers points the old one misses:
+        assert!(theorem10_impossible(6, 4));
+        assert!(!bouzid_travers_impossible(6, 4), "2k²=32 > 6");
+        assert!(theorem10_impossible(5, 3));
+        assert!(!bouzid_travers_impossible(5, 3));
+    }
+
+    #[test]
+    fn synchronous_point_has_no_border() {
+        for n in 2..10 {
+            for f in 0..n {
+                assert!(synchronous_solvable(n, f, 1));
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # kset-impossibility — the paper's impossibility engine, executable
+//!
+//! The primary contribution of Biely–Robinson–Schmid (OPODIS 2011) is
+//! **Theorem 1**: a generic reduction that derives the impossibility of
+//! k-set agreement in a model `M` from the impossibility of consensus in a
+//! restricted subsystem `M′ = ⟨D̄⟩`, via partitioning. This crate makes the
+//! theorem and its three instantiations executable:
+//!
+//! * [`borders`] — the closed-form solvability borders (Theorems 2, 8, 10,
+//!   Corollary 13, plus the older Bouzid–Travers bound for comparison);
+//! * [`partition`] — the concrete partition layouts `D1, …, D(k−1), D̄`;
+//! * [`pasting`] — the run-pasting machinery of Lemmas 11/12, with the
+//!   Definition 2 indistinguishability check built in;
+//! * [`theorem1`] — the generic checker: constructs the witnessing runs
+//!   for conditions (A), (B), (D) and classifies a candidate algorithm as
+//!   directly violated, reduced to consensus-in-`⟨D̄⟩`, or not flagged;
+//! * [`theorem2`] — the partially-synchronous border `k ≤ (n−1)/(n−f)`;
+//! * [`theorem8`] — the initial-crash border `kn > (k+1)f`, both sides;
+//! * [`theorem10`] — (Σk, Ωk) refuted for `2 ≤ k ≤ n−2`, with the
+//!   defeating run's failure-detector history re-validated against the
+//!   Σk/Ωk class oracles (Lemma 9 on the wire).
+//!
+//! ```
+//! use kset_impossibility::theorem8::border_demo;
+//!
+//! // n = 6, k = 2: at the border f = 4 the k+1-partition argument
+//! // produces a verified failure-free run with 3 distinct decisions.
+//! let demo = border_demo(6, 2, 100_000).unwrap();
+//! assert!(demo.violates_k_agreement());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod borders;
+pub mod partition;
+pub mod pasting;
+pub mod theorem1;
+pub mod theorem10;
+pub mod theorem2;
+pub mod theorem8;
+
+pub use borders::{
+    bouzid_travers_impossible, corollary13_solvable, theorem10_impossible, theorem2_impossible,
+    theorem8_borderline, theorem8_solvable,
+};
+pub use partition::PartitionSpec;
+pub use pasting::{lemma12, lemma12_no_fd, lemma12_with, solo_run, solo_run_no_fd, PastedRun, SoloRun};
+pub use theorem1::{analyze, analyze_no_fd, analyze_with, Theorem1Analysis, Theorem1Outcome};

@@ -1,0 +1,268 @@
+//! Run pasting: the executable Lemmas 11 and 12.
+//!
+//! Lemma 12 of the paper constructs a run `α` in which *every* partition
+//! block decides in isolation: take the solo runs `αi` (all processes
+//! outside `Di` initially dead), then paste them together — all processes
+//! fail/step exactly as in their `αi`, and all cross-block communication is
+//! delayed until every correct process has decided. Lemma 11 is the
+//! corresponding replacement step for a single block.
+//!
+//! Our simulator realizes the construction literally:
+//!
+//! 1. run each block solo and record its trace;
+//! 2. extract the per-block schedules ([`kset_sim::Trace::schedule`]) and
+//!    interleave them ([`kset_sim::sched::scripted::Scripted::interleave`]);
+//! 3. replay the interleaved schedule in the *full* system (no initial
+//!    deaths): deliveries are per-source counts, and solo schedules only
+//!    ever name in-block sources, so cross-block messages stay buffered —
+//!    the replay is the pasted run;
+//! 4. verify (Definition 2) that every process is indistinguishable-until-
+//!    decision between its solo run and the pasted run.
+//!
+//! Step 4 turns the lemma from a construction into a *checked* construction:
+//! if the pasting machinery (or the determinism assumptions behind it) were
+//! wrong, [`PastedRun::verified`] would be `false`.
+
+use std::collections::BTreeSet;
+
+use kset_sim::indist::indistinguishable_for_set;
+use kset_sim::sched::round_robin::RoundRobin;
+use kset_sim::sched::scripted::Scripted;
+use kset_sim::{
+    CrashPlan, NoOracle, Oracle, Process, ProcessId, RunReport, Simulation,
+};
+
+/// A solo run of one block: everyone else initially dead.
+#[derive(Debug, Clone)]
+pub struct SoloRun<V> {
+    /// The isolated block.
+    pub block: BTreeSet<ProcessId>,
+    /// The run report.
+    pub report: RunReport<V>,
+}
+
+/// The result of the Lemma 12 construction.
+#[derive(Debug, Clone)]
+pub struct PastedRun<V> {
+    /// The solo runs, in block order.
+    pub solos: Vec<SoloRun<V>>,
+    /// The pasted run of the full system.
+    pub report: RunReport<V>,
+    /// Whether every process's pasted view is indistinguishable (until
+    /// decision) from its solo view — the Lemma 11/12 correctness check.
+    pub verified: bool,
+}
+
+impl<V: Clone + Ord> PastedRun<V> {
+    /// Number of distinct decisions in the pasted run — the quantity that
+    /// defeats k-Agreement in the impossibility arguments.
+    pub fn distinct_decisions(&self) -> usize {
+        self.report.distinct_decisions.len()
+    }
+}
+
+/// Runs `block` solo (all other processes initially dead) under fair
+/// round-robin, with `extra_plan` failures inside the block.
+pub fn solo_run<P, O>(
+    inputs: Vec<P::Input>,
+    oracle: O,
+    block: &BTreeSet<ProcessId>,
+    extra_plan: CrashPlan,
+    max_steps: u64,
+) -> RunReport<P::Output>
+where
+    P: Process,
+    P::Fd: std::hash::Hash,
+    O: Oracle<Sample = P::Fd>,
+{
+    let n = inputs.len();
+    let mut plan = extra_plan;
+    for p in ProcessId::all(n) {
+        if !block.contains(&p) {
+            plan = plan.with_initially_dead(p);
+        }
+    }
+    let mut sim: Simulation<P, O> = Simulation::with_oracle(inputs, oracle, plan);
+    sim.run_to_report(&mut RoundRobin::new(), max_steps)
+}
+
+/// Oracle-less [`solo_run`].
+pub fn solo_run_no_fd<P>(
+    inputs: Vec<P::Input>,
+    block: &BTreeSet<ProcessId>,
+    extra_plan: CrashPlan,
+    max_steps: u64,
+) -> RunReport<P::Output>
+where
+    P: Process<Fd = ()>,
+{
+    solo_run::<P, NoOracle>(inputs, NoOracle, block, extra_plan, max_steps)
+}
+
+/// A factory of per-block solo-run schedulers: called with the block index
+/// and the block, returns the adversary driving that block's solo run.
+/// Lemma 12 only requires *some* admissible solo run per block; varying the
+/// intra-block schedule is how the Theorem 10 adversary makes `D̄` split.
+pub type BlockSchedulers<'a, M> =
+    &'a dyn Fn(usize, &BTreeSet<ProcessId>) -> Box<dyn kset_sim::sched::Scheduler<M>>;
+
+/// The full Lemma 12 construction with a failure-detector oracle factory:
+/// `mk_oracle()` must produce observationally identical oracles for the
+/// solo and pasted executions (e.g. clones of a
+/// [`kset_fd::PartitionSigmaOmega`]).
+pub fn lemma12<P, O>(
+    make_inputs: impl Fn() -> Vec<P::Input>,
+    mk_oracle: impl Fn() -> O,
+    parts: &[BTreeSet<ProcessId>],
+    max_steps: u64,
+) -> PastedRun<P::Output>
+where
+    P: Process,
+    P::Fd: std::hash::Hash,
+    O: Oracle<Sample = P::Fd>,
+{
+    let default: BlockSchedulers<'_, P::Msg> = &|_, _| Box::new(RoundRobin::new());
+    lemma12_with::<P, O>(make_inputs, mk_oracle, parts, default, max_steps)
+}
+
+/// [`lemma12`] with per-block scheduler control for the solo runs.
+pub fn lemma12_with<P, O>(
+    make_inputs: impl Fn() -> Vec<P::Input>,
+    mk_oracle: impl Fn() -> O,
+    parts: &[BTreeSet<ProcessId>],
+    mk_sched: BlockSchedulers<'_, P::Msg>,
+    max_steps: u64,
+) -> PastedRun<P::Output>
+where
+    P: Process,
+    P::Fd: std::hash::Hash,
+    O: Oracle<Sample = P::Fd>,
+{
+    // 1. Solo runs.
+    let mut solos = Vec::with_capacity(parts.len());
+    for (i, block) in parts.iter().enumerate() {
+        let n = make_inputs().len();
+        let mut plan = CrashPlan::none();
+        for p in ProcessId::all(n) {
+            if !block.contains(&p) {
+                plan = plan.with_initially_dead(p);
+            }
+        }
+        let mut sim: Simulation<P, O> =
+            Simulation::with_oracle(make_inputs(), mk_oracle(), plan);
+        let mut sched = mk_sched(i, block);
+        let report = sim.run_to_report(&mut *sched, max_steps);
+        solos.push(SoloRun { block: block.clone(), report });
+    }
+    // 2.–3. Interleave the schedules and replay in the full system.
+    let schedules: Vec<_> = solos.iter().map(|s| s.report.trace.schedule()).collect();
+    let merged = Scripted::interleave(schedules);
+    let mut sim: Simulation<P, O> =
+        Simulation::with_oracle(make_inputs(), mk_oracle(), CrashPlan::none());
+    let mut replay = Scripted::new(merged);
+    let report = sim.run_to_report(&mut replay, max_steps);
+    // 4. Verify per-block indistinguishability.
+    let verified = solos.iter().all(|solo| {
+        indistinguishable_for_set(&report.trace, &solo.report.trace, &solo.block)
+    });
+    PastedRun { solos, report, verified }
+}
+
+/// Oracle-less [`lemma12`].
+pub fn lemma12_no_fd<P>(
+    make_inputs: impl Fn() -> Vec<P::Input>,
+    parts: &[BTreeSet<ProcessId>],
+    max_steps: u64,
+) -> PastedRun<P::Output>
+where
+    P: Process<Fd = ()>,
+{
+    lemma12::<P, NoOracle>(make_inputs, || NoOracle, parts, max_steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kset_core::algorithms::two_stage::{two_stage_inputs, TwoStage};
+    use kset_core::task::distinct_proposals;
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn solo_run_decides_within_block() {
+        // Two-stage, L = 2, block {p1, p2} of a 4-process system.
+        let block: BTreeSet<ProcessId> = [pid(0), pid(1)].into();
+        let report = solo_run_no_fd::<TwoStage>(
+            two_stage_inputs(2, &distinct_proposals(4)),
+            &block,
+            CrashPlan::none(),
+            50_000,
+        );
+        assert!(report.decisions[0].is_some());
+        assert!(report.decisions[1].is_some());
+        assert_eq!(report.decisions[2], None);
+        assert_eq!(report.decisions[3], None);
+    }
+
+    #[test]
+    fn lemma12_pastes_two_blocks_verifiably() {
+        // n = 4, L = 2: blocks {p1,p2} and {p3,p4} each decide solo; the
+        // pasted run reproduces both and carries 2 distinct decisions.
+        let parts: Vec<BTreeSet<ProcessId>> =
+            vec![[pid(0), pid(1)].into(), [pid(2), pid(3)].into()];
+        let pasted = lemma12_no_fd::<TwoStage>(
+            || two_stage_inputs(2, &distinct_proposals(4)),
+            &parts,
+            50_000,
+        );
+        assert!(pasted.verified, "Lemma 12 check must pass");
+        assert_eq!(pasted.distinct_decisions(), 2);
+        // No process crashed in the pasted run: it is a failure-free run
+        // with 2 distinct decisions — the essence of the partitioning
+        // argument.
+        assert_eq!(pasted.report.failure_pattern.num_faulty(), 0);
+        assert!(pasted.report.decisions.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn lemma12_scales_to_many_singleton_blocks() {
+        // L = 1: every singleton decides alone; pasting yields n distinct
+        // decisions in a crash-free run (the wait-free catastrophe of
+        // Section V).
+        let n = 6;
+        let parts: Vec<BTreeSet<ProcessId>> =
+            (0..n).map(|i| BTreeSet::from([pid(i)])).collect();
+        let pasted = lemma12_no_fd::<TwoStage>(
+            || two_stage_inputs(1, &distinct_proposals(n)),
+            &parts,
+            50_000,
+        );
+        assert!(pasted.verified);
+        assert_eq!(pasted.distinct_decisions(), n);
+    }
+
+    #[test]
+    fn pasted_trace_preserves_solo_state_sequences_exactly() {
+        use kset_sim::indist::{compare_views, ViewComparison};
+        let parts: Vec<BTreeSet<ProcessId>> =
+            vec![[pid(0), pid(1), pid(2)].into(), [pid(3), pid(4), pid(5)].into()];
+        let pasted = lemma12_no_fd::<TwoStage>(
+            || two_stage_inputs(3, &distinct_proposals(6)),
+            &parts,
+            50_000,
+        );
+        assert!(pasted.verified);
+        for solo in &pasted.solos {
+            for p in &solo.block {
+                let cmp = compare_views(&pasted.report.trace, &solo.report.trace, *p);
+                assert_eq!(
+                    cmp,
+                    ViewComparison::EqualUntilDecision,
+                    "{p} must replay its solo view exactly"
+                );
+            }
+        }
+    }
+}

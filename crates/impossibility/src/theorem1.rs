@@ -1,0 +1,347 @@
+//! The Theorem 1 checker: the paper's generic impossibility theorem as an
+//! executable analysis.
+//!
+//! Theorem 1 shows that a k-set agreement algorithm `A` for model `M`
+//! cannot exist when
+//!
+//! * **(A)** runs exist where the blocks `D1, …, D(k−1)` decide distinct
+//!   values without outside input (`R(D) ≠ ∅`);
+//! * **(B)** such runs are compatible (for `D̄`) with runs where
+//!   additionally `D̄` hears nothing from `D` until `D` decided
+//!   (`R(D) ≼_D̄ R(D, D̄)`);
+//! * **(C)** consensus is unsolvable in the restricted model `M′ = ⟨D̄⟩`;
+//! * **(D)** runs of the restricted algorithm `A|D̄` are compatible with
+//!   runs of `A` (`M′_{A|D̄} ≼_D̄ M_A`).
+//!
+//! A *simulator* cannot quantify over infinitely many runs, but it can do
+//! exactly what the paper's instantiations (Theorems 2 and 10) do:
+//! **construct** the witnessing runs. [`analyze`] builds the Lemma 12
+//! pasted run to witness (A) — with the Definition 2 check of condition (B)
+//! built in — replays `A|D̄` to verify (D) constructively, and classifies
+//! the result:
+//!
+//! * if the single pasted run already shows more than `k` distinct
+//!   decisions, the algorithm is refuted outright
+//!   ([`Theorem1Outcome::DirectViolation`]);
+//! * if the blocks decide `k − 1` distinct values and `D̄` reaches a common
+//!   decision in isolation, `A|D̄` behaves as a consensus algorithm for
+//!   `⟨D̄⟩` — combined with the caller-supplied fact (C) this is the
+//!   paper's reduction ([`Theorem1Outcome::ReductionEstablished`]);
+//! * if some block cannot decide in isolation, condition (A) fails and the
+//!   checker reports that the candidate *may* be sound
+//!   ([`Theorem1Outcome::ConditionAFailed`]) — the "quick verification
+//!   tool" reading of the paper's Remarks.
+
+use std::collections::BTreeSet;
+
+use kset_sim::indist::indistinguishable_for_set;
+use kset_sim::sched::round_robin::RoundRobin;
+use kset_sim::sched::scripted::Scripted;
+use kset_sim::{
+    restriction_plan, CrashPlan, NoOracle, Oracle, Process, ProcessId, Restricted, RunReport,
+    Simulation,
+};
+
+use crate::partition::PartitionSpec;
+use crate::pasting::PastedRun;
+
+/// Classification of a Theorem 1 analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Theorem1Outcome {
+    /// The constructed pasted run violates k-Agreement outright.
+    DirectViolation {
+        /// Distinct decisions observed in the single pasted run.
+        distinct: usize,
+        /// The `k` of the task.
+        k: usize,
+    },
+    /// Conditions (A), (B), (D) verified constructively; the blocks pin
+    /// `k − 1` values and `D̄` decides a single common value in isolation —
+    /// `A|D̄` would solve consensus in `⟨D̄⟩`. If the caller's model
+    /// knowledge says consensus is unsolvable there (condition (C)),
+    /// Theorem 1 applies and `A` cannot solve k-set agreement.
+    ReductionEstablished,
+    /// Some block failed to decide in isolation within the step budget:
+    /// condition (A) not witnessed; the candidate may be sound.
+    ConditionAFailed {
+        /// The first block that could not decide in isolation.
+        block: BTreeSet<ProcessId>,
+    },
+}
+
+/// Full evidence produced by [`analyze`].
+#[derive(Debug, Clone)]
+pub struct Theorem1Analysis<V> {
+    /// The classification.
+    pub outcome: Theorem1Outcome,
+    /// Whether every decision block decided in isolation with pairwise
+    /// distinct values — the (dec-D) part of condition (A).
+    pub condition_a: bool,
+    /// Whether the Lemma 12 pasting check passed — the constructive
+    /// witness for condition (B).
+    pub condition_b_verified: bool,
+    /// Whether the `A|D̄` replay matched the solo run of `D̄` — the
+    /// constructive witness for condition (D).
+    pub condition_d_verified: bool,
+    /// The pasted run (when constructed).
+    pub pasted: Option<PastedRun<V>>,
+}
+
+impl<V: Clone + Ord> Theorem1Analysis<V> {
+    /// The paper's final verdict, given the model fact (C): does Theorem 1
+    /// refute the algorithm?
+    pub fn refutes(&self, consensus_impossible_in_dbar: bool) -> bool {
+        match self.outcome {
+            Theorem1Outcome::DirectViolation { .. } => true,
+            Theorem1Outcome::ReductionEstablished => consensus_impossible_in_dbar,
+            Theorem1Outcome::ConditionAFailed { .. } => false,
+        }
+    }
+}
+
+/// Runs the Theorem 1 analysis for an algorithm with a failure-detector
+/// oracle (use [`analyze_no_fd`] for oracle-less algorithms).
+///
+/// `make_inputs` must give every process a distinct proposal (the paper's
+/// `|V| > n` assumption); `mk_oracle` must produce observationally
+/// identical oracles per call.
+pub fn analyze<P, O>(
+    make_inputs: impl Fn() -> Vec<P::Input>,
+    mk_oracle: impl Fn() -> O,
+    spec: &PartitionSpec,
+    max_steps: u64,
+) -> Theorem1Analysis<P::Output>
+where
+    P: Process,
+    P::Input: Clone,
+    P::Fd: std::hash::Hash,
+    O: Oracle<Sample = P::Fd>,
+{
+    let default: crate::pasting::BlockSchedulers<'_, P::Msg> =
+        &|_, _| Box::new(RoundRobin::new());
+    analyze_with::<P, O>(make_inputs, mk_oracle, spec, default, max_steps)
+}
+
+/// [`analyze`] with per-block scheduler control over the solo runs (the
+/// adversary's intra-block freedom — Theorem 10's proof needs `D̄` to run
+/// an unfavourable schedule).
+pub fn analyze_with<P, O>(
+    make_inputs: impl Fn() -> Vec<P::Input>,
+    mk_oracle: impl Fn() -> O,
+    spec: &PartitionSpec,
+    mk_sched: crate::pasting::BlockSchedulers<'_, P::Msg>,
+    max_steps: u64,
+) -> Theorem1Analysis<P::Output>
+where
+    P: Process,
+    P::Input: Clone,
+    P::Fd: std::hash::Hash,
+    O: Oracle<Sample = P::Fd>,
+{
+    let k = spec.k();
+    // --- Construct the R(D, D̄) witness: the Lemma 12 pasted run. ---
+    let parts = spec.all_parts();
+    let pasted =
+        crate::pasting::lemma12_with::<P, O>(&make_inputs, &mk_oracle, &parts, mk_sched, max_steps);
+
+    // (dec-D): every decision block decided in isolation, and the blocks
+    // admit pairwise distinct representative values `v1, …, v(k−1)`. (The
+    // last entry of `parts` is D̄, whose isolated decisions are not part of
+    // (dec-D) but must exist for the reduction.)
+    let mut block_value_sets: Vec<BTreeSet<P::Output>> = Vec::new();
+    let mut failed_block: Option<BTreeSet<ProcessId>> = None;
+    for (i, (solo, block)) in pasted.solos.iter().zip(&parts).enumerate() {
+        let decided: BTreeSet<P::Output> = block
+            .iter()
+            .filter_map(|p| solo.report.decisions[p.index()].clone())
+            .collect();
+        if decided.is_empty() {
+            failed_block = Some(block.clone());
+            break;
+        }
+        let is_dbar = i + 1 == parts.len();
+        if !is_dbar {
+            block_value_sets.push(decided);
+        }
+    }
+    let condition_a =
+        failed_block.is_none() && has_distinct_representatives(&block_value_sets);
+    let condition_b_verified = pasted.verified;
+
+    // --- Condition (D): replay A|D̄ and compare with the solo run of D̄. ---
+    let condition_d_verified = verify_condition_d::<P, O>(
+        &make_inputs,
+        &mk_oracle,
+        spec.dbar(),
+        pasted
+            .solos
+            .last()
+            .map(|s| &s.report)
+            .expect("spec has at least D̄"),
+        max_steps,
+    );
+
+    // --- Classify. ---
+    let outcome = if let Some(block) = failed_block {
+        Theorem1Outcome::ConditionAFailed { block }
+    } else if !condition_a {
+        Theorem1Outcome::ConditionAFailed { block: spec.blocks().first().cloned().unwrap_or_default() }
+    } else {
+        let distinct = pasted.report.distinct_decisions.len();
+        if distinct > k {
+            Theorem1Outcome::DirectViolation { distinct, k }
+        } else {
+            Theorem1Outcome::ReductionEstablished
+        }
+    };
+    Theorem1Analysis {
+        outcome,
+        condition_a,
+        condition_b_verified,
+        condition_d_verified,
+        pasted: Some(pasted),
+    }
+}
+
+/// Oracle-less [`analyze`].
+pub fn analyze_no_fd<P>(
+    make_inputs: impl Fn() -> Vec<P::Input>,
+    spec: &PartitionSpec,
+    max_steps: u64,
+) -> Theorem1Analysis<P::Output>
+where
+    P: Process<Fd = ()>,
+    P::Input: Clone,
+{
+    analyze::<P, NoOracle>(make_inputs, || NoOracle, spec, max_steps)
+}
+
+/// Whether the value sets admit a system of distinct representatives
+/// (pick one `vi` per set, all distinct) — the shape (dec-D) requires of
+/// the blocks' isolated decisions. Backtracking; the number of blocks is
+/// `k − 1`, so this is tiny.
+fn has_distinct_representatives<V: Clone + Ord>(sets: &[BTreeSet<V>]) -> bool {
+    fn rec<V: Clone + Ord>(sets: &[BTreeSet<V>], idx: usize, used: &mut BTreeSet<V>) -> bool {
+        if idx == sets.len() {
+            return true;
+        }
+        for v in &sets[idx] {
+            if !used.contains(v) {
+                used.insert(v.clone());
+                if rec(sets, idx + 1, used) {
+                    return true;
+                }
+                used.remove(v);
+            }
+        }
+        false
+    }
+    rec(sets, 0, &mut BTreeSet::new())
+}
+
+/// Constructive condition (D): run the *restricted* algorithm `A|D̄`
+/// (Definition 1: sends outside `D̄` dropped, `Π \ D̄` initially dead) under
+/// the same intra-`D̄` schedule as the solo run, and check `D̄`-indistin-
+/// guishability. This witnesses that for the run of `A|D̄` there is a run
+/// of `A` (the solo run) the `D̄` processes cannot tell apart.
+fn verify_condition_d<P, O>(
+    make_inputs: &impl Fn() -> Vec<P::Input>,
+    mk_oracle: &impl Fn() -> O,
+    dbar: &BTreeSet<ProcessId>,
+    dbar_solo: &RunReport<P::Output>,
+    max_steps: u64,
+) -> bool
+where
+    P: Process,
+    P::Input: Clone,
+    P::Fd: std::hash::Hash,
+    O: Oracle<Sample = P::Fd>,
+{
+    let inputs = make_inputs();
+    let n = inputs.len();
+    let wrapped: Vec<(BTreeSet<ProcessId>, P::Input)> =
+        inputs.into_iter().map(|x| (dbar.clone(), x)).collect();
+    let plan = restriction_plan(n, dbar, CrashPlan::none());
+    let mut sim: Simulation<Restricted<P>, O> =
+        Simulation::with_oracle(wrapped, mk_oracle(), plan);
+    // Replay the solo schedule; fall back to round-robin if it runs dry
+    // before everyone in D̄ decided (should not happen for deterministic
+    // algorithms, but keeps the check robust).
+    let mut replay = Scripted::new(dbar_solo.trace.schedule());
+    let mut report = sim.run_to_report(&mut replay, max_steps);
+    if !dbar.iter().all(|p| report.decisions[p.index()].is_some()) {
+        report = sim.run_to_report(&mut RoundRobin::new(), max_steps);
+    }
+    indistinguishable_for_set(&report.trace, &dbar_solo.trace, dbar)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kset_core::algorithms::naive::DecideOwn;
+    use kset_core::algorithms::two_stage::{two_stage_inputs, TwoStage};
+    use kset_core::task::distinct_proposals;
+
+    #[test]
+    fn decide_own_is_directly_refuted() {
+        // DecideOwn under the Theorem 2 layout for n = 5, f = 3, k = 2:
+        // D1 = {p1, p2}, D̄ = {p3, p4, p5}. Every block decides its members'
+        // own values: 5 distinct > k = 2.
+        let spec = PartitionSpec::theorem2(5, 3, 2).unwrap();
+        let analysis = analyze_no_fd::<DecideOwn>(|| distinct_proposals(5), &spec, 10_000);
+        assert!(analysis.condition_a, "blocks decide in isolation");
+        assert!(analysis.condition_b_verified, "pasting must verify");
+        assert!(analysis.condition_d_verified, "restriction must correspond");
+        assert!(matches!(
+            analysis.outcome,
+            Theorem1Outcome::DirectViolation { distinct: 5, k: 2 }
+        ));
+        assert!(analysis.refutes(true));
+        assert!(analysis.refutes(false), "a direct violation needs no (C)");
+    }
+
+    #[test]
+    fn two_stage_with_small_threshold_reduces() {
+        // Two-stage with L = n − f = 2 on n = 5, f = 3, k = 2 (Theorem 2
+        // says impossible): D1 = {p1,p2} decides alone; D̄ = {p3,p4,p5}
+        // decides a COMMON value in isolation (L = 2 < |D̄|), so the checker
+        // lands on the reduction: A|D̄ would solve consensus in ⟨D̄⟩, which
+        // is impossible there (1 crash allowed) ⇒ refuted.
+        let spec = PartitionSpec::theorem2(5, 3, 2).unwrap();
+        let analysis = analyze_no_fd::<TwoStage>(
+            || two_stage_inputs(2, &distinct_proposals(5)),
+            &spec,
+            50_000,
+        );
+        assert!(analysis.condition_a);
+        assert!(analysis.condition_b_verified);
+        assert!(analysis.condition_d_verified);
+        assert_eq!(analysis.outcome, Theorem1Outcome::ReductionEstablished);
+        assert!(analysis.refutes(true), "with (C) the reduction refutes A");
+        assert!(!analysis.refutes(false));
+    }
+
+    #[test]
+    fn sound_algorithm_fails_condition_a() {
+        // Two-stage with the MAJORITY threshold on n = 5: a 2-process block
+        // cannot gather L − 1 = 2 remote stage-1 messages in isolation, so
+        // condition (A) fails — the checker does not flag the algorithm.
+        let spec = PartitionSpec::theorem2(5, 3, 2).unwrap(); // blocks of size 2
+        let analysis = analyze_no_fd::<TwoStage>(
+            || two_stage_inputs(3, &distinct_proposals(5)),
+            &spec,
+            20_000,
+        );
+        assert!(matches!(analysis.outcome, Theorem1Outcome::ConditionAFailed { .. }));
+        assert!(!analysis.refutes(true));
+    }
+
+    #[test]
+    fn pasted_run_is_included_in_the_evidence() {
+        let spec = PartitionSpec::theorem2(5, 3, 2).unwrap();
+        let analysis = analyze_no_fd::<DecideOwn>(|| distinct_proposals(5), &spec, 10_000);
+        let pasted = analysis.pasted.expect("evidence present");
+        assert!(pasted.verified);
+        assert_eq!(pasted.report.failure_pattern.num_faulty(), 0);
+    }
+}

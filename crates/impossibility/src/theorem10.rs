@@ -1,0 +1,264 @@
+//! Theorem 10, executably: (Σk, Ωk) is too weak for k-set agreement,
+//! `2 ≤ k ≤ n − 2`.
+//!
+//! The proof equips a candidate algorithm with the *stronger* partition
+//! detector (Σ′k, Ω′k) of Definition 7 (Lemma 9 makes that legitimate),
+//! splits Π into `D̄ = {p1, …, pj}` (`j = n − k + 1 ≥ 3`) plus `k − 1`
+//! singletons, and uses the pasting Lemmas 11/12 to build runs in which
+//! every block decides in isolation. This module executes that playbook
+//! against a candidate algorithm:
+//!
+//! * the **oracle** is a [`PartitionSigmaOmega`] whose pre-stabilization
+//!   leader windows point inside each block (exactly the freedom
+//!   Definition 7 grants the adversary);
+//! * the solo run of `D̄` uses a *split scheduler*: the first few steps
+//!   isolate the window leaders of `D̄` so they commit to their own values
+//!   before hearing each other — the "sufficiently asynchronous" schedule
+//!   of the proof;
+//! * the recorded failure-detector histories of the violating run are
+//!   re-validated against the Σk and Ωk oracles ([`kset_fd::checkers`]) —
+//!   the executable Lemma 9: the run the candidate loses to is a perfectly
+//!   legal (Σk, Ωk) run.
+
+use kset_core::algorithms::naive::LeaderAdopt;
+use kset_core::task::{distinct_proposals, Val};
+use kset_fd::{
+    check_omega_k, check_partition_sigma, check_sigma_k, History, LeaderSample,
+    PartitionSigmaOmega, QuorumSample, Recorder, SigmaOmegaSample,
+};
+use kset_sim::sched::round_robin::RoundRobin;
+use kset_sim::sched::{Choice, Delivery, Scheduler, SimView};
+use kset_sim::{Oracle, Process, ProcessId, Time};
+
+use crate::partition::PartitionSpec;
+use crate::theorem1::{analyze_with, Theorem1Analysis};
+
+/// A scheduler that first lets each process in `solo_first` take one step
+/// with no delivery (committing leaders to their own values), then falls
+/// back to fair round-robin with eager delivery.
+#[derive(Debug, Clone)]
+pub struct SplitScheduler {
+    solo_first: Vec<ProcessId>,
+    fallback: RoundRobin,
+}
+
+impl SplitScheduler {
+    /// Creates the scheduler.
+    pub fn new(solo_first: Vec<ProcessId>) -> Self {
+        SplitScheduler { solo_first, fallback: RoundRobin::new() }
+    }
+}
+
+impl<M> Scheduler<M> for SplitScheduler {
+    fn next(&mut self, view: &SimView<'_, M>) -> Option<Choice> {
+        while let Some(pid) = self.solo_first.first().copied() {
+            self.solo_first.remove(0);
+            if view.is_alive(pid) {
+                return Some(Choice { pid, delivery: Delivery::None });
+            }
+        }
+        Scheduler::<M>::next(&mut self.fallback, view)
+    }
+}
+
+/// The evidence bundle of the Theorem 10 demo.
+#[derive(Debug, Clone)]
+pub struct Theorem10Demo {
+    /// System size.
+    pub n: usize,
+    /// Agreement parameter (`2 ≤ k ≤ n − 2`).
+    pub k: usize,
+    /// The Theorem 1 analysis of the candidate under (Σ′k, Ω′k).
+    pub analysis: Theorem1Analysis<Val>,
+    /// Whether the violating run's Σ history satisfies Definition 7
+    /// part 1 (per-block Σ).
+    pub partition_sigma_valid: bool,
+    /// Whether the same history also satisfies plain Σk — Lemma 9, sigma
+    /// half.
+    pub sigma_k_valid: bool,
+    /// Whether the Ω history satisfies Ωk — Lemma 9, omega half.
+    pub omega_k_valid: bool,
+}
+
+impl Theorem10Demo {
+    /// The theorem's verdict on the candidate: condition (C) holds in
+    /// `⟨D̄⟩` (the restricted detector is too weak for consensus — the
+    /// paper's step (C) via Neiger's Ω2 ≺ Ω), so any reduction or direct
+    /// violation refutes it.
+    pub fn refuted(&self) -> bool {
+        self.analysis.refutes(true)
+    }
+
+    /// Whether the run defeating the candidate is a *legal* (Σk, Ωk) run
+    /// (Lemma 9 verified on this very history).
+    pub fn history_legal_for_sigma_omega_k(&self) -> bool {
+        self.partition_sigma_valid && self.sigma_k_valid && self.omega_k_valid
+    }
+}
+
+/// The leader set `LD` of the demo: per the proof of Theorem 10(C), `LD`
+/// intersects `D̄` in exactly two processes and takes the remaining
+/// `k − 2` ids from the singleton blocks.
+pub fn demo_ld(spec: &PartitionSpec) -> LeaderSample {
+    let k = spec.k();
+    let mut ld: LeaderSample = spec.dbar().iter().take(2).copied().collect();
+    for block in spec.blocks().iter().take(k - 2) {
+        ld.extend(block.iter().copied());
+    }
+    assert_eq!(ld.len(), k, "LD must have k ids");
+    ld
+}
+
+/// Runs the Theorem 10 playbook against the [`LeaderAdopt`] candidate.
+/// Returns `None` outside `2 ≤ k ≤ n − 2`.
+pub fn demo(n: usize, k: usize, max_steps: u64) -> Option<Theorem10Demo> {
+    demo_candidate::<LeaderAdopt>(|| distinct_proposals(n), n, k, max_steps)
+}
+
+/// The playbook for any candidate using the (Σk, Ωk) sample type.
+pub fn demo_candidate<P>(
+    make_inputs: impl Fn() -> Vec<P::Input>,
+    n: usize,
+    k: usize,
+    max_steps: u64,
+) -> Option<Theorem10Demo>
+where
+    P: Process<Fd = SigmaOmegaSample, Output = Val>,
+    P::Input: Clone,
+{
+    let spec = PartitionSpec::theorem10(n, k)?;
+    let ld = demo_ld(&spec);
+    // Stabilization strictly after every step of the run (Lemma 11 step 5
+    // picks t_GST after all decisions); the validation below samples the
+    // post-GST suffix explicitly.
+    let tgst = Time::new(max_steps.saturating_mul(4) + 1);
+    let mk_oracle =
+        || PartitionSigmaOmega::new(n, spec.all_parts(), tgst, ld.clone());
+
+    // Per-block solo schedulers: D̄ (the last part) runs the split
+    // schedule that lets its window leaders commit before mixing.
+    let parts = spec.all_parts();
+    let dbar_idx = parts.len() - 1;
+    let window: Vec<ProcessId> = {
+        // The pre-GST Ω window of D̄: its k smallest members (as produced
+        // by the partition detector).
+        spec.dbar().iter().take(k).copied().collect()
+    };
+    let mk_sched: crate::pasting::BlockSchedulers<'_, P::Msg> = &|i, _block| {
+        if i == dbar_idx {
+            Box::new(SplitScheduler::new(window.clone()))
+        } else {
+            Box::new(RoundRobin::new())
+        }
+    };
+    let analysis =
+        analyze_with::<P, _>(&make_inputs, mk_oracle, &spec, mk_sched, max_steps);
+
+    // Re-execute the pasted run with a recording oracle to validate the
+    // histories (Lemma 9 on the wire).
+    let (partition_sigma_valid, sigma_k_valid, omega_k_valid) = match &analysis.pasted {
+        Some(pasted) => {
+            let schedule = pasted.report.trace.schedule();
+            let mut rec = Recorder::new(mk_oracle());
+            let mut sim: kset_sim::Simulation<P, _> = kset_sim::Simulation::with_oracle(
+                make_inputs(),
+                &mut rec,
+                kset_sim::CrashPlan::none(),
+            );
+            let mut replay = kset_sim::sched::scripted::Scripted::new(schedule);
+            let _ = sim.run(&mut replay, max_steps);
+            drop(sim);
+            let fp = pasted.report.failure_pattern.clone();
+            let mut sigma_hist: History<QuorumSample> = History::new();
+            let mut omega_hist: History<LeaderSample> = History::new();
+            for (p, t, s) in rec.history().iter() {
+                sigma_hist.record(p, t, s.sigma.clone());
+                omega_hist.record(p, t, s.omega.clone());
+            }
+            // Lemma 11 step 5: extend the history past t_GST — in the
+            // admissible continuation every correct process keeps querying
+            // and sees the stabilized LD.
+            let mut post_oracle = mk_oracle();
+            for (i, p) in ProcessId::all(n).enumerate() {
+                if fp.crash_time(p).is_none() {
+                    let t = Time::new(tgst.raw() + 1 + i as u64);
+                    let s = post_oracle.sample(p, t, &fp);
+                    sigma_hist.record(p, t, s.sigma);
+                    omega_hist.record(p, t, s.omega);
+                }
+            }
+            (
+                check_partition_sigma(&sigma_hist, &spec.all_parts(), &fp).is_ok(),
+                check_sigma_k(&sigma_hist, k, &fp).is_ok(),
+                check_omega_k(&omega_hist, k, &fp).is_ok(),
+            )
+        }
+        None => (false, false, false),
+    };
+
+    Some(Theorem10Demo {
+        n,
+        k,
+        analysis,
+        partition_sigma_valid,
+        sigma_k_valid,
+        omega_k_valid,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theorem1::Theorem1Outcome;
+
+    #[test]
+    fn leader_adopt_is_refuted_for_all_intermediate_k() {
+        for (n, k) in [(5, 2), (5, 3), (6, 2), (6, 3), (6, 4), (8, 5)] {
+            let d = demo(n, k, 100_000).expect("2 ≤ k ≤ n−2");
+            assert!(d.analysis.condition_a, "n={n} k={k}: blocks decide in isolation");
+            assert!(d.analysis.condition_b_verified, "n={n} k={k}: pasting verified");
+            assert!(d.refuted(), "n={n} k={k}");
+            assert!(
+                d.history_legal_for_sigma_omega_k(),
+                "n={n} k={k}: the defeating run must be a legal (Σk,Ωk) run"
+            );
+        }
+    }
+
+    #[test]
+    fn violation_is_direct_with_split_dbar() {
+        // The split scheduler makes ≥ 2 of D̄'s window leaders decide their
+        // own values; with the k−1 singletons that exceeds k outright.
+        let d = demo(6, 3, 100_000).unwrap();
+        match d.analysis.outcome {
+            Theorem1Outcome::DirectViolation { distinct, k } => {
+                assert!(distinct > k, "{distinct} ≤ {k}");
+            }
+            ref other => panic!("expected a direct violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn demo_rejects_solvable_endpoints() {
+        assert!(demo(6, 1, 1_000).is_none(), "k = 1: (Σ1,Ω1) solves consensus");
+        assert!(demo(6, 5, 1_000).is_none(), "k = n−1: Σ(n−1) suffices");
+    }
+
+    #[test]
+    fn demo_ld_intersects_dbar_in_exactly_two() {
+        let spec = PartitionSpec::theorem10(7, 3).unwrap();
+        let ld = demo_ld(&spec);
+        assert_eq!(ld.len(), 3);
+        assert_eq!(ld.intersection(spec.dbar()).count(), 2);
+    }
+
+    #[test]
+    fn beyond_bouzid_travers_points_are_refuted() {
+        // (n, k) = (6, 4): 2k² = 32 > 6, outside the old bound's reach but
+        // squarely inside Theorem 10.
+        assert!(crate::borders::theorem10_impossible(6, 4));
+        assert!(!crate::borders::bouzid_travers_impossible(6, 4));
+        let d = demo(6, 4, 100_000).unwrap();
+        assert!(d.refuted());
+    }
+}

@@ -1,0 +1,196 @@
+//! Theorem 8, executably: the exact initial-crash border.
+//!
+//! *With up to `f` initially dead processes, k-set agreement is solvable
+//! iff `kn > (k+1)f`.*
+//!
+//! * **Possibility side** ([`possibility_demo`]): the generalized two-stage
+//!   protocol with `L = n − f` run against random schedules and every
+//!   initial-crash pattern size — at most `⌊n/(n−f)⌋ ≤ k` distinct
+//!   decisions, every correct process decides.
+//! * **Impossibility side at the border** ([`border_demo`]): when
+//!   `kn = (k+1)f` the system splits into `k + 1` groups of `n − f`
+//!   processes; each group's solo run (everyone else initially dead)
+//!   decides its own value, and the Lemma-12 pasting yields a single
+//!   **failure-free** run with `k + 1` distinct decisions — the classic
+//!   partitioning argument of Section VI, executed and verified.
+
+use kset_core::algorithms::two_stage::{kset_threshold, two_stage_inputs, TwoStage};
+use kset_core::task::{distinct_proposals, KSetTask, Val};
+use kset_core::runner::run_seeded;
+use kset_sim::{CrashPlan, ProcessId};
+
+use crate::borders::{theorem8_borderline, theorem8_solvable};
+use crate::partition::PartitionSpec;
+use crate::pasting::{lemma12_no_fd, PastedRun};
+
+/// Outcome of the possibility-side demo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PossibilityDemo {
+    /// Grid point.
+    pub n: usize,
+    /// Initial-crash budget actually exercised.
+    pub f: usize,
+    /// Agreement parameter.
+    pub k: usize,
+    /// Runs executed.
+    pub runs: usize,
+    /// Whether every run satisfied k-Agreement + Validity + Termination.
+    pub all_hold: bool,
+    /// The maximum number of distinct decisions observed.
+    pub max_distinct: usize,
+}
+
+/// Runs the two-stage protocol with `L = n − f` over `seeds` random
+/// schedules, each with `f` initially dead processes (rotating which), and
+/// judges every run.
+///
+/// # Panics
+///
+/// Panics if `(n, f, k)` is not in the solvable region (`kn ≤ (k+1)f`) —
+/// use [`border_demo`] there.
+pub fn possibility_demo(n: usize, f: usize, k: usize, seeds: u64) -> PossibilityDemo {
+    assert!(
+        theorem8_solvable(n, f, k),
+        "possibility demo requires kn > (k+1)f; use border_demo at/below the border"
+    );
+    let l = kset_threshold(n, f);
+    let values = distinct_proposals(n);
+    let task = KSetTask::new(n, k);
+    let mut all_hold = true;
+    let mut max_distinct = 0;
+    for seed in 0..seeds {
+        // Rotate the initially-dead set with the seed.
+        let dead: Vec<ProcessId> = (0..f)
+            .map(|i| ProcessId::new(((seed as usize) + i * 2) % n))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        // De-duplication may shrink the set; top up deterministically.
+        let mut dead_set: std::collections::BTreeSet<ProcessId> = dead.into_iter().collect();
+        let mut cursor = 0;
+        while dead_set.len() < f {
+            dead_set.insert(ProcessId::new(cursor % n));
+            cursor += 1;
+        }
+        let plan = CrashPlan::initially_dead(dead_set);
+        let report = run_seeded::<TwoStage>(
+            two_stage_inputs(l, &values),
+            plan,
+            seed,
+            2_000_000,
+        );
+        let verdict = task.judge(&values, &report);
+        max_distinct = max_distinct.max(verdict.distinct);
+        if !verdict.holds() {
+            all_hold = false;
+        }
+    }
+    PossibilityDemo { n, f, k, runs: seeds as usize, all_hold, max_distinct }
+}
+
+/// The border-case impossibility construction at `kn = (k+1)f`.
+#[derive(Debug, Clone)]
+pub struct BorderDemo {
+    /// Grid point (`f = kn/(k+1)`).
+    pub n: usize,
+    /// The borderline failure budget.
+    pub f: usize,
+    /// Agreement parameter.
+    pub k: usize,
+    /// The verified pasted run with its `k + 1` distinct decisions.
+    pub pasted: PastedRun<Val>,
+}
+
+impl BorderDemo {
+    /// Whether the construction succeeded: pasting verified, failure-free,
+    /// and more than `k` distinct decisions.
+    pub fn violates_k_agreement(&self) -> bool {
+        self.pasted.verified
+            && self.pasted.report.failure_pattern.num_faulty() == 0
+            && self.pasted.distinct_decisions() > self.k
+    }
+}
+
+/// Builds the `k + 1`-partition run at the border. Returns `None` when
+/// `kn ≠ (k+1)f` for every `f`, i.e. `(k+1) ∤ kn` — the argument needs the
+/// exact boundary.
+pub fn border_demo(n: usize, k: usize, max_steps: u64) -> Option<BorderDemo> {
+    if !(k * n).is_multiple_of(k + 1) {
+        return None;
+    }
+    let f = k * n / (k + 1);
+    if f == 0 {
+        return None;
+    }
+    debug_assert!(theorem8_borderline(n, f, k));
+    let spec = PartitionSpec::theorem8_border(n, f, k)?;
+    let l = kset_threshold(n, f); // = n/(k+1) = group size
+    let pasted = lemma12_no_fd::<TwoStage>(
+        || two_stage_inputs(l, &distinct_proposals(n)),
+        &spec.all_parts(),
+        max_steps,
+    );
+    Some(BorderDemo { n, f, k, pasted })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn possibility_holds_inside_the_region() {
+        // n = 6, k = 2, f = 3: 12 > 9.
+        let demo = possibility_demo(6, 3, 2, 8);
+        assert!(demo.all_hold);
+        assert!(demo.max_distinct <= 2);
+    }
+
+    #[test]
+    fn consensus_possibility_with_minority_initial_crashes() {
+        // k = 1, n = 5, f = 2: majority correct.
+        let demo = possibility_demo(5, 2, 1, 8);
+        assert!(demo.all_hold);
+        assert_eq!(demo.max_distinct, 1);
+    }
+
+    #[test]
+    fn border_construction_defeats_the_protocol() {
+        // n = 6, k = 2 ⇒ f = 4, three groups of two: the pasted run is
+        // failure-free and shows 3 > k = 2 distinct decisions.
+        let demo = border_demo(6, 2, 100_000).expect("border exists");
+        assert_eq!(demo.f, 4);
+        assert!(demo.violates_k_agreement());
+        assert_eq!(demo.pasted.distinct_decisions(), 3);
+    }
+
+    #[test]
+    fn border_construction_for_consensus() {
+        // k = 1, n = 4 ⇒ f = 2: the familiar "no consensus with half the
+        // processes initially dead" partition into two halves.
+        let demo = border_demo(4, 1, 100_000).expect("border exists");
+        assert_eq!(demo.f, 2);
+        assert!(demo.violates_k_agreement());
+        assert_eq!(demo.pasted.distinct_decisions(), 2);
+    }
+
+    #[test]
+    fn border_demo_requires_divisibility() {
+        // k = 2, n = 7: kn = 14, (k+1) = 3 ∤ 14.
+        assert!(border_demo(7, 2, 1_000).is_none());
+    }
+
+    #[test]
+    fn border_scales() {
+        for (n, k) in [(6, 1), (9, 2), (8, 3), (10, 4)] {
+            let demo = border_demo(n, k, 200_000).expect("border exists");
+            assert!(demo.violates_k_agreement(), "n={n} k={k}");
+            assert_eq!(demo.pasted.distinct_decisions(), k + 1, "n={n} k={k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "possibility demo requires")]
+    fn possibility_demo_rejects_unsolvable_points() {
+        let _ = possibility_demo(6, 4, 2, 1);
+    }
+}

@@ -1,0 +1,66 @@
+//! # kset — "Easy Impossibility Proofs for k-Set Agreement", executable
+//!
+//! A full reproduction of Biely, Robinson & Schmid, *"Easy Impossibility
+//! Proofs for k-Set Agreement in Message Passing Systems"* (OPODIS 2011),
+//! as a Rust workspace. This facade crate re-exports the pieces:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`sim`] | `kset-sim` | deterministic message-passing simulator (DDS model + failure detectors), traces, indistinguishability, restriction `A\|D`, admissibility |
+//! | [`graph`] | `kset-graph` | stage-one graphs, SCCs, source components (Lemmas 6/7), initial cliques |
+//! | [`fd`] | `kset-fd` | Σk, Ωk, the partition detector (Σ′k, Ω′k), loneliness L, history checkers |
+//! | [`core`] | `kset-core` | the k-set agreement task, T-independence, and all algorithms |
+//! | [`impossibility`] | `kset-impossibility` | Theorem 1 checker, run pasting (Lemmas 11/12), borders for Theorems 2/8/10 |
+//!
+//! ## The paper in five runnable sentences
+//!
+//! ```
+//! use kset::impossibility::{theorem2_impossible, theorem8_solvable,
+//!     corollary13_solvable, theorem10_impossible};
+//!
+//! // Theorem 2: with synchronous processes but asynchronous communication,
+//! // k-set agreement is impossible for k ≤ (n−1)/(n−f):
+//! assert!(theorem2_impossible(5, 3, 2));
+//!
+//! // Theorem 8: with f INITIALLY DEAD processes it is solvable iff
+//! // kn > (k+1)f — the two-stage protocol matches the border exactly:
+//! assert!(theorem8_solvable(6, 3, 2));
+//! assert!(!theorem8_solvable(6, 4, 2));
+//!
+//! // Theorem 10 / Corollary 13: the failure-detector pair (Σk, Ωk) solves
+//! // k-set agreement iff k = 1 or k = n−1:
+//! assert!(corollary13_solvable(6, 1));
+//! assert!(theorem10_impossible(6, 3));
+//! assert!(corollary13_solvable(6, 5));
+//! ```
+//!
+//! See the `examples/` directory for end-to-end demonstrations, and
+//! `EXPERIMENTS.md` for the regenerated border tables.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+/// The deterministic message-passing simulator (`kset-sim`).
+pub mod sim {
+    pub use kset_sim::*;
+}
+
+/// The directed-graph substrate (`kset-graph`).
+pub mod graph {
+    pub use kset_graph::*;
+}
+
+/// The failure-detector framework (`kset-fd`).
+pub mod fd {
+    pub use kset_fd::*;
+}
+
+/// The agreement layer (`kset-core`).
+pub mod core {
+    pub use kset_core::*;
+}
+
+/// The impossibility engine (`kset-impossibility`).
+pub mod impossibility {
+    pub use kset_impossibility::*;
+}

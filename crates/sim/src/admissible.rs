@@ -1,0 +1,390 @@
+//! Post-hoc admissibility checking of run prefixes.
+//!
+//! A basic run of the model becomes a run of a concrete system `M` by
+//! *admissibility conditions* (Section II). For `M_ASYNC` these are:
+//! (1) every correct process takes infinitely many steps; (2) faulty
+//! processes take finitely many steps; (3) every message sent to a correct
+//! receiver is eventually received. On finite prefixes we verify the
+//! finitely-checkable projections of these conditions, plus the quantitative
+//! synchrony bounds Φ/Δ of the partially synchronous models
+//! ([`crate::model::SynchronyBounds`]).
+//!
+//! A prefix that passes [`check`] with
+//! [`AdmissibilityRequirements::masync_decided`] is *extendable* to an
+//! admissible infinite run: all correct processes have decided, nothing
+//! undelivered remains for them, and the suffix can be completed by any fair
+//! scheduler.
+
+use crate::failure::FailurePattern;
+use crate::ids::{ProcessId, Time};
+use crate::model::SynchronyBounds;
+use crate::trace::Trace;
+
+/// What to require of a finite prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissibilityRequirements {
+    /// Every correct process must have decided within the prefix.
+    pub correct_decided: bool,
+    /// No undelivered message to a correct process may remain at the end of
+    /// the prefix.
+    pub quiescent: bool,
+    /// Quantitative synchrony bounds to verify against the prefix.
+    pub bounds: SynchronyBounds,
+}
+
+impl AdmissibilityRequirements {
+    /// The `M_ASYNC` prefix discipline for terminated runs: correct
+    /// processes decided, all their messages delivered, no synchrony bounds.
+    pub fn masync_decided() -> Self {
+        AdmissibilityRequirements {
+            correct_decided: true,
+            quiescent: true,
+            bounds: SynchronyBounds::asynchronous(),
+        }
+    }
+
+    /// Only check the synchrony bounds (for mid-run prefixes).
+    pub fn bounds_only(bounds: SynchronyBounds) -> Self {
+        AdmissibilityRequirements { correct_decided: false, quiescent: false, bounds }
+    }
+}
+
+/// A reason a prefix failed the admissibility check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissibilityViolation {
+    /// A correct process did not decide within the prefix.
+    CorrectUndecided(ProcessId),
+    /// Messages to a correct process remain undelivered at the end.
+    UndeliveredToCorrect {
+        /// The receiver.
+        dst: ProcessId,
+        /// How many messages remain.
+        count: usize,
+    },
+    /// Process synchrony bound Φ breached: while `slow` took no step, `fast`
+    /// took more than Φ steps.
+    PhiBreached {
+        /// The starved process.
+        slow: ProcessId,
+        /// The process that overtook it.
+        fast: ProcessId,
+        /// Steps `fast` took inside the gap.
+        steps: u64,
+    },
+    /// Communication bound Δ breached: a message took longer than Δ.
+    DeltaBreached {
+        /// The receiver.
+        dst: ProcessId,
+        /// Observed delay in steps.
+        delay: u64,
+    },
+}
+
+/// Result of an admissibility check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdmissibilityReport {
+    /// All violations found (empty = admissible).
+    pub violations: Vec<AdmissibilityViolation>,
+}
+
+impl AdmissibilityReport {
+    /// Whether the prefix passed every requested check.
+    pub fn is_admissible(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Checks a trace against the requirements.
+pub fn check<V: Clone + Ord>(
+    trace: &Trace<V>,
+    req: &AdmissibilityRequirements,
+) -> AdmissibilityReport {
+    let mut violations = Vec::new();
+    let fp = trace.failure_pattern();
+
+    if req.correct_decided {
+        let decisions = trace.decisions();
+        for p in fp.correct() {
+            if decisions[p.index()].is_none() {
+                violations.push(AdmissibilityViolation::CorrectUndecided(p));
+            }
+        }
+    }
+
+    if req.quiescent {
+        let undelivered = undelivered_to(trace, &fp);
+        for (i, count) in undelivered.iter().enumerate() {
+            let p = ProcessId::new(i);
+            if *count > 0 && fp.crash_time(p).is_none() {
+                violations.push(AdmissibilityViolation::UndeliveredToCorrect { dst: p, count: *count });
+            }
+        }
+    }
+
+    if let Some(phi) = req.bounds.phi {
+        check_phi(trace, &fp, phi, &mut violations);
+    }
+    if let Some(delta) = req.bounds.delta {
+        check_delta(trace, &fp, delta, &mut violations);
+    }
+
+    AdmissibilityReport { violations }
+}
+
+/// Undelivered (non-dropped) message counts per destination, using exact
+/// message-id accounting.
+fn undelivered_to<V: Clone>(trace: &Trace<V>, _fp: &FailurePattern) -> Vec<usize> {
+    use std::collections::BTreeSet;
+    let mut delivered_ids: BTreeSet<crate::ids::MsgId> = BTreeSet::new();
+    for step in trace.steps() {
+        for d in &step.delivered {
+            delivered_ids.insert(d.id);
+        }
+    }
+    let mut counts = vec![0usize; trace.n()];
+    for step in trace.steps() {
+        for s in &step.sent {
+            if !s.dropped && !delivered_ids.contains(&s.id) {
+                counts[s.dst.index()] += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Φ check: for every process `slow` alive over a gap between its
+/// consecutive steps (or before its first / after its last while alive), no
+/// other alive process may take more than Φ steps inside the gap.
+fn check_phi<V: Clone>(
+    trace: &Trace<V>,
+    fp: &FailurePattern,
+    phi: u64,
+    out: &mut Vec<AdmissibilityViolation>,
+) {
+    let n = trace.n();
+    // step_times[p] = sorted times at which p stepped.
+    let mut step_times: Vec<Vec<Time>> = vec![Vec::new(); n];
+    let mut end = Time::ZERO;
+    for step in trace.steps() {
+        step_times[step.pid.index()].push(step.time);
+        end = end.max(step.time);
+    }
+    for slow_idx in 0..n {
+        let slow = ProcessId::new(slow_idx);
+        // Gaps of `slow`: (gap_start, gap_end], during which slow is alive.
+        let mut boundaries: Vec<(Time, Time)> = Vec::new();
+        let alive_until = fp.crash_time(slow).unwrap_or(end);
+        let mut prev = Time::ZERO;
+        for &t in &step_times[slow_idx] {
+            boundaries.push((prev, t));
+            prev = t;
+        }
+        if prev < alive_until {
+            boundaries.push((prev, alive_until));
+        }
+        for (lo, hi) in boundaries {
+            for (fast_idx, times) in step_times.iter().enumerate() {
+                if fast_idx == slow_idx {
+                    continue;
+                }
+                let fast = ProcessId::new(fast_idx);
+                let steps_inside =
+                    times.iter().filter(|t| **t > lo && **t < hi).count() as u64;
+                if steps_inside > phi {
+                    out.push(AdmissibilityViolation::PhiBreached { slow, fast, steps: steps_inside });
+                }
+            }
+        }
+    }
+}
+
+/// Δ check: every delivered message within Δ steps; every undelivered
+/// message to a correct process younger than Δ at the end of the prefix.
+fn check_delta<V: Clone>(
+    trace: &Trace<V>,
+    fp: &FailurePattern,
+    delta: u64,
+    out: &mut Vec<AdmissibilityViolation>,
+) {
+    use std::collections::BTreeMap;
+    let mut sent_at: BTreeMap<crate::ids::MsgId, (ProcessId, Time)> = BTreeMap::new();
+    let mut end = Time::ZERO;
+    for step in trace.steps() {
+        end = end.max(step.time);
+        for s in &step.sent {
+            if !s.dropped {
+                sent_at.insert(s.id, (s.dst, step.time));
+            }
+        }
+        for d in &step.delivered {
+            if let Some((dst, t_sent)) = sent_at.remove(&d.id) {
+                let delay = step.time.since(t_sent);
+                if delay > delta {
+                    out.push(AdmissibilityViolation::DeltaBreached { dst, delay });
+                }
+            }
+        }
+    }
+    // Remaining undelivered messages: overdue if older than Δ and receiver
+    // is correct (a crashed receiver excuses non-delivery).
+    for (dst, t_sent) in sent_at.values() {
+        if fp.crash_time(*dst).is_none() {
+            let age = end.since(*t_sent);
+            if age > delta {
+                out.push(AdmissibilityViolation::DeltaBreached { dst: *dst, delay: age });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::MsgId;
+    use crate::trace::{DeliveredRecord, SendRecord, StepRecord, TraceEvent};
+
+    fn mk_step(
+        time: u64,
+        pid: usize,
+        decided: Option<u32>,
+        sent: Vec<SendRecord>,
+        delivered: Vec<DeliveredRecord>,
+    ) -> TraceEvent<u32> {
+        TraceEvent::Step(StepRecord {
+            time: Time::new(time),
+            pid: ProcessId::new(pid),
+            local_step: 0,
+            delivered,
+            fd_fp: None,
+            state_fp: 0,
+            decided,
+            sent,
+        })
+    }
+
+    fn send(id: u64, dst: usize) -> SendRecord {
+        SendRecord { id: MsgId::new(id), dst: ProcessId::new(dst), payload_fp: 0, dropped: false }
+    }
+
+    fn recv(id: u64, src: usize) -> DeliveredRecord {
+        DeliveredRecord { id: MsgId::new(id), src: ProcessId::new(src), payload_fp: 0 }
+    }
+
+    #[test]
+    fn decided_and_quiescent_prefix_is_admissible() {
+        let mut t = Trace::new(2);
+        t.push(mk_step(1, 0, None, vec![send(0, 1)], vec![]));
+        t.push(mk_step(2, 1, Some(1), vec![], vec![recv(0, 0)]));
+        t.push(mk_step(3, 0, Some(1), vec![], vec![]));
+        let rep = check(&t, &AdmissibilityRequirements::masync_decided());
+        assert!(rep.is_admissible(), "{:?}", rep.violations);
+    }
+
+    #[test]
+    fn undecided_correct_process_flagged() {
+        let mut t: Trace<u32> = Trace::new(2);
+        t.push(mk_step(1, 0, Some(1), vec![], vec![]));
+        let rep = check(&t, &AdmissibilityRequirements::masync_decided());
+        assert!(rep
+            .violations
+            .contains(&AdmissibilityViolation::CorrectUndecided(ProcessId::new(1))));
+    }
+
+    #[test]
+    fn undelivered_to_correct_flagged_but_crashed_excused() {
+        let mut t: Trace<u32> = Trace::new(3);
+        t.push(mk_step(1, 0, Some(1), vec![send(0, 1), send(1, 2)], vec![]));
+        t.push(mk_step(2, 1, Some(1), vec![], vec![]));
+        t.push(TraceEvent::Crash { pid: ProcessId::new(2), time: Time::new(3), after_step: false });
+        let rep = check(
+            &t,
+            &AdmissibilityRequirements { correct_decided: false, quiescent: true, bounds: SynchronyBounds::asynchronous() },
+        );
+        assert_eq!(
+            rep.violations,
+            vec![AdmissibilityViolation::UndeliveredToCorrect { dst: ProcessId::new(1), count: 1 }],
+            "undelivered to crashed p3 must be excused"
+        );
+    }
+
+    #[test]
+    fn phi_violation_detected() {
+        // p1 steps at t=1 and t=10; p2 takes 5 steps in between; Φ=2.
+        let mut t: Trace<u32> = Trace::new(2);
+        t.push(mk_step(1, 0, None, vec![], vec![]));
+        for time in 2..7 {
+            t.push(mk_step(time, 1, None, vec![], vec![]));
+        }
+        t.push(mk_step(10, 0, None, vec![], vec![]));
+        let rep = check(
+            &t,
+            &AdmissibilityRequirements::bounds_only(SynchronyBounds { phi: Some(2), delta: None }),
+        );
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| matches!(v, AdmissibilityViolation::PhiBreached { slow, steps, .. }
+                if *slow == ProcessId::new(0) && *steps == 5)));
+    }
+
+    #[test]
+    fn phi_respected_in_lockstep() {
+        let mut t: Trace<u32> = Trace::new(2);
+        for round in 0..5u64 {
+            t.push(mk_step(2 * round + 1, 0, None, vec![], vec![]));
+            t.push(mk_step(2 * round + 2, 1, None, vec![], vec![]));
+        }
+        let rep = check(
+            &t,
+            &AdmissibilityRequirements::bounds_only(SynchronyBounds { phi: Some(1), delta: None }),
+        );
+        assert!(rep.is_admissible(), "{:?}", rep.violations);
+    }
+
+    #[test]
+    fn crashed_process_excused_from_phi() {
+        let mut t: Trace<u32> = Trace::new(2);
+        t.push(mk_step(1, 0, None, vec![], vec![]));
+        t.push(TraceEvent::Crash { pid: ProcessId::new(0), time: Time::new(1), after_step: true });
+        for time in 2..20 {
+            t.push(mk_step(time, 1, None, vec![], vec![]));
+        }
+        let rep = check(
+            &t,
+            &AdmissibilityRequirements::bounds_only(SynchronyBounds { phi: Some(1), delta: None }),
+        );
+        assert!(rep.is_admissible(), "{:?}", rep.violations);
+    }
+
+    #[test]
+    fn delta_violation_on_slow_delivery() {
+        let mut t: Trace<u32> = Trace::new(2);
+        t.push(mk_step(1, 0, None, vec![send(0, 1)], vec![]));
+        for time in 2..10 {
+            t.push(mk_step(time, 1, None, vec![], vec![]));
+        }
+        t.push(mk_step(10, 1, None, vec![], vec![recv(0, 0)]));
+        let rep = check(
+            &t,
+            &AdmissibilityRequirements::bounds_only(SynchronyBounds { phi: None, delta: Some(3) }),
+        );
+        assert!(matches!(
+            rep.violations.first(),
+            Some(AdmissibilityViolation::DeltaBreached { delay: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn delta_violation_on_overdue_undelivered() {
+        let mut t: Trace<u32> = Trace::new(2);
+        t.push(mk_step(1, 0, None, vec![send(0, 1)], vec![]));
+        for time in 2..12 {
+            t.push(mk_step(time, 1, None, vec![], vec![]));
+        }
+        let rep = check(
+            &t,
+            &AdmissibilityRequirements::bounds_only(SynchronyBounds { phi: None, delta: Some(5) }),
+        );
+        assert!(!rep.is_admissible());
+    }
+}

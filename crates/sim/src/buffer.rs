@@ -1,0 +1,258 @@
+//! Per-process message buffers.
+//!
+//! The model keeps one buffer per process containing messages sent to it but
+//! not yet received (Section II of the paper). The buffer is a *multiset*:
+//! the same payload may be enqueued many times. Our representation
+//! additionally maintains FIFO order **per source**, which lets schedulers
+//! express deliveries as "the oldest `c` messages from source `q`" — the key
+//! primitive used to replay a partition-local schedule inside a larger
+//! system when pasting runs (Lemmas 11/12 of the paper).
+//!
+//! Note that FIFO-per-source is a property of the *representation*, not of
+//! the *model*: schedulers remain free to deliver any subset in any order by
+//! selecting explicit [`MsgId`]s, so the asynchronous model's full
+//! reordering power is preserved.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::ids::{MsgId, ProcessId};
+use crate::message::Envelope;
+
+/// The message buffer of one process.
+///
+/// # Examples
+///
+/// ```
+/// use kset_sim::{Buffer, Envelope, MsgId, ProcessId, Time};
+///
+/// let mut buf: Buffer<&'static str> = Buffer::new();
+/// buf.push(Envelope::new(MsgId::new(0), ProcessId::new(1), ProcessId::new(0), Time::new(1), "a"));
+/// assert_eq!(buf.len(), 1);
+/// let taken = buf.take_oldest_from(ProcessId::new(1), 1);
+/// assert_eq!(taken.len(), 1);
+/// assert!(buf.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Buffer<M> {
+    /// Pending messages keyed by source, FIFO within each source.
+    by_src: BTreeMap<ProcessId, VecDeque<Envelope<M>>>,
+    /// Total number of pending messages.
+    len: usize,
+}
+
+impl<M> Default for Buffer<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> Buffer<M> {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Buffer { by_src: BTreeMap::new(), len: 0 }
+    }
+
+    /// Number of pending messages.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer holds no pending messages.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Enqueues a message.
+    pub fn push(&mut self, env: Envelope<M>) {
+        self.by_src.entry(env.src).or_default().push_back(env);
+        self.len += 1;
+    }
+
+    /// Iterates over all pending messages in (source id, send order).
+    pub fn iter(&self) -> impl Iterator<Item = &Envelope<M>> {
+        self.by_src.values().flatten()
+    }
+
+    /// The distinct sources with at least one pending message.
+    pub fn sources(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.by_src
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(src, _)| *src)
+    }
+
+    /// Number of pending messages from `src`.
+    pub fn pending_from(&self, src: ProcessId) -> usize {
+        self.by_src.get(&src).map_or(0, VecDeque::len)
+    }
+
+    /// Removes and returns the oldest `count` messages from `src` (fewer if
+    /// fewer are pending), preserving their send order.
+    pub fn take_oldest_from(&mut self, src: ProcessId, count: usize) -> Vec<Envelope<M>> {
+        let Some(queue) = self.by_src.get_mut(&src) else {
+            return Vec::new();
+        };
+        let take = count.min(queue.len());
+        let out: Vec<_> = queue.drain(..take).collect();
+        self.len -= out.len();
+        out
+    }
+
+    /// Removes and returns every pending message, ordered by (source, send
+    /// order).
+    pub fn take_all(&mut self) -> Vec<Envelope<M>> {
+        let mut out = Vec::with_capacity(self.len);
+        for queue in self.by_src.values_mut() {
+            out.extend(queue.drain(..));
+        }
+        self.len = 0;
+        out
+    }
+
+    /// Removes and returns all pending messages whose source is in `allowed`,
+    /// ordered by (source, send order). Messages from other sources remain.
+    pub fn take_all_from(&mut self, allowed: &BTreeSet<ProcessId>) -> Vec<Envelope<M>> {
+        let mut out = Vec::new();
+        for (src, queue) in &mut self.by_src {
+            if allowed.contains(src) {
+                out.extend(queue.drain(..));
+            }
+        }
+        self.len -= out.len();
+        out
+    }
+
+    /// Removes and returns the messages with the given ids, in the order the
+    /// ids are listed. Ids not present in the buffer are silently skipped.
+    pub fn take_ids(&mut self, ids: &[MsgId]) -> Vec<Envelope<M>> {
+        let wanted: BTreeSet<MsgId> = ids.iter().copied().collect();
+        let mut extracted: BTreeMap<MsgId, Envelope<M>> = BTreeMap::new();
+        for queue in self.by_src.values_mut() {
+            let mut kept = VecDeque::with_capacity(queue.len());
+            for env in queue.drain(..) {
+                if wanted.contains(&env.id) {
+                    extracted.insert(env.id, env);
+                } else {
+                    kept.push_back(env);
+                }
+            }
+            *queue = kept;
+        }
+        self.len -= extracted.len();
+        // Return in the caller's requested order.
+        ids.iter().filter_map(|id| extracted.remove(id)).collect()
+    }
+
+    /// Ids of all pending messages, ordered by (source, send order).
+    pub fn pending_ids(&self) -> Vec<MsgId> {
+        self.iter().map(|e| e.id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Time;
+
+    fn env(id: u64, src: usize, payload: u32) -> Envelope<u32> {
+        Envelope::new(
+            MsgId::new(id),
+            ProcessId::new(src),
+            ProcessId::new(0),
+            Time::new(id),
+            payload,
+        )
+    }
+
+    #[test]
+    fn push_and_len() {
+        let mut b = Buffer::new();
+        assert!(b.is_empty());
+        b.push(env(0, 1, 10));
+        b.push(env(1, 2, 20));
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn take_oldest_preserves_fifo_per_source() {
+        let mut b = Buffer::new();
+        b.push(env(0, 1, 10));
+        b.push(env(1, 1, 11));
+        b.push(env(2, 1, 12));
+        let first_two = b.take_oldest_from(ProcessId::new(1), 2);
+        assert_eq!(first_two.iter().map(|e| e.payload).collect::<Vec<_>>(), vec![10, 11]);
+        assert_eq!(b.len(), 1);
+        let rest = b.take_oldest_from(ProcessId::new(1), 5);
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].payload, 12);
+    }
+
+    #[test]
+    fn take_oldest_from_absent_source_is_empty() {
+        let mut b: Buffer<u32> = Buffer::new();
+        assert!(b.take_oldest_from(ProcessId::new(9), 3).is_empty());
+    }
+
+    #[test]
+    fn take_all_orders_by_source_then_send() {
+        let mut b = Buffer::new();
+        b.push(env(5, 2, 25));
+        b.push(env(1, 1, 11));
+        b.push(env(3, 2, 23));
+        let all = b.take_all();
+        assert_eq!(all.iter().map(|e| e.payload).collect::<Vec<_>>(), vec![11, 25, 23]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn take_all_from_filters_sources() {
+        let mut b = Buffer::new();
+        b.push(env(0, 1, 10));
+        b.push(env(1, 2, 20));
+        b.push(env(2, 3, 30));
+        let allowed: BTreeSet<_> = [ProcessId::new(1), ProcessId::new(3)].into();
+        let got = b.take_all_from(&allowed);
+        assert_eq!(got.iter().map(|e| e.payload).collect::<Vec<_>>(), vec![10, 30]);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.pending_from(ProcessId::new(2)), 1);
+    }
+
+    #[test]
+    fn take_ids_in_requested_order() {
+        let mut b = Buffer::new();
+        b.push(env(0, 1, 10));
+        b.push(env(1, 2, 20));
+        b.push(env(2, 1, 12));
+        let got = b.take_ids(&[MsgId::new(2), MsgId::new(1)]);
+        assert_eq!(got.iter().map(|e| e.payload).collect::<Vec<_>>(), vec![12, 20]);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn take_ids_skips_unknown_ids() {
+        let mut b = Buffer::new();
+        b.push(env(0, 1, 10));
+        let got = b.take_ids(&[MsgId::new(7), MsgId::new(0)]);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].payload, 10);
+    }
+
+    #[test]
+    fn sources_reports_distinct_pending_sources() {
+        let mut b = Buffer::new();
+        b.push(env(0, 3, 1));
+        b.push(env(1, 1, 2));
+        b.push(env(2, 3, 3));
+        let sources: Vec<_> = b.sources().collect();
+        assert_eq!(sources, vec![ProcessId::new(1), ProcessId::new(3)]);
+    }
+
+    #[test]
+    fn pending_ids_ordering() {
+        let mut b = Buffer::new();
+        b.push(env(9, 2, 1));
+        b.push(env(4, 1, 2));
+        assert_eq!(b.pending_ids(), vec![MsgId::new(4), MsgId::new(9)]);
+    }
+}

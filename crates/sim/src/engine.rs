@@ -1,0 +1,727 @@
+//! The simulation engine: executes runs of an algorithm under a scheduler.
+//!
+//! [`Simulation`] holds the full configuration of the paper's model
+//! (Section II): the vector of local states and the per-process message
+//! buffers. Each call to [`Simulation::step`] performs one atomic step of
+//! one process — receive a scheduler-chosen subset of its buffer, sample the
+//! failure detector (when the model provides one), apply the deterministic
+//! transition, and enqueue the emitted messages — advancing global time by
+//! one, exactly as in the run definition `ρ = (C0, C1, …)`.
+//!
+//! Crashes come from a [`CrashPlan`]: initially-dead processes never step;
+//! a scheduled crash ends the process's final step with an [`Omission`]
+//! rule applied to that step's sends (the model's "may omit sending messages
+//! to a subset of receivers in the very last step").
+
+use std::collections::BTreeSet;
+
+use crate::buffer::Buffer;
+use crate::failure::{CrashPlan, FailurePattern};
+use crate::ids::{MsgId, ProcessId, Time};
+use crate::message::{fingerprint, Envelope};
+use crate::oracle::{NoOracle, Oracle};
+use crate::process::{Effects, Process, ProcessInfo};
+use crate::sched::{Choice, Delivery, Scheduler, SimView, Status};
+use crate::trace::{DeliveredRecord, SendRecord, StepRecord, Trace, TraceEvent};
+
+/// Errors surfaced by [`Simulation::step`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The selected process has already crashed (or is initially dead).
+    ProcessCrashed(ProcessId),
+    /// The selected process id is out of range.
+    InvalidProcess(ProcessId),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::ProcessCrashed(p) => write!(f, "process {p} has crashed and cannot step"),
+            SimError::InvalidProcess(p) => write!(f, "process {p} does not exist"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A protocol violation observed during a run (recorded, not fatal).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A process attempted to overwrite its write-once decision with a
+    /// different value.
+    DoubleDecision {
+        /// The offending process.
+        pid: ProcessId,
+        /// Time of the second, conflicting decision.
+        time: Time,
+    },
+}
+
+/// Why [`Simulation::run`] stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Every process that is correct under the crash plan has decided.
+    AllCorrectDecided,
+    /// The scheduler returned `None`.
+    SchedulerDone,
+    /// The step limit was reached.
+    StepLimit,
+}
+
+/// Outcome summary of [`Simulation::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunStatus {
+    /// Steps executed by this call.
+    pub steps: u64,
+    /// Why the loop stopped.
+    pub stop: StopReason,
+}
+
+/// Complete result of a finished run prefix: decisions, failure pattern,
+/// violations, and the full trace.
+#[derive(Debug, Clone)]
+pub struct RunReport<V> {
+    /// Per-process decisions (`None` = undecided in this prefix).
+    pub decisions: Vec<Option<V>>,
+    /// The set of distinct decision values — the quantity bounded by
+    /// k-Agreement.
+    pub distinct_decisions: BTreeSet<V>,
+    /// The failure pattern `F(·)` of the run.
+    pub failure_pattern: FailurePattern,
+    /// Protocol violations observed (write-once breaches).
+    pub violations: Vec<Violation>,
+    /// Why the run stopped.
+    pub stop: StopReason,
+    /// Total steps taken over the simulation's lifetime.
+    pub steps: u64,
+    /// The recorded trace.
+    pub trace: Trace<V>,
+}
+
+impl<V: Clone + Ord> RunReport<V> {
+    /// Whether every correct process (w.r.t. the run's failure pattern)
+    /// decided.
+    pub fn all_correct_decided(&self) -> bool {
+        self.failure_pattern
+            .correct()
+            .iter()
+            .all(|p| self.decisions[p.index()].is_some())
+    }
+
+    /// Number of distinct decision values in the run — at most `k` iff the
+    /// run satisfies k-Agreement.
+    pub fn num_distinct_decisions(&self) -> usize {
+        self.distinct_decisions.len()
+    }
+}
+
+/// A running instance of an algorithm `P` in the simulated system, with
+/// failure-detector oracle `O`.
+///
+/// `Simulation` is `Clone` when the oracle is, which is what enables the
+/// exhaustive schedule exploration of [`crate::explore`]: a configuration
+/// can be forked and driven down different scheduling branches.
+#[derive(Debug)]
+pub struct Simulation<P: Process, O: Oracle<Sample = P::Fd>> {
+    n: usize,
+    procs: Vec<P>,
+    statuses: Vec<Status>,
+    decided: Vec<Option<P::Output>>,
+    decided_flags: Vec<bool>,
+    buffers: Vec<Buffer<P::Msg>>,
+    oracle: O,
+    crash_plan: CrashPlan,
+    time: Time,
+    next_msg_id: u64,
+    observed: FailurePattern,
+    violations: Vec<Violation>,
+    trace: Trace<P::Output>,
+    total_steps: u64,
+}
+
+impl<P> Simulation<P, NoOracle>
+where
+    P: Process<Fd = ()>,
+{
+    /// Creates a simulation without failure detectors (dimension 6
+    /// unfavourable): each process `p_i` starts with `inputs[i]`. The
+    /// process still receives `Some(&())` as its sample so that traces of
+    /// oracle-less and oracle-backed executions fingerprint identically.
+    pub fn new(inputs: Vec<P::Input>, crash_plan: CrashPlan) -> Self {
+        Self::build(inputs, NoOracle, crash_plan)
+    }
+}
+
+impl<P, O> Simulation<P, O>
+where
+    P: Process,
+    O: Oracle<Sample = P::Fd>,
+    P::Fd: std::hash::Hash,
+{
+    /// Creates a simulation in which every step queries the given
+    /// failure-detector oracle (dimension 6 favourable).
+    pub fn with_oracle(inputs: Vec<P::Input>, oracle: O, crash_plan: CrashPlan) -> Self {
+        Self::build(inputs, oracle, crash_plan)
+    }
+
+    fn build(inputs: Vec<P::Input>, oracle: O, crash_plan: CrashPlan) -> Self {
+        let n = inputs.len();
+        let procs: Vec<P> = inputs
+            .into_iter()
+            .enumerate()
+            .map(|(i, input)| P::init(ProcessInfo::new(ProcessId::new(i), n), input))
+            .collect();
+        let mut trace = Trace::new(n);
+        let mut statuses = vec![Status::Alive { local_steps: 0 }; n];
+        let mut observed = FailurePattern::all_correct(n);
+        for &p in crash_plan.initially_dead_set() {
+            statuses[p.index()] = Status::Crashed { at: Time::ZERO };
+            observed.record_crash(p, Time::ZERO);
+            trace.push(TraceEvent::Crash { pid: p, time: Time::ZERO, after_step: false });
+        }
+        Simulation {
+            n,
+            procs,
+            statuses,
+            decided: vec![None; n],
+            decided_flags: vec![false; n],
+            buffers: (0..n).map(|_| Buffer::new()).collect(),
+            oracle,
+            crash_plan,
+            time: Time::ZERO,
+            next_msg_id: 0,
+            observed,
+            violations: Vec::new(),
+            trace,
+            total_steps: 0,
+        }
+    }
+
+    /// System size `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Current global time.
+    pub fn time(&self) -> Time {
+        self.time
+    }
+
+    /// Whether `pid` can still take steps.
+    pub fn is_alive(&self, pid: ProcessId) -> bool {
+        self.statuses[pid.index()].is_alive()
+    }
+
+    /// The decision of `pid`, if made.
+    pub fn decision(&self, pid: ProcessId) -> Option<&P::Output> {
+        self.decided[pid.index()].as_ref()
+    }
+
+    /// Per-process decisions.
+    pub fn decisions(&self) -> &[Option<P::Output>] {
+        &self.decided
+    }
+
+    /// The current local state of `pid` (for white-box assertions in tests).
+    pub fn state(&self, pid: ProcessId) -> &P {
+        &self.procs[pid.index()]
+    }
+
+    /// The pending-message buffer of `pid`.
+    pub fn buffer(&self, pid: ProcessId) -> &Buffer<P::Msg> {
+        &self.buffers[pid.index()]
+    }
+
+    /// The failure pattern observed so far.
+    pub fn failure_pattern(&self) -> &FailurePattern {
+        &self.observed
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &Trace<P::Output> {
+        &self.trace
+    }
+
+    /// The crash plan driving failures.
+    pub fn crash_plan(&self) -> &CrashPlan {
+        &self.crash_plan
+    }
+
+    /// Whether every process that is correct under the crash plan has
+    /// decided.
+    pub fn all_correct_decided(&self) -> bool {
+        let faulty = self.crash_plan.faulty();
+        ProcessId::all(self.n)
+            .filter(|p| !faulty.contains(p))
+            .all(|p| self.decided[p.index()].is_some())
+    }
+
+    /// Executes one atomic step of `pid` with the given delivery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ProcessCrashed`] if `pid` already crashed, and
+    /// [`SimError::InvalidProcess`] if `pid` is out of range.
+    pub fn step(&mut self, pid: ProcessId, delivery: Delivery) -> Result<(), SimError> {
+        if pid.index() >= self.n {
+            return Err(SimError::InvalidProcess(pid));
+        }
+        if !self.statuses[pid.index()].is_alive() {
+            return Err(SimError::ProcessCrashed(pid));
+        }
+        self.time = self.time.next();
+        self.total_steps += 1;
+
+        // 1. Receive: extract the chosen subset of the buffer.
+        let delivered: Vec<Envelope<P::Msg>> = {
+            let buf = &mut self.buffers[pid.index()];
+            match delivery {
+                Delivery::None => Vec::new(),
+                Delivery::All => buf.take_all(),
+                Delivery::AllFrom(srcs) => buf.take_all_from(&srcs),
+                Delivery::OldestPerSource(list) => {
+                    let mut out = Vec::new();
+                    for (src, count) in list {
+                        out.extend(buf.take_oldest_from(src, count));
+                    }
+                    out
+                }
+                Delivery::Ids(ids) => buf.take_ids(&ids),
+            }
+        };
+
+        // 2. Query the failure detector. In the unfavourable dimension-6
+        // setting the oracle is `NoOracle` and the sample is `()` — still
+        // passed as `Some` so that state/observation fingerprints do not
+        // depend on how the simulation was constructed.
+        let fd_sample: Option<P::Fd> = Some(self.oracle.sample(pid, self.time, &self.observed));
+        let fd_fp = fd_sample.as_ref().map(fingerprint);
+
+        // 3. Atomic transition.
+        let info = ProcessInfo::new(pid, self.n);
+        let mut effects = Effects::new(info);
+        self.procs[pid.index()].step(&delivered, fd_sample.as_ref(), &mut effects);
+        let (sends, decision) = effects.into_parts();
+
+        // 4. Write-once decision discipline.
+        let mut decided_now = None;
+        if let Some(v) = decision {
+            match &self.decided[pid.index()] {
+                None => {
+                    self.decided[pid.index()] = Some(v.clone());
+                    self.decided_flags[pid.index()] = true;
+                    decided_now = Some(v);
+                }
+                Some(existing) if *existing == v => {}
+                Some(_) => {
+                    self.violations.push(Violation::DoubleDecision { pid, time: self.time });
+                }
+            }
+        }
+
+        // 5. Crash check: does this step complete the process's final step?
+        let local_steps = match &mut self.statuses[pid.index()] {
+            Status::Alive { local_steps } => {
+                *local_steps += 1;
+                *local_steps
+            }
+            Status::Crashed { .. } => unreachable!("liveness checked above"),
+        };
+        let omission = match self.crash_plan.crash_for(pid) {
+            Some((s, om)) if local_steps >= s => Some(om.clone()),
+            _ => None,
+        };
+
+        // 6. Send: enqueue surviving messages, record all (with drop flag).
+        let mut sent_records = Vec::with_capacity(sends.len());
+        for (dst, payload) in sends {
+            let id = MsgId::new(self.next_msg_id);
+            self.next_msg_id += 1;
+            let dropped = omission
+                .as_ref()
+                .is_some_and(|om| !om.delivers_to(dst));
+            let payload_fp = fingerprint(&payload);
+            if !dropped && dst.index() < self.n {
+                self.buffers[dst.index()].push(Envelope::new(id, pid, dst, self.time, payload));
+            }
+            sent_records.push(SendRecord { id, dst, payload_fp, dropped });
+        }
+
+        // 7. Record the step (and the crash, if this was the final step).
+        self.trace.push(TraceEvent::Step(StepRecord {
+            time: self.time,
+            pid,
+            local_step: local_steps,
+            delivered: delivered
+                .iter()
+                .map(|e| DeliveredRecord { id: e.id, src: e.src, payload_fp: e.payload_fingerprint() })
+                .collect(),
+            fd_fp,
+            state_fp: fingerprint(&self.procs[pid.index()]),
+            decided: decided_now,
+            sent: sent_records,
+        }));
+        if omission.is_some() {
+            self.statuses[pid.index()] = Status::Crashed { at: self.time };
+            self.observed.record_crash(pid, self.time);
+            self.trace.push(TraceEvent::Crash { pid, time: self.time, after_step: true });
+        }
+        Ok(())
+    }
+
+    /// Runs under `scheduler` until every correct process decided, the
+    /// scheduler stops, or `max_steps` further steps were taken.
+    pub fn run<S>(&mut self, scheduler: &mut S, max_steps: u64) -> RunStatus
+    where
+        S: Scheduler<P::Msg> + ?Sized,
+    {
+        let mut steps = 0;
+        loop {
+            if self.all_correct_decided() {
+                return RunStatus { steps, stop: StopReason::AllCorrectDecided };
+            }
+            if steps >= max_steps {
+                return RunStatus { steps, stop: StopReason::StepLimit };
+            }
+            let choice = {
+                let view = SimView {
+                    n: self.n,
+                    time: self.time,
+                    statuses: &self.statuses,
+                    decided: &self.decided_flags,
+                    buffers: &self.buffers,
+                };
+                scheduler.next(&view)
+            };
+            let Some(Choice { pid, delivery }) = choice else {
+                return RunStatus { steps, stop: StopReason::SchedulerDone };
+            };
+            // A scheduler picking a crashed process is a scheduler bug in
+            // tests, but adversaries constructed from plans may race with
+            // plan-driven crashes; skip such picks gracefully.
+            if self.step(pid, delivery).is_ok() {
+                steps += 1;
+            } else {
+                // Give the scheduler one chance to observe the new state;
+                // if it keeps choosing dead processes we will hit max_steps
+                // via its None or loop guard below.
+                steps += 1;
+            }
+        }
+    }
+
+    /// Produces the report of the run so far (cloning the trace).
+    pub fn report(&self, stop: StopReason) -> RunReport<P::Output> {
+        let decisions = self.decided.clone();
+        let distinct_decisions: BTreeSet<P::Output> =
+            decisions.iter().flatten().cloned().collect();
+        RunReport {
+            decisions,
+            distinct_decisions,
+            failure_pattern: self.observed.clone(),
+            violations: self.violations.clone(),
+            stop,
+            steps: self.total_steps,
+            trace: self.trace.clone(),
+        }
+    }
+
+    /// Runs to completion under `scheduler` and returns the report.
+    pub fn run_to_report<S>(&mut self, scheduler: &mut S, max_steps: u64) -> RunReport<P::Output>
+    where
+        S: Scheduler<P::Msg> + ?Sized,
+    {
+        let status = self.run(scheduler, max_steps);
+        self.report(status.stop)
+    }
+
+    /// A fingerprint of the whole configuration: local states, decisions,
+    /// liveness, and buffered messages. Two configurations with equal
+    /// fingerprints continue identically under identical future schedules
+    /// (up to hash collision), which is what the exhaustive explorer's
+    /// state deduplication relies on.
+    pub fn config_fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for (i, p) in self.procs.iter().enumerate() {
+            i.hash(&mut h);
+            p.hash(&mut h);
+            self.statuses[i].is_alive().hash(&mut h);
+            self.decided_flags[i].hash(&mut h);
+            // Buffer contents: (src, payload) multiset in FIFO order.
+            for env in self.buffers[i].iter() {
+                env.src.hash(&mut h);
+                env.payload.hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+}
+
+impl<P, O> Clone for Simulation<P, O>
+where
+    P: Process,
+    O: Oracle<Sample = P::Fd> + Clone,
+{
+    fn clone(&self) -> Self {
+        Simulation {
+            n: self.n,
+            procs: self.procs.clone(),
+            statuses: self.statuses.clone(),
+            decided: self.decided.clone(),
+            decided_flags: self.decided_flags.clone(),
+            buffers: self.buffers.clone(),
+            oracle: self.oracle.clone(),
+            crash_plan: self.crash_plan.clone(),
+            time: self.time,
+            next_msg_id: self.next_msg_id,
+            observed: self.observed.clone(),
+            violations: self.violations.clone(),
+            trace: self.trace.clone(),
+            total_steps: self.total_steps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure::Omission;
+    use crate::process::{Effects, ProcessInfo};
+
+    /// A toy process: broadcasts its input once, decides the minimum value
+    /// it has seen once it heard from everyone alive it expects (here:
+    /// simply after receiving `quorum` values including its own).
+    #[derive(Debug, Clone, Hash)]
+    struct MinEcho {
+        info_id: usize,
+        n: usize,
+        quorum: usize,
+        seen: Vec<u64>,
+        sent: bool,
+        decided: bool,
+    }
+
+    impl Process for MinEcho {
+        type Msg = u64;
+        type Input = u64;
+        type Output = u64;
+        type Fd = ();
+
+        fn init(info: ProcessInfo, input: u64) -> Self {
+            MinEcho {
+                info_id: info.id.index(),
+                n: info.n,
+                quorum: info.n,
+                seen: vec![input],
+                sent: false,
+                decided: false,
+            }
+        }
+
+        fn step(
+            &mut self,
+            delivered: &[Envelope<u64>],
+            _fd: Option<&()>,
+            effects: &mut Effects<u64, u64>,
+        ) {
+            if !self.sent {
+                self.sent = true;
+                effects.broadcast(self.seen[0]);
+            }
+            for env in delivered {
+                self.seen.push(env.payload);
+            }
+            if !self.decided && self.seen.len() > self.n {
+                // own + n broadcast copies (incl. self-delivery).
+                self.decided = true;
+                effects.decide(*self.seen.iter().min().unwrap());
+            }
+        }
+    }
+
+    fn run_min_echo(inputs: Vec<u64>, plan: CrashPlan) -> RunReport<u64> {
+        let mut sim: Simulation<MinEcho, NoOracle> = Simulation::new(inputs, plan);
+        let mut rr = crate::sched::round_robin::RoundRobin::new();
+        sim.run_to_report(&mut rr, 10_000)
+    }
+
+    #[test]
+    fn all_correct_processes_decide_the_minimum() {
+        let report = run_min_echo(vec![5, 3, 9], CrashPlan::none());
+        assert!(report.all_correct_decided());
+        assert_eq!(report.distinct_decisions.len(), 1);
+        assert_eq!(report.decisions, vec![Some(3), Some(3), Some(3)]);
+        assert!(report.violations.is_empty());
+    }
+
+    #[test]
+    fn initially_dead_process_never_steps() {
+        let plan = CrashPlan::initially_dead([ProcessId::new(2)]);
+        let mut sim: Simulation<MinEcho, NoOracle> = Simulation::new(vec![5, 3, 9], plan);
+        assert!(!sim.is_alive(ProcessId::new(2)));
+        let err = sim.step(ProcessId::new(2), Delivery::All).unwrap_err();
+        assert_eq!(err, SimError::ProcessCrashed(ProcessId::new(2)));
+        // The quorum of n values can never be reached: p3's input is lost.
+        let mut rr = crate::sched::round_robin::RoundRobin::new();
+        let status = sim.run(&mut rr, 500);
+        assert_eq!(status.stop, StopReason::StepLimit);
+        let report = sim.report(status.stop);
+        assert_eq!(report.failure_pattern.faulty(), [ProcessId::new(2)].into());
+    }
+
+    #[test]
+    fn scheduled_crash_applies_send_omission() {
+        // p1 crashes after its first step, dropping all of its broadcast.
+        let plan = CrashPlan::none().with_crash_after(ProcessId::new(0), 1, Omission::All);
+        let mut sim: Simulation<MinEcho, NoOracle> = Simulation::new(vec![1, 2, 3], plan);
+        sim.step(ProcessId::new(0), Delivery::None).unwrap();
+        assert!(!sim.is_alive(ProcessId::new(0)));
+        // Nothing of p1's broadcast reached any buffer.
+        for p in ProcessId::all(3) {
+            assert_eq!(sim.buffer(p).len(), 0, "dropped broadcast must not be buffered");
+        }
+        let fp = sim.failure_pattern();
+        assert_eq!(fp.crash_time(ProcessId::new(0)), Some(Time::new(1)));
+    }
+
+    #[test]
+    fn scheduled_crash_partial_omission() {
+        // p1 crashes in its first step but its message to p2 survives.
+        let keep: Omission = Omission::KeepOnlyTo([ProcessId::new(1)].into());
+        let plan = CrashPlan::none().with_crash_after(ProcessId::new(0), 1, keep);
+        let mut sim: Simulation<MinEcho, NoOracle> = Simulation::new(vec![1, 2, 3], plan);
+        sim.step(ProcessId::new(0), Delivery::None).unwrap();
+        assert_eq!(sim.buffer(ProcessId::new(1)).len(), 1);
+        assert_eq!(sim.buffer(ProcessId::new(2)).len(), 0);
+    }
+
+    #[test]
+    fn invalid_process_is_an_error() {
+        let mut sim: Simulation<MinEcho, NoOracle> = Simulation::new(vec![1], CrashPlan::none());
+        let err = sim.step(ProcessId::new(5), Delivery::All).unwrap_err();
+        assert_eq!(err, SimError::InvalidProcess(ProcessId::new(5)));
+    }
+
+    #[test]
+    fn trace_records_steps_and_decisions() {
+        let report = run_min_echo(vec![4, 4], CrashPlan::none());
+        assert!(report.trace.step_count() > 0);
+        let decisions = report.trace.decisions();
+        assert_eq!(decisions, vec![Some(4), Some(4)]);
+        assert_eq!(report.distinct_decisions.len(), 1);
+    }
+
+    #[test]
+    fn time_advances_one_per_step() {
+        let mut sim: Simulation<MinEcho, NoOracle> = Simulation::new(vec![1, 2], CrashPlan::none());
+        assert_eq!(sim.time(), Time::ZERO);
+        sim.step(ProcessId::new(0), Delivery::None).unwrap();
+        assert_eq!(sim.time(), Time::new(1));
+        sim.step(ProcessId::new(1), Delivery::None).unwrap();
+        assert_eq!(sim.time(), Time::new(2));
+    }
+
+    /// A misbehaving process that decides a different value every step.
+    #[derive(Debug, Clone, Hash)]
+    struct FlipFlop {
+        step: u64,
+    }
+
+    impl Process for FlipFlop {
+        type Msg = u8;
+        type Input = ();
+        type Output = u64;
+        type Fd = ();
+
+        fn init(_info: ProcessInfo, _input: ()) -> Self {
+            FlipFlop { step: 0 }
+        }
+
+        fn step(
+            &mut self,
+            _delivered: &[Envelope<u8>],
+            _fd: Option<&()>,
+            effects: &mut Effects<u8, u64>,
+        ) {
+            self.step += 1;
+            effects.decide(self.step);
+        }
+    }
+
+    #[test]
+    fn double_decision_is_recorded_not_fatal() {
+        let mut sim: Simulation<FlipFlop, NoOracle> =
+            Simulation::new(vec![()], CrashPlan::none());
+        sim.step(ProcessId::new(0), Delivery::None).unwrap();
+        sim.step(ProcessId::new(0), Delivery::None).unwrap();
+        sim.step(ProcessId::new(0), Delivery::None).unwrap();
+        let report = sim.report(StopReason::SchedulerDone);
+        // First decision wins; each later conflicting decide is recorded.
+        assert_eq!(report.decisions, vec![Some(1)]);
+        assert_eq!(report.violations.len(), 2);
+        assert!(matches!(
+            report.violations[0],
+            Violation::DoubleDecision { time, .. } if time == Time::new(2)
+        ));
+    }
+
+    #[test]
+    fn config_fingerprint_tracks_configuration() {
+        let mut a: Simulation<MinEcho, NoOracle> =
+            Simulation::new(vec![1, 2], CrashPlan::none());
+        let b: Simulation<MinEcho, NoOracle> =
+            Simulation::new(vec![1, 2], CrashPlan::none());
+        assert_eq!(a.config_fingerprint(), b.config_fingerprint(), "equal initials");
+        a.step(ProcessId::new(0), Delivery::None).unwrap();
+        assert_ne!(a.config_fingerprint(), b.config_fingerprint(), "diverged");
+        // Order-insensitive confluence: stepping p1 then p2 with no
+        // deliveries equals stepping p2 then p1 (states and buffers agree).
+        let mut x: Simulation<MinEcho, NoOracle> =
+            Simulation::new(vec![1, 2], CrashPlan::none());
+        let mut y: Simulation<MinEcho, NoOracle> =
+            Simulation::new(vec![1, 2], CrashPlan::none());
+        x.step(ProcessId::new(0), Delivery::None).unwrap();
+        x.step(ProcessId::new(1), Delivery::None).unwrap();
+        y.step(ProcessId::new(1), Delivery::None).unwrap();
+        y.step(ProcessId::new(0), Delivery::None).unwrap();
+        assert_eq!(x.config_fingerprint(), y.config_fingerprint());
+    }
+
+    #[test]
+    fn cloned_simulation_diverges_independently() {
+        let mut a: Simulation<MinEcho, NoOracle> =
+            Simulation::new(vec![1, 2, 3], CrashPlan::none());
+        a.step(ProcessId::new(0), Delivery::None).unwrap();
+        let mut b = a.clone();
+        assert_eq!(a.config_fingerprint(), b.config_fingerprint());
+        b.step(ProcessId::new(1), Delivery::All).unwrap();
+        assert_ne!(a.config_fingerprint(), b.config_fingerprint());
+        assert_eq!(a.time(), Time::new(1));
+        assert_eq!(b.time(), Time::new(2));
+    }
+
+    #[test]
+    fn delivery_variants_consume_expected_messages() {
+        let mut sim: Simulation<MinEcho, NoOracle> = Simulation::new(vec![1, 2, 3], CrashPlan::none());
+        // Everyone broadcasts in their first step.
+        for p in ProcessId::all(3) {
+            sim.step(p, Delivery::None).unwrap();
+        }
+        assert_eq!(sim.buffer(ProcessId::new(0)).len(), 3);
+        // Deliver only p2's message to p1.
+        sim.step(
+            ProcessId::new(0),
+            Delivery::AllFrom([ProcessId::new(1)].into()),
+        )
+        .unwrap();
+        assert_eq!(sim.buffer(ProcessId::new(0)).len(), 2);
+        // Deliver oldest 1 from p3.
+        sim.step(
+            ProcessId::new(0),
+            Delivery::OldestPerSource(vec![(ProcessId::new(2), 1)]),
+        )
+        .unwrap();
+        assert_eq!(sim.buffer(ProcessId::new(0)).len(), 1);
+    }
+}

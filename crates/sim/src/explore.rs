@@ -1,0 +1,399 @@
+//! Bounded exhaustive schedule exploration: a small model checker.
+//!
+//! Impossibility proofs quantify over *all* runs; sampled schedules can
+//! only witness, never verify. For small systems the simulator can close
+//! the gap by exhaustively enumerating every scheduling choice within a
+//! bound: at each configuration, every alive process may step with every
+//! delivery from a configurable branching menu. States are deduplicated by
+//! configuration fingerprint (local states + decisions + buffer contents),
+//! so confluent schedules collapse.
+//!
+//! The explorer drives two use cases in the workspace:
+//!
+//! * **exhaustive safety** — verify that an algorithm's k-Agreement holds
+//!   in *every* bounded run (e.g. the two-stage protocol on small systems,
+//!   complementing the randomized tests);
+//! * **violation search** — find a concrete schedule (returned as a
+//!   replayable [`Choice`] path) on which a flawed candidate misbehaves,
+//!   which is the fully automatic cousin of the Theorem 1 adversary.
+//!
+//! The branching menu trades precision for tractability:
+//! [`Branching::NoneOrAll`] (deliver nothing or everything) suffices to
+//! break most wrong algorithms; [`Branching::PerSource`] additionally
+//! enumerates per-source delivery subsets — the full asynchronous
+//! adversary for algorithms insensitive to intra-source batching.
+
+use std::collections::BTreeSet;
+
+use crate::engine::Simulation;
+use crate::oracle::Oracle;
+use crate::process::Process;
+use crate::sched::{Choice, Delivery};
+use crate::ids::ProcessId;
+
+/// How to branch on message delivery at each step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Branching {
+    /// Each step delivers either nothing or everything pending.
+    NoneOrAll,
+    /// Each step delivers all pending messages from one chosen subset of
+    /// sources (including the empty subset).
+    PerSource,
+}
+
+/// Exploration limits and options.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreConfig {
+    /// Maximum run length (depth of the schedule tree).
+    pub max_depth: usize,
+    /// Maximum number of configurations to expand (safety valve).
+    pub max_states: usize,
+    /// Delivery branching menu.
+    pub branching: Branching,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig { max_depth: 24, max_states: 200_000, branching: Branching::NoneOrAll }
+    }
+}
+
+/// Outcome of an exploration.
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    /// Distinct configurations expanded.
+    pub states_expanded: usize,
+    /// Terminal configurations reached (all correct decided, or no moves).
+    pub terminals: usize,
+    /// Whether the state or depth budget was exhausted (the check is then
+    /// a bounded verification, not a full one).
+    pub truncated: bool,
+    /// The first safety violation found, with the schedule reaching it.
+    pub violation: Option<ViolationPath>,
+}
+
+impl ExploreReport {
+    /// Whether the bounded exploration proved the property (no violation
+    /// and no truncation).
+    pub fn verified(&self) -> bool {
+        self.violation.is_none() && !self.truncated
+    }
+}
+
+/// A violation and the schedule that reaches it.
+#[derive(Debug, Clone)]
+pub struct ViolationPath {
+    /// Why the checker flagged the configuration.
+    pub reason: String,
+    /// The schedule from the initial configuration to the violation.
+    pub path: Vec<Choice>,
+}
+
+/// Exhaustively explores all schedules of `sim` within `config`, checking
+/// `check` at every reached configuration. `check` returns `Err(reason)`
+/// to flag a violation (the search stops at the first one).
+///
+/// The exploration treats "all correct processes decided" as terminal.
+/// Crash plans are honoured (the explorer also branches over *when*
+/// plan-scheduled crashes strike, since those are driven by local step
+/// counts and thus by the schedule itself).
+pub fn explore<P, O>(
+    sim: &Simulation<P, O>,
+    config: &ExploreConfig,
+    mut check: impl FnMut(&Simulation<P, O>) -> Result<(), String>,
+) -> ExploreReport
+where
+    P: Process,
+    P::Input: Clone,
+    P::Fd: std::hash::Hash,
+    O: Oracle<Sample = P::Fd> + Clone,
+{
+    let mut seen: BTreeSet<u64> = BTreeSet::new();
+    let mut report = ExploreReport {
+        states_expanded: 0,
+        terminals: 0,
+        truncated: false,
+        violation: None,
+    };
+    // Depth-first over (configuration, path).
+    let mut stack: Vec<(Simulation<P, O>, Vec<Choice>)> = vec![(sim.clone(), Vec::new())];
+    seen.insert(sim.config_fingerprint());
+    if let Err(reason) = check(sim) {
+        report.violation = Some(ViolationPath { reason, path: Vec::new() });
+        return report;
+    }
+
+    while let Some((current, path)) = stack.pop() {
+        if report.states_expanded >= config.max_states {
+            report.truncated = true;
+            return report;
+        }
+        report.states_expanded += 1;
+        if current.all_correct_decided() {
+            report.terminals += 1;
+            continue;
+        }
+        if path.len() >= config.max_depth {
+            report.truncated = true;
+            continue;
+        }
+        let mut any_move = false;
+        for pid in ProcessId::all(current.n()) {
+            if !current.is_alive(pid) {
+                continue;
+            }
+            for delivery in delivery_menu(&current, pid, config.branching) {
+                let mut child = current.clone();
+                if child.step(pid, delivery.clone()).is_err() {
+                    continue;
+                }
+                any_move = true;
+                if !seen.insert(child.config_fingerprint()) {
+                    continue; // already explored an equivalent configuration
+                }
+                if let Err(reason) = check(&child) {
+                    let mut vpath = path.clone();
+                    vpath.push(Choice { pid, delivery });
+                    report.violation = Some(ViolationPath { reason, path: vpath });
+                    return report;
+                }
+                let mut child_path = path.clone();
+                child_path.push(Choice { pid, delivery });
+                stack.push((child, child_path));
+            }
+        }
+        if !any_move {
+            report.terminals += 1;
+        }
+    }
+    report
+}
+
+/// The delivery branching menu for one process in one configuration.
+fn delivery_menu<P, O>(
+    sim: &Simulation<P, O>,
+    pid: ProcessId,
+    branching: Branching,
+) -> Vec<Delivery>
+where
+    P: Process,
+    P::Fd: std::hash::Hash,
+    O: Oracle<Sample = P::Fd>,
+{
+    let buffer = sim.buffer(pid);
+    if buffer.is_empty() {
+        return vec![Delivery::None];
+    }
+    match branching {
+        Branching::NoneOrAll => vec![Delivery::None, Delivery::All],
+        Branching::PerSource => {
+            let sources: Vec<ProcessId> = buffer.sources().collect();
+            let mut menu = Vec::with_capacity(1 << sources.len());
+            for mask in 0u32..(1 << sources.len()) {
+                if mask == 0 {
+                    menu.push(Delivery::None);
+                } else {
+                    let chosen: BTreeSet<ProcessId> = sources
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| mask & (1 << i) != 0)
+                        .map(|(_, s)| *s)
+                        .collect();
+                    menu.push(Delivery::AllFrom(chosen));
+                }
+            }
+            menu
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure::CrashPlan;
+    use crate::process::{Effects, ProcessInfo};
+    use crate::message::Envelope;
+    use crate::sched::scripted::Scripted;
+    use crate::trace::ScheduleEntry;
+
+    /// Echo-min: broadcast input once; decide the minimum heard after
+    /// receiving from everyone (n-process barrier). Safe: consensus on min.
+    #[derive(Debug, Clone, Hash)]
+    struct BarrierMin {
+        n: usize,
+        me: usize,
+        seen: Vec<(usize, u64)>,
+        sent: bool,
+    }
+
+    impl Process for BarrierMin {
+        type Msg = u64;
+        type Input = u64;
+        type Output = u64;
+        type Fd = ();
+
+        fn init(info: ProcessInfo, input: u64) -> Self {
+            BarrierMin {
+                n: info.n,
+                me: info.id.index(),
+                seen: vec![(info.id.index(), input)],
+                sent: false,
+            }
+        }
+
+        fn step(
+            &mut self,
+            delivered: &[Envelope<u64>],
+            _fd: Option<&()>,
+            effects: &mut Effects<u64, u64>,
+        ) {
+            if !self.sent {
+                self.sent = true;
+                effects.broadcast_others(self.seen[0].1);
+            }
+            for env in delivered {
+                if !self.seen.iter().any(|(s, _)| *s == env.src.index()) {
+                    self.seen.push((env.src.index(), env.payload));
+                }
+            }
+            if self.seen.len() == self.n {
+                effects.decide(self.seen.iter().map(|(_, v)| *v).min().unwrap());
+            }
+        }
+    }
+
+    /// Flawed: decides its own value if its first step sees an empty
+    /// buffer (a race only some schedules expose).
+    #[derive(Debug, Clone, Hash)]
+    struct RacyDecide {
+        value: u64,
+        stepped: bool,
+    }
+
+    impl Process for RacyDecide {
+        type Msg = u64;
+        type Input = u64;
+        type Output = u64;
+        type Fd = ();
+
+        fn init(_info: ProcessInfo, input: u64) -> Self {
+            RacyDecide { value: input, stepped: false }
+        }
+
+        fn step(
+            &mut self,
+            delivered: &[Envelope<u64>],
+            _fd: Option<&()>,
+            effects: &mut Effects<u64, u64>,
+        ) {
+            if !self.stepped {
+                self.stepped = true;
+                effects.broadcast_others(self.value);
+                if delivered.is_empty() {
+                    effects.decide(self.value);
+                } // else: adopt the first heard value
+            }
+            if let Some(env) = delivered.first() {
+                effects.decide(env.payload);
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_consensus_verification() {
+        let sim: Simulation<BarrierMin, _> =
+            Simulation::new(vec![5, 2, 9], CrashPlan::none());
+        let config = ExploreConfig { max_depth: 16, max_states: 500_000, branching: Branching::NoneOrAll };
+        let report = explore(&sim, &config, |s| {
+            let decided: BTreeSet<u64> = s.decisions().iter().flatten().copied().collect();
+            if decided.len() > 1 {
+                return Err(format!("two decisions: {decided:?}"));
+            }
+            if decided.iter().any(|v| *v != 2) {
+                return Err(format!("non-minimum decision: {decided:?}"));
+            }
+            Ok(())
+        });
+        assert!(report.verified(), "truncated={} violation={:?}", report.truncated, report.violation);
+        assert!(report.terminals > 0);
+    }
+
+    #[test]
+    fn violation_search_finds_the_racy_schedule() {
+        let sim: Simulation<RacyDecide, _> =
+            Simulation::new(vec![1, 2], CrashPlan::none());
+        let config = ExploreConfig::default();
+        let report = explore(&sim, &config, |s| {
+            let decided: BTreeSet<u64> = s.decisions().iter().flatten().copied().collect();
+            if decided.len() > 1 {
+                return Err(format!("consensus violated: {decided:?}"));
+            }
+            Ok(())
+        });
+        let violation = report.violation.expect("the race must be found");
+        assert!(!violation.path.is_empty());
+        // The returned path is replayable: drive a fresh simulation down it
+        // and observe the same violation.
+        let mut replay_sim: Simulation<RacyDecide, _> =
+            Simulation::new(vec![1, 2], CrashPlan::none());
+        let entries: Vec<ScheduleEntry> = Vec::new();
+        let _ = entries; // path replay is via explicit steps:
+        for choice in &violation.path {
+            replay_sim.step(choice.pid, choice.delivery.clone()).unwrap();
+        }
+        let decided: BTreeSet<u64> =
+            replay_sim.decisions().iter().flatten().copied().collect();
+        assert_eq!(decided.len(), 2, "replayed schedule reproduces the violation");
+        let _ = Scripted::new(vec![]); // keep the import honest
+    }
+
+    #[test]
+    fn dedup_collapses_confluent_schedules() {
+        // Two processes that never communicate: the diamond (p1 then p2 vs
+        // p2 then p1) must collapse via fingerprint dedup.
+        let sim: Simulation<RacyDecide, _> =
+            Simulation::new(vec![1, 2], CrashPlan::none());
+        let config = ExploreConfig { max_depth: 4, max_states: 10_000, branching: Branching::NoneOrAll };
+        let mut visits = 0usize;
+        let _ = explore(&sim, &config, |_| {
+            visits += 1;
+            Ok(())
+        });
+        // Without dedup the 2-process tree to depth 4 has ≫ 30 nodes; with
+        // dedup the diamond collapses substantially.
+        assert!(visits < 60, "dedup ineffective: {visits} checks");
+    }
+
+    #[test]
+    fn per_source_branching_enumerates_subsets() {
+        let mut sim: Simulation<BarrierMin, _> =
+            Simulation::new(vec![5, 2, 9], CrashPlan::none());
+        // Everyone broadcasts.
+        for p in ProcessId::all(3) {
+            sim.step(p, Delivery::None).unwrap();
+        }
+        let menu = delivery_menu(&sim, ProcessId::new(0), Branching::PerSource);
+        // p1's buffer holds messages from p2 and p3: 4 subsets.
+        assert_eq!(menu.len(), 4);
+        let menu_na = delivery_menu(&sim, ProcessId::new(0), Branching::NoneOrAll);
+        assert_eq!(menu_na.len(), 2);
+    }
+
+    #[test]
+    fn initial_violation_is_reported_with_empty_path() {
+        let sim: Simulation<RacyDecide, _> = Simulation::new(vec![1], CrashPlan::none());
+        let report = explore(&sim, &ExploreConfig::default(), |_| Err("always".into()));
+        let v = report.violation.unwrap();
+        assert!(v.path.is_empty());
+    }
+
+    #[test]
+    fn state_budget_truncates() {
+        let sim: Simulation<BarrierMin, _> =
+            Simulation::new(vec![1, 2, 3, 4], CrashPlan::none());
+        let config = ExploreConfig { max_depth: 64, max_states: 5, branching: Branching::NoneOrAll };
+        let report = explore(&sim, &config, |_| Ok(()));
+        assert!(report.truncated);
+        assert!(!report.verified());
+    }
+}

@@ -1,0 +1,224 @@
+//! Core identifier newtypes: process identifiers, message identifiers, and
+//! the global logical clock.
+//!
+//! The paper (Section II) considers a system `Π = {p1, …, pn}` of `n`
+//! processes with unique ids `{1, …, n}`, and defines *time* as the index of
+//! a step in a run: the `i`-th step of a run occurs at time `i`. Processes do
+//! **not** have access to time; it exists only in the meta-level analysis
+//! (failure patterns, failure-detector histories).
+//!
+//! Internally we use 0-based indices for processes; [`ProcessId::display_id`]
+//! recovers the paper's 1-based numbering.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a process in the system `Π = {p1, …, pn}`.
+///
+/// Wraps a 0-based index. The `Display` impl prints the paper-style 1-based
+/// name (`p1`, `p2`, …).
+///
+/// # Examples
+///
+/// ```
+/// use kset_sim::ProcessId;
+///
+/// let p = ProcessId::new(0);
+/// assert_eq!(p.index(), 0);
+/// assert_eq!(p.display_id(), 1);
+/// assert_eq!(p.to_string(), "p1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcessId(usize);
+
+impl ProcessId {
+    /// Creates a process identifier from a 0-based index.
+    pub const fn new(index: usize) -> Self {
+        ProcessId(index)
+    }
+
+    /// Returns the 0-based index of this process.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// Returns the paper-style 1-based identifier.
+    pub const fn display_id(self) -> usize {
+        self.0 + 1
+    }
+
+    /// Iterates over all process ids of a system of size `n`, in id order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use kset_sim::ProcessId;
+    ///
+    /// let ids: Vec<_> = ProcessId::all(3).collect();
+    /// assert_eq!(ids, vec![ProcessId::new(0), ProcessId::new(1), ProcessId::new(2)]);
+    /// ```
+    pub fn all(n: usize) -> impl DoubleEndedIterator<Item = ProcessId> + ExactSizeIterator {
+        (0..n).map(ProcessId)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.display_id())
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(index: usize) -> Self {
+        ProcessId(index)
+    }
+}
+
+/// Globally unique identifier of a message instance.
+///
+/// Every send produces a fresh `MsgId`; identifiers are assigned in send
+/// order by the simulation engine and are therefore deterministic for a
+/// deterministic schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MsgId(u64);
+
+impl MsgId {
+    /// Creates a message id from a raw counter value.
+    pub const fn new(raw: u64) -> Self {
+        MsgId(raw)
+    }
+
+    /// Returns the raw counter value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Global logical time: the index of a step in a run (Section II-C).
+///
+/// `Time(0)` is the instant of the initial configuration; the first step of
+/// a run occurs at `Time(1)`.
+///
+/// # Examples
+///
+/// ```
+/// use kset_sim::Time;
+///
+/// let t = Time::ZERO;
+/// assert_eq!(t.next(), Time::new(1));
+/// assert!(t < t.next());
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Time(u64);
+
+impl Time {
+    /// The instant of the initial configuration.
+    pub const ZERO: Time = Time(0);
+
+    /// Creates a time from a raw step index.
+    pub const fn new(raw: u64) -> Self {
+        Time(raw)
+    }
+
+    /// Returns the raw step index.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The immediately following instant.
+    #[must_use]
+    pub const fn next(self) -> Time {
+        Time(self.0 + 1)
+    }
+
+    /// Saturating difference `self - earlier` in steps.
+    #[must_use]
+    pub const fn since(self, earlier: Time) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<u64> for Time {
+    fn from(raw: u64) -> Self {
+        Time(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn process_id_roundtrip() {
+        for i in 0..10 {
+            let p = ProcessId::new(i);
+            assert_eq!(p.index(), i);
+            assert_eq!(p.display_id(), i + 1);
+        }
+    }
+
+    #[test]
+    fn process_id_display_is_one_based() {
+        assert_eq!(ProcessId::new(0).to_string(), "p1");
+        assert_eq!(ProcessId::new(7).to_string(), "p8");
+    }
+
+    #[test]
+    fn process_id_all_enumerates_in_order() {
+        let ids: Vec<_> = ProcessId::all(4).collect();
+        assert_eq!(ids.len(), 4);
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(id.index(), i);
+        }
+    }
+
+    #[test]
+    fn process_id_all_empty_system() {
+        assert_eq!(ProcessId::all(0).count(), 0);
+    }
+
+    #[test]
+    fn process_ids_are_ordered_and_hashable() {
+        let set: BTreeSet<_> = [2usize, 0, 1].into_iter().map(ProcessId::new).collect();
+        let sorted: Vec<_> = set.into_iter().collect();
+        assert_eq!(sorted, vec![ProcessId::new(0), ProcessId::new(1), ProcessId::new(2)]);
+    }
+
+    #[test]
+    fn time_ordering_and_arithmetic() {
+        let t0 = Time::ZERO;
+        let t5 = Time::new(5);
+        assert!(t0 < t5);
+        assert_eq!(t5.since(t0), 5);
+        assert_eq!(t0.since(t5), 0, "since is saturating");
+        assert_eq!(t5.next(), Time::new(6));
+    }
+
+    #[test]
+    fn msg_id_display() {
+        assert_eq!(MsgId::new(42).to_string(), "m42");
+        assert_eq!(MsgId::new(42).raw(), 42);
+    }
+
+    #[test]
+    fn conversions_from_usize_and_u64() {
+        assert_eq!(ProcessId::from(3), ProcessId::new(3));
+        assert_eq!(Time::from(9), Time::new(9));
+    }
+}

@@ -1,0 +1,126 @@
+//! Message envelopes: a payload together with routing metadata.
+//!
+//! The communication subsystem of the paper's model (Section II) keeps one
+//! buffer per process containing the messages sent to it but not yet
+//! received. Sending `(q, m)` just puts `m` into `q`'s buffer. An
+//! [`Envelope`] is our concrete representation of such an in-flight or
+//! delivered message: the payload plus its source, destination, send time,
+//! and a globally unique id used by schedulers to select deliveries.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use crate::ids::{MsgId, ProcessId, Time};
+
+/// A message instance in flight or delivered: payload plus routing metadata.
+///
+/// Envelopes are created by the simulation engine when a process's message
+/// sending function emits `(destination, payload)` pairs; algorithm code
+/// never constructs one directly, but receives slices of envelopes in its
+/// step function and may inspect `src` to learn the sender (the model gives
+/// receivers the sender identity, as in FLP).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Globally unique identifier, assigned in send order.
+    pub id: MsgId,
+    /// The sending process.
+    pub src: ProcessId,
+    /// The destination process.
+    pub dst: ProcessId,
+    /// Global time of the step in which the message was sent.
+    pub sent_at: Time,
+    /// The algorithm-level payload.
+    pub payload: M,
+}
+
+impl<M> Envelope<M> {
+    /// Creates an envelope. Intended for the engine and for tests.
+    pub fn new(id: MsgId, src: ProcessId, dst: ProcessId, sent_at: Time, payload: M) -> Self {
+        Envelope { id, src, dst, sent_at, payload }
+    }
+
+    /// Maps the payload, preserving metadata.
+    pub fn map<N>(self, f: impl FnOnce(M) -> N) -> Envelope<N> {
+        Envelope {
+            id: self.id,
+            src: self.src,
+            dst: self.dst,
+            sent_at: self.sent_at,
+            payload: f(self.payload),
+        }
+    }
+}
+
+impl<M: Hash> Envelope<M> {
+    /// A stable fingerprint of the payload (not the metadata).
+    ///
+    /// Used by traces to record *what* was delivered without storing the
+    /// payload itself, so that trace types stay non-generic in the message
+    /// type. Two identical payloads always produce equal fingerprints; the
+    /// converse holds up to hash collision, which is acceptable for the
+    /// indistinguishability checks this is used for (see
+    /// [`crate::indist`]).
+    pub fn payload_fingerprint(&self) -> u64 {
+        fingerprint(&self.payload)
+    }
+}
+
+/// Stable 64-bit fingerprint of any hashable value.
+///
+/// The simulator uses fingerprints for process states and message payloads
+/// in traces. `DefaultHasher::new()` is deterministic across runs of the
+/// same binary, which is all the determinism the simulator requires.
+pub fn fingerprint<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(payload: &str) -> Envelope<String> {
+        Envelope::new(
+            MsgId::new(1),
+            ProcessId::new(0),
+            ProcessId::new(1),
+            Time::new(3),
+            payload.to_owned(),
+        )
+    }
+
+    #[test]
+    fn envelope_fields_roundtrip() {
+        let e = env("hello");
+        assert_eq!(e.src, ProcessId::new(0));
+        assert_eq!(e.dst, ProcessId::new(1));
+        assert_eq!(e.sent_at, Time::new(3));
+        assert_eq!(e.payload, "hello");
+    }
+
+    #[test]
+    fn map_preserves_metadata() {
+        let e = env("hello").map(|s| s.len());
+        assert_eq!(e.payload, 5);
+        assert_eq!(e.id, MsgId::new(1));
+        assert_eq!(e.src, ProcessId::new(0));
+    }
+
+    #[test]
+    fn equal_payloads_have_equal_fingerprints() {
+        assert_eq!(env("x").payload_fingerprint(), env("x").payload_fingerprint());
+    }
+
+    #[test]
+    fn different_payloads_usually_differ() {
+        assert_ne!(env("x").payload_fingerprint(), env("y").payload_fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_within_process() {
+        let a = fingerprint(&(1u32, "abc"));
+        let b = fingerprint(&(1u32, "abc"));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,261 @@
+//! System-model parameters: the Dolev–Dwork–Stockmeyer dimensions plus the
+//! paper's sixth dimension (failure detectors).
+//!
+//! The paper (Section II) works in the computing model of Dolev, Dwork and
+//! Stockmeyer, "On the minimal synchronism needed for distributed
+//! consensus" (JACM 1987), where 32 models arise by choosing each of five
+//! parameters either *favourable* (F) or *unfavourable* (U) for the
+//! algorithm, and adds a sixth dimension:
+//!
+//! 1. **Processes** — synchronous (F) or asynchronous (U);
+//! 2. **Communication** — bounded delay (F) or unbounded (U);
+//! 3. **Message order** — messages received in send order (F) or not (U);
+//! 4. **Transmission mechanism** — broadcast in an atomic step (F) or
+//!    point-to-point only (U);
+//! 5. **Receive/Send atomicity** — receive and send in the same atomic step
+//!    (F) or separate steps (U);
+//! 6. **Failure detectors** — processes can query one each step (F) or not
+//!    (U).
+//!
+//! [`ModelParams`] is the descriptive record of a model point; the
+//! quantitative synchrony bounds Φ (process speed ratio) and Δ (delivery
+//! bound) live in [`SynchronyBounds`] and are enforced/checked by the
+//! admissibility machinery ([`crate::admissible`]).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One DDS dimension: favourable for the algorithm, or not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Setting {
+    /// The favourable (algorithm-friendly) choice.
+    Favourable,
+    /// The unfavourable (adversary-friendly) choice.
+    Unfavourable,
+}
+
+impl Setting {
+    /// Whether this is the favourable choice.
+    pub fn is_favourable(self) -> bool {
+        matches!(self, Setting::Favourable)
+    }
+}
+
+impl fmt::Display for Setting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Setting::Favourable => write!(f, "F"),
+            Setting::Unfavourable => write!(f, "U"),
+        }
+    }
+}
+
+/// A point in the (extended) DDS model space.
+///
+/// # Examples
+///
+/// ```
+/// use kset_sim::ModelParams;
+///
+/// let masync = ModelParams::masync();
+/// assert!(!masync.processes.is_favourable());
+/// assert_eq!(masync.to_string(), "⟨proc:U comm:U order:U bcast:U rs:U fd:U⟩");
+///
+/// let thm2 = ModelParams::theorem2();
+/// assert!(thm2.processes.is_favourable());
+/// assert!(!thm2.communication.is_favourable());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ModelParams {
+    /// Dimension 1: process synchrony.
+    pub processes: Setting,
+    /// Dimension 2: communication synchrony (bounded delivery delay).
+    pub communication: Setting,
+    /// Dimension 3: ordered message delivery.
+    pub message_order: Setting,
+    /// Dimension 4: atomic broadcast transmission.
+    pub broadcast: Setting,
+    /// Dimension 5: receive and send in the same atomic step.
+    pub receive_send_atomic: Setting,
+    /// Dimension 6 (the paper's extension): failure-detector access.
+    pub failure_detector: Setting,
+}
+
+impl ModelParams {
+    /// The fully asynchronous FLP model `M_ASYNC`: everything unfavourable.
+    pub fn masync() -> Self {
+        ModelParams {
+            processes: Setting::Unfavourable,
+            communication: Setting::Unfavourable,
+            message_order: Setting::Unfavourable,
+            broadcast: Setting::Unfavourable,
+            receive_send_atomic: Setting::Unfavourable,
+            failure_detector: Setting::Unfavourable,
+        }
+    }
+
+    /// `M_ASYNC` augmented with a failure detector — the model
+    /// `⟨M_ASYNC, D⟩` of Sections II-C and VII.
+    pub fn masync_with_fd() -> Self {
+        ModelParams { failure_detector: Setting::Favourable, ..Self::masync() }
+    }
+
+    /// The model of Theorem 2: synchronous processes, asynchronous
+    /// communication, atomic broadcast, receive and send in the same atomic
+    /// step, no failure detector.
+    pub fn theorem2() -> Self {
+        ModelParams {
+            processes: Setting::Favourable,
+            communication: Setting::Unfavourable,
+            message_order: Setting::Unfavourable,
+            broadcast: Setting::Favourable,
+            receive_send_atomic: Setting::Favourable,
+            failure_detector: Setting::Unfavourable,
+        }
+    }
+
+    /// Everything favourable except failure detectors: the strongest
+    /// DDS point, where lock-step synchronous-round algorithms (e.g.
+    /// FloodMin) run.
+    pub fn synchronous() -> Self {
+        ModelParams {
+            processes: Setting::Favourable,
+            communication: Setting::Favourable,
+            message_order: Setting::Favourable,
+            broadcast: Setting::Favourable,
+            receive_send_atomic: Setting::Favourable,
+            failure_detector: Setting::Unfavourable,
+        }
+    }
+
+    /// Whether every dimension of `self` is at least as favourable as in
+    /// `weaker`. Corollary 5 of the paper uses exactly this ordering:
+    /// impossibility under stronger (more favourable) assumptions implies
+    /// impossibility under weaker ones.
+    pub fn at_least_as_favourable_as(&self, weaker: &ModelParams) -> bool {
+        let ge = |a: Setting, b: Setting| a.is_favourable() || !b.is_favourable();
+        ge(self.processes, weaker.processes)
+            && ge(self.communication, weaker.communication)
+            && ge(self.message_order, weaker.message_order)
+            && ge(self.broadcast, weaker.broadcast)
+            && ge(self.receive_send_atomic, weaker.receive_send_atomic)
+            && ge(self.failure_detector, weaker.failure_detector)
+    }
+}
+
+impl fmt::Display for ModelParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "⟨proc:{} comm:{} order:{} bcast:{} rs:{} fd:{}⟩",
+            self.processes,
+            self.communication,
+            self.message_order,
+            self.broadcast,
+            self.receive_send_atomic,
+            self.failure_detector,
+        )
+    }
+}
+
+/// Quantitative synchrony bounds for the favourable settings of dimensions
+/// 1 and 2.
+///
+/// * `phi` — process synchrony bound Φ: in any interval in which some alive
+///   process takes `Φ + 1` steps, every alive process takes at least one
+///   step. `None` means asynchronous processes.
+/// * `delta` — communication bound Δ: every message sent to an alive,
+///   correct process is received at most Δ steps after it was sent. `None`
+///   means asynchronous communication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SynchronyBounds {
+    /// Process speed ratio bound Φ (`None` = unbounded).
+    pub phi: Option<u64>,
+    /// Message delay bound Δ in steps (`None` = unbounded).
+    pub delta: Option<u64>,
+}
+
+impl SynchronyBounds {
+    /// Fully asynchronous: no bounds at all.
+    pub fn asynchronous() -> Self {
+        SynchronyBounds { phi: None, delta: None }
+    }
+
+    /// Synchronous processes (Φ = `phi`), asynchronous communication — the
+    /// quantitative side of the Theorem 2 model.
+    pub fn lockstep_processes(phi: u64) -> Self {
+        SynchronyBounds { phi: Some(phi), delta: None }
+    }
+
+    /// Both bounds present.
+    pub fn bounded(phi: u64, delta: u64) -> Self {
+        SynchronyBounds { phi: Some(phi), delta: Some(delta) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masync_is_all_unfavourable() {
+        let m = ModelParams::masync();
+        assert!(!m.processes.is_favourable());
+        assert!(!m.communication.is_favourable());
+        assert!(!m.message_order.is_favourable());
+        assert!(!m.broadcast.is_favourable());
+        assert!(!m.receive_send_atomic.is_favourable());
+        assert!(!m.failure_detector.is_favourable());
+    }
+
+    #[test]
+    fn masync_with_fd_only_flips_dimension_six() {
+        let m = ModelParams::masync_with_fd();
+        assert!(m.failure_detector.is_favourable());
+        assert!(!m.processes.is_favourable());
+    }
+
+    #[test]
+    fn theorem2_model_matches_paper() {
+        let m = ModelParams::theorem2();
+        assert!(m.processes.is_favourable(), "processes are synchronous");
+        assert!(!m.communication.is_favourable(), "communication is asynchronous");
+        assert!(m.broadcast.is_favourable(), "broadcast in an atomic step");
+        assert!(m.receive_send_atomic.is_favourable(), "receive+send atomic");
+    }
+
+    #[test]
+    fn favourability_order_is_reflexive_and_covers_corollary5() {
+        let thm2 = ModelParams::theorem2();
+        let masync = ModelParams::masync();
+        assert!(thm2.at_least_as_favourable_as(&thm2));
+        // Theorem 2's model is strictly more favourable than M_ASYNC, so the
+        // impossibility carries over to M_ASYNC (Corollary 5).
+        assert!(thm2.at_least_as_favourable_as(&masync));
+        assert!(!masync.at_least_as_favourable_as(&thm2));
+    }
+
+    #[test]
+    fn synchronous_dominates_everything_without_fd() {
+        let sync = ModelParams::synchronous();
+        assert!(sync.at_least_as_favourable_as(&ModelParams::theorem2()));
+        assert!(sync.at_least_as_favourable_as(&ModelParams::masync()));
+        assert!(!sync.at_least_as_favourable_as(&ModelParams::masync_with_fd()));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(
+            ModelParams::theorem2().to_string(),
+            "⟨proc:F comm:U order:U bcast:F rs:F fd:U⟩"
+        );
+    }
+
+    #[test]
+    fn synchrony_bounds_constructors() {
+        assert_eq!(SynchronyBounds::asynchronous(), SynchronyBounds { phi: None, delta: None });
+        assert_eq!(SynchronyBounds::lockstep_processes(1).phi, Some(1));
+        assert_eq!(SynchronyBounds::bounded(2, 5).delta, Some(5));
+    }
+}

@@ -1,0 +1,275 @@
+//! Restriction of an algorithm to a subsystem (Definition 1 of the paper).
+//!
+//! Given an algorithm `A` for `M = ⟨Π⟩` and a nonempty `D ⊆ Π`, the
+//! restricted algorithm `A|D` for `M′ = ⟨D⟩` is obtained by *dropping all
+//! messages sent to processes outside `D`* in the message sending function.
+//! The code of `A` is otherwise unchanged — in particular it still uses
+//! `|Π|` as the system size, even though only `|D|` processes exist.
+//!
+//! [`Restricted`] wraps any [`Process`] and filters its sends;
+//! [`restricted_simulation`] builds the standard execution environment for
+//! `M′ = ⟨D⟩`: a full-size system in which the processes outside `D` are
+//! initially dead, which is exactly the run correspondence used in the
+//! proofs of Theorems 2 and 10 (condition (D): for every run of `A|D` there
+//! is an indistinguishable run of `A` where `Π \ D` is initially dead).
+
+use std::collections::BTreeSet;
+
+use crate::engine::Simulation;
+use crate::failure::CrashPlan;
+use crate::ids::ProcessId;
+use crate::message::Envelope;
+use crate::oracle::{NoOracle, Oracle};
+use crate::process::{Effects, Process, ProcessInfo};
+
+/// The restricted algorithm `A|D`: forwards everything to the inner
+/// process, dropping sends to non-members of `D`.
+#[derive(Debug, Clone)]
+pub struct Restricted<P> {
+    inner: P,
+    members: BTreeSet<ProcessId>,
+}
+
+/// The *state* of `A|D` is the inner algorithm's state — Definition 1 does
+/// not change the code, so the membership set is static configuration, not
+/// state. Hashing only the inner state makes runs of `A|D` fingerprint-
+/// comparable with runs of `A` (condition (D) of Theorem 1 relies on this).
+impl<P: std::hash::Hash> std::hash::Hash for Restricted<P> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.inner.hash(state);
+    }
+}
+
+impl<P> Restricted<P> {
+    /// The restriction set `D`.
+    pub fn members(&self) -> &BTreeSet<ProcessId> {
+        &self.members
+    }
+
+    /// The wrapped process state.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: Process> Process for Restricted<P> {
+    type Msg = P::Msg;
+    type Input = (BTreeSet<ProcessId>, P::Input);
+    type Output = P::Output;
+    type Fd = P::Fd;
+
+    fn init(info: ProcessInfo, (members, input): Self::Input) -> Self {
+        Restricted { inner: P::init(info, input), members }
+    }
+
+    fn step(
+        &mut self,
+        delivered: &[Envelope<Self::Msg>],
+        fd: Option<&Self::Fd>,
+        effects: &mut Effects<Self::Msg, Self::Output>,
+    ) {
+        let mut inner_effects = Effects::new(effects.info());
+        self.inner.step(delivered, fd, &mut inner_effects);
+        let (sends, decision) = inner_effects.into_parts();
+        for (dst, msg) in sends {
+            if self.members.contains(&dst) {
+                effects.send(dst, msg);
+            }
+        }
+        if let Some(v) = decision {
+            effects.decide(v);
+        }
+    }
+}
+
+/// Builds the canonical `M′ = ⟨D⟩` execution environment for `A|D` without
+/// failure detectors: a system of the original size `n` running
+/// [`Restricted`] processes, with all processes outside `d` initially dead
+/// and `extra_plan`'s failures applied inside `d`.
+///
+/// # Panics
+///
+/// Panics if `d` is empty, references processes outside the system, or
+/// `inputs.len()` disagrees with `n`.
+pub fn restricted_simulation<P>(
+    inputs: Vec<P::Input>,
+    d: &BTreeSet<ProcessId>,
+    extra_plan: CrashPlan,
+) -> Simulation<Restricted<P>, NoOracle>
+where
+    P: Process<Fd = ()>,
+    P::Input: Clone,
+{
+    let plan = restriction_plan(inputs.len(), d, extra_plan);
+    let wrapped: Vec<(BTreeSet<ProcessId>, P::Input)> =
+        inputs.into_iter().map(|x| (d.clone(), x)).collect();
+    Simulation::new(wrapped, plan)
+}
+
+/// As [`restricted_simulation`], with a failure-detector oracle.
+pub fn restricted_simulation_with_oracle<P, O>(
+    inputs: Vec<P::Input>,
+    d: &BTreeSet<ProcessId>,
+    oracle: O,
+    extra_plan: CrashPlan,
+) -> Simulation<Restricted<P>, O>
+where
+    P: Process,
+    P::Input: Clone,
+    P::Fd: std::hash::Hash,
+    O: Oracle<Sample = P::Fd>,
+{
+    let plan = restriction_plan(inputs.len(), d, extra_plan);
+    let wrapped: Vec<(BTreeSet<ProcessId>, P::Input)> =
+        inputs.into_iter().map(|x| (d.clone(), x)).collect();
+    Simulation::with_oracle(wrapped, oracle, plan)
+}
+
+/// The crash plan of the restricted environment: everyone outside `d` is
+/// initially dead; `extra_plan`'s failures (which must concern members of
+/// `d`) are kept.
+///
+/// # Panics
+///
+/// Panics if `d` is empty, out of range, or `extra_plan` touches
+/// non-members.
+pub fn restriction_plan(n: usize, d: &BTreeSet<ProcessId>, extra_plan: CrashPlan) -> CrashPlan {
+    assert!(!d.is_empty(), "restriction set D must be nonempty (Definition 1)");
+    assert!(
+        d.iter().all(|p| p.index() < n),
+        "restriction set D references processes outside the system"
+    );
+    assert!(
+        extra_plan.faulty().iter().all(|p| d.contains(p)),
+        "extra failures must concern members of D"
+    );
+    let mut plan = extra_plan;
+    for p in ProcessId::all(n) {
+        if !d.contains(&p) {
+            plan = plan.with_initially_dead(p);
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::round_robin::RoundRobin;
+
+    /// Toy algorithm: broadcasts its input once; decides the number of
+    /// distinct senders heard from (including itself) after 5 local steps.
+    #[derive(Debug, Clone, Hash)]
+    struct CountVoices {
+        me: usize,
+        steps: u64,
+        heard: BTreeSet<usize>,
+        sent: bool,
+    }
+
+    impl Process for CountVoices {
+        type Msg = usize;
+        type Input = usize;
+        type Output = usize;
+        type Fd = ();
+
+        fn init(info: ProcessInfo, _input: usize) -> Self {
+            CountVoices {
+                me: info.id.index(),
+                steps: 0,
+                heard: [info.id.index()].into(),
+                sent: false,
+            }
+        }
+
+        fn step(
+            &mut self,
+            delivered: &[Envelope<usize>],
+            _fd: Option<&()>,
+            effects: &mut Effects<usize, usize>,
+        ) {
+            self.steps += 1;
+            if !self.sent {
+                self.sent = true;
+                effects.broadcast(self.me);
+            }
+            for env in delivered {
+                self.heard.insert(env.payload);
+            }
+            if self.steps >= 5 {
+                effects.decide(self.heard.len());
+            }
+        }
+    }
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn restricted_processes_never_hear_outside_d() {
+        let d: BTreeSet<_> = [pid(0), pid(1)].into();
+        let mut sim = restricted_simulation::<CountVoices>(vec![0; 4], &d, CrashPlan::none());
+        let mut rr = RoundRobin::new();
+        let report = sim.run_to_report(&mut rr, 1_000);
+        assert!(report.all_correct_decided());
+        // Each member heard exactly the two members of D.
+        assert_eq!(report.decisions[0], Some(2));
+        assert_eq!(report.decisions[1], Some(2));
+        assert_eq!(report.decisions[2], None, "outside D: initially dead");
+        assert_eq!(report.decisions[3], None);
+    }
+
+    #[test]
+    fn restriction_drops_outbound_sends() {
+        let d: BTreeSet<_> = [pid(0)].into();
+        let mut sim = restricted_simulation::<CountVoices>(vec![0; 3], &d, CrashPlan::none());
+        sim.step(pid(0), crate::sched::Delivery::None).unwrap();
+        // The broadcast of p1 was filtered to members only: nothing in the
+        // buffers of p2/p3, one self-message for p1.
+        assert_eq!(sim.buffer(pid(0)).len(), 1);
+        assert_eq!(sim.buffer(pid(1)).len(), 0);
+        assert_eq!(sim.buffer(pid(2)).len(), 0);
+    }
+
+    #[test]
+    fn restricted_still_uses_full_system_size() {
+        // Definition 1: the restricted algorithm keeps using |Π|. CountVoices
+        // broadcasts via info.n; the wrapper must filter, not shrink n.
+        let d: BTreeSet<_> = [pid(0), pid(2)].into();
+        let mut sim = restricted_simulation::<CountVoices>(vec![0; 3], &d, CrashPlan::none());
+        let mut rr = RoundRobin::new();
+        let report = sim.run_to_report(&mut rr, 1_000);
+        assert_eq!(report.decisions[0], Some(2), "p1 hears p1 and p3");
+        assert_eq!(report.decisions[2], Some(2));
+    }
+
+    #[test]
+    fn extra_plan_failures_apply_within_d() {
+        let d: BTreeSet<_> = [pid(0), pid(1)].into();
+        let extra = CrashPlan::initially_dead([pid(1)]);
+        let mut sim = restricted_simulation::<CountVoices>(vec![0; 3], &d, extra);
+        let mut rr = RoundRobin::new();
+        let report = sim.run_to_report(&mut rr, 1_000);
+        assert_eq!(report.decisions[0], Some(1), "p1 hears only itself");
+        assert_eq!(report.failure_pattern.faulty(), [pid(1), pid(2)].into());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_restriction_set_rejected() {
+        let _ = restriction_plan(3, &BTreeSet::new(), CrashPlan::none());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the system")]
+    fn out_of_range_member_rejected() {
+        let _ = restriction_plan(2, &[pid(5)].into(), CrashPlan::none());
+    }
+
+    #[test]
+    #[should_panic(expected = "members of D")]
+    fn extra_failures_outside_d_rejected() {
+        let _ = restriction_plan(3, &[pid(0)].into(), CrashPlan::initially_dead([pid(2)]));
+    }
+}

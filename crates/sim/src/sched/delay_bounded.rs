@@ -1,0 +1,164 @@
+//! A Δ-bounded scheduler: communication synchrony, adversarial within the
+//! bound.
+//!
+//! The favourable setting of DDS dimension 2 bounds message delay. This
+//! scheduler is the *laziest admissible* adversary for that setting: it
+//! steps processes round-robin (process synchrony) and holds every message
+//! back until its age reaches the configured `delta`, delivering it at the
+//! receiver's first step from then on. Because each process steps only
+//! every `n`-th global step, the delivery delay actually realized is
+//! bounded by `delta + n − 1`; runs therefore pass the Δ-admissibility
+//! check ([`crate::admissible`]) for `Δ = delta + n − 1`, with most
+//! deliveries sitting right at the edge — the stress point of the
+//! partially synchronous envelope.
+
+use crate::ids::{MsgId, ProcessId};
+use crate::sched::{Choice, Delivery, Scheduler, SimView};
+
+/// Round-robin scheduling with maximal (but Δ-bounded) message delay.
+#[derive(Debug, Clone)]
+pub struct DelayBounded {
+    delta: u64,
+    cursor: usize,
+}
+
+impl DelayBounded {
+    /// Creates the scheduler holding messages back for `delta` steps (the
+    /// realized delivery bound is `delta + n − 1`; see the module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta == 0`; a zero hold means eager delivery, which
+    /// plain round-robin already provides.
+    pub fn new(delta: u64) -> Self {
+        assert!(delta > 0, "Δ must be positive");
+        DelayBounded { delta, cursor: 0 }
+    }
+
+    /// The configured hold time.
+    pub fn delta(&self) -> u64 {
+        self.delta
+    }
+
+    /// The delivery bound the produced runs satisfy: `delta + n − 1`.
+    pub fn realized_bound(&self, n: usize) -> u64 {
+        self.delta + n as u64 - 1
+    }
+}
+
+impl<M> Scheduler<M> for DelayBounded {
+    fn next(&mut self, view: &SimView<'_, M>) -> Option<Choice> {
+        if view.n == 0 {
+            return None;
+        }
+        for offset in 0..view.n {
+            let idx = (self.cursor + offset) % view.n;
+            let pid = ProcessId::new(idx);
+            if !view.is_alive(pid) {
+                continue;
+            }
+            self.cursor = (idx + 1) % view.n;
+            // Deliver exactly the messages whose age has reached Δ−1 (they
+            // would breach the bound if delayed past this step).
+            let due: Vec<MsgId> = view.buffers[idx]
+                .iter()
+                .filter(|env| view.time.next().since(env.sent_at) >= self.delta)
+                .map(|env| env.id)
+                .collect();
+            let delivery = if due.is_empty() { Delivery::None } else { Delivery::Ids(due) };
+            return Some(Choice { pid, delivery });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admissible::{check, AdmissibilityRequirements};
+    use crate::engine::Simulation;
+    use crate::failure::CrashPlan;
+    use crate::message::Envelope;
+    use crate::model::SynchronyBounds;
+    use crate::process::{Effects, Process, ProcessInfo};
+
+    /// Broadcast once, decide the minimum after hearing everyone.
+    #[derive(Debug, Clone, Hash)]
+    struct MinBarrier {
+        n: usize,
+        seen: Vec<u64>,
+        sent: bool,
+    }
+
+    impl Process for MinBarrier {
+        type Msg = u64;
+        type Input = u64;
+        type Output = u64;
+        type Fd = ();
+
+        fn init(info: ProcessInfo, input: u64) -> Self {
+            MinBarrier { n: info.n, seen: vec![input], sent: false }
+        }
+
+        fn step(
+            &mut self,
+            delivered: &[Envelope<u64>],
+            _fd: Option<&()>,
+            effects: &mut Effects<u64, u64>,
+        ) {
+            if !self.sent {
+                self.sent = true;
+                effects.broadcast_others(self.seen[0]);
+            }
+            self.seen.extend(delivered.iter().map(|e| e.payload));
+            if self.seen.len() == self.n {
+                effects.decide(*self.seen.iter().min().unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn produced_runs_respect_the_realized_bound() {
+        for delta in [1u64, 3, 7] {
+            let mut sim: Simulation<MinBarrier, _> =
+                Simulation::new(vec![5, 1, 9], CrashPlan::none());
+            let mut sched = DelayBounded::new(delta);
+            let bound = sched.realized_bound(3);
+            let report = sim.run_to_report(&mut sched, 10_000);
+            assert!(report.all_correct_decided(), "Δ={delta}");
+            let req = AdmissibilityRequirements::bounds_only(SynchronyBounds {
+                phi: Some(3),
+                delta: Some(bound),
+            });
+            let adm = check(&report.trace, &req);
+            assert!(adm.is_admissible(), "Δ={delta}: {:?}", adm.violations);
+        }
+    }
+
+    #[test]
+    fn messages_are_actually_delayed_to_the_bound() {
+        // With Δ = 5, the first delivery cannot happen before global time
+        // 5 even though messages are pending from time 1 on.
+        let mut sim: Simulation<MinBarrier, _> =
+            Simulation::new(vec![5, 1, 9], CrashPlan::none());
+        let mut sched = DelayBounded::new(5);
+        let report = sim.run_to_report(&mut sched, 10_000);
+        assert!(report.all_correct_decided());
+        let first_delivery_time = report
+            .trace
+            .steps()
+            .find(|s| !s.delivered.is_empty())
+            .map(|s| s.time.raw())
+            .expect("something is delivered");
+        assert!(
+            first_delivery_time >= 5,
+            "first delivery at t{first_delivery_time} despite Δ = 5"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_delta_rejected() {
+        let _ = DelayBounded::new(0);
+    }
+}

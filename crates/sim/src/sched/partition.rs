@@ -1,0 +1,190 @@
+//! The partitioning adversary.
+//!
+//! The engine behind every impossibility argument in the paper: messages
+//! between different partition blocks are delayed "until every correct
+//! process has decided" (the construction of the run sets `H` in Theorem 2's
+//! proof and `R` in Lemmas 11/12). Within a block, scheduling is fair
+//! round-robin with eager delivery, so each block runs like a healthy little
+//! system that simply never hears from the outside.
+//!
+//! After every alive process has decided, the adversary optionally *releases*
+//! the delayed messages (delivering everything), which makes the produced
+//! prefix extendable to an admissible run of `M_ASYNC` — every message sent
+//! to a correct process is eventually received.
+
+use std::collections::BTreeSet;
+
+use crate::ids::ProcessId;
+use crate::sched::{Choice, Delivery, Scheduler, SimView};
+
+/// What the adversary does once every alive process has decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReleasePolicy {
+    /// Keep blocking cross-partition traffic forever (the run prefix stays
+    /// "partitioned"; use when only the prefix matters).
+    Never,
+    /// Deliver everything (drain buffers) so the prefix extends to an
+    /// admissible run.
+    AfterAllDecided,
+}
+
+/// Scheduler that delays all cross-block messages until decisions are in.
+#[derive(Debug, Clone)]
+pub struct PartitionScheduler {
+    blocks: Vec<BTreeSet<ProcessId>>,
+    release: ReleasePolicy,
+    cursor: usize,
+    /// Extra all-deliver steps performed per process after release, to
+    /// drain buffers.
+    drain_rounds: u64,
+    drained: u64,
+}
+
+impl PartitionScheduler {
+    /// Creates the adversary for the given partition blocks.
+    ///
+    /// Processes not mentioned in any block are treated as singleton blocks
+    /// (they hear only from themselves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blocks are not pairwise disjoint.
+    pub fn new(blocks: Vec<BTreeSet<ProcessId>>, release: ReleasePolicy) -> Self {
+        let mut seen = BTreeSet::new();
+        for block in &blocks {
+            for p in block {
+                assert!(seen.insert(*p), "partition blocks must be disjoint: {p} repeated");
+            }
+        }
+        PartitionScheduler { blocks, release, cursor: 0, drain_rounds: 4, drained: 0 }
+    }
+
+    /// Sets how many all-deliver rounds per process run after release.
+    #[must_use]
+    pub fn with_drain_rounds(mut self, rounds: u64) -> Self {
+        self.drain_rounds = rounds;
+        self
+    }
+
+    /// The block of `pid`, or a singleton if unlisted.
+    fn block_of(&self, pid: ProcessId) -> BTreeSet<ProcessId> {
+        self.blocks
+            .iter()
+            .find(|b| b.contains(&pid))
+            .cloned()
+            .unwrap_or_else(|| [pid].into())
+    }
+}
+
+impl<M> Scheduler<M> for PartitionScheduler {
+    fn next(&mut self, view: &SimView<'_, M>) -> Option<Choice> {
+        if view.n == 0 {
+            return None;
+        }
+        let everyone_decided = view.alive().all(|p| view.has_decided(p));
+        if everyone_decided {
+            match self.release {
+                ReleasePolicy::Never => return None,
+                ReleasePolicy::AfterAllDecided => {
+                    // Drain: give each alive process a few all-deliver steps.
+                    let budget = self.drain_rounds * view.alive().count() as u64;
+                    if self.drained >= budget {
+                        return None;
+                    }
+                    for offset in 0..view.n {
+                        let idx = (self.cursor + offset) % view.n;
+                        let pid = ProcessId::new(idx);
+                        if view.is_alive(pid) {
+                            self.cursor = (idx + 1) % view.n;
+                            self.drained += 1;
+                            return Some(Choice { pid, delivery: Delivery::All });
+                        }
+                    }
+                    return None;
+                }
+            }
+        }
+        // Partitioned phase: round-robin over alive, undecided-preferring
+        // processes, delivering only intra-block traffic.
+        for offset in 0..view.n {
+            let idx = (self.cursor + offset) % view.n;
+            let pid = ProcessId::new(idx);
+            if view.is_alive(pid) && !view.has_decided(pid) {
+                self.cursor = (idx + 1) % view.n;
+                return Some(Choice {
+                    pid,
+                    delivery: Delivery::AllFrom(self.block_of(pid)),
+                });
+            }
+        }
+        // All alive processes decided mid-scan; recurse once to hit the
+        // everyone_decided branch next call.
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::Buffer;
+    use crate::ids::Time;
+    use crate::sched::Status;
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn overlapping_blocks_rejected() {
+        let _ = PartitionScheduler::new(
+            vec![[pid(0), pid(1)].into(), [pid(1)].into()],
+            ReleasePolicy::Never,
+        );
+    }
+
+    #[test]
+    fn unlisted_processes_are_singletons() {
+        let sched = PartitionScheduler::new(vec![[pid(0), pid(1)].into()], ReleasePolicy::Never);
+        assert_eq!(sched.block_of(pid(2)), [pid(2)].into());
+        assert_eq!(sched.block_of(pid(0)), [pid(0), pid(1)].into());
+    }
+
+    #[test]
+    fn partitioned_phase_delivers_only_intra_block() {
+        let statuses = vec![Status::Alive { local_steps: 0 }; 3];
+        let decided = vec![false; 3];
+        let buffers: Vec<Buffer<u32>> = (0..3).map(|_| Buffer::new()).collect();
+        let view = SimView { n: 3, time: Time::ZERO, statuses: &statuses, decided: &decided, buffers: &buffers };
+        let mut sched =
+            PartitionScheduler::new(vec![[pid(0), pid(1)].into(), [pid(2)].into()], ReleasePolicy::Never);
+        let c = Scheduler::next(&mut sched, &view).unwrap();
+        assert_eq!(c.pid, pid(0));
+        assert_eq!(c.delivery, Delivery::AllFrom([pid(0), pid(1)].into()));
+    }
+
+    #[test]
+    fn never_release_stops_after_all_decided() {
+        let statuses = vec![Status::Alive { local_steps: 1 }; 2];
+        let decided = vec![true, true];
+        let buffers: Vec<Buffer<u32>> = (0..2).map(|_| Buffer::new()).collect();
+        let view = SimView { n: 2, time: Time::ZERO, statuses: &statuses, decided: &decided, buffers: &buffers };
+        let mut sched = PartitionScheduler::new(vec![], ReleasePolicy::Never);
+        assert!(Scheduler::next(&mut sched, &view).is_none());
+    }
+
+    #[test]
+    fn release_drains_with_all_delivery() {
+        let statuses = vec![Status::Alive { local_steps: 1 }; 2];
+        let decided = vec![true, true];
+        let buffers: Vec<Buffer<u32>> = (0..2).map(|_| Buffer::new()).collect();
+        let view = SimView { n: 2, time: Time::ZERO, statuses: &statuses, decided: &decided, buffers: &buffers };
+        let mut sched = PartitionScheduler::new(vec![], ReleasePolicy::AfterAllDecided)
+            .with_drain_rounds(1);
+        let c1 = Scheduler::next(&mut sched, &view).unwrap();
+        assert_eq!(c1.delivery, Delivery::All);
+        let c2 = Scheduler::next(&mut sched, &view).unwrap();
+        assert_eq!(c2.delivery, Delivery::All);
+        assert!(Scheduler::next(&mut sched, &view).is_none(), "drain budget exhausted");
+    }
+}

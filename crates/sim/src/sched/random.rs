@@ -1,0 +1,188 @@
+//! Reproducible random asynchrony.
+//!
+//! Picks a uniformly random alive process each step and delivers a random
+//! subset of its pending messages. Seeded, hence fully reproducible — the
+//! workhorse for randomized stress tests of the agreement algorithms.
+//!
+//! Fairness: pure uniform choice is fair in expectation but can starve a
+//! process for long stretches; [`SeededRandom::with_fairness_window`]
+//! optionally bounds starvation, which keeps runs admissible for the
+//! partially-synchronous models (process synchrony bound Φ).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ids::ProcessId;
+use crate::sched::{Choice, Delivery, Scheduler, SimView};
+
+/// A seeded random scheduler.
+#[derive(Debug, Clone)]
+pub struct SeededRandom {
+    rng: StdRng,
+    /// Probability (in percent) that a pending message from a source is
+    /// delivered this step.
+    deliver_percent: u8,
+    /// If set, no alive process goes more than this many global steps
+    /// without stepping.
+    fairness_window: Option<u64>,
+    /// Steps since each process last stepped.
+    since_step: Vec<u64>,
+}
+
+impl SeededRandom {
+    /// Creates a random scheduler with the given seed and a 75% per-source
+    /// delivery probability.
+    pub fn new(seed: u64) -> Self {
+        SeededRandom {
+            rng: StdRng::seed_from_u64(seed),
+            deliver_percent: 75,
+            fairness_window: None,
+            since_step: Vec::new(),
+        }
+    }
+
+    /// Sets the per-source delivery probability (0–100).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `percent > 100`.
+    #[must_use]
+    pub fn with_deliver_percent(mut self, percent: u8) -> Self {
+        assert!(percent <= 100, "percentage out of range");
+        self.deliver_percent = percent;
+        self
+    }
+
+    /// Bounds starvation: any alive process steps at least once every
+    /// `window` scheduler picks.
+    #[must_use]
+    pub fn with_fairness_window(mut self, window: u64) -> Self {
+        assert!(window > 0, "window must be positive");
+        self.fairness_window = Some(window);
+        self
+    }
+}
+
+impl<M> Scheduler<M> for SeededRandom {
+    fn next(&mut self, view: &SimView<'_, M>) -> Option<Choice> {
+        if self.since_step.len() != view.n {
+            self.since_step = vec![0; view.n];
+        }
+        let alive: Vec<ProcessId> = view.alive().collect();
+        if alive.is_empty() {
+            return None;
+        }
+        // Fairness override: pick the most starved process if it breaches
+        // the window.
+        let pid = match self.fairness_window {
+            Some(w) => {
+                let starved = alive
+                    .iter()
+                    .copied()
+                    .filter(|p| self.since_step[p.index()] >= w)
+                    .max_by_key(|p| self.since_step[p.index()]);
+                starved.unwrap_or_else(|| alive[self.rng.gen_range(0..alive.len())])
+            }
+            None => alive[self.rng.gen_range(0..alive.len())],
+        };
+        for p in &alive {
+            self.since_step[p.index()] += 1;
+        }
+        self.since_step[pid.index()] = 0;
+
+        // Randomized delivery: for each source with pending messages,
+        // deliver a random prefix with the configured probability.
+        let buf = &view.buffers[pid.index()];
+        let mut per_source = Vec::new();
+        for src in buf.sources() {
+            if self.rng.gen_range(0..100u8) < self.deliver_percent {
+                let pending = buf.pending_from(src);
+                let count = self.rng.gen_range(1..=pending);
+                per_source.push((src, count));
+            }
+        }
+        let delivery = if per_source.is_empty() {
+            Delivery::None
+        } else {
+            Delivery::OldestPerSource(per_source)
+        };
+        Some(Choice { pid, delivery })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::Buffer;
+    use crate::ids::Time;
+    use crate::sched::Status;
+
+    fn make_parts(n: usize) -> (Vec<Status>, Vec<bool>, Vec<Buffer<u32>>) {
+        (
+            vec![Status::Alive { local_steps: 0 }; n],
+            vec![false; n],
+            (0..n).map(|_| Buffer::new()).collect(),
+        )
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let (statuses, decided, buffers) = make_parts(4);
+        let v = SimView { n: 4, time: Time::ZERO, statuses: &statuses, decided: &decided, buffers: &buffers };
+        let picks = |seed: u64| -> Vec<usize> {
+            let mut s = SeededRandom::new(seed);
+            (0..20)
+                .map(|_| Scheduler::next(&mut s, &v).unwrap().pid.index())
+                .collect()
+        };
+        assert_eq!(picks(7), picks(7));
+    }
+
+    #[test]
+    fn different_seeds_usually_differ() {
+        let (statuses, decided, buffers) = make_parts(4);
+        let v = SimView { n: 4, time: Time::ZERO, statuses: &statuses, decided: &decided, buffers: &buffers };
+        let picks = |seed: u64| -> Vec<usize> {
+            let mut s = SeededRandom::new(seed);
+            (0..20)
+                .map(|_| Scheduler::next(&mut s, &v).unwrap().pid.index())
+                .collect()
+        };
+        assert_ne!(picks(1), picks(2));
+    }
+
+    #[test]
+    fn fairness_window_bounds_starvation() {
+        let (statuses, decided, buffers) = make_parts(3);
+        let v = SimView { n: 3, time: Time::ZERO, statuses: &statuses, decided: &decided, buffers: &buffers };
+        let mut s = SeededRandom::new(42).with_fairness_window(5);
+        let mut gaps = [0u64; 3];
+        for _ in 0..300 {
+            let pid = Scheduler::next(&mut s, &v).unwrap().pid;
+            for g in gaps.iter_mut() {
+                *g += 1;
+            }
+            assert!(
+                gaps.iter().all(|g| *g <= 3 * 5 + 3),
+                "starvation beyond window bound"
+            );
+            gaps[pid.index()] = 0;
+        }
+    }
+
+    #[test]
+    fn everyone_crashed_yields_none() {
+        let statuses = vec![Status::Crashed { at: Time::ZERO }; 2];
+        let decided = vec![false; 2];
+        let buffers: Vec<Buffer<u32>> = (0..2).map(|_| Buffer::new()).collect();
+        let v = SimView { n: 2, time: Time::ZERO, statuses: &statuses, decided: &decided, buffers: &buffers };
+        let mut s = SeededRandom::new(0);
+        assert!(Scheduler::next(&mut s, &v).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "percentage out of range")]
+    fn rejects_bad_percentage() {
+        let _ = SeededRandom::new(0).with_deliver_percent(101);
+    }
+}

@@ -1,0 +1,116 @@
+//! Fair round-robin scheduling with eager delivery.
+//!
+//! Cycles through the alive processes in id order, delivering every pending
+//! message at each step. This is the "most synchronous" schedule the engine
+//! offers: with no crashes it makes processes lock-step (process synchrony
+//! Φ = 1) and messages arrive at the receiver's next step, so it witnesses
+//! the *possibility* side of the paper's borders.
+
+use crate::ids::ProcessId;
+use crate::sched::{Choice, Delivery, Scheduler, SimView};
+
+/// Round-robin over alive processes, delivering everything each step.
+///
+/// # Examples
+///
+/// ```
+/// use kset_sim::sched::round_robin::RoundRobin;
+///
+/// let rr = RoundRobin::new();
+/// # let _ = rr;
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobin {
+    cursor: usize,
+}
+
+impl RoundRobin {
+    /// Creates a scheduler starting from `p1`.
+    pub fn new() -> Self {
+        RoundRobin { cursor: 0 }
+    }
+}
+
+impl<M> Scheduler<M> for RoundRobin {
+    fn next(&mut self, view: &SimView<'_, M>) -> Option<Choice> {
+        if view.n == 0 {
+            return None;
+        }
+        // Find the next alive process at or after the cursor (wrapping).
+        for offset in 0..view.n {
+            let idx = (self.cursor + offset) % view.n;
+            let pid = ProcessId::new(idx);
+            if view.is_alive(pid) {
+                self.cursor = (idx + 1) % view.n;
+                return Some(Choice { pid, delivery: Delivery::All });
+            }
+        }
+        None // everyone crashed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::Buffer;
+    use crate::ids::Time;
+    use crate::sched::Status;
+
+    fn view<'a>(
+        statuses: &'a [Status],
+        decided: &'a [bool],
+        buffers: &'a [Buffer<u32>],
+    ) -> SimView<'a, u32> {
+        SimView { n: statuses.len(), time: Time::ZERO, statuses, decided, buffers }
+    }
+
+    #[test]
+    fn cycles_in_id_order() {
+        let statuses = vec![Status::Alive { local_steps: 0 }; 3];
+        let decided = vec![false; 3];
+        let buffers: Vec<Buffer<u32>> = (0..3).map(|_| Buffer::new()).collect();
+        let v = view(&statuses, &decided, &buffers);
+        let mut rr = RoundRobin::new();
+        let picks: Vec<usize> = (0..6)
+            .map(|_| Scheduler::next(&mut rr, &v).unwrap().pid.index())
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn skips_crashed_processes() {
+        let statuses = vec![
+            Status::Alive { local_steps: 0 },
+            Status::Crashed { at: Time::ZERO },
+            Status::Alive { local_steps: 0 },
+        ];
+        let decided = vec![false; 3];
+        let buffers: Vec<Buffer<u32>> = (0..3).map(|_| Buffer::new()).collect();
+        let v = view(&statuses, &decided, &buffers);
+        let mut rr = RoundRobin::new();
+        let picks: Vec<usize> = (0..4)
+            .map(|_| Scheduler::next(&mut rr, &v).unwrap().pid.index())
+            .collect();
+        assert_eq!(picks, vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn stops_when_everyone_crashed() {
+        let statuses = vec![Status::Crashed { at: Time::ZERO }];
+        let decided = vec![false];
+        let buffers: Vec<Buffer<u32>> = vec![Buffer::new()];
+        let v = view(&statuses, &decided, &buffers);
+        let mut rr = RoundRobin::new();
+        assert!(Scheduler::next(&mut rr, &v).is_none());
+    }
+
+    #[test]
+    fn empty_system_yields_none() {
+        let statuses: Vec<Status> = vec![];
+        let decided: Vec<bool> = vec![];
+        let buffers: Vec<Buffer<u32>> = vec![];
+        let v = view(&statuses, &decided, &buffers);
+        let mut rr = RoundRobin::new();
+        assert!(Scheduler::next(&mut rr, &v).is_none());
+    }
+}

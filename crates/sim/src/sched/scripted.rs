@@ -1,0 +1,135 @@
+//! Schedule replay: the executable form of run pasting.
+//!
+//! Lemma 11 of the paper constructs a run `β′` by letting the processes in
+//! `D̄` "receive messages and perform their steps exactly as in α" while the
+//! partitions `D1,…,Dk−1` replay `β`. Our simulator realizes this by
+//! *replaying schedules*: a [`crate::trace::ScheduleEntry`] sequence records
+//! who stepped and how many of the oldest pending messages from each source
+//! were delivered; replaying it in another configuration reproduces the same
+//! per-source delivery sequences and hence (for deterministic processes) the
+//! same state sequences, provided the cross-partition messages are delayed —
+//! which is exactly what interleaving per-partition schedules achieves.
+
+use crate::sched::{Choice, Delivery, Scheduler, SimView};
+use crate::trace::ScheduleEntry;
+
+/// Replays a fixed schedule, then stops.
+#[derive(Debug, Clone)]
+pub struct Scripted {
+    entries: std::vec::IntoIter<ScheduleEntry>,
+    skip_crashed: bool,
+}
+
+impl Scripted {
+    /// Creates a replayer for the given schedule.
+    pub fn new(entries: Vec<ScheduleEntry>) -> Self {
+        Scripted { entries: entries.into_iter(), skip_crashed: false }
+    }
+
+    /// Silently skips entries whose process has crashed in the replay
+    /// configuration (useful when replaying a schedule under a *different*
+    /// crash plan).
+    #[must_use]
+    pub fn skipping_crashed(mut self) -> Self {
+        self.skip_crashed = true;
+        self
+    }
+
+    /// Interleaves several schedules round-robin by entry: one entry of the
+    /// first, one of the second, …, preserving each schedule's internal
+    /// order.
+    ///
+    /// Interleaving preserves per-process delivery sequences because
+    /// schedules of *disjoint* process sets never touch each other's
+    /// buffers (the cross-partition messages remain undelivered); this is
+    /// the pasting operation of Lemma 12.
+    pub fn interleave(schedules: Vec<Vec<ScheduleEntry>>) -> Vec<ScheduleEntry> {
+        let mut iters: Vec<_> = schedules.into_iter().map(Vec::into_iter).collect();
+        let mut out = Vec::new();
+        loop {
+            let mut progressed = false;
+            for it in &mut iters {
+                if let Some(e) = it.next() {
+                    out.push(e);
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                return out;
+            }
+        }
+    }
+
+    /// Concatenates schedules back-to-back ("one after the other", as in
+    /// the α construction of Lemma 12).
+    pub fn concat(schedules: Vec<Vec<ScheduleEntry>>) -> Vec<ScheduleEntry> {
+        schedules.into_iter().flatten().collect()
+    }
+}
+
+impl<M> Scheduler<M> for Scripted {
+    fn next(&mut self, view: &SimView<'_, M>) -> Option<Choice> {
+        loop {
+            let entry = self.entries.next()?;
+            if self.skip_crashed && !view.is_alive(entry.pid) {
+                continue;
+            }
+            return Some(Choice {
+                pid: entry.pid,
+                delivery: Delivery::OldestPerSource(entry.per_source),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::Buffer;
+    use crate::ids::{ProcessId, Time};
+    use crate::sched::Status;
+
+    fn entry(pid: usize) -> ScheduleEntry {
+        ScheduleEntry { pid: ProcessId::new(pid), per_source: vec![] }
+    }
+
+    #[test]
+    fn replays_in_order_then_stops() {
+        let statuses = vec![Status::Alive { local_steps: 0 }; 2];
+        let decided = vec![false; 2];
+        let buffers: Vec<Buffer<u32>> = (0..2).map(|_| Buffer::new()).collect();
+        let view = SimView { n: 2, time: Time::ZERO, statuses: &statuses, decided: &decided, buffers: &buffers };
+        let mut s = Scripted::new(vec![entry(1), entry(0)]);
+        assert_eq!(Scheduler::next(&mut s, &view).unwrap().pid.index(), 1);
+        assert_eq!(Scheduler::next(&mut s, &view).unwrap().pid.index(), 0);
+        assert!(Scheduler::next(&mut s, &view).is_none());
+    }
+
+    #[test]
+    fn skipping_crashed_filters_entries() {
+        let statuses = vec![Status::Crashed { at: Time::ZERO }, Status::Alive { local_steps: 0 }];
+        let decided = vec![false; 2];
+        let buffers: Vec<Buffer<u32>> = (0..2).map(|_| Buffer::new()).collect();
+        let view = SimView { n: 2, time: Time::ZERO, statuses: &statuses, decided: &decided, buffers: &buffers };
+        let mut s = Scripted::new(vec![entry(0), entry(1)]).skipping_crashed();
+        assert_eq!(Scheduler::next(&mut s, &view).unwrap().pid.index(), 1);
+        assert!(Scheduler::next(&mut s, &view).is_none());
+    }
+
+    #[test]
+    fn interleave_alternates_entries() {
+        let merged = Scripted::interleave(vec![
+            vec![entry(0), entry(0), entry(0)],
+            vec![entry(1)],
+        ]);
+        let pids: Vec<usize> = merged.iter().map(|e| e.pid.index()).collect();
+        assert_eq!(pids, vec![0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn concat_appends() {
+        let merged = Scripted::concat(vec![vec![entry(0)], vec![entry(1), entry(1)]]);
+        let pids: Vec<usize> = merged.iter().map(|e| e.pid.index()).collect();
+        assert_eq!(pids, vec![0, 1, 1]);
+    }
+}

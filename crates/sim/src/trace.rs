@@ -1,0 +1,499 @@
+//! Run traces: the recorded history of a simulation.
+//!
+//! A *run* in the paper is an infinite sequence of configurations
+//! `ρ = (C0, C1, …)` where each `C_{i+1}` results from a step of a single
+//! process. The simulator produces finite run *prefixes*; a [`Trace`]
+//! records, for every step, who stepped, what was delivered, a fingerprint
+//! of the resulting local state, what was sent, and any decision made — plus
+//! crash events.
+//!
+//! Traces serve four purposes:
+//!
+//! 1. extracting the **failure pattern** `F(·)` of the run;
+//! 2. extracting per-process **state sequences** for the
+//!    indistinguishability checks of Definition 2 ([`Trace::process_view`]);
+//! 3. extracting a replayable **schedule** (who stepped, with which
+//!    per-source delivery counts) used by the run-pasting machinery of
+//!    Lemmas 11/12 ([`Trace::schedule`]);
+//! 4. post-hoc **admissibility** checks ([`crate::admissible`]).
+//!
+//! The trace is generic only in the decision value type `V`; message
+//! payloads and process states are stored as 64-bit fingerprints so traces
+//! of different algorithms share one representation.
+
+use std::collections::BTreeMap;
+
+use crate::ids::{MsgId, ProcessId, Time};
+use crate::failure::FailurePattern;
+
+/// One delivered message as recorded in a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeliveredRecord {
+    /// Message id.
+    pub id: MsgId,
+    /// Sender.
+    pub src: ProcessId,
+    /// Fingerprint of the payload.
+    pub payload_fp: u64,
+}
+
+/// One send as recorded in a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendRecord {
+    /// Message id assigned by the engine (also assigned to dropped sends).
+    pub id: MsgId,
+    /// Destination.
+    pub dst: ProcessId,
+    /// Fingerprint of the payload.
+    pub payload_fp: u64,
+    /// Whether the send was dropped by a final-step omission rule.
+    pub dropped: bool,
+}
+
+/// The record of one step of one process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepRecord<V> {
+    /// Global time of the step (1-based: the first step of the run has
+    /// `time == Time::new(1)`).
+    pub time: Time,
+    /// The stepping process.
+    pub pid: ProcessId,
+    /// The process's local step count after this step (1-based).
+    pub local_step: u64,
+    /// Messages consumed by this step.
+    pub delivered: Vec<DeliveredRecord>,
+    /// Fingerprint of the failure-detector sample, if the model provides
+    /// detectors.
+    pub fd_fp: Option<u64>,
+    /// Fingerprint of the local state *after* the step.
+    pub state_fp: u64,
+    /// Decision made in this step, if any.
+    pub decided: Option<V>,
+    /// Messages emitted by this step (including dropped ones).
+    pub sent: Vec<SendRecord>,
+}
+
+/// A trace event: a step or a crash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent<V> {
+    /// A process took a step.
+    Step(StepRecord<V>),
+    /// A process crashed at the given time. `after_step` is true when the
+    /// crash happened at the end of the process's final step (with possible
+    /// send omission), false for initial deaths.
+    Crash {
+        /// The crashed process.
+        pid: ProcessId,
+        /// Crash time.
+        time: Time,
+        /// Whether the crash ended a final step (vs. initial death).
+        after_step: bool,
+    },
+}
+
+/// The full recorded history of a simulation run prefix.
+#[derive(Debug, Clone)]
+pub struct Trace<V> {
+    n: usize,
+    events: Vec<TraceEvent<V>>,
+}
+
+impl<V: Clone> Trace<V> {
+    /// Creates an empty trace over a system of `n` processes.
+    pub fn new(n: usize) -> Self {
+        Trace { n, events: Vec::new() }
+    }
+
+    /// System size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Appends an event. Intended for the engine.
+    pub fn push(&mut self, event: TraceEvent<V>) {
+        self.events.push(event);
+    }
+
+    /// All events in order.
+    pub fn events(&self) -> &[TraceEvent<V>] {
+        &self.events
+    }
+
+    /// Iterates over the step records only, in order.
+    pub fn steps(&self) -> impl Iterator<Item = &StepRecord<V>> {
+        self.events.iter().filter_map(|e| match e {
+            TraceEvent::Step(s) => Some(s),
+            TraceEvent::Crash { .. } => None,
+        })
+    }
+
+    /// Number of steps taken in the run prefix.
+    pub fn step_count(&self) -> u64 {
+        self.steps().count() as u64
+    }
+
+    /// The failure pattern `F(·)` of this run prefix.
+    pub fn failure_pattern(&self) -> FailurePattern {
+        let mut fp = FailurePattern::all_correct(self.n);
+        for event in &self.events {
+            if let TraceEvent::Crash { pid, time, .. } = event {
+                fp.record_crash(*pid, *time);
+            }
+        }
+        fp
+    }
+
+    /// The decision of each process, if it made one in this prefix.
+    pub fn decisions(&self) -> Vec<Option<V>> {
+        let mut out = vec![None; self.n];
+        for step in self.steps() {
+            if let Some(v) = &step.decided {
+                if out[step.pid.index()].is_none() {
+                    out[step.pid.index()] = Some(v.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// The time at which `pid` decided, if it did.
+    pub fn decision_time(&self, pid: ProcessId) -> Option<Time> {
+        self.steps()
+            .find(|s| s.pid == pid && s.decided.is_some())
+            .map(|s| s.time)
+    }
+
+    /// The latest decision time over `pids`, or `None` if some process in
+    /// `pids` has neither decided nor crashed. This is the `t_dec` of
+    /// Lemma 11 (time when the last process in `D̄` has crashed or decided).
+    pub fn all_decided_or_crashed_by(
+        &self,
+        pids: impl IntoIterator<Item = ProcessId>,
+    ) -> Option<Time> {
+        let fp = self.failure_pattern();
+        let mut latest = Time::ZERO;
+        for pid in pids {
+            let t = match (self.decision_time(pid), fp.crash_time(pid)) {
+                (Some(td), _) => td,
+                (None, Some(tc)) => tc,
+                (None, None) => return None,
+            };
+            latest = latest.max(t);
+        }
+        Some(latest)
+    }
+
+    /// Per-process view: the sequence of this process's step observations,
+    /// used for the indistinguishability check of Definition 2.
+    pub fn process_view(&self, pid: ProcessId) -> ProcessView {
+        let mut view = ProcessView { pid, obs: Vec::new(), decided_at_local_step: None };
+        for step in self.steps().filter(|s| s.pid == pid) {
+            view.obs.push(StepObservation {
+                delivered: step
+                    .delivered
+                    .iter()
+                    .map(|d| (d.src, d.payload_fp))
+                    .collect(),
+                fd_fp: step.fd_fp,
+                state_fp: step.state_fp,
+            });
+            if step.decided.is_some() && view.decided_at_local_step.is_none() {
+                view.decided_at_local_step = Some(view.obs.len());
+            }
+        }
+        view
+    }
+
+    /// Extracts the replayable schedule of this run prefix: for each step,
+    /// who stepped and how many of the oldest pending messages from each
+    /// source were delivered.
+    ///
+    /// Replaying such a schedule in another configuration (e.g. the same
+    /// per-partition schedule inside a *larger* system whose cross-partition
+    /// messages are delayed) reproduces the same per-source delivery
+    /// sequences and hence — for deterministic processes — the same state
+    /// sequences. This is the executable form of the run-pasting in
+    /// Lemmas 11/12.
+    pub fn schedule(&self) -> Vec<ScheduleEntry> {
+        self.steps()
+            .map(|s| {
+                let mut per_source: BTreeMap<ProcessId, usize> = BTreeMap::new();
+                for d in &s.delivered {
+                    *per_source.entry(d.src).or_insert(0) += 1;
+                }
+                ScheduleEntry {
+                    pid: s.pid,
+                    per_source: per_source.into_iter().collect(),
+                }
+            })
+            .collect()
+    }
+
+    /// Message statistics of the run prefix: total sends (including
+    /// omission-dropped ones), dropped sends, and deliveries. The send
+    /// count is the *message complexity* figure reported by experiment E7.
+    pub fn message_stats(&self) -> MessageStats {
+        let mut stats = MessageStats::default();
+        for step in self.steps() {
+            for s in &step.sent {
+                stats.sent += 1;
+                if s.dropped {
+                    stats.dropped += 1;
+                }
+            }
+            stats.delivered += step.delivered.len() as u64;
+        }
+        stats
+    }
+
+    /// The number of messages sent (not dropped) to each process that were
+    /// never delivered within this prefix.
+    pub fn undelivered_counts(&self) -> Vec<usize> {
+        let mut sent = vec![0usize; self.n];
+        let mut delivered = vec![0usize; self.n];
+        for step in self.steps() {
+            for s in &step.sent {
+                if !s.dropped {
+                    sent[s.dst.index()] += 1;
+                }
+            }
+            delivered[step.pid.index()] += step.delivered.len();
+        }
+        sent.iter().zip(&delivered).map(|(s, d)| s.saturating_sub(*d)).collect()
+    }
+}
+
+/// Message statistics of a run prefix (see [`Trace::message_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MessageStats {
+    /// Messages emitted by steps (including dropped ones).
+    pub sent: u64,
+    /// Sends dropped by final-step omission rules.
+    pub dropped: u64,
+    /// Messages consumed by steps.
+    pub delivered: u64,
+}
+
+impl MessageStats {
+    /// Messages actually placed into buffers.
+    pub fn transmitted(&self) -> u64 {
+        self.sent - self.dropped
+    }
+
+    /// Messages still pending at the end of the prefix.
+    pub fn pending(&self) -> u64 {
+        self.transmitted().saturating_sub(self.delivered)
+    }
+}
+
+/// One entry of a replayable schedule: a process steps, consuming the oldest
+/// `count` pending messages from each listed source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleEntry {
+    /// The stepping process.
+    pub pid: ProcessId,
+    /// `(source, how many of its oldest pending messages to deliver)`.
+    pub per_source: Vec<(ProcessId, usize)>,
+}
+
+/// What one process observed in one of its steps: delivered payloads (by
+/// source), the failure-detector sample fingerprint, and the state
+/// fingerprint after the step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepObservation {
+    /// `(source, payload fingerprint)` pairs consumed in the step.
+    pub delivered: Vec<(ProcessId, u64)>,
+    /// Failure-detector sample fingerprint (if the model provides one).
+    pub fd_fp: Option<u64>,
+    /// State fingerprint after the step.
+    pub state_fp: u64,
+}
+
+/// The projection of a trace onto one process: its sequence of step
+/// observations, and the local step index at which it decided (1-based), if
+/// it did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessView {
+    /// Whose view this is.
+    pub pid: ProcessId,
+    /// Per-local-step observations, in order.
+    pub obs: Vec<StepObservation>,
+    /// 1-based local step of the first decision, if any.
+    pub decided_at_local_step: Option<usize>,
+}
+
+impl ProcessView {
+    /// The observations up to and including the deciding step; the whole
+    /// sequence if the process never decided in this prefix.
+    ///
+    /// Definition 2 compares state sequences *until decision* — a process
+    /// may behave differently after deciding (e.g. keep forwarding) without
+    /// breaking indistinguishability.
+    pub fn until_decision(&self) -> &[StepObservation] {
+        match self.decided_at_local_step {
+            Some(k) => &self.obs[..k],
+            None => &self.obs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(
+        time: u64,
+        pid: usize,
+        local: u64,
+        decided: Option<u32>,
+        state_fp: u64,
+    ) -> TraceEvent<u32> {
+        TraceEvent::Step(StepRecord {
+            time: Time::new(time),
+            pid: ProcessId::new(pid),
+            local_step: local,
+            delivered: vec![],
+            fd_fp: None,
+            state_fp,
+            decided,
+            sent: vec![],
+        })
+    }
+
+    #[test]
+    fn decisions_and_times() {
+        let mut t = Trace::new(2);
+        t.push(step(1, 0, 1, None, 10));
+        t.push(step(2, 1, 1, Some(7), 20));
+        t.push(step(3, 0, 2, Some(9), 11));
+        assert_eq!(t.decisions(), vec![Some(9), Some(7)]);
+        assert_eq!(t.decision_time(ProcessId::new(1)), Some(Time::new(2)));
+        assert_eq!(t.decision_time(ProcessId::new(0)), Some(Time::new(3)));
+        assert_eq!(t.step_count(), 3);
+    }
+
+    #[test]
+    fn failure_pattern_from_crash_events() {
+        let mut t: Trace<u32> = Trace::new(3);
+        t.push(TraceEvent::Crash { pid: ProcessId::new(2), time: Time::ZERO, after_step: false });
+        t.push(step(1, 0, 1, None, 1));
+        let fp = t.failure_pattern();
+        assert_eq!(fp.faulty(), [ProcessId::new(2)].into());
+        assert_eq!(fp.crash_time(ProcessId::new(2)), Some(Time::ZERO));
+    }
+
+    #[test]
+    fn all_decided_or_crashed_requires_every_pid() {
+        let mut t = Trace::new(2);
+        t.push(step(1, 0, 1, Some(1), 1));
+        assert_eq!(
+            t.all_decided_or_crashed_by(ProcessId::all(2)),
+            None,
+            "p2 neither decided nor crashed"
+        );
+        t.push(TraceEvent::Crash { pid: ProcessId::new(1), time: Time::new(2), after_step: true });
+        assert_eq!(t.all_decided_or_crashed_by(ProcessId::all(2)), Some(Time::new(2)));
+    }
+
+    #[test]
+    fn process_view_cuts_at_decision() {
+        let mut t = Trace::new(1);
+        t.push(step(1, 0, 1, None, 10));
+        t.push(step(2, 0, 2, Some(5), 20));
+        t.push(step(3, 0, 3, None, 30));
+        let v = t.process_view(ProcessId::new(0));
+        assert_eq!(v.obs.len(), 3);
+        assert_eq!(v.decided_at_local_step, Some(2));
+        assert_eq!(v.until_decision().len(), 2);
+        assert_eq!(v.until_decision()[1].state_fp, 20);
+    }
+
+    #[test]
+    fn process_view_whole_sequence_without_decision() {
+        let mut t: Trace<u32> = Trace::new(1);
+        t.push(step(1, 0, 1, None, 10));
+        let v = t.process_view(ProcessId::new(0));
+        assert_eq!(v.decided_at_local_step, None);
+        assert_eq!(v.until_decision().len(), 1);
+    }
+
+    #[test]
+    fn schedule_counts_deliveries_per_source() {
+        let mut t: Trace<u32> = Trace::new(3);
+        t.push(TraceEvent::Step(StepRecord {
+            time: Time::new(1),
+            pid: ProcessId::new(0),
+            local_step: 1,
+            delivered: vec![
+                DeliveredRecord { id: MsgId::new(0), src: ProcessId::new(1), payload_fp: 1 },
+                DeliveredRecord { id: MsgId::new(1), src: ProcessId::new(1), payload_fp: 2 },
+                DeliveredRecord { id: MsgId::new(2), src: ProcessId::new(2), payload_fp: 3 },
+            ],
+            fd_fp: None,
+            state_fp: 0,
+            decided: None,
+            sent: vec![],
+        }));
+        let sched = t.schedule();
+        assert_eq!(sched.len(), 1);
+        assert_eq!(sched[0].pid, ProcessId::new(0));
+        assert_eq!(
+            sched[0].per_source,
+            vec![(ProcessId::new(1), 2), (ProcessId::new(2), 1)]
+        );
+    }
+
+    #[test]
+    fn message_stats_accounting() {
+        let mut t: Trace<u32> = Trace::new(2);
+        t.push(TraceEvent::Step(StepRecord {
+            time: Time::new(1),
+            pid: ProcessId::new(0),
+            local_step: 1,
+            delivered: vec![],
+            fd_fp: None,
+            state_fp: 0,
+            decided: None,
+            sent: vec![
+                SendRecord { id: MsgId::new(0), dst: ProcessId::new(1), payload_fp: 1, dropped: false },
+                SendRecord { id: MsgId::new(1), dst: ProcessId::new(1), payload_fp: 1, dropped: true },
+            ],
+        }));
+        t.push(TraceEvent::Step(StepRecord {
+            time: Time::new(2),
+            pid: ProcessId::new(1),
+            local_step: 1,
+            delivered: vec![DeliveredRecord { id: MsgId::new(0), src: ProcessId::new(0), payload_fp: 1 }],
+            fd_fp: None,
+            state_fp: 0,
+            decided: None,
+            sent: vec![],
+        }));
+        let stats = t.message_stats();
+        assert_eq!(stats.sent, 2);
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.transmitted(), 1);
+        assert_eq!(stats.pending(), 0);
+    }
+
+    #[test]
+    fn undelivered_counts_sent_minus_delivered() {
+        let mut t: Trace<u32> = Trace::new(2);
+        t.push(TraceEvent::Step(StepRecord {
+            time: Time::new(1),
+            pid: ProcessId::new(0),
+            local_step: 1,
+            delivered: vec![],
+            fd_fp: None,
+            state_fp: 0,
+            decided: None,
+            sent: vec![
+                SendRecord { id: MsgId::new(0), dst: ProcessId::new(1), payload_fp: 1, dropped: false },
+                SendRecord { id: MsgId::new(1), dst: ProcessId::new(1), payload_fp: 1, dropped: true },
+            ],
+        }));
+        let counts = t.undelivered_counts();
+        assert_eq!(counts, vec![0, 1], "dropped sends do not count as undelivered");
+    }
+}

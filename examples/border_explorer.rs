@@ -1,0 +1,90 @@
+//! Border explorer: print the solvability maps of Theorems 2, 8 and 10.
+//!
+//! Regenerates, as ASCII tables, the three borders the paper pins down:
+//! the partially synchronous border `k ≤ (n−1)/(n−f)` (Theorem 2), the
+//! initial-crash border `kn > (k+1)f` (Theorem 8), and the failure-detector
+//! range `(Σk, Ωk)` solves (Corollary 13 vs Theorem 10), including the
+//! older Bouzid–Travers bound for comparison.
+//!
+//! ```sh
+//! cargo run --example border_explorer [n]
+//! ```
+
+use kset::impossibility::{
+    bouzid_travers_impossible, corollary13_solvable, theorem10_impossible, theorem2_impossible,
+    theorem8_solvable,
+};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    assert!((3..=16).contains(&n), "pick 3 ≤ n ≤ 16");
+
+    println!("== Theorem 2: k-set agreement with synchronous processes /");
+    println!("   asynchronous communication, f failures (n = {n}) ==");
+    println!("   ('X' = impossible, '.' = not covered by the theorem)\n");
+    header(n);
+    for f in 1..n {
+        print!("f={f:2} |");
+        for k in 1..n {
+            let c = if theorem2_impossible(n, f, k) { 'X' } else { '.' };
+            print!(" {c} ");
+        }
+        println!();
+    }
+
+    println!("\n== Theorem 8: f INITIALLY DEAD processes (n = {n}) ==");
+    println!("   ('S' = solvable, two-stage algorithm matches; 'X' = impossible)\n");
+    header(n);
+    for f in 1..n {
+        print!("f={f:2} |");
+        for k in 1..n {
+            let c = if theorem8_solvable(n, f, k) { 'S' } else { 'X' };
+            print!(" {c} ");
+        }
+        println!();
+    }
+
+    println!("\n== Theorem 10 / Corollary 13: (Σk, Ωk) in ⟨M_ASYNC⟩ (n = {n}) ==");
+    println!("   paper:          'S' solvable, 'X' impossible");
+    println!("   Bouzid–Travers: impossible only while 2k² ≤ n\n");
+    print!("          ");
+    for k in 1..n {
+        print!(" k={k}");
+    }
+    println!();
+    print!("paper:    ");
+    for k in 1..n {
+        let c = if corollary13_solvable(n, k) { 'S' } else { 'X' };
+        print!("  {c} ");
+    }
+    println!();
+    print!("BT [5]:   ");
+    for k in 1..n {
+        let c = if bouzid_travers_impossible(n, k) {
+            'X'
+        } else if k == 1 || k == n - 1 {
+            'S'
+        } else {
+            '?'
+        };
+        print!("  {c} ");
+    }
+    println!("\n          ('?' = not settled by the older bound — Theorem 10 closes these)");
+
+    let closed: Vec<usize> = (2..n - 1)
+        .filter(|k| theorem10_impossible(n, *k) && !bouzid_travers_impossible(n, *k))
+        .collect();
+    println!("\nFor n = {n}, Theorem 10 newly settles k ∈ {closed:?}.");
+}
+
+fn header(n: usize) {
+    print!("     |");
+    for k in 1..n {
+        print!("k={k} ");
+    }
+    println!();
+    println!("-----+{}", "-".repeat(4 * (n - 1)));
+}

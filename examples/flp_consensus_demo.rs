@@ -1,0 +1,78 @@
+//! FLP two-stage consensus with initially dead processes (Section VI, base
+//! case), plus the matching impossibility when half the system is dead.
+//!
+//! With a majority of correct processes (`n > 2f`), the two-stage protocol
+//! with threshold `L = ⌈(n+1)/2⌉` reaches consensus: the first-stage graph
+//! has a unique source component (an initial clique), and everyone decides
+//! the value of its minimum-id member. At `f = n/2` the partition argument
+//! (Theorem 8's borderline) produces a failure-free run with two decisions.
+//!
+//! ```sh
+//! cargo run --example flp_consensus_demo
+//! ```
+
+use kset::core::algorithms::two_stage::{consensus_threshold, two_stage_inputs, TwoStage};
+use kset::core::runner::{run_round_robin, run_seeded};
+use kset::core::task::{distinct_proposals, KSetTask};
+use kset::impossibility::theorem8::border_demo;
+use kset::sim::{CrashPlan, ProcessId};
+
+fn main() {
+    let n = 7;
+    let f = 3; // minority: n > 2f
+    let l = consensus_threshold(n);
+    println!("== FLP initial-crash consensus (n = {n}, f = {f}, L = {l}) ==\n");
+
+    let values = distinct_proposals(n);
+    let inputs = two_stage_inputs(l, &values);
+    let task = KSetTask::consensus(n);
+
+    // Try every set of f "low" ids dead, then f "high" ids dead, then a mix.
+    let patterns: Vec<Vec<ProcessId>> = vec![
+        (0..f).map(ProcessId::new).collect(),
+        (n - f..n).map(ProcessId::new).collect(),
+        vec![ProcessId::new(1), ProcessId::new(3), ProcessId::new(5)],
+    ];
+    for dead in &patterns {
+        let report = run_round_robin::<TwoStage>(
+            inputs.clone(),
+            CrashPlan::initially_dead(dead.iter().copied()),
+            200_000,
+        );
+        let verdict = task.judge(&values, &report);
+        let who: Vec<String> = dead.iter().map(ToString::to_string).collect();
+        let decided = report
+            .distinct_decisions
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        println!("dead = {{{}}} → consensus on {{{decided}}}; {verdict}", who.join(","));
+        assert!(verdict.holds());
+    }
+
+    println!("\n-- hostile schedules (10 seeds) --");
+    for seed in 0..10 {
+        let report = run_seeded::<TwoStage>(
+            inputs.clone(),
+            CrashPlan::initially_dead((0..f).map(ProcessId::new)),
+            seed,
+            2_000_000,
+        );
+        let verdict = task.judge(&values, &report);
+        assert!(verdict.holds(), "seed {seed}: {verdict}");
+    }
+    println!("consensus under every tested schedule ✓");
+
+    println!("\n== and the matching impossibility at f = n/2 ==");
+    // n = 8, k = 1 ⇒ borderline f = 4: two halves decide separately.
+    let demo = border_demo(8, 1, 200_000).expect("borderline layout");
+    println!(
+        "n = 8, f = {}: pasted failure-free run has {} distinct decisions (verified: {})",
+        demo.f,
+        demo.pasted.distinct_decisions(),
+        demo.pasted.verified,
+    );
+    assert!(demo.violates_k_agreement());
+    println!("consensus impossible once half the system may be initially dead ✓");
+}

@@ -1,0 +1,150 @@
+//! Experiment E5, as a test: the two solvable endpoints of Corollary 13.
+//!
+//! k = 1: consensus from (Σ, Ω), wait-free (up to n−1 crashes, in
+//! particular (n−1)-resilient as the corollary states). k = n−1: set
+//! agreement from the loneliness detector (the classical equivalent of the
+//! Σ(n−1) endpoint; see DESIGN.md for the substitution note). In between,
+//! Theorem 10 forbids — checked in `theorem10_integration.rs`.
+
+use kset::core::algorithms::lonely_set::LonelySetAgreement;
+use kset::core::algorithms::sigma_omega_consensus::SigmaOmegaConsensus;
+use kset::core::runner::{run_round_robin_with_oracle, run_seeded_with_oracle};
+use kset::core::task::{distinct_proposals, KSetTask};
+use kset::fd::{LonelinessOracle, RealisticSigmaOmega};
+use kset::sim::{CrashPlan, Omission, ProcessId, Time};
+
+fn pid(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+#[test]
+fn k1_consensus_every_leader_choice() {
+    let n = 5;
+    let values = distinct_proposals(n);
+    for leader in 0..n {
+        let oracle = RealisticSigmaOmega::consensus(n, Time::new(20), pid(leader));
+        let report = run_round_robin_with_oracle::<SigmaOmegaConsensus, _>(
+            values.clone(),
+            oracle,
+            CrashPlan::none(),
+            300_000,
+        );
+        let verdict = KSetTask::consensus(n).judge(&values, &report);
+        assert!(verdict.holds(), "leader p{}: {verdict}", leader + 1);
+    }
+}
+
+#[test]
+fn k1_consensus_is_wait_free_with_sigma_omega() {
+    // Up to n−1 crashes: the last process standing still decides.
+    let n = 5;
+    let values = distinct_proposals(n);
+    for survivor in 0..n {
+        let dead: Vec<ProcessId> = (0..n).filter(|i| *i != survivor).map(pid).collect();
+        let oracle = RealisticSigmaOmega::consensus(n, Time::new(5), pid(survivor));
+        let report = run_round_robin_with_oracle::<SigmaOmegaConsensus, _>(
+            values.clone(),
+            oracle,
+            CrashPlan::initially_dead(dead),
+            200_000,
+        );
+        let verdict = KSetTask::consensus(n).judge(&values, &report);
+        assert!(verdict.holds(), "survivor p{}: {verdict}", survivor + 1);
+        assert_eq!(report.decisions[survivor], Some(survivor as u64));
+    }
+}
+
+#[test]
+fn k1_consensus_with_mid_run_leader_crash() {
+    // The stable leader crashes mid-ballot; Ω re-stabilizes on a correct
+    // process and the run still terminates with one value.
+    let n = 5;
+    let values = distinct_proposals(n);
+    let plan = CrashPlan::none().with_crash_after(pid(0), 4, Omission::All);
+    // Ω points at p1 pre-crash (it will die), then the history stabilizes
+    // on p2 — encoded by a final LD that is correct.
+    let oracle = RealisticSigmaOmega::consensus(n, Time::new(40), pid(1));
+    let report = run_round_robin_with_oracle::<SigmaOmegaConsensus, _>(
+        values.clone(),
+        oracle,
+        plan,
+        400_000,
+    );
+    let verdict = KSetTask::consensus(n).judge(&values, &report);
+    assert!(verdict.holds(), "{verdict}");
+}
+
+#[test]
+fn k1_consensus_safety_under_hostile_schedules() {
+    let n = 6;
+    let values = distinct_proposals(n);
+    for seed in 0..10 {
+        let oracle = RealisticSigmaOmega::consensus(n, Time::new(150), pid(2));
+        let report = run_seeded_with_oracle::<SigmaOmegaConsensus, _>(
+            values.clone(),
+            oracle,
+            CrashPlan::none(),
+            seed,
+            600_000,
+        );
+        let verdict = KSetTask::consensus(n).judge(&values, &report);
+        assert!(verdict.safe(), "seed {seed}: {verdict}");
+        if report.all_correct_decided() {
+            assert_eq!(report.distinct_decisions.len(), 1, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn k_n_minus_1_set_agreement_all_crash_counts() {
+    let n = 6;
+    let values = distinct_proposals(n);
+    let task = KSetTask::set_agreement(n);
+    for f in 0..n {
+        let dead: Vec<ProcessId> = (0..f).map(pid).collect();
+        let report = run_round_robin_with_oracle::<LonelySetAgreement, _>(
+            values.clone(),
+            LonelinessOracle::new(n),
+            CrashPlan::initially_dead(dead),
+            100_000,
+        );
+        let verdict = task.judge(&values, &report);
+        assert!(verdict.holds(), "f={f}: {verdict}");
+    }
+}
+
+#[test]
+fn k_n_minus_1_never_reaches_n_distinct_values() {
+    // The safety heart of the endpoint: across many schedules and crash
+    // patterns, decisions never hit n distinct values.
+    let n = 5;
+    let values = distinct_proposals(n);
+    for seed in 0..30 {
+        let f = (seed as usize) % n;
+        let dead: Vec<ProcessId> = (0..f).map(|i| pid((i * 2 + seed as usize) % n)).collect();
+        let dead: std::collections::BTreeSet<ProcessId> = dead.into_iter().collect();
+        let report = run_seeded_with_oracle::<LonelySetAgreement, _>(
+            values.clone(),
+            LonelinessOracle::new(n),
+            CrashPlan::initially_dead(dead),
+            seed,
+            200_000,
+        );
+        assert!(
+            report.distinct_decisions.len() < n,
+            "seed {seed}: n distinct decisions would refute the endpoint"
+        );
+    }
+}
+
+#[test]
+fn endpoints_bracket_the_impossible_middle() {
+    // The full Corollary 13 picture for n = 6: S X X X S.
+    use kset::impossibility::{corollary13_solvable, theorem10_impossible};
+    let n = 6;
+    assert!(corollary13_solvable(n, 1));
+    for k in 2..=n - 2 {
+        assert!(theorem10_impossible(n, k), "k={k}");
+    }
+    assert!(corollary13_solvable(n, n - 1));
+}

@@ -1,0 +1,135 @@
+//! T-independence (Definition 6 / Section IV) across algorithms: the
+//! classic progress conditions expressed as families, checked
+//! constructively against the workspace's algorithms.
+
+use std::collections::BTreeSet;
+
+use kset::core::algorithms::naive::DecideOwn;
+use kset::core::algorithms::two_stage::{consensus_threshold, two_stage_inputs, TwoStage};
+use kset::core::task::distinct_proposals;
+use kset::core::{check_independence, isolated_run_no_fd, witnesses_independence, Family};
+use kset::sim::{CrashPlan, ProcessId};
+
+fn pid(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+#[test]
+fn wait_freedom_is_full_powerset_independence() {
+    // DecideOwn is wait-free: independent for every nonempty subset.
+    let n = 5;
+    assert!(check_independence::<DecideOwn>(
+        || distinct_proposals(n),
+        &Family::wait_free(n),
+        1_000,
+    )
+    .is_ok());
+}
+
+#[test]
+fn f_resilience_family_matches_threshold_l() {
+    // Two-stage with threshold L is independent exactly for sets of size
+    // ≥ L (a set of size < L starves in stage 1).
+    let n = 6;
+    for l in 1..=n {
+        let inputs = || two_stage_inputs(l, &distinct_proposals(n));
+        // All sets of size ≥ L succeed.
+        let big = Family::wait_free(n).filter(|s| s.len() >= l);
+        assert!(
+            check_independence::<TwoStage>(inputs, &big, 100_000).is_ok(),
+            "L={l}: sets of size ≥ L must be independent"
+        );
+        // Any set of size L−1 fails (when L > 1).
+        if l > 1 {
+            let s: BTreeSet<ProcessId> = (0..l - 1).map(pid).collect();
+            let report = isolated_run_no_fd::<TwoStage>(inputs(), &s, CrashPlan::none(), 20_000);
+            assert!(
+                !witnesses_independence(&report, &s),
+                "L={l}: a set of size L−1 must starve"
+            );
+        }
+    }
+}
+
+#[test]
+fn consensus_threshold_is_not_minority_independent() {
+    // The majority-threshold protocol cannot decide in a minority
+    // partition — exactly why it evades the Theorem 1 checker.
+    let n = 7;
+    let l = consensus_threshold(n);
+    let minority: BTreeSet<ProcessId> = (0..l - 1).map(pid).collect();
+    let report = isolated_run_no_fd::<TwoStage>(
+        two_stage_inputs(l, &distinct_proposals(n)),
+        &minority,
+        CrashPlan::none(),
+        50_000,
+    );
+    assert!(!witnesses_independence(&report, &minority));
+}
+
+#[test]
+fn observation_1b_subfamilies() {
+    // If A satisfies T-independence and T′ ⊆ T, then A satisfies
+    // T′-independence: filtering can never create failures.
+    let n = 5;
+    let full = Family::wait_free(n);
+    let sub = full.filter(|s| s.len() == 2);
+    assert!(check_independence::<DecideOwn>(|| distinct_proposals(n), &sub, 1_000).is_ok());
+    assert!(sub.len() < full.len());
+}
+
+#[test]
+fn asymmetric_family_shape() {
+    let n = 4;
+    let fam = Family::containing(n, pid(2));
+    assert_eq!(fam.len(), 1 << (n - 1), "half the nonempty subsets contain p3");
+    assert!(fam.sets().iter().all(|s| s.contains(&pid(2))));
+}
+
+#[test]
+fn isolated_decisions_use_only_in_set_values() {
+    // Stronger than deciding: the decision values of an isolated set must
+    // be proposals of that set (no information can leak in).
+    let n = 6;
+    let l = 2;
+    for mask in 1u32..(1 << n) {
+        if (mask.count_ones() as usize) < l {
+            continue;
+        }
+        if mask.count_ones() > 3 {
+            continue; // keep the sweep fast: sizes 2 and 3 only
+        }
+        let s: BTreeSet<ProcessId> =
+            (0..n).filter(|i| mask & (1 << i) != 0).map(pid).collect();
+        let report = isolated_run_no_fd::<TwoStage>(
+            two_stage_inputs(l, &distinct_proposals(n)),
+            &s,
+            CrashPlan::none(),
+            50_000,
+        );
+        if !witnesses_independence(&report, &s) {
+            continue;
+        }
+        for p in &s {
+            if let Some(v) = report.decisions[p.index()] {
+                assert!(
+                    s.contains(&pid(v as usize)),
+                    "set {s:?}: decision {v} leaked from outside"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn singleton_independence_is_the_wait_free_degenerate_case() {
+    // L = 1 makes the two-stage protocol obstruction-free (singleton
+    // independent) — and therefore hopeless for k < n (Section V).
+    let n = 4;
+    assert!(check_independence::<TwoStage>(
+        || two_stage_inputs(1, &distinct_proposals(n)),
+        &Family::singletons(n),
+        10_000,
+    )
+    .is_ok());
+}

@@ -1,0 +1,155 @@
+//! Property-based tests for the agreement layer: the Theorem 8 algorithm
+//! never exceeds its decision bound, FloodMin never exceeds k, the
+//! loneliness algorithm never reaches n distinct values, and consensus
+//! safety is schedule-independent.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use kset::core::algorithms::floodmin::{floodmin_rounds, FloodMin};
+use kset::core::algorithms::lonely_set::LonelySetAgreement;
+use kset::core::algorithms::sigma_omega_consensus::SigmaOmegaConsensus;
+use kset::core::algorithms::two_stage::{decision_bound, two_stage_inputs, TwoStage};
+use kset::core::runner::{run_seeded, run_seeded_with_oracle};
+use kset::core::sync::{run_sync, RoundCrash};
+use kset::core::task::{distinct_proposals, KSetTask};
+use kset::fd::{LonelinessOracle, RealisticSigmaOmega};
+use kset::sim::{CrashPlan, ProcessId, Time};
+
+fn pid(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Theorem 8 possibility, randomized: for any solvable (n, f) with the
+    /// tight k = ⌊n/(n−f)⌋ bound, any initially-dead set of size f, and any
+    /// schedule seed, the two-stage protocol holds all three properties.
+    #[test]
+    fn two_stage_holds_across_random_points(
+        n in 3usize..8,
+        f_seed in 0usize..8,
+        dead_seed in 0u64..1_000,
+        seed in 0u64..10_000,
+    ) {
+        let f = f_seed % n;
+        prop_assume!(f >= 1 && f < n);
+        let l = n - f;
+        let k = decision_bound(n, l).max(1);
+        // Tightness: this k satisfies kn > (k+1)f exactly when the paper
+        // says the protocol works.
+        prop_assume!(k * n > (k + 1) * f);
+        // Random dead set of size f.
+        let mut dead: BTreeSet<ProcessId> = BTreeSet::new();
+        let mut x = dead_seed;
+        while dead.len() < f {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            dead.insert(pid((x >> 33) as usize % n));
+        }
+        let values = distinct_proposals(n);
+        let report = run_seeded::<TwoStage>(
+            two_stage_inputs(l, &values),
+            CrashPlan::initially_dead(dead),
+            seed,
+            2_000_000,
+        );
+        let verdict = KSetTask::new(n, k).judge(&values, &report);
+        prop_assert!(verdict.holds(), "n={n} f={f} k={k}: {verdict}");
+    }
+
+    /// FloodMin k-agreement under arbitrary crash schedules (receivers,
+    /// rounds and victims all randomized).
+    #[test]
+    fn floodmin_never_exceeds_k(
+        n in 2usize..9,
+        k in 1usize..4,
+        f_seed in 0usize..9,
+        crash_bits in proptest::collection::vec((0usize..9, 0u32..512), 0..8),
+    ) {
+        let f = f_seed % n;
+        let rounds = floodmin_rounds(f, k);
+        let values = distinct_proposals(n);
+        let procs = FloodMin::system(&values, f, k);
+        let mut victims = BTreeSet::new();
+        let mut crashes = Vec::new();
+        for (v_seed, mask) in crash_bits.iter().take(f) {
+            let victim = pid(v_seed % n);
+            if !victims.insert(victim) {
+                continue;
+            }
+            let receivers: BTreeSet<ProcessId> =
+                (0..n).filter(|i| mask & (1 << i) != 0).map(pid).collect();
+            let round = 1 + (*mask as usize) % rounds;
+            crashes.push(RoundCrash { round, pid: victim, receivers });
+        }
+        let out = run_sync(procs, rounds, &crashes);
+        prop_assert!(
+            out.distinct_decisions().len() <= k,
+            "n={n} k={k} f={f}: {:?}",
+            out.decisions
+        );
+        for i in 0..n {
+            if !out.crashed.contains(&pid(i)) {
+                prop_assert!(out.decisions[i].is_some(), "p{} undecided", i + 1);
+            }
+        }
+    }
+
+    /// The loneliness algorithm never produces n distinct decisions — the
+    /// (n−1)-set agreement safety property, schedule- and crash-agnostic.
+    #[test]
+    fn lonely_set_never_n_distinct(
+        n in 2usize..8,
+        f_seed in 0usize..8,
+        dead_seed in 0u64..1_000,
+        seed in 0u64..10_000,
+    ) {
+        let f = f_seed % n; // 0 ≤ f ≤ n−1
+        let mut dead: BTreeSet<ProcessId> = BTreeSet::new();
+        let mut x = dead_seed.wrapping_add(seed);
+        while dead.len() < f {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            dead.insert(pid((x >> 33) as usize % n));
+        }
+        let values = distinct_proposals(n);
+        let report = run_seeded_with_oracle::<LonelySetAgreement, _>(
+            values.clone(),
+            LonelinessOracle::new(n),
+            CrashPlan::initially_dead(dead),
+            seed,
+            500_000,
+        );
+        prop_assert!(report.violations.is_empty());
+        prop_assert!(report.distinct_decisions.len() < n || n == 1);
+        let verdict = KSetTask::new(n, (n - 1).max(1)).judge(&values, &report);
+        prop_assert!(verdict.holds(), "n={n} f={f}: {verdict}");
+    }
+
+    /// (Σ, Ω) consensus safety: whatever the schedule, stabilization time
+    /// and leader, decided processes agree on one proposed value.
+    #[test]
+    fn sigma_omega_consensus_safety(
+        n in 2usize..7,
+        leader in 0usize..7,
+        tgst in 0u64..300,
+        seed in 0u64..10_000,
+    ) {
+        let leader = pid(leader % n);
+        let values = distinct_proposals(n);
+        let oracle = RealisticSigmaOmega::consensus(n, Time::new(tgst), leader);
+        let report = run_seeded_with_oracle::<SigmaOmegaConsensus, _>(
+            values.clone(),
+            oracle,
+            CrashPlan::none(),
+            seed,
+            400_000,
+        );
+        prop_assert!(report.violations.is_empty());
+        prop_assert!(report.distinct_decisions.len() <= 1, "two decided values!");
+        for v in &report.distinct_decisions {
+            prop_assert!(values.contains(v), "validity");
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Property-based tests for the failure-detector framework: generated
+//! histories always satisfy their class definitions, and Lemma 9 holds on
+//! randomized partition layouts.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use kset::fd::{
+    check_loneliness, check_omega_k, check_partition_sigma, check_sigma_k, History,
+    LeaderSample, LonelinessOracle, PartitionSigmaOmega, QuorumSample, TrustAliveSigma,
+};
+use kset::sim::{FailurePattern, Oracle, ProcessId, Time};
+
+fn pid(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+/// A randomized failure pattern: each listed process crashes at the given
+/// positive time.
+fn pattern(n: usize, crashes: &[(usize, u64)]) -> FailurePattern {
+    let mut fp = FailurePattern::all_correct(n);
+    for (p, t) in crashes {
+        if p % n < n {
+            fp.record_crash(pid(p % n), Time::new(1 + t % 50));
+        }
+    }
+    fp
+}
+
+/// Random partition of `0..n` into `k` nonempty blocks, driven by an
+/// assignment vector.
+fn blocks_from(n: usize, k: usize, assign: &[usize]) -> Vec<BTreeSet<ProcessId>> {
+    let mut blocks: Vec<BTreeSet<ProcessId>> = vec![BTreeSet::new(); k];
+    for i in 0..n {
+        let b = assign.get(i).copied().unwrap_or(0) % k;
+        blocks[b].insert(pid(i));
+    }
+    // Repair empties: steal from the largest block.
+    for b in 0..k {
+        if blocks[b].is_empty() {
+            let (largest, _) = blocks
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, s)| s.len())
+                .unwrap();
+            let steal = *blocks[largest].iter().next().unwrap();
+            blocks[largest].remove(&steal);
+            blocks[b].insert(steal);
+        }
+    }
+    blocks
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// TrustAliveSigma histories pass the Σ1 (and hence Σk) checker under
+    /// arbitrary crash patterns and query interleavings, provided correct
+    /// processes keep querying after the last crash.
+    #[test]
+    fn trust_alive_sigma_is_always_valid(
+        n in 2usize..8,
+        crashes in proptest::collection::vec((0usize..8, 0u64..50), 0..3),
+        queries in proptest::collection::vec((0usize..8, 1u64..60), 1..40),
+    ) {
+        let fp = pattern(n, &crashes);
+        let mut oracle = TrustAliveSigma::new(n);
+        let mut h: History<QuorumSample> = History::new();
+        for (p, t) in queries {
+            let p = pid(p % n);
+            let t = Time::new(t);
+            if fp.is_crashed(p, t) {
+                continue; // crashed processes do not query
+            }
+            let s = oracle.sample(p, t, &fp);
+            h.record(p, t, s);
+        }
+        // Tail cleanup: each correct process queries once after everything.
+        for p in fp.correct() {
+            let t = Time::new(1_000);
+            let s = oracle.sample(p, t, &fp);
+            h.record(p, t, s);
+        }
+        for k in 1..n {
+            prop_assert!(check_sigma_k(&h, k, &fp).is_ok(), "Σ{k}");
+        }
+    }
+
+    /// Lemma 9, randomized: partition-FD histories over random layouts and
+    /// crash patterns satisfy Definition 7 part 1, plain Σk, and plain Ωk.
+    #[test]
+    fn lemma9_on_random_partitions(
+        n in 3usize..8,
+        k_seed in 0usize..10,
+        assign in proptest::collection::vec(0usize..8, 8),
+        crashes in proptest::collection::vec((0usize..8, 0u64..30), 0..2),
+        queries in proptest::collection::vec((0usize..8, 1u64..40), 1..50),
+    ) {
+        let k = 2 + k_seed % (n - 1).max(1).min(n - 1); // 2 ≤ k ≤ n
+        prop_assume!(k <= n);
+        let blocks = blocks_from(n, k, &assign);
+        let fp = pattern(n, &crashes);
+        // LD: one id per block (take the min of each) — intersects the
+        // correct set as long as some block min is correct; repair if not.
+        let mut ld: LeaderSample = blocks.iter().map(|b| *b.iter().next().unwrap()).collect();
+        if !ld.iter().any(|p| fp.crash_time(*p).is_none()) {
+            let correct = fp.correct();
+            prop_assume!(!correct.is_empty());
+            let c = *correct.iter().next().unwrap();
+            let evict = *ld.iter().next().unwrap();
+            ld.remove(&evict);
+            ld.insert(c);
+        }
+        prop_assume!(ld.len() == k);
+        let tgst = Time::new(100);
+        let mut oracle = PartitionSigmaOmega::new(n, blocks.clone(), tgst, ld);
+        let mut hs: History<QuorumSample> = History::new();
+        let mut ho: History<LeaderSample> = History::new();
+        for (p, t) in queries {
+            let p = pid(p % n);
+            let t = Time::new(t);
+            if fp.is_crashed(p, t) {
+                continue;
+            }
+            let s = oracle.sample(p, t, &fp);
+            hs.record(p, t, s.sigma);
+            ho.record(p, t, s.omega);
+        }
+        // Stabilization suffix: every correct process queries past t_GST.
+        for (i, p) in fp.correct().into_iter().enumerate() {
+            let t = Time::new(tgst.raw() + 1 + i as u64);
+            let s = oracle.sample(p, t, &fp);
+            hs.record(p, t, s.sigma);
+            ho.record(p, t, s.omega);
+        }
+        prop_assert!(check_partition_sigma(&hs, &blocks, &fp).is_ok(), "Definition 7.1");
+        prop_assert!(check_sigma_k(&hs, k, &fp).is_ok(), "Lemma 9 / Σk");
+        prop_assert!(check_omega_k(&ho, k, &fp).is_ok(), "Lemma 9 / Ωk");
+    }
+
+    /// The loneliness oracle always satisfies the L specification.
+    #[test]
+    fn loneliness_oracle_is_always_valid(
+        n in 1usize..7,
+        crashes in proptest::collection::vec((0usize..8, 0u64..30), 0..7),
+        queries in proptest::collection::vec((0usize..8, 1u64..40), 1..40),
+    ) {
+        let fp = pattern(n, &crashes);
+        let mut oracle = LonelinessOracle::new(n);
+        let mut h = History::new();
+        for (p, t) in queries {
+            let p = pid(p % n);
+            let t = Time::new(t);
+            if fp.is_crashed(p, t) {
+                continue;
+            }
+            h.record(p, t, oracle.sample(p, t, &fp));
+        }
+        // Liveness tail for a lone survivor.
+        let correct = fp.correct();
+        if correct.len() == 1 {
+            let p = *correct.iter().next().unwrap();
+            let t = Time::new(500);
+            h.record(p, t, oracle.sample(p, t, &fp));
+        }
+        prop_assert!(check_loneliness(&h, &fp).is_ok());
+    }
+
+    /// The Σk checker's disjointness search is sound: planting k+1 known
+    /// pairwise-disjoint quorums at distinct processes is always caught.
+    #[test]
+    fn planted_disjoint_quorums_are_found(
+        k in 1usize..4,
+        noise in proptest::collection::vec((0usize..12, 1u64..50), 0..20),
+    ) {
+        let n = 3 * (k + 1);
+        let fp = FailurePattern::all_correct(n);
+        let mut h: History<QuorumSample> = History::new();
+        // Noise samples: full-universe quorums (never disjoint).
+        let universe: QuorumSample = ProcessId::all(n).collect();
+        for (p, t) in noise {
+            h.record(pid(p % n), Time::new(t), universe.clone());
+        }
+        // Planted family: process 3i gets quorum {3i, 3i+1, 3i+2}.
+        for i in 0..=k {
+            let q: QuorumSample = (3 * i..3 * i + 3).map(pid).collect();
+            h.record(pid(3 * i), Time::new(100 + i as u64), q);
+        }
+        prop_assert!(check_sigma_k(&h, k, &fp).is_err(), "plant must refute Σ{k}");
+        prop_assert!(check_sigma_k(&h, k + 1, &fp).is_ok(), "Σ{} tolerates k+1 disjoint", k + 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the impossibility engine: the Lemma 12
+//! pasting verifies on *random* partitions, the Theorem 1 checker's
+//! classification is stable, and the borders agree with brute-force
+//! arithmetic.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use kset::core::algorithms::two_stage::{two_stage_inputs, TwoStage};
+use kset::core::task::distinct_proposals;
+use kset::impossibility::{
+    lemma12_no_fd, theorem2_impossible, theorem8_solvable, PartitionSpec,
+};
+use kset::sim::ProcessId;
+
+fn pid(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+/// Random partition of `0..n` into nonempty blocks of size ≥ `min_size`.
+fn random_blocks(n: usize, min_size: usize, assign: &[usize]) -> Vec<BTreeSet<ProcessId>> {
+    let max_blocks = n / min_size;
+    let count = max_blocks.max(1);
+    let mut blocks: Vec<BTreeSet<ProcessId>> = vec![BTreeSet::new(); count];
+    for i in 0..n {
+        blocks[assign.get(i).copied().unwrap_or(0) % count].insert(pid(i));
+    }
+    // Merge undersized blocks into the first adequate one.
+    let mut merged: Vec<BTreeSet<ProcessId>> = Vec::new();
+    let mut pending: BTreeSet<ProcessId> = BTreeSet::new();
+    for b in blocks.into_iter().filter(|b| !b.is_empty()) {
+        if b.len() >= min_size {
+            merged.push(b);
+        } else {
+            pending.extend(b);
+        }
+    }
+    if merged.is_empty() {
+        merged.push(BTreeSet::new());
+    }
+    merged[0].extend(pending);
+    merged.retain(|b| !b.is_empty());
+    merged
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Lemma 12 pasting verifies for every random partition into blocks of
+    /// size ≥ L, and the pasted run carries one decision value per block.
+    #[test]
+    fn pasting_verifies_on_random_partitions(
+        n in 4usize..9,
+        l in 1usize..3,
+        assign in proptest::collection::vec(0usize..8, 9),
+    ) {
+        let blocks = random_blocks(n, l, &assign);
+        prop_assume!(blocks.len() >= 2);
+        prop_assume!(blocks.iter().all(|b| b.len() >= l));
+        let pasted = lemma12_no_fd::<TwoStage>(
+            || two_stage_inputs(l, &distinct_proposals(n)),
+            &blocks,
+            200_000,
+        );
+        prop_assert!(pasted.verified, "pasting must verify");
+        prop_assert_eq!(pasted.report.failure_pattern.num_faulty(), 0);
+        // At least one decision value per block (a block may contribute
+        // several when L = 1 lets members decide solo), and every
+        // process's decision is a proposal of its own block — isolation
+        // admits no information flow across blocks.
+        prop_assert!(pasted.distinct_decisions() >= blocks.len());
+        for block in &blocks {
+            for p in block {
+                if let Some(v) = pasted.report.decisions[p.index()] {
+                    prop_assert!(
+                        block.contains(&pid(v as usize)),
+                        "decision {v} of {p} leaked across blocks"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The Theorem 2 layout exists iff the closed-form border says
+    /// impossible (brute-force cross-check of the arithmetic).
+    #[test]
+    fn theorem2_layout_iff_border(n in 2usize..16, f in 1usize..16, k in 1usize..16) {
+        prop_assume!(f < n && k < n);
+        let brute = k * (n - f) < n;
+        prop_assert_eq!(theorem2_impossible(n, f, k), brute);
+        prop_assert_eq!(PartitionSpec::theorem2(n, f, k).is_some(), brute);
+    }
+
+    /// Theorem 8's border is equivalent to k > f/(n−f) in exact rational
+    /// arithmetic.
+    #[test]
+    fn theorem8_border_equivalent_forms(n in 1usize..20, f in 0usize..20, k in 1usize..20) {
+        prop_assume!(f < n);
+        // kn > (k+1)f  ⇔  k(n−f) > f  ⇔  k > f/(n−f).
+        prop_assert_eq!(theorem8_solvable(n, f, k), k * (n - f) > f);
+    }
+
+    /// Theorem 10 layouts put every process in exactly one part, with
+    /// |D̄| = n−k+1 and k−1 singletons.
+    #[test]
+    fn theorem10_layout_shape(n in 4usize..20, k in 2usize..18) {
+        prop_assume!(k <= n - 2);
+        let spec = PartitionSpec::theorem10(n, k).unwrap();
+        prop_assert_eq!(spec.dbar().len(), n - k + 1);
+        prop_assert_eq!(spec.blocks().len(), k - 1);
+        let mut seen = BTreeSet::new();
+        for part in spec.all_parts() {
+            for p in part {
+                prop_assert!(seen.insert(p));
+            }
+        }
+        prop_assert_eq!(seen.len(), n);
+    }
+}

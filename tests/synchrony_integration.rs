@@ -1,0 +1,175 @@
+//! Integration tests for the partially synchronous machinery: the
+//! Δ-bounded scheduler against the paper's algorithms, admissibility
+//! verification of produced runs, and the failure-detector transformation
+//! framework (Section II-C's comparison relation).
+
+use std::collections::BTreeSet;
+
+use kset::core::algorithms::two_stage::{consensus_threshold, two_stage_inputs, TwoStage};
+use kset::core::task::{distinct_proposals, KSetTask};
+use kset::fd::{
+    check_omega_k, check_sigma_k, emulate, omega_component, sigma_component, GammaToOmega2,
+    PartitionSigmaOmega, PartitionToPlain, Recorder, SuspectsToTrusted,
+};
+use kset::sim::admissible::{check, AdmissibilityRequirements};
+use kset::sim::sched::delay_bounded::DelayBounded;
+use kset::sim::{
+    CrashPlan, FailurePattern, Oracle, ProcessId, Simulation, SynchronyBounds, Time,
+};
+
+use kset::fd::History as FdHistory;
+
+fn pid(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+#[test]
+fn two_stage_terminates_under_maximal_admissible_delay() {
+    // The Theorem 8 algorithm under the laziest Δ-bounded adversary: it
+    // must still terminate (it is asynchronous-safe), just slower.
+    let n = 5;
+    let l = consensus_threshold(n);
+    let values = distinct_proposals(n);
+    for delta in [2u64, 8, 20] {
+        let mut sim: Simulation<TwoStage, _> = Simulation::new(
+            two_stage_inputs(l, &values),
+            CrashPlan::none(),
+        );
+        let mut sched = DelayBounded::new(delta);
+        let bound = sched.realized_bound(n);
+        let report = sim.run_to_report(&mut sched, 200_000);
+        let verdict = KSetTask::consensus(n).judge(&values, &report);
+        assert!(verdict.holds(), "delta={delta}: {verdict}");
+        // The run is admissible for the realized Δ bound and lock-step Φ.
+        let req = AdmissibilityRequirements::bounds_only(SynchronyBounds {
+            phi: Some(n as u64),
+            delta: Some(bound),
+        });
+        let adm = check(&report.trace, &req);
+        assert!(adm.is_admissible(), "delta={delta}: {:?}", adm.violations);
+    }
+}
+
+#[test]
+fn delay_scales_decision_latency() {
+    // Doubling the hold time must delay decisions measurably — the
+    // latency/synchrony trade the partially synchronous literature is
+    // about.
+    let n = 4;
+    let l = consensus_threshold(n);
+    let values = distinct_proposals(n);
+    let decision_time = |delta: u64| -> u64 {
+        let mut sim: Simulation<TwoStage, _> =
+            Simulation::new(two_stage_inputs(l, &values), CrashPlan::none());
+        let mut sched = DelayBounded::new(delta);
+        let report = sim.run_to_report(&mut sched, 200_000);
+        assert!(report.all_correct_decided());
+        (0..n)
+            .map(|i| report.trace.decision_time(pid(i)).unwrap().raw())
+            .max()
+            .unwrap()
+    };
+    let fast = decision_time(2);
+    let slow = decision_time(16);
+    assert!(slow > fast, "hold 16 ({slow}) must be slower than hold 2 ({fast})");
+}
+
+#[test]
+fn lemma9_as_a_transformation_on_a_live_run() {
+    // Record a real (Σ′k, Ω′k)-backed run of a candidate algorithm, pass
+    // the history through the identity transformation, and validate the
+    // emulated (Σk, Ωk) history — Lemma 9 end to end on live data.
+    use kset::core::algorithms::naive::LeaderAdopt;
+    let n = 5;
+    let blocks: Vec<BTreeSet<ProcessId>> =
+        vec![[pid(0)].into(), [pid(1)].into(), [pid(2), pid(3), pid(4)].into()];
+    let k = blocks.len();
+    let tgst = Time::new(500);
+    let oracle = PartitionSigmaOmega::new(n, blocks, tgst, [pid(0), pid(1), pid(2)].into());
+    let mut rec = Recorder::new(oracle.clone());
+    let mut sim: Simulation<LeaderAdopt, _> = Simulation::with_oracle(
+        distinct_proposals(n),
+        &mut rec,
+        CrashPlan::none(),
+    );
+    let mut sched = kset::sim::sched::round_robin::RoundRobin::new();
+    let _ = sim.run(&mut sched, 2_000);
+    drop(sim);
+    let fp = FailurePattern::all_correct(n);
+    // Stabilization suffix (Lemma 11 step 5).
+    let mut raw: FdHistory<kset::fd::SigmaOmegaSample> = FdHistory::new();
+    for (p, t, s) in rec.history().iter() {
+        raw.record(p, t, s.clone());
+    }
+    let mut post = oracle.clone();
+    for (i, p) in ProcessId::all(n).enumerate() {
+        let t = Time::new(tgst.raw() + 1 + i as u64);
+        raw.record(p, t, post.sample(p, t, &fp));
+    }
+    let mut id = PartitionToPlain;
+    let emulated = emulate(&mut id, &raw);
+    check_sigma_k(&sigma_component(&emulated), k, &fp).unwrap();
+    check_omega_k(&omega_component(&emulated), k, &fp).unwrap();
+}
+
+#[test]
+fn theorem10_condition_c_omega2_extraction() {
+    // Build Γ-style histories (Ωk stabilizing on LD with |LD ∩ D̄| = 2),
+    // extract Ω2 for the subsystem, and validate it — the executable form
+    // of "using Γ we can easily implement Ω2 for M′".
+    let n = 6;
+    let k = 3;
+    let dbar: BTreeSet<ProcessId> = [pid(0), pid(1), pid(2), pid(3)].into();
+    let ld: BTreeSet<ProcessId> = [pid(0), pid(1), pid(4)].into(); // |LD ∩ D̄| = 2
+    let mut raw: FdHistory<kset::fd::LeaderSample> = FdHistory::new();
+    // Noisy pre-GST samples of size k, then stabilization.
+    raw.record(pid(0), Time::new(1), [pid(2), pid(3), pid(5)].into());
+    raw.record(pid(1), Time::new(2), [pid(1), pid(4), pid(5)].into());
+    for t in 10..20u64 {
+        let p = pid((t % 4) as usize);
+        raw.record(p, Time::new(t), ld.clone());
+    }
+    // Validate the input as Ωk over the full system first.
+    let fp = FailurePattern::all_correct(n);
+    check_omega_k(&raw, k, &fp).unwrap();
+    // Extract and validate Ω2 over the subsystem.
+    let mut extract = GammaToOmega2::new(dbar.clone());
+    let emulated = emulate(&mut extract, &raw);
+    let fp_sub = FailurePattern::all_correct(n); // D̄ processes correct
+    check_omega_k(&emulated, 2, &fp_sub).unwrap();
+    for (_, _, s) in emulated.iter() {
+        assert!(s.is_subset(&dbar));
+        assert_eq!(s.len(), 2);
+    }
+}
+
+#[test]
+fn sigma_weaker_than_perfect_on_live_pattern() {
+    // Σ ⪯ P on a pattern with two staggered crashes.
+    let n = 5;
+    let mut p_oracle = kset::fd::PerfectOracle::new();
+    let mut fp = FailurePattern::all_correct(n);
+    let mut raw: FdHistory<BTreeSet<ProcessId>> = FdHistory::new();
+    for t in 1..40u64 {
+        if t == 10 {
+            fp.record_crash(pid(4), Time::new(10));
+        }
+        if t == 20 {
+            fp.record_crash(pid(3), Time::new(20));
+        }
+        let p = pid((t % 3) as usize);
+        raw.record(p, Time::new(t), p_oracle.sample(p, Time::new(t), &fp));
+    }
+    let mut compl = SuspectsToTrusted::new(n);
+    let emulated = emulate(&mut compl, &raw);
+    for kk in 1..n {
+        check_sigma_k(&emulated, kk, &fp).unwrap();
+    }
+}
+
+#[test]
+fn history_roundtrip() {
+    let mut h: FdHistory<u8> = FdHistory::new();
+    h.record(pid(0), Time::new(1), 7);
+    assert_eq!(h.get(pid(0), Time::new(1)), Some(&7));
+}

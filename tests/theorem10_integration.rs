@@ -1,0 +1,107 @@
+//! Experiment E4, as a test: Theorem 10 across the (n, k) grid.
+//!
+//! For every 2 ≤ k ≤ n−2 the adversary construction refutes the (Σk, Ωk)
+//! candidate with a verified pasted run whose failure-detector history is
+//! re-validated against the plain Σk/Ωk class oracles (Lemma 9). The
+//! endpoints k = 1 and k = n−1 are exercised in
+//! `corollary13_integration.rs`.
+
+use kset::impossibility::theorem10::demo;
+use kset::impossibility::{
+    bouzid_travers_impossible, theorem10_impossible, PartitionSpec, Theorem1Outcome,
+};
+
+#[test]
+fn grid_2_to_n_minus_2_is_refuted() {
+    for n in 4..9 {
+        for k in 2..=n - 2 {
+            let d = demo(n, k, 200_000).unwrap_or_else(|| panic!("n={n} k={k} in range"));
+            assert!(d.refuted(), "n={n} k={k}");
+            assert!(d.analysis.condition_a, "n={n} k={k}: blocks decide in isolation");
+            assert!(d.analysis.condition_b_verified, "n={n} k={k}: Lemma 12 pasting verified");
+            assert!(d.analysis.condition_d_verified, "n={n} k={k}: restriction corresponds");
+            assert!(
+                d.history_legal_for_sigma_omega_k(),
+                "n={n} k={k}: defeating history must be (Σk,Ωk)-legal"
+            );
+        }
+    }
+}
+
+#[test]
+fn direct_violations_everywhere_in_the_grid() {
+    // The split-D̄ schedule makes the violation direct: the single pasted
+    // run carries more than k distinct decisions.
+    for (n, k) in [(5, 2), (6, 2), (6, 4), (7, 3), (8, 4)] {
+        let d = demo(n, k, 200_000).unwrap();
+        match d.analysis.outcome {
+            Theorem1Outcome::DirectViolation { distinct, k: kk } => {
+                assert!(distinct > kk, "n={n} k={k}");
+            }
+            ref other => panic!("n={n} k={k}: expected direct violation, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn layout_matches_the_theorem_range() {
+    for n in 3..10 {
+        for k in 1..n {
+            assert_eq!(
+                PartitionSpec::theorem10(n, k).is_some(),
+                theorem10_impossible(n, k),
+                "n={n} k={k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn improvement_over_prior_bound_is_strict_and_verified() {
+    // Points settled by Theorem 10 but not by Bouzid–Travers [5]: verify
+    // the construction works there (this is the paper's "much more
+    // restrictive bound" claim, executed).
+    let mut newly_settled = 0;
+    for n in 4..9_usize {
+        for k in 2..=n - 2 {
+            if !bouzid_travers_impossible(n, k) {
+                newly_settled += 1;
+                let d = demo(n, k, 200_000).unwrap();
+                assert!(d.refuted(), "n={n} k={k} newly settled point must verify");
+            }
+        }
+    }
+    assert!(newly_settled >= 8, "the improvement covers many grid points");
+}
+
+#[test]
+fn dbar_is_always_large_enough_for_the_reduction() {
+    // |D̄| = n − k + 1 ≥ 3: the restricted system has enough processes for
+    // consensus to be unsolvable with the weak leader information (the
+    // proof's condition (C) via Ω2 ≺ Ω).
+    for n in 4..12 {
+        for k in 2..=n - 2 {
+            let spec = PartitionSpec::theorem10(n, k).unwrap();
+            assert!(spec.dbar().len() >= 3, "n={n} k={k}");
+            assert_eq!(spec.dbar().len(), n - k + 1);
+            assert_eq!(spec.blocks().len(), k - 1);
+        }
+    }
+}
+
+#[test]
+fn ld_construction_matches_proof_condition_c() {
+    use kset::impossibility::theorem10::demo_ld;
+    for n in 4..10 {
+        for k in 2..=n - 2 {
+            let spec = PartitionSpec::theorem10(n, k).unwrap();
+            let ld = demo_ld(&spec);
+            assert_eq!(ld.len(), k, "n={n} k={k}: |LD| = k");
+            assert_eq!(
+                ld.intersection(spec.dbar()).count(),
+                2,
+                "n={n} k={k}: LD ∩ D̄ has exactly two processes (ps, pt)"
+            );
+        }
+    }
+}

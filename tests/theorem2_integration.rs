@@ -1,0 +1,143 @@
+//! Experiment E1, as a test: the Theorem 2 border, end to end.
+//!
+//! Sweeps the (n, f, k) grid, checks that the partition layout exists
+//! exactly in the impossible region, that the Theorem 1 checker refutes
+//! candidate algorithms there, and that the favourable (fully synchronous)
+//! model point contrasts it by solving k-set agreement for any f.
+
+use kset::core::algorithms::floodmin::{floodmin_rounds, FloodMin};
+use kset::core::algorithms::two_stage::two_stage_inputs;
+use kset::core::sync::{run_sync, RoundCrash};
+use kset::core::task::distinct_proposals;
+use kset::impossibility::theorem2::{demo_decide_own, demo_two_stage};
+use kset::impossibility::{theorem2_impossible, PartitionSpec, Theorem1Outcome};
+use kset::sim::ProcessId;
+
+#[test]
+fn layout_exists_exactly_in_the_impossible_region() {
+    for n in 2..10 {
+        for f in 1..n {
+            for k in 1..n {
+                assert_eq!(
+                    PartitionSpec::theorem2(n, f, k).is_some(),
+                    theorem2_impossible(n, f, k),
+                    "n={n} f={f} k={k}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lemma3_shapes_hold_on_every_layout() {
+    for n in 2..10 {
+        for f in 1..n {
+            for k in 1..n {
+                if let Some(spec) = PartitionSpec::theorem2(n, f, k) {
+                    let ell = n - f;
+                    for block in spec.blocks() {
+                        assert_eq!(block.len(), ell, "every Di has exactly ℓ processes");
+                    }
+                    assert!(
+                        spec.dbar().len() > ell,
+                        "D̄ has at least n−f+1 processes (Lemma 3)"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn naive_candidate_refuted_across_the_grid() {
+    for n in 3..7 {
+        for f in 1..n {
+            for k in 1..n {
+                if let Some(demo) = demo_decide_own(n, f, k, 50_000) {
+                    assert!(demo.refuted(), "n={n} f={f} k={k}");
+                    assert!(
+                        demo.analysis.condition_b_verified,
+                        "n={n} f={f} k={k}: pasting must verify"
+                    );
+                    assert!(
+                        demo.analysis.condition_d_verified,
+                        "n={n} f={f} k={k}: restriction must correspond"
+                    );
+                    assert!(demo.process_synchrony_ok, "n={n} f={f} k={k}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn two_stage_candidate_refuted_in_sampled_points() {
+    for (n, f, k) in [(5, 3, 2), (7, 5, 3), (6, 4, 2), (8, 6, 3)] {
+        let demo = demo_two_stage(n, f, k, 200_000)
+            .unwrap_or_else(|| panic!("n={n} f={f} k={k} must be impossible"));
+        assert!(demo.refuted(), "n={n} f={f} k={k}");
+        assert!(
+            !matches!(demo.analysis.outcome, Theorem1Outcome::ConditionAFailed { .. }),
+            "n={n} f={f} k={k}: the L=n−f protocol must be flagged"
+        );
+    }
+}
+
+#[test]
+fn corollary5_favourable_point_contrast() {
+    // At the fully synchronous DDS point the SAME (n, f, k) that Theorem 2
+    // declares impossible becomes solvable: FloodMin handles any f < n.
+    for (n, f, k) in [(5, 3, 2), (7, 5, 3), (6, 4, 2)] {
+        assert!(theorem2_impossible(n, f, k));
+        let values = distinct_proposals(n);
+        let procs = FloodMin::system(&values, f, k);
+        let crashes: Vec<RoundCrash> = (0..f)
+            .map(|i| RoundCrash {
+                round: i / k + 1,
+                pid: ProcessId::new(i),
+                receivers: [ProcessId::new((i + 1) % n)].into(),
+            })
+            .collect();
+        let out = run_sync(procs, floodmin_rounds(f, k), &crashes);
+        assert!(
+            out.distinct_decisions().len() <= k,
+            "n={n} f={f} k={k}: FloodMin solves it synchronously"
+        );
+    }
+}
+
+#[test]
+fn impossibility_is_about_asynchrony_not_crash_count() {
+    // Theorem 2 needs only ONE non-initial crash; the partition adversary
+    // we run uses ZERO crashes. The same algorithm with the same f of
+    // purely initial crashes would be fine (Theorem 8) when kn > (k+1)f.
+    // Point (6, 2, 2): Theorem 2 layout does not exist (2·4+1 = 9 > 6)…
+    assert!(PartitionSpec::theorem2(6, 2, 2).is_none());
+    // …but (6, 4, 2) is impossible partially-synchronously while still
+    // being Theorem 8-borderline for initial crashes (12 = 12).
+    assert!(theorem2_impossible(6, 4, 2));
+    assert!(kset::impossibility::theorem8_borderline(6, 4, 2));
+}
+
+#[test]
+fn independence_of_the_layout_blocks_lemma4() {
+    // Lemma 4: the two-stage algorithm with L = n−f is independent for the
+    // layout blocks {D1, …, D(k−1), D̄} (each has ≥ ℓ = L members).
+    use kset::core::algorithms::two_stage::TwoStage;
+    use kset::core::{isolated_run_no_fd, witnesses_independence};
+    let (n, f, k) = (7, 5, 3);
+    let spec = PartitionSpec::theorem2(n, f, k).unwrap();
+    let l = n - f;
+    for block in spec.all_parts() {
+        let report = isolated_run_no_fd::<TwoStage>(
+            two_stage_inputs(l, &distinct_proposals(n)),
+            &block,
+            kset::sim::CrashPlan::none(),
+            100_000,
+        );
+        assert!(
+            witnesses_independence(&report, &block),
+            "block {block:?} must decide in isolation"
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! Experiments E2/E3, as tests: both sides of the Theorem 8 border.
+//!
+//! Possibility: the generalized two-stage protocol solves k-set agreement
+//! for every (n, f, k) with kn > (k+1)f, under fair and hostile schedules
+//! and every rotation of the initially-dead set. Impossibility: at the
+//! border kn = (k+1)f the k+1-partition construction produces a verified
+//! failure-free run with k+1 distinct decisions.
+
+use kset::core::algorithms::two_stage::{
+    decision_bound, kset_threshold, two_stage_inputs, TwoStage,
+};
+use kset::core::runner::{run_round_robin, run_seeded};
+use kset::core::task::{distinct_proposals, KSetTask};
+use kset::impossibility::theorem8::{border_demo, possibility_demo};
+use kset::impossibility::{theorem8_borderline, theorem8_solvable};
+use kset::sim::{CrashPlan, ProcessId};
+
+#[test]
+fn possibility_grid_under_fair_schedules() {
+    for n in 3..9 {
+        for f in 1..n {
+            for k in 1..n {
+                if !theorem8_solvable(n, f, k) {
+                    continue;
+                }
+                let l = kset_threshold(n, f);
+                // The protocol's bound must be within k (the arithmetic
+                // heart of Theorem 8's possibility direction).
+                assert!(decision_bound(n, l) <= k, "n={n} f={f} k={k}: ⌊n/L⌋ ≤ k");
+                let values = distinct_proposals(n);
+                let dead: Vec<ProcessId> = (n - f..n).map(ProcessId::new).collect();
+                let report = run_round_robin::<TwoStage>(
+                    two_stage_inputs(l, &values),
+                    CrashPlan::initially_dead(dead),
+                    500_000,
+                );
+                let verdict = KSetTask::new(n, k).judge(&values, &report);
+                assert!(verdict.holds(), "n={n} f={f} k={k}: {verdict}");
+            }
+        }
+    }
+}
+
+#[test]
+fn possibility_under_hostile_schedules_sampled() {
+    for (n, f, k) in [(6, 3, 2), (8, 5, 2), (9, 5, 2), (8, 5, 3), (10, 7, 3)] {
+        let demo = possibility_demo(n, f, k, 6);
+        assert!(demo.all_hold, "n={n} f={f} k={k}");
+        assert!(demo.max_distinct <= k, "n={n} f={f} k={k}: {}", demo.max_distinct);
+    }
+}
+
+#[test]
+fn every_rotation_of_the_dead_set_works() {
+    let (n, f, k) = (6, 3, 2);
+    let l = kset_threshold(n, f);
+    let values = distinct_proposals(n);
+    // All 20 3-subsets of 6 processes.
+    for a in 0..n {
+        for b in a + 1..n {
+            for c in b + 1..n {
+                let dead = [ProcessId::new(a), ProcessId::new(b), ProcessId::new(c)];
+                let report = run_round_robin::<TwoStage>(
+                    two_stage_inputs(l, &values),
+                    CrashPlan::initially_dead(dead),
+                    500_000,
+                );
+                let verdict = KSetTask::new(n, k).judge(&values, &report);
+                assert!(verdict.holds(), "dead {{p{},p{},p{}}}: {verdict}", a + 1, b + 1, c + 1);
+            }
+        }
+    }
+}
+
+#[test]
+fn border_construction_across_divisible_points() {
+    for (n, k) in [(4, 1), (6, 1), (8, 1), (6, 2), (9, 2), (12, 2), (8, 3), (12, 3), (10, 4)] {
+        let demo = border_demo(n, k, 300_000)
+            .unwrap_or_else(|| panic!("n={n} k={k}: border divisible"));
+        assert!(theorem8_borderline(n, demo.f, k));
+        assert!(demo.violates_k_agreement(), "n={n} k={k}");
+        assert_eq!(demo.pasted.distinct_decisions(), k + 1, "n={n} k={k}");
+        // The pasted run is failure-free: the violation needs no crash at
+        // all, only message delay — the partitioning argument in essence.
+        assert_eq!(demo.pasted.report.failure_pattern.num_faulty(), 0);
+    }
+}
+
+#[test]
+fn border_plus_one_process_is_solvable_again() {
+    // n = 7, k = 2, f = 4: 14 > 12 — one process above the border flips
+    // the verdict (the crossover is exact).
+    assert!(!theorem8_solvable(6, 4, 2));
+    assert!(theorem8_solvable(7, 4, 2));
+    let demo = possibility_demo(7, 4, 2, 6);
+    assert!(demo.all_hold);
+}
+
+#[test]
+fn consensus_borderline_is_half() {
+    // k = 1: solvable iff n > 2f (majority), the FLP initial-crash result.
+    for n in 2..10 {
+        for f in 0..n {
+            assert_eq!(theorem8_solvable(n, f, 1), n > 2 * f, "n={n} f={f}");
+        }
+    }
+}
+
+#[test]
+fn hostile_seeds_never_exceed_the_decision_bound() {
+    let (n, f) = (8, 5);
+    let l = kset_threshold(n, f);
+    let bound = decision_bound(n, l);
+    let values = distinct_proposals(n);
+    for seed in 0..12 {
+        let dead: Vec<ProcessId> = (0..f).map(|i| ProcessId::new((i + seed as usize) % n)).collect();
+        let dead: std::collections::BTreeSet<ProcessId> = dead.into_iter().collect();
+        if dead.len() < f {
+            continue; // rotation collided; skip
+        }
+        let report = run_seeded::<TwoStage>(
+            two_stage_inputs(l, &values),
+            CrashPlan::initially_dead(dead),
+            seed,
+            2_000_000,
+        );
+        assert!(
+            report.distinct_decisions.len() <= bound,
+            "seed {seed}: {} > ⌊n/L⌋ = {bound}",
+            report.distinct_decisions.len()
+        );
+    }
+}
