@@ -1,23 +1,59 @@
 //! E3 — Theorem 8 border construction: cost of building and verifying the
-//! k+1-partition pasted run as n and k grow.
+//! k+1-partition pasted run as n and k grow, plus the parallel-sweep
+//! speedup over the whole border grid.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use kset_impossibility::theorem8::border_demo;
+use kset_sim::sweep::{sweep, sweep_seq};
 
 fn bench_border(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_theorem8_border");
     group.sample_size(10);
     for (n, k) in [(4usize, 1usize), (8, 1), (6, 2), (12, 2), (12, 3), (20, 4)] {
-        group.bench_with_input(BenchmarkId::new("paste_and_verify", format!("n{n}_k{k}")), &(n, k), |b, &(n, k)| {
-            b.iter(|| {
-                let demo = border_demo(n, k, 500_000).expect("border point");
-                assert!(demo.violates_k_agreement());
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("paste_and_verify", format!("n{n}_k{k}")),
+            &(n, k),
+            |b, &(n, k)| {
+                b.iter(|| {
+                    let demo = border_demo(n, k, 500_000).expect("border point");
+                    assert!(demo.violates_k_agreement());
+                });
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_border);
+/// The whole border grid, sequentially vs through the parallel sweep —
+/// the wall-clock win of the sweep module on real workload.
+fn bench_border_grid_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_border_grid");
+    group.sample_size(10);
+    let grid: Vec<(usize, usize)> = vec![
+        (4, 1),
+        (6, 1),
+        (8, 1),
+        (6, 2),
+        (9, 2),
+        (12, 2),
+        (8, 3),
+        (12, 3),
+        (10, 4),
+    ];
+    let run_cell = |_i: usize, &(n, k): &(usize, usize)| {
+        let demo = border_demo(n, k, 300_000).expect("border point");
+        assert!(demo.violates_k_agreement());
+        demo.pasted.distinct_decisions()
+    };
+    group.bench_function("sequential", |b| {
+        b.iter(|| sweep_seq(&grid, run_cell));
+    });
+    group.bench_function("parallel_sweep", |b| {
+        b.iter(|| sweep(&grid, run_cell));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_border, bench_border_grid_sweep);
 criterion_main!(benches);

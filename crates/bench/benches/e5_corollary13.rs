@@ -71,5 +71,10 @@ fn bench_lonely_set(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_consensus, bench_stabilization_ablation, bench_lonely_set);
+criterion_group!(
+    benches,
+    bench_consensus,
+    bench_stabilization_ablation,
+    bench_lonely_set
+);
 criterion_main!(benches);

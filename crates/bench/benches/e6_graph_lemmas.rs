@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use kset_graph::{
-    check_lemma6, check_lemma7, source_components, stage_one_graph, tarjan_scc,
-};
+use kset_graph::{check_lemma6, check_lemma7, source_components, stage_one_graph, tarjan_scc};
 
 fn bench_scc(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6_tarjan_scc");
@@ -49,5 +47,10 @@ fn bench_lemma_checkers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_scc, bench_source_components, bench_lemma_checkers);
+criterion_group!(
+    benches,
+    bench_scc,
+    bench_source_components,
+    bench_lemma_checkers
+);
 criterion_main!(benches);

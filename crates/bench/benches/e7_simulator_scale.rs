@@ -1,17 +1,29 @@
 //! E7 — simulator engineering figures: steps/s per scheduler, pasting
-//! cost vs run length, and the delivery-batching ablation (one message per
-//! step vs batch — the DDS receive granularity dimension; the border
-//! results are invariant, the throughput is not).
+//! cost vs run length, buffer-receive microbenches (the bitset/`SenderMap`
+//! guardrail), and Engine-driven execution of both substrates.
+//!
+//! The `e7_buffer_receive` group is the perf guardrail for the
+//! `ProcessSet`/`SenderMap` migration: `take_all_from_bitset` exercises the
+//! filtered-receive hot path with the dense representation, while
+//! `btree_baseline` re-enacts the pre-migration `BTreeMap`/`BTreeSet` data
+//! flow on identical traffic, so the win stays visible in the perf
+//! trajectory commit over commit.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
+use kset_core::algorithms::floodmin::{floodmin_rounds, FloodMin};
 use kset_core::algorithms::two_stage::{two_stage_inputs, TwoStage};
+use kset_core::sync::LockStep;
 use kset_core::task::distinct_proposals;
 use kset_impossibility::lemma12_no_fd;
 use kset_sim::sched::partition::{PartitionScheduler, ReleasePolicy};
 use kset_sim::sched::random::SeededRandom;
-use kset_sim::{CrashPlan, ProcessId, Simulation};
-use std::collections::BTreeSet;
+use kset_sim::sched::round_robin::RoundRobin;
+use kset_sim::{
+    Buffer, CrashPlan, Engine, Envelope, MsgId, ProcessId, ProcessSet, SenderMap, SimEngine,
+    Simulation, Time,
+};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 fn bench_schedulers(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_steps_per_second");
@@ -47,7 +59,7 @@ fn bench_schedulers(c: &mut Criterion) {
     });
 
     group.bench_function("partition", |b| {
-        let blocks: Vec<BTreeSet<ProcessId>> = vec![
+        let blocks: Vec<ProcessSet> = vec![
             (0..n / 2).map(ProcessId::new).collect(),
             (n / 2..n).map(ProcessId::new).collect(),
         ];
@@ -64,12 +76,136 @@ fn bench_schedulers(c: &mut Criterion) {
     group.finish();
 }
 
+/// Both substrates driven through the unified Engine trait.
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_engine_substrates");
+    group.sample_size(10);
+    let n = 8usize;
+
+    group.bench_function("sim_engine_two_stage", |b| {
+        b.iter(|| {
+            let sim: Simulation<TwoStage, _> = Simulation::new(
+                two_stage_inputs(3, &distinct_proposals(n)),
+                CrashPlan::none(),
+            );
+            let mut engine = SimEngine::new(sim, RoundRobin::new());
+            let status = engine.drive(100_000);
+            black_box(status.steps)
+        });
+    });
+
+    group.bench_function("lockstep_engine_floodmin", |b| {
+        let values = distinct_proposals(n);
+        let (f, k) = (3usize, 1usize);
+        b.iter(|| {
+            let mut engine =
+                LockStep::new(FloodMin::system(&values, f, k), floodmin_rounds(f, k), &[]);
+            let status = engine.drive(u64::MAX);
+            assert_eq!(engine.distinct_decisions().len(), 1);
+            black_box(status.steps)
+        });
+    });
+
+    group.finish();
+}
+
+/// The bitset/SenderMap guardrail: buffer receive and round-inbox
+/// microbenches, with the pre-migration BTree data flow as the baseline.
+fn bench_buffer_receive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_buffer_receive");
+    let n = 16usize;
+    let per_source = 8usize;
+    let msgs = (n * per_source) as u64;
+    group.throughput(Throughput::Elements(msgs));
+    group.sample_size(50);
+
+    let envelopes: Vec<Envelope<u64>> = (0..msgs)
+        .map(|i| {
+            Envelope::new(
+                MsgId::new(i),
+                ProcessId::new((i as usize) % n),
+                ProcessId::new(0),
+                Time::new(i),
+                i * 3,
+            )
+        })
+        .collect();
+    let allowed: ProcessSet = (0..n / 2).map(ProcessId::new).collect();
+
+    group.bench_function("take_all_from_bitset", |b| {
+        b.iter(|| {
+            let mut buf: Buffer<u64> = Buffer::new();
+            for env in &envelopes {
+                buf.push(env.clone());
+            }
+            let got = buf.take_all_from(allowed);
+            let rest = buf.take_all();
+            black_box((got.len(), rest.len()))
+        });
+    });
+
+    group.bench_function("btree_baseline", |b| {
+        // The pre-migration representation: BTreeMap of per-source queues
+        // filtered through a BTreeSet, on identical traffic.
+        let allowed_btree: BTreeSet<ProcessId> = (0..n / 2).map(ProcessId::new).collect();
+        b.iter(|| {
+            let mut by_src: BTreeMap<ProcessId, VecDeque<Envelope<u64>>> = BTreeMap::new();
+            for env in &envelopes {
+                by_src.entry(env.src).or_default().push_back(env.clone());
+            }
+            let mut got = Vec::new();
+            for (src, queue) in &mut by_src {
+                if allowed_btree.contains(src) {
+                    got.extend(queue.drain(..));
+                }
+            }
+            let mut rest = Vec::new();
+            for queue in by_src.values_mut() {
+                rest.extend(queue.drain(..));
+            }
+            black_box((got.len(), rest.len()))
+        });
+    });
+
+    group.bench_function("sender_map_round_inbox", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for round in 0..per_source as u64 {
+                let mut inbox: SenderMap<u64> = SenderMap::with_capacity(n);
+                for i in 0..n {
+                    inbox.insert(ProcessId::new(i), round * 100 + i as u64);
+                }
+                acc += inbox.values().copied().min().unwrap_or(0);
+                acc += inbox.senders().len() as u64;
+            }
+            black_box(acc)
+        });
+    });
+
+    group.bench_function("btree_round_inbox_baseline", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for round in 0..per_source as u64 {
+                let mut inbox: BTreeMap<ProcessId, u64> = BTreeMap::new();
+                for i in 0..n {
+                    inbox.insert(ProcessId::new(i), round * 100 + i as u64);
+                }
+                acc += inbox.values().copied().min().unwrap_or(0);
+                acc += inbox.keys().count() as u64;
+            }
+            black_box(acc)
+        });
+    });
+
+    group.finish();
+}
+
 fn bench_pasting_cost(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_pasting_cost");
     group.sample_size(10);
     for blocks in [2usize, 3, 4, 6] {
         let n = blocks * 3;
-        let parts: Vec<BTreeSet<ProcessId>> = (0..blocks)
+        let parts: Vec<ProcessSet> = (0..blocks)
             .map(|b| (b * 3..(b + 1) * 3).map(ProcessId::new).collect())
             .collect();
         group.bench_with_input(BenchmarkId::from_parameter(blocks), &parts, |b, parts| {
@@ -86,5 +222,11 @@ fn bench_pasting_cost(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_schedulers, bench_pasting_cost);
+criterion_group!(
+    benches,
+    bench_schedulers,
+    bench_engines,
+    bench_buffer_receive,
+    bench_pasting_cost
+);
 criterion_main!(benches);

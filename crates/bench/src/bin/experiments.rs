@@ -15,7 +15,9 @@ use kset_core::algorithms::floodmin::{floodmin_rounds, FloodMin};
 use kset_core::algorithms::two_stage::{decision_bound, kset_threshold};
 use kset_core::sync::{run_sync, RoundCrash};
 use kset_core::task::distinct_proposals;
-use kset_graph::{check_lemma6, check_lemma7, check_source_count_bound, source_components, stage_one_graph};
+use kset_graph::{
+    check_lemma6, check_lemma7, check_source_count_bound, source_components, stage_one_graph,
+};
 use kset_impossibility::theorem10::demo as theorem10_demo;
 use kset_impossibility::theorem2::{demo_decide_own, demo_two_stage};
 use kset_impossibility::theorem8::{border_demo, possibility_demo};
@@ -23,6 +25,7 @@ use kset_impossibility::{
     bouzid_travers_impossible, corollary13_solvable, theorem10_impossible, theorem2_impossible,
     theorem8_solvable, Theorem1Outcome,
 };
+use kset_sim::sweep::sweep;
 use kset_sim::ProcessId;
 
 fn main() {
@@ -56,7 +59,9 @@ fn e1_theorem2() {
     let mut t = Table::new(
         "E1 — Theorem 2 border: k ≤ (n−1)/(n−f) (proc sync, comm async)",
         &[
-            "n", "f", "k",
+            "n",
+            "f",
+            "k",
             "paper: impossible",
             "checker vs DecideOwn",
             "checker vs two-stage(L=n−f)",
@@ -84,7 +89,11 @@ fn e1_theorem2() {
                     receivers: [ProcessId::new((i + 1) % n)].into(),
                 })
                 .collect();
-            let out = run_sync(FloodMin::system(&values, f, k), floodmin_rounds(f, k), &crashes);
+            let out = run_sync(
+                FloodMin::system(&values, f, k),
+                floodmin_rounds(f, k),
+                &crashes,
+            );
             let sync_ok = out.distinct_decisions().len() <= k;
             t.row(&[
                 n.to_string(),
@@ -112,42 +121,78 @@ fn outcome_tag(outcome: &Theorem1Outcome, refuted: bool) -> String {
 }
 
 /// E2 — Theorem 8 possibility side: the two-stage protocol across the
-/// solvable grid, hostile schedules, rotating dead sets.
+/// solvable grid, hostile schedules, rotating dead sets. Cells sweep in
+/// parallel.
 fn e2_theorem8_possible() {
     let mut t = Table::new(
         "E2 — Theorem 8 possibility: two-stage with L = n−f (f initial crashes)",
-        &["n", "f", "k", "paper: solvable", "runs", "all hold", "max distinct", "bound ⌊n/L⌋"],
+        &[
+            "n",
+            "f",
+            "k",
+            "paper: solvable",
+            "runs",
+            "all hold",
+            "max distinct",
+            "bound ⌊n/L⌋",
+        ],
     );
-    for (n, f) in [(4, 1), (5, 2), (6, 3), (7, 3), (8, 5), (9, 4), (10, 7)] {
+    let grid: Vec<(usize, usize)> = vec![(4, 1), (5, 2), (6, 3), (7, 3), (8, 5), (9, 4), (10, 7)];
+    let demos = sweep(&grid, |_, &(n, f)| {
         let l = kset_threshold(n, f);
         let k = decision_bound(n, l).max(1);
-        if !theorem8_solvable(n, f, k) {
+        theorem8_solvable(n, f, k).then(|| possibility_demo(n, f, k, 6))
+    });
+    for ((n, f), demo) in grid.iter().zip(demos) {
+        let Some(demo) = demo else {
             continue;
-        }
-        let demo = possibility_demo(n, f, k, 6);
+        };
+        let l = kset_threshold(*n, *f);
         t.row(&[
             n.to_string(),
             f.to_string(),
-            k.to_string(),
+            demo.k.to_string(),
             glyph(true).into(),
             demo.runs.to_string(),
             glyph(demo.all_hold).into(),
             demo.max_distinct.to_string(),
-            decision_bound(n, l).to_string(),
+            decision_bound(*n, l).to_string(),
         ]);
     }
     println!("{t}");
 }
 
 /// E3 — Theorem 8 impossibility side: the k+1-partition construction at
-/// the exact border kn = (k+1)f.
+/// the exact border kn = (k+1)f. The grid cells are independent, so they
+/// run through the parallel sweep; results come back in grid order, so the
+/// table is identical to a sequential pass.
 fn e3_theorem8_border() {
     let mut t = Table::new(
         "E3 — Theorem 8 border (kn = (k+1)f): pasted failure-free run",
-        &["n", "k", "f", "pasting verified", "faulty in run", "distinct decisions", "violates k-agreement"],
+        &[
+            "n",
+            "k",
+            "f",
+            "pasting verified",
+            "faulty in run",
+            "distinct decisions",
+            "violates k-agreement",
+        ],
     );
-    for (n, k) in [(4, 1), (6, 1), (8, 1), (6, 2), (9, 2), (12, 2), (8, 3), (12, 3), (10, 4)] {
-        let Some(demo) = border_demo(n, k, 300_000) else {
+    let grid: Vec<(usize, usize)> = vec![
+        (4, 1),
+        (6, 1),
+        (8, 1),
+        (6, 2),
+        (9, 2),
+        (12, 2),
+        (8, 3),
+        (12, 3),
+        (10, 4),
+    ];
+    let demos = sweep(&grid, |_, &(n, k)| border_demo(n, k, 300_000));
+    for ((n, k), demo) in grid.iter().zip(demos) {
+        let Some(demo) = demo else {
             continue;
         };
         t.row(&[
@@ -169,7 +214,8 @@ fn e4_theorem10() {
     let mut t = Table::new(
         "E4 — Theorem 10: (Σk, Ωk) vs k-set agreement, candidate LeaderAdopt",
         &[
-            "n", "k",
+            "n",
+            "k",
             "paper: impossible",
             "BT[5] covers",
             "outcome",
@@ -208,7 +254,14 @@ fn e5_corollary13() {
 
     let mut t = Table::new(
         "E5 — Corollary 13 endpoints: k = 1 via (Σ,Ω), k = n−1 via L",
-        &["n", "k", "f (initial)", "paper: solvable", "holds", "distinct"],
+        &[
+            "n",
+            "k",
+            "f (initial)",
+            "paper: solvable",
+            "holds",
+            "distinct",
+        ],
     );
     let n = 6;
     for f in 0..n {
@@ -257,7 +310,15 @@ fn e5_corollary13() {
 fn e6_graph_lemmas() {
     let mut t = Table::new(
         "E6 — Lemmas 6/7: source components of stage-one graphs (100 seeds each)",
-        &["n", "δ", "lemma 6", "lemma 7", "count bound", "max sources seen", "bound ⌊n/(δ+1)⌋"],
+        &[
+            "n",
+            "δ",
+            "lemma 6",
+            "lemma 7",
+            "count bound",
+            "max sources seen",
+            "bound ⌊n/(δ+1)⌋",
+        ],
     );
     for (n, delta) in [(6, 1), (6, 2), (9, 2), (12, 2), (12, 3), (16, 3), (20, 4)] {
         let mut ok6 = true;

@@ -12,9 +12,7 @@
 //! impossibility of Theorem 2 is driven purely by the asynchrony of
 //! communication, not by the number of failures.
 
-use std::collections::BTreeMap;
-
-use kset_sim::ProcessId;
+use kset_sim::SenderMap;
 
 use crate::sync::RoundProcess;
 use crate::task::Val;
@@ -38,7 +36,11 @@ impl FloodMin {
     /// `total_rounds` rounds.
     pub fn new(value: Val, total_rounds: usize) -> Self {
         assert!(total_rounds >= 1, "at least one round");
-        FloodMin { min: value, total_rounds, rounds_done: 0 }
+        FloodMin {
+            min: value,
+            total_rounds,
+            rounds_done: 0,
+        }
     }
 
     /// Builds a full system of FloodMin processes for `f` failures and
@@ -56,7 +58,7 @@ impl RoundProcess for FloodMin {
         self.min
     }
 
-    fn receive(&mut self, _round: usize, msgs: &BTreeMap<ProcessId, Val>) {
+    fn receive(&mut self, _round: usize, msgs: &SenderMap<Val>) {
         if let Some(m) = msgs.values().min() {
             self.min = self.min.min(*m);
         }
@@ -73,10 +75,10 @@ mod tests {
     use super::*;
     use crate::sync::{run_sync, RoundCrash};
     use crate::task::distinct_proposals;
+    use kset_sim::{ProcessId, ProcessSet};
     use rand::rngs::StdRng;
     use rand::seq::SliceRandom;
     use rand::{Rng, SeedableRng};
-    use std::collections::BTreeSet;
 
     fn pid(i: usize) -> ProcessId {
         ProcessId::new(i)
@@ -127,8 +129,7 @@ mod tests {
         let f = 3;
         let values = distinct_proposals(n);
         let rounds = floodmin_rounds(f, 1) - 1;
-        let procs: Vec<FloodMin> =
-            values.iter().map(|v| FloodMin::new(*v, rounds)).collect();
+        let procs: Vec<FloodMin> = values.iter().map(|v| FloodMin::new(*v, rounds)).collect();
         let crashes: Vec<RoundCrash> = (0..f)
             .map(|r| RoundCrash {
                 round: r + 1,
@@ -161,11 +162,13 @@ mod tests {
             let crashes: Vec<RoundCrash> = victims[..f]
                 .iter()
                 .map(|&v| {
-                    let receivers: BTreeSet<ProcessId> = (0..n)
-                        .filter(|_| rng.gen_bool(0.5))
-                        .map(pid)
-                        .collect();
-                    RoundCrash { round: rng.gen_range(1..=rounds), pid: pid(v), receivers }
+                    let receivers: ProcessSet =
+                        (0..n).filter(|_| rng.gen_bool(0.5)).map(pid).collect();
+                    RoundCrash {
+                        round: rng.gen_range(1..=rounds),
+                        pid: pid(v),
+                        receivers,
+                    }
                 })
                 .collect();
             let out = run_sync(procs, rounds, &crashes);
@@ -177,8 +180,12 @@ mod tests {
             );
             // All correct processes decided.
             for i in 0..n {
-                if !out.crashed.contains(&pid(i)) {
-                    assert!(out.decisions[i].is_some(), "seed {seed}: p{} undecided", i + 1);
+                if !out.crashed.contains(pid(i)) {
+                    assert!(
+                        out.decisions[i].is_some(),
+                        "seed {seed}: p{} undecided",
+                        i + 1
+                    );
                 }
             }
         }
@@ -194,7 +201,11 @@ mod tests {
         let values = distinct_proposals(n);
         let procs = FloodMin::system(&values, f, k);
         let crashes: Vec<RoundCrash> = (0..f)
-            .map(|i| RoundCrash { round: i / k + 1, pid: pid(i), receivers: [pid(i + 1)].into() })
+            .map(|i| RoundCrash {
+                round: i / k + 1,
+                pid: pid(i),
+                receivers: [pid(i + 1)].into(),
+            })
             .collect();
         let out = run_sync(procs, floodmin_rounds(f, k), &crashes);
         assert!(out.distinct_decisions().len() <= k);

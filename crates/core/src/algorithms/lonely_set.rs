@@ -47,7 +47,12 @@ impl Process for LonelySetAgreement {
     type Fd = LonelinessSample;
 
     fn init(info: ProcessInfo, input: Val) -> Self {
-        LonelySetAgreement { me: info.id, value: input, sent: false, decided: false }
+        LonelySetAgreement {
+            me: info.id,
+            value: input,
+            sent: false,
+            decided: false,
+        }
     }
 
     fn step(

@@ -36,7 +36,10 @@ impl Process for DecideOwn {
     type Fd = ();
 
     fn init(_info: ProcessInfo, input: Val) -> Self {
-        DecideOwn { value: input, decided: false }
+        DecideOwn {
+            value: input,
+            decided: false,
+        }
     }
 
     fn step(
@@ -77,7 +80,11 @@ impl Process for LeaderAdopt {
     type Fd = SigmaOmegaSample;
 
     fn init(info: ProcessInfo, input: Val) -> Self {
-        LeaderAdopt { me: info.id, value: input, decided: false }
+        LeaderAdopt {
+            me: info.id,
+            value: input,
+            decided: false,
+        }
     }
 
     fn step(
@@ -98,7 +105,7 @@ impl Process for LeaderAdopt {
         }
         // Otherwise: am I a leader right now?
         if let Some(sample) = fd {
-            if sample.omega.contains(&self.me) {
+            if sample.omega.contains(self.me) {
                 self.decided = true;
                 effects.broadcast_others(LeaderAdoptMsg::Announce { value: self.value });
                 effects.decide(self.value);
@@ -123,8 +130,7 @@ mod tests {
     fn decide_own_is_valid_n_set_agreement() {
         let n = 4;
         let values = distinct_proposals(n);
-        let mut sim: Simulation<DecideOwn, _> =
-            Simulation::new(values.clone(), CrashPlan::none());
+        let mut sim: Simulation<DecideOwn, _> = Simulation::new(values.clone(), CrashPlan::none());
         let report = sim.run_to_report(&mut RoundRobin::new(), 100);
         let v = KSetTask::new(n, n).judge(&values, &report);
         assert!(v.holds(), "{v}");
@@ -135,8 +141,7 @@ mod tests {
     fn decide_own_violates_any_smaller_k() {
         let n = 4;
         let values = distinct_proposals(n);
-        let mut sim: Simulation<DecideOwn, _> =
-            Simulation::new(values.clone(), CrashPlan::none());
+        let mut sim: Simulation<DecideOwn, _> = Simulation::new(values.clone(), CrashPlan::none());
         let report = sim.run_to_report(&mut RoundRobin::new(), 100);
         for k in 1..n {
             let v = KSetTask::new(n, k).judge(&values, &report);

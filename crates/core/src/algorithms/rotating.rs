@@ -104,7 +104,7 @@ impl Process for RotatingConsensus {
                 if self.coordinator(self.round.min(self.n as u64)) == self.me {
                     self.sent_own_round = false;
                 }
-            } else if suspects.contains(&coord) {
+            } else if suspects.contains(coord) {
                 self.round += 1;
                 if self.coordinator(self.round.min(self.n as u64)) == self.me {
                     self.sent_own_round = false;
@@ -191,8 +191,7 @@ mod tests {
         let values = distinct_proposals(n);
         for seed in 0..10 {
             let f = (seed as usize) % (n - 1);
-            let dead: Vec<ProcessId> = (0..f).map(|i| pid((i * 2 + 1) % n)).collect();
-            let dead: std::collections::BTreeSet<ProcessId> = dead.into_iter().collect();
+            let dead: kset_sim::ProcessSet = (0..f).map(|i| pid((i * 2 + 1) % n)).collect();
             let report = run_seeded_with_oracle::<RotatingConsensus, _>(
                 values.clone(),
                 PerfectOracle::new(),

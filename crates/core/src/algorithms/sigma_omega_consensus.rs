@@ -16,10 +16,8 @@
 //! liveness follows once Ω stabilizes on a correct leader and Σ samples
 //! shrink to the correct set.
 
-use std::collections::{BTreeMap, BTreeSet};
-
 use kset_fd::SigmaOmegaSample;
-use kset_sim::{Effects, Envelope, Process, ProcessId, ProcessInfo};
+use kset_sim::{Effects, Envelope, Process, ProcessId, ProcessInfo, ProcessSet, SenderMap};
 
 use crate::task::Val;
 
@@ -65,11 +63,11 @@ pub enum PaxosMsg {
 enum LeaderPhase {
     Idle,
     Collecting {
-        promises: BTreeMap<ProcessId, Option<(Ballot, Val)>>,
+        promises: SenderMap<Option<(Ballot, Val)>>,
     },
     Proposing {
         value: Val,
-        accepts: BTreeSet<ProcessId>,
+        accepts: ProcessSet,
     },
 }
 
@@ -98,16 +96,18 @@ impl SigmaOmegaConsensus {
         self.attempt += 1;
         self.ballot = self.attempt * self.n as u64 + self.me.index() as u64 + 1;
         self.promised = self.promised.max(self.ballot);
-        let mut promises = BTreeMap::new();
+        let mut promises = SenderMap::with_capacity(self.n);
         promises.insert(self.me, self.accepted); // self-promise
         self.phase = LeaderPhase::Collecting { promises };
         self.steps_in_phase = 0;
-        effects.broadcast_others(PaxosMsg::Prepare { ballot: self.ballot });
+        effects.broadcast_others(PaxosMsg::Prepare {
+            ballot: self.ballot,
+        });
     }
 
     /// Whether `responders` covers the quorum `sigma` (self counts).
-    fn quorum_met(responders: &BTreeSet<ProcessId>, sigma: &BTreeSet<ProcessId>) -> bool {
-        sigma.iter().all(|q| responders.contains(q))
+    fn quorum_met(responders: ProcessSet, sigma: ProcessSet) -> bool {
+        sigma.is_subset(responders)
     }
 }
 
@@ -148,7 +148,10 @@ impl Process for SigmaOmegaConsensus {
                         self.promised = *ballot;
                         effects.send(
                             env.src,
-                            PaxosMsg::Promise { ballot: *ballot, accepted: self.accepted },
+                            PaxosMsg::Promise {
+                                ballot: *ballot,
+                                accepted: self.accepted,
+                            },
                         );
                     }
                 }
@@ -192,7 +195,7 @@ impl Process for SigmaOmegaConsensus {
         let Some(sample) = fd else {
             return; // algorithm requires (Σ, Ω); without it, only react
         };
-        let i_lead = sample.omega.contains(&self.me);
+        let i_lead = sample.omega.contains(self.me);
         if !i_lead {
             self.phase = LeaderPhase::Idle;
             self.steps_in_phase = 0;
@@ -204,8 +207,8 @@ impl Process for SigmaOmegaConsensus {
             LeaderPhase::Idle => self.start_ballot(effects),
             _ if stuck => self.start_ballot(effects),
             LeaderPhase::Collecting { promises } => {
-                let responders: BTreeSet<ProcessId> = promises.keys().copied().collect();
-                if Self::quorum_met(&responders, &sample.sigma) {
+                let responders = promises.senders();
+                if Self::quorum_met(responders, sample.sigma) {
                     // Adopt the highest-ballot accepted value, else own input.
                     let value = promises
                         .values()
@@ -214,15 +217,18 @@ impl Process for SigmaOmegaConsensus {
                         .map(|(_, v)| *v)
                         .unwrap_or(self.input);
                     self.accepted = Some((self.ballot, value));
-                    let mut accepts = BTreeSet::new();
+                    let mut accepts = ProcessSet::new();
                     accepts.insert(self.me);
                     self.phase = LeaderPhase::Proposing { value, accepts };
                     self.steps_in_phase = 0;
-                    effects.broadcast_others(PaxosMsg::Propose { ballot: self.ballot, value });
+                    effects.broadcast_others(PaxosMsg::Propose {
+                        ballot: self.ballot,
+                        value,
+                    });
                 }
             }
             LeaderPhase::Proposing { value, accepts } => {
-                if Self::quorum_met(accepts, &sample.sigma) {
+                if Self::quorum_met(*accepts, sample.sigma) {
                     let v = *value;
                     self.decided = Some(v);
                     effects.broadcast_others(PaxosMsg::Decide { value: v });
@@ -275,7 +281,11 @@ mod tests {
         let report = run(&values, CrashPlan::none(), pid(2), 0, None, 100_000);
         let v = KSetTask::consensus(n).judge(&values, &report);
         assert!(v.holds(), "{v}");
-        assert_eq!(report.decisions[0], Some(2), "stable leader p3 drives its own value");
+        assert_eq!(
+            report.decisions[0],
+            Some(2),
+            "stable leader p3 drives its own value"
+        );
     }
 
     #[test]
@@ -293,8 +303,7 @@ mod tests {
     fn consensus_survives_minority_crashes() {
         let n = 5;
         let values = distinct_proposals(n);
-        let plan = CrashPlan::initially_dead([pid(3)])
-            .with_crash_after(pid(4), 3, Omission::All);
+        let plan = CrashPlan::initially_dead([pid(3)]).with_crash_after(pid(4), 3, Omission::All);
         let report = run(&values, plan, pid(0), 50, None, 300_000);
         let v = KSetTask::consensus(n).judge(&values, &report);
         assert!(v.holds(), "{v}");
@@ -341,7 +350,7 @@ mod tests {
                 _t: Time,
                 _o: &kset_sim::FailurePattern,
             ) -> SigmaOmegaSample {
-                SigmaOmegaSample::new(BTreeSet::new(), BTreeSet::new())
+                SigmaOmegaSample::new(ProcessSet::new(), ProcessSet::new())
             }
         }
         let values = distinct_proposals(3);

@@ -29,10 +29,10 @@
 //! message, which holds because having sent `Stage1` proves it was not
 //! initially dead.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 use kset_graph::{chosen_source_component, Digraph};
-use kset_sim::{Effects, Envelope, Process, ProcessId, ProcessInfo};
+use kset_sim::{Effects, Envelope, Process, ProcessId, ProcessInfo, ProcessSet, SenderMap};
 
 use crate::task::Val;
 
@@ -48,7 +48,7 @@ pub enum TwoStageMsg {
         /// The sender's initial value.
         value: Val,
         /// The `L − 1` processes the sender heard from in stage 1.
-        heard: BTreeSet<ProcessId>,
+        heard: ProcessSet,
     },
 }
 
@@ -64,7 +64,10 @@ pub struct TwoStageInput {
 
 /// Builds the input vector for a homogeneous threshold `L`.
 pub fn two_stage_inputs(l: usize, values: &[Val]) -> Vec<TwoStageInput> {
-    values.iter().map(|v| TwoStageInput { l, value: *v }).collect()
+    values
+        .iter()
+        .map(|v| TwoStageInput { l, value: *v })
+        .collect()
 }
 
 /// The consensus threshold `L = ⌈(n+1)/2⌉` of FLP.
@@ -99,9 +102,9 @@ pub struct TwoStage {
     /// Stage-1 senders in arrival order (first `L − 1` freeze the list).
     heard1: Vec<ProcessId>,
     /// Frozen heard-list (stage 1 complete once set).
-    my_heard: Option<BTreeSet<ProcessId>>,
+    my_heard: Option<ProcessSet>,
     /// Stage-2 data per process: `(value, heard)`. Includes self.
-    infos: BTreeMap<ProcessId, (Val, BTreeSet<ProcessId>)>,
+    infos: SenderMap<(Val, ProcessSet)>,
     decided: bool,
 }
 
@@ -114,21 +117,20 @@ impl TwoStage {
     /// The in-neighbour closure from this process over the known stage-2
     /// infos: `K = {me} ∪ heard(me) ∪ heard(heard(me)) ∪ …`. Returns
     /// `Some(K)` when every member's info is known (closure complete).
-    fn closure(&self) -> Option<BTreeSet<ProcessId>> {
-        let my_heard = self.my_heard.as_ref()?;
-        let mut k: BTreeSet<ProcessId> = [self.me].into();
-        k.extend(my_heard.iter().copied());
+    fn closure(&self) -> Option<ProcessSet> {
+        let my_heard = self.my_heard?;
+        let mut k = ProcessSet::singleton(self.me).union(my_heard);
         loop {
             let mut grew = false;
-            for p in k.clone() {
+            for p in k {
                 if p == self.me {
                     continue; // own heard-list already added
                 }
-                let (_, heard) = self.infos.get(&p)?; // info missing: not closed yet
-                for q in heard {
-                    if k.insert(*q) {
-                        grew = true;
-                    }
+                let (_, heard) = self.infos.get(p)?; // info missing: not closed yet
+                let before = k;
+                k |= *heard;
+                if k != before {
+                    grew = true;
                 }
             }
             if !grew {
@@ -139,15 +141,15 @@ impl TwoStage {
 
     /// Builds the known fragment of the stage-one graph over the closed set
     /// `K`, decides, and returns the decision value.
-    fn decide_from(&self, k_set: &BTreeSet<ProcessId>) -> Val {
+    fn decide_from(&self, k_set: ProcessSet) -> Val {
         let keep: BTreeSet<usize> = k_set.iter().map(|p| p.index()).collect();
         // Build the full-size graph with edges inside K only, then induce.
         let mut g = Digraph::new(self.n);
         for p in k_set {
-            let heard = if *p == self.me {
-                self.my_heard.as_ref().expect("closure implies stage 1 complete")
+            let heard = if p == self.me {
+                self.my_heard.expect("closure implies stage 1 complete")
             } else {
-                &self.infos[p].1
+                self.infos.get(p).expect("closure implies info present").1
             };
             for u in heard {
                 if u.index() != p.index() {
@@ -170,7 +172,10 @@ impl TwoStage {
         if min_pid == self.me {
             self.value
         } else {
-            self.infos[&min_pid].0
+            self.infos
+                .get(min_pid)
+                .expect("component members have known info")
+                .0
         }
     }
 }
@@ -191,7 +196,7 @@ impl Process for TwoStage {
             sent_stage1: false,
             heard1: Vec::new(),
             my_heard: None,
-            infos: BTreeMap::new(),
+            infos: SenderMap::with_capacity(info.n),
             decided: false,
         }
     }
@@ -218,25 +223,26 @@ impl Process for TwoStage {
                 }
                 TwoStageMsg::Stage2 { value, heard } => {
                     self.infos
-                        .entry(env.src)
-                        .or_insert_with(|| (*value, heard.clone()));
+                        .entry_or_insert_with(env.src, || (*value, *heard));
                 }
             }
         }
         // Freeze the heard-list at the first L−1 distinct stage-1 senders
         // and enter stage 2.
         if self.my_heard.is_none() && self.heard1.len() >= self.l.saturating_sub(1) {
-            let frozen: BTreeSet<ProcessId> =
-                self.heard1.iter().take(self.l - 1).copied().collect();
-            self.my_heard = Some(frozen.clone());
-            self.infos.insert(self.me, (self.value, frozen.clone()));
-            effects.broadcast_others(TwoStageMsg::Stage2 { value: self.value, heard: frozen });
+            let frozen: ProcessSet = self.heard1.iter().take(self.l - 1).copied().collect();
+            self.my_heard = Some(frozen);
+            self.infos.insert(self.me, (self.value, frozen));
+            effects.broadcast_others(TwoStageMsg::Stage2 {
+                value: self.value,
+                heard: frozen,
+            });
         }
         // Decide once the in-neighbour closure is complete.
         if !self.decided {
             if let Some(k_set) = self.closure() {
                 self.decided = true;
-                effects.decide(self.decide_from(&k_set));
+                effects.decide(self.decide_from(k_set));
             }
         }
     }
@@ -260,10 +266,9 @@ mod tests {
         let mut sim: Simulation<TwoStage, _> = Simulation::new(inputs, plan);
         match seed {
             None => sim.run_to_report(&mut RoundRobin::new(), 100_000),
-            Some(s) => sim.run_to_report(
-                &mut SeededRandom::new(s).with_deliver_percent(80),
-                500_000,
-            ),
+            Some(s) => {
+                sim.run_to_report(&mut SeededRandom::new(s).with_deliver_percent(80), 500_000)
+            }
         }
     }
 
@@ -355,8 +360,7 @@ mod tests {
         for f in 0..n {
             let l = kset_threshold(n, f);
             let dead: Vec<ProcessId> = (0..f).map(ProcessId::new).collect();
-            let report =
-                run_two_stage(l, &values, CrashPlan::initially_dead(dead), Some(f as u64));
+            let report = run_two_stage(l, &values, CrashPlan::initially_dead(dead), Some(f as u64));
             for d in report.distinct_decisions.iter() {
                 assert!(values.contains(d));
             }

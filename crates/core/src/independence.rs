@@ -19,16 +19,16 @@
 //! is precisely condition (A) of Theorem 1 for the partition blocks — this
 //! is how the impossibility engine consumes it.
 
-use std::collections::BTreeSet;
-
 use kset_sim::sched::{Choice, Delivery, Scheduler, SimView};
-use kset_sim::{CrashPlan, NoOracle, Oracle, Process, ProcessId, RunReport, Simulation};
+use kset_sim::{
+    CrashPlan, NoOracle, Oracle, Process, ProcessId, ProcessSet, RunReport, Simulation,
+};
 
 /// A family `T ⊆ 2^Π` of process sets, explicitly enumerated.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Family {
     n: usize,
-    sets: Vec<BTreeSet<ProcessId>>,
+    sets: Vec<ProcessSet>,
 }
 
 impl Family {
@@ -37,7 +37,7 @@ impl Family {
     /// # Panics
     ///
     /// Panics if a set is empty or references processes outside `0..n`.
-    pub fn new(n: usize, sets: Vec<BTreeSet<ProcessId>>) -> Self {
+    pub fn new(n: usize, sets: Vec<ProcessSet>) -> Self {
         for s in &sets {
             assert!(!s.is_empty(), "independence sets must be nonempty");
             assert!(s.iter().all(|p| p.index() < n), "set member out of range");
@@ -52,14 +52,7 @@ impl Family {
     /// Panics if `n > 16` (the family is exponential).
     pub fn wait_free(n: usize) -> Self {
         assert!(n <= 16, "wait-free family is exponential; keep n ≤ 16");
-        let mut sets = Vec::new();
-        for mask in 1u32..(1 << n) {
-            let s: BTreeSet<ProcessId> = (0..n)
-                .filter(|i| mask & (1 << i) != 0)
-                .map(ProcessId::new)
-                .collect();
-            sets.push(s);
-        }
+        let sets = (1u128..(1 << n)).map(ProcessSet::from_bits).collect();
         Family { n, sets }
     }
 
@@ -71,17 +64,13 @@ impl Family {
     pub fn f_resilient(n: usize, f: usize) -> Self {
         assert!(f < n, "f must be < n");
         let all = Self::wait_free(n);
-        let sets = all
-            .sets
-            .into_iter()
-            .filter(|s| s.len() >= n - f)
-            .collect();
+        let sets = all.sets.into_iter().filter(|s| s.len() >= n - f).collect();
         Family { n, sets }
     }
 
     /// Obstruction-freedom: the singletons `{p1}, …, {pn}`.
     pub fn singletons(n: usize) -> Self {
-        let sets = ProcessId::all(n).map(|p| BTreeSet::from([p])).collect();
+        let sets = ProcessId::all(n).map(ProcessSet::singleton).collect();
         Family { n, sets }
     }
 
@@ -92,12 +81,12 @@ impl Family {
     /// Panics if `n > 16`.
     pub fn containing(n: usize, p: ProcessId) -> Self {
         let all = Self::wait_free(n);
-        let sets = all.sets.into_iter().filter(|s| s.contains(&p)).collect();
+        let sets = all.sets.into_iter().filter(|s| s.contains(p)).collect();
         Family { n, sets }
     }
 
     /// The member sets.
-    pub fn sets(&self) -> &[BTreeSet<ProcessId>] {
+    pub fn sets(&self) -> &[ProcessSet] {
         &self.sets
     }
 
@@ -113,10 +102,10 @@ impl Family {
 
     /// Observation 1(b): a subfamily is still satisfied. Returns the family
     /// restricted to sets satisfying `keep`.
-    pub fn filter(&self, keep: impl Fn(&BTreeSet<ProcessId>) -> bool) -> Family {
+    pub fn filter(&self, keep: impl Fn(&ProcessSet) -> bool) -> Family {
         Family {
             n: self.n,
-            sets: self.sets.iter().filter(|s| keep(s)).cloned().collect(),
+            sets: self.sets.iter().filter(|s| keep(s)).copied().collect(),
         }
     }
 }
@@ -126,20 +115,20 @@ impl Family {
 /// decided or crashed.
 #[derive(Debug, Clone)]
 pub struct IsolationScheduler {
-    s: BTreeSet<ProcessId>,
+    s: ProcessSet,
     cursor: usize,
 }
 
 impl IsolationScheduler {
     /// Creates the scheduler isolating `s`.
-    pub fn new(s: BTreeSet<ProcessId>) -> Self {
+    pub fn new(s: ProcessSet) -> Self {
         IsolationScheduler { s, cursor: 0 }
     }
 
     fn s_done<M>(&self, view: &SimView<'_, M>) -> bool {
         self.s
             .iter()
-            .all(|p| !view.is_alive(*p) || view.has_decided(*p))
+            .all(|p| !view.is_alive(p) || view.has_decided(p))
     }
 }
 
@@ -153,8 +142,8 @@ impl<M> Scheduler<M> for IsolationScheduler {
             let pid = ProcessId::new(idx);
             if view.is_alive(pid) {
                 self.cursor = (idx + 1) % view.n;
-                let delivery = if self.s.contains(&pid) {
-                    Delivery::AllFrom(self.s.clone())
+                let delivery = if self.s.contains(pid) {
+                    Delivery::AllFrom(self.s)
                 } else {
                     Delivery::All
                 };
@@ -171,7 +160,7 @@ impl<M> Scheduler<M> for IsolationScheduler {
 pub fn isolated_run<P, O>(
     inputs: Vec<P::Input>,
     oracle: O,
-    s: &BTreeSet<ProcessId>,
+    s: ProcessSet,
     plan: CrashPlan,
     max_steps: u64,
 ) -> RunReport<P::Output>
@@ -180,7 +169,7 @@ where
     P::Fd: std::hash::Hash,
     O: Oracle<Sample = P::Fd>,
 {
-    let mut sched = IsolationScheduler::new(s.clone());
+    let mut sched = IsolationScheduler::new(s);
     let mut sim: Simulation<P, O> = Simulation::with_oracle(inputs, oracle, plan);
     sim.run_to_report(&mut sched, max_steps)
 }
@@ -188,27 +177,23 @@ where
 /// [`isolated_run`] for algorithms without failure detectors.
 pub fn isolated_run_no_fd<P>(
     inputs: Vec<P::Input>,
-    s: &BTreeSet<ProcessId>,
+    s: ProcessSet,
     plan: CrashPlan,
     max_steps: u64,
 ) -> RunReport<P::Output>
 where
     P: Process<Fd = ()>,
 {
-    let mut sched = IsolationScheduler::new(s.clone());
+    let mut sched = IsolationScheduler::new(s);
     let mut sim: Simulation<P, NoOracle> = Simulation::new(inputs, plan);
     sim.run_to_report(&mut sched, max_steps)
 }
 
 /// Whether the isolated run witnessed independence for `S`: every member
 /// decided or crashed while hearing only from `S`.
-pub fn witnesses_independence<V: Clone + Ord>(
-    report: &RunReport<V>,
-    s: &BTreeSet<ProcessId>,
-) -> bool {
+pub fn witnesses_independence<V: Clone + Ord>(report: &RunReport<V>, s: ProcessSet) -> bool {
     s.iter().all(|p| {
-        report.decisions[p.index()].is_some()
-            || report.failure_pattern.crash_time(*p).is_some()
+        report.decisions[p.index()].is_some() || report.failure_pattern.crash_time(p).is_some()
     })
 }
 
@@ -218,14 +203,14 @@ pub fn check_independence<P>(
     make_inputs: impl Fn() -> Vec<P::Input>,
     family: &Family,
     max_steps: u64,
-) -> Result<(), BTreeSet<ProcessId>>
+) -> Result<(), ProcessSet>
 where
     P: Process<Fd = ()>,
 {
-    for s in family.sets() {
+    for &s in family.sets() {
         let report = isolated_run_no_fd::<P>(make_inputs(), s, CrashPlan::none(), max_steps);
         if !witnesses_independence(&report, s) {
-            return Err(s.clone());
+            return Err(s);
         }
     }
     Ok(())
@@ -263,17 +248,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "nonempty")]
     fn empty_set_rejected() {
-        let _ = Family::new(2, vec![BTreeSet::new()]);
+        let _ = Family::new(2, vec![ProcessSet::new()]);
     }
 
     #[test]
     fn decide_own_is_wait_free_independent() {
         // DecideOwn decides without hearing anyone: 2^Π-independence.
-        let check = check_independence::<DecideOwn>(
-            || distinct_proposals(4),
-            &Family::wait_free(4),
-            1_000,
-        );
+        let check =
+            check_independence::<DecideOwn>(|| distinct_proposals(4), &Family::wait_free(4), 1_000);
         assert!(check.is_ok());
     }
 
@@ -312,13 +294,13 @@ mod tests {
     #[test]
     fn isolation_scheduler_starves_outside_sources() {
         let n = 4;
-        let s: BTreeSet<ProcessId> = [pid(0), pid(1)].into();
+        let s: ProcessSet = [pid(0), pid(1)].into();
         let inputs = two_stage_inputs(2, &distinct_proposals(n));
-        let report = isolated_run_no_fd::<TwoStage>(inputs, &s, CrashPlan::none(), 50_000);
+        let report = isolated_run_no_fd::<TwoStage>(inputs, s, CrashPlan::none(), 50_000);
         // S members decided while isolated (L−1 = 1 message from within S).
-        assert!(witnesses_independence(&report, &s));
+        assert!(witnesses_independence(&report, s));
         // Their decisions involve only S values.
-        for p in &s {
+        for p in s {
             let d = report.decisions[p.index()].unwrap();
             assert!(d < 2, "decision {d} must come from within S");
         }

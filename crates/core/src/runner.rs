@@ -1,13 +1,55 @@
 //! Convenience runners: one-liners for the common (algorithm, scheduler,
 //! crash plan) combinations used by tests, examples, and the experiment
 //! harness.
-
-use std::collections::BTreeSet;
+//!
+//! Every helper builds a [`SimEngine`] — the step-level substrate behind
+//! the unified [`Engine`] trait — and drives it to completion, so the same
+//! execution path serves one-off runs here and the Engine-generic harness
+//! code in `kset-bench`. [`run_engine`] is the substrate-agnostic core:
+//! it accepts *any* engine (the simulator or the lock-step executor of
+//! [`crate::sync::LockStep`]).
 
 use kset_sim::sched::partition::{PartitionScheduler, ReleasePolicy};
 use kset_sim::sched::random::SeededRandom;
 use kset_sim::sched::round_robin::RoundRobin;
-use kset_sim::{CrashPlan, NoOracle, Oracle, Process, ProcessId, RunReport, Simulation};
+use kset_sim::sched::Scheduler;
+use kset_sim::{
+    CrashPlan, Engine, NoOracle, Oracle, Process, ProcessSet, RunReport, RunStatus, SimEngine,
+    Simulation,
+};
+
+/// Drives any [`Engine`] to completion and returns its status — the
+/// substrate-agnostic execution entry point.
+pub fn run_engine<E: Engine>(engine: &mut E, max_units: u64) -> RunStatus {
+    engine.drive(max_units)
+}
+
+/// Builds the [`SimEngine`] for an oracle-backed algorithm and scheduler.
+pub fn engine_with_oracle<P, O, S>(
+    inputs: Vec<P::Input>,
+    oracle: O,
+    plan: CrashPlan,
+    sched: S,
+) -> SimEngine<P, O, S>
+where
+    P: Process,
+    P::Fd: std::hash::Hash,
+    O: Oracle<Sample = P::Fd>,
+    S: Scheduler<P::Msg>,
+{
+    SimEngine::new(Simulation::with_oracle(inputs, oracle, plan), sched)
+}
+
+fn drive_to_report<P, O, S>(mut engine: SimEngine<P, O, S>, max_steps: u64) -> RunReport<P::Output>
+where
+    P: Process,
+    P::Fd: std::hash::Hash,
+    O: Oracle<Sample = P::Fd>,
+    S: Scheduler<P::Msg>,
+{
+    let status = run_engine(&mut engine, max_steps);
+    engine.report(status.stop)
+}
 
 /// Runs an oracle-less algorithm under fair round-robin scheduling.
 pub fn run_round_robin<P>(
@@ -18,8 +60,10 @@ pub fn run_round_robin<P>(
 where
     P: Process<Fd = ()>,
 {
-    let mut sim: Simulation<P, NoOracle> = Simulation::new(inputs, plan);
-    sim.run_to_report(&mut RoundRobin::new(), max_steps)
+    drive_to_report(
+        engine_with_oracle::<P, _, _>(inputs, NoOracle, plan, RoundRobin::new()),
+        max_steps,
+    )
 }
 
 /// Runs an oracle-less algorithm under seeded random scheduling.
@@ -32,9 +76,11 @@ pub fn run_seeded<P>(
 where
     P: Process<Fd = ()>,
 {
-    let mut sim: Simulation<P, NoOracle> = Simulation::new(inputs, plan);
-    let mut sched = SeededRandom::new(seed).with_fairness_window(16);
-    sim.run_to_report(&mut sched, max_steps)
+    let sched = SeededRandom::new(seed).with_fairness_window(16);
+    drive_to_report(
+        engine_with_oracle::<P, _, _>(inputs, NoOracle, plan, sched),
+        max_steps,
+    )
 }
 
 /// Runs an algorithm with a failure-detector oracle under round-robin.
@@ -49,8 +95,10 @@ where
     P::Fd: std::hash::Hash,
     O: Oracle<Sample = P::Fd>,
 {
-    let mut sim: Simulation<P, O> = Simulation::with_oracle(inputs, oracle, plan);
-    sim.run_to_report(&mut RoundRobin::new(), max_steps)
+    drive_to_report(
+        engine_with_oracle::<P, _, _>(inputs, oracle, plan, RoundRobin::new()),
+        max_steps,
+    )
 }
 
 /// Runs an algorithm with a failure-detector oracle under seeded random
@@ -67,9 +115,11 @@ where
     P::Fd: std::hash::Hash,
     O: Oracle<Sample = P::Fd>,
 {
-    let mut sim: Simulation<P, O> = Simulation::with_oracle(inputs, oracle, plan);
-    let mut sched = SeededRandom::new(seed).with_fairness_window(16);
-    sim.run_to_report(&mut sched, max_steps)
+    let sched = SeededRandom::new(seed).with_fairness_window(16);
+    drive_to_report(
+        engine_with_oracle::<P, _, _>(inputs, oracle, plan, sched),
+        max_steps,
+    )
 }
 
 /// Runs an oracle-less algorithm under the partitioning adversary: messages
@@ -77,23 +127,25 @@ where
 /// delivered.
 pub fn run_partitioned<P>(
     inputs: Vec<P::Input>,
-    blocks: Vec<BTreeSet<ProcessId>>,
+    blocks: Vec<ProcessSet>,
     plan: CrashPlan,
     max_steps: u64,
 ) -> RunReport<P::Output>
 where
     P: Process<Fd = ()>,
 {
-    let mut sim: Simulation<P, NoOracle> = Simulation::new(inputs, plan);
-    let mut sched = PartitionScheduler::new(blocks, ReleasePolicy::AfterAllDecided);
-    sim.run_to_report(&mut sched, max_steps)
+    let sched = PartitionScheduler::new(blocks, ReleasePolicy::AfterAllDecided);
+    drive_to_report(
+        engine_with_oracle::<P, _, _>(inputs, NoOracle, plan, sched),
+        max_steps,
+    )
 }
 
 /// As [`run_partitioned`], with an oracle.
 pub fn run_partitioned_with_oracle<P, O>(
     inputs: Vec<P::Input>,
     oracle: O,
-    blocks: Vec<BTreeSet<ProcessId>>,
+    blocks: Vec<ProcessSet>,
     plan: CrashPlan,
     max_steps: u64,
 ) -> RunReport<P::Output>
@@ -102,9 +154,11 @@ where
     P::Fd: std::hash::Hash,
     O: Oracle<Sample = P::Fd>,
 {
-    let mut sim: Simulation<P, O> = Simulation::with_oracle(inputs, oracle, plan);
-    let mut sched = PartitionScheduler::new(blocks, ReleasePolicy::AfterAllDecided);
-    sim.run_to_report(&mut sched, max_steps)
+    let sched = PartitionScheduler::new(blocks, ReleasePolicy::AfterAllDecided);
+    drive_to_report(
+        engine_with_oracle::<P, _, _>(inputs, oracle, plan, sched),
+        max_steps,
+    )
 }
 
 #[cfg(test)]
@@ -113,6 +167,7 @@ mod tests {
     use crate::algorithms::naive::DecideOwn;
     use crate::algorithms::two_stage::{two_stage_inputs, TwoStage};
     use crate::task::distinct_proposals;
+    use kset_sim::ProcessId;
 
     fn pid(i: usize) -> ProcessId {
         ProcessId::new(i)
@@ -120,8 +175,7 @@ mod tests {
 
     #[test]
     fn round_robin_runner_works() {
-        let report =
-            run_round_robin::<DecideOwn>(distinct_proposals(3), CrashPlan::none(), 100);
+        let report = run_round_robin::<DecideOwn>(distinct_proposals(3), CrashPlan::none(), 100);
         assert!(report.all_correct_decided());
     }
 
@@ -148,8 +202,7 @@ mod tests {
         // Two-stage with L = 2 under a {p1,p2} | {p3,p4} partition: each
         // block decides among its own values.
         let n = 4;
-        let blocks: Vec<BTreeSet<ProcessId>> =
-            vec![[pid(0), pid(1)].into(), [pid(2), pid(3)].into()];
+        let blocks: Vec<ProcessSet> = vec![[pid(0), pid(1)].into(), [pid(2), pid(3)].into()];
         let report = run_partitioned::<TwoStage>(
             two_stage_inputs(2, &distinct_proposals(n)),
             blocks,
@@ -160,5 +213,27 @@ mod tests {
         assert_eq!(report.decisions[0], Some(0));
         assert_eq!(report.decisions[2], Some(2));
         assert_eq!(report.distinct_decisions.len(), 2);
+    }
+
+    #[test]
+    fn engine_runner_is_substrate_agnostic() {
+        // The same run_engine entry point drives both substrates.
+        use crate::algorithms::floodmin::{floodmin_rounds, FloodMin};
+        use crate::sync::LockStep;
+        use kset_sim::sched::round_robin::RoundRobin;
+        use kset_sim::{SimEngine, Simulation, StopReason};
+
+        let mut sim_engine = SimEngine::new(
+            Simulation::<DecideOwn, _>::new(distinct_proposals(3), CrashPlan::none()),
+            RoundRobin::new(),
+        );
+        let status = run_engine(&mut sim_engine, 100);
+        assert_eq!(status.stop, StopReason::AllCorrectDecided);
+
+        let procs = FloodMin::system(&distinct_proposals(3), 0, 1);
+        let mut lockstep = LockStep::new(procs, floodmin_rounds(0, 1), &[]);
+        let status = run_engine(&mut lockstep, 100);
+        assert_eq!(status.stop, StopReason::AllCorrectDecided);
+        assert_eq!(lockstep.distinct_decisions().len(), 1);
     }
 }

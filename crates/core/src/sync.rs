@@ -9,11 +9,16 @@
 //! mid-round crash injection (a crashing process delivers its round message
 //! to an adversary-chosen subset of receivers, the synchronous analogue of
 //! final-step send omission).
+//!
+//! The executor is the workspace's second [`Engine`] substrate: [`LockStep`]
+//! wraps the round state machine and advances one *round* per engine unit,
+//! so runners and benches can drive it through the same API as the
+//! step-level simulator. [`run_sync`] is the traditional one-shot form, now
+//! a thin wrapper over `LockStep`.
 
-use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-use kset_sim::ProcessId;
+use kset_sim::{Engine, ProcessId, ProcessSet, SenderMap};
 
 use crate::task::Val;
 
@@ -28,7 +33,7 @@ pub trait RoundProcess: Clone + fmt::Debug {
 
     /// Receives the round-`r` messages (by sender; absent senders crashed
     /// or omitted) and updates the state.
-    fn receive(&mut self, round: usize, msgs: &BTreeMap<ProcessId, Self::Msg>);
+    fn receive(&mut self, round: usize, msgs: &SenderMap<Self::Msg>);
 
     /// The decision, if the process has decided.
     fn decision(&self) -> Option<Val>;
@@ -43,7 +48,7 @@ pub struct RoundCrash {
     /// The crashing process.
     pub pid: ProcessId,
     /// The receivers that still get the final round message.
-    pub receivers: BTreeSet<ProcessId>,
+    pub receivers: ProcessSet,
 }
 
 /// Outcome of a synchronous execution.
@@ -52,51 +57,125 @@ pub struct SyncOutcome {
     /// Per-process decisions.
     pub decisions: Vec<Option<Val>>,
     /// Which processes crashed during the execution.
-    pub crashed: BTreeSet<ProcessId>,
+    pub crashed: ProcessSet,
     /// Rounds executed.
     pub rounds: usize,
 }
 
 impl SyncOutcome {
     /// The set of distinct decision values.
-    pub fn distinct_decisions(&self) -> BTreeSet<Val> {
+    pub fn distinct_decisions(&self) -> std::collections::BTreeSet<Val> {
         self.decisions.iter().flatten().copied().collect()
     }
 }
 
-/// Runs `rounds` lock-step rounds of processes initialized by `init`,
-/// applying the scheduled crashes.
+/// The lock-step round executor as an [`Engine`]: one engine unit executes
+/// one full synchronous round.
 ///
-/// # Panics
+/// # Examples
 ///
-/// Panics if two crashes name the same process.
-pub fn run_sync<P: RoundProcess>(
-    mut procs: Vec<P>,
-    rounds: usize,
-    crashes: &[RoundCrash],
-) -> SyncOutcome {
-    let n = procs.len();
-    {
-        let mut seen = BTreeSet::new();
+/// ```
+/// use kset_core::sync::{LockStep, RoundProcess};
+/// use kset_core::Val;
+/// use kset_sim::{Engine, SenderMap};
+///
+/// #[derive(Debug, Clone)]
+/// struct Echo(Option<usize>);
+///
+/// impl RoundProcess for Echo {
+///     type Msg = ();
+///     fn message(&self, _round: usize) {}
+///     fn receive(&mut self, _round: usize, msgs: &SenderMap<()>) {
+///         self.0 = Some(msgs.len());
+///     }
+///     fn decision(&self) -> Option<Val> {
+///         self.0.map(|h| h as Val)
+///     }
+/// }
+///
+/// let mut engine = LockStep::new(vec![Echo(None); 3], 1, &[]);
+/// engine.drive(u64::MAX);
+/// assert_eq!(engine.outcome().decisions, vec![Some(3); 3]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LockStep<P: RoundProcess> {
+    procs: Vec<P>,
+    crashes: Vec<RoundCrash>,
+    crashed: ProcessSet,
+    /// Rounds fully executed so far.
+    round: usize,
+    /// Total rounds scheduled.
+    max_rounds: usize,
+}
+
+impl<P: RoundProcess> LockStep<P> {
+    /// Creates an executor running `rounds` lock-step rounds of `procs`,
+    /// applying the scheduled crashes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two crashes name the same process, or if `procs.len()`
+    /// exceeds [`ProcessSet::CAPACITY`].
+    pub fn new(procs: Vec<P>, rounds: usize, crashes: &[RoundCrash]) -> Self {
+        assert!(
+            procs.len() <= ProcessSet::CAPACITY,
+            "system size {} exceeds the ProcessSet capacity of {}",
+            procs.len(),
+            ProcessSet::CAPACITY
+        );
+        let mut seen = ProcessSet::new();
         for c in crashes {
             assert!(seen.insert(c.pid), "duplicate crash for {}", c.pid);
         }
+        LockStep {
+            procs,
+            crashes: crashes.to_vec(),
+            crashed: ProcessSet::new(),
+            round: 0,
+            max_rounds: rounds,
+        }
     }
-    let mut crashed: BTreeSet<ProcessId> = BTreeSet::new();
-    for round in 1..=rounds {
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// The processes that have crashed so far.
+    pub fn crashed(&self) -> ProcessSet {
+        self.crashed
+    }
+
+    /// The execution outcome at the current point.
+    pub fn outcome(&self) -> SyncOutcome {
+        SyncOutcome {
+            decisions: self.procs.iter().map(RoundProcess::decision).collect(),
+            crashed: self.crashed,
+            rounds: self.round,
+        }
+    }
+
+    /// Executes one full round (send phase, then receive phase).
+    fn execute_round(&mut self) {
+        let n = self.procs.len();
+        let round = self.round + 1;
         // Send phase: every alive process emits its round message; crashing
         // processes deliver to their chosen subset only.
-        let mut inboxes: Vec<BTreeMap<ProcessId, P::Msg>> = vec![BTreeMap::new(); n];
-        for (i, p) in procs.iter().enumerate() {
+        let mut inboxes: Vec<SenderMap<P::Msg>> =
+            (0..n).map(|_| SenderMap::with_capacity(n)).collect();
+        for (i, p) in self.procs.iter().enumerate() {
             let pid = ProcessId::new(i);
-            if crashed.contains(&pid) {
+            if self.crashed.contains(pid) {
                 continue;
             }
             let msg = p.message(round);
-            let crash_now = crashes.iter().find(|c| c.pid == pid && c.round == round);
+            let crash_now = self
+                .crashes
+                .iter()
+                .find(|c| c.pid == pid && c.round == round);
             for dst in ProcessId::all(n) {
                 let delivered = match crash_now {
-                    Some(c) => c.receivers.contains(&dst),
+                    Some(c) => c.receivers.contains(dst),
                     None => true,
                 };
                 if delivered {
@@ -104,28 +183,82 @@ pub fn run_sync<P: RoundProcess>(
                 }
             }
             if crash_now.is_some() {
-                crashed.insert(pid);
+                self.crashed.insert(pid);
             }
         }
         // Receive phase: every alive process consumes its round inbox.
-        for (i, p) in procs.iter_mut().enumerate() {
+        for (i, p) in self.procs.iter_mut().enumerate() {
             let pid = ProcessId::new(i);
-            if crashed.contains(&pid) {
+            if self.crashed.contains(pid) {
                 continue;
             }
             p.receive(round, &inboxes[i]);
         }
+        self.round = round;
     }
-    SyncOutcome {
-        decisions: procs.iter().map(RoundProcess::decision).collect(),
-        crashed,
-        rounds,
+}
+
+impl<P: RoundProcess> Engine for LockStep<P> {
+    type Output = Val;
+
+    fn n(&self) -> usize {
+        self.procs.len()
     }
+
+    fn advance(&mut self) -> bool {
+        if self.round >= self.max_rounds {
+            return false;
+        }
+        self.execute_round();
+        true
+    }
+
+    /// The lock-step goal: every scheduled round executed **and** every
+    /// non-crashed process decided. Requiring the full round count
+    /// preserves the executor's contract of running exactly the scheduled
+    /// rounds (round-based algorithms decide at their final round);
+    /// requiring decisions keeps [`kset_sim::StopReason::AllCorrectDecided`]
+    /// truthful — a round budget too small for the algorithm surfaces as
+    /// `StepLimit`/`SchedulerDone`, not as success.
+    fn done(&self) -> bool {
+        self.round >= self.max_rounds
+            && self
+                .procs
+                .iter()
+                .enumerate()
+                .all(|(i, p)| self.crashed.contains(ProcessId::new(i)) || p.decision().is_some())
+    }
+
+    fn units(&self) -> u64 {
+        self.round as u64
+    }
+
+    fn decisions(&self) -> Vec<Option<Val>> {
+        self.procs.iter().map(RoundProcess::decision).collect()
+    }
+}
+
+/// Runs `rounds` lock-step rounds of processes initialized by `init`,
+/// applying the scheduled crashes — [`LockStep`] driven to completion
+/// through the [`Engine`] interface.
+///
+/// # Panics
+///
+/// Panics if two crashes name the same process.
+pub fn run_sync<P: RoundProcess>(
+    procs: Vec<P>,
+    rounds: usize,
+    crashes: &[RoundCrash],
+) -> SyncOutcome {
+    let mut engine = LockStep::new(procs, rounds, crashes);
+    engine.drive(rounds as u64);
+    engine.outcome()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kset_sim::StopReason;
 
     /// Trivial echo: decides the number of senders heard in round 1.
     #[derive(Debug, Clone)]
@@ -138,7 +271,7 @@ mod tests {
 
         fn message(&self, _round: usize) {}
 
-        fn receive(&mut self, round: usize, msgs: &BTreeMap<ProcessId, ()>) {
+        fn receive(&mut self, round: usize, msgs: &SenderMap<()>) {
             if round == 1 {
                 self.heard = Some(msgs.len());
             }
@@ -176,16 +309,95 @@ mod tests {
     #[test]
     fn crashed_process_sends_nothing_later() {
         let procs = vec![CountRound1 { heard: None }; 2];
-        let crash = RoundCrash { round: 1, pid: ProcessId::new(0), receivers: BTreeSet::new() };
+        let crash = RoundCrash {
+            round: 1,
+            pid: ProcessId::new(0),
+            receivers: ProcessSet::new(),
+        };
         let out = run_sync(procs, 2, &[crash]);
         assert_eq!(out.decisions[1], Some(1), "only its own message in round 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the ProcessSet capacity")]
+    fn oversized_system_rejected_at_construction() {
+        let procs = vec![CountRound1 { heard: None }; ProcessSet::CAPACITY + 1];
+        let _ = LockStep::new(procs, 1, &[]);
     }
 
     #[test]
     #[should_panic(expected = "duplicate crash")]
     fn duplicate_crash_rejected() {
         let procs = vec![CountRound1 { heard: None }; 2];
-        let c = |round| RoundCrash { round, pid: ProcessId::new(0), receivers: BTreeSet::new() };
+        let c = |round| RoundCrash {
+            round,
+            pid: ProcessId::new(0),
+            receivers: ProcessSet::new(),
+        };
         let _ = run_sync(procs, 2, &[c(1), c(2)]);
+    }
+
+    #[test]
+    fn lockstep_engine_round_granularity() {
+        let procs = vec![CountRound1 { heard: None }; 3];
+        let mut engine = LockStep::new(procs, 2, &[]);
+        assert_eq!(Engine::n(&engine), 3);
+        assert!(!engine.done());
+        assert!(engine.advance());
+        assert_eq!(engine.round(), 1);
+        assert_eq!(engine.units(), 1);
+        assert!(engine.decisions().iter().all(Option::is_some));
+        let status = engine.drive(10);
+        assert_eq!(status.stop, StopReason::AllCorrectDecided);
+        assert!(engine.done());
+        assert!(!engine.advance(), "no rounds beyond the schedule");
+        let out = engine.outcome();
+        assert_eq!(out.rounds, 2);
+        assert_eq!(engine.distinct_decisions().len(), 1);
+    }
+
+    #[test]
+    fn undecided_rounds_do_not_report_success() {
+        /// Never decides, whatever it hears.
+        #[derive(Debug, Clone)]
+        struct NeverDecides;
+        impl RoundProcess for NeverDecides {
+            type Msg = ();
+            fn message(&self, _round: usize) {}
+            fn receive(&mut self, _round: usize, _msgs: &SenderMap<()>) {}
+            fn decision(&self) -> Option<Val> {
+                None
+            }
+        }
+        let mut engine = LockStep::new(vec![NeverDecides; 3], 2, &[]);
+        let status = engine.drive(u64::MAX);
+        assert_eq!(
+            status.stop,
+            StopReason::SchedulerDone,
+            "exhausting the rounds without decisions must not read as success"
+        );
+        assert!(!engine.done());
+        assert!(engine.decisions().iter().all(Option::is_none));
+        assert_eq!(engine.outcome().rounds, 2, "the scheduled rounds still ran");
+    }
+
+    #[test]
+    fn lockstep_engine_matches_run_sync() {
+        let crash = RoundCrash {
+            round: 1,
+            pid: ProcessId::new(2),
+            receivers: [ProcessId::new(0)].into(),
+        };
+        let direct = run_sync(
+            vec![CountRound1 { heard: None }; 4],
+            3,
+            std::slice::from_ref(&crash),
+        );
+        let mut engine = LockStep::new(vec![CountRound1 { heard: None }; 4], 3, &[crash]);
+        engine.drive(u64::MAX);
+        let driven = engine.outcome();
+        assert_eq!(direct.decisions, driven.decisions);
+        assert_eq!(direct.crashed, driven.crashed);
+        assert_eq!(direct.rounds, driven.rounds);
     }
 }

@@ -71,7 +71,13 @@ impl KSetTask {
             .all(|v| proposed.contains(v));
         let termination = report.all_correct_decided();
         let write_once = report.violations.is_empty();
-        Verdict { k_agreement, validity, termination, write_once, distinct }
+        Verdict {
+            k_agreement,
+            validity,
+            termination,
+            write_once,
+            distinct,
+        }
     }
 }
 
@@ -176,7 +182,8 @@ mod tests {
     fn crashed_process_exempt_from_termination() {
         let task = KSetTask::consensus(2);
         let mut rep = report(2, vec![Some(5), None]);
-        rep.failure_pattern.record_crash(kset_sim::ProcessId::new(1), kset_sim::Time::new(1));
+        rep.failure_pattern
+            .record_crash(kset_sim::ProcessId::new(1), kset_sim::Time::new(1));
         let v = task.judge(&[5, 6], &rep);
         assert!(v.termination);
         assert!(v.holds());
@@ -187,9 +194,13 @@ mod tests {
         // Uniform k-agreement: a crashed process's earlier decision counts.
         let task = KSetTask::consensus(2);
         let mut rep = report(2, vec![Some(5), Some(6)]);
-        rep.failure_pattern.record_crash(kset_sim::ProcessId::new(1), kset_sim::Time::new(9));
+        rep.failure_pattern
+            .record_crash(kset_sim::ProcessId::new(1), kset_sim::Time::new(9));
         let v = task.judge(&[5, 6], &rep);
-        assert!(!v.k_agreement, "uniform agreement binds faulty decisions too");
+        assert!(
+            !v.k_agreement,
+            "uniform agreement binds faulty decisions too"
+        );
     }
 
     #[test]

@@ -7,9 +7,7 @@
 //! (Σ′k,Ω′k) is a history of (Σk,Ωk)") is verified by generating partition
 //! histories and feeding them to [`check_sigma_k`] / [`check_omega_k`].
 
-use std::collections::BTreeSet;
-
-use kset_sim::{FailurePattern, ProcessId, Time};
+use kset_sim::{FailurePattern, ProcessId, ProcessSet, Time};
 
 use crate::history::History;
 use crate::samples::{LeaderSample, QuorumSample};
@@ -85,8 +83,11 @@ pub fn check_sigma_k(
     let faulty = fp.faulty();
     for p in fp.correct() {
         if let Some((_, last)) = history.of_process(p).last() {
-            if let Some(bad) = last.iter().find(|q| faulty.contains(q)) {
-                return Err(SigmaViolation::LivenessTail { pid: p, trusts: *bad });
+            if let Some(bad) = last.intersection(faulty).first() {
+                return Err(SigmaViolation::LivenessTail {
+                    pid: p,
+                    trusts: bad,
+                });
             }
         }
     }
@@ -117,12 +118,14 @@ fn find_disjoint_family(
         return None;
     }
     // Backtracking: a family is pairwise disjoint iff each member is
-    // disjoint from the union of the previously chosen ones.
+    // disjoint from the union of the previously chosen ones — with bitset
+    // quorums both the disjointness test and the union are single `u128`
+    // operations.
     fn rec(
         per_proc: &[(ProcessId, Vec<(Time, &QuorumSample)>)],
         idx: usize,
         need: usize,
-        union: &BTreeSet<ProcessId>,
+        union: ProcessSet,
         chosen: &mut Vec<(ProcessId, Time)>,
     ) -> bool {
         if need == 0 {
@@ -138,11 +141,9 @@ fn find_disjoint_family(
         // Option 2: pick one of its samples disjoint from the union.
         let (p, samples) = &per_proc[idx];
         for (t, s) in samples {
-            if s.iter().all(|q| !union.contains(q)) {
-                let mut u2 = union.clone();
-                u2.extend(s.iter().copied());
+            if s.is_disjoint(union) {
                 chosen.push((*p, *t));
-                if rec(per_proc, idx + 1, need - 1, &u2, chosen) {
+                if rec(per_proc, idx + 1, need - 1, union.union(**s), chosen) {
                     return true;
                 }
                 chosen.pop();
@@ -151,7 +152,7 @@ fn find_disjoint_family(
         false
     }
     let mut chosen = Vec::new();
-    if rec(&per_proc, 0, family, &BTreeSet::new(), &mut chosen) {
+    if rec(&per_proc, 0, family, ProcessSet::new(), &mut chosen) {
         Some(chosen)
     } else {
         None
@@ -173,7 +174,11 @@ pub fn check_omega_k(
     // --- Validity ---
     for (p, t, s) in history.iter() {
         if s.len() != k {
-            return Err(OmegaViolation::WrongSize { pid: p, time: t, size: s.len() });
+            return Err(OmegaViolation::WrongSize {
+                pid: p,
+                time: t,
+                size: s.len(),
+            });
         }
     }
     // --- Eventual leadership (finite-horizon projection) ---
@@ -182,7 +187,7 @@ pub fn check_omega_k(
     let correct = fp.correct();
     let mut final_samples: Vec<(ProcessId, &LeaderSample)> = Vec::new();
     for p in history.queriers() {
-        if !correct.contains(&p) {
+        if !correct.contains(p) {
             continue;
         }
         if let Some((_, s)) = history.of_process(p).last() {
@@ -197,8 +202,8 @@ pub fn check_omega_k(
             return Err(OmegaViolation::NotStabilized { a: first_p, b: *p });
         }
     }
-    if !ld.iter().any(|q| correct.contains(q)) {
-        return Err(OmegaViolation::LeadersAllFaulty { ld: ld.clone() });
+    if ld.is_disjoint(correct) {
+        return Err(OmegaViolation::LeadersAllFaulty { ld: *ld });
     }
     // t_GST = last time any sample differed from LD.
     let tgst = history
@@ -216,24 +221,23 @@ pub fn check_omega_k(
 /// output.
 pub fn check_partition_sigma(
     history: &History<QuorumSample>,
-    blocks: &[BTreeSet<ProcessId>],
+    blocks: &[ProcessSet],
     fp: &FailurePattern,
 ) -> Result<(), String> {
     for (i, block) in blocks.iter().enumerate() {
-        let sub = history.restricted_to(block);
+        let sub = history.restricted_to(*block);
         // Outputs must stay within the block (pre-crash queries only; a
         // crashed process never queries, so every recorded sample counts).
         for (p, t, s) in sub.iter() {
-            if !s.is_subset(block) {
+            if !s.is_subset(*block) {
                 return Err(format!(
                     "block {i}: sample of {p} at {t} leaves the block: {s:?}"
                 ));
             }
         }
         // Σ1 within the block, w.r.t. the failure pattern projected to it.
-        let fp_block = fp.projected_to(block);
-        check_sigma_k(&sub, 1, &fp_block)
-            .map_err(|v| format!("block {i}: Σ violated: {v:?}"))?;
+        let fp_block = fp.projected_to(*block);
+        check_sigma_k(&sub, 1, &fp_block).map_err(|v| format!("block {i}: Σ violated: {v:?}"))?;
     }
     Ok(())
 }
@@ -266,7 +270,9 @@ mod tests {
         h.record(pid(1), Time::new(2), q(&[1]));
         let fp = FailurePattern::all_correct(2);
         let err = check_sigma_k(&h, 1, &fp).unwrap_err();
-        assert!(matches!(err, SigmaViolation::DisjointQuorums { ref witnesses } if witnesses.len() == 2));
+        assert!(
+            matches!(err, SigmaViolation::DisjointQuorums { ref witnesses } if witnesses.len() == 2)
+        );
     }
 
     #[test]
@@ -275,9 +281,15 @@ mod tests {
         h.record(pid(0), Time::new(1), q(&[0, 1]));
         h.record(pid(2), Time::new(2), q(&[2, 3]));
         let fp = FailurePattern::all_correct(6);
-        assert!(check_sigma_k(&h, 2, &fp).is_ok(), "only 2 disjoint: fine for Σ2");
+        assert!(
+            check_sigma_k(&h, 2, &fp).is_ok(),
+            "only 2 disjoint: fine for Σ2"
+        );
         h.record(pid(4), Time::new(3), q(&[4, 5]));
-        assert!(check_sigma_k(&h, 2, &fp).is_err(), "3 pairwise disjoint refute Σ2");
+        assert!(
+            check_sigma_k(&h, 2, &fp).is_err(),
+            "3 pairwise disjoint refute Σ2"
+        );
     }
 
     #[test]
@@ -300,7 +312,13 @@ mod tests {
         // p0 (correct) ends still trusting crashed p1.
         h.record(pid(0), Time::new(5), q(&[0, 1]));
         let err = check_sigma_k(&h, 1, &fp).unwrap_err();
-        assert_eq!(err, SigmaViolation::LivenessTail { pid: pid(0), trusts: pid(1) });
+        assert_eq!(
+            err,
+            SigmaViolation::LivenessTail {
+                pid: pid(0),
+                trusts: pid(1)
+            }
+        );
     }
 
     #[test]
@@ -361,7 +379,7 @@ mod tests {
 
     #[test]
     fn partition_sigma_enforces_block_containment() {
-        let blocks: Vec<BTreeSet<ProcessId>> = vec![q(&[0, 1]), q(&[2, 3])];
+        let blocks: Vec<ProcessSet> = vec![q(&[0, 1]), q(&[2, 3])];
         let fp = FailurePattern::all_correct(4);
         let mut h = History::new();
         h.record(pid(0), Time::new(1), q(&[0, 1]));
@@ -379,7 +397,7 @@ mod tests {
         // Disjoint quorums ACROSS blocks are fine for the partition
         // detector (that is its whole point) even though they would refute
         // plain Σ1 system-wide.
-        let blocks: Vec<BTreeSet<ProcessId>> = vec![q(&[0]), q(&[1])];
+        let blocks: Vec<ProcessSet> = vec![q(&[0]), q(&[1])];
         let fp = FailurePattern::all_correct(2);
         let mut h = History::new();
         h.record(pid(0), Time::new(1), q(&[0]));

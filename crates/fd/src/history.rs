@@ -9,7 +9,7 @@
 
 use std::collections::BTreeMap;
 
-use kset_sim::{FailurePattern, Oracle, ProcessId, Time};
+use kset_sim::{FailurePattern, Oracle, ProcessId, ProcessSet, Time};
 
 /// A finite recorded history: every `(p, t)` that was actually queried,
 /// with its sample.
@@ -27,7 +27,9 @@ impl<S> Default for History<S> {
 impl<S> History<S> {
     /// An empty history.
     pub fn new() -> Self {
-        History { samples: BTreeMap::new() }
+        History {
+            samples: BTreeMap::new(),
+        }
     }
 
     /// Records `H(p, t) = sample`.
@@ -71,7 +73,7 @@ impl<S> History<S> {
     }
 
     /// The sub-history containing only queries by processes in `keep`.
-    pub fn restricted_to(&self, keep: &std::collections::BTreeSet<ProcessId>) -> History<S>
+    pub fn restricted_to(&self, keep: ProcessSet) -> History<S>
     where
         S: Clone,
     {
@@ -79,7 +81,7 @@ impl<S> History<S> {
             samples: self
                 .samples
                 .iter()
-                .filter(|((p, _), _)| keep.contains(p))
+                .filter(|((p, _), _)| keep.contains(*p))
                 .map(|(k, v)| (*k, v.clone()))
                 .collect(),
         }
@@ -114,7 +116,10 @@ pub struct Recorder<O: Oracle> {
 impl<O: Oracle> Recorder<O> {
     /// Wraps `inner`, recording its samples.
     pub fn new(inner: O) -> Self {
-        Recorder { inner, history: History::new() }
+        Recorder {
+            inner,
+            history: History::new(),
+        }
     }
 
     /// The history recorded so far.

@@ -53,8 +53,8 @@ pub use checkers::{
 pub use history::{History, Recorder};
 pub use loneliness::{check_loneliness, LonelinessOracle};
 pub use omega::EventualLeaderOmega;
-pub use perfect::{check_perfect, PerfectOracle, SuspectSample};
 pub use partition_fd::{PartitionSigmaOmega, RealisticSigmaOmega};
+pub use perfect::{check_perfect, PerfectOracle, SuspectSample};
 pub use samples::{LeaderSample, LonelinessSample, QuorumSample, SigmaOmegaSample};
 pub use sigma::TrustAliveSigma;
 pub use transform::{

@@ -72,11 +72,11 @@ pub fn check_loneliness(
     }
     let correct = fp.correct();
     if correct.len() == 1 {
-        let p = *correct.iter().next().unwrap();
+        let p = correct.first().unwrap();
         let last_crash = fp
             .faulty()
             .iter()
-            .filter_map(|q| fp.crash_time(*q))
+            .filter_map(|q| fp.crash_time(q))
             .max()
             .unwrap_or(Time::ZERO);
         let queried_late = history

@@ -9,9 +9,7 @@
 //! history checker [`crate::checkers::check_omega_k`] verifies against the
 //! actual failure pattern.
 
-use std::collections::BTreeSet;
-
-use kset_sim::{FailurePattern, Oracle, ProcessId, Time};
+use kset_sim::{FailurePattern, Oracle, ProcessId, ProcessSet, Time};
 
 use crate::samples::LeaderSample;
 
@@ -68,7 +66,7 @@ impl Oracle for EventualLeaderOmega {
 
     fn sample(&mut self, p: ProcessId, t: Time, _observed: &FailurePattern) -> LeaderSample {
         if t > self.tgst {
-            self.ld.clone()
+            self.ld
         } else {
             self.noise(p)
         }
@@ -78,8 +76,8 @@ impl Oracle for EventualLeaderOmega {
 /// A window-of-ids helper used by several oracles: the `k` smallest ids of
 /// `pool`, padded (if the pool is too small) with the smallest ids of
 /// `0..n` not already chosen.
-pub(crate) fn k_window(pool: &BTreeSet<ProcessId>, k: usize, n: usize) -> LeaderSample {
-    let mut out: LeaderSample = pool.iter().copied().take(k).collect();
+pub(crate) fn k_window(pool: ProcessSet, k: usize, n: usize) -> LeaderSample {
+    let mut out: LeaderSample = pool.iter().take(k).collect();
     let mut filler = ProcessId::all(n);
     while out.len() < k {
         let next = filler.next().expect("k ≤ n guarantees enough filler ids");
@@ -112,7 +110,8 @@ mod tests {
 
     #[test]
     fn noise_windows_have_size_k() {
-        let mut omega = EventualLeaderOmega::new(5, 3, Time::new(10), [pid(0), pid(1), pid(2)].into());
+        let mut omega =
+            EventualLeaderOmega::new(5, 3, Time::new(10), [pid(0), pid(1), pid(2)].into());
         let fp = FailurePattern::all_correct(5);
         for i in 0..5 {
             let s = omega.sample(pid(i), Time::new(1), &fp);
@@ -145,9 +144,9 @@ mod tests {
 
     #[test]
     fn k_window_pads_from_universe() {
-        let pool: BTreeSet<ProcessId> = [pid(3)].into();
-        let w = k_window(&pool, 3, 5);
+        let pool: ProcessSet = [pid(3)].into();
+        let w = k_window(pool, 3, 5);
         assert_eq!(w, [pid(3), pid(0), pid(1)].into());
-        assert_eq!(k_window(&BTreeSet::new(), 2, 4), [pid(0), pid(1)].into());
+        assert_eq!(k_window(ProcessSet::new(), 2, 4), [pid(0), pid(1)].into());
     }
 }

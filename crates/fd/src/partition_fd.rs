@@ -15,9 +15,7 @@
 //! executably in this crate's tests by feeding [`PartitionSigmaOmega`]
 //! histories to the Σk/Ωk oracles of [`crate::checkers`].
 
-use std::collections::BTreeSet;
-
-use kset_sim::{FailurePattern, Oracle, ProcessId, Time};
+use kset_sim::{FailurePattern, Oracle, ProcessId, ProcessSet, Time};
 
 use crate::omega::k_window;
 use crate::samples::{LeaderSample, QuorumSample, SigmaOmegaSample};
@@ -34,7 +32,7 @@ use crate::samples::{LeaderSample, QuorumSample, SigmaOmegaSample};
 pub struct PartitionSigmaOmega {
     n: usize,
     k: usize,
-    blocks: Vec<BTreeSet<ProcessId>>,
+    blocks: Vec<ProcessSet>,
     tgst: Time,
     ld: LeaderSample,
 }
@@ -48,21 +46,27 @@ impl PartitionSigmaOmega {
     ///
     /// Panics if the blocks do not partition `0..n`, if `|ld| != k` where
     /// `k = blocks.len()`, or if `ld` contains out-of-range ids.
-    pub fn new(n: usize, blocks: Vec<BTreeSet<ProcessId>>, tgst: Time, ld: LeaderSample) -> Self {
+    pub fn new(n: usize, blocks: Vec<ProcessSet>, tgst: Time, ld: LeaderSample) -> Self {
         let k = blocks.len();
         assert!(k >= 1, "at least one block");
-        let mut seen: BTreeSet<ProcessId> = BTreeSet::new();
+        let mut seen = ProcessSet::new();
         for b in &blocks {
             assert!(!b.is_empty(), "blocks must be nonempty");
             for p in b {
                 assert!(p.index() < n, "block member out of range");
-                assert!(seen.insert(*p), "blocks must be disjoint");
+                assert!(seen.insert(p), "blocks must be disjoint");
             }
         }
         assert_eq!(seen.len(), n, "blocks must cover Π");
         assert_eq!(ld.len(), k, "LD must contain exactly k = #blocks ids");
         assert!(ld.iter().all(|p| p.index() < n), "LD id out of range");
-        PartitionSigmaOmega { n, k, blocks, tgst, ld }
+        PartitionSigmaOmega {
+            n,
+            k,
+            blocks,
+            tgst,
+            ld,
+        }
     }
 
     /// The number of blocks `k`.
@@ -71,7 +75,7 @@ impl PartitionSigmaOmega {
     }
 
     /// The partition blocks.
-    pub fn blocks(&self) -> &[BTreeSet<ProcessId>] {
+    pub fn blocks(&self) -> &[ProcessSet] {
         &self.blocks
     }
 
@@ -94,25 +98,21 @@ impl PartitionSigmaOmega {
     }
 
     /// The block containing `p`.
-    pub fn block_of(&self, p: ProcessId) -> &BTreeSet<ProcessId> {
+    pub fn block_of(&self, p: ProcessId) -> ProcessSet {
         self.blocks
             .iter()
-            .find(|b| b.contains(&p))
+            .copied()
+            .find(|b| b.contains(p))
             .expect("blocks cover Π")
     }
 
     fn sigma_sample(&self, p: ProcessId, t: Time, observed: &FailurePattern) -> QuorumSample {
-        let alive: QuorumSample = self
-            .block_of(p)
-            .iter()
-            .copied()
-            .filter(|q| !observed.is_crashed(*q, t))
-            .collect();
+        let alive = self.block_of(p).difference(observed.crashed_at(t));
         if alive.is_empty() {
             // p itself is the last member standing (it is querying, so it
             // has not crashed *before* t; the observed pattern may list its
             // crash at exactly t when this is its final step).
-            [p].into()
+            ProcessSet::singleton(p)
         } else {
             alive
         }
@@ -120,7 +120,7 @@ impl PartitionSigmaOmega {
 
     fn omega_sample(&self, p: ProcessId, t: Time) -> LeaderSample {
         if t > self.tgst {
-            self.ld.clone()
+            self.ld
         } else {
             k_window(self.block_of(p), self.k, self.n)
         }
@@ -171,13 +171,11 @@ impl Oracle for RealisticSigmaOmega {
     type Sample = SigmaOmegaSample;
 
     fn sample(&mut self, p: ProcessId, t: Time, observed: &FailurePattern) -> SigmaOmegaSample {
-        let sigma: QuorumSample = ProcessId::all(self.n)
-            .filter(|q| !observed.is_crashed(*q, t))
-            .collect();
+        let sigma = observed.crashed_at(t).complement(self.n);
         let omega = if t > self.tgst {
-            self.ld.clone()
+            self.ld
         } else {
-            k_window(&[p].into(), self.k, self.n)
+            k_window(ProcessSet::singleton(p), self.k, self.n)
         };
         SigmaOmegaSample::new(sigma, omega)
     }
@@ -195,8 +193,12 @@ mod tests {
 
     /// Theorem 10 layout for n = 6, k = 3: D1 = {p1}, D2 = {p2},
     /// D̄ = {p3..p6}.
-    fn theorem10_blocks() -> Vec<BTreeSet<ProcessId>> {
-        vec![[pid(0)].into(), [pid(1)].into(), [pid(2), pid(3), pid(4), pid(5)].into()]
+    fn theorem10_blocks() -> Vec<ProcessSet> {
+        vec![
+            [pid(0)].into(),
+            [pid(1)].into(),
+            [pid(2), pid(3), pid(4), pid(5)].into(),
+        ]
     }
 
     fn sample_everything(
@@ -220,8 +222,12 @@ mod tests {
 
     #[test]
     fn sigma_prime_stays_in_block() {
-        let mut oracle =
-            PartitionSigmaOmega::new(6, theorem10_blocks(), Time::new(10), [pid(0), pid(1), pid(2)].into());
+        let mut oracle = PartitionSigmaOmega::new(
+            6,
+            theorem10_blocks(),
+            Time::new(10),
+            [pid(0), pid(1), pid(2)].into(),
+        );
         let fp = FailurePattern::all_correct(6);
         let s = oracle.sample(pid(3), Time::new(1), &fp);
         assert_eq!(s.sigma, [pid(2), pid(3), pid(4), pid(5)].into());
@@ -232,8 +238,12 @@ mod tests {
     #[test]
     fn partition_histories_satisfy_definition7_part1() {
         let blocks = theorem10_blocks();
-        let mut oracle =
-            PartitionSigmaOmega::new(6, blocks.clone(), Time::new(20), [pid(0), pid(1), pid(2)].into());
+        let mut oracle = PartitionSigmaOmega::new(
+            6,
+            blocks.clone(),
+            Time::new(20),
+            [pid(0), pid(1), pid(2)].into(),
+        );
         let mut fp = FailurePattern::all_correct(6);
         fp.record_crash(pid(4), Time::new(9));
         let (hs, _) = sample_everything(&mut oracle, &fp, 40);
@@ -263,28 +273,43 @@ mod tests {
             PartitionSigmaOmega::new(6, blocks, Time::new(15), [pid(0), pid(1), pid(2)].into());
         let fp = FailurePattern::all_correct(6);
         let (hs, _) = sample_everything(&mut oracle, &fp, 40);
-        assert!(check_sigma_k(&hs, 2, &fp).is_err(), "3 disjoint quorums refute Σ2");
+        assert!(
+            check_sigma_k(&hs, 2, &fp).is_err(),
+            "3 disjoint quorums refute Σ2"
+        );
     }
 
     #[test]
     fn omega_prime_pre_gst_points_into_own_block() {
-        let mut oracle =
-            PartitionSigmaOmega::new(6, theorem10_blocks(), Time::new(50), [pid(0), pid(1), pid(2)].into());
+        let mut oracle = PartitionSigmaOmega::new(
+            6,
+            theorem10_blocks(),
+            Time::new(50),
+            [pid(0), pid(1), pid(2)].into(),
+        );
         let fp = FailurePattern::all_correct(6);
         let s = oracle.sample(pid(4), Time::new(1), &fp);
         // D̄ = {p3..p6}: window = 3 smallest members {2,3,4}.
         assert_eq!(s.omega, [pid(2), pid(3), pid(4)].into());
-        assert!(s.omega.iter().any(|q| oracle.block_of(pid(4)).contains(q)));
+        assert!(!s.omega.is_disjoint(oracle.block_of(pid(4))));
     }
 
     #[test]
     fn restabilize_changes_ld() {
-        let mut oracle =
-            PartitionSigmaOmega::new(6, theorem10_blocks(), Time::new(5), [pid(0), pid(1), pid(2)].into());
+        let mut oracle = PartitionSigmaOmega::new(
+            6,
+            theorem10_blocks(),
+            Time::new(5),
+            [pid(0), pid(1), pid(2)].into(),
+        );
         oracle.restabilize(Time::new(100), [pid(3), pid(4), pid(5)].into());
         let fp = FailurePattern::all_correct(6);
         let pre = oracle.sample(pid(0), Time::new(50), &fp);
-        assert_eq!(pre.omega, [pid(0), pid(1), pid(2)].into(), "back to noise until new GST");
+        assert_eq!(
+            pre.omega,
+            [pid(0), pid(1), pid(2)].into(),
+            "back to noise until new GST"
+        );
         let post = oracle.sample(pid(0), Time::new(101), &fp);
         assert_eq!(post.omega, [pid(3), pid(4), pid(5)].into());
     }

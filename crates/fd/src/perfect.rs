@@ -9,12 +9,10 @@
 //! consensus becomes (n−1)-resilient once dimension 6 turns favourable
 //! with a strong enough detector.
 
-use std::collections::BTreeSet;
-
-use kset_sim::{FailurePattern, Oracle, ProcessId, Time};
+use kset_sim::{FailurePattern, Oracle, ProcessId, ProcessSet, Time};
 
 /// Output of P: the set of currently *suspected* processes.
-pub type SuspectSample = BTreeSet<ProcessId>;
+pub type SuspectSample = ProcessSet;
 
 /// A perfect failure detector driven by the observed failure pattern: it
 /// suspects exactly the processes that have already crashed.
@@ -50,7 +48,7 @@ pub fn check_perfect(
 ) -> Result<(), String> {
     for (p, t, s) in history.iter() {
         for q in s {
-            if !fp.is_crashed(*q, t) {
+            if !fp.is_crashed(q, t) {
                 return Err(format!("accuracy violated: {p} suspects alive {q} at {t}"));
             }
         }
@@ -60,7 +58,7 @@ pub fn check_perfect(
             for q in fp.crashed_at(t) {
                 // Allow the crash at exactly t (the sample may predate the
                 // crash within the same instant).
-                if fp.crash_time(q).map(|c| c < t).unwrap_or(false) && !last.contains(&q) {
+                if fp.crash_time(q).map(|c| c < t).unwrap_or(false) && !last.contains(q) {
                     return Err(format!(
                         "completeness violated: {p}'s final sample at {t} misses crashed {q}"
                     ));
@@ -87,7 +85,10 @@ mod tests {
         assert!(oracle.sample(pid(0), Time::new(1), &fp).is_empty());
         fp.record_crash(pid(2), Time::new(2));
         assert_eq!(oracle.sample(pid(0), Time::new(3), &fp), [pid(2)].into());
-        assert!(oracle.sample(pid(0), Time::new(1), &fp).is_empty(), "not before the crash");
+        assert!(
+            oracle.sample(pid(0), Time::new(1), &fp).is_empty(),
+            "not before the crash"
+        );
     }
 
     #[test]

@@ -1,16 +1,17 @@
 //! Sample types produced by the failure-detector classes.
+//!
+//! All process-set-valued samples are [`ProcessSet`] bitsets, so sampling,
+//! copying and validating them is constant-time word arithmetic.
 
-use std::collections::BTreeSet;
-
-use kset_sim::ProcessId;
+use kset_sim::ProcessSet;
 
 /// Output of a quorum detector of class Σk: a set of *trusted* process ids
 /// (Definition 4 of the paper).
-pub type QuorumSample = BTreeSet<ProcessId>;
+pub type QuorumSample = ProcessSet;
 
 /// Output of a leader detector of class Ωk: a set of exactly `k` *leader
 /// candidates* (Definition 5 of the paper).
-pub type LeaderSample = BTreeSet<ProcessId>;
+pub type LeaderSample = ProcessSet;
 
 /// Combined sample of the pair (Σk, Ωk) — the detector family
 /// `(Σk, Ωk)_{1 ≤ k ≤ n−1}` of Bonnet and Raynal whose k-set-agreement power
@@ -45,12 +46,13 @@ pub struct LonelinessSample(pub bool);
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kset_sim::ProcessId;
 
     #[test]
     fn combined_sample_roundtrip() {
         let sigma: QuorumSample = [ProcessId::new(0), ProcessId::new(1)].into();
         let omega: LeaderSample = [ProcessId::new(1)].into();
-        let s = SigmaOmegaSample::new(sigma.clone(), omega.clone());
+        let s = SigmaOmegaSample::new(sigma, omega);
         assert_eq!(s.sigma, sigma);
         assert_eq!(s.omega, omega);
     }

@@ -67,7 +67,7 @@ mod tests {
         fp.record_crash(pid(1), Time::new(2));
         let s2 = sigma.sample(pid(0), Time::new(3), &fp);
         assert_eq!(s2, [pid(0), pid(2)].into());
-        assert!(s2.is_subset(&s1), "samples are nested");
+        assert!(s2.is_subset(s1), "samples are nested");
     }
 
     #[test]

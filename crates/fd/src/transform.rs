@@ -26,9 +26,7 @@
 //! the emulated history for the class checkers to validate — the
 //! executable form of "the emulated outputs are admissible for `F(·)`".
 
-use std::collections::BTreeSet;
-
-use kset_sim::{ProcessId, Time};
+use kset_sim::{ProcessId, ProcessSet, Time};
 
 use crate::history::History;
 use crate::omega::k_window;
@@ -48,10 +46,7 @@ pub trait FdTransform {
 
 /// Runs a transformation over an entire history, producing the emulated
 /// history (queries at the same `(p, t)` points).
-pub fn emulate<T: FdTransform>(
-    transform: &mut T,
-    history: &History<T::In>,
-) -> History<T::Out> {
+pub fn emulate<T: FdTransform>(transform: &mut T, history: &History<T::In>) -> History<T::Out> {
     let mut out = History::new();
     for (p, t, s) in history.iter() {
         out.record(p, t, transform.transform(p, t, s));
@@ -70,7 +65,12 @@ impl FdTransform for PartitionToPlain {
     type In = SigmaOmegaSample;
     type Out = SigmaOmegaSample;
 
-    fn transform(&mut self, _p: ProcessId, _t: Time, sample: &SigmaOmegaSample) -> SigmaOmegaSample {
+    fn transform(
+        &mut self,
+        _p: ProcessId,
+        _t: Time,
+        sample: &SigmaOmegaSample,
+    ) -> SigmaOmegaSample {
         sample.clone()
     }
 }
@@ -82,7 +82,7 @@ impl FdTransform for PartitionToPlain {
 /// exactly two ids from `D̄`.
 #[derive(Debug, Clone)]
 pub struct GammaToOmega2 {
-    dbar: BTreeSet<ProcessId>,
+    dbar: ProcessSet,
 }
 
 impl GammaToOmega2 {
@@ -91,7 +91,7 @@ impl GammaToOmega2 {
     /// # Panics
     ///
     /// Panics if `|dbar| < 2` (Ω2 needs two candidates to point at).
-    pub fn new(dbar: BTreeSet<ProcessId>) -> Self {
+    pub fn new(dbar: ProcessSet) -> Self {
         assert!(dbar.len() >= 2, "Ω2 extraction needs |D̄| ≥ 2");
         GammaToOmega2 { dbar }
     }
@@ -102,20 +102,19 @@ impl FdTransform for GammaToOmega2 {
     type Out = LeaderSample;
 
     fn transform(&mut self, _p: ProcessId, _t: Time, sample: &LeaderSample) -> LeaderSample {
-        let in_dbar: BTreeSet<ProcessId> =
-            sample.intersection(&self.dbar).copied().collect();
+        let in_dbar = sample.intersection(self.dbar);
         if in_dbar.len() == 2 {
             return in_dbar;
         }
         // Pad (or trim) deterministically from D̄'s smallest ids; the
         // emulation only needs to be *eventually* exactly the stabilized
         // pair, which the |LD ∩ D̄| = 2 property of Γ guarantees.
-        let mut out: LeaderSample = in_dbar.into_iter().take(2).collect();
-        for q in &self.dbar {
+        let mut out: LeaderSample = in_dbar.iter().take(2).collect();
+        for q in self.dbar {
             if out.len() == 2 {
                 break;
             }
-            out.insert(*q);
+            out.insert(q);
         }
         out
     }
@@ -138,13 +137,11 @@ impl SuspectsToTrusted {
 }
 
 impl FdTransform for SuspectsToTrusted {
-    type In = BTreeSet<ProcessId>; // suspect set
+    type In = ProcessSet; // suspect set
     type Out = QuorumSample;
 
-    fn transform(&mut self, _p: ProcessId, _t: Time, suspects: &BTreeSet<ProcessId>) -> QuorumSample {
-        ProcessId::all(self.n)
-            .filter(|q| !suspects.contains(q))
-            .collect()
+    fn transform(&mut self, _p: ProcessId, _t: Time, suspects: &ProcessSet) -> QuorumSample {
+        suspects.complement(self.n)
     }
 }
 
@@ -152,7 +149,7 @@ impl FdTransform for SuspectsToTrusted {
 pub fn omega_component(history: &History<SigmaOmegaSample>) -> History<LeaderSample> {
     let mut out = History::new();
     for (p, t, s) in history.iter() {
-        out.record(p, t, s.omega.clone());
+        out.record(p, t, s.omega);
     }
     out
 }
@@ -161,13 +158,13 @@ pub fn omega_component(history: &History<SigmaOmegaSample>) -> History<LeaderSam
 pub fn sigma_component(history: &History<SigmaOmegaSample>) -> History<QuorumSample> {
     let mut out = History::new();
     for (p, t, s) in history.iter() {
-        out.record(p, t, s.sigma.clone());
+        out.record(p, t, s.sigma);
     }
     out
 }
 
 /// The `k_window` helper re-exported for transformation authors.
-pub fn window(pool: &BTreeSet<ProcessId>, k: usize, n: usize) -> LeaderSample {
+pub fn window(pool: ProcessSet, k: usize, n: usize) -> LeaderSample {
     k_window(pool, k, n)
 }
 
@@ -188,12 +185,14 @@ mod tests {
     #[test]
     fn lemma9_via_emulation() {
         let n = 5;
-        let blocks: Vec<BTreeSet<ProcessId>> =
-            vec![[pid(0)].into(), [pid(1)].into(), [pid(2), pid(3), pid(4)].into()];
+        let blocks: Vec<ProcessSet> = vec![
+            [pid(0)].into(),
+            [pid(1)].into(),
+            [pid(2), pid(3), pid(4)].into(),
+        ];
         let k = blocks.len();
         let tgst = Time::new(10);
-        let mut oracle =
-            PartitionSigmaOmega::new(n, blocks, tgst, [pid(0), pid(1), pid(2)].into());
+        let mut oracle = PartitionSigmaOmega::new(n, blocks, tgst, [pid(0), pid(1), pid(2)].into());
         let fp = FailurePattern::all_correct(n);
         let mut raw: History<SigmaOmegaSample> = History::new();
         for t in 1..30u64 {
@@ -210,8 +209,8 @@ mod tests {
     /// validates as an Ω2 history of the subsystem.
     #[test]
     fn gamma_to_omega2_extraction() {
-        let dbar: BTreeSet<ProcessId> = [pid(0), pid(1), pid(2), pid(3)].into();
-        let mut t10 = GammaToOmega2::new(dbar.clone());
+        let dbar: ProcessSet = [pid(0), pid(1), pid(2), pid(3)].into();
+        let mut t10 = GammaToOmega2::new(dbar);
         // Γ's stabilized LD intersects D̄ in {p1, p2} and holds one
         // outsider (p5).
         let ld: LeaderSample = [pid(0), pid(1), pid(4)].into();
@@ -220,13 +219,13 @@ mod tests {
         raw.record(pid(0), Time::new(1), [pid(2), pid(3), pid(4)].into());
         for t in 5..12u64 {
             let p = pid((t % 4) as usize);
-            raw.record(p, Time::new(t), ld.clone());
+            raw.record(p, Time::new(t), ld);
         }
         let emulated = emulate(&mut t10, &raw);
         // Every output is 2 ids from D̄.
         for (_, _, s) in emulated.iter() {
             assert_eq!(s.len(), 2);
-            assert!(s.is_subset(&dbar));
+            assert!(s.is_subset(dbar));
         }
         // The stabilized output is exactly LD ∩ D̄ = {p1, p2}.
         let fp_sub = FailurePattern::all_correct(4);
@@ -248,7 +247,7 @@ mod tests {
         let n = 4;
         let mut p_oracle = PerfectOracle::new();
         let mut fp = FailurePattern::all_correct(n);
-        let mut raw: History<BTreeSet<ProcessId>> = History::new();
+        let mut raw: History<ProcessSet> = History::new();
         for t in 1..20u64 {
             if t == 6 {
                 fp.record_crash(pid(3), Time::new(6));

@@ -28,7 +28,11 @@ pub struct Digraph {
 impl Digraph {
     /// Creates an edgeless graph on `n` vertices.
     pub fn new(n: usize) -> Self {
-        Digraph { n, succs: vec![BTreeSet::new(); n], preds: vec![BTreeSet::new(); n] }
+        Digraph {
+            n,
+            succs: vec![BTreeSet::new(); n],
+            preds: vec![BTreeSet::new(); n],
+        }
     }
 
     /// Creates a graph from an edge list.
@@ -140,7 +144,11 @@ impl Digraph {
     /// The reversed graph (every edge flipped).
     #[must_use]
     pub fn reversed(&self) -> Digraph {
-        Digraph { n: self.n, succs: self.preds.clone(), preds: self.succs.clone() }
+        Digraph {
+            n: self.n,
+            succs: self.preds.clone(),
+            preds: self.succs.clone(),
+        }
     }
 
     /// The subgraph induced by `keep`, with vertices *renumbered* to
@@ -148,8 +156,11 @@ impl Digraph {
     /// the mapping `new index → old index`.
     pub fn induced(&self, keep: &BTreeSet<usize>) -> (Digraph, Vec<usize>) {
         let old_of_new: Vec<usize> = keep.iter().copied().collect();
-        let new_of_old: std::collections::BTreeMap<usize, usize> =
-            old_of_new.iter().enumerate().map(|(new, old)| (*old, new)).collect();
+        let new_of_old: std::collections::BTreeMap<usize, usize> = old_of_new
+            .iter()
+            .enumerate()
+            .map(|(new, old)| (*old, new))
+            .collect();
         let mut g = Digraph::new(old_of_new.len());
         for (u, w) in self.edges() {
             if let (Some(&nu), Some(&nw)) = (new_of_old.get(&u), new_of_old.get(&w)) {

@@ -138,7 +138,10 @@ pub fn tarjan_scc(g: &Digraph) -> SccDecomposition {
         }
     }
 
-    SccDecomposition { component_of, members }
+    SccDecomposition {
+        component_of,
+        members,
+    }
 }
 
 #[cfg(test)]
@@ -173,7 +176,10 @@ mod tests {
         let c23 = scc.component_of(2);
         assert_eq!(scc.component_of(1), c01);
         assert_eq!(scc.component_of(3), c23);
-        assert!(c01 > c23, "edge c01→c23 means c01 comes later in Tarjan order");
+        assert!(
+            c01 > c23,
+            "edge c01→c23 means c01 comes later in Tarjan order"
+        );
     }
 
     #[test]

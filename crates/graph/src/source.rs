@@ -76,7 +76,9 @@ pub fn check_lemma6(g: &Digraph, delta: usize) -> Result<(), String> {
     }
     if let Some(min) = g.min_in_degree() {
         if min < delta {
-            return Err(format!("premise violated: min in-degree {min} < δ = {delta}"));
+            return Err(format!(
+                "premise violated: min in-degree {min} < δ = {delta}"
+            ));
         }
     }
     let comps = source_components(g);
@@ -102,7 +104,9 @@ pub fn check_lemma7(g: &Digraph, delta: usize) -> Result<(), String> {
     }
     if let Some(min) = g.min_in_degree() {
         if min < delta {
-            return Err(format!("premise violated: min in-degree {min} < δ = {delta}"));
+            return Err(format!(
+                "premise violated: min in-degree {min} < δ = {delta}"
+            ));
         }
     }
     let sources = source_components(g);
@@ -206,7 +210,20 @@ mod tests {
         // plus vertex 3 hearing from everyone, everyone hearing from ≥ 2.
         let g = Digraph::from_edges(
             4,
-            [(0, 1), (1, 2), (2, 0), (0, 3), (1, 3), (2, 3), (3, 0), (3, 1), (3, 2), (1, 0), (2, 1), (0, 2)],
+            [
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (0, 3),
+                (1, 3),
+                (2, 3),
+                (3, 0),
+                (3, 1),
+                (3, 2),
+                (1, 0),
+                (2, 1),
+                (0, 2),
+            ],
         );
         assert!(g.min_in_degree().unwrap() >= 2);
         assert_eq!(source_components(&g).len(), 1);

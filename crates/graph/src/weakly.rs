@@ -59,7 +59,10 @@ mod tests {
     #[test]
     fn empty_and_isolated() {
         assert!(weakly_connected_components(&Digraph::new(0)).is_empty());
-        assert_eq!(weakly_connected_components(&Digraph::new(2)), vec![vec![0], vec![1]]);
+        assert_eq!(
+            weakly_connected_components(&Digraph::new(2)),
+            vec![vec![0], vec![1]]
+        );
     }
 
     #[test]

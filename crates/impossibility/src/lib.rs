@@ -45,5 +45,7 @@ pub use borders::{
     theorem8_borderline, theorem8_solvable,
 };
 pub use partition::PartitionSpec;
-pub use pasting::{lemma12, lemma12_no_fd, lemma12_with, solo_run, solo_run_no_fd, PastedRun, SoloRun};
+pub use pasting::{
+    lemma12, lemma12_no_fd, lemma12_with, solo_run, solo_run_no_fd, PastedRun, SoloRun,
+};
 pub use theorem1::{analyze, analyze_no_fd, analyze_with, Theorem1Analysis, Theorem1Outcome};

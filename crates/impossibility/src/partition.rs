@@ -9,9 +9,7 @@
 //!   `n/(k+1) = n − f` processes (the classic partitioning argument at
 //!   `kn = (k+1)f`).
 
-use std::collections::BTreeSet;
-
-use kset_sim::ProcessId;
+use kset_sim::{ProcessId, ProcessSet};
 
 use crate::borders::{theorem2_layout_ell, theorem8_borderline};
 
@@ -21,9 +19,9 @@ use crate::borders::{theorem2_layout_ell, theorem8_borderline};
 pub struct PartitionSpec {
     n: usize,
     /// The decision blocks `D1, …, D(k−1)`.
-    blocks: Vec<BTreeSet<ProcessId>>,
+    blocks: Vec<ProcessSet>,
     /// The consensus-reduction set `D̄`.
-    dbar: BTreeSet<ProcessId>,
+    dbar: ProcessSet,
 }
 
 impl PartitionSpec {
@@ -35,14 +33,14 @@ impl PartitionSpec {
     /// unassigned (the paper allows `D ∪ D̄ ⊊ Π` in general, but the
     /// concrete layouts always cover Π, and covering keeps the partition
     /// failure detector of Definition 7 well-formed).
-    pub fn new(n: usize, blocks: Vec<BTreeSet<ProcessId>>, dbar: BTreeSet<ProcessId>) -> Self {
+    pub fn new(n: usize, blocks: Vec<ProcessSet>, dbar: ProcessSet) -> Self {
         assert!(!dbar.is_empty(), "D̄ must be nonempty");
-        let mut seen: BTreeSet<ProcessId> = BTreeSet::new();
+        let mut seen = ProcessSet::new();
         for b in blocks.iter().chain(std::iter::once(&dbar)) {
             assert!(!b.is_empty(), "blocks must be nonempty");
             for p in b {
                 assert!(p.index() < n, "block member out of range");
-                assert!(seen.insert(*p), "blocks must be disjoint ({p} repeated)");
+                assert!(seen.insert(p), "blocks must be disjoint ({p} repeated)");
             }
         }
         assert_eq!(seen.len(), n, "blocks ∪ D̄ must cover Π");
@@ -55,12 +53,10 @@ impl PartitionSpec {
         let ell = theorem2_layout_ell(n, f, k)?;
         let mut blocks = Vec::with_capacity(k - 1);
         for i in 0..k - 1 {
-            let block: BTreeSet<ProcessId> =
-                (i * ell..(i + 1) * ell).map(ProcessId::new).collect();
+            let block: ProcessSet = (i * ell..(i + 1) * ell).map(ProcessId::new).collect();
             blocks.push(block);
         }
-        let dbar: BTreeSet<ProcessId> =
-            ((k - 1) * ell..n).map(ProcessId::new).collect();
+        let dbar: ProcessSet = ((k - 1) * ell..n).map(ProcessId::new).collect();
         Some(PartitionSpec::new(n, blocks, dbar))
     }
 
@@ -71,9 +67,10 @@ impl PartitionSpec {
             return None;
         }
         let j = n - k + 1; // j ≥ 3
-        let dbar: BTreeSet<ProcessId> = (0..j).map(ProcessId::new).collect();
-        let blocks: Vec<BTreeSet<ProcessId>> =
-            (j..n).map(|i| BTreeSet::from([ProcessId::new(i)])).collect();
+        let dbar: ProcessSet = (0..j).map(ProcessId::new).collect();
+        let blocks: Vec<ProcessSet> = (j..n)
+            .map(|i| ProcessSet::singleton(ProcessId::new(i)))
+            .collect();
         Some(PartitionSpec::new(n, blocks, dbar))
     }
 
@@ -85,7 +82,7 @@ impl PartitionSpec {
             return None;
         }
         let size = n - f; // = n / (k+1)
-        let mut groups: Vec<BTreeSet<ProcessId>> = (0..=k)
+        let mut groups: Vec<ProcessSet> = (0..=k)
             .map(|i| (i * size..(i + 1) * size).map(ProcessId::new).collect())
             .collect();
         let dbar = groups.pop().expect("k+1 ≥ 1 groups");
@@ -103,25 +100,27 @@ impl PartitionSpec {
     }
 
     /// The decision blocks `D1, …, D(k−1)`.
-    pub fn blocks(&self) -> &[BTreeSet<ProcessId>] {
+    pub fn blocks(&self) -> &[ProcessSet] {
         &self.blocks
     }
 
     /// The reduction set `D̄`.
-    pub fn dbar(&self) -> &BTreeSet<ProcessId> {
-        &self.dbar
+    pub fn dbar(&self) -> ProcessSet {
+        self.dbar
     }
 
     /// `D = D1 ∪ … ∪ D(k−1)`.
-    pub fn d_union(&self) -> BTreeSet<ProcessId> {
-        self.blocks.iter().flatten().copied().collect()
+    pub fn d_union(&self) -> ProcessSet {
+        self.blocks
+            .iter()
+            .fold(ProcessSet::new(), |acc, b| acc | *b)
     }
 
     /// All parts in order `D1, …, D(k−1), D̄` — the block list handed to the
     /// partition scheduler and the partition failure detector.
-    pub fn all_parts(&self) -> Vec<BTreeSet<ProcessId>> {
+    pub fn all_parts(&self) -> Vec<ProcessSet> {
         let mut parts = self.blocks.clone();
-        parts.push(self.dbar.clone());
+        parts.push(self.dbar);
         parts
     }
 }
@@ -142,14 +141,17 @@ mod tests {
         assert_eq!(spec.k(), 3);
         assert_eq!(spec.blocks()[0], [pid(0), pid(1)].into());
         assert_eq!(spec.blocks()[1], [pid(2), pid(3)].into());
-        assert_eq!(spec.dbar(), &[pid(4), pid(5), pid(6)].into());
+        assert_eq!(spec.dbar(), [pid(4), pid(5), pid(6)].into());
         // Lemma 3: |D̄| ≥ ℓ + 1 = 3, |Di| = ℓ = 2.
         assert!(spec.dbar().len() >= 3);
     }
 
     #[test]
     fn theorem2_layout_absent_when_solvable() {
-        assert!(PartitionSpec::theorem2(5, 3, 3).is_none(), "k > (n−1)/(n−f)");
+        assert!(
+            PartitionSpec::theorem2(5, 3, 3).is_none(),
+            "k > (n−1)/(n−f)"
+        );
         assert!(PartitionSpec::theorem2(7, 5, 3).is_some());
     }
 
@@ -166,8 +168,14 @@ mod tests {
 
     #[test]
     fn theorem10_layout_bounds() {
-        assert!(PartitionSpec::theorem10(6, 1).is_none(), "k = 1 is solvable");
-        assert!(PartitionSpec::theorem10(6, 5).is_none(), "k = n−1 is solvable");
+        assert!(
+            PartitionSpec::theorem10(6, 1).is_none(),
+            "k = 1 is solvable"
+        );
+        assert!(
+            PartitionSpec::theorem10(6, 5).is_none(),
+            "k = n−1 is solvable"
+        );
         for k in 2..=4 {
             assert!(PartitionSpec::theorem10(6, k).is_some());
         }
@@ -180,13 +188,16 @@ mod tests {
         assert_eq!(spec.k(), 3, "k+1 = 3 groups (the last is D̄)");
         assert_eq!(spec.all_parts().len(), 3);
         assert!(spec.all_parts().iter().all(|g| g.len() == 2));
-        assert!(PartitionSpec::theorem8_border(6, 3, 2).is_none(), "12 ≠ 9: not borderline");
+        assert!(
+            PartitionSpec::theorem8_border(6, 3, 2).is_none(),
+            "12 ≠ 9: not borderline"
+        );
     }
 
     #[test]
     fn parts_cover_and_do_not_overlap() {
         let spec = PartitionSpec::theorem10(7, 3).unwrap();
-        let mut seen = BTreeSet::new();
+        let mut seen = ProcessSet::new();
         for part in spec.all_parts() {
             for p in part {
                 assert!(seen.insert(p));

@@ -23,20 +23,18 @@
 //! if the pasting machinery (or the determinism assumptions behind it) were
 //! wrong, [`PastedRun::verified`] would be `false`.
 
-use std::collections::BTreeSet;
-
 use kset_sim::indist::indistinguishable_for_set;
 use kset_sim::sched::round_robin::RoundRobin;
 use kset_sim::sched::scripted::Scripted;
 use kset_sim::{
-    CrashPlan, NoOracle, Oracle, Process, ProcessId, RunReport, Simulation,
+    CrashPlan, NoOracle, Oracle, Process, ProcessId, ProcessSet, RunReport, Simulation,
 };
 
 /// A solo run of one block: everyone else initially dead.
 #[derive(Debug, Clone)]
 pub struct SoloRun<V> {
     /// The isolated block.
-    pub block: BTreeSet<ProcessId>,
+    pub block: ProcessSet,
     /// The run report.
     pub report: RunReport<V>,
 }
@@ -66,7 +64,7 @@ impl<V: Clone + Ord> PastedRun<V> {
 pub fn solo_run<P, O>(
     inputs: Vec<P::Input>,
     oracle: O,
-    block: &BTreeSet<ProcessId>,
+    block: ProcessSet,
     extra_plan: CrashPlan,
     max_steps: u64,
 ) -> RunReport<P::Output>
@@ -78,7 +76,7 @@ where
     let n = inputs.len();
     let mut plan = extra_plan;
     for p in ProcessId::all(n) {
-        if !block.contains(&p) {
+        if !block.contains(p) {
             plan = plan.with_initially_dead(p);
         }
     }
@@ -89,7 +87,7 @@ where
 /// Oracle-less [`solo_run`].
 pub fn solo_run_no_fd<P>(
     inputs: Vec<P::Input>,
-    block: &BTreeSet<ProcessId>,
+    block: ProcessSet,
     extra_plan: CrashPlan,
     max_steps: u64,
 ) -> RunReport<P::Output>
@@ -104,7 +102,7 @@ where
 /// Lemma 12 only requires *some* admissible solo run per block; varying the
 /// intra-block schedule is how the Theorem 10 adversary makes `D̄` split.
 pub type BlockSchedulers<'a, M> =
-    &'a dyn Fn(usize, &BTreeSet<ProcessId>) -> Box<dyn kset_sim::sched::Scheduler<M>>;
+    &'a dyn Fn(usize, ProcessSet) -> Box<dyn kset_sim::sched::Scheduler<M>>;
 
 /// The full Lemma 12 construction with a failure-detector oracle factory:
 /// `mk_oracle()` must produce observationally identical oracles for the
@@ -113,7 +111,7 @@ pub type BlockSchedulers<'a, M> =
 pub fn lemma12<P, O>(
     make_inputs: impl Fn() -> Vec<P::Input>,
     mk_oracle: impl Fn() -> O,
-    parts: &[BTreeSet<ProcessId>],
+    parts: &[ProcessSet],
     max_steps: u64,
 ) -> PastedRun<P::Output>
 where
@@ -129,7 +127,7 @@ where
 pub fn lemma12_with<P, O>(
     make_inputs: impl Fn() -> Vec<P::Input>,
     mk_oracle: impl Fn() -> O,
-    parts: &[BTreeSet<ProcessId>],
+    parts: &[ProcessSet],
     mk_sched: BlockSchedulers<'_, P::Msg>,
     max_steps: u64,
 ) -> PastedRun<P::Output>
@@ -140,19 +138,18 @@ where
 {
     // 1. Solo runs.
     let mut solos = Vec::with_capacity(parts.len());
-    for (i, block) in parts.iter().enumerate() {
+    for (i, &block) in parts.iter().enumerate() {
         let n = make_inputs().len();
         let mut plan = CrashPlan::none();
         for p in ProcessId::all(n) {
-            if !block.contains(&p) {
+            if !block.contains(p) {
                 plan = plan.with_initially_dead(p);
             }
         }
-        let mut sim: Simulation<P, O> =
-            Simulation::with_oracle(make_inputs(), mk_oracle(), plan);
+        let mut sim: Simulation<P, O> = Simulation::with_oracle(make_inputs(), mk_oracle(), plan);
         let mut sched = mk_sched(i, block);
         let report = sim.run_to_report(&mut *sched, max_steps);
-        solos.push(SoloRun { block: block.clone(), report });
+        solos.push(SoloRun { block, report });
     }
     // 2.–3. Interleave the schedules and replay in the full system.
     let schedules: Vec<_> = solos.iter().map(|s| s.report.trace.schedule()).collect();
@@ -162,16 +159,20 @@ where
     let mut replay = Scripted::new(merged);
     let report = sim.run_to_report(&mut replay, max_steps);
     // 4. Verify per-block indistinguishability.
-    let verified = solos.iter().all(|solo| {
-        indistinguishable_for_set(&report.trace, &solo.report.trace, &solo.block)
-    });
-    PastedRun { solos, report, verified }
+    let verified = solos
+        .iter()
+        .all(|solo| indistinguishable_for_set(&report.trace, &solo.report.trace, solo.block));
+    PastedRun {
+        solos,
+        report,
+        verified,
+    }
 }
 
 /// Oracle-less [`lemma12`].
 pub fn lemma12_no_fd<P>(
     make_inputs: impl Fn() -> Vec<P::Input>,
-    parts: &[BTreeSet<ProcessId>],
+    parts: &[ProcessSet],
     max_steps: u64,
 ) -> PastedRun<P::Output>
 where
@@ -193,10 +194,10 @@ mod tests {
     #[test]
     fn solo_run_decides_within_block() {
         // Two-stage, L = 2, block {p1, p2} of a 4-process system.
-        let block: BTreeSet<ProcessId> = [pid(0), pid(1)].into();
+        let block: ProcessSet = [pid(0), pid(1)].into();
         let report = solo_run_no_fd::<TwoStage>(
             two_stage_inputs(2, &distinct_proposals(4)),
-            &block,
+            block,
             CrashPlan::none(),
             50_000,
         );
@@ -210,8 +211,7 @@ mod tests {
     fn lemma12_pastes_two_blocks_verifiably() {
         // n = 4, L = 2: blocks {p1,p2} and {p3,p4} each decide solo; the
         // pasted run reproduces both and carries 2 distinct decisions.
-        let parts: Vec<BTreeSet<ProcessId>> =
-            vec![[pid(0), pid(1)].into(), [pid(2), pid(3)].into()];
+        let parts: Vec<ProcessSet> = vec![[pid(0), pid(1)].into(), [pid(2), pid(3)].into()];
         let pasted = lemma12_no_fd::<TwoStage>(
             || two_stage_inputs(2, &distinct_proposals(4)),
             &parts,
@@ -232,8 +232,7 @@ mod tests {
         // decisions in a crash-free run (the wait-free catastrophe of
         // Section V).
         let n = 6;
-        let parts: Vec<BTreeSet<ProcessId>> =
-            (0..n).map(|i| BTreeSet::from([pid(i)])).collect();
+        let parts: Vec<ProcessSet> = (0..n).map(|i| ProcessSet::singleton(pid(i))).collect();
         let pasted = lemma12_no_fd::<TwoStage>(
             || two_stage_inputs(1, &distinct_proposals(n)),
             &parts,
@@ -246,8 +245,10 @@ mod tests {
     #[test]
     fn pasted_trace_preserves_solo_state_sequences_exactly() {
         use kset_sim::indist::{compare_views, ViewComparison};
-        let parts: Vec<BTreeSet<ProcessId>> =
-            vec![[pid(0), pid(1), pid(2)].into(), [pid(3), pid(4), pid(5)].into()];
+        let parts: Vec<ProcessSet> = vec![
+            [pid(0), pid(1), pid(2)].into(),
+            [pid(3), pid(4), pid(5)].into(),
+        ];
         let pasted = lemma12_no_fd::<TwoStage>(
             || two_stage_inputs(3, &distinct_proposals(6)),
             &parts,
@@ -255,8 +256,8 @@ mod tests {
         );
         assert!(pasted.verified);
         for solo in &pasted.solos {
-            for p in &solo.block {
-                let cmp = compare_views(&pasted.report.trace, &solo.report.trace, *p);
+            for p in solo.block {
+                let cmp = compare_views(&pasted.report.trace, &solo.report.trace, p);
                 assert_eq!(
                     cmp,
                     ViewComparison::EqualUntilDecision,

@@ -37,9 +37,9 @@ use std::collections::BTreeSet;
 use kset_sim::indist::indistinguishable_for_set;
 use kset_sim::sched::round_robin::RoundRobin;
 use kset_sim::sched::scripted::Scripted;
+use kset_sim::ProcessSet;
 use kset_sim::{
-    restriction_plan, CrashPlan, NoOracle, Oracle, Process, ProcessId, Restricted, RunReport,
-    Simulation,
+    restriction_plan, CrashPlan, NoOracle, Oracle, Process, Restricted, RunReport, Simulation,
 };
 
 use crate::partition::PartitionSpec;
@@ -65,7 +65,7 @@ pub enum Theorem1Outcome {
     /// condition (A) not witnessed; the candidate may be sound.
     ConditionAFailed {
         /// The first block that could not decide in isolation.
-        block: BTreeSet<ProcessId>,
+        block: ProcessSet,
     },
 }
 
@@ -117,8 +117,7 @@ where
     P::Fd: std::hash::Hash,
     O: Oracle<Sample = P::Fd>,
 {
-    let default: crate::pasting::BlockSchedulers<'_, P::Msg> =
-        &|_, _| Box::new(RoundRobin::new());
+    let default: crate::pasting::BlockSchedulers<'_, P::Msg> = &|_, _| Box::new(RoundRobin::new());
     analyze_with::<P, O>(make_inputs, mk_oracle, spec, default, max_steps)
 }
 
@@ -149,14 +148,14 @@ where
     // last entry of `parts` is D̄, whose isolated decisions are not part of
     // (dec-D) but must exist for the reduction.)
     let mut block_value_sets: Vec<BTreeSet<P::Output>> = Vec::new();
-    let mut failed_block: Option<BTreeSet<ProcessId>> = None;
+    let mut failed_block: Option<ProcessSet> = None;
     for (i, (solo, block)) in pasted.solos.iter().zip(&parts).enumerate() {
         let decided: BTreeSet<P::Output> = block
             .iter()
             .filter_map(|p| solo.report.decisions[p.index()].clone())
             .collect();
         if decided.is_empty() {
-            failed_block = Some(block.clone());
+            failed_block = Some(*block);
             break;
         }
         let is_dbar = i + 1 == parts.len();
@@ -164,8 +163,7 @@ where
             block_value_sets.push(decided);
         }
     }
-    let condition_a =
-        failed_block.is_none() && has_distinct_representatives(&block_value_sets);
+    let condition_a = failed_block.is_none() && has_distinct_representatives(&block_value_sets);
     let condition_b_verified = pasted.verified;
 
     // --- Condition (D): replay A|D̄ and compare with the solo run of D̄. ---
@@ -185,7 +183,9 @@ where
     let outcome = if let Some(block) = failed_block {
         Theorem1Outcome::ConditionAFailed { block }
     } else if !condition_a {
-        Theorem1Outcome::ConditionAFailed { block: spec.blocks().first().cloned().unwrap_or_default() }
+        Theorem1Outcome::ConditionAFailed {
+            block: spec.blocks().first().copied().unwrap_or_default(),
+        }
     } else {
         let distinct = pasted.report.distinct_decisions.len();
         if distinct > k {
@@ -247,7 +247,7 @@ fn has_distinct_representatives<V: Clone + Ord>(sets: &[BTreeSet<V>]) -> bool {
 fn verify_condition_d<P, O>(
     make_inputs: &impl Fn() -> Vec<P::Input>,
     mk_oracle: &impl Fn() -> O,
-    dbar: &BTreeSet<ProcessId>,
+    dbar: ProcessSet,
     dbar_solo: &RunReport<P::Output>,
     max_steps: u64,
 ) -> bool
@@ -259,11 +259,9 @@ where
 {
     let inputs = make_inputs();
     let n = inputs.len();
-    let wrapped: Vec<(BTreeSet<ProcessId>, P::Input)> =
-        inputs.into_iter().map(|x| (dbar.clone(), x)).collect();
+    let wrapped: Vec<(ProcessSet, P::Input)> = inputs.into_iter().map(|x| (dbar, x)).collect();
     let plan = restriction_plan(n, dbar, CrashPlan::none());
-    let mut sim: Simulation<Restricted<P>, O> =
-        Simulation::with_oracle(wrapped, mk_oracle(), plan);
+    let mut sim: Simulation<Restricted<P>, O> = Simulation::with_oracle(wrapped, mk_oracle(), plan);
     // Replay the solo schedule; fall back to round-robin if it runs dry
     // before everyone in D̄ decided (should not happen for deterministic
     // algorithms, but keeps the check robust).
@@ -332,7 +330,10 @@ mod tests {
             &spec,
             20_000,
         );
-        assert!(matches!(analysis.outcome, Theorem1Outcome::ConditionAFailed { .. }));
+        assert!(matches!(
+            analysis.outcome,
+            Theorem1Outcome::ConditionAFailed { .. }
+        ));
         assert!(!analysis.refutes(true));
     }
 

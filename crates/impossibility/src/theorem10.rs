@@ -45,7 +45,10 @@ pub struct SplitScheduler {
 impl SplitScheduler {
     /// Creates the scheduler.
     pub fn new(solo_first: Vec<ProcessId>) -> Self {
-        SplitScheduler { solo_first, fallback: RoundRobin::new() }
+        SplitScheduler {
+            solo_first,
+            fallback: RoundRobin::new(),
+        }
     }
 }
 
@@ -54,7 +57,10 @@ impl<M> Scheduler<M> for SplitScheduler {
         while let Some(pid) = self.solo_first.first().copied() {
             self.solo_first.remove(0);
             if view.is_alive(pid) {
-                return Some(Choice { pid, delivery: Delivery::None });
+                return Some(Choice {
+                    pid,
+                    delivery: Delivery::None,
+                });
             }
         }
         Scheduler::<M>::next(&mut self.fallback, view)
@@ -101,9 +107,9 @@ impl Theorem10Demo {
 /// `k − 2` ids from the singleton blocks.
 pub fn demo_ld(spec: &PartitionSpec) -> LeaderSample {
     let k = spec.k();
-    let mut ld: LeaderSample = spec.dbar().iter().take(2).copied().collect();
+    let mut ld: LeaderSample = spec.dbar().iter().take(2).collect();
     for block in spec.blocks().iter().take(k - 2) {
-        ld.extend(block.iter().copied());
+        ld.extend(block.iter());
     }
     assert_eq!(ld.len(), k, "LD must have k ids");
     ld
@@ -132,8 +138,7 @@ where
     // picks t_GST after all decisions); the validation below samples the
     // post-GST suffix explicitly.
     let tgst = Time::new(max_steps.saturating_mul(4) + 1);
-    let mk_oracle =
-        || PartitionSigmaOmega::new(n, spec.all_parts(), tgst, ld.clone());
+    let mk_oracle = || PartitionSigmaOmega::new(n, spec.all_parts(), tgst, ld);
 
     // Per-block solo schedulers: D̄ (the last part) runs the split
     // schedule that lets its window leaders commit before mixing.
@@ -142,7 +147,7 @@ where
     let window: Vec<ProcessId> = {
         // The pre-GST Ω window of D̄: its k smallest members (as produced
         // by the partition detector).
-        spec.dbar().iter().take(k).copied().collect()
+        spec.dbar().iter().take(k).collect()
     };
     let mk_sched: crate::pasting::BlockSchedulers<'_, P::Msg> = &|i, _block| {
         if i == dbar_idx {
@@ -151,8 +156,7 @@ where
             Box::new(RoundRobin::new())
         }
     };
-    let analysis =
-        analyze_with::<P, _>(&make_inputs, mk_oracle, &spec, mk_sched, max_steps);
+    let analysis = analyze_with::<P, _>(&make_inputs, mk_oracle, &spec, mk_sched, max_steps);
 
     // Re-execute the pasted run with a recording oracle to validate the
     // histories (Lemma 9 on the wire).
@@ -172,8 +176,8 @@ where
             let mut sigma_hist: History<QuorumSample> = History::new();
             let mut omega_hist: History<LeaderSample> = History::new();
             for (p, t, s) in rec.history().iter() {
-                sigma_hist.record(p, t, s.sigma.clone());
-                omega_hist.record(p, t, s.omega.clone());
+                sigma_hist.record(p, t, s.sigma);
+                omega_hist.record(p, t, s.omega);
             }
             // Lemma 11 step 5: extend the history past t_GST — in the
             // admissible continuation every correct process keeps querying
@@ -215,8 +219,14 @@ mod tests {
     fn leader_adopt_is_refuted_for_all_intermediate_k() {
         for (n, k) in [(5, 2), (5, 3), (6, 2), (6, 3), (6, 4), (8, 5)] {
             let d = demo(n, k, 100_000).expect("2 ≤ k ≤ n−2");
-            assert!(d.analysis.condition_a, "n={n} k={k}: blocks decide in isolation");
-            assert!(d.analysis.condition_b_verified, "n={n} k={k}: pasting verified");
+            assert!(
+                d.analysis.condition_a,
+                "n={n} k={k}: blocks decide in isolation"
+            );
+            assert!(
+                d.analysis.condition_b_verified,
+                "n={n} k={k}: pasting verified"
+            );
             assert!(d.refuted(), "n={n} k={k}");
             assert!(
                 d.history_legal_for_sigma_omega_k(),
@@ -240,7 +250,10 @@ mod tests {
 
     #[test]
     fn demo_rejects_solvable_endpoints() {
-        assert!(demo(6, 1, 1_000).is_none(), "k = 1: (Σ1,Ω1) solves consensus");
+        assert!(
+            demo(6, 1, 1_000).is_none(),
+            "k = 1: (Σ1,Ω1) solves consensus"
+        );
         assert!(demo(6, 5, 1_000).is_none(), "k = n−1: Σ(n−1) suffices");
     }
 
@@ -249,7 +262,7 @@ mod tests {
         let spec = PartitionSpec::theorem10(7, 3).unwrap();
         let ld = demo_ld(&spec);
         assert_eq!(ld.len(), 3);
-        assert_eq!(ld.intersection(spec.dbar()).count(), 2);
+        assert_eq!(ld.intersection(spec.dbar()).len(), 2);
     }
 
     #[test]

@@ -83,7 +83,13 @@ where
             check(&p.report.trace, &req).is_admissible()
         })
         .unwrap_or(false);
-    Some(Theorem2Demo { n, f, k, analysis, process_synchrony_ok })
+    Some(Theorem2Demo {
+        n,
+        f,
+        k,
+        analysis,
+        process_synchrony_ok,
+    })
 }
 
 /// The demo against the canonical wait-free candidate [`DecideOwn`].
@@ -96,7 +102,13 @@ pub fn demo_decide_own(n: usize, f: usize, k: usize, max_steps: u64) -> Option<T
 /// must fall to the partitioning adversary.
 pub fn demo_two_stage(n: usize, f: usize, k: usize, max_steps: u64) -> Option<Theorem2Demo> {
     let l = n - f;
-    demo::<TwoStage>(|| two_stage_inputs(l, &distinct_proposals(n)), n, f, k, max_steps)
+    demo::<TwoStage>(
+        || two_stage_inputs(l, &distinct_proposals(n)),
+        n,
+        f,
+        k,
+        max_steps,
+    )
 }
 
 #[cfg(test)]
@@ -112,7 +124,11 @@ mod tests {
                 for k in 1..n {
                     let impossible = theorem2_impossible(n, f, k);
                     let demo = demo_decide_own(n, f, k, 50_000);
-                    assert_eq!(demo.is_some(), impossible, "layout iff impossible: n={n} f={f} k={k}");
+                    assert_eq!(
+                        demo.is_some(),
+                        impossible,
+                        "layout iff impossible: n={n} f={f} k={k}"
+                    );
                     if let Some(d) = demo {
                         assert!(d.refuted(), "n={n} f={f} k={k}");
                         assert!(d.process_synchrony_ok, "n={n} f={f} k={k}");

@@ -15,8 +15,9 @@
 //!   partitioning argument of Section VI, executed and verified.
 
 use kset_core::algorithms::two_stage::{kset_threshold, two_stage_inputs, TwoStage};
-use kset_core::task::{distinct_proposals, KSetTask, Val};
 use kset_core::runner::run_seeded;
+use kset_core::task::{distinct_proposals, KSetTask, Val};
+use kset_sim::sweep::cell_seed;
 use kset_sim::{CrashPlan, ProcessId};
 
 use crate::borders::{theorem8_borderline, theorem8_solvable};
@@ -59,33 +60,40 @@ pub fn possibility_demo(n: usize, f: usize, k: usize, seeds: u64) -> Possibility
     let mut all_hold = true;
     let mut max_distinct = 0;
     for seed in 0..seeds {
-        // Rotate the initially-dead set with the seed.
-        let dead: Vec<ProcessId> = (0..f)
+        // Rotate the initially-dead set with the seed; de-duplication may
+        // shrink it, so top up deterministically.
+        let mut dead_set: kset_sim::ProcessSet = (0..f)
             .map(|i| ProcessId::new(((seed as usize) + i * 2) % n))
-            .collect::<std::collections::BTreeSet<_>>()
-            .into_iter()
             .collect();
-        // De-duplication may shrink the set; top up deterministically.
-        let mut dead_set: std::collections::BTreeSet<ProcessId> = dead.into_iter().collect();
         let mut cursor = 0;
         while dead_set.len() < f {
             dead_set.insert(ProcessId::new(cursor % n));
             cursor += 1;
         }
         let plan = CrashPlan::initially_dead(dead_set);
-        let report = run_seeded::<TwoStage>(
-            two_stage_inputs(l, &values),
-            plan,
-            seed,
-            2_000_000,
+        // Schedule seeds come from the sweep module's shared derivation, so
+        // "run i of grid cell (n, f, k)" is the same adversarial schedule on
+        // every host and at every parallelism level.
+        let schedule_seed = cell_seed(
+            ((n as u64) << 32) | ((f as u64) << 16) | k as u64,
+            seed as usize,
         );
+        let report =
+            run_seeded::<TwoStage>(two_stage_inputs(l, &values), plan, schedule_seed, 2_000_000);
         let verdict = task.judge(&values, &report);
         max_distinct = max_distinct.max(verdict.distinct);
         if !verdict.holds() {
             all_hold = false;
         }
     }
-    PossibilityDemo { n, f, k, runs: seeds as usize, all_hold, max_distinct }
+    PossibilityDemo {
+        n,
+        f,
+        k,
+        runs: seeds as usize,
+        all_hold,
+        max_distinct,
+    }
 }
 
 /// The border-case impossibility construction at `kn = (k+1)f`.

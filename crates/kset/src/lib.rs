@@ -36,6 +36,35 @@
 //!
 //! See the `examples/` directory for end-to-end demonstrations, and
 //! `EXPERIMENTS.md` for the regenerated border tables.
+//!
+//! ## Architecture: one execution substrate, compact process sets
+//!
+//! The workspace executes the paper's computing model through two
+//! substrates, unified behind the [`sim::Engine`] trait:
+//!
+//! * **the step-level simulator** — [`sim::Simulation`] models the DDS
+//!   step semantics (scheduler-chosen delivery, failure-detector queries,
+//!   crash plans, traces). Paired with any [`sim::sched::Scheduler`] it
+//!   becomes a [`sim::SimEngine`], whose engine *unit* is one process step.
+//! * **the lock-step round executor** — [`core::sync::LockStep`] runs
+//!   synchronous rounds with mid-round crash injection (the fully
+//!   favourable DDS point, where FloodMin lives). Its engine unit is one
+//!   full round.
+//!
+//! `Engine` exposes `advance`/`done`/`decisions`/`drive`, so runners
+//! ([`core::runner`]), the experiment harness and the benches drive either
+//! substrate through one API; the bounded explorer ([`sim::explore`])
+//! additionally forks `Simulation` configurations directly for exhaustive
+//! search.
+//!
+//! Every process set in the workspace — partition blocks, quorum/leader
+//! samples, faulty/correct sets, delivery filters — is a
+//! [`sim::ProcessSet`]: a `Copy`, fixed-capacity (128-process) bitset whose
+//! set algebra is single-word arithmetic. Per-sender round state (inboxes,
+//! stage-2 tables, promise ledgers) uses the dense [`sim::SenderMap`].
+//! Independent `(n, f, k, seed)` grid cells run through the parallel
+//! [`sim::sweep`] module with deterministic per-cell seeds; parallel
+//! results are bit-identical to a sequential pass.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

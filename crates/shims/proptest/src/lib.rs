@@ -1,0 +1,406 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment of this workspace has no crates.io access, so this
+//! crate implements the API subset the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (`fn name(arg in strategy, …) { body }`),
+//!   including `#![proptest_config(ProptestConfig::with_cases(n))]`;
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`];
+//! * integer-range strategies (half-open, inclusive, and from), tuples,
+//!   [`collection::vec`], and [`option::of`].
+//!
+//! Unlike upstream proptest there is **no shrinking**: a failing case
+//! reports its panic message directly. Generation is deterministic per test
+//! (seeded from the test's module path and name), so failures reproduce.
+
+#![warn(rust_2018_idioms)]
+
+use std::fmt;
+
+/// Why a generated test case did not count as a pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; generate a fresh case.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+/// Per-test configuration (only the case count is honoured).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic generation machinery.
+pub mod test_runner {
+    /// SplitMix64-based generator used for all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator from an arbitrary string (the test's name).
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// The strategy abstraction: something that can generate values.
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeFrom, RangeInclusive};
+
+    /// A value generator.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    macro_rules! impl_int_ranges {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as u128) - (self.start as u128);
+                    (self.start as u128 + (rng.next_u64() as u128) % span) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi as u128) - (lo as u128) + 1;
+                    (lo as u128 + (rng.next_u64() as u128) % span) as $t
+                }
+            }
+            impl Strategy for RangeFrom<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let lo = self.start;
+                    let span = (<$t>::MAX as u128) - (lo as u128) + 1;
+                    (lo as u128 + (rng.next_u64() as u128) % span) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_ranges!(u8, u16, u32, u64, usize);
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+            )
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// The accepted length specifications of [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s of `element` values with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + (rng.next_u64() % span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy for `Option<T>`: `None` half the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.next_u64() & 1 == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::option;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig};
+}
+
+#[doc(hidden)]
+pub fn __format_failure(args: fmt::Arguments<'_>) -> TestCaseError {
+    TestCaseError::Fail(args.to_string())
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::__format_failure(format_args!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r)
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(l == r) {
+                    return ::std::result::Result::Err($crate::__format_failure(
+                        format_args!($($fmt)*),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Rejects the current case (inputs outside the property's domain).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Defines property tests (see the crate docs for the supported subset).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::from_name(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = cfg.cases.saturating_mul(32).max(32);
+            while accepted < cfg.cases && attempts < max_attempts {
+                attempts += 1;
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                )*
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!("property {} failed: {}", stringify!($name), msg)
+                    }
+                }
+            }
+            assert!(
+                accepted > 0,
+                "property {}: every generated case was rejected",
+                stringify!($name)
+            );
+        }
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Ranges generate in bounds.
+        #[test]
+        fn ranges_in_bounds(x in 3usize..9, y in 0u8..=4, z in 10u64..) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(y <= 4);
+            prop_assert!(z >= 10);
+        }
+
+        /// Tuples, vecs and options compose.
+        #[test]
+        fn composite_strategies(
+            pairs in collection::vec((0usize..5, 0u64..10), 0..7),
+            opts in collection::vec(option::of(0u32..3), 4),
+        ) {
+            prop_assert!(pairs.len() < 7);
+            prop_assert_eq!(opts.len(), 4);
+            for (a, b) in &pairs {
+                prop_assert!(*a < 5 && *b < 10, "pair ({a}, {b}) out of bounds");
+            }
+        }
+
+        /// Assumptions reject without failing.
+        #[test]
+        fn assume_rejects(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let mut a = TestRng::from_name("t");
+        let mut b = TestRng::from_name("t");
+        let s = 0u64..1000;
+        let va: Vec<u64> = (0..20).map(|_| s.generate(&mut a)).collect();
+        let vb: Vec<u64> = (0..20).map(|_| s.generate(&mut b)).collect();
+        assert_eq!(va, vb);
+    }
+}

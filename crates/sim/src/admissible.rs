@@ -45,7 +45,11 @@ impl AdmissibilityRequirements {
 
     /// Only check the synchrony bounds (for mid-run prefixes).
     pub fn bounds_only(bounds: SynchronyBounds) -> Self {
-        AdmissibilityRequirements { correct_decided: false, quiescent: false, bounds }
+        AdmissibilityRequirements {
+            correct_decided: false,
+            quiescent: false,
+            bounds,
+        }
     }
 }
 
@@ -116,7 +120,10 @@ pub fn check<V: Clone + Ord>(
         for (i, count) in undelivered.iter().enumerate() {
             let p = ProcessId::new(i);
             if *count > 0 && fp.crash_time(p).is_none() {
-                violations.push(AdmissibilityViolation::UndeliveredToCorrect { dst: p, count: *count });
+                violations.push(AdmissibilityViolation::UndeliveredToCorrect {
+                    dst: p,
+                    count: *count,
+                });
             }
         }
     }
@@ -188,10 +195,13 @@ fn check_phi<V: Clone>(
                     continue;
                 }
                 let fast = ProcessId::new(fast_idx);
-                let steps_inside =
-                    times.iter().filter(|t| **t > lo && **t < hi).count() as u64;
+                let steps_inside = times.iter().filter(|t| **t > lo && **t < hi).count() as u64;
                 if steps_inside > phi {
-                    out.push(AdmissibilityViolation::PhiBreached { slow, fast, steps: steps_inside });
+                    out.push(AdmissibilityViolation::PhiBreached {
+                        slow,
+                        fast,
+                        steps: steps_inside,
+                    });
                 }
             }
         }
@@ -231,7 +241,10 @@ fn check_delta<V: Clone>(
         if fp.crash_time(*dst).is_none() {
             let age = end.since(*t_sent);
             if age > delta {
-                out.push(AdmissibilityViolation::DeltaBreached { dst: *dst, delay: age });
+                out.push(AdmissibilityViolation::DeltaBreached {
+                    dst: *dst,
+                    delay: age,
+                });
             }
         }
     }
@@ -263,11 +276,20 @@ mod tests {
     }
 
     fn send(id: u64, dst: usize) -> SendRecord {
-        SendRecord { id: MsgId::new(id), dst: ProcessId::new(dst), payload_fp: 0, dropped: false }
+        SendRecord {
+            id: MsgId::new(id),
+            dst: ProcessId::new(dst),
+            payload_fp: 0,
+            dropped: false,
+        }
     }
 
     fn recv(id: u64, src: usize) -> DeliveredRecord {
-        DeliveredRecord { id: MsgId::new(id), src: ProcessId::new(src), payload_fp: 0 }
+        DeliveredRecord {
+            id: MsgId::new(id),
+            src: ProcessId::new(src),
+            payload_fp: 0,
+        }
     }
 
     #[test]
@@ -295,14 +317,25 @@ mod tests {
         let mut t: Trace<u32> = Trace::new(3);
         t.push(mk_step(1, 0, Some(1), vec![send(0, 1), send(1, 2)], vec![]));
         t.push(mk_step(2, 1, Some(1), vec![], vec![]));
-        t.push(TraceEvent::Crash { pid: ProcessId::new(2), time: Time::new(3), after_step: false });
+        t.push(TraceEvent::Crash {
+            pid: ProcessId::new(2),
+            time: Time::new(3),
+            after_step: false,
+        });
         let rep = check(
             &t,
-            &AdmissibilityRequirements { correct_decided: false, quiescent: true, bounds: SynchronyBounds::asynchronous() },
+            &AdmissibilityRequirements {
+                correct_decided: false,
+                quiescent: true,
+                bounds: SynchronyBounds::asynchronous(),
+            },
         );
         assert_eq!(
             rep.violations,
-            vec![AdmissibilityViolation::UndeliveredToCorrect { dst: ProcessId::new(1), count: 1 }],
+            vec![AdmissibilityViolation::UndeliveredToCorrect {
+                dst: ProcessId::new(1),
+                count: 1
+            }],
             "undelivered to crashed p3 must be excused"
         );
     }
@@ -318,13 +351,15 @@ mod tests {
         t.push(mk_step(10, 0, None, vec![], vec![]));
         let rep = check(
             &t,
-            &AdmissibilityRequirements::bounds_only(SynchronyBounds { phi: Some(2), delta: None }),
+            &AdmissibilityRequirements::bounds_only(SynchronyBounds {
+                phi: Some(2),
+                delta: None,
+            }),
         );
-        assert!(rep
-            .violations
-            .iter()
-            .any(|v| matches!(v, AdmissibilityViolation::PhiBreached { slow, steps, .. }
-                if *slow == ProcessId::new(0) && *steps == 5)));
+        assert!(rep.violations.iter().any(
+            |v| matches!(v, AdmissibilityViolation::PhiBreached { slow, steps, .. }
+                if *slow == ProcessId::new(0) && *steps == 5)
+        ));
     }
 
     #[test]
@@ -336,7 +371,10 @@ mod tests {
         }
         let rep = check(
             &t,
-            &AdmissibilityRequirements::bounds_only(SynchronyBounds { phi: Some(1), delta: None }),
+            &AdmissibilityRequirements::bounds_only(SynchronyBounds {
+                phi: Some(1),
+                delta: None,
+            }),
         );
         assert!(rep.is_admissible(), "{:?}", rep.violations);
     }
@@ -345,13 +383,20 @@ mod tests {
     fn crashed_process_excused_from_phi() {
         let mut t: Trace<u32> = Trace::new(2);
         t.push(mk_step(1, 0, None, vec![], vec![]));
-        t.push(TraceEvent::Crash { pid: ProcessId::new(0), time: Time::new(1), after_step: true });
+        t.push(TraceEvent::Crash {
+            pid: ProcessId::new(0),
+            time: Time::new(1),
+            after_step: true,
+        });
         for time in 2..20 {
             t.push(mk_step(time, 1, None, vec![], vec![]));
         }
         let rep = check(
             &t,
-            &AdmissibilityRequirements::bounds_only(SynchronyBounds { phi: Some(1), delta: None }),
+            &AdmissibilityRequirements::bounds_only(SynchronyBounds {
+                phi: Some(1),
+                delta: None,
+            }),
         );
         assert!(rep.is_admissible(), "{:?}", rep.violations);
     }
@@ -366,7 +411,10 @@ mod tests {
         t.push(mk_step(10, 1, None, vec![], vec![recv(0, 0)]));
         let rep = check(
             &t,
-            &AdmissibilityRequirements::bounds_only(SynchronyBounds { phi: None, delta: Some(3) }),
+            &AdmissibilityRequirements::bounds_only(SynchronyBounds {
+                phi: None,
+                delta: Some(3),
+            }),
         );
         assert!(matches!(
             rep.violations.first(),
@@ -383,7 +431,10 @@ mod tests {
         }
         let rep = check(
             &t,
-            &AdmissibilityRequirements::bounds_only(SynchronyBounds { phi: None, delta: Some(5) }),
+            &AdmissibilityRequirements::bounds_only(SynchronyBounds {
+                phi: None,
+                delta: Some(5),
+            }),
         );
         assert!(!rep.is_admissible());
     }

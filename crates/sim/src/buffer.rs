@@ -12,10 +12,15 @@
 //! the *model*: schedulers remain free to deliver any subset in any order by
 //! selecting explicit [`MsgId`]s, so the asynchronous model's full
 //! reordering power is preserved.
+//!
+//! Internally the buffer is a dense `Vec` of per-source FIFO queues indexed
+//! by sender id — source ids are always drawn from `0..n`, so the dense
+//! layout replaces the former `BTreeMap<ProcessId, VecDeque>` with direct
+//! indexing on the receive hot path.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use crate::ids::{MsgId, ProcessId};
+use crate::ids::{MsgId, ProcessId, ProcessSet};
 use crate::message::Envelope;
 
 /// The message buffer of one process.
@@ -34,8 +39,8 @@ use crate::message::Envelope;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Buffer<M> {
-    /// Pending messages keyed by source, FIFO within each source.
-    by_src: BTreeMap<ProcessId, VecDeque<Envelope<M>>>,
+    /// Pending messages, indexed by source id, FIFO within each source.
+    by_src: Vec<VecDeque<Envelope<M>>>,
     /// Total number of pending messages.
     len: usize,
 }
@@ -49,7 +54,10 @@ impl<M> Default for Buffer<M> {
 impl<M> Buffer<M> {
     /// Creates an empty buffer.
     pub fn new() -> Self {
-        Buffer { by_src: BTreeMap::new(), len: 0 }
+        Buffer {
+            by_src: Vec::new(),
+            len: 0,
+        }
     }
 
     /// Number of pending messages.
@@ -64,32 +72,38 @@ impl<M> Buffer<M> {
 
     /// Enqueues a message.
     pub fn push(&mut self, env: Envelope<M>) {
-        self.by_src.entry(env.src).or_default().push_back(env);
+        let idx = env.src.index();
+        if idx >= self.by_src.len() {
+            self.by_src.resize_with(idx + 1, VecDeque::new);
+        }
+        self.by_src[idx].push_back(env);
         self.len += 1;
     }
 
     /// Iterates over all pending messages in (source id, send order).
     pub fn iter(&self) -> impl Iterator<Item = &Envelope<M>> {
-        self.by_src.values().flatten()
+        self.by_src.iter().flatten()
     }
 
-    /// The distinct sources with at least one pending message.
-    pub fn sources(&self) -> impl Iterator<Item = ProcessId> + '_ {
+    /// The distinct sources with at least one pending message, ascending.
+    pub fn sources(&self) -> ProcessSet {
         self.by_src
             .iter()
+            .enumerate()
             .filter(|(_, q)| !q.is_empty())
-            .map(|(src, _)| *src)
+            .map(|(i, _)| ProcessId::new(i))
+            .collect()
     }
 
     /// Number of pending messages from `src`.
     pub fn pending_from(&self, src: ProcessId) -> usize {
-        self.by_src.get(&src).map_or(0, VecDeque::len)
+        self.by_src.get(src.index()).map_or(0, VecDeque::len)
     }
 
     /// Removes and returns the oldest `count` messages from `src` (fewer if
     /// fewer are pending), preserving their send order.
     pub fn take_oldest_from(&mut self, src: ProcessId, count: usize) -> Vec<Envelope<M>> {
-        let Some(queue) = self.by_src.get_mut(&src) else {
+        let Some(queue) = self.by_src.get_mut(src.index()) else {
             return Vec::new();
         };
         let take = count.min(queue.len());
@@ -102,7 +116,7 @@ impl<M> Buffer<M> {
     /// order).
     pub fn take_all(&mut self) -> Vec<Envelope<M>> {
         let mut out = Vec::with_capacity(self.len);
-        for queue in self.by_src.values_mut() {
+        for queue in &mut self.by_src {
             out.extend(queue.drain(..));
         }
         self.len = 0;
@@ -111,10 +125,10 @@ impl<M> Buffer<M> {
 
     /// Removes and returns all pending messages whose source is in `allowed`,
     /// ordered by (source, send order). Messages from other sources remain.
-    pub fn take_all_from(&mut self, allowed: &BTreeSet<ProcessId>) -> Vec<Envelope<M>> {
+    pub fn take_all_from(&mut self, allowed: ProcessSet) -> Vec<Envelope<M>> {
         let mut out = Vec::new();
-        for (src, queue) in &mut self.by_src {
-            if allowed.contains(src) {
+        for (i, queue) in self.by_src.iter_mut().enumerate() {
+            if allowed.contains(ProcessId::new(i)) {
                 out.extend(queue.drain(..));
             }
         }
@@ -127,7 +141,7 @@ impl<M> Buffer<M> {
     pub fn take_ids(&mut self, ids: &[MsgId]) -> Vec<Envelope<M>> {
         let wanted: BTreeSet<MsgId> = ids.iter().copied().collect();
         let mut extracted: BTreeMap<MsgId, Envelope<M>> = BTreeMap::new();
-        for queue in self.by_src.values_mut() {
+        for queue in &mut self.by_src {
             let mut kept = VecDeque::with_capacity(queue.len());
             for env in queue.drain(..) {
                 if wanted.contains(&env.id) {
@@ -181,7 +195,10 @@ mod tests {
         b.push(env(1, 1, 11));
         b.push(env(2, 1, 12));
         let first_two = b.take_oldest_from(ProcessId::new(1), 2);
-        assert_eq!(first_two.iter().map(|e| e.payload).collect::<Vec<_>>(), vec![10, 11]);
+        assert_eq!(
+            first_two.iter().map(|e| e.payload).collect::<Vec<_>>(),
+            vec![10, 11]
+        );
         assert_eq!(b.len(), 1);
         let rest = b.take_oldest_from(ProcessId::new(1), 5);
         assert_eq!(rest.len(), 1);
@@ -201,7 +218,10 @@ mod tests {
         b.push(env(1, 1, 11));
         b.push(env(3, 2, 23));
         let all = b.take_all();
-        assert_eq!(all.iter().map(|e| e.payload).collect::<Vec<_>>(), vec![11, 25, 23]);
+        assert_eq!(
+            all.iter().map(|e| e.payload).collect::<Vec<_>>(),
+            vec![11, 25, 23]
+        );
         assert!(b.is_empty());
     }
 
@@ -211,9 +231,12 @@ mod tests {
         b.push(env(0, 1, 10));
         b.push(env(1, 2, 20));
         b.push(env(2, 3, 30));
-        let allowed: BTreeSet<_> = [ProcessId::new(1), ProcessId::new(3)].into();
-        let got = b.take_all_from(&allowed);
-        assert_eq!(got.iter().map(|e| e.payload).collect::<Vec<_>>(), vec![10, 30]);
+        let allowed: ProcessSet = [ProcessId::new(1), ProcessId::new(3)].into();
+        let got = b.take_all_from(allowed);
+        assert_eq!(
+            got.iter().map(|e| e.payload).collect::<Vec<_>>(),
+            vec![10, 30]
+        );
         assert_eq!(b.len(), 1);
         assert_eq!(b.pending_from(ProcessId::new(2)), 1);
     }
@@ -225,7 +248,10 @@ mod tests {
         b.push(env(1, 2, 20));
         b.push(env(2, 1, 12));
         let got = b.take_ids(&[MsgId::new(2), MsgId::new(1)]);
-        assert_eq!(got.iter().map(|e| e.payload).collect::<Vec<_>>(), vec![12, 20]);
+        assert_eq!(
+            got.iter().map(|e| e.payload).collect::<Vec<_>>(),
+            vec![12, 20]
+        );
         assert_eq!(b.len(), 1);
     }
 
@@ -244,7 +270,7 @@ mod tests {
         b.push(env(0, 3, 1));
         b.push(env(1, 1, 2));
         b.push(env(2, 3, 3));
-        let sources: Vec<_> = b.sources().collect();
+        let sources: Vec<_> = b.sources().iter().collect();
         assert_eq!(sources, vec![ProcessId::new(1), ProcessId::new(3)]);
     }
 

@@ -1,5 +1,11 @@
 //! The simulation engine: executes runs of an algorithm under a scheduler.
 //!
+//! Two execution substrates live in the workspace — this step-level
+//! simulator and `kset-core`'s lock-step round executor. Both implement the
+//! [`Engine`] trait (this simulator through [`SimEngine`], which pairs a
+//! [`Simulation`] with a scheduler), so runners, experiment harnesses and
+//! benches can drive either substrate through one API.
+//!
 //! [`Simulation`] holds the full configuration of the paper's model
 //! (Section II): the vector of local states and the per-process message
 //! buffers. Each call to [`Simulation::step`] performs one atomic step of
@@ -147,6 +153,11 @@ where
     /// unfavourable): each process `p_i` starts with `inputs[i]`. The
     /// process still receives `Some(&())` as its sample so that traces of
     /// oracle-less and oracle-backed executions fingerprint identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` exceeds [`crate::ProcessSet::CAPACITY`]
+    /// (the bitset-backed process sets cap the system size at 128).
     pub fn new(inputs: Vec<P::Input>, crash_plan: CrashPlan) -> Self {
         Self::build(inputs, NoOracle, crash_plan)
     }
@@ -160,12 +171,22 @@ where
 {
     /// Creates a simulation in which every step queries the given
     /// failure-detector oracle (dimension 6 favourable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` exceeds [`crate::ProcessSet::CAPACITY`].
     pub fn with_oracle(inputs: Vec<P::Input>, oracle: O, crash_plan: CrashPlan) -> Self {
         Self::build(inputs, oracle, crash_plan)
     }
 
     fn build(inputs: Vec<P::Input>, oracle: O, crash_plan: CrashPlan) -> Self {
         let n = inputs.len();
+        assert!(
+            n <= crate::ids::ProcessSet::CAPACITY,
+            "system size {n} exceeds the ProcessSet capacity of {} \
+             (see the ROADMAP item on wide bitsets)",
+            crate::ids::ProcessSet::CAPACITY
+        );
         let procs: Vec<P> = inputs
             .into_iter()
             .enumerate()
@@ -174,10 +195,14 @@ where
         let mut trace = Trace::new(n);
         let mut statuses = vec![Status::Alive { local_steps: 0 }; n];
         let mut observed = FailurePattern::all_correct(n);
-        for &p in crash_plan.initially_dead_set() {
+        for p in crash_plan.initially_dead_set() {
             statuses[p.index()] = Status::Crashed { at: Time::ZERO };
             observed.record_crash(p, Time::ZERO);
-            trace.push(TraceEvent::Crash { pid: p, time: Time::ZERO, after_step: false });
+            trace.push(TraceEvent::Crash {
+                pid: p,
+                time: Time::ZERO,
+                after_step: false,
+            });
         }
         Simulation {
             n,
@@ -252,7 +277,7 @@ where
     pub fn all_correct_decided(&self) -> bool {
         let faulty = self.crash_plan.faulty();
         ProcessId::all(self.n)
-            .filter(|p| !faulty.contains(p))
+            .filter(|p| !faulty.contains(*p))
             .all(|p| self.decided[p.index()].is_some())
     }
 
@@ -278,7 +303,7 @@ where
             match delivery {
                 Delivery::None => Vec::new(),
                 Delivery::All => buf.take_all(),
-                Delivery::AllFrom(srcs) => buf.take_all_from(&srcs),
+                Delivery::AllFrom(srcs) => buf.take_all_from(srcs),
                 Delivery::OldestPerSource(list) => {
                     let mut out = Vec::new();
                     for (src, count) in list {
@@ -314,7 +339,10 @@ where
                 }
                 Some(existing) if *existing == v => {}
                 Some(_) => {
-                    self.violations.push(Violation::DoubleDecision { pid, time: self.time });
+                    self.violations.push(Violation::DoubleDecision {
+                        pid,
+                        time: self.time,
+                    });
                 }
             }
         }
@@ -337,14 +365,17 @@ where
         for (dst, payload) in sends {
             let id = MsgId::new(self.next_msg_id);
             self.next_msg_id += 1;
-            let dropped = omission
-                .as_ref()
-                .is_some_and(|om| !om.delivers_to(dst));
+            let dropped = omission.as_ref().is_some_and(|om| !om.delivers_to(dst));
             let payload_fp = fingerprint(&payload);
             if !dropped && dst.index() < self.n {
                 self.buffers[dst.index()].push(Envelope::new(id, pid, dst, self.time, payload));
             }
-            sent_records.push(SendRecord { id, dst, payload_fp, dropped });
+            sent_records.push(SendRecord {
+                id,
+                dst,
+                payload_fp,
+                dropped,
+            });
         }
 
         // 7. Record the step (and the crash, if this was the final step).
@@ -354,7 +385,11 @@ where
             local_step: local_steps,
             delivered: delivered
                 .iter()
-                .map(|e| DeliveredRecord { id: e.id, src: e.src, payload_fp: e.payload_fingerprint() })
+                .map(|e| DeliveredRecord {
+                    id: e.id,
+                    src: e.src,
+                    payload_fp: e.payload_fingerprint(),
+                })
                 .collect(),
             fd_fp,
             state_fp: fingerprint(&self.procs[pid.index()]),
@@ -364,57 +399,63 @@ where
         if omission.is_some() {
             self.statuses[pid.index()] = Status::Crashed { at: self.time };
             self.observed.record_crash(pid, self.time);
-            self.trace.push(TraceEvent::Crash { pid, time: self.time, after_step: true });
+            self.trace.push(TraceEvent::Crash {
+                pid,
+                time: self.time,
+                after_step: true,
+            });
         }
         Ok(())
     }
 
     /// Runs under `scheduler` until every correct process decided, the
     /// scheduler stops, or `max_steps` further steps were taken.
+    ///
+    /// The termination policy is [`Engine::drive`]'s — this borrows `self`
+    /// and the scheduler into a transient engine, so the loop exists in
+    /// exactly one place.
     pub fn run<S>(&mut self, scheduler: &mut S, max_steps: u64) -> RunStatus
     where
         S: Scheduler<P::Msg> + ?Sized,
     {
-        let mut steps = 0;
-        loop {
-            if self.all_correct_decided() {
-                return RunStatus { steps, stop: StopReason::AllCorrectDecided };
-            }
-            if steps >= max_steps {
-                return RunStatus { steps, stop: StopReason::StepLimit };
-            }
-            let choice = {
-                let view = SimView {
-                    n: self.n,
-                    time: self.time,
-                    statuses: &self.statuses,
-                    decided: &self.decided_flags,
-                    buffers: &self.buffers,
-                };
-                scheduler.next(&view)
+        let mut engine = BorrowedSimEngine {
+            sim: self,
+            sched: scheduler,
+            units: 0,
+        };
+        engine.drive(max_steps)
+    }
+
+    /// One scheduler-driven unit: ask `scheduler` for a choice and apply it.
+    /// Returns `false` when the scheduler has no further moves. A scheduler
+    /// picking a crashed process still consumes the unit (adversaries built
+    /// from plans may race with plan-driven crashes; they get to observe the
+    /// new state on the next call).
+    fn step_once<S>(&mut self, scheduler: &mut S) -> bool
+    where
+        S: Scheduler<P::Msg> + ?Sized,
+    {
+        let choice = {
+            let view = SimView {
+                n: self.n,
+                time: self.time,
+                statuses: &self.statuses,
+                decided: &self.decided_flags,
+                buffers: &self.buffers,
             };
-            let Some(Choice { pid, delivery }) = choice else {
-                return RunStatus { steps, stop: StopReason::SchedulerDone };
-            };
-            // A scheduler picking a crashed process is a scheduler bug in
-            // tests, but adversaries constructed from plans may race with
-            // plan-driven crashes; skip such picks gracefully.
-            if self.step(pid, delivery).is_ok() {
-                steps += 1;
-            } else {
-                // Give the scheduler one chance to observe the new state;
-                // if it keeps choosing dead processes we will hit max_steps
-                // via its None or loop guard below.
-                steps += 1;
-            }
-        }
+            scheduler.next(&view)
+        };
+        let Some(Choice { pid, delivery }) = choice else {
+            return false;
+        };
+        let _ = self.step(pid, delivery);
+        true
     }
 
     /// Produces the report of the run so far (cloning the trace).
     pub fn report(&self, stop: StopReason) -> RunReport<P::Output> {
         let decisions = self.decided.clone();
-        let distinct_decisions: BTreeSet<P::Output> =
-            decisions.iter().flatten().cloned().collect();
+        let distinct_decisions: BTreeSet<P::Output> = decisions.iter().flatten().cloned().collect();
         RunReport {
             decisions,
             distinct_decisions,
@@ -480,6 +521,234 @@ where
             trace: self.trace.clone(),
             total_steps: self.total_steps,
         }
+    }
+}
+
+/// One execution substrate: something that advances a distributed
+/// computation unit by unit and reports decisions.
+///
+/// The workspace has two substrates — the step-level [`Simulation`] (driven
+/// through [`SimEngine`], which pairs it with a scheduler) and the lock-step
+/// round executor of `kset-core::sync` (its `LockStep` newtype). Runners,
+/// the experiment harness and the benches are written against this trait so
+/// either substrate plugs in.
+///
+/// A *unit* is the substrate's natural quantum: one process step for the
+/// simulator, one full round for the lock-step executor.
+pub trait Engine {
+    /// The decision value type.
+    type Output: Clone + Ord;
+
+    /// System size `n`.
+    fn n(&self) -> usize;
+
+    /// Executes one unit of work. Returns `false` when the substrate has no
+    /// further moves (scheduler exhausted / all rounds executed).
+    fn advance(&mut self) -> bool;
+
+    /// Whether the substrate reached its goal: every correct process
+    /// decided (plus, for the lock-step executor, every scheduled round
+    /// executed). [`Engine::drive`] maps this to
+    /// [`StopReason::AllCorrectDecided`].
+    fn done(&self) -> bool;
+
+    /// Units executed over the engine's lifetime.
+    fn units(&self) -> u64;
+
+    /// Snapshot of the per-process decisions.
+    fn decisions(&self) -> Vec<Option<Self::Output>>;
+
+    /// The distinct decision values so far — the quantity k-Agreement
+    /// bounds.
+    fn distinct_decisions(&self) -> BTreeSet<Self::Output> {
+        self.decisions().into_iter().flatten().collect()
+    }
+
+    /// Drives the engine until [`Engine::done`], the substrate runs out of
+    /// moves, or `max_units` further units were executed.
+    fn drive(&mut self, max_units: u64) -> RunStatus {
+        let mut steps = 0;
+        loop {
+            if self.done() {
+                return RunStatus {
+                    steps,
+                    stop: StopReason::AllCorrectDecided,
+                };
+            }
+            if steps >= max_units {
+                return RunStatus {
+                    steps,
+                    stop: StopReason::StepLimit,
+                };
+            }
+            if !self.advance() {
+                return RunStatus {
+                    steps,
+                    stop: StopReason::SchedulerDone,
+                };
+            }
+            steps += 1;
+        }
+    }
+}
+
+/// Transient [`Engine`] over a *borrowed* simulation and scheduler — the
+/// engine form of [`Simulation::run`], so the termination policy of
+/// [`Engine::drive`] is the only run loop in the crate.
+struct BorrowedSimEngine<'a, P, O, S>
+where
+    P: Process,
+    O: Oracle<Sample = P::Fd>,
+    S: Scheduler<P::Msg> + ?Sized,
+{
+    sim: &'a mut Simulation<P, O>,
+    sched: &'a mut S,
+    units: u64,
+}
+
+impl<P, O, S> Engine for BorrowedSimEngine<'_, P, O, S>
+where
+    P: Process,
+    O: Oracle<Sample = P::Fd>,
+    P::Fd: std::hash::Hash,
+    S: Scheduler<P::Msg> + ?Sized,
+{
+    type Output = P::Output;
+
+    fn n(&self) -> usize {
+        self.sim.n()
+    }
+
+    fn advance(&mut self) -> bool {
+        let progressed = self.sim.step_once(self.sched);
+        if progressed {
+            self.units += 1;
+        }
+        progressed
+    }
+
+    fn done(&self) -> bool {
+        self.sim.all_correct_decided()
+    }
+
+    fn units(&self) -> u64 {
+        self.units
+    }
+
+    fn decisions(&self) -> Vec<Option<P::Output>> {
+        self.sim.decisions().to_vec()
+    }
+}
+
+/// The step-level substrate behind the [`Engine`] trait: a [`Simulation`]
+/// paired with the scheduler that drives it.
+///
+/// # Examples
+///
+/// ```
+/// use kset_sim::sched::round_robin::RoundRobin;
+/// # use kset_sim::{CrashPlan, Effects, Envelope, Process, ProcessInfo};
+/// use kset_sim::{Engine, SimEngine, Simulation, StopReason};
+/// # #[derive(Debug, Clone, Hash)]
+/// # struct Echo(u32, bool);
+/// # impl Process for Echo {
+/// #     type Msg = u32;
+/// #     type Input = u32;
+/// #     type Output = u32;
+/// #     type Fd = ();
+/// #     fn init(_info: ProcessInfo, input: u32) -> Self { Echo(input, false) }
+/// #     fn step(&mut self, _d: &[Envelope<u32>], _fd: Option<&()>, e: &mut Effects<u32, u32>) {
+/// #         e.decide(self.0);
+/// #     }
+/// # }
+///
+/// let sim: Simulation<Echo, _> = Simulation::new(vec![7, 7], CrashPlan::none());
+/// let mut engine = SimEngine::new(sim, RoundRobin::new());
+/// let status = engine.drive(100);
+/// assert_eq!(status.stop, StopReason::AllCorrectDecided);
+/// assert_eq!(engine.distinct_decisions().len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct SimEngine<P, O, S>
+where
+    P: Process,
+    O: Oracle<Sample = P::Fd>,
+{
+    sim: Simulation<P, O>,
+    sched: S,
+    units: u64,
+}
+
+impl<P, O, S> SimEngine<P, O, S>
+where
+    P: Process,
+    O: Oracle<Sample = P::Fd>,
+    P::Fd: std::hash::Hash,
+    S: Scheduler<P::Msg>,
+{
+    /// Pairs a simulation with its scheduler.
+    pub fn new(sim: Simulation<P, O>, sched: S) -> Self {
+        SimEngine {
+            sim,
+            sched,
+            units: 0,
+        }
+    }
+
+    /// Read access to the wrapped simulation.
+    pub fn simulation(&self) -> &Simulation<P, O> {
+        &self.sim
+    }
+
+    /// Unwraps the engine back into the simulation.
+    pub fn into_simulation(self) -> Simulation<P, O> {
+        self.sim
+    }
+
+    /// The full run report of the wrapped simulation (trace included).
+    pub fn report(&self, stop: StopReason) -> RunReport<P::Output> {
+        self.sim.report(stop)
+    }
+
+    /// Drives to completion and returns the report — the [`Engine`]
+    /// counterpart of [`Simulation::run_to_report`].
+    pub fn drive_to_report(&mut self, max_units: u64) -> RunReport<P::Output> {
+        let status = self.drive(max_units);
+        self.report(status.stop)
+    }
+}
+
+impl<P, O, S> Engine for SimEngine<P, O, S>
+where
+    P: Process,
+    O: Oracle<Sample = P::Fd>,
+    P::Fd: std::hash::Hash,
+    S: Scheduler<P::Msg>,
+{
+    type Output = P::Output;
+
+    fn n(&self) -> usize {
+        self.sim.n()
+    }
+
+    fn advance(&mut self) -> bool {
+        let progressed = self.sim.step_once(&mut self.sched);
+        if progressed {
+            self.units += 1;
+        }
+        progressed
+    }
+
+    fn done(&self) -> bool {
+        self.sim.all_correct_decided()
+    }
+
+    fn units(&self) -> u64 {
+        self.units
+    }
+
+    fn decisions(&self) -> Vec<Option<P::Output>> {
+        self.sim.decisions().to_vec()
     }
 }
 
@@ -579,7 +848,11 @@ mod tests {
         assert!(!sim.is_alive(ProcessId::new(0)));
         // Nothing of p1's broadcast reached any buffer.
         for p in ProcessId::all(3) {
-            assert_eq!(sim.buffer(p).len(), 0, "dropped broadcast must not be buffered");
+            assert_eq!(
+                sim.buffer(p).len(),
+                0,
+                "dropped broadcast must not be buffered"
+            );
         }
         let fp = sim.failure_pattern();
         assert_eq!(fp.crash_time(ProcessId::new(0)), Some(Time::new(1)));
@@ -594,6 +867,24 @@ mod tests {
         sim.step(ProcessId::new(0), Delivery::None).unwrap();
         assert_eq!(sim.buffer(ProcessId::new(1)).len(), 1);
         assert_eq!(sim.buffer(ProcessId::new(2)).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the ProcessSet capacity")]
+    fn oversized_system_rejected_at_construction() {
+        // The 128-process cap must fail fast at the system boundary, not
+        // deep inside a set operation mid-run.
+        let _: Simulation<MinEcho, NoOracle> = Simulation::new(
+            vec![0; crate::ids::ProcessSet::CAPACITY + 1],
+            CrashPlan::none(),
+        );
+    }
+
+    #[test]
+    fn capacity_sized_system_is_accepted() {
+        let sim: Simulation<MinEcho, NoOracle> =
+            Simulation::new(vec![0; crate::ids::ProcessSet::CAPACITY], CrashPlan::none());
+        assert_eq!(sim.n(), crate::ids::ProcessSet::CAPACITY);
     }
 
     #[test]
@@ -651,8 +942,7 @@ mod tests {
 
     #[test]
     fn double_decision_is_recorded_not_fatal() {
-        let mut sim: Simulation<FlipFlop, NoOracle> =
-            Simulation::new(vec![()], CrashPlan::none());
+        let mut sim: Simulation<FlipFlop, NoOracle> = Simulation::new(vec![()], CrashPlan::none());
         sim.step(ProcessId::new(0), Delivery::None).unwrap();
         sim.step(ProcessId::new(0), Delivery::None).unwrap();
         sim.step(ProcessId::new(0), Delivery::None).unwrap();
@@ -668,19 +958,19 @@ mod tests {
 
     #[test]
     fn config_fingerprint_tracks_configuration() {
-        let mut a: Simulation<MinEcho, NoOracle> =
-            Simulation::new(vec![1, 2], CrashPlan::none());
-        let b: Simulation<MinEcho, NoOracle> =
-            Simulation::new(vec![1, 2], CrashPlan::none());
-        assert_eq!(a.config_fingerprint(), b.config_fingerprint(), "equal initials");
+        let mut a: Simulation<MinEcho, NoOracle> = Simulation::new(vec![1, 2], CrashPlan::none());
+        let b: Simulation<MinEcho, NoOracle> = Simulation::new(vec![1, 2], CrashPlan::none());
+        assert_eq!(
+            a.config_fingerprint(),
+            b.config_fingerprint(),
+            "equal initials"
+        );
         a.step(ProcessId::new(0), Delivery::None).unwrap();
         assert_ne!(a.config_fingerprint(), b.config_fingerprint(), "diverged");
         // Order-insensitive confluence: stepping p1 then p2 with no
         // deliveries equals stepping p2 then p1 (states and buffers agree).
-        let mut x: Simulation<MinEcho, NoOracle> =
-            Simulation::new(vec![1, 2], CrashPlan::none());
-        let mut y: Simulation<MinEcho, NoOracle> =
-            Simulation::new(vec![1, 2], CrashPlan::none());
+        let mut x: Simulation<MinEcho, NoOracle> = Simulation::new(vec![1, 2], CrashPlan::none());
+        let mut y: Simulation<MinEcho, NoOracle> = Simulation::new(vec![1, 2], CrashPlan::none());
         x.step(ProcessId::new(0), Delivery::None).unwrap();
         x.step(ProcessId::new(1), Delivery::None).unwrap();
         y.step(ProcessId::new(1), Delivery::None).unwrap();
@@ -702,8 +992,47 @@ mod tests {
     }
 
     #[test]
+    fn sim_engine_matches_direct_run() {
+        // The Engine-driven execution must be step-for-step identical to
+        // Simulation::run under the same scheduler.
+        let mut direct: Simulation<MinEcho, NoOracle> =
+            Simulation::new(vec![5, 3, 9], CrashPlan::none());
+        let status = direct.run(&mut crate::sched::round_robin::RoundRobin::new(), 10_000);
+
+        let sim: Simulation<MinEcho, NoOracle> = Simulation::new(vec![5, 3, 9], CrashPlan::none());
+        let mut engine = SimEngine::new(sim, crate::sched::round_robin::RoundRobin::new());
+        let engine_status = engine.drive(10_000);
+
+        assert_eq!(status, engine_status);
+        assert_eq!(engine.units(), status.steps);
+        assert_eq!(Engine::n(&engine), 3);
+        assert!(engine.done());
+        assert_eq!(engine.decisions(), direct.decisions().to_vec());
+        assert_eq!(engine.distinct_decisions().len(), 1);
+        let report = engine.report(engine_status.stop);
+        assert_eq!(report.decisions, direct.report(status.stop).decisions);
+        assert_eq!(
+            engine.into_simulation().config_fingerprint(),
+            direct.config_fingerprint()
+        );
+    }
+
+    #[test]
+    fn sim_engine_reports_scheduler_exhaustion() {
+        let sim: Simulation<MinEcho, NoOracle> = Simulation::new(vec![1, 2], CrashPlan::none());
+        // A scheduler with no moves at all.
+        let empty = |_: &SimView<'_, u64>| -> Option<Choice> { None };
+        let mut engine = SimEngine::new(sim, empty);
+        let status = engine.drive(100);
+        assert_eq!(status.stop, StopReason::SchedulerDone);
+        assert_eq!(status.steps, 0);
+        assert!(!engine.done());
+    }
+
+    #[test]
     fn delivery_variants_consume_expected_messages() {
-        let mut sim: Simulation<MinEcho, NoOracle> = Simulation::new(vec![1, 2, 3], CrashPlan::none());
+        let mut sim: Simulation<MinEcho, NoOracle> =
+            Simulation::new(vec![1, 2, 3], CrashPlan::none());
         // Everyone broadcasts in their first step.
         for p in ProcessId::all(3) {
             sim.step(p, Delivery::None).unwrap();

@@ -23,13 +23,13 @@
 //! enumerates per-source delivery subsets — the full asynchronous
 //! adversary for algorithms insensitive to intra-source batching.
 
-use std::collections::BTreeSet;
+use std::collections::HashSet;
 
 use crate::engine::Simulation;
+use crate::ids::{ProcessId, ProcessSet};
 use crate::oracle::Oracle;
 use crate::process::Process;
 use crate::sched::{Choice, Delivery};
-use crate::ids::ProcessId;
 
 /// How to branch on message delivery at each step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,7 +54,11 @@ pub struct ExploreConfig {
 
 impl Default for ExploreConfig {
     fn default() -> Self {
-        ExploreConfig { max_depth: 24, max_states: 200_000, branching: Branching::NoneOrAll }
+        ExploreConfig {
+            max_depth: 24,
+            max_states: 200_000,
+            branching: Branching::NoneOrAll,
+        }
     }
 }
 
@@ -108,7 +112,9 @@ where
     P::Fd: std::hash::Hash,
     O: Oracle<Sample = P::Fd> + Clone,
 {
-    let mut seen: BTreeSet<u64> = BTreeSet::new();
+    // Fingerprint dedup set: u64 fingerprints are already well-mixed, so a
+    // hash set gives O(1) membership on this hot path.
+    let mut seen: HashSet<u64> = HashSet::new();
     let mut report = ExploreReport {
         states_expanded: 0,
         terminals: 0,
@@ -119,7 +125,10 @@ where
     let mut stack: Vec<(Simulation<P, O>, Vec<Choice>)> = vec![(sim.clone(), Vec::new())];
     seen.insert(sim.config_fingerprint());
     if let Err(reason) = check(sim) {
-        report.violation = Some(ViolationPath { reason, path: Vec::new() });
+        report.violation = Some(ViolationPath {
+            reason,
+            path: Vec::new(),
+        });
         return report;
     }
 
@@ -154,7 +163,10 @@ where
                 if let Err(reason) = check(&child) {
                     let mut vpath = path.clone();
                     vpath.push(Choice { pid, delivery });
-                    report.violation = Some(ViolationPath { reason, path: vpath });
+                    report.violation = Some(ViolationPath {
+                        reason,
+                        path: vpath,
+                    });
                     return report;
                 }
                 let mut child_path = path.clone();
@@ -187,20 +199,16 @@ where
     match branching {
         Branching::NoneOrAll => vec![Delivery::None, Delivery::All],
         Branching::PerSource => {
-            let sources: Vec<ProcessId> = buffer.sources().collect();
+            // Enumerate every subset of the pending sources directly on the
+            // bitset: the classic sub = (sub - 1) & mask walk.
+            let sources = buffer.sources();
+            let bits = sources.bits();
             let mut menu = Vec::with_capacity(1 << sources.len());
-            for mask in 0u32..(1 << sources.len()) {
-                if mask == 0 {
-                    menu.push(Delivery::None);
-                } else {
-                    let chosen: BTreeSet<ProcessId> = sources
-                        .iter()
-                        .enumerate()
-                        .filter(|(i, _)| mask & (1 << i) != 0)
-                        .map(|(_, s)| *s)
-                        .collect();
-                    menu.push(Delivery::AllFrom(chosen));
-                }
+            menu.push(Delivery::None);
+            let mut sub = bits;
+            while sub != 0 {
+                menu.push(Delivery::AllFrom(ProcessSet::from_bits(sub)));
+                sub = (sub - 1) & bits;
             }
             menu
         }
@@ -211,10 +219,11 @@ where
 mod tests {
     use super::*;
     use crate::failure::CrashPlan;
-    use crate::process::{Effects, ProcessInfo};
     use crate::message::Envelope;
+    use crate::process::{Effects, ProcessInfo};
     use crate::sched::scripted::Scripted;
     use crate::trace::ScheduleEntry;
+    use std::collections::BTreeSet;
 
     /// Echo-min: broadcast input once; decide the minimum heard after
     /// receiving from everyone (n-process barrier). Safe: consensus on min.
@@ -277,7 +286,10 @@ mod tests {
         type Fd = ();
 
         fn init(_info: ProcessInfo, input: u64) -> Self {
-            RacyDecide { value: input, stepped: false }
+            RacyDecide {
+                value: input,
+                stepped: false,
+            }
         }
 
         fn step(
@@ -301,9 +313,12 @@ mod tests {
 
     #[test]
     fn exhaustive_consensus_verification() {
-        let sim: Simulation<BarrierMin, _> =
-            Simulation::new(vec![5, 2, 9], CrashPlan::none());
-        let config = ExploreConfig { max_depth: 16, max_states: 500_000, branching: Branching::NoneOrAll };
+        let sim: Simulation<BarrierMin, _> = Simulation::new(vec![5, 2, 9], CrashPlan::none());
+        let config = ExploreConfig {
+            max_depth: 16,
+            max_states: 500_000,
+            branching: Branching::NoneOrAll,
+        };
         let report = explore(&sim, &config, |s| {
             let decided: BTreeSet<u64> = s.decisions().iter().flatten().copied().collect();
             if decided.len() > 1 {
@@ -314,14 +329,18 @@ mod tests {
             }
             Ok(())
         });
-        assert!(report.verified(), "truncated={} violation={:?}", report.truncated, report.violation);
+        assert!(
+            report.verified(),
+            "truncated={} violation={:?}",
+            report.truncated,
+            report.violation
+        );
         assert!(report.terminals > 0);
     }
 
     #[test]
     fn violation_search_finds_the_racy_schedule() {
-        let sim: Simulation<RacyDecide, _> =
-            Simulation::new(vec![1, 2], CrashPlan::none());
+        let sim: Simulation<RacyDecide, _> = Simulation::new(vec![1, 2], CrashPlan::none());
         let config = ExploreConfig::default();
         let report = explore(&sim, &config, |s| {
             let decided: BTreeSet<u64> = s.decisions().iter().flatten().copied().collect();
@@ -339,11 +358,16 @@ mod tests {
         let entries: Vec<ScheduleEntry> = Vec::new();
         let _ = entries; // path replay is via explicit steps:
         for choice in &violation.path {
-            replay_sim.step(choice.pid, choice.delivery.clone()).unwrap();
+            replay_sim
+                .step(choice.pid, choice.delivery.clone())
+                .unwrap();
         }
-        let decided: BTreeSet<u64> =
-            replay_sim.decisions().iter().flatten().copied().collect();
-        assert_eq!(decided.len(), 2, "replayed schedule reproduces the violation");
+        let decided: BTreeSet<u64> = replay_sim.decisions().iter().flatten().copied().collect();
+        assert_eq!(
+            decided.len(),
+            2,
+            "replayed schedule reproduces the violation"
+        );
         let _ = Scripted::new(vec![]); // keep the import honest
     }
 
@@ -351,9 +375,12 @@ mod tests {
     fn dedup_collapses_confluent_schedules() {
         // Two processes that never communicate: the diamond (p1 then p2 vs
         // p2 then p1) must collapse via fingerprint dedup.
-        let sim: Simulation<RacyDecide, _> =
-            Simulation::new(vec![1, 2], CrashPlan::none());
-        let config = ExploreConfig { max_depth: 4, max_states: 10_000, branching: Branching::NoneOrAll };
+        let sim: Simulation<RacyDecide, _> = Simulation::new(vec![1, 2], CrashPlan::none());
+        let config = ExploreConfig {
+            max_depth: 4,
+            max_states: 10_000,
+            branching: Branching::NoneOrAll,
+        };
         let mut visits = 0usize;
         let _ = explore(&sim, &config, |_| {
             visits += 1;
@@ -366,8 +393,7 @@ mod tests {
 
     #[test]
     fn per_source_branching_enumerates_subsets() {
-        let mut sim: Simulation<BarrierMin, _> =
-            Simulation::new(vec![5, 2, 9], CrashPlan::none());
+        let mut sim: Simulation<BarrierMin, _> = Simulation::new(vec![5, 2, 9], CrashPlan::none());
         // Everyone broadcasts.
         for p in ProcessId::all(3) {
             sim.step(p, Delivery::None).unwrap();
@@ -389,9 +415,12 @@ mod tests {
 
     #[test]
     fn state_budget_truncates() {
-        let sim: Simulation<BarrierMin, _> =
-            Simulation::new(vec![1, 2, 3, 4], CrashPlan::none());
-        let config = ExploreConfig { max_depth: 64, max_states: 5, branching: Branching::NoneOrAll };
+        let sim: Simulation<BarrierMin, _> = Simulation::new(vec![1, 2, 3, 4], CrashPlan::none());
+        let config = ExploreConfig {
+            max_depth: 64,
+            max_states: 5,
+            branching: Branching::NoneOrAll,
+        };
         let report = explore(&sim, &config, |_| Ok(()));
         assert!(report.truncated);
         assert!(!report.verified());

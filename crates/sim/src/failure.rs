@@ -14,12 +14,9 @@
 //!   produced run, extracted from its trace and consumed by failure-detector
 //!   history checkers.
 
-use std::collections::BTreeSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
-use crate::ids::{ProcessId, Time};
+use crate::ids::{ProcessId, ProcessSet, Time};
 
 /// Which of a crashing process's final-step sends are dropped.
 ///
@@ -35,9 +32,9 @@ pub enum Omission {
     /// No send of the final step reaches any buffer.
     All,
     /// Sends to the listed destinations are dropped; others are delivered.
-    DropTo(BTreeSet<ProcessId>),
+    DropTo(ProcessSet),
     /// Only sends to the listed destinations are delivered; others dropped.
-    KeepOnlyTo(BTreeSet<ProcessId>),
+    KeepOnlyTo(ProcessSet),
 }
 
 impl Omission {
@@ -46,8 +43,8 @@ impl Omission {
         match self {
             Omission::None => true,
             Omission::All => false,
-            Omission::DropTo(set) => !set.contains(&dst),
-            Omission::KeepOnlyTo(set) => set.contains(&dst),
+            Omission::DropTo(set) => !set.contains(dst),
+            Omission::KeepOnlyTo(set) => set.contains(dst),
         }
     }
 }
@@ -62,7 +59,7 @@ impl Omission {
 /// of them; Section VI studies the initially-dead-only case).
 #[derive(Debug, Clone, Default)]
 pub struct CrashPlan {
-    initially_dead: BTreeSet<ProcessId>,
+    initially_dead: ProcessSet,
     scheduled: Vec<(ProcessId, u64, Omission)>,
 }
 
@@ -74,7 +71,10 @@ impl CrashPlan {
 
     /// A plan where exactly the listed processes are dead from the start.
     pub fn initially_dead(dead: impl IntoIterator<Item = ProcessId>) -> Self {
-        CrashPlan { initially_dead: dead.into_iter().collect(), scheduled: Vec::new() }
+        CrashPlan {
+            initially_dead: dead.into_iter().collect(),
+            scheduled: Vec::new(),
+        }
     }
 
     /// Adds an initially-dead process. Returns `self` for chaining.
@@ -100,12 +100,12 @@ impl CrashPlan {
 
     /// Whether `p` is dead from the start.
     pub fn is_initially_dead(&self, p: ProcessId) -> bool {
-        self.initially_dead.contains(&p)
+        self.initially_dead.contains(p)
     }
 
     /// The set of initially-dead processes.
-    pub fn initially_dead_set(&self) -> &BTreeSet<ProcessId> {
-        &self.initially_dead
+    pub fn initially_dead_set(&self) -> ProcessSet {
+        self.initially_dead
     }
 
     /// The scheduled (process, local step count, omission) crash triples.
@@ -123,8 +123,8 @@ impl CrashPlan {
 
     /// The set of processes that are faulty under this plan (initially dead
     /// or scheduled to crash).
-    pub fn faulty(&self) -> BTreeSet<ProcessId> {
-        let mut f = self.initially_dead.clone();
+    pub fn faulty(&self) -> ProcessSet {
+        let mut f = self.initially_dead;
         f.extend(self.scheduled.iter().map(|(p, _, _)| *p));
         f
     }
@@ -140,7 +140,7 @@ impl CrashPlan {
 ///
 /// `p ∈ F(t)` iff `p` takes no step at any time `> t`; for initially-dead
 /// processes the crash time is `Time::ZERO`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FailurePattern {
     crash_times: Vec<Option<Time>>,
 }
@@ -148,7 +148,9 @@ pub struct FailurePattern {
 impl FailurePattern {
     /// A pattern over `n` processes with no failures.
     pub fn all_correct(n: usize) -> Self {
-        FailurePattern { crash_times: vec![None; n] }
+        FailurePattern {
+            crash_times: vec![None; n],
+        }
     }
 
     /// Builds a pattern from explicit per-process crash times.
@@ -176,7 +178,7 @@ impl FailurePattern {
     }
 
     /// `F(t)`: the set of processes crashed at or before `t`.
-    pub fn crashed_at(&self, t: Time) -> BTreeSet<ProcessId> {
+    pub fn crashed_at(&self, t: Time) -> ProcessSet {
         self.crash_times
             .iter()
             .enumerate()
@@ -193,7 +195,7 @@ impl FailurePattern {
     }
 
     /// `F = ⋃_t F(t)`: all faulty processes.
-    pub fn faulty(&self) -> BTreeSet<ProcessId> {
+    pub fn faulty(&self) -> ProcessSet {
         self.crash_times
             .iter()
             .enumerate()
@@ -202,11 +204,12 @@ impl FailurePattern {
     }
 
     /// `Π \ F`: the correct processes.
-    pub fn correct(&self) -> BTreeSet<ProcessId> {
+    pub fn correct(&self) -> ProcessSet {
         self.crash_times
             .iter()
             .enumerate()
-            .filter(|&(_i, ct)| ct.is_none()).map(|(i, _ct)| ProcessId::new(i))
+            .filter(|&(_i, ct)| ct.is_none())
+            .map(|(i, _ct)| ProcessId::new(i))
             .collect()
     }
 
@@ -244,12 +247,18 @@ impl FailurePattern {
     /// `keep` are reported as correct (their failures are erased). Used when
     /// pasting runs to take `F ∩ D`.
     #[must_use]
-    pub fn projected_to(&self, keep: &BTreeSet<ProcessId>) -> FailurePattern {
+    pub fn projected_to(&self, keep: ProcessSet) -> FailurePattern {
         let crash_times = self
             .crash_times
             .iter()
             .enumerate()
-            .map(|(i, ct)| if keep.contains(&ProcessId::new(i)) { *ct } else { None })
+            .map(|(i, ct)| {
+                if keep.contains(ProcessId::new(i)) {
+                    *ct
+                } else {
+                    None
+                }
+            })
             .collect();
         FailurePattern { crash_times }
     }
@@ -294,8 +303,7 @@ mod tests {
 
     #[test]
     fn crash_plan_faulty_union() {
-        let plan = CrashPlan::initially_dead([p(0)])
-            .with_crash_after(p(2), 5, Omission::All);
+        let plan = CrashPlan::initially_dead([p(0)]).with_crash_after(p(2), 5, Omission::All);
         assert!(plan.is_initially_dead(p(0)));
         assert!(!plan.is_initially_dead(p(2)));
         assert_eq!(plan.faulty(), [p(0), p(2)].into());
@@ -350,7 +358,7 @@ mod tests {
         let mut fp = FailurePattern::all_correct(3);
         fp.record_crash(p(0), Time::new(1));
         fp.record_crash(p(2), Time::new(2));
-        let proj = fp.projected_to(&[p(0), p(1)].into());
+        let proj = fp.projected_to([p(0), p(1)].into());
         assert_eq!(proj.faulty(), [p(0)].into());
     }
 

@@ -1,5 +1,6 @@
-//! Core identifier newtypes: process identifiers, message identifiers, and
-//! the global logical clock.
+//! Core identifier newtypes and compact per-process containers: process
+//! identifiers, message identifiers, the global logical clock, the
+//! [`ProcessSet`] bitset, and the [`SenderMap`] dense map.
 //!
 //! The paper (Section II) considers a system `Π = {p1, …, pn}` of `n`
 //! processes with unique ids `{1, …, n}`, and defines *time* as the index of
@@ -9,10 +10,17 @@
 //!
 //! Internally we use 0-based indices for processes; [`ProcessId::display_id`]
 //! recovers the paper's 1-based numbering.
+//!
+//! Every set of processes in the workspace — partition blocks, quorum and
+//! leader samples, faulty/correct sets, delivery filters — is a
+//! [`ProcessSet`]: a fixed-capacity bitset over [`ProcessId`] whose set
+//! algebra is single-instruction `u128` arithmetic. Per-sender round state
+//! (synchronous-round inboxes, stage-2 info tables, promise ledgers) uses
+//! [`SenderMap`], a dense `Vec<Option<M>>` keyed by sender index.
 
 use std::fmt;
-
-use serde::{Deserialize, Serialize};
+use std::hash::{Hash, Hasher};
+use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, Sub, SubAssign};
 
 /// Identifier of a process in the system `Π = {p1, …, pn}`.
 ///
@@ -29,7 +37,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(p.display_id(), 1);
 /// assert_eq!(p.to_string(), "p1");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProcessId(usize);
 
 impl ProcessId {
@@ -80,7 +88,7 @@ impl From<usize> for ProcessId {
 /// Every send produces a fresh `MsgId`; identifiers are assigned in send
 /// order by the simulation engine and are therefore deterministic for a
 /// deterministic schedule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MsgId(u64);
 
 impl MsgId {
@@ -115,9 +123,7 @@ impl fmt::Display for MsgId {
 /// assert_eq!(t.next(), Time::new(1));
 /// assert!(t < t.next());
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Time(u64);
 
 impl Time {
@@ -159,6 +165,471 @@ impl From<u64> for Time {
     }
 }
 
+/// A set of processes, stored as a fixed-capacity bitset.
+///
+/// Bit `i` is set iff `ProcessId::new(i)` is a member. All set algebra —
+/// union, intersection, difference, subset and disjointness tests — is
+/// constant-time `u128` arithmetic, and the type is `Copy`, which is what
+/// makes it viable in the simulator's hot paths (buffer delivery filters,
+/// failure patterns, explorer state, failure-detector samples).
+///
+/// Capacity is [`ProcessSet::CAPACITY`] processes; inserting a larger id
+/// panics. Systems beyond that need the planned SIMD/wide variant (see the
+/// ROADMAP).
+///
+/// Iteration yields members in ascending id order, matching the ordering
+/// the previous `BTreeSet<ProcessId>` representation guaranteed.
+///
+/// # Examples
+///
+/// ```
+/// use kset_sim::{ProcessId, ProcessSet};
+///
+/// let mut s: ProcessSet = [ProcessId::new(0), ProcessId::new(2)].into();
+/// assert!(s.contains(ProcessId::new(2)));
+/// s.insert(ProcessId::new(1));
+/// assert_eq!(s.len(), 3);
+/// let t = ProcessSet::full(2);
+/// assert_eq!((s & t).len(), 2);
+/// assert_eq!(s.to_string(), "{p1, p2, p3}");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcessSet {
+    bits: u128,
+}
+
+impl ProcessSet {
+    /// The maximum system size representable.
+    pub const CAPACITY: usize = 128;
+
+    /// The empty set.
+    pub const EMPTY: ProcessSet = ProcessSet { bits: 0 };
+
+    /// Creates an empty set.
+    pub const fn new() -> Self {
+        Self::EMPTY
+    }
+
+    /// The singleton `{p}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p.index() >= CAPACITY`.
+    pub fn singleton(p: ProcessId) -> Self {
+        let mut s = Self::EMPTY;
+        s.insert(p);
+        s
+    }
+
+    /// The full system `Π = {p1, …, pn}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > CAPACITY`.
+    pub fn full(n: usize) -> Self {
+        assert!(
+            n <= Self::CAPACITY,
+            "ProcessSet capacity is {}",
+            Self::CAPACITY
+        );
+        if n == Self::CAPACITY {
+            ProcessSet { bits: u128::MAX }
+        } else {
+            ProcessSet {
+                bits: (1u128 << n) - 1,
+            }
+        }
+    }
+
+    /// Builds a set directly from a bit pattern (bit `i` ⇔ `p_{i+1}`).
+    pub const fn from_bits(bits: u128) -> Self {
+        ProcessSet { bits }
+    }
+
+    /// The raw bit pattern.
+    pub const fn bits(self) -> u128 {
+        self.bits
+    }
+
+    /// Number of members.
+    pub const fn len(self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// Whether the set has no members.
+    pub const fn is_empty(self) -> bool {
+        self.bits == 0
+    }
+
+    /// Whether `p` is a member.
+    pub fn contains(self, p: ProcessId) -> bool {
+        p.index() < Self::CAPACITY && self.bits & (1u128 << p.index()) != 0
+    }
+
+    /// Inserts `p`; returns whether it was newly added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p.index() >= CAPACITY`.
+    pub fn insert(&mut self, p: ProcessId) -> bool {
+        assert!(
+            p.index() < Self::CAPACITY,
+            "{p} exceeds the ProcessSet capacity of {}",
+            Self::CAPACITY
+        );
+        let bit = 1u128 << p.index();
+        let fresh = self.bits & bit == 0;
+        self.bits |= bit;
+        fresh
+    }
+
+    /// Removes `p`; returns whether it was present.
+    pub fn remove(&mut self, p: ProcessId) -> bool {
+        if p.index() >= Self::CAPACITY {
+            return false;
+        }
+        let bit = 1u128 << p.index();
+        let present = self.bits & bit != 0;
+        self.bits &= !bit;
+        present
+    }
+
+    /// The smallest member, if any.
+    pub fn first(self) -> Option<ProcessId> {
+        (!self.is_empty()).then(|| ProcessId::new(self.bits.trailing_zeros() as usize))
+    }
+
+    /// `self ∪ other`.
+    #[must_use]
+    pub const fn union(self, other: ProcessSet) -> ProcessSet {
+        ProcessSet {
+            bits: self.bits | other.bits,
+        }
+    }
+
+    /// `self ∩ other`.
+    #[must_use]
+    pub const fn intersection(self, other: ProcessSet) -> ProcessSet {
+        ProcessSet {
+            bits: self.bits & other.bits,
+        }
+    }
+
+    /// `self \ other`.
+    #[must_use]
+    pub const fn difference(self, other: ProcessSet) -> ProcessSet {
+        ProcessSet {
+            bits: self.bits & !other.bits,
+        }
+    }
+
+    /// `Π \ self` for a system of size `n`.
+    #[must_use]
+    pub fn complement(self, n: usize) -> ProcessSet {
+        Self::full(n).difference(self)
+    }
+
+    /// Whether every member of `self` is in `other`.
+    pub const fn is_subset(self, other: ProcessSet) -> bool {
+        self.bits & !other.bits == 0
+    }
+
+    /// Whether the sets share no member.
+    pub const fn is_disjoint(self, other: ProcessSet) -> bool {
+        self.bits & other.bits == 0
+    }
+
+    /// Iterates over the members in ascending id order.
+    pub fn iter(self) -> ProcessSetIter {
+        ProcessSetIter { bits: self.bits }
+    }
+}
+
+impl fmt::Debug for ProcessSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // `{p1, p3}` in both Debug and Display: debug output appears in
+        // assertion messages, where the paper-style names read best.
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for ProcessSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl BitOr for ProcessSet {
+    type Output = ProcessSet;
+
+    fn bitor(self, rhs: ProcessSet) -> ProcessSet {
+        self.union(rhs)
+    }
+}
+
+impl BitOrAssign for ProcessSet {
+    fn bitor_assign(&mut self, rhs: ProcessSet) {
+        self.bits |= rhs.bits;
+    }
+}
+
+impl BitAnd for ProcessSet {
+    type Output = ProcessSet;
+
+    fn bitand(self, rhs: ProcessSet) -> ProcessSet {
+        self.intersection(rhs)
+    }
+}
+
+impl BitAndAssign for ProcessSet {
+    fn bitand_assign(&mut self, rhs: ProcessSet) {
+        self.bits &= rhs.bits;
+    }
+}
+
+impl Sub for ProcessSet {
+    type Output = ProcessSet;
+
+    fn sub(self, rhs: ProcessSet) -> ProcessSet {
+        self.difference(rhs)
+    }
+}
+
+impl SubAssign for ProcessSet {
+    fn sub_assign(&mut self, rhs: ProcessSet) {
+        self.bits &= !rhs.bits;
+    }
+}
+
+/// Iterator over the members of a [`ProcessSet`], ascending by id.
+#[derive(Debug, Clone)]
+pub struct ProcessSetIter {
+    bits: u128,
+}
+
+impl Iterator for ProcessSetIter {
+    type Item = ProcessId;
+
+    fn next(&mut self) -> Option<ProcessId> {
+        if self.bits == 0 {
+            return None;
+        }
+        let idx = self.bits.trailing_zeros() as usize;
+        self.bits &= self.bits - 1;
+        Some(ProcessId::new(idx))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.bits.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for ProcessSetIter {}
+
+impl IntoIterator for ProcessSet {
+    type Item = ProcessId;
+    type IntoIter = ProcessSetIter;
+
+    fn into_iter(self) -> ProcessSetIter {
+        self.iter()
+    }
+}
+
+impl IntoIterator for &ProcessSet {
+    type Item = ProcessId;
+    type IntoIter = ProcessSetIter;
+
+    fn into_iter(self) -> ProcessSetIter {
+        self.iter()
+    }
+}
+
+impl FromIterator<ProcessId> for ProcessSet {
+    fn from_iter<I: IntoIterator<Item = ProcessId>>(iter: I) -> Self {
+        let mut s = ProcessSet::new();
+        for p in iter {
+            s.insert(p);
+        }
+        s
+    }
+}
+
+impl Extend<ProcessId> for ProcessSet {
+    fn extend<I: IntoIterator<Item = ProcessId>>(&mut self, iter: I) {
+        for p in iter {
+            self.insert(p);
+        }
+    }
+}
+
+impl<const N: usize> From<[ProcessId; N]> for ProcessSet {
+    fn from(ids: [ProcessId; N]) -> Self {
+        ids.into_iter().collect()
+    }
+}
+
+/// A dense map from sender to `M`: `Vec<Option<M>>` keyed by
+/// [`ProcessId::index`].
+///
+/// The workspace's round-structured state — synchronous-round inboxes,
+/// stage-2 info tables, Paxos promise/accept ledgers — is always keyed by
+/// sender, with keys drawn from `0..n`. A dense vector turns every lookup
+/// into an index operation and every iteration into a linear scan, replacing
+/// the pointer-chasing `BTreeMap<ProcessId, M>` these paths used before.
+///
+/// Equality and hashing consider only the *present* entries, so maps that
+/// differ merely in trailing capacity compare (and fingerprint) equal.
+/// Iteration yields entries in ascending sender order.
+///
+/// # Examples
+///
+/// ```
+/// use kset_sim::{ProcessId, SenderMap};
+///
+/// let mut m: SenderMap<&'static str> = SenderMap::new();
+/// m.insert(ProcessId::new(2), "hello");
+/// assert_eq!(m.get(ProcessId::new(2)), Some(&"hello"));
+/// assert_eq!(m.len(), 1);
+/// assert_eq!(m.senders().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SenderMap<M> {
+    slots: Vec<Option<M>>,
+    len: usize,
+}
+
+impl<M> Default for SenderMap<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> SenderMap<M> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        SenderMap {
+            slots: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Creates an empty map with room for senders `0..n`.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut slots = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        SenderMap { slots, len: 0 }
+    }
+
+    /// Number of present entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no entry is present.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `sender` has an entry.
+    pub fn contains(&self, sender: ProcessId) -> bool {
+        self.slots.get(sender.index()).is_some_and(Option::is_some)
+    }
+
+    /// The entry of `sender`, if present.
+    pub fn get(&self, sender: ProcessId) -> Option<&M> {
+        self.slots.get(sender.index()).and_then(Option::as_ref)
+    }
+
+    /// Inserts (or replaces) the entry of `sender`, returning the previous
+    /// value.
+    pub fn insert(&mut self, sender: ProcessId, value: M) -> Option<M> {
+        if sender.index() >= self.slots.len() {
+            self.slots.resize_with(sender.index() + 1, || None);
+        }
+        let prev = self.slots[sender.index()].replace(value);
+        if prev.is_none() {
+            self.len += 1;
+        }
+        prev
+    }
+
+    /// Inserts `value` only if `sender` has no entry yet; returns a
+    /// reference to the entry.
+    pub fn entry_or_insert_with(&mut self, sender: ProcessId, value: impl FnOnce() -> M) -> &M {
+        if !self.contains(sender) {
+            self.insert(sender, value());
+        }
+        self.slots[sender.index()]
+            .as_ref()
+            .expect("just ensured present")
+    }
+
+    /// Removes and returns the entry of `sender`.
+    pub fn remove(&mut self, sender: ProcessId) -> Option<M> {
+        let prev = self.slots.get_mut(sender.index()).and_then(Option::take);
+        if prev.is_some() {
+            self.len -= 1;
+        }
+        prev
+    }
+
+    /// Iterates over present `(sender, value)` entries, ascending by sender.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, &M)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|v| (ProcessId::new(i), v)))
+    }
+
+    /// Iterates over the present values, ascending by sender.
+    pub fn values(&self) -> impl Iterator<Item = &M> {
+        self.slots.iter().filter_map(Option::as_ref)
+    }
+
+    /// The set of senders with an entry.
+    pub fn senders(&self) -> ProcessSet {
+        self.iter().map(|(p, _)| p).collect()
+    }
+}
+
+impl<M: PartialEq> PartialEq for SenderMap<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl<M: Eq> Eq for SenderMap<M> {}
+
+impl<M: Hash> Hash for SenderMap<M> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Hash only present entries so trailing capacity is irrelevant:
+        // fingerprint-comparable across differently grown maps.
+        self.len.hash(state);
+        for (p, v) in self.iter() {
+            p.hash(state);
+            v.hash(state);
+        }
+    }
+}
+
+impl<M> FromIterator<(ProcessId, M)> for SenderMap<M> {
+    fn from_iter<I: IntoIterator<Item = (ProcessId, M)>>(iter: I) -> Self {
+        let mut m = SenderMap::new();
+        for (p, v) in iter {
+            m.insert(p, v);
+        }
+        m
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,7 +668,10 @@ mod tests {
     fn process_ids_are_ordered_and_hashable() {
         let set: BTreeSet<_> = [2usize, 0, 1].into_iter().map(ProcessId::new).collect();
         let sorted: Vec<_> = set.into_iter().collect();
-        assert_eq!(sorted, vec![ProcessId::new(0), ProcessId::new(1), ProcessId::new(2)]);
+        assert_eq!(
+            sorted,
+            vec![ProcessId::new(0), ProcessId::new(1), ProcessId::new(2)]
+        );
     }
 
     #[test]
@@ -220,5 +694,111 @@ mod tests {
     fn conversions_from_usize_and_u64() {
         assert_eq!(ProcessId::from(3), ProcessId::new(3));
         assert_eq!(Time::from(9), Time::new(9));
+    }
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn process_set_algebra() {
+        let a: ProcessSet = [pid(0), pid(1), pid(5)].into();
+        let b: ProcessSet = [pid(1), pid(5), pid(7)].into();
+        assert_eq!(a.union(b).len(), 4);
+        assert_eq!(a.intersection(b), [pid(1), pid(5)].into());
+        assert_eq!(a.difference(b), ProcessSet::singleton(pid(0)));
+        assert_eq!(a | b, a.union(b));
+        assert_eq!(a & b, a.intersection(b));
+        assert_eq!(a - b, a.difference(b));
+        assert!(a.intersection(b).is_subset(a));
+        assert!(!a.is_disjoint(b));
+        assert!(a.difference(b).is_disjoint(b));
+    }
+
+    #[test]
+    fn process_set_iterates_in_ascending_order() {
+        let s: ProcessSet = [pid(9), pid(0), pid(4)].into();
+        let order: Vec<usize> = s.iter().map(ProcessId::index).collect();
+        assert_eq!(order, vec![0, 4, 9]);
+        assert_eq!(s.first(), Some(pid(0)));
+        assert_eq!(s.iter().len(), 3);
+    }
+
+    #[test]
+    fn process_set_full_and_complement() {
+        let full = ProcessSet::full(5);
+        assert_eq!(full.len(), 5);
+        let s: ProcessSet = [pid(1), pid(3)].into();
+        assert_eq!(s.complement(5), [pid(0), pid(2), pid(4)].into());
+        assert_eq!(
+            ProcessSet::full(ProcessSet::CAPACITY).len(),
+            ProcessSet::CAPACITY
+        );
+    }
+
+    #[test]
+    fn process_set_insert_remove_roundtrip() {
+        let mut s = ProcessSet::new();
+        assert!(s.insert(pid(3)));
+        assert!(!s.insert(pid(3)), "second insert is a no-op");
+        assert!(s.contains(pid(3)));
+        assert!(s.remove(pid(3)));
+        assert!(!s.remove(pid(3)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn process_set_rejects_oversized_ids() {
+        let mut s = ProcessSet::new();
+        s.insert(pid(ProcessSet::CAPACITY));
+    }
+
+    #[test]
+    fn process_set_display_matches_btree_convention() {
+        let s: ProcessSet = [pid(0), pid(2)].into();
+        assert_eq!(s.to_string(), "{p1, p3}");
+        assert_eq!(format!("{s:?}"), "{p1, p3}");
+    }
+
+    #[test]
+    fn sender_map_dense_semantics() {
+        let mut m: SenderMap<u32> = SenderMap::with_capacity(4);
+        assert!(m.is_empty());
+        assert_eq!(m.insert(pid(2), 20), None);
+        assert_eq!(m.insert(pid(2), 21), Some(20));
+        m.insert(pid(0), 10);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(pid(2)), Some(&21));
+        assert_eq!(m.get(pid(3)), None);
+        let entries: Vec<(usize, u32)> = m.iter().map(|(p, v)| (p.index(), *v)).collect();
+        assert_eq!(entries, vec![(0, 10), (2, 21)]);
+        assert_eq!(m.senders(), [pid(0), pid(2)].into());
+        assert_eq!(m.remove(pid(0)), Some(10));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn sender_map_eq_and_hash_ignore_capacity() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut a: SenderMap<u32> = SenderMap::with_capacity(16);
+        let mut b: SenderMap<u32> = SenderMap::new();
+        a.insert(pid(1), 7);
+        b.insert(pid(1), 7);
+        assert_eq!(a, b);
+        let hash = |m: &SenderMap<u32>| {
+            let mut h = DefaultHasher::new();
+            m.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
+    }
+
+    #[test]
+    fn sender_map_entry_or_insert_keeps_first() {
+        let mut m: SenderMap<u32> = SenderMap::new();
+        assert_eq!(*m.entry_or_insert_with(pid(0), || 1), 1);
+        assert_eq!(*m.entry_or_insert_with(pid(0), || 2), 1, "first value wins");
     }
 }

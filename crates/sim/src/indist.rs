@@ -13,9 +13,7 @@
 //! be indistinguishable, so a collision could only mask a bug, never create
 //! a spurious impossibility).
 
-use std::collections::BTreeSet;
-
-use crate::ids::ProcessId;
+use crate::ids::{ProcessId, ProcessSet};
 use crate::trace::Trace;
 
 /// How the per-process comparison turned out.
@@ -79,36 +77,26 @@ fn prefix_compare<T: PartialEq>(decided: &[T], undecided: &[T]) -> ViewCompariso
 
 /// Definition 2: `α D∼ β` — indistinguishable (until decision) for every
 /// process in `D`.
-pub fn indistinguishable_for_set<V: Clone>(
-    a: &Trace<V>,
-    b: &Trace<V>,
-    d: &BTreeSet<ProcessId>,
-) -> bool {
-    d.iter().all(|p| compare_views(a, b, *p).is_indistinguishable())
+pub fn indistinguishable_for_set<V: Clone>(a: &Trace<V>, b: &Trace<V>, d: ProcessSet) -> bool {
+    d.iter()
+        .all(|p| compare_views(a, b, p).is_indistinguishable())
 }
 
 /// Strict variant: every process in `D` must compare as
 /// [`ViewComparison::EqualUntilDecision`] (it decided in both runs and went
 /// through identical states up to the decision).
-pub fn equal_until_decision_for_set<V: Clone>(
-    a: &Trace<V>,
-    b: &Trace<V>,
-    d: &BTreeSet<ProcessId>,
-) -> bool {
+pub fn equal_until_decision_for_set<V: Clone>(a: &Trace<V>, b: &Trace<V>, d: ProcessSet) -> bool {
     d.iter()
-        .all(|p| compare_views(a, b, *p) == ViewComparison::EqualUntilDecision)
+        .all(|p| compare_views(a, b, p) == ViewComparison::EqualUntilDecision)
 }
 
 /// Definition 3: `R′ ≼_D R` — every run of `runs_prime` has an
 /// indistinguishable (for `D`) counterpart in `runs`.
-pub fn compatible<V: Clone>(
-    runs_prime: &[Trace<V>],
-    runs: &[Trace<V>],
-    d: &BTreeSet<ProcessId>,
-) -> bool {
-    runs_prime
-        .iter()
-        .all(|alpha| runs.iter().any(|beta| indistinguishable_for_set(alpha, beta, d)))
+pub fn compatible<V: Clone>(runs_prime: &[Trace<V>], runs: &[Trace<V>], d: ProcessSet) -> bool {
+    runs_prime.iter().all(|alpha| {
+        runs.iter()
+            .any(|beta| indistinguishable_for_set(alpha, beta, d))
+    })
 }
 
 #[cfg(test)]
@@ -142,7 +130,10 @@ mod tests {
     fn identical_decided_views_are_equal() {
         let a = trace(vec![step(0, 1, 10, None), step(0, 2, 20, Some(1))]);
         let b = trace(vec![step(0, 1, 10, None), step(0, 2, 20, Some(1))]);
-        assert_eq!(compare_views(&a, &b, ProcessId::new(0)), ViewComparison::EqualUntilDecision);
+        assert_eq!(
+            compare_views(&a, &b, ProcessId::new(0)),
+            ViewComparison::EqualUntilDecision
+        );
     }
 
     #[test]
@@ -150,21 +141,30 @@ mod tests {
         // Same states until decision; different states afterwards.
         let a = trace(vec![step(0, 1, 10, Some(1)), step(0, 2, 77, None)]);
         let b = trace(vec![step(0, 1, 10, Some(1)), step(0, 2, 88, None)]);
-        assert_eq!(compare_views(&a, &b, ProcessId::new(0)), ViewComparison::EqualUntilDecision);
+        assert_eq!(
+            compare_views(&a, &b, ProcessId::new(0)),
+            ViewComparison::EqualUntilDecision
+        );
     }
 
     #[test]
     fn different_pre_decision_states_diverge() {
         let a = trace(vec![step(0, 1, 10, None), step(0, 2, 20, Some(1))]);
         let b = trace(vec![step(0, 1, 11, None), step(0, 2, 20, Some(1))]);
-        assert_eq!(compare_views(&a, &b, ProcessId::new(0)), ViewComparison::Divergent);
+        assert_eq!(
+            compare_views(&a, &b, ProcessId::new(0)),
+            ViewComparison::Divergent
+        );
     }
 
     #[test]
     fn undecided_prefix_is_compatible() {
         let a = trace(vec![step(0, 1, 10, None)]);
         let b = trace(vec![step(0, 1, 10, None), step(0, 2, 20, None)]);
-        assert_eq!(compare_views(&a, &b, ProcessId::new(0)), ViewComparison::UndecidedPrefix);
+        assert_eq!(
+            compare_views(&a, &b, ProcessId::new(0)),
+            ViewComparison::UndecidedPrefix
+        );
         assert!(compare_views(&a, &b, ProcessId::new(0)).is_indistinguishable());
     }
 
@@ -187,10 +187,10 @@ mod tests {
     fn set_indistinguishability_requires_all_members() {
         let a = trace(vec![step(0, 1, 10, Some(1)), step(1, 1, 50, Some(2))]);
         let b = trace(vec![step(0, 1, 10, Some(1)), step(1, 1, 51, Some(2))]);
-        let only_p0: BTreeSet<_> = [ProcessId::new(0)].into();
-        let both: BTreeSet<_> = [ProcessId::new(0), ProcessId::new(1)].into();
-        assert!(indistinguishable_for_set(&a, &b, &only_p0));
-        assert!(!indistinguishable_for_set(&a, &b, &both));
+        let only_p0: ProcessSet = [ProcessId::new(0)].into();
+        let both: ProcessSet = [ProcessId::new(0), ProcessId::new(1)].into();
+        assert!(indistinguishable_for_set(&a, &b, only_p0));
+        assert!(!indistinguishable_for_set(&a, &b, both));
     }
 
     #[test]
@@ -199,15 +199,15 @@ mod tests {
         let a2 = trace(vec![step(0, 1, 20, Some(2))]);
         let b1 = trace(vec![step(0, 1, 10, Some(1))]);
         let b2 = trace(vec![step(0, 1, 20, Some(2))]);
-        let d: BTreeSet<_> = [ProcessId::new(0)].into();
-        assert!(compatible(&[a1.clone(), a2.clone()], &[b1.clone(), b2], &d));
-        assert!(!compatible(&[a1, a2], &[b1], &d), "a2 has no counterpart");
+        let d: ProcessSet = [ProcessId::new(0)].into();
+        assert!(compatible(&[a1.clone(), a2.clone()], &[b1.clone(), b2], d));
+        assert!(!compatible(&[a1, a2], &[b1], d), "a2 has no counterpart");
     }
 
     #[test]
     fn empty_set_is_trivially_indistinguishable() {
         let a = trace(vec![step(0, 1, 1, None)]);
         let b = trace(vec![step(0, 1, 2, None)]);
-        assert!(indistinguishable_for_set(&a, &b, &BTreeSet::new()));
+        assert!(indistinguishable_for_set(&a, &b, ProcessSet::new()));
     }
 }

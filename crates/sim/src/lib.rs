@@ -98,12 +98,15 @@ mod oracle;
 mod process;
 mod restrict;
 pub mod sched;
+pub mod sweep;
 pub mod trace;
 
 pub use buffer::Buffer;
-pub use engine::{RunReport, RunStatus, SimError, Simulation, StopReason, Violation};
+pub use engine::{
+    Engine, RunReport, RunStatus, SimEngine, SimError, Simulation, StopReason, Violation,
+};
 pub use failure::{CrashPlan, FailurePattern, Omission};
-pub use ids::{MsgId, ProcessId, Time};
+pub use ids::{MsgId, ProcessId, ProcessSet, ProcessSetIter, SenderMap, Time};
 pub use message::{fingerprint, Envelope};
 pub use model::{ModelParams, Setting, SynchronyBounds};
 pub use oracle::{FnOracle, NoOracle, Oracle};

@@ -36,7 +36,13 @@ pub struct Envelope<M> {
 impl<M> Envelope<M> {
     /// Creates an envelope. Intended for the engine and for tests.
     pub fn new(id: MsgId, src: ProcessId, dst: ProcessId, sent_at: Time, payload: M) -> Self {
-        Envelope { id, src, dst, sent_at, payload }
+        Envelope {
+            id,
+            src,
+            dst,
+            sent_at,
+            payload,
+        }
     }
 
     /// Maps the payload, preserving metadata.
@@ -109,12 +115,18 @@ mod tests {
 
     #[test]
     fn equal_payloads_have_equal_fingerprints() {
-        assert_eq!(env("x").payload_fingerprint(), env("x").payload_fingerprint());
+        assert_eq!(
+            env("x").payload_fingerprint(),
+            env("x").payload_fingerprint()
+        );
     }
 
     #[test]
     fn different_payloads_usually_differ() {
-        assert_ne!(env("x").payload_fingerprint(), env("y").payload_fingerprint());
+        assert_ne!(
+            env("x").payload_fingerprint(),
+            env("y").payload_fingerprint()
+        );
     }
 
     #[test]

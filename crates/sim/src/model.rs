@@ -24,10 +24,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// One DDS dimension: favourable for the algorithm, or not.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Setting {
     /// The favourable (algorithm-friendly) choice.
     Favourable,
@@ -66,7 +64,7 @@ impl fmt::Display for Setting {
 /// assert!(thm2.processes.is_favourable());
 /// assert!(!thm2.communication.is_favourable());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ModelParams {
     /// Dimension 1: process synchrony.
     pub processes: Setting,
@@ -98,7 +96,10 @@ impl ModelParams {
     /// `M_ASYNC` augmented with a failure detector — the model
     /// `⟨M_ASYNC, D⟩` of Sections II-C and VII.
     pub fn masync_with_fd() -> Self {
-        ModelParams { failure_detector: Setting::Favourable, ..Self::masync() }
+        ModelParams {
+            failure_detector: Setting::Favourable,
+            ..Self::masync()
+        }
     }
 
     /// The model of Theorem 2: synchronous processes, asynchronous
@@ -168,7 +169,7 @@ impl fmt::Display for ModelParams {
 /// * `delta` — communication bound Δ: every message sent to an alive,
 ///   correct process is received at most Δ steps after it was sent. `None`
 ///   means asynchronous communication.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SynchronyBounds {
     /// Process speed ratio bound Φ (`None` = unbounded).
     pub phi: Option<u64>,
@@ -179,18 +180,27 @@ pub struct SynchronyBounds {
 impl SynchronyBounds {
     /// Fully asynchronous: no bounds at all.
     pub fn asynchronous() -> Self {
-        SynchronyBounds { phi: None, delta: None }
+        SynchronyBounds {
+            phi: None,
+            delta: None,
+        }
     }
 
     /// Synchronous processes (Φ = `phi`), asynchronous communication — the
     /// quantitative side of the Theorem 2 model.
     pub fn lockstep_processes(phi: u64) -> Self {
-        SynchronyBounds { phi: Some(phi), delta: None }
+        SynchronyBounds {
+            phi: Some(phi),
+            delta: None,
+        }
     }
 
     /// Both bounds present.
     pub fn bounded(phi: u64, delta: u64) -> Self {
-        SynchronyBounds { phi: Some(phi), delta: Some(delta) }
+        SynchronyBounds {
+            phi: Some(phi),
+            delta: Some(delta),
+        }
     }
 }
 
@@ -220,7 +230,10 @@ mod tests {
     fn theorem2_model_matches_paper() {
         let m = ModelParams::theorem2();
         assert!(m.processes.is_favourable(), "processes are synchronous");
-        assert!(!m.communication.is_favourable(), "communication is asynchronous");
+        assert!(
+            !m.communication.is_favourable(),
+            "communication is asynchronous"
+        );
         assert!(m.broadcast.is_favourable(), "broadcast in an atomic step");
         assert!(m.receive_send_atomic.is_favourable(), "receive+send atomic");
     }
@@ -254,7 +267,13 @@ mod tests {
 
     #[test]
     fn synchrony_bounds_constructors() {
-        assert_eq!(SynchronyBounds::asynchronous(), SynchronyBounds { phi: None, delta: None });
+        assert_eq!(
+            SynchronyBounds::asynchronous(),
+            SynchronyBounds {
+                phi: None,
+                delta: None
+            }
+        );
         assert_eq!(SynchronyBounds::lockstep_processes(1).phi, Some(1));
         assert_eq!(SynchronyBounds::bounded(2, 5).delta, Some(5));
     }

@@ -92,7 +92,10 @@ where
 {
     /// Wraps a closure as an oracle.
     pub fn new(f: F) -> Self {
-        FnOracle { f, _marker: std::marker::PhantomData }
+        FnOracle {
+            f,
+            _marker: std::marker::PhantomData,
+        }
     }
 }
 

@@ -16,11 +16,10 @@
 //! (Definition 2); determinism is the implementor's obligation (no interior
 //! randomness, no wall-clock access).
 
-use std::collections::BTreeSet;
 use std::fmt;
 use std::hash::Hash;
 
-use crate::ids::ProcessId;
+use crate::ids::{ProcessId, ProcessSet};
 use crate::message::Envelope;
 
 /// Static information a process learns at initialization: its own identity
@@ -113,7 +112,11 @@ pub struct Effects<M, V> {
 impl<M: Clone, V> Effects<M, V> {
     /// Creates an empty effects collector for the given process.
     pub fn new(info: ProcessInfo) -> Self {
-        Effects { info, sends: Vec::new(), decision: None }
+        Effects {
+            info,
+            sends: Vec::new(),
+            decision: None,
+        }
     }
 
     /// Records a point-to-point send.
@@ -139,8 +142,8 @@ impl<M: Clone, V> Effects<M, V> {
     }
 
     /// Records a send of `msg` to every process in `targets`.
-    pub fn multicast(&mut self, targets: &BTreeSet<ProcessId>, msg: M) {
-        for &p in targets {
+    pub fn multicast(&mut self, targets: ProcessSet, msg: M) {
+        for p in targets {
             self.sends.push((p, msg.clone()));
         }
     }
@@ -209,8 +212,8 @@ mod tests {
     #[test]
     fn multicast_targets_only_listed() {
         let mut e = Eff::new(info(0, 5));
-        let targets: BTreeSet<_> = [ProcessId::new(2), ProcessId::new(4)].into();
-        e.multicast(&targets, 9);
+        let targets: ProcessSet = [ProcessId::new(2), ProcessId::new(4)].into();
+        e.multicast(targets, 9);
         let (sends, _) = e.into_parts();
         assert_eq!(sends.len(), 2);
     }

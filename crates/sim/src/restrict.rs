@@ -13,11 +13,9 @@
 //! proofs of Theorems 2 and 10 (condition (D): for every run of `A|D` there
 //! is an indistinguishable run of `A` where `Π \ D` is initially dead).
 
-use std::collections::BTreeSet;
-
 use crate::engine::Simulation;
 use crate::failure::CrashPlan;
-use crate::ids::ProcessId;
+use crate::ids::{ProcessId, ProcessSet};
 use crate::message::Envelope;
 use crate::oracle::{NoOracle, Oracle};
 use crate::process::{Effects, Process, ProcessInfo};
@@ -27,7 +25,7 @@ use crate::process::{Effects, Process, ProcessInfo};
 #[derive(Debug, Clone)]
 pub struct Restricted<P> {
     inner: P,
-    members: BTreeSet<ProcessId>,
+    members: ProcessSet,
 }
 
 /// The *state* of `A|D` is the inner algorithm's state — Definition 1 does
@@ -42,8 +40,8 @@ impl<P: std::hash::Hash> std::hash::Hash for Restricted<P> {
 
 impl<P> Restricted<P> {
     /// The restriction set `D`.
-    pub fn members(&self) -> &BTreeSet<ProcessId> {
-        &self.members
+    pub fn members(&self) -> ProcessSet {
+        self.members
     }
 
     /// The wrapped process state.
@@ -54,12 +52,15 @@ impl<P> Restricted<P> {
 
 impl<P: Process> Process for Restricted<P> {
     type Msg = P::Msg;
-    type Input = (BTreeSet<ProcessId>, P::Input);
+    type Input = (ProcessSet, P::Input);
     type Output = P::Output;
     type Fd = P::Fd;
 
     fn init(info: ProcessInfo, (members, input): Self::Input) -> Self {
-        Restricted { inner: P::init(info, input), members }
+        Restricted {
+            inner: P::init(info, input),
+            members,
+        }
     }
 
     fn step(
@@ -72,7 +73,7 @@ impl<P: Process> Process for Restricted<P> {
         self.inner.step(delivered, fd, &mut inner_effects);
         let (sends, decision) = inner_effects.into_parts();
         for (dst, msg) in sends {
-            if self.members.contains(&dst) {
+            if self.members.contains(dst) {
                 effects.send(dst, msg);
             }
         }
@@ -93,7 +94,7 @@ impl<P: Process> Process for Restricted<P> {
 /// `inputs.len()` disagrees with `n`.
 pub fn restricted_simulation<P>(
     inputs: Vec<P::Input>,
-    d: &BTreeSet<ProcessId>,
+    d: ProcessSet,
     extra_plan: CrashPlan,
 ) -> Simulation<Restricted<P>, NoOracle>
 where
@@ -101,15 +102,14 @@ where
     P::Input: Clone,
 {
     let plan = restriction_plan(inputs.len(), d, extra_plan);
-    let wrapped: Vec<(BTreeSet<ProcessId>, P::Input)> =
-        inputs.into_iter().map(|x| (d.clone(), x)).collect();
+    let wrapped: Vec<(ProcessSet, P::Input)> = inputs.into_iter().map(|x| (d, x)).collect();
     Simulation::new(wrapped, plan)
 }
 
 /// As [`restricted_simulation`], with a failure-detector oracle.
 pub fn restricted_simulation_with_oracle<P, O>(
     inputs: Vec<P::Input>,
-    d: &BTreeSet<ProcessId>,
+    d: ProcessSet,
     oracle: O,
     extra_plan: CrashPlan,
 ) -> Simulation<Restricted<P>, O>
@@ -120,8 +120,7 @@ where
     O: Oracle<Sample = P::Fd>,
 {
     let plan = restriction_plan(inputs.len(), d, extra_plan);
-    let wrapped: Vec<(BTreeSet<ProcessId>, P::Input)> =
-        inputs.into_iter().map(|x| (d.clone(), x)).collect();
+    let wrapped: Vec<(ProcessSet, P::Input)> = inputs.into_iter().map(|x| (d, x)).collect();
     Simulation::with_oracle(wrapped, oracle, plan)
 }
 
@@ -133,19 +132,22 @@ where
 ///
 /// Panics if `d` is empty, out of range, or `extra_plan` touches
 /// non-members.
-pub fn restriction_plan(n: usize, d: &BTreeSet<ProcessId>, extra_plan: CrashPlan) -> CrashPlan {
-    assert!(!d.is_empty(), "restriction set D must be nonempty (Definition 1)");
+pub fn restriction_plan(n: usize, d: ProcessSet, extra_plan: CrashPlan) -> CrashPlan {
+    assert!(
+        !d.is_empty(),
+        "restriction set D must be nonempty (Definition 1)"
+    );
     assert!(
         d.iter().all(|p| p.index() < n),
         "restriction set D references processes outside the system"
     );
     assert!(
-        extra_plan.faulty().iter().all(|p| d.contains(p)),
+        extra_plan.faulty().is_subset(d),
         "extra failures must concern members of D"
     );
     let mut plan = extra_plan;
     for p in ProcessId::all(n) {
-        if !d.contains(&p) {
+        if !d.contains(p) {
             plan = plan.with_initially_dead(p);
         }
     }
@@ -163,7 +165,7 @@ mod tests {
     struct CountVoices {
         me: usize,
         steps: u64,
-        heard: BTreeSet<usize>,
+        heard: ProcessSet,
         sent: bool,
     }
 
@@ -177,7 +179,7 @@ mod tests {
             CountVoices {
                 me: info.id.index(),
                 steps: 0,
-                heard: [info.id.index()].into(),
+                heard: ProcessSet::singleton(info.id),
                 sent: false,
             }
         }
@@ -194,7 +196,7 @@ mod tests {
                 effects.broadcast(self.me);
             }
             for env in delivered {
-                self.heard.insert(env.payload);
+                self.heard.insert(ProcessId::new(env.payload));
             }
             if self.steps >= 5 {
                 effects.decide(self.heard.len());
@@ -208,8 +210,8 @@ mod tests {
 
     #[test]
     fn restricted_processes_never_hear_outside_d() {
-        let d: BTreeSet<_> = [pid(0), pid(1)].into();
-        let mut sim = restricted_simulation::<CountVoices>(vec![0; 4], &d, CrashPlan::none());
+        let d: ProcessSet = [pid(0), pid(1)].into();
+        let mut sim = restricted_simulation::<CountVoices>(vec![0; 4], d, CrashPlan::none());
         let mut rr = RoundRobin::new();
         let report = sim.run_to_report(&mut rr, 1_000);
         assert!(report.all_correct_decided());
@@ -222,8 +224,8 @@ mod tests {
 
     #[test]
     fn restriction_drops_outbound_sends() {
-        let d: BTreeSet<_> = [pid(0)].into();
-        let mut sim = restricted_simulation::<CountVoices>(vec![0; 3], &d, CrashPlan::none());
+        let d: ProcessSet = [pid(0)].into();
+        let mut sim = restricted_simulation::<CountVoices>(vec![0; 3], d, CrashPlan::none());
         sim.step(pid(0), crate::sched::Delivery::None).unwrap();
         // The broadcast of p1 was filtered to members only: nothing in the
         // buffers of p2/p3, one self-message for p1.
@@ -236,8 +238,8 @@ mod tests {
     fn restricted_still_uses_full_system_size() {
         // Definition 1: the restricted algorithm keeps using |Π|. CountVoices
         // broadcasts via info.n; the wrapper must filter, not shrink n.
-        let d: BTreeSet<_> = [pid(0), pid(2)].into();
-        let mut sim = restricted_simulation::<CountVoices>(vec![0; 3], &d, CrashPlan::none());
+        let d: ProcessSet = [pid(0), pid(2)].into();
+        let mut sim = restricted_simulation::<CountVoices>(vec![0; 3], d, CrashPlan::none());
         let mut rr = RoundRobin::new();
         let report = sim.run_to_report(&mut rr, 1_000);
         assert_eq!(report.decisions[0], Some(2), "p1 hears p1 and p3");
@@ -246,9 +248,9 @@ mod tests {
 
     #[test]
     fn extra_plan_failures_apply_within_d() {
-        let d: BTreeSet<_> = [pid(0), pid(1)].into();
+        let d: ProcessSet = [pid(0), pid(1)].into();
         let extra = CrashPlan::initially_dead([pid(1)]);
-        let mut sim = restricted_simulation::<CountVoices>(vec![0; 3], &d, extra);
+        let mut sim = restricted_simulation::<CountVoices>(vec![0; 3], d, extra);
         let mut rr = RoundRobin::new();
         let report = sim.run_to_report(&mut rr, 1_000);
         assert_eq!(report.decisions[0], Some(1), "p1 hears only itself");
@@ -258,18 +260,18 @@ mod tests {
     #[test]
     #[should_panic(expected = "nonempty")]
     fn empty_restriction_set_rejected() {
-        let _ = restriction_plan(3, &BTreeSet::new(), CrashPlan::none());
+        let _ = restriction_plan(3, ProcessSet::new(), CrashPlan::none());
     }
 
     #[test]
     #[should_panic(expected = "outside the system")]
     fn out_of_range_member_rejected() {
-        let _ = restriction_plan(2, &[pid(5)].into(), CrashPlan::none());
+        let _ = restriction_plan(2, [pid(5)].into(), CrashPlan::none());
     }
 
     #[test]
     #[should_panic(expected = "members of D")]
     fn extra_failures_outside_d_rejected() {
-        let _ = restriction_plan(3, &[pid(0)].into(), CrashPlan::initially_dead([pid(2)]));
+        let _ = restriction_plan(3, [pid(0)].into(), CrashPlan::initially_dead([pid(2)]));
     }
 }

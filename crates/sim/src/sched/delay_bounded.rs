@@ -65,7 +65,11 @@ impl<M> Scheduler<M> for DelayBounded {
                 .filter(|env| view.time.next().since(env.sent_at) >= self.delta)
                 .map(|env| env.id)
                 .collect();
-            let delivery = if due.is_empty() { Delivery::None } else { Delivery::Ids(due) };
+            let delivery = if due.is_empty() {
+                Delivery::None
+            } else {
+                Delivery::Ids(due)
+            };
             return Some(Choice { pid, delivery });
         }
         None
@@ -97,7 +101,11 @@ mod tests {
         type Fd = ();
 
         fn init(info: ProcessInfo, input: u64) -> Self {
-            MinBarrier { n: info.n, seen: vec![input], sent: false }
+            MinBarrier {
+                n: info.n,
+                seen: vec![input],
+                sent: false,
+            }
         }
 
         fn step(
@@ -139,8 +147,7 @@ mod tests {
     fn messages_are_actually_delayed_to_the_bound() {
         // With Δ = 5, the first delivery cannot happen before global time
         // 5 even though messages are pending from time 1 on.
-        let mut sim: Simulation<MinBarrier, _> =
-            Simulation::new(vec![5, 1, 9], CrashPlan::none());
+        let mut sim: Simulation<MinBarrier, _> = Simulation::new(vec![5, 1, 9], CrashPlan::none());
         let mut sched = DelayBounded::new(5);
         let report = sim.run_to_report(&mut sched, 10_000);
         assert!(report.all_correct_decided());

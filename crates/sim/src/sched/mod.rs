@@ -27,10 +27,8 @@ pub mod random;
 pub mod round_robin;
 pub mod scripted;
 
-use std::collections::BTreeSet;
-
 use crate::buffer::Buffer;
-use crate::ids::{MsgId, ProcessId, Time};
+use crate::ids::{MsgId, ProcessId, ProcessSet, Time};
 
 /// Which pending messages the stepping process receives.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,7 +38,7 @@ pub enum Delivery {
     /// Deliver every pending message.
     All,
     /// Deliver every pending message whose source is in the set.
-    AllFrom(BTreeSet<ProcessId>),
+    AllFrom(ProcessSet),
     /// Deliver the oldest `count` pending messages from each listed source.
     OldestPerSource(Vec<(ProcessId, usize)>),
     /// Deliver exactly the listed message ids (unknown ids are skipped).
@@ -59,12 +57,18 @@ pub struct Choice {
 impl Choice {
     /// A step of `pid` receiving every pending message.
     pub fn deliver_all(pid: ProcessId) -> Self {
-        Choice { pid, delivery: Delivery::All }
+        Choice {
+            pid,
+            delivery: Delivery::All,
+        }
     }
 
     /// A step of `pid` receiving nothing.
     pub fn deliver_none(pid: ProcessId) -> Self {
-        Choice { pid, delivery: Delivery::None }
+        Choice {
+            pid,
+            delivery: Delivery::None,
+        }
     }
 }
 
@@ -172,7 +176,13 @@ mod tests {
         ];
         let decided = vec![true, false, false];
         let buffers: Vec<Buffer<u32>> = vec![Buffer::new(), Buffer::new(), Buffer::new()];
-        let view = SimView { n: 3, time: Time::new(4), statuses: &statuses, decided: &decided, buffers: &buffers };
+        let view = SimView {
+            n: 3,
+            time: Time::new(4),
+            statuses: &statuses,
+            decided: &decided,
+            buffers: &buffers,
+        };
         assert!(view.is_alive(ProcessId::new(0)));
         assert!(!view.is_alive(ProcessId::new(1)));
         assert_eq!(view.alive().count(), 2);
@@ -191,7 +201,13 @@ mod tests {
         let statuses = vec![Status::Alive { local_steps: 0 }];
         let decided = vec![false];
         let buffers: Vec<Buffer<u32>> = vec![Buffer::new()];
-        let view = SimView { n: 1, time: Time::ZERO, statuses: &statuses, decided: &decided, buffers: &buffers };
+        let view = SimView {
+            n: 1,
+            time: Time::ZERO,
+            statuses: &statuses,
+            decided: &decided,
+            buffers: &buffers,
+        };
         let choice = Scheduler::next(&mut sched, &view).unwrap();
         assert_eq!(choice.pid, ProcessId::new(0));
         assert_eq!(calls, 1);

@@ -12,9 +12,7 @@
 //! prefix extendable to an admissible run of `M_ASYNC` — every message sent
 //! to a correct process is eventually received.
 
-use std::collections::BTreeSet;
-
-use crate::ids::ProcessId;
+use crate::ids::{ProcessId, ProcessSet};
 use crate::sched::{Choice, Delivery, Scheduler, SimView};
 
 /// What the adversary does once every alive process has decided.
@@ -31,7 +29,7 @@ pub enum ReleasePolicy {
 /// Scheduler that delays all cross-block messages until decisions are in.
 #[derive(Debug, Clone)]
 pub struct PartitionScheduler {
-    blocks: Vec<BTreeSet<ProcessId>>,
+    blocks: Vec<ProcessSet>,
     release: ReleasePolicy,
     cursor: usize,
     /// Extra all-deliver steps performed per process after release, to
@@ -49,14 +47,23 @@ impl PartitionScheduler {
     /// # Panics
     ///
     /// Panics if the blocks are not pairwise disjoint.
-    pub fn new(blocks: Vec<BTreeSet<ProcessId>>, release: ReleasePolicy) -> Self {
-        let mut seen = BTreeSet::new();
+    pub fn new(blocks: Vec<ProcessSet>, release: ReleasePolicy) -> Self {
+        let mut seen = ProcessSet::new();
         for block in &blocks {
             for p in block {
-                assert!(seen.insert(*p), "partition blocks must be disjoint: {p} repeated");
+                assert!(
+                    seen.insert(p),
+                    "partition blocks must be disjoint: {p} repeated"
+                );
             }
         }
-        PartitionScheduler { blocks, release, cursor: 0, drain_rounds: 4, drained: 0 }
+        PartitionScheduler {
+            blocks,
+            release,
+            cursor: 0,
+            drain_rounds: 4,
+            drained: 0,
+        }
     }
 
     /// Sets how many all-deliver rounds per process run after release.
@@ -67,12 +74,12 @@ impl PartitionScheduler {
     }
 
     /// The block of `pid`, or a singleton if unlisted.
-    fn block_of(&self, pid: ProcessId) -> BTreeSet<ProcessId> {
+    fn block_of(&self, pid: ProcessId) -> ProcessSet {
         self.blocks
             .iter()
-            .find(|b| b.contains(&pid))
-            .cloned()
-            .unwrap_or_else(|| [pid].into())
+            .copied()
+            .find(|b| b.contains(pid))
+            .unwrap_or_else(|| ProcessSet::singleton(pid))
     }
 }
 
@@ -97,7 +104,10 @@ impl<M> Scheduler<M> for PartitionScheduler {
                         if view.is_alive(pid) {
                             self.cursor = (idx + 1) % view.n;
                             self.drained += 1;
-                            return Some(Choice { pid, delivery: Delivery::All });
+                            return Some(Choice {
+                                pid,
+                                delivery: Delivery::All,
+                            });
                         }
                     }
                     return None;
@@ -155,9 +165,17 @@ mod tests {
         let statuses = vec![Status::Alive { local_steps: 0 }; 3];
         let decided = vec![false; 3];
         let buffers: Vec<Buffer<u32>> = (0..3).map(|_| Buffer::new()).collect();
-        let view = SimView { n: 3, time: Time::ZERO, statuses: &statuses, decided: &decided, buffers: &buffers };
-        let mut sched =
-            PartitionScheduler::new(vec![[pid(0), pid(1)].into(), [pid(2)].into()], ReleasePolicy::Never);
+        let view = SimView {
+            n: 3,
+            time: Time::ZERO,
+            statuses: &statuses,
+            decided: &decided,
+            buffers: &buffers,
+        };
+        let mut sched = PartitionScheduler::new(
+            vec![[pid(0), pid(1)].into(), [pid(2)].into()],
+            ReleasePolicy::Never,
+        );
         let c = Scheduler::next(&mut sched, &view).unwrap();
         assert_eq!(c.pid, pid(0));
         assert_eq!(c.delivery, Delivery::AllFrom([pid(0), pid(1)].into()));
@@ -168,7 +186,13 @@ mod tests {
         let statuses = vec![Status::Alive { local_steps: 1 }; 2];
         let decided = vec![true, true];
         let buffers: Vec<Buffer<u32>> = (0..2).map(|_| Buffer::new()).collect();
-        let view = SimView { n: 2, time: Time::ZERO, statuses: &statuses, decided: &decided, buffers: &buffers };
+        let view = SimView {
+            n: 2,
+            time: Time::ZERO,
+            statuses: &statuses,
+            decided: &decided,
+            buffers: &buffers,
+        };
         let mut sched = PartitionScheduler::new(vec![], ReleasePolicy::Never);
         assert!(Scheduler::next(&mut sched, &view).is_none());
     }
@@ -178,13 +202,22 @@ mod tests {
         let statuses = vec![Status::Alive { local_steps: 1 }; 2];
         let decided = vec![true, true];
         let buffers: Vec<Buffer<u32>> = (0..2).map(|_| Buffer::new()).collect();
-        let view = SimView { n: 2, time: Time::ZERO, statuses: &statuses, decided: &decided, buffers: &buffers };
-        let mut sched = PartitionScheduler::new(vec![], ReleasePolicy::AfterAllDecided)
-            .with_drain_rounds(1);
+        let view = SimView {
+            n: 2,
+            time: Time::ZERO,
+            statuses: &statuses,
+            decided: &decided,
+            buffers: &buffers,
+        };
+        let mut sched =
+            PartitionScheduler::new(vec![], ReleasePolicy::AfterAllDecided).with_drain_rounds(1);
         let c1 = Scheduler::next(&mut sched, &view).unwrap();
         assert_eq!(c1.delivery, Delivery::All);
         let c2 = Scheduler::next(&mut sched, &view).unwrap();
         assert_eq!(c2.delivery, Delivery::All);
-        assert!(Scheduler::next(&mut sched, &view).is_none(), "drain budget exhausted");
+        assert!(
+            Scheduler::next(&mut sched, &view).is_none(),
+            "drain budget exhausted"
+        );
     }
 }

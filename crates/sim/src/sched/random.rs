@@ -128,7 +128,13 @@ mod tests {
     #[test]
     fn same_seed_same_schedule() {
         let (statuses, decided, buffers) = make_parts(4);
-        let v = SimView { n: 4, time: Time::ZERO, statuses: &statuses, decided: &decided, buffers: &buffers };
+        let v = SimView {
+            n: 4,
+            time: Time::ZERO,
+            statuses: &statuses,
+            decided: &decided,
+            buffers: &buffers,
+        };
         let picks = |seed: u64| -> Vec<usize> {
             let mut s = SeededRandom::new(seed);
             (0..20)
@@ -141,7 +147,13 @@ mod tests {
     #[test]
     fn different_seeds_usually_differ() {
         let (statuses, decided, buffers) = make_parts(4);
-        let v = SimView { n: 4, time: Time::ZERO, statuses: &statuses, decided: &decided, buffers: &buffers };
+        let v = SimView {
+            n: 4,
+            time: Time::ZERO,
+            statuses: &statuses,
+            decided: &decided,
+            buffers: &buffers,
+        };
         let picks = |seed: u64| -> Vec<usize> {
             let mut s = SeededRandom::new(seed);
             (0..20)
@@ -154,7 +166,13 @@ mod tests {
     #[test]
     fn fairness_window_bounds_starvation() {
         let (statuses, decided, buffers) = make_parts(3);
-        let v = SimView { n: 3, time: Time::ZERO, statuses: &statuses, decided: &decided, buffers: &buffers };
+        let v = SimView {
+            n: 3,
+            time: Time::ZERO,
+            statuses: &statuses,
+            decided: &decided,
+            buffers: &buffers,
+        };
         let mut s = SeededRandom::new(42).with_fairness_window(5);
         let mut gaps = [0u64; 3];
         for _ in 0..300 {
@@ -175,7 +193,13 @@ mod tests {
         let statuses = vec![Status::Crashed { at: Time::ZERO }; 2];
         let decided = vec![false; 2];
         let buffers: Vec<Buffer<u32>> = (0..2).map(|_| Buffer::new()).collect();
-        let v = SimView { n: 2, time: Time::ZERO, statuses: &statuses, decided: &decided, buffers: &buffers };
+        let v = SimView {
+            n: 2,
+            time: Time::ZERO,
+            statuses: &statuses,
+            decided: &decided,
+            buffers: &buffers,
+        };
         let mut s = SeededRandom::new(0);
         assert!(Scheduler::next(&mut s, &v).is_none());
     }

@@ -42,7 +42,10 @@ impl<M> Scheduler<M> for RoundRobin {
             let pid = ProcessId::new(idx);
             if view.is_alive(pid) {
                 self.cursor = (idx + 1) % view.n;
-                return Some(Choice { pid, delivery: Delivery::All });
+                return Some(Choice {
+                    pid,
+                    delivery: Delivery::All,
+                });
             }
         }
         None // everyone crashed
@@ -61,7 +64,13 @@ mod tests {
         decided: &'a [bool],
         buffers: &'a [Buffer<u32>],
     ) -> SimView<'a, u32> {
-        SimView { n: statuses.len(), time: Time::ZERO, statuses, decided, buffers }
+        SimView {
+            n: statuses.len(),
+            time: Time::ZERO,
+            statuses,
+            decided,
+            buffers,
+        }
     }
 
     #[test]

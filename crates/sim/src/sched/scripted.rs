@@ -23,7 +23,10 @@ pub struct Scripted {
 impl Scripted {
     /// Creates a replayer for the given schedule.
     pub fn new(entries: Vec<ScheduleEntry>) -> Self {
-        Scripted { entries: entries.into_iter(), skip_crashed: false }
+        Scripted {
+            entries: entries.into_iter(),
+            skip_crashed: false,
+        }
     }
 
     /// Silently skips entries whose process has crashed in the replay
@@ -90,7 +93,10 @@ mod tests {
     use crate::sched::Status;
 
     fn entry(pid: usize) -> ScheduleEntry {
-        ScheduleEntry { pid: ProcessId::new(pid), per_source: vec![] }
+        ScheduleEntry {
+            pid: ProcessId::new(pid),
+            per_source: vec![],
+        }
     }
 
     #[test]
@@ -98,7 +104,13 @@ mod tests {
         let statuses = vec![Status::Alive { local_steps: 0 }; 2];
         let decided = vec![false; 2];
         let buffers: Vec<Buffer<u32>> = (0..2).map(|_| Buffer::new()).collect();
-        let view = SimView { n: 2, time: Time::ZERO, statuses: &statuses, decided: &decided, buffers: &buffers };
+        let view = SimView {
+            n: 2,
+            time: Time::ZERO,
+            statuses: &statuses,
+            decided: &decided,
+            buffers: &buffers,
+        };
         let mut s = Scripted::new(vec![entry(1), entry(0)]);
         assert_eq!(Scheduler::next(&mut s, &view).unwrap().pid.index(), 1);
         assert_eq!(Scheduler::next(&mut s, &view).unwrap().pid.index(), 0);
@@ -107,10 +119,19 @@ mod tests {
 
     #[test]
     fn skipping_crashed_filters_entries() {
-        let statuses = vec![Status::Crashed { at: Time::ZERO }, Status::Alive { local_steps: 0 }];
+        let statuses = vec![
+            Status::Crashed { at: Time::ZERO },
+            Status::Alive { local_steps: 0 },
+        ];
         let decided = vec![false; 2];
         let buffers: Vec<Buffer<u32>> = (0..2).map(|_| Buffer::new()).collect();
-        let view = SimView { n: 2, time: Time::ZERO, statuses: &statuses, decided: &decided, buffers: &buffers };
+        let view = SimView {
+            n: 2,
+            time: Time::ZERO,
+            statuses: &statuses,
+            decided: &decided,
+            buffers: &buffers,
+        };
         let mut s = Scripted::new(vec![entry(0), entry(1)]).skipping_crashed();
         assert_eq!(Scheduler::next(&mut s, &view).unwrap().pid.index(), 1);
         assert!(Scheduler::next(&mut s, &view).is_none());
@@ -118,10 +139,7 @@ mod tests {
 
     #[test]
     fn interleave_alternates_entries() {
-        let merged = Scripted::interleave(vec![
-            vec![entry(0), entry(0), entry(0)],
-            vec![entry(1)],
-        ]);
+        let merged = Scripted::interleave(vec![vec![entry(0), entry(0), entry(0)], vec![entry(1)]]);
         let pids: Vec<usize> = merged.iter().map(|e| e.pid.index()).collect();
         assert_eq!(pids, vec![0, 1, 0, 0]);
     }

@@ -21,10 +21,8 @@
 //! payloads and process states are stored as 64-bit fingerprints so traces
 //! of different algorithms share one representation.
 
-use std::collections::BTreeMap;
-
-use crate::ids::{MsgId, ProcessId, Time};
 use crate::failure::FailurePattern;
+use crate::ids::{MsgId, ProcessId, Time};
 
 /// One delivered message as recorded in a trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -101,7 +99,10 @@ pub struct Trace<V> {
 impl<V: Clone> Trace<V> {
     /// Creates an empty trace over a system of `n` processes.
     pub fn new(n: usize) -> Self {
-        Trace { n, events: Vec::new() }
+        Trace {
+            n,
+            events: Vec::new(),
+        }
     }
 
     /// System size.
@@ -186,7 +187,11 @@ impl<V: Clone> Trace<V> {
     /// Per-process view: the sequence of this process's step observations,
     /// used for the indistinguishability check of Definition 2.
     pub fn process_view(&self, pid: ProcessId) -> ProcessView {
-        let mut view = ProcessView { pid, obs: Vec::new(), decided_at_local_step: None };
+        let mut view = ProcessView {
+            pid,
+            obs: Vec::new(),
+            decided_at_local_step: None,
+        };
         for step in self.steps().filter(|s| s.pid == pid) {
             view.obs.push(StepObservation {
                 delivered: step
@@ -215,15 +220,21 @@ impl<V: Clone> Trace<V> {
     /// sequences. This is the executable form of the run-pasting in
     /// Lemmas 11/12.
     pub fn schedule(&self) -> Vec<ScheduleEntry> {
+        let mut counts = vec![0usize; self.n];
         self.steps()
             .map(|s| {
-                let mut per_source: BTreeMap<ProcessId, usize> = BTreeMap::new();
                 for d in &s.delivered {
-                    *per_source.entry(d.src).or_insert(0) += 1;
+                    counts[d.src.index()] += 1;
                 }
+                let per_source: Vec<(ProcessId, usize)> = counts
+                    .iter_mut()
+                    .enumerate()
+                    .filter(|(_, c)| **c > 0)
+                    .map(|(i, c)| (ProcessId::new(i), std::mem::take(c)))
+                    .collect();
                 ScheduleEntry {
                     pid: s.pid,
-                    per_source: per_source.into_iter().collect(),
+                    per_source,
                 }
             })
             .collect()
@@ -259,7 +270,10 @@ impl<V: Clone> Trace<V> {
             }
             delivered[step.pid.index()] += step.delivered.len();
         }
-        sent.iter().zip(&delivered).map(|(s, d)| s.saturating_sub(*d)).collect()
+        sent.iter()
+            .zip(&delivered)
+            .map(|(s, d)| s.saturating_sub(*d))
+            .collect()
     }
 }
 
@@ -375,7 +389,11 @@ mod tests {
     #[test]
     fn failure_pattern_from_crash_events() {
         let mut t: Trace<u32> = Trace::new(3);
-        t.push(TraceEvent::Crash { pid: ProcessId::new(2), time: Time::ZERO, after_step: false });
+        t.push(TraceEvent::Crash {
+            pid: ProcessId::new(2),
+            time: Time::ZERO,
+            after_step: false,
+        });
         t.push(step(1, 0, 1, None, 1));
         let fp = t.failure_pattern();
         assert_eq!(fp.faulty(), [ProcessId::new(2)].into());
@@ -391,8 +409,15 @@ mod tests {
             None,
             "p2 neither decided nor crashed"
         );
-        t.push(TraceEvent::Crash { pid: ProcessId::new(1), time: Time::new(2), after_step: true });
-        assert_eq!(t.all_decided_or_crashed_by(ProcessId::all(2)), Some(Time::new(2)));
+        t.push(TraceEvent::Crash {
+            pid: ProcessId::new(1),
+            time: Time::new(2),
+            after_step: true,
+        });
+        assert_eq!(
+            t.all_decided_or_crashed_by(ProcessId::all(2)),
+            Some(Time::new(2))
+        );
     }
 
     #[test]
@@ -425,9 +450,21 @@ mod tests {
             pid: ProcessId::new(0),
             local_step: 1,
             delivered: vec![
-                DeliveredRecord { id: MsgId::new(0), src: ProcessId::new(1), payload_fp: 1 },
-                DeliveredRecord { id: MsgId::new(1), src: ProcessId::new(1), payload_fp: 2 },
-                DeliveredRecord { id: MsgId::new(2), src: ProcessId::new(2), payload_fp: 3 },
+                DeliveredRecord {
+                    id: MsgId::new(0),
+                    src: ProcessId::new(1),
+                    payload_fp: 1,
+                },
+                DeliveredRecord {
+                    id: MsgId::new(1),
+                    src: ProcessId::new(1),
+                    payload_fp: 2,
+                },
+                DeliveredRecord {
+                    id: MsgId::new(2),
+                    src: ProcessId::new(2),
+                    payload_fp: 3,
+                },
             ],
             fd_fp: None,
             state_fp: 0,
@@ -455,15 +492,29 @@ mod tests {
             state_fp: 0,
             decided: None,
             sent: vec![
-                SendRecord { id: MsgId::new(0), dst: ProcessId::new(1), payload_fp: 1, dropped: false },
-                SendRecord { id: MsgId::new(1), dst: ProcessId::new(1), payload_fp: 1, dropped: true },
+                SendRecord {
+                    id: MsgId::new(0),
+                    dst: ProcessId::new(1),
+                    payload_fp: 1,
+                    dropped: false,
+                },
+                SendRecord {
+                    id: MsgId::new(1),
+                    dst: ProcessId::new(1),
+                    payload_fp: 1,
+                    dropped: true,
+                },
             ],
         }));
         t.push(TraceEvent::Step(StepRecord {
             time: Time::new(2),
             pid: ProcessId::new(1),
             local_step: 1,
-            delivered: vec![DeliveredRecord { id: MsgId::new(0), src: ProcessId::new(0), payload_fp: 1 }],
+            delivered: vec![DeliveredRecord {
+                id: MsgId::new(0),
+                src: ProcessId::new(0),
+                payload_fp: 1,
+            }],
             fd_fp: None,
             state_fp: 0,
             decided: None,
@@ -489,11 +540,25 @@ mod tests {
             state_fp: 0,
             decided: None,
             sent: vec![
-                SendRecord { id: MsgId::new(0), dst: ProcessId::new(1), payload_fp: 1, dropped: false },
-                SendRecord { id: MsgId::new(1), dst: ProcessId::new(1), payload_fp: 1, dropped: true },
+                SendRecord {
+                    id: MsgId::new(0),
+                    dst: ProcessId::new(1),
+                    payload_fp: 1,
+                    dropped: false,
+                },
+                SendRecord {
+                    id: MsgId::new(1),
+                    dst: ProcessId::new(1),
+                    payload_fp: 1,
+                    dropped: true,
+                },
             ],
         }));
         let counts = t.undelivered_counts();
-        assert_eq!(counts, vec![0, 1], "dropped sends do not count as undelivered");
+        assert_eq!(
+            counts,
+            vec![0, 1],
+            "dropped sends do not count as undelivered"
+        );
     }
 }

@@ -1,0 +1,112 @@
+//! Property test: `ProcessSet` is observationally equivalent to
+//! `BTreeSet<ProcessId>` under insert / remove / union / intersect /
+//! difference / subset / iteration.
+//!
+//! The whole workspace swapped its process-set representation from
+//! `BTreeSet<ProcessId>` to the `u128` bitset; this test drives both
+//! structures through identical random operation sequences and compares
+//! every observation, so any semantic drift in the bitset shows up here
+//! rather than as a subtle simulation divergence.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use kset_sim::{ProcessId, ProcessSet};
+
+fn pid(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+/// Checks every observation the workspace makes on sets.
+fn assert_equiv(bits: ProcessSet, tree: &BTreeSet<ProcessId>) {
+    assert_eq!(bits.len(), tree.len());
+    assert_eq!(bits.is_empty(), tree.is_empty());
+    assert_eq!(bits.first(), tree.iter().next().copied());
+    // Iteration yields the same elements in the same (ascending) order.
+    let from_bits: Vec<ProcessId> = bits.iter().collect();
+    let from_tree: Vec<ProcessId> = tree.iter().copied().collect();
+    assert_eq!(from_bits, from_tree);
+    // Membership agrees across the whole capacity window we use.
+    for i in 0..16 {
+        assert_eq!(
+            bits.contains(pid(i)),
+            tree.contains(&pid(i)),
+            "membership of p{}",
+            i + 1
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Insert/remove sequences leave both structures in identical states.
+    #[test]
+    fn insert_remove_equivalence(ops in proptest::collection::vec((0usize..16, 0u8..2), 0..60)) {
+        let mut bits = ProcessSet::new();
+        let mut tree: BTreeSet<ProcessId> = BTreeSet::new();
+        for (i, op) in ops {
+            let p = pid(i);
+            match op {
+                0 => prop_assert_eq!(bits.insert(p), tree.insert(p)),
+                _ => prop_assert_eq!(bits.remove(p), tree.remove(&p)),
+            }
+            assert_equiv(bits, &tree);
+        }
+    }
+
+    /// The set algebra (∪, ∩, \) and the relational queries (⊆, disjoint)
+    /// agree with the BTreeSet reference on arbitrary operand pairs.
+    #[test]
+    fn algebra_equivalence(a_mask in 0u32..(1 << 16), b_mask in 0u32..(1 << 16)) {
+        let members = |mask: u32| (0..16).filter(move |i| mask & (1 << i) != 0);
+        let bits_a: ProcessSet = members(a_mask).map(pid).collect();
+        let bits_b: ProcessSet = members(b_mask).map(pid).collect();
+        let tree_a: BTreeSet<ProcessId> = members(a_mask).map(pid).collect();
+        let tree_b: BTreeSet<ProcessId> = members(b_mask).map(pid).collect();
+
+        assert_equiv(bits_a.union(bits_b), &tree_a.union(&tree_b).copied().collect());
+        assert_equiv(
+            bits_a.intersection(bits_b),
+            &tree_a.intersection(&tree_b).copied().collect(),
+        );
+        assert_equiv(
+            bits_a.difference(bits_b),
+            &tree_a.difference(&tree_b).copied().collect(),
+        );
+        prop_assert_eq!(bits_a.is_subset(bits_b), tree_a.is_subset(&tree_b));
+        prop_assert_eq!(bits_a.is_disjoint(bits_b), tree_a.is_disjoint(&tree_b));
+        // Operator sugar matches the named methods.
+        prop_assert_eq!(bits_a | bits_b, bits_a.union(bits_b));
+        prop_assert_eq!(bits_a & bits_b, bits_a.intersection(bits_b));
+        prop_assert_eq!(bits_a - bits_b, bits_a.difference(bits_b));
+    }
+
+    /// FromIterator/Extend ignore duplicates exactly like BTreeSet, and
+    /// equality is structural.
+    #[test]
+    fn collect_and_extend_equivalence(items in proptest::collection::vec(0usize..16, 0..40)) {
+        let bits: ProcessSet = items.iter().copied().map(pid).collect();
+        let tree: BTreeSet<ProcessId> = items.iter().copied().map(pid).collect();
+        assert_equiv(bits, &tree);
+
+        let mut bits2 = ProcessSet::new();
+        bits2.extend(items.iter().copied().map(pid));
+        prop_assert_eq!(bits, bits2);
+
+        // Display matches the {p1, p2} convention the workspace prints.
+        let rendered: Vec<String> = tree.iter().map(|p| p.to_string()).collect();
+        prop_assert_eq!(bits.to_string(), format!("{{{}}}", rendered.join(", ")));
+    }
+
+    /// Complement within `n` equals the BTreeSet difference from the full
+    /// system.
+    #[test]
+    fn complement_equivalence(mask in 0u32..(1 << 12), n in 12usize..=16) {
+        let bits: ProcessSet = (0..12).filter(|i| mask & (1 << i) != 0).map(pid).collect();
+        let tree: BTreeSet<ProcessId> = (0..12).filter(|i| mask & (1 << i) != 0).map(pid).collect();
+        let full: BTreeSet<ProcessId> = (0..n).map(pid).collect();
+        assert_equiv(bits.complement(n), &full.difference(&tree).copied().collect());
+    }
+}

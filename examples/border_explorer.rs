@@ -29,7 +29,11 @@ fn main() {
     for f in 1..n {
         print!("f={f:2} |");
         for k in 1..n {
-            let c = if theorem2_impossible(n, f, k) { 'X' } else { '.' };
+            let c = if theorem2_impossible(n, f, k) {
+                'X'
+            } else {
+                '.'
+            };
             print!(" {c} ");
         }
         println!();

@@ -47,7 +47,10 @@ fn main() {
             .map(ToString::to_string)
             .collect::<Vec<_>>()
             .join(",");
-        println!("dead = {{{}}} → consensus on {{{decided}}}; {verdict}", who.join(","));
+        println!(
+            "dead = {{{}}} → consensus on {{{decided}}}; {verdict}",
+            who.join(",")
+        );
         assert!(verdict.holds());
     }
 

@@ -18,7 +18,7 @@ use kset::core::algorithms::two_stage::{two_stage_inputs, TwoStage};
 use kset::core::task::distinct_proposals;
 use kset::fd::PartitionSigmaOmega;
 use kset::sim::explore::{explore, Branching, ExploreConfig};
-use kset::sim::{CrashPlan, ProcessId, Simulation, Time};
+use kset::sim::{CrashPlan, ProcessId, ProcessSet, Simulation, Time};
 
 fn main() {
     println!("== bounded model checking of k-set agreement ==\n");
@@ -47,7 +47,11 @@ fn main() {
         "  explored {} configurations, {} terminal; violation: {}",
         report.states_expanded,
         report.terminals,
-        if report.violation.is_none() { "none" } else { "FOUND" },
+        if report.violation.is_none() {
+            "none"
+        } else {
+            "FOUND"
+        },
     );
     assert!(report.violation.is_none());
 
@@ -55,10 +59,8 @@ fn main() {
     //    the partition detector of Definition 7 — the explorer finds the
     //    Theorem 10 violation by itself.
     let pid = ProcessId::new;
-    let blocks: Vec<BTreeSet<ProcessId>> =
-        vec![[pid(0), pid(1), pid(2)].into(), [pid(3)].into()];
-    let oracle =
-        PartitionSigmaOmega::new(4, blocks, Time::new(1_000_000), [pid(0), pid(1)].into());
+    let blocks: Vec<ProcessSet> = vec![[pid(0), pid(1), pid(2)].into(), [pid(3)].into()];
+    let oracle = PartitionSigmaOmega::new(4, blocks, Time::new(1_000_000), [pid(0), pid(1)].into());
     let sim: Simulation<LeaderAdopt, _> =
         Simulation::with_oracle(distinct_proposals(4), oracle, CrashPlan::none());
     let report = explore(&sim, &config, |s| {
@@ -72,7 +74,10 @@ fn main() {
     println!("\nLeaderAdopt with (Σ'2, Ω'2) (n=4), property: 2-agreement");
     match &report.violation {
         Some(v) => {
-            println!("  VIOLATION found after exploring {} configurations:", report.states_expanded);
+            println!(
+                "  VIOLATION found after exploring {} configurations:",
+                report.states_expanded
+            );
             println!("  reason: {}", v.reason);
             println!("  schedule ({} steps):", v.path.len());
             for (i, c) in v.path.iter().enumerate() {

@@ -15,32 +15,55 @@ use kset::impossibility::theorem10::demo;
 use kset::impossibility::Theorem1Outcome;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(6);
-    let k: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6);
+    let k: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
 
     println!("== Theorem 10 attack: (Σ{k}, Ω{k}) cannot solve {k}-set agreement (n = {n}) ==\n");
     let Some(demo) = demo(n, k, 200_000) else {
-        println!("k = {k} is outside 2 ≤ k ≤ n−2 = {}, where (Σk, Ωk) suffices", n - 2);
+        println!(
+            "k = {k} is outside 2 ≤ k ≤ n−2 = {}, where (Σk, Ωk) suffices",
+            n - 2
+        );
         println!("(Corollary 13: k = 1 via (Σ,Ω)-consensus, k = n−1 via loneliness).");
         return;
     };
 
-    println!("partition: D̄ = {{p1, …, p{}}}, plus {} singleton blocks", n - k + 1, k - 1);
+    println!(
+        "partition: D̄ = {{p1, …, p{}}}, plus {} singleton blocks",
+        n - k + 1,
+        k - 1
+    );
     let pasted = demo.analysis.pasted.as_ref().expect("evidence");
     println!("\n-- solo runs (Lemma 12) --");
     for solo in &pasted.solos {
-        let members: Vec<String> = solo.block.iter().map(ToString::to_string).collect();
+        let members: Vec<String> = solo.block.iter().map(|p| p.to_string()).collect();
         let decisions: Vec<String> = solo
             .block
             .iter()
             .filter_map(|p| solo.report.decisions[p.index()].map(|v| format!("{p}→{v}")))
             .collect();
-        println!("  block {{{}}} decided in isolation: {}", members.join(","), decisions.join(", "));
+        println!(
+            "  block {{{}}} decided in isolation: {}",
+            members.join(","),
+            decisions.join(", ")
+        );
     }
 
     println!("\n-- pasted run --");
-    println!("  pasting verified (Definition 2, per block): {}", pasted.verified);
-    println!("  faulty processes in the pasted run: {}", pasted.report.failure_pattern.num_faulty());
+    println!(
+        "  pasting verified (Definition 2, per block): {}",
+        pasted.verified
+    );
+    println!(
+        "  faulty processes in the pasted run: {}",
+        pasted.report.failure_pattern.num_faulty()
+    );
     let decisions: Vec<String> = pasted
         .report
         .decisions
@@ -49,7 +72,10 @@ fn main() {
         .filter_map(|(i, d)| d.map(|v| format!("p{}→{v}", i + 1)))
         .collect();
     println!("  decisions: {}", decisions.join(", "));
-    println!("  distinct decision values: {}", pasted.distinct_decisions());
+    println!(
+        "  distinct decision values: {}",
+        pasted.distinct_decisions()
+    );
 
     println!("\n-- classification --");
     match &demo.analysis.outcome {
@@ -65,9 +91,18 @@ fn main() {
     }
 
     println!("\n-- Lemma 9 validation of the defeating history --");
-    println!("  per-block Σ (Definition 7, part 1):  {}", ok(demo.partition_sigma_valid));
-    println!("  plain Σ{k} intersection + liveness:   {}", ok(demo.sigma_k_valid));
-    println!("  plain Ω{k} validity + leadership:     {}", ok(demo.omega_k_valid));
+    println!(
+        "  per-block Σ (Definition 7, part 1):  {}",
+        ok(demo.partition_sigma_valid)
+    );
+    println!(
+        "  plain Σ{k} intersection + liveness:   {}",
+        ok(demo.sigma_k_valid)
+    );
+    println!(
+        "  plain Ω{k} validity + leadership:     {}",
+        ok(demo.omega_k_valid)
+    );
     println!(
         "\nThe run that defeats the candidate is a legal (Σ{k}, Ω{k}) run: {}",
         ok(demo.history_legal_for_sigma_omega_k())

@@ -23,10 +23,17 @@ fn main() {
     let k = 2;
     println!("== kset quickstart: two-stage k-set agreement ==");
     println!("n = {n} processes, f = {f} initial crashes, k = {k}");
-    println!("Theorem 8: solvable iff kn > (k+1)f  ⇒  {} > {}: ok", k * n, (k + 1) * f);
+    println!(
+        "Theorem 8: solvable iff kn > (k+1)f  ⇒  {} > {}: ok",
+        k * n,
+        (k + 1) * f
+    );
 
     let l = kset_threshold(n, f);
-    println!("waiting threshold L = n − f = {l}; decision bound ⌊n/L⌋ = {}", decision_bound(n, l));
+    println!(
+        "waiting threshold L = n − f = {l}; decision bound ⌊n/L⌋ = {}",
+        decision_bound(n, l)
+    );
 
     let values = distinct_proposals(n);
     let inputs = two_stage_inputs(l, &values);
@@ -57,7 +64,10 @@ fn main() {
         );
         let verdict = KSetTask::new(n, k).judge(&values, &report);
         println!("seed {seed}: {verdict}");
-        assert!(verdict.holds(), "Theorem 8's algorithm must withstand any schedule");
+        assert!(
+            verdict.holds(),
+            "Theorem 8's algorithm must withstand any schedule"
+        );
     }
     println!("\nall runs satisfy k-Agreement, Validity and Termination ✓");
 }

@@ -29,13 +29,23 @@ fn main() {
     let spec = PartitionSpec::theorem2(n, f, k).expect("impossible region has a layout");
     println!(
         "layout: D1 = {:?}, D̄ = {:?}\n",
-        spec.blocks()[0].iter().map(ToString::to_string).collect::<Vec<_>>(),
-        spec.dbar().iter().map(ToString::to_string).collect::<Vec<_>>(),
+        spec.blocks()[0]
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>(),
+        spec.dbar()
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>(),
     );
 
     // Candidate 1: decide own value.
     let analysis = analyze_no_fd::<DecideOwn>(|| distinct_proposals(n), &spec, 50_000);
-    report("DecideOwn (wait-free naive)", &analysis.outcome, analysis.refutes(true));
+    report(
+        "DecideOwn (wait-free naive)",
+        &analysis.outcome,
+        analysis.refutes(true),
+    );
 
     // Candidate 2: the Theorem 8 algorithm, misapplied to a model with
     // mid-run crash power.
@@ -44,7 +54,11 @@ fn main() {
         &spec,
         100_000,
     );
-    report("two-stage with L = n − f = 2", &analysis.outcome, analysis.refutes(true));
+    report(
+        "two-stage with L = n − f = 2",
+        &analysis.outcome,
+        analysis.refutes(true),
+    );
 
     // Candidate 3: the majority-threshold consensus protocol.
     let analysis = analyze_no_fd::<TwoStage>(
@@ -66,14 +80,19 @@ fn report(name: &str, outcome: &Theorem1Outcome, refuted: bool) {
     println!("candidate: {name}");
     match outcome {
         Theorem1Outcome::DirectViolation { distinct, k } => {
-            println!("  → DIRECT VIOLATION: one constructed run shows {distinct} > k = {k} decisions");
+            println!(
+                "  → DIRECT VIOLATION: one constructed run shows {distinct} > k = {k} decisions"
+            );
         }
         Theorem1Outcome::ReductionEstablished => {
             println!("  → reduction established: A|D̄ would solve consensus in ⟨D̄⟩ (impossible)");
         }
         Theorem1Outcome::ConditionAFailed { block } => {
-            let members: Vec<String> = block.iter().map(ToString::to_string).collect();
-            println!("  → not flagged: block {{{}}} cannot decide in isolation", members.join(","));
+            let members: Vec<String> = block.iter().map(|p| p.to_string()).collect();
+            println!(
+                "  → not flagged: block {{{}}} cannot decide in isolation",
+                members.join(",")
+            );
         }
     }
     println!("  refuted by Theorem 1: {refuted}\n");

@@ -121,8 +121,8 @@ fn k_n_minus_1_never_reaches_n_distinct_values() {
     let values = distinct_proposals(n);
     for seed in 0..30 {
         let f = (seed as usize) % n;
-        let dead: Vec<ProcessId> = (0..f).map(|i| pid((i * 2 + seed as usize) % n)).collect();
-        let dead: std::collections::BTreeSet<ProcessId> = dead.into_iter().collect();
+        let dead: kset::sim::ProcessSet =
+            (0..f).map(|i| pid((i * 2 + seed as usize) % n)).collect();
         let report = run_seeded_with_oracle::<LonelySetAgreement, _>(
             values.clone(),
             LonelinessOracle::new(n),

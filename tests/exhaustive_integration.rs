@@ -13,7 +13,7 @@ use kset::core::algorithms::two_stage::{two_stage_inputs, TwoStage};
 use kset::core::task::distinct_proposals;
 use kset::fd::PartitionSigmaOmega;
 use kset::sim::explore::{explore, Branching, ExploreConfig};
-use kset::sim::{CrashPlan, ProcessId, Simulation, Time};
+use kset::sim::{CrashPlan, ProcessId, ProcessSet, Simulation, Time};
 
 fn pid(i: usize) -> ProcessId {
     ProcessId::new(i)
@@ -35,7 +35,11 @@ fn two_stage_consensus_exhaustive_n3() {
         two_stage_inputs(2, &distinct_proposals(3)),
         CrashPlan::none(),
     );
-    let config = ExploreConfig { max_depth: 14, max_states: 400_000, branching: Branching::NoneOrAll };
+    let config = ExploreConfig {
+        max_depth: 14,
+        max_states: 400_000,
+        branching: Branching::NoneOrAll,
+    };
     let report = explore(&sim, &config, |s| {
         let d = distinct_decisions(s);
         if d.len() > 1 {
@@ -44,7 +48,10 @@ fn two_stage_consensus_exhaustive_n3() {
         Ok(())
     });
     assert!(report.violation.is_none(), "{:?}", report.violation);
-    assert!(report.terminals > 0, "some run must complete within the bound");
+    assert!(
+        report.terminals > 0,
+        "some run must complete within the bound"
+    );
 }
 
 #[test]
@@ -55,8 +62,11 @@ fn two_stage_with_initial_crash_exhaustive() {
             two_stage_inputs(2, &distinct_proposals(3)),
             CrashPlan::initially_dead([pid(dead)]),
         );
-        let config =
-            ExploreConfig { max_depth: 12, max_states: 300_000, branching: Branching::NoneOrAll };
+        let config = ExploreConfig {
+            max_depth: 12,
+            max_states: 300_000,
+            branching: Branching::NoneOrAll,
+        };
         let report = explore(&sim, &config, |s| {
             let d = distinct_decisions(s);
             if d.len() > 1 {
@@ -67,7 +77,11 @@ fn two_stage_with_initial_crash_exhaustive() {
             }
             Ok(())
         });
-        assert!(report.violation.is_none(), "dead={dead}: {:?}", report.violation);
+        assert!(
+            report.violation.is_none(),
+            "dead={dead}: {:?}",
+            report.violation
+        );
     }
 }
 
@@ -78,7 +92,11 @@ fn two_stage_per_source_branching_exhaustive() {
         two_stage_inputs(2, &distinct_proposals(3)),
         CrashPlan::none(),
     );
-    let config = ExploreConfig { max_depth: 10, max_states: 400_000, branching: Branching::PerSource };
+    let config = ExploreConfig {
+        max_depth: 10,
+        max_states: 400_000,
+        branching: Branching::PerSource,
+    };
     let report = explore(&sim, &config, |s| {
         let d = distinct_decisions(s);
         if d.len() > 1 {
@@ -93,8 +111,7 @@ fn two_stage_per_source_branching_exhaustive() {
 fn decide_own_violation_found_automatically() {
     // The explorer finds a consensus violation of DecideOwn without any
     // handcrafted adversary.
-    let sim: Simulation<DecideOwn, _> =
-        Simulation::new(distinct_proposals(2), CrashPlan::none());
+    let sim: Simulation<DecideOwn, _> = Simulation::new(distinct_proposals(2), CrashPlan::none());
     let report = explore(&sim, &ExploreConfig::default(), |s| {
         let d = distinct_decisions(s);
         if d.len() > 1 {
@@ -115,13 +132,16 @@ fn explorer_rediscovers_theorem10_violation() {
     // Definition 7.
     let n = 4;
     let k = 2;
-    let blocks: Vec<BTreeSet<ProcessId>> =
-        vec![[pid(0), pid(1), pid(2)].into(), [pid(3)].into()];
+    let blocks: Vec<ProcessSet> = vec![[pid(0), pid(1), pid(2)].into(), [pid(3)].into()];
     let ld = [pid(0), pid(1)].into();
     let oracle = PartitionSigmaOmega::new(n, blocks, Time::new(1_000_000), ld);
     let sim: Simulation<LeaderAdopt, _> =
         Simulation::with_oracle(distinct_proposals(n), oracle, CrashPlan::none());
-    let config = ExploreConfig { max_depth: 10, max_states: 300_000, branching: Branching::NoneOrAll };
+    let config = ExploreConfig {
+        max_depth: 10,
+        max_states: 300_000,
+        branching: Branching::NoneOrAll,
+    };
     let report = explore(&sim, &config, |s| {
         let d = distinct_decisions(s);
         if d.len() > k {
@@ -129,10 +149,11 @@ fn explorer_rediscovers_theorem10_violation() {
         }
         Ok(())
     });
-    let v = report.violation.expect("Theorem 10's violation must be reachable");
+    let v = report
+        .violation
+        .expect("Theorem 10's violation must be reachable");
     // Replay the discovered schedule and confirm.
-    let blocks: Vec<BTreeSet<ProcessId>> =
-        vec![[pid(0), pid(1), pid(2)].into(), [pid(3)].into()];
+    let blocks: Vec<ProcessSet> = vec![[pid(0), pid(1), pid(2)].into(), [pid(3)].into()];
     let oracle = PartitionSigmaOmega::new(n, blocks, Time::new(1_000_000), [pid(0), pid(1)].into());
     let mut replay: Simulation<LeaderAdopt, _> =
         Simulation::with_oracle(distinct_proposals(n), oracle, CrashPlan::none());
@@ -147,9 +168,12 @@ fn barrier_free_algorithms_terminate_in_every_schedule() {
     // Bounded liveness: within the explored bound, every maximal run of
     // DecideOwn terminates (all correct decided) — terminals > 0 and no
     // stuck states (every non-terminal has a move).
-    let sim: Simulation<DecideOwn, _> =
-        Simulation::new(distinct_proposals(3), CrashPlan::none());
-    let config = ExploreConfig { max_depth: 8, max_states: 100_000, branching: Branching::NoneOrAll };
+    let sim: Simulation<DecideOwn, _> = Simulation::new(distinct_proposals(3), CrashPlan::none());
+    let config = ExploreConfig {
+        max_depth: 8,
+        max_states: 100_000,
+        branching: Branching::NoneOrAll,
+    };
     let report = explore(&sim, &config, |_| Ok(()));
     assert!(report.terminals > 0);
     assert!(report.violation.is_none());

@@ -2,13 +2,11 @@
 //! classic progress conditions expressed as families, checked
 //! constructively against the workspace's algorithms.
 
-use std::collections::BTreeSet;
-
 use kset::core::algorithms::naive::DecideOwn;
 use kset::core::algorithms::two_stage::{consensus_threshold, two_stage_inputs, TwoStage};
 use kset::core::task::distinct_proposals;
 use kset::core::{check_independence, isolated_run_no_fd, witnesses_independence, Family};
-use kset::sim::{CrashPlan, ProcessId};
+use kset::sim::{CrashPlan, ProcessId, ProcessSet};
 
 fn pid(i: usize) -> ProcessId {
     ProcessId::new(i)
@@ -41,10 +39,10 @@ fn f_resilience_family_matches_threshold_l() {
         );
         // Any set of size L−1 fails (when L > 1).
         if l > 1 {
-            let s: BTreeSet<ProcessId> = (0..l - 1).map(pid).collect();
-            let report = isolated_run_no_fd::<TwoStage>(inputs(), &s, CrashPlan::none(), 20_000);
+            let s: ProcessSet = (0..l - 1).map(pid).collect();
+            let report = isolated_run_no_fd::<TwoStage>(inputs(), s, CrashPlan::none(), 20_000);
             assert!(
-                !witnesses_independence(&report, &s),
+                !witnesses_independence(&report, s),
                 "L={l}: a set of size L−1 must starve"
             );
         }
@@ -57,14 +55,14 @@ fn consensus_threshold_is_not_minority_independent() {
     // partition — exactly why it evades the Theorem 1 checker.
     let n = 7;
     let l = consensus_threshold(n);
-    let minority: BTreeSet<ProcessId> = (0..l - 1).map(pid).collect();
+    let minority: ProcessSet = (0..l - 1).map(pid).collect();
     let report = isolated_run_no_fd::<TwoStage>(
         two_stage_inputs(l, &distinct_proposals(n)),
-        &minority,
+        minority,
         CrashPlan::none(),
         50_000,
     );
-    assert!(!witnesses_independence(&report, &minority));
+    assert!(!witnesses_independence(&report, minority));
 }
 
 #[test]
@@ -82,8 +80,12 @@ fn observation_1b_subfamilies() {
 fn asymmetric_family_shape() {
     let n = 4;
     let fam = Family::containing(n, pid(2));
-    assert_eq!(fam.len(), 1 << (n - 1), "half the nonempty subsets contain p3");
-    assert!(fam.sets().iter().all(|s| s.contains(&pid(2))));
+    assert_eq!(
+        fam.len(),
+        1 << (n - 1),
+        "half the nonempty subsets contain p3"
+    );
+    assert!(fam.sets().iter().all(|s| s.contains(pid(2))));
 }
 
 #[test]
@@ -99,21 +101,20 @@ fn isolated_decisions_use_only_in_set_values() {
         if mask.count_ones() > 3 {
             continue; // keep the sweep fast: sizes 2 and 3 only
         }
-        let s: BTreeSet<ProcessId> =
-            (0..n).filter(|i| mask & (1 << i) != 0).map(pid).collect();
+        let s: ProcessSet = (0..n).filter(|i| mask & (1 << i) != 0).map(pid).collect();
         let report = isolated_run_no_fd::<TwoStage>(
             two_stage_inputs(l, &distinct_proposals(n)),
-            &s,
+            s,
             CrashPlan::none(),
             50_000,
         );
-        if !witnesses_independence(&report, &s) {
+        if !witnesses_independence(&report, s) {
             continue;
         }
-        for p in &s {
+        for p in s {
             if let Some(v) = report.decisions[p.index()] {
                 assert!(
-                    s.contains(&pid(v as usize)),
+                    s.contains(pid(v as usize)),
                     "set {s:?}: decision {v} leaked from outside"
                 );
             }

@@ -1,21 +1,19 @@
 //! Cross-crate integration tests for the run-pasting machinery
 //! (Lemmas 11/12) and the indistinguishability layer (Definitions 1–3).
 
-use std::collections::BTreeSet;
-
 use kset::core::algorithms::two_stage::{two_stage_inputs, TwoStage};
 use kset::core::task::distinct_proposals;
 use kset::impossibility::{lemma12_no_fd, solo_run_no_fd};
 use kset::sim::indist::{compare_views, indistinguishable_for_set, ViewComparison};
 use kset::sim::sched::round_robin::RoundRobin;
 use kset::sim::sched::scripted::Scripted;
-use kset::sim::{restricted_simulation, CrashPlan, ProcessId};
+use kset::sim::{restricted_simulation, CrashPlan, ProcessId, ProcessSet};
 
 fn pid(i: usize) -> ProcessId {
     ProcessId::new(i)
 }
 
-fn block(ids: &[usize]) -> BTreeSet<ProcessId> {
+fn block(ids: &[usize]) -> ProcessSet {
     ids.iter().copied().map(ProcessId::new).collect()
 }
 
@@ -56,9 +54,9 @@ fn pasted_views_equal_solo_views_exactly() {
         200_000,
     );
     for solo in &pasted.solos {
-        for p in &solo.block {
+        for p in solo.block {
             assert_eq!(
-                compare_views(&pasted.report.trace, &solo.report.trace, *p),
+                compare_views(&pasted.report.trace, &solo.report.trace, p),
                 ViewComparison::EqualUntilDecision,
                 "{p}"
             );
@@ -77,23 +75,28 @@ fn restriction_run_matches_initially_dead_run() {
     // A with outsiders dead.
     let dead_run = solo_run_no_fd::<TwoStage>(
         two_stage_inputs(l, &distinct_proposals(n)),
-        &d,
+        d,
         CrashPlan::none(),
         100_000,
     );
     // A|D in the restricted environment, same schedule.
     let mut sim = restricted_simulation::<TwoStage>(
         two_stage_inputs(l, &distinct_proposals(n)),
-        &d,
+        d,
         CrashPlan::none(),
     );
     let mut replay = Scripted::new(dead_run.trace.schedule());
     let restricted_run = sim.run_to_report(&mut replay, 100_000);
 
-    assert!(indistinguishable_for_set(&restricted_run.trace, &dead_run.trace, &d));
-    for p in &d {
+    assert!(indistinguishable_for_set(
+        &restricted_run.trace,
+        &dead_run.trace,
+        d
+    ));
+    for p in d {
         assert_eq!(
-            restricted_run.decisions[p.index()], dead_run.decisions[p.index()],
+            restricted_run.decisions[p.index()],
+            dead_run.decisions[p.index()],
             "{p} decides identically in A|D and in A-with-dead-outsiders"
         );
     }
@@ -106,39 +109,35 @@ fn pasting_respects_extra_in_block_crashes() {
     let n = 6;
     let b1 = block(&[0, 1, 2]);
     let b2 = block(&[3, 4, 5]);
-    let crash_plan =
-        CrashPlan::none().with_crash_after(pid(1), 2, kset::sim::Omission::All);
+    let crash_plan = CrashPlan::none().with_crash_after(pid(1), 2, kset::sim::Omission::All);
     // Solo with crash in block 1.
     let solo1 = {
         let inputs = two_stage_inputs(2, &distinct_proposals(n));
         let mut plan = crash_plan.clone();
         for p in ProcessId::all(n) {
-            if !b1.contains(&p) {
+            if !b1.contains(p) {
                 plan = plan.with_initially_dead(p);
             }
         }
-        let mut sim: kset::sim::Simulation<TwoStage, _> =
-            kset::sim::Simulation::new(inputs, plan);
+        let mut sim: kset::sim::Simulation<TwoStage, _> = kset::sim::Simulation::new(inputs, plan);
         sim.run_to_report(&mut RoundRobin::new(), 100_000)
     };
     let solo2 = solo_run_no_fd::<TwoStage>(
         two_stage_inputs(2, &distinct_proposals(n)),
-        &b2,
+        b2,
         CrashPlan::none(),
         100_000,
     );
     // Paste by replaying the interleaved schedules with the merged plan.
     let merged = Scripted::interleave(vec![solo1.trace.schedule(), solo2.trace.schedule()]);
-    let mut sim: kset::sim::Simulation<TwoStage, _> = kset::sim::Simulation::new(
-        two_stage_inputs(2, &distinct_proposals(n)),
-        crash_plan,
-    );
+    let mut sim: kset::sim::Simulation<TwoStage, _> =
+        kset::sim::Simulation::new(two_stage_inputs(2, &distinct_proposals(n)), crash_plan);
     let mut replay = Scripted::new(merged).skipping_crashed();
     let pasted = sim.run_to_report(&mut replay, 100_000);
-    assert!(indistinguishable_for_set(&pasted.trace, &solo1.trace, &b1));
-    assert!(indistinguishable_for_set(&pasted.trace, &solo2.trace, &b2));
+    assert!(indistinguishable_for_set(&pasted.trace, &solo1.trace, b1));
+    assert!(indistinguishable_for_set(&pasted.trace, &solo2.trace, b2));
     // The crash carried over: p2 is faulty in the pasted run too.
-    assert!(pasted.failure_pattern.faulty().contains(&pid(1)));
+    assert!(pasted.failure_pattern.faulty().contains(pid(1)));
 }
 
 #[test]
@@ -149,8 +148,8 @@ fn interleaving_order_does_not_matter_for_disjoint_blocks() {
     let b1 = block(&[0, 1]);
     let b2 = block(&[2, 3]);
     let mk = || two_stage_inputs(2, &distinct_proposals(n));
-    let s1 = solo_run_no_fd::<TwoStage>(mk(), &b1, CrashPlan::none(), 50_000);
-    let s2 = solo_run_no_fd::<TwoStage>(mk(), &b2, CrashPlan::none(), 50_000);
+    let s1 = solo_run_no_fd::<TwoStage>(mk(), b1, CrashPlan::none(), 50_000);
+    let s2 = solo_run_no_fd::<TwoStage>(mk(), b2, CrashPlan::none(), 50_000);
 
     let run_with = |schedule| {
         let mut sim: kset::sim::Simulation<TwoStage, _> =
@@ -158,16 +157,22 @@ fn interleaving_order_does_not_matter_for_disjoint_blocks() {
         let mut replay = Scripted::new(schedule);
         sim.run_to_report(&mut replay, 50_000)
     };
-    let inter = run_with(Scripted::interleave(vec![s1.trace.schedule(), s2.trace.schedule()]));
-    let concat = run_with(Scripted::concat(vec![s1.trace.schedule(), s2.trace.schedule()]));
+    let inter = run_with(Scripted::interleave(vec![
+        s1.trace.schedule(),
+        s2.trace.schedule(),
+    ]));
+    let concat = run_with(Scripted::concat(vec![
+        s1.trace.schedule(),
+        s2.trace.schedule(),
+    ]));
 
     for (label, run) in [("interleaved", &inter), ("concatenated", &concat)] {
         assert!(
-            indistinguishable_for_set(&run.trace, &s1.trace, &b1),
+            indistinguishable_for_set(&run.trace, &s1.trace, b1),
             "{label}: block 1"
         );
         assert!(
-            indistinguishable_for_set(&run.trace, &s2.trace, &b2),
+            indistinguishable_for_set(&run.trace, &s2.trace, b2),
             "{label}: block 2"
         );
     }

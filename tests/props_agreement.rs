@@ -3,8 +3,6 @@
 //! loneliness algorithm never reaches n distinct values, and consensus
 //! safety is schedule-independent.
 
-use std::collections::BTreeSet;
-
 use proptest::prelude::*;
 
 use kset::core::algorithms::floodmin::{floodmin_rounds, FloodMin};
@@ -15,7 +13,7 @@ use kset::core::runner::{run_seeded, run_seeded_with_oracle};
 use kset::core::sync::{run_sync, RoundCrash};
 use kset::core::task::{distinct_proposals, KSetTask};
 use kset::fd::{LonelinessOracle, RealisticSigmaOmega};
-use kset::sim::{CrashPlan, ProcessId, Time};
+use kset::sim::{CrashPlan, ProcessId, ProcessSet, Time};
 
 fn pid(i: usize) -> ProcessId {
     ProcessId::new(i)
@@ -42,7 +40,7 @@ proptest! {
         // says the protocol works.
         prop_assume!(k * n > (k + 1) * f);
         // Random dead set of size f.
-        let mut dead: BTreeSet<ProcessId> = BTreeSet::new();
+        let mut dead = ProcessSet::new();
         let mut x = dead_seed;
         while dead.len() < f {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
@@ -72,14 +70,14 @@ proptest! {
         let rounds = floodmin_rounds(f, k);
         let values = distinct_proposals(n);
         let procs = FloodMin::system(&values, f, k);
-        let mut victims = BTreeSet::new();
+        let mut victims = ProcessSet::new();
         let mut crashes = Vec::new();
         for (v_seed, mask) in crash_bits.iter().take(f) {
             let victim = pid(v_seed % n);
             if !victims.insert(victim) {
                 continue;
             }
-            let receivers: BTreeSet<ProcessId> =
+            let receivers: ProcessSet =
                 (0..n).filter(|i| mask & (1 << i) != 0).map(pid).collect();
             let round = 1 + (*mask as usize) % rounds;
             crashes.push(RoundCrash { round, pid: victim, receivers });
@@ -91,7 +89,7 @@ proptest! {
             out.decisions
         );
         for i in 0..n {
-            if !out.crashed.contains(&pid(i)) {
+            if !out.crashed.contains(pid(i)) {
                 prop_assert!(out.decisions[i].is_some(), "p{} undecided", i + 1);
             }
         }
@@ -107,7 +105,7 @@ proptest! {
         seed in 0u64..10_000,
     ) {
         let f = f_seed % n; // 0 ≤ f ≤ n−1
-        let mut dead: BTreeSet<ProcessId> = BTreeSet::new();
+        let mut dead = ProcessSet::new();
         let mut x = dead_seed.wrapping_add(seed);
         while dead.len() < f {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);

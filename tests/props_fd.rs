@@ -2,15 +2,13 @@
 //! histories always satisfy their class definitions, and Lemma 9 holds on
 //! randomized partition layouts.
 
-use std::collections::BTreeSet;
-
 use proptest::prelude::*;
 
 use kset::fd::{
-    check_loneliness, check_omega_k, check_partition_sigma, check_sigma_k, History,
-    LeaderSample, LonelinessOracle, PartitionSigmaOmega, QuorumSample, TrustAliveSigma,
+    check_loneliness, check_omega_k, check_partition_sigma, check_sigma_k, History, LeaderSample,
+    LonelinessOracle, PartitionSigmaOmega, QuorumSample, TrustAliveSigma,
 };
-use kset::sim::{FailurePattern, Oracle, ProcessId, Time};
+use kset::sim::{FailurePattern, Oracle, ProcessId, ProcessSet, Time};
 
 fn pid(i: usize) -> ProcessId {
     ProcessId::new(i)
@@ -30,8 +28,8 @@ fn pattern(n: usize, crashes: &[(usize, u64)]) -> FailurePattern {
 
 /// Random partition of `0..n` into `k` nonempty blocks, driven by an
 /// assignment vector.
-fn blocks_from(n: usize, k: usize, assign: &[usize]) -> Vec<BTreeSet<ProcessId>> {
-    let mut blocks: Vec<BTreeSet<ProcessId>> = vec![BTreeSet::new(); k];
+fn blocks_from(n: usize, k: usize, assign: &[usize]) -> Vec<ProcessSet> {
+    let mut blocks: Vec<ProcessSet> = vec![ProcessSet::new(); k];
     for i in 0..n {
         let b = assign.get(i).copied().unwrap_or(0) % k;
         blocks[b].insert(pid(i));
@@ -44,8 +42,8 @@ fn blocks_from(n: usize, k: usize, assign: &[usize]) -> Vec<BTreeSet<ProcessId>>
                 .enumerate()
                 .max_by_key(|(_, s)| s.len())
                 .unwrap();
-            let steal = *blocks[largest].iter().next().unwrap();
-            blocks[largest].remove(&steal);
+            let steal = blocks[largest].first().unwrap();
+            blocks[largest].remove(steal);
             blocks[b].insert(steal);
         }
     }
@@ -103,13 +101,13 @@ proptest! {
         let fp = pattern(n, &crashes);
         // LD: one id per block (take the min of each) — intersects the
         // correct set as long as some block min is correct; repair if not.
-        let mut ld: LeaderSample = blocks.iter().map(|b| *b.iter().next().unwrap()).collect();
-        if !ld.iter().any(|p| fp.crash_time(*p).is_none()) {
+        let mut ld: LeaderSample = blocks.iter().map(|b| b.first().unwrap()).collect();
+        if !ld.iter().any(|p| fp.crash_time(p).is_none()) {
             let correct = fp.correct();
             prop_assume!(!correct.is_empty());
-            let c = *correct.iter().next().unwrap();
-            let evict = *ld.iter().next().unwrap();
-            ld.remove(&evict);
+            let c = correct.first().unwrap();
+            let evict = ld.first().unwrap();
+            ld.remove(evict);
             ld.insert(c);
         }
         prop_assume!(ld.len() == k);
@@ -160,7 +158,7 @@ proptest! {
         // Liveness tail for a lone survivor.
         let correct = fp.correct();
         if correct.len() == 1 {
-            let p = *correct.iter().next().unwrap();
+            let p = correct.first().unwrap();
             let t = Time::new(500);
             h.record(p, t, oracle.sample(p, t, &fp));
         }
@@ -180,7 +178,7 @@ proptest! {
         // Noise samples: full-universe quorums (never disjoint).
         let universe: QuorumSample = ProcessId::all(n).collect();
         for (p, t) in noise {
-            h.record(pid(p % n), Time::new(t), universe.clone());
+            h.record(pid(p % n), Time::new(t), universe);
         }
         // Planted family: process 3i gets quorum {3i, 3i+1, 3i+2}.
         for i in 0..=k {

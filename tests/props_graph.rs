@@ -4,9 +4,9 @@
 use proptest::prelude::*;
 
 use kset::graph::{
-    check_lemma6, check_lemma7, check_source_count_bound, chosen_source_component,
-    gnp_digraph, max_source_components, source_components, source_components_reaching,
-    stage_one_graph, tarjan_scc, weakly_connected_components, Condensation, Digraph,
+    check_lemma6, check_lemma7, check_source_count_bound, chosen_source_component, gnp_digraph,
+    max_source_components, source_components, source_components_reaching, stage_one_graph,
+    tarjan_scc, weakly_connected_components, Condensation, Digraph,
 };
 
 proptest! {

@@ -3,32 +3,28 @@
 //! classification is stable, and the borders agree with brute-force
 //! arithmetic.
 
-use std::collections::BTreeSet;
-
 use proptest::prelude::*;
 
 use kset::core::algorithms::two_stage::{two_stage_inputs, TwoStage};
 use kset::core::task::distinct_proposals;
-use kset::impossibility::{
-    lemma12_no_fd, theorem2_impossible, theorem8_solvable, PartitionSpec,
-};
-use kset::sim::ProcessId;
+use kset::impossibility::{lemma12_no_fd, theorem2_impossible, theorem8_solvable, PartitionSpec};
+use kset::sim::{ProcessId, ProcessSet};
 
 fn pid(i: usize) -> ProcessId {
     ProcessId::new(i)
 }
 
 /// Random partition of `0..n` into nonempty blocks of size ≥ `min_size`.
-fn random_blocks(n: usize, min_size: usize, assign: &[usize]) -> Vec<BTreeSet<ProcessId>> {
+fn random_blocks(n: usize, min_size: usize, assign: &[usize]) -> Vec<ProcessSet> {
     let max_blocks = n / min_size;
     let count = max_blocks.max(1);
-    let mut blocks: Vec<BTreeSet<ProcessId>> = vec![BTreeSet::new(); count];
+    let mut blocks: Vec<ProcessSet> = vec![ProcessSet::new(); count];
     for i in 0..n {
         blocks[assign.get(i).copied().unwrap_or(0) % count].insert(pid(i));
     }
     // Merge undersized blocks into the first adequate one.
-    let mut merged: Vec<BTreeSet<ProcessId>> = Vec::new();
-    let mut pending: BTreeSet<ProcessId> = BTreeSet::new();
+    let mut merged: Vec<ProcessSet> = Vec::new();
+    let mut pending = ProcessSet::new();
     for b in blocks.into_iter().filter(|b| !b.is_empty()) {
         if b.len() >= min_size {
             merged.push(b);
@@ -37,7 +33,7 @@ fn random_blocks(n: usize, min_size: usize, assign: &[usize]) -> Vec<BTreeSet<Pr
         }
     }
     if merged.is_empty() {
-        merged.push(BTreeSet::new());
+        merged.push(ProcessSet::new());
     }
     merged[0].extend(pending);
     merged.retain(|b| !b.is_empty());
@@ -74,7 +70,7 @@ proptest! {
             for p in block {
                 if let Some(v) = pasted.report.decisions[p.index()] {
                     prop_assert!(
-                        block.contains(&pid(v as usize)),
+                        block.contains(pid(v as usize)),
                         "decision {v} of {p} leaked across blocks"
                     );
                 }
@@ -109,7 +105,7 @@ proptest! {
         let spec = PartitionSpec::theorem10(n, k).unwrap();
         prop_assert_eq!(spec.dbar().len(), n - k + 1);
         prop_assert_eq!(spec.blocks().len(), k - 1);
-        let mut seen = BTreeSet::new();
+        let mut seen = ProcessSet::new();
         for part in spec.all_parts() {
             for p in part {
                 prop_assert!(seen.insert(p));

@@ -10,7 +10,7 @@ use kset::core::task::distinct_proposals;
 use kset::sim::indist::{compare_views, indistinguishable_for_set, ViewComparison};
 use kset::sim::sched::random::SeededRandom;
 use kset::sim::sched::scripted::Scripted;
-use kset::sim::{Buffer, CrashPlan, Envelope, MsgId, ProcessId, Simulation, Time};
+use kset::sim::{Buffer, CrashPlan, Envelope, MsgId, ProcessId, ProcessSet, Simulation, Time};
 
 fn pid(i: usize) -> ProcessId {
     ProcessId::new(i)
@@ -64,8 +64,8 @@ proptest! {
             sim.run_to_report(&mut sched, 30_000)
         };
         prop_assert_eq!(&original.decisions, &replayed.decisions);
-        let all: BTreeSet<ProcessId> = ProcessId::all(n).collect();
-        prop_assert!(indistinguishable_for_set(&original.trace, &replayed.trace, &all));
+        let all: ProcessSet = ProcessId::all(n).collect();
+        prop_assert!(indistinguishable_for_set(&original.trace, &replayed.trace, all));
     }
 
     /// Indistinguishability is reflexive and symmetric on arbitrary runs.
@@ -192,11 +192,10 @@ proptest! {
         let fp = FailurePattern::from_crash_times(
             times.iter().map(|o| o.map(Time::new)).collect(),
         );
-        let d: BTreeSet<ProcessId> =
+        let d: ProcessSet =
             (0..6).filter(|i| mask & (1 << i) != 0).map(pid).collect();
-        let complement: BTreeSet<ProcessId> =
-            (0..6).filter(|i| mask & (1 << i) == 0).map(pid).collect();
-        let rebuilt = fp.projected_to(&d).merged_with(&fp.projected_to(&complement));
+        let complement = d.complement(6);
+        let rebuilt = fp.projected_to(d).merged_with(&fp.projected_to(complement));
         prop_assert_eq!(rebuilt, fp);
     }
 }

@@ -3,8 +3,6 @@
 //! verification of produced runs, and the failure-detector transformation
 //! framework (Section II-C's comparison relation).
 
-use std::collections::BTreeSet;
-
 use kset::core::algorithms::two_stage::{consensus_threshold, two_stage_inputs, TwoStage};
 use kset::core::task::{distinct_proposals, KSetTask};
 use kset::fd::{
@@ -14,7 +12,7 @@ use kset::fd::{
 use kset::sim::admissible::{check, AdmissibilityRequirements};
 use kset::sim::sched::delay_bounded::DelayBounded;
 use kset::sim::{
-    CrashPlan, FailurePattern, Oracle, ProcessId, Simulation, SynchronyBounds, Time,
+    CrashPlan, FailurePattern, Oracle, ProcessId, ProcessSet, Simulation, SynchronyBounds, Time,
 };
 
 use kset::fd::History as FdHistory;
@@ -31,10 +29,8 @@ fn two_stage_terminates_under_maximal_admissible_delay() {
     let l = consensus_threshold(n);
     let values = distinct_proposals(n);
     for delta in [2u64, 8, 20] {
-        let mut sim: Simulation<TwoStage, _> = Simulation::new(
-            two_stage_inputs(l, &values),
-            CrashPlan::none(),
-        );
+        let mut sim: Simulation<TwoStage, _> =
+            Simulation::new(two_stage_inputs(l, &values), CrashPlan::none());
         let mut sched = DelayBounded::new(delta);
         let bound = sched.realized_bound(n);
         let report = sim.run_to_report(&mut sched, 200_000);
@@ -71,7 +67,10 @@ fn delay_scales_decision_latency() {
     };
     let fast = decision_time(2);
     let slow = decision_time(16);
-    assert!(slow > fast, "hold 16 ({slow}) must be slower than hold 2 ({fast})");
+    assert!(
+        slow > fast,
+        "hold 16 ({slow}) must be slower than hold 2 ({fast})"
+    );
 }
 
 #[test]
@@ -81,17 +80,17 @@ fn lemma9_as_a_transformation_on_a_live_run() {
     // emulated (Σk, Ωk) history — Lemma 9 end to end on live data.
     use kset::core::algorithms::naive::LeaderAdopt;
     let n = 5;
-    let blocks: Vec<BTreeSet<ProcessId>> =
-        vec![[pid(0)].into(), [pid(1)].into(), [pid(2), pid(3), pid(4)].into()];
+    let blocks: Vec<ProcessSet> = vec![
+        [pid(0)].into(),
+        [pid(1)].into(),
+        [pid(2), pid(3), pid(4)].into(),
+    ];
     let k = blocks.len();
     let tgst = Time::new(500);
     let oracle = PartitionSigmaOmega::new(n, blocks, tgst, [pid(0), pid(1), pid(2)].into());
     let mut rec = Recorder::new(oracle.clone());
-    let mut sim: Simulation<LeaderAdopt, _> = Simulation::with_oracle(
-        distinct_proposals(n),
-        &mut rec,
-        CrashPlan::none(),
-    );
+    let mut sim: Simulation<LeaderAdopt, _> =
+        Simulation::with_oracle(distinct_proposals(n), &mut rec, CrashPlan::none());
     let mut sched = kset::sim::sched::round_robin::RoundRobin::new();
     let _ = sim.run(&mut sched, 2_000);
     drop(sim);
@@ -119,26 +118,26 @@ fn theorem10_condition_c_omega2_extraction() {
     // of "using Γ we can easily implement Ω2 for M′".
     let n = 6;
     let k = 3;
-    let dbar: BTreeSet<ProcessId> = [pid(0), pid(1), pid(2), pid(3)].into();
-    let ld: BTreeSet<ProcessId> = [pid(0), pid(1), pid(4)].into(); // |LD ∩ D̄| = 2
+    let dbar: ProcessSet = [pid(0), pid(1), pid(2), pid(3)].into();
+    let ld: ProcessSet = [pid(0), pid(1), pid(4)].into(); // |LD ∩ D̄| = 2
     let mut raw: FdHistory<kset::fd::LeaderSample> = FdHistory::new();
     // Noisy pre-GST samples of size k, then stabilization.
     raw.record(pid(0), Time::new(1), [pid(2), pid(3), pid(5)].into());
     raw.record(pid(1), Time::new(2), [pid(1), pid(4), pid(5)].into());
     for t in 10..20u64 {
         let p = pid((t % 4) as usize);
-        raw.record(p, Time::new(t), ld.clone());
+        raw.record(p, Time::new(t), ld);
     }
     // Validate the input as Ωk over the full system first.
     let fp = FailurePattern::all_correct(n);
     check_omega_k(&raw, k, &fp).unwrap();
     // Extract and validate Ω2 over the subsystem.
-    let mut extract = GammaToOmega2::new(dbar.clone());
+    let mut extract = GammaToOmega2::new(dbar);
     let emulated = emulate(&mut extract, &raw);
     let fp_sub = FailurePattern::all_correct(n); // D̄ processes correct
     check_omega_k(&emulated, 2, &fp_sub).unwrap();
     for (_, _, s) in emulated.iter() {
-        assert!(s.is_subset(&dbar));
+        assert!(s.is_subset(dbar));
         assert_eq!(s.len(), 2);
     }
 }
@@ -149,7 +148,7 @@ fn sigma_weaker_than_perfect_on_live_pattern() {
     let n = 5;
     let mut p_oracle = kset::fd::PerfectOracle::new();
     let mut fp = FailurePattern::all_correct(n);
-    let mut raw: FdHistory<BTreeSet<ProcessId>> = FdHistory::new();
+    let mut raw: FdHistory<ProcessSet> = FdHistory::new();
     for t in 1..40u64 {
         if t == 10 {
             fp.record_crash(pid(4), Time::new(10));

@@ -17,9 +17,18 @@ fn grid_2_to_n_minus_2_is_refuted() {
         for k in 2..=n - 2 {
             let d = demo(n, k, 200_000).unwrap_or_else(|| panic!("n={n} k={k} in range"));
             assert!(d.refuted(), "n={n} k={k}");
-            assert!(d.analysis.condition_a, "n={n} k={k}: blocks decide in isolation");
-            assert!(d.analysis.condition_b_verified, "n={n} k={k}: Lemma 12 pasting verified");
-            assert!(d.analysis.condition_d_verified, "n={n} k={k}: restriction corresponds");
+            assert!(
+                d.analysis.condition_a,
+                "n={n} k={k}: blocks decide in isolation"
+            );
+            assert!(
+                d.analysis.condition_b_verified,
+                "n={n} k={k}: Lemma 12 pasting verified"
+            );
+            assert!(
+                d.analysis.condition_d_verified,
+                "n={n} k={k}: restriction corresponds"
+            );
             assert!(
                 d.history_legal_for_sigma_omega_k(),
                 "n={n} k={k}: defeating history must be (Σk,Ωk)-legal"
@@ -71,7 +80,10 @@ fn improvement_over_prior_bound_is_strict_and_verified() {
             }
         }
     }
-    assert!(newly_settled >= 8, "the improvement covers many grid points");
+    assert!(
+        newly_settled >= 8,
+        "the improvement covers many grid points"
+    );
 }
 
 #[test]
@@ -98,7 +110,7 @@ fn ld_construction_matches_proof_condition_c() {
             let ld = demo_ld(&spec);
             assert_eq!(ld.len(), k, "n={n} k={k}: |LD| = k");
             assert_eq!(
-                ld.intersection(spec.dbar()).count(),
+                ld.intersection(spec.dbar()).len(),
                 2,
                 "n={n} k={k}: LD ∩ D̄ has exactly two processes (ps, pt)"
             );

@@ -77,7 +77,10 @@ fn two_stage_candidate_refuted_in_sampled_points() {
             .unwrap_or_else(|| panic!("n={n} f={f} k={k} must be impossible"));
         assert!(demo.refuted(), "n={n} f={f} k={k}");
         assert!(
-            !matches!(demo.analysis.outcome, Theorem1Outcome::ConditionAFailed { .. }),
+            !matches!(
+                demo.analysis.outcome,
+                Theorem1Outcome::ConditionAFailed { .. }
+            ),
             "n={n} f={f} k={k}: the L=n−f protocol must be flagged"
         );
     }
@@ -131,12 +134,12 @@ fn independence_of_the_layout_blocks_lemma4() {
     for block in spec.all_parts() {
         let report = isolated_run_no_fd::<TwoStage>(
             two_stage_inputs(l, &distinct_proposals(n)),
-            &block,
+            block,
             kset::sim::CrashPlan::none(),
             100_000,
         );
         assert!(
-            witnesses_independence(&report, &block),
+            witnesses_independence(&report, block),
             "block {block:?} must decide in isolation"
         );
     }

@@ -46,7 +46,11 @@ fn possibility_under_hostile_schedules_sampled() {
     for (n, f, k) in [(6, 3, 2), (8, 5, 2), (9, 5, 2), (8, 5, 3), (10, 7, 3)] {
         let demo = possibility_demo(n, f, k, 6);
         assert!(demo.all_hold, "n={n} f={f} k={k}");
-        assert!(demo.max_distinct <= k, "n={n} f={f} k={k}: {}", demo.max_distinct);
+        assert!(
+            demo.max_distinct <= k,
+            "n={n} f={f} k={k}: {}",
+            demo.max_distinct
+        );
     }
 }
 
@@ -66,7 +70,13 @@ fn every_rotation_of_the_dead_set_works() {
                     500_000,
                 );
                 let verdict = KSetTask::new(n, k).judge(&values, &report);
-                assert!(verdict.holds(), "dead {{p{},p{},p{}}}: {verdict}", a + 1, b + 1, c + 1);
+                assert!(
+                    verdict.holds(),
+                    "dead {{p{},p{},p{}}}: {verdict}",
+                    a + 1,
+                    b + 1,
+                    c + 1
+                );
             }
         }
     }
@@ -74,9 +84,19 @@ fn every_rotation_of_the_dead_set_works() {
 
 #[test]
 fn border_construction_across_divisible_points() {
-    for (n, k) in [(4, 1), (6, 1), (8, 1), (6, 2), (9, 2), (12, 2), (8, 3), (12, 3), (10, 4)] {
-        let demo = border_demo(n, k, 300_000)
-            .unwrap_or_else(|| panic!("n={n} k={k}: border divisible"));
+    for (n, k) in [
+        (4, 1),
+        (6, 1),
+        (8, 1),
+        (6, 2),
+        (9, 2),
+        (12, 2),
+        (8, 3),
+        (12, 3),
+        (10, 4),
+    ] {
+        let demo =
+            border_demo(n, k, 300_000).unwrap_or_else(|| panic!("n={n} k={k}: border divisible"));
         assert!(theorem8_borderline(n, demo.f, k));
         assert!(demo.violates_k_agreement(), "n={n} k={k}");
         assert_eq!(demo.pasted.distinct_decisions(), k + 1, "n={n} k={k}");
@@ -113,8 +133,9 @@ fn hostile_seeds_never_exceed_the_decision_bound() {
     let bound = decision_bound(n, l);
     let values = distinct_proposals(n);
     for seed in 0..12 {
-        let dead: Vec<ProcessId> = (0..f).map(|i| ProcessId::new((i + seed as usize) % n)).collect();
-        let dead: std::collections::BTreeSet<ProcessId> = dead.into_iter().collect();
+        let dead: kset::sim::ProcessSet = (0..f)
+            .map(|i| ProcessId::new((i + seed as usize) % n))
+            .collect();
         if dead.len() < f {
             continue; // rotation collided; skip
         }
