@@ -21,7 +21,7 @@ use kset_sim::sched::random::SeededRandom;
 use kset_sim::sched::round_robin::RoundRobin;
 use kset_sim::{
     Buffer, CrashPlan, Engine, Envelope, MsgId, ProcessId, ProcessSet, SenderMap, SimEngine,
-    Simulation, Time,
+    Simulation, Time, WideSet,
 };
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -200,6 +200,134 @@ fn bench_buffer_receive(c: &mut Criterion) {
     group.finish();
 }
 
+/// SplitMix64, for reproducible pseudo-random bit patterns without pulling
+/// a generator into the measured loops.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The wide-bitset guardrail: the n ≤ 128 window must stay at
+/// u128-register speed after the width bump to 512, and the wide ops must
+/// stay far ahead of the pre-bitset `BTreeSet` data flow at n = 512.
+///
+/// Four representations run the identical op mix (∪, ∩, \, ⊆, popcount)
+/// over the same 256 pseudo-random set pairs:
+///
+/// * `u128_reference_n128` — the old representation's cost, re-enacted on
+///   raw `u128`s;
+/// * `wideset2_n128` — `WideSet<2>`, the same 128-bit window behind the
+///   width-generic API (any gap here is pure abstraction overhead);
+/// * `processet_w8_n128` — the shipping `ProcessSet` (W = 8) on n ≤ 128
+///   members: the price every existing workload pays for the headroom;
+/// * `processet_w8_n512` / `btreeset_n512` — the new territory, against
+///   the `BTreeSet<ProcessId>` baseline.
+fn bench_wide_sets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_wide_sets");
+    let pairs = 256usize;
+    group.throughput(Throughput::Elements(pairs as u64));
+    group.sample_size(50);
+
+    let patterns: Vec<u128> = (0..=pairs)
+        .map(|i| (mix(i as u64) as u128) << 64 | mix(i as u64 ^ 0xABCD) as u128)
+        .collect();
+
+    group.bench_function("u128_reference_n128", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for w in patterns.windows(2) {
+                let (x, y) = (w[0], w[1]);
+                acc += (x | y).count_ones() + (x & y).count_ones() + (x & !y).count_ones();
+                acc += u32::from(x & !y == 0);
+            }
+            black_box(acc)
+        });
+    });
+
+    let wide2: Vec<WideSet<2>> = patterns.iter().map(|&p| WideSet::from_bits(p)).collect();
+    group.bench_function("wideset2_n128", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for w in wide2.windows(2) {
+                let (x, y) = (w[0], w[1]);
+                acc += x.union(y).len() + x.intersection(y).len() + x.difference(y).len();
+                acc += usize::from(x.is_subset(y));
+            }
+            black_box(acc)
+        });
+    });
+
+    let w8_narrow: Vec<ProcessSet> = patterns.iter().map(|&p| ProcessSet::from_bits(p)).collect();
+    group.bench_function("processet_w8_n128", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for w in w8_narrow.windows(2) {
+                let (x, y) = (w[0], w[1]);
+                acc += x.union(y).len() + x.intersection(y).len() + x.difference(y).len();
+                acc += usize::from(x.is_subset(y));
+            }
+            black_box(acc)
+        });
+    });
+
+    // n = 512: ~170 members per set, strided across all eight limbs.
+    let wide_sets: Vec<ProcessSet> = (0..=pairs)
+        .map(|i| {
+            (0..512usize)
+                .filter(|&j| mix((i * 512 + j) as u64).is_multiple_of(3))
+                .map(ProcessId::new)
+                .collect()
+        })
+        .collect();
+    group.bench_function("processet_w8_n512", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for w in wide_sets.windows(2) {
+                let (x, y) = (w[0], w[1]);
+                acc += x.union(y).len() + x.intersection(y).len() + x.difference(y).len();
+                acc += usize::from(x.is_subset(y));
+            }
+            black_box(acc)
+        });
+    });
+
+    let btree_sets: Vec<BTreeSet<ProcessId>> = wide_sets
+        .iter()
+        .map(|s| s.iter().collect::<BTreeSet<ProcessId>>())
+        .collect();
+    group.bench_function("btreeset_n512", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for w in btree_sets.windows(2) {
+                let (x, y) = (&w[0], &w[1]);
+                acc += x.union(y).count() + x.intersection(y).count() + x.difference(y).count();
+                acc += usize::from(x.is_subset(y));
+            }
+            black_box(acc)
+        });
+    });
+
+    // Iteration: drain the members of one wide set vs the BTreeSet.
+    group.bench_function("iterate_members_w8_n512", |b| {
+        let s = &wide_sets[0];
+        b.iter(|| {
+            let sum: usize = s.iter().map(ProcessId::index).sum();
+            black_box(sum)
+        });
+    });
+    group.bench_function("iterate_members_btree_n512", |b| {
+        let s = &btree_sets[0];
+        b.iter(|| {
+            let sum: usize = s.iter().map(|p| p.index()).sum();
+            black_box(sum)
+        });
+    });
+
+    group.finish();
+}
+
 fn bench_pasting_cost(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_pasting_cost");
     group.sample_size(10);
@@ -227,6 +355,7 @@ criterion_group!(
     bench_schedulers,
     bench_engines,
     bench_buffer_receive,
+    bench_wide_sets,
     bench_pasting_cost
 );
 criterion_main!(benches);

@@ -4,7 +4,7 @@
 //! The paper cites Bonnet–Raynal for "Σ(n−1) is sufficient for solving
 //! (n−1)-set agreement". We realize the endpoint with the classical
 //! loneliness-based algorithm of Delporte-Gallet et al. (DISC'08) — also the
-//! basis of the authors' own L(k) work [2] — which is equivalent for this
+//! basis of the authors' own L(k) work \[2\] — which is equivalent for this
 //! purpose and elementary to verify (the substitution is documented in
 //! DESIGN.md):
 //!

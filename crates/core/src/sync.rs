@@ -18,7 +18,7 @@
 
 use std::fmt;
 
-use kset_sim::{Engine, ProcessId, ProcessSet, SenderMap};
+use kset_sim::{CapacityError, Engine, ProcessId, ProcessSet, SenderMap};
 
 use crate::task::Val;
 
@@ -115,25 +115,41 @@ impl<P: RoundProcess> LockStep<P> {
     /// # Panics
     ///
     /// Panics if two crashes name the same process, or if `procs.len()`
-    /// exceeds [`ProcessSet::CAPACITY`].
+    /// exceeds [`ProcessSet::CAPACITY`]; [`LockStep::try_new`] is the
+    /// fallible form of the capacity check.
     pub fn new(procs: Vec<P>, rounds: usize, crashes: &[RoundCrash]) -> Self {
-        assert!(
-            procs.len() <= ProcessSet::CAPACITY,
-            "system size {} exceeds the ProcessSet capacity of {}",
-            procs.len(),
-            ProcessSet::CAPACITY
-        );
+        match Self::try_new(procs, rounds, crashes) {
+            Ok(ls) => ls,
+            Err(e) => panic!("system size {e}"),
+        }
+    }
+
+    /// Creates the executor, or a [`CapacityError`] if `procs.len()`
+    /// exceeds [`ProcessSet::CAPACITY`].
+    ///
+    /// # Panics
+    ///
+    /// Still panics if two crashes name the same process — that is a
+    /// malformed schedule, not a size limit.
+    pub fn try_new(
+        procs: Vec<P>,
+        rounds: usize,
+        crashes: &[RoundCrash],
+    ) -> Result<Self, CapacityError> {
+        if procs.len() > ProcessSet::CAPACITY {
+            return Err(CapacityError::new(procs.len(), ProcessSet::CAPACITY));
+        }
         let mut seen = ProcessSet::new();
         for c in crashes {
             assert!(seen.insert(c.pid), "duplicate crash for {}", c.pid);
         }
-        LockStep {
+        Ok(LockStep {
             procs,
             crashes: crashes.to_vec(),
             crashed: ProcessSet::new(),
             round: 0,
             max_rounds: rounds,
-        }
+        })
     }
 
     /// Rounds executed so far.
@@ -323,6 +339,16 @@ mod tests {
     fn oversized_system_rejected_at_construction() {
         let procs = vec![CountRound1 { heard: None }; ProcessSet::CAPACITY + 1];
         let _ = LockStep::new(procs, 1, &[]);
+    }
+
+    #[test]
+    fn oversized_system_is_a_typed_error_on_try_new() {
+        let procs = vec![CountRound1 { heard: None }; ProcessSet::CAPACITY + 1];
+        let err = LockStep::try_new(procs, 1, &[]).unwrap_err();
+        assert_eq!(err.requested(), ProcessSet::CAPACITY + 1);
+        assert_eq!(err.capacity(), ProcessSet::CAPACITY);
+        let procs = vec![CountRound1 { heard: None }; ProcessSet::CAPACITY];
+        assert!(LockStep::try_new(procs, 1, &[]).is_ok());
     }
 
     #[test]

@@ -119,8 +119,8 @@ fn find_disjoint_family(
     }
     // Backtracking: a family is pairwise disjoint iff each member is
     // disjoint from the union of the previously chosen ones — with bitset
-    // quorums both the disjointness test and the union are single `u128`
-    // operations.
+    // quorums both the disjointness test and the union are a handful of
+    // branch-free word operations.
     fn rec(
         per_proc: &[(ProcessId, Vec<(Time, &QuorumSample)>)],
         idx: usize,

@@ -16,7 +16,7 @@
 //!   before hearing each other — the "sufficiently asynchronous" schedule
 //!   of the proof;
 //! * the recorded failure-detector histories of the violating run are
-//!   re-validated against the Σk and Ωk oracles ([`kset_fd::checkers`]) —
+//!   re-validated against the Σk and Ωk oracles (`kset_fd::checkers`) —
 //!   the executable Lemma 9: the run the candidate loses to is a perfectly
 //!   legal (Σk, Ωk) run.
 

@@ -6,7 +6,7 @@
 //!
 //! | Module | Crate | Contents |
 //! |---|---|---|
-//! | [`sim`] | `kset-sim` | deterministic message-passing simulator (DDS model + failure detectors), traces, indistinguishability, restriction `A\|D`, admissibility |
+//! | [`sim`] | `kset-sim` | deterministic message-passing simulator (DDS model + failure detectors), wide-bitset process sets (n ≤ 512), traces, indistinguishability, restriction `A\|D`, admissibility |
 //! | [`graph`] | `kset-graph` | stage-one graphs, SCCs, source components (Lemmas 6/7), initial cliques |
 //! | [`fd`] | `kset-fd` | Σk, Ωk, the partition detector (Σ′k, Ω′k), loneliness L, history checkers |
 //! | [`core`] | `kset-core` | the k-set agreement task, T-independence, and all algorithms |

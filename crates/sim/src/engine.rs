@@ -23,7 +23,7 @@ use std::collections::BTreeSet;
 
 use crate::buffer::Buffer;
 use crate::failure::{CrashPlan, FailurePattern};
-use crate::ids::{MsgId, ProcessId, Time};
+use crate::ids::{CapacityError, MsgId, ProcessId, Time};
 use crate::message::{fingerprint, Envelope};
 use crate::oracle::{NoOracle, Oracle};
 use crate::process::{Effects, Process, ProcessInfo};
@@ -157,8 +157,19 @@ where
     /// # Panics
     ///
     /// Panics if `inputs.len()` exceeds [`crate::ProcessSet::CAPACITY`]
-    /// (the bitset-backed process sets cap the system size at 128).
+    /// (the bitset-backed process sets cap the system size);
+    /// [`Simulation::try_new`] is the fallible form.
     pub fn new(inputs: Vec<P::Input>, crash_plan: CrashPlan) -> Self {
+        match Self::try_new(inputs, crash_plan) {
+            Ok(sim) => sim,
+            Err(e) => panic!("system size {e}"),
+        }
+    }
+
+    /// Creates a simulation without failure detectors, or a
+    /// [`CapacityError`] if `inputs.len()` exceeds
+    /// [`crate::ProcessSet::CAPACITY`].
+    pub fn try_new(inputs: Vec<P::Input>, crash_plan: CrashPlan) -> Result<Self, CapacityError> {
         Self::build(inputs, NoOracle, crash_plan)
     }
 }
@@ -174,19 +185,36 @@ where
     ///
     /// # Panics
     ///
-    /// Panics if `inputs.len()` exceeds [`crate::ProcessSet::CAPACITY`].
+    /// Panics if `inputs.len()` exceeds [`crate::ProcessSet::CAPACITY`];
+    /// [`Simulation::try_with_oracle`] is the fallible form.
     pub fn with_oracle(inputs: Vec<P::Input>, oracle: O, crash_plan: CrashPlan) -> Self {
+        match Self::try_with_oracle(inputs, oracle, crash_plan) {
+            Ok(sim) => sim,
+            Err(e) => panic!("system size {e}"),
+        }
+    }
+
+    /// Creates an oracle-backed simulation, or a [`CapacityError`] if
+    /// `inputs.len()` exceeds [`crate::ProcessSet::CAPACITY`] — the typed
+    /// form for callers (sweep grids, scenario loaders) that validate
+    /// system sizes at the boundary.
+    pub fn try_with_oracle(
+        inputs: Vec<P::Input>,
+        oracle: O,
+        crash_plan: CrashPlan,
+    ) -> Result<Self, CapacityError> {
         Self::build(inputs, oracle, crash_plan)
     }
 
-    fn build(inputs: Vec<P::Input>, oracle: O, crash_plan: CrashPlan) -> Self {
+    fn build(
+        inputs: Vec<P::Input>,
+        oracle: O,
+        crash_plan: CrashPlan,
+    ) -> Result<Self, CapacityError> {
         let n = inputs.len();
-        assert!(
-            n <= crate::ids::ProcessSet::CAPACITY,
-            "system size {n} exceeds the ProcessSet capacity of {} \
-             (see the ROADMAP item on wide bitsets)",
-            crate::ids::ProcessSet::CAPACITY
-        );
+        if n > crate::ids::ProcessSet::CAPACITY {
+            return Err(CapacityError::new(n, crate::ids::ProcessSet::CAPACITY));
+        }
         let procs: Vec<P> = inputs
             .into_iter()
             .enumerate()
@@ -204,7 +232,7 @@ where
                 after_step: false,
             });
         }
-        Simulation {
+        Ok(Simulation {
             n,
             procs,
             statuses,
@@ -219,7 +247,7 @@ where
             violations: Vec::new(),
             trace,
             total_steps: 0,
-        }
+        })
     }
 
     /// System size `n`.
@@ -885,6 +913,19 @@ mod tests {
         let sim: Simulation<MinEcho, NoOracle> =
             Simulation::new(vec![0; crate::ids::ProcessSet::CAPACITY], CrashPlan::none());
         assert_eq!(sim.n(), crate::ids::ProcessSet::CAPACITY);
+    }
+
+    #[test]
+    fn oversized_system_is_a_typed_error_on_try_new() {
+        let cap = crate::ids::ProcessSet::CAPACITY;
+        let err = Simulation::<MinEcho, NoOracle>::try_new(vec![0; cap + 1], CrashPlan::none())
+            .unwrap_err();
+        assert_eq!(err.requested(), cap + 1);
+        assert_eq!(err.capacity(), cap);
+        assert!(
+            Simulation::<MinEcho, NoOracle>::try_new(vec![0; cap], CrashPlan::none()).is_ok(),
+            "exactly-at-capacity systems construct"
+        );
     }
 
     #[test]

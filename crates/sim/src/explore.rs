@@ -26,7 +26,7 @@
 use std::collections::HashSet;
 
 use crate::engine::Simulation;
-use crate::ids::{ProcessId, ProcessSet};
+use crate::ids::ProcessId;
 use crate::oracle::Oracle;
 use crate::process::Process;
 use crate::sched::{Choice, Delivery};
@@ -200,16 +200,15 @@ where
         Branching::NoneOrAll => vec![Delivery::None, Delivery::All],
         Branching::PerSource => {
             // Enumerate every subset of the pending sources directly on the
-            // bitset: the classic sub = (sub - 1) & mask walk.
+            // bitset: the classic sub = (sub - 1) & mask walk, width-generic
+            // via `WideSet::subsets` so it holds past 128 processes.
             let sources = buffer.sources();
-            let bits = sources.bits();
-            let mut menu = Vec::with_capacity(1 << sources.len());
+            // 2^len menu entries; cap the pre-reservation so a wide source
+            // set (type-permitted up to 512 senders) can't overflow the
+            // shift — the extend below grows the Vec as needed anyway.
+            let mut menu = Vec::with_capacity(1usize << sources.len().min(20));
             menu.push(Delivery::None);
-            let mut sub = bits;
-            while sub != 0 {
-                menu.push(Delivery::AllFrom(ProcessSet::from_bits(sub)));
-                sub = (sub - 1) & bits;
-            }
+            menu.extend(sources.subsets().map(Delivery::AllFrom));
             menu
         }
     }

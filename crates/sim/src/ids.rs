@@ -1,6 +1,7 @@
 //! Core identifier newtypes and compact per-process containers: process
 //! identifiers, message identifiers, the global logical clock, the
-//! [`ProcessSet`] bitset, and the [`SenderMap`] dense map.
+//! width-generic [`WideSet`] bitset (and its workspace-wide alias
+//! [`ProcessSet`]), and the [`SenderMap`] dense map.
 //!
 //! The paper (Section II) considers a system `Π = {p1, …, pn}` of `n`
 //! processes with unique ids `{1, …, n}`, and defines *time* as the index of
@@ -14,10 +15,14 @@
 //! Every set of processes in the workspace — partition blocks, quorum and
 //! leader samples, faulty/correct sets, delivery filters — is a
 //! [`ProcessSet`]: a fixed-capacity bitset over [`ProcessId`] whose set
-//! algebra is single-instruction `u128` arithmetic. Per-sender round state
+//! algebra is branch-free word arithmetic over `[u64; W]` limbs. The width
+//! `W` is generic ([`WideSet`]); the workspace pins one width for all
+//! simulator state via the [`ProcessSet`] alias ([`PSET_LIMBS`] limbs, i.e.
+//! capacity [`ProcessSet::CAPACITY`]). Per-sender round state
 //! (synchronous-round inboxes, stage-2 info tables, promise ledgers) uses
 //! [`SenderMap`], a dense `Vec<Option<M>>` keyed by sender index.
 
+use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, Sub, SubAssign};
@@ -165,45 +170,149 @@ impl From<u64> for Time {
     }
 }
 
-/// A set of processes, stored as a fixed-capacity bitset.
+/// Number of 64-bit limbs in the workspace-wide [`ProcessSet`] alias.
 ///
-/// Bit `i` is set iff `ProcessId::new(i)` is a member. All set algebra —
-/// union, intersection, difference, subset and disjointness tests — is
-/// constant-time `u128` arithmetic, and the type is `Copy`, which is what
-/// makes it viable in the simulator's hot paths (buffer delivery filters,
-/// failure patterns, explorer state, failure-detector samples).
+/// The simulator, failure-detector, agreement and impossibility layers are
+/// all written against the width-generic [`WideSet`] API; this constant pins
+/// the one width they are compiled at. `8` limbs ⇒ systems of up to
+/// `8 × 64 = 512` processes. Bumping it (and recompiling) is the entire
+/// migration story for larger systems.
+pub const PSET_LIMBS: usize = 8;
+
+/// A set of processes: the workspace-wide instantiation of [`WideSet`] at
+/// [`PSET_LIMBS`] limbs (capacity [`ProcessSet::CAPACITY`] = 512 processes).
 ///
-/// Capacity is [`ProcessSet::CAPACITY`] processes; inserting a larger id
-/// panics. Systems beyond that need the planned SIMD/wide variant (see the
-/// ROADMAP).
+/// Everything documented on [`WideSet`] applies; this alias exists so the
+/// rest of the workspace states "a set of processes" without naming a width.
+pub type ProcessSet = WideSet<PSET_LIMBS>;
+
+/// Iterator over the members of a [`ProcessSet`], ascending by id.
+pub type ProcessSetIter = WideSetIter<PSET_LIMBS>;
+
+/// Error returned when a process id (or a system size) does not fit in a
+/// set's fixed capacity.
 ///
-/// Iteration yields members in ascending id order, matching the ordering
-/// the previous `BTreeSet<ProcessId>` representation guaranteed.
+/// Produced by the fallible constructors [`WideSet::try_insert`],
+/// [`WideSet::try_singleton`] and [`WideSet::try_full`], and surfaced by the
+/// simulator's construction paths (`Simulation::try_new`,
+/// `LockStep::try_new`) so oversized systems are rejected at the boundary
+/// with a typed error instead of a panic deep inside a set operation.
 ///
 /// # Examples
 ///
 /// ```
 /// use kset_sim::{ProcessId, ProcessSet};
 ///
-/// let mut s: ProcessSet = [ProcessId::new(0), ProcessId::new(2)].into();
-/// assert!(s.contains(ProcessId::new(2)));
-/// s.insert(ProcessId::new(1));
-/// assert_eq!(s.len(), 3);
-/// let t = ProcessSet::full(2);
-/// assert_eq!((s & t).len(), 2);
-/// assert_eq!(s.to_string(), "{p1, p2, p3}");
+/// let err = ProcessSet::try_full(ProcessSet::CAPACITY + 1).unwrap_err();
+/// assert_eq!(err.requested(), ProcessSet::CAPACITY + 1);
+/// assert_eq!(err.capacity(), ProcessSet::CAPACITY);
+/// assert!(err.to_string().contains("capacity"));
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct ProcessSet {
-    bits: u128,
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacityError {
+    requested: usize,
+    capacity: usize,
 }
 
-impl ProcessSet {
-    /// The maximum system size representable.
-    pub const CAPACITY: usize = 128;
+impl CapacityError {
+    /// Creates a capacity error for a requested id/size against a capacity.
+    pub const fn new(requested: usize, capacity: usize) -> Self {
+        CapacityError {
+            requested,
+            capacity,
+        }
+    }
+
+    /// The 0-based process index (or requested system size) that did not
+    /// fit.
+    pub const fn requested(self) -> usize {
+        self.requested
+    }
+
+    /// The capacity that was exceeded.
+    pub const fn capacity(self) -> usize {
+        self.capacity
+    }
+}
+
+impl fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} exceeds the ProcessSet capacity of {}",
+            self.requested, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for CapacityError {}
+
+/// A set of small integers (process indices), stored as `W` 64-bit limbs.
+///
+/// Bit `i` of the concatenated limbs is set iff `ProcessId::new(i)` is a
+/// member (limb `i / 64`, bit `i % 64`). All set algebra — union,
+/// intersection, difference, subset and disjointness tests — is branch-free
+/// word arithmetic over the limb array, which LLVM auto-vectorizes at the
+/// widths the workspace uses; the type is `Copy`, which is what makes it
+/// viable in the simulator's hot paths (buffer delivery filters, failure
+/// patterns, explorer state, failure-detector samples).
+///
+/// Capacity is `W × 64` members. The *capacity invariant*: a `WideSet<W>`
+/// never holds an index ≥ `W × 64` — the panicking mutators enforce it with
+/// the message of a [`CapacityError`], and the `try_` constructors surface
+/// the error for callers that validate sizes at a system boundary.
+///
+/// Iteration yields members in ascending id order, and `Ord` compares sets
+/// as the big integers their bits spell (most-significant limb first), so a
+/// `WideSet<2>` orders exactly like the `u128` bitset it generalizes.
+///
+/// # Examples
+///
+/// ```
+/// use kset_sim::{ProcessId, WideSet};
+///
+/// // Four limbs ⇒ room for 256 processes.
+/// let mut s: WideSet<4> = WideSet::new();
+/// assert_eq!(WideSet::<4>::CAPACITY, 256);
+/// s.insert(ProcessId::new(200));
+/// s.insert(ProcessId::new(3));
+/// assert_eq!(s.len(), 2);
+/// assert!(s.contains(ProcessId::new(200)));
+/// assert_eq!(s.to_string(), "{p4, p201}");
+///
+/// // Ids beyond the capacity are a typed error on the `try_` API:
+/// assert!(s.try_insert(ProcessId::new(256)).is_err());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct WideSet<const W: usize> {
+    limbs: [u64; W],
+}
+
+impl<const W: usize> Hash for WideSet<W> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Feed only the limbs up to the highest non-zero one. Equal sets
+        // have identical limb arrays, so the (count, prefix) encoding is
+        // Eq-consistent — and a set confined to the first 128 ids hashes at
+        // the cost of the old `u128` representation instead of paying for
+        // all W limbs. State fingerprinting in the simulator hot loop hashes
+        // several sets per step, which is what makes this worth it.
+        let mut hi = W;
+        while hi > 0 && self.limbs[hi - 1] == 0 {
+            hi -= 1;
+        }
+        state.write_usize(hi);
+        for &limb in &self.limbs[..hi] {
+            state.write_u64(limb);
+        }
+    }
+}
+
+impl<const W: usize> WideSet<W> {
+    /// The maximum system size representable: `W × 64`.
+    pub const CAPACITY: usize = W * 64;
 
     /// The empty set.
-    pub const EMPTY: ProcessSet = ProcessSet { bits: 0 };
+    pub const EMPTY: WideSet<W> = WideSet { limbs: [0; W] };
 
     /// Creates an empty set.
     pub const fn new() -> Self {
@@ -214,73 +323,180 @@ impl ProcessSet {
     ///
     /// # Panics
     ///
-    /// Panics if `p.index() >= CAPACITY`.
+    /// Panics if `p.index() >= CAPACITY`; [`WideSet::try_singleton`] is the
+    /// fallible form.
     pub fn singleton(p: ProcessId) -> Self {
+        match Self::try_singleton(p) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// The singleton `{p}`, or a [`CapacityError`] if `p` does not fit.
+    pub fn try_singleton(p: ProcessId) -> Result<Self, CapacityError> {
         let mut s = Self::EMPTY;
-        s.insert(p);
-        s
+        s.try_insert(p)?;
+        Ok(s)
     }
 
     /// The full system `Π = {p1, …, pn}`.
     ///
     /// # Panics
     ///
-    /// Panics if `n > CAPACITY`.
+    /// Panics if `n > CAPACITY`; [`WideSet::try_full`] is the fallible form.
     pub fn full(n: usize) -> Self {
-        assert!(
-            n <= Self::CAPACITY,
-            "ProcessSet capacity is {}",
-            Self::CAPACITY
-        );
-        if n == Self::CAPACITY {
-            ProcessSet { bits: u128::MAX }
-        } else {
-            ProcessSet {
-                bits: (1u128 << n) - 1,
-            }
+        match Self::try_full(n) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
         }
     }
 
-    /// Builds a set directly from a bit pattern (bit `i` ⇔ `p_{i+1}`).
-    pub const fn from_bits(bits: u128) -> Self {
-        ProcessSet { bits }
+    /// The full system `Π = {p1, …, pn}`, or a [`CapacityError`] if `n`
+    /// exceeds the capacity.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use kset_sim::WideSet;
+    ///
+    /// assert_eq!(WideSet::<8>::try_full(512).unwrap().len(), 512);
+    /// assert!(WideSet::<8>::try_full(513).is_err());
+    /// ```
+    pub fn try_full(n: usize) -> Result<Self, CapacityError> {
+        if n > Self::CAPACITY {
+            return Err(CapacityError::new(n, Self::CAPACITY));
+        }
+        let mut limbs = [0u64; W];
+        let mut i = 0;
+        let mut rem = n;
+        while rem >= 64 {
+            limbs[i] = u64::MAX;
+            rem -= 64;
+            i += 1;
+        }
+        if rem > 0 {
+            limbs[i] = (1u64 << rem) - 1;
+        }
+        Ok(WideSet { limbs })
     }
 
-    /// The raw bit pattern.
-    pub const fn bits(self) -> u128 {
-        self.bits
+    /// Builds a set directly from a `u128` bit pattern (bit `i` ⇔ `p_{i+1}`),
+    /// the pre-wide-set interchange format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `W == 1` and `bits` has a one above bit 63 (the pattern
+    /// does not fit). For `W ≥ 2` every `u128` fits.
+    pub const fn from_bits(bits: u128) -> Self {
+        let mut limbs = [0u64; W];
+        limbs[0] = bits as u64;
+        let hi = (bits >> 64) as u64;
+        if W >= 2 {
+            limbs[1] = hi;
+        } else {
+            assert!(hi == 0, "bit pattern exceeds the set capacity");
+        }
+        WideSet { limbs }
+    }
+
+    /// The raw bit pattern as a `u128`, for sets confined to the first 128
+    /// ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set has a member ≥ 128; use [`WideSet::limbs`] for a
+    /// width-agnostic view.
+    pub fn bits(self) -> u128 {
+        let mut i = 2;
+        while i < W {
+            assert!(
+                self.limbs[i] == 0,
+                "set has members ≥ 128 and does not fit in u128; use limbs()"
+            );
+            i += 1;
+        }
+        let lo = self.limbs[0] as u128;
+        if W >= 2 {
+            lo | (self.limbs[1] as u128) << 64
+        } else {
+            lo
+        }
+    }
+
+    /// The raw limb array (limb `i` holds ids `64·i .. 64·(i+1)`).
+    pub const fn limbs(&self) -> &[u64; W] {
+        &self.limbs
+    }
+
+    /// Builds a set directly from its limb array.
+    pub const fn from_limbs(limbs: [u64; W]) -> Self {
+        WideSet { limbs }
     }
 
     /// Number of members.
     pub const fn len(self) -> usize {
-        self.bits.count_ones() as usize
+        let mut n = 0;
+        let mut i = 0;
+        while i < W {
+            n += self.limbs[i].count_ones() as usize;
+            i += 1;
+        }
+        n
     }
 
     /// Whether the set has no members.
     pub const fn is_empty(self) -> bool {
-        self.bits == 0
+        let mut i = 0;
+        while i < W {
+            if self.limbs[i] != 0 {
+                return false;
+            }
+            i += 1;
+        }
+        true
     }
 
     /// Whether `p` is a member.
-    pub fn contains(self, p: ProcessId) -> bool {
-        p.index() < Self::CAPACITY && self.bits & (1u128 << p.index()) != 0
+    pub const fn contains(self, p: ProcessId) -> bool {
+        let limb = p.index() / 64;
+        limb < W && self.limbs[limb] >> (p.index() % 64) & 1 == 1
     }
 
     /// Inserts `p`; returns whether it was newly added.
     ///
     /// # Panics
     ///
-    /// Panics if `p.index() >= CAPACITY`.
+    /// Panics if `p.index() >= CAPACITY`; [`WideSet::try_insert`] is the
+    /// fallible form.
     pub fn insert(&mut self, p: ProcessId) -> bool {
-        assert!(
-            p.index() < Self::CAPACITY,
-            "{p} exceeds the ProcessSet capacity of {}",
-            Self::CAPACITY
-        );
-        let bit = 1u128 << p.index();
-        let fresh = self.bits & bit == 0;
-        self.bits |= bit;
-        fresh
+        match self.try_insert(p) {
+            Ok(fresh) => fresh,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Inserts `p` if it fits, returning whether it was newly added, or a
+    /// [`CapacityError`] if `p.index() >= CAPACITY` (the set is unchanged).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use kset_sim::{ProcessId, WideSet};
+    ///
+    /// let mut s: WideSet<2> = WideSet::new();
+    /// assert_eq!(s.try_insert(ProcessId::new(127)), Ok(true));
+    /// assert_eq!(s.try_insert(ProcessId::new(127)), Ok(false));
+    /// assert!(s.try_insert(ProcessId::new(128)).is_err());
+    /// ```
+    pub fn try_insert(&mut self, p: ProcessId) -> Result<bool, CapacityError> {
+        if p.index() >= Self::CAPACITY {
+            return Err(CapacityError::new(p.index(), Self::CAPACITY));
+        }
+        let bit = 1u64 << (p.index() % 64);
+        let limb = &mut self.limbs[p.index() / 64];
+        let fresh = *limb & bit == 0;
+        *limb |= bit;
+        Ok(fresh)
     }
 
     /// Removes `p`; returns whether it was present.
@@ -288,64 +504,155 @@ impl ProcessSet {
         if p.index() >= Self::CAPACITY {
             return false;
         }
-        let bit = 1u128 << p.index();
-        let present = self.bits & bit != 0;
-        self.bits &= !bit;
+        let bit = 1u64 << (p.index() % 64);
+        let limb = &mut self.limbs[p.index() / 64];
+        let present = *limb & bit != 0;
+        *limb &= !bit;
         present
     }
 
     /// The smallest member, if any.
     pub fn first(self) -> Option<ProcessId> {
-        (!self.is_empty()).then(|| ProcessId::new(self.bits.trailing_zeros() as usize))
+        let mut i = 0;
+        while i < W {
+            if self.limbs[i] != 0 {
+                return Some(ProcessId::new(
+                    i * 64 + self.limbs[i].trailing_zeros() as usize,
+                ));
+            }
+            i += 1;
+        }
+        None
     }
 
     /// `self ∪ other`.
     #[must_use]
-    pub const fn union(self, other: ProcessSet) -> ProcessSet {
-        ProcessSet {
-            bits: self.bits | other.bits,
+    pub const fn union(self, other: WideSet<W>) -> WideSet<W> {
+        let mut limbs = [0u64; W];
+        let mut i = 0;
+        while i < W {
+            limbs[i] = self.limbs[i] | other.limbs[i];
+            i += 1;
         }
+        WideSet { limbs }
     }
 
     /// `self ∩ other`.
     #[must_use]
-    pub const fn intersection(self, other: ProcessSet) -> ProcessSet {
-        ProcessSet {
-            bits: self.bits & other.bits,
+    pub const fn intersection(self, other: WideSet<W>) -> WideSet<W> {
+        let mut limbs = [0u64; W];
+        let mut i = 0;
+        while i < W {
+            limbs[i] = self.limbs[i] & other.limbs[i];
+            i += 1;
         }
+        WideSet { limbs }
     }
 
     /// `self \ other`.
     #[must_use]
-    pub const fn difference(self, other: ProcessSet) -> ProcessSet {
-        ProcessSet {
-            bits: self.bits & !other.bits,
+    pub const fn difference(self, other: WideSet<W>) -> WideSet<W> {
+        let mut limbs = [0u64; W];
+        let mut i = 0;
+        while i < W {
+            limbs[i] = self.limbs[i] & !other.limbs[i];
+            i += 1;
         }
+        WideSet { limbs }
     }
 
     /// `Π \ self` for a system of size `n`.
     #[must_use]
-    pub fn complement(self, n: usize) -> ProcessSet {
+    pub fn complement(self, n: usize) -> WideSet<W> {
         Self::full(n).difference(self)
     }
 
     /// Whether every member of `self` is in `other`.
-    pub const fn is_subset(self, other: ProcessSet) -> bool {
-        self.bits & !other.bits == 0
+    pub const fn is_subset(self, other: WideSet<W>) -> bool {
+        let mut i = 0;
+        while i < W {
+            if self.limbs[i] & !other.limbs[i] != 0 {
+                return false;
+            }
+            i += 1;
+        }
+        true
     }
 
     /// Whether the sets share no member.
-    pub const fn is_disjoint(self, other: ProcessSet) -> bool {
-        self.bits & other.bits == 0
+    pub const fn is_disjoint(self, other: WideSet<W>) -> bool {
+        let mut i = 0;
+        while i < W {
+            if self.limbs[i] & other.limbs[i] != 0 {
+                return false;
+            }
+            i += 1;
+        }
+        true
     }
 
     /// Iterates over the members in ascending id order.
-    pub fn iter(self) -> ProcessSetIter {
-        ProcessSetIter { bits: self.bits }
+    pub fn iter(self) -> WideSetIter<W> {
+        WideSetIter {
+            limbs: self.limbs,
+            limb: 0,
+        }
+    }
+
+    /// Enumerates every **non-empty** subset of `self`, starting with
+    /// `self` itself and descending in the bit-pattern order of the classic
+    /// `sub = (sub - 1) & mask` walk, generalized to multi-limb sets by
+    /// multi-precision borrow propagation.
+    ///
+    /// The exhaustive explorer uses this to build per-process delivery
+    /// menus; there are `2^len − 1` subsets, so callers bound `len` first.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use kset_sim::{ProcessId, ProcessSet};
+    ///
+    /// let s: ProcessSet = [ProcessId::new(0), ProcessId::new(2)].into();
+    /// let subs: Vec<String> = s.subsets().map(|t| t.to_string()).collect();
+    /// assert_eq!(subs, vec!["{p1, p3}", "{p3}", "{p1}"]);
+    /// ```
+    pub fn subsets(self) -> SubsetIter<W> {
+        SubsetIter {
+            mask: self.limbs,
+            next: (!self.is_empty()).then_some(self.limbs),
+        }
     }
 }
 
-impl fmt::Debug for ProcessSet {
+impl<const W: usize> Default for WideSet<W> {
+    fn default() -> Self {
+        Self::EMPTY
+    }
+}
+
+impl<const W: usize> Ord for WideSet<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Compare as the big integer the bits spell: most-significant limb
+        // first. For W = 2 this is exactly the old u128 numeric order.
+        let mut i = W;
+        while i > 0 {
+            i -= 1;
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => {}
+                o => return o,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl<const W: usize> PartialOrd for WideSet<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<const W: usize> fmt::Debug for WideSet<W> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // `{p1, p3}` in both Debug and Display: debug output appears in
         // assertion messages, where the paper-style names read best.
@@ -353,7 +660,7 @@ impl fmt::Debug for ProcessSet {
     }
 }
 
-impl fmt::Display for ProcessSet {
+impl<const W: usize> fmt::Display for WideSet<W> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
         for (i, p) in self.iter().enumerate() {
@@ -366,95 +673,138 @@ impl fmt::Display for ProcessSet {
     }
 }
 
-impl BitOr for ProcessSet {
-    type Output = ProcessSet;
+impl<const W: usize> BitOr for WideSet<W> {
+    type Output = WideSet<W>;
 
-    fn bitor(self, rhs: ProcessSet) -> ProcessSet {
+    fn bitor(self, rhs: WideSet<W>) -> WideSet<W> {
         self.union(rhs)
     }
 }
 
-impl BitOrAssign for ProcessSet {
-    fn bitor_assign(&mut self, rhs: ProcessSet) {
-        self.bits |= rhs.bits;
+impl<const W: usize> BitOrAssign for WideSet<W> {
+    fn bitor_assign(&mut self, rhs: WideSet<W>) {
+        *self = self.union(rhs);
     }
 }
 
-impl BitAnd for ProcessSet {
-    type Output = ProcessSet;
+impl<const W: usize> BitAnd for WideSet<W> {
+    type Output = WideSet<W>;
 
-    fn bitand(self, rhs: ProcessSet) -> ProcessSet {
+    fn bitand(self, rhs: WideSet<W>) -> WideSet<W> {
         self.intersection(rhs)
     }
 }
 
-impl BitAndAssign for ProcessSet {
-    fn bitand_assign(&mut self, rhs: ProcessSet) {
-        self.bits &= rhs.bits;
+impl<const W: usize> BitAndAssign for WideSet<W> {
+    fn bitand_assign(&mut self, rhs: WideSet<W>) {
+        *self = self.intersection(rhs);
     }
 }
 
-impl Sub for ProcessSet {
-    type Output = ProcessSet;
+impl<const W: usize> Sub for WideSet<W> {
+    type Output = WideSet<W>;
 
-    fn sub(self, rhs: ProcessSet) -> ProcessSet {
+    fn sub(self, rhs: WideSet<W>) -> WideSet<W> {
         self.difference(rhs)
     }
 }
 
-impl SubAssign for ProcessSet {
-    fn sub_assign(&mut self, rhs: ProcessSet) {
-        self.bits &= !rhs.bits;
+impl<const W: usize> SubAssign for WideSet<W> {
+    fn sub_assign(&mut self, rhs: WideSet<W>) {
+        *self = self.difference(rhs);
     }
 }
 
-/// Iterator over the members of a [`ProcessSet`], ascending by id.
+/// Iterator over the members of a [`WideSet`], ascending by id.
 #[derive(Debug, Clone)]
-pub struct ProcessSetIter {
-    bits: u128,
+pub struct WideSetIter<const W: usize> {
+    limbs: [u64; W],
+    limb: usize,
 }
 
-impl Iterator for ProcessSetIter {
+impl<const W: usize> Iterator for WideSetIter<W> {
     type Item = ProcessId;
 
     fn next(&mut self) -> Option<ProcessId> {
-        if self.bits == 0 {
-            return None;
+        while self.limb < W {
+            let bits = self.limbs[self.limb];
+            if bits != 0 {
+                let idx = bits.trailing_zeros() as usize;
+                self.limbs[self.limb] = bits & (bits - 1);
+                return Some(ProcessId::new(self.limb * 64 + idx));
+            }
+            self.limb += 1;
         }
-        let idx = self.bits.trailing_zeros() as usize;
-        self.bits &= self.bits - 1;
-        Some(ProcessId::new(idx))
+        None
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let n = self.bits.count_ones() as usize;
+        let n: usize = self.limbs[self.limb..]
+            .iter()
+            .map(|l| l.count_ones() as usize)
+            .sum();
         (n, Some(n))
     }
 }
 
-impl ExactSizeIterator for ProcessSetIter {}
+impl<const W: usize> ExactSizeIterator for WideSetIter<W> {}
 
-impl IntoIterator for ProcessSet {
+/// Iterator over the non-empty subsets of a [`WideSet`], in descending
+/// bit-pattern order (see [`WideSet::subsets`]).
+#[derive(Debug, Clone)]
+pub struct SubsetIter<const W: usize> {
+    mask: [u64; W],
+    next: Option<[u64; W]>,
+}
+
+impl<const W: usize> Iterator for SubsetIter<W> {
+    type Item = WideSet<W>;
+
+    fn next(&mut self) -> Option<WideSet<W>> {
+        let cur = self.next?;
+        // Multi-precision `(cur - 1) & mask`: borrow ripples through zero
+        // limbs; `cur != 0` (invariant of `next`) bounds the ripple.
+        let mut prev = cur;
+        let mut i = 0;
+        loop {
+            let (v, borrow) = prev[i].overflowing_sub(1);
+            prev[i] = v;
+            if !borrow {
+                break;
+            }
+            i += 1;
+        }
+        let mut nonzero = false;
+        for (p, m) in prev.iter_mut().zip(&self.mask) {
+            *p &= m;
+            nonzero |= *p != 0;
+        }
+        self.next = nonzero.then_some(prev);
+        Some(WideSet { limbs: cur })
+    }
+}
+
+impl<const W: usize> IntoIterator for WideSet<W> {
     type Item = ProcessId;
-    type IntoIter = ProcessSetIter;
+    type IntoIter = WideSetIter<W>;
 
-    fn into_iter(self) -> ProcessSetIter {
+    fn into_iter(self) -> WideSetIter<W> {
         self.iter()
     }
 }
 
-impl IntoIterator for &ProcessSet {
+impl<const W: usize> IntoIterator for &WideSet<W> {
     type Item = ProcessId;
-    type IntoIter = ProcessSetIter;
+    type IntoIter = WideSetIter<W>;
 
-    fn into_iter(self) -> ProcessSetIter {
+    fn into_iter(self) -> WideSetIter<W> {
         self.iter()
     }
 }
 
-impl FromIterator<ProcessId> for ProcessSet {
+impl<const W: usize> FromIterator<ProcessId> for WideSet<W> {
     fn from_iter<I: IntoIterator<Item = ProcessId>>(iter: I) -> Self {
-        let mut s = ProcessSet::new();
+        let mut s = WideSet::new();
         for p in iter {
             s.insert(p);
         }
@@ -462,7 +812,7 @@ impl FromIterator<ProcessId> for ProcessSet {
     }
 }
 
-impl Extend<ProcessId> for ProcessSet {
+impl<const W: usize> Extend<ProcessId> for WideSet<W> {
     fn extend<I: IntoIterator<Item = ProcessId>>(&mut self, iter: I) {
         for p in iter {
             self.insert(p);
@@ -470,7 +820,7 @@ impl Extend<ProcessId> for ProcessSet {
     }
 }
 
-impl<const N: usize> From<[ProcessId; N]> for ProcessSet {
+impl<const W: usize, const N: usize> From<[ProcessId; N]> for WideSet<W> {
     fn from(ids: [ProcessId; N]) -> Self {
         ids.into_iter().collect()
     }
@@ -759,6 +1109,119 @@ mod tests {
         let s: ProcessSet = [pid(0), pid(2)].into();
         assert_eq!(s.to_string(), "{p1, p3}");
         assert_eq!(format!("{s:?}"), "{p1, p3}");
+    }
+
+    #[test]
+    fn capacity_is_512_and_errors_are_typed() {
+        assert_eq!(ProcessSet::CAPACITY, 512);
+        let mut s = ProcessSet::new();
+        assert!(s.insert(pid(511)), "top id fits");
+        let err = s.try_insert(pid(512)).unwrap_err();
+        assert_eq!(err.requested(), 512);
+        assert_eq!(err.capacity(), 512);
+        assert!(err.to_string().contains("exceeds the ProcessSet capacity"));
+        assert_eq!(s.len(), 1, "failed try_insert leaves the set unchanged");
+        assert!(ProcessSet::try_singleton(pid(512)).is_err());
+        assert_eq!(ProcessSet::try_full(512).unwrap().len(), 512);
+        assert!(ProcessSet::try_full(513).is_err());
+    }
+
+    #[test]
+    fn wide_ops_cross_limb_boundaries() {
+        // Members straddling all limbs of the width; algebra must treat the
+        // limb array as one long bit string.
+        let a: ProcessSet = [pid(0), pid(63), pid(64), pid(200), pid(511)].into();
+        let b: ProcessSet = [pid(63), pid(64), pid(65), pid(450)].into();
+        assert_eq!(a.union(b).len(), 7);
+        assert_eq!(a.intersection(b), [pid(63), pid(64)].into());
+        assert_eq!(a.difference(b), [pid(0), pid(200), pid(511)].into());
+        assert!(a.intersection(b).is_subset(b));
+        assert!(!a.is_disjoint(b));
+        let order: Vec<usize> = a.iter().map(ProcessId::index).collect();
+        assert_eq!(order, vec![0, 63, 64, 200, 511]);
+        assert_eq!(a.complement(512).len(), 512 - 5);
+        assert_eq!(a.first(), Some(pid(0)));
+    }
+
+    #[test]
+    fn widths_agree_on_shared_prefix() {
+        // The same members produce observationally equal sets at every
+        // width that can hold them.
+        let members = [0usize, 1, 63, 64, 100, 127];
+        let w2: WideSet<2> = members.iter().copied().map(pid).collect();
+        let w4: WideSet<4> = members.iter().copied().map(pid).collect();
+        let w8: WideSet<8> = members.iter().copied().map(pid).collect();
+        assert_eq!(w2.len(), w4.len());
+        assert_eq!(w4.len(), w8.len());
+        assert_eq!(w2.to_string(), w8.to_string());
+        assert_eq!(w2.iter().collect::<Vec<_>>(), w8.iter().collect::<Vec<_>>());
+        assert_eq!(w2.bits(), w8.bits());
+    }
+
+    #[test]
+    fn u128_interchange_roundtrips() {
+        let bits: u128 = (1 << 0) | (1 << 64) | (1 << 127);
+        let s = ProcessSet::from_bits(bits);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.bits(), bits);
+        assert_eq!(WideSet::<2>::from_bits(bits).bits(), bits);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit in u128")]
+    fn bits_rejects_wide_members() {
+        let s: ProcessSet = [pid(300)].into();
+        let _ = s.bits();
+    }
+
+    #[test]
+    fn ord_matches_u128_numeric_order() {
+        // For sets within the u128 window, Ord must agree with the numeric
+        // order of the old u128 representation (BTreeSet layouts, sorted
+        // partition blocks and explorer tie-breaks all depend on it).
+        let patterns: [u128; 6] = [0, 1, 2, 1 << 64, (1 << 64) | 1, u128::MAX];
+        for &x in &patterns {
+            for &y in &patterns {
+                let sx = ProcessSet::from_bits(x);
+                let sy = ProcessSet::from_bits(y);
+                assert_eq!(sx.cmp(&sy), x.cmp(&y), "{x:#x} vs {y:#x}");
+            }
+        }
+        // And above the window: a member in a higher limb dominates.
+        assert!(ProcessSet::singleton(pid(128)) > ProcessSet::from_bits(u128::MAX));
+    }
+
+    #[test]
+    fn subsets_match_classic_u128_walk() {
+        let mask: u128 = 0b1_0110_1001;
+        let s = ProcessSet::from_bits(mask);
+        // Reference: the classic descending sub = (sub - 1) & mask walk.
+        let mut expect = Vec::new();
+        let mut sub = mask;
+        while sub != 0 {
+            expect.push(sub);
+            sub = (sub - 1) & mask;
+        }
+        let got: Vec<u128> = s.subsets().map(|t| t.bits()).collect();
+        assert_eq!(got, expect);
+        assert_eq!(got.len(), (1 << s.len()) - 1);
+    }
+
+    #[test]
+    fn subsets_cross_limb_boundaries() {
+        // 3 members spread over 3 limbs: 7 non-empty subsets, the full set
+        // first, every subset within the mask.
+        let s: ProcessSet = [pid(10), pid(70), pid(140)].into();
+        let subs: Vec<ProcessSet> = s.subsets().collect();
+        assert_eq!(subs.len(), 7);
+        assert_eq!(subs[0], s);
+        let distinct: BTreeSet<ProcessSet> = subs.iter().copied().collect();
+        assert_eq!(distinct.len(), 7, "subsets are distinct");
+        for sub in subs {
+            assert!(!sub.is_empty());
+            assert!(sub.is_subset(s));
+        }
+        assert_eq!(ProcessSet::new().subsets().count(), 0);
     }
 
     #[test]

@@ -10,7 +10,10 @@
 //!
 //! * A system `Π = {p1, …, pn}` of deterministic state machines
 //!   ([`Process`]) communicating through per-process message buffers
-//!   ([`Buffer`]).
+//!   ([`Buffer`]). Sets of processes are width-generic bitsets
+//!   ([`WideSet`], pinned workspace-wide as [`ProcessSet`], capacity
+//!   [`ProcessSet::CAPACITY`] = 512); oversized systems are rejected at
+//!   construction with a typed [`CapacityError`].
 //! * A *step* of one process atomically receives a scheduler-chosen subset
 //!   of its buffer, optionally queries a failure detector ([`Oracle`]),
 //!   applies the transition, and sends messages ([`Effects`]).
@@ -106,7 +109,10 @@ pub use engine::{
     Engine, RunReport, RunStatus, SimEngine, SimError, Simulation, StopReason, Violation,
 };
 pub use failure::{CrashPlan, FailurePattern, Omission};
-pub use ids::{MsgId, ProcessId, ProcessSet, ProcessSetIter, SenderMap, Time};
+pub use ids::{
+    CapacityError, MsgId, ProcessId, ProcessSet, ProcessSetIter, SenderMap, SubsetIter, Time,
+    WideSet, WideSetIter, PSET_LIMBS,
+};
 pub use message::{fingerprint, Envelope};
 pub use model::{ModelParams, Setting, SynchronyBounds};
 pub use oracle::{FnOracle, NoOracle, Oracle};

@@ -4,7 +4,9 @@
 //! `(n, f, k, seed)` cells — border constructions, possibility grids,
 //! randomized schedule batteries. Each cell is a pure function of its
 //! parameters, so the grid parallelizes trivially; this module provides the
-//! shared runner.
+//! shared runner, and [`scale_grid`] builds capacity-checked `(n, f, k)`
+//! cell lists spanning system sizes up to the full [`ProcessSet`] capacity
+//! (n ∈ {64, 128, 256, 512} all run under the same [`cell_seed`] contract).
 //!
 //! Guarantees:
 //!
@@ -32,6 +34,82 @@
 
 use std::num::NonZeroUsize;
 use std::thread;
+
+use crate::ids::{CapacityError, ProcessSet};
+
+/// One cell of an `(n, f, k)` scale grid, with its deterministic seed.
+///
+/// Produced by [`scale_grid`]; `seed` is [`cell_seed`] of the grid seed and
+/// the cell's emission index, so a cell's scenario is a pure function of the
+/// grid parameters — identical across hosts, thread counts and runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridCell {
+    /// Position of this cell in the emitted grid (the `index` argument the
+    /// sweep worker receives).
+    pub index: usize,
+    /// System size.
+    pub n: usize,
+    /// Number of failures the scenario tolerates/injects.
+    pub f: usize,
+    /// Agreement degree (k-set agreement).
+    pub k: usize,
+    /// Deterministic per-cell seed: `cell_seed(grid_seed, index)`.
+    pub seed: u64,
+}
+
+/// Crosses system sizes × failure counts × agreement degrees into a cell
+/// list with deterministic per-cell seeds, validating every `n` against
+/// [`ProcessSet::CAPACITY`] up front so oversized grids fail with a typed
+/// error before any work is scheduled.
+///
+/// Iteration order (and therefore cell indices and seeds) is `ns` outer,
+/// `fs` middle, `ks` inner. Infeasible combinations — `f ≥ n`, `k < 1`, or
+/// `k > n` — are skipped *before* indices are assigned, so the seed of a
+/// surviving cell never depends on how many infeasible neighbours the
+/// caller's axes produced.
+///
+/// # Examples
+///
+/// ```
+/// use kset_sim::sweep::{cell_seed, scale_grid};
+///
+/// let grid = scale_grid(&[64, 128, 256, 512], &[1], &[1, 2], 42).unwrap();
+/// assert_eq!(grid.len(), 8);
+/// assert_eq!((grid[0].n, grid[0].f, grid[0].k), (64, 1, 1));
+/// assert_eq!(grid[0].seed, cell_seed(42, 0));
+/// assert!(scale_grid(&[513], &[0], &[1], 42).is_err());
+/// ```
+pub fn scale_grid(
+    ns: &[usize],
+    fs: &[usize],
+    ks: &[usize],
+    grid_seed: u64,
+) -> Result<Vec<GridCell>, CapacityError> {
+    for &n in ns {
+        if n > ProcessSet::CAPACITY {
+            return Err(CapacityError::new(n, ProcessSet::CAPACITY));
+        }
+    }
+    let mut cells = Vec::new();
+    for &n in ns {
+        for &f in fs {
+            for &k in ks {
+                if f >= n || k < 1 || k > n {
+                    continue;
+                }
+                let index = cells.len();
+                cells.push(GridCell {
+                    index,
+                    n,
+                    f,
+                    k,
+                    seed: cell_seed(grid_seed, index),
+                });
+            }
+        }
+    }
+    Ok(cells)
+}
 
 /// Derives the deterministic seed of cell `index` within grid `grid_seed`
 /// (SplitMix64 over the pair).
@@ -114,6 +192,27 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scale_grid_orders_filters_and_seeds() {
+        let grid = scale_grid(&[4, 8], &[1, 9], &[1], 7).unwrap();
+        // f = 9 is infeasible at n = 4 and n = 8; only the f = 1 cells
+        // survive, with contiguous indices.
+        assert_eq!(grid.len(), 2);
+        assert_eq!((grid[0].n, grid[0].f, grid[0].k), (4, 1, 1));
+        assert_eq!((grid[1].n, grid[1].f, grid[1].k), (8, 1, 1));
+        for (i, cell) in grid.iter().enumerate() {
+            assert_eq!(cell.index, i);
+            assert_eq!(cell.seed, cell_seed(7, i));
+        }
+    }
+
+    #[test]
+    fn scale_grid_rejects_oversized_n_up_front() {
+        let err = scale_grid(&[64, ProcessSet::CAPACITY + 1], &[1], &[1], 7).unwrap_err();
+        assert_eq!(err.requested(), ProcessSet::CAPACITY + 1);
+        assert_eq!(err.capacity(), ProcessSet::CAPACITY);
+    }
 
     #[test]
     fn cell_seed_is_deterministic_and_mixed() {

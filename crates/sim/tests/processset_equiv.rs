@@ -1,25 +1,31 @@
-//! Property test: `ProcessSet` is observationally equivalent to
+//! Property test: `WideSet<W>` is observationally equivalent to
 //! `BTreeSet<ProcessId>` under insert / remove / union / intersect /
-//! difference / subset / iteration.
+//! difference / subset / iteration — at every width the workspace ships.
 //!
-//! The whole workspace swapped its process-set representation from
-//! `BTreeSet<ProcessId>` to the `u128` bitset; this test drives both
-//! structures through identical random operation sequences and compares
-//! every observation, so any semantic drift in the bitset shows up here
+//! The whole workspace runs its process sets through the width-generic
+//! `WideSet` bitset (the `ProcessSet` alias pins `W = 8`, capacity 512);
+//! this test drives the bitset and the `BTreeSet` reference through
+//! identical random operation sequences **for W ∈ {2, 4, 8}** and compares
+//! every observation, so any semantic drift — in the single-limb fast
+//! window, across limb boundaries, or at the wide tail — shows up here
 //! rather than as a subtle simulation divergence.
+//!
+//! Element indices are drawn from `0..MAX_ID` where `MAX_ID` scales with
+//! the width under test, so cross-limb carries and the top bit of the top
+//! limb are exercised, not just the first word.
 
 use std::collections::BTreeSet;
 
 use proptest::prelude::*;
 
-use kset_sim::{ProcessId, ProcessSet};
+use kset_sim::{ProcessId, WideSet};
 
 fn pid(i: usize) -> ProcessId {
     ProcessId::new(i)
 }
 
 /// Checks every observation the workspace makes on sets.
-fn assert_equiv(bits: ProcessSet, tree: &BTreeSet<ProcessId>) {
+fn assert_equiv<const W: usize>(bits: WideSet<W>, tree: &BTreeSet<ProcessId>) {
     assert_eq!(bits.len(), tree.len());
     assert_eq!(bits.is_empty(), tree.is_empty());
     assert_eq!(bits.first(), tree.iter().next().copied());
@@ -27,86 +33,181 @@ fn assert_equiv(bits: ProcessSet, tree: &BTreeSet<ProcessId>) {
     let from_bits: Vec<ProcessId> = bits.iter().collect();
     let from_tree: Vec<ProcessId> = tree.iter().copied().collect();
     assert_eq!(from_bits, from_tree);
-    // Membership agrees across the whole capacity window we use.
-    for i in 0..16 {
+    // Membership agrees across the whole capacity window.
+    for i in 0..WideSet::<W>::CAPACITY {
         assert_eq!(
             bits.contains(pid(i)),
             tree.contains(&pid(i)),
-            "membership of p{}",
+            "membership of p{} at W={W}",
             i + 1
         );
+    }
+    // Display matches the {p1, p2} convention the workspace prints.
+    let rendered: Vec<String> = tree.iter().map(|p| p.to_string()).collect();
+    assert_eq!(bits.to_string(), format!("{{{}}}", rendered.join(", ")));
+}
+
+/// Spreads a draw over the width's id range so every limb gets traffic:
+/// half the draws land in the first limb, the rest stride the full window.
+fn spread<const W: usize>(raw: usize) -> usize {
+    let cap = WideSet::<W>::CAPACITY;
+    if raw.is_multiple_of(2) {
+        (raw / 2) % 64
+    } else {
+        (raw.wrapping_mul(67)) % cap
+    }
+}
+
+fn check_insert_remove<const W: usize>(ops: &[(usize, u8)]) {
+    let mut bits: WideSet<W> = WideSet::new();
+    let mut tree: BTreeSet<ProcessId> = BTreeSet::new();
+    for &(raw, op) in ops {
+        let p = pid(spread::<W>(raw));
+        match op {
+            0 => assert_eq!(bits.insert(p), tree.insert(p)),
+            _ => assert_eq!(bits.remove(p), tree.remove(&p)),
+        }
+        assert_equiv(bits, &tree);
+    }
+}
+
+fn check_algebra<const W: usize>(a_mask: u64, b_mask: u64) {
+    // 32 candidate members strided across the width's full id range.
+    let members = |mask: u64| {
+        (0..32usize)
+            .filter(move |i| mask & (1 << i) != 0)
+            .map(|i| (i * WideSet::<W>::CAPACITY / 32 + i % 7) % WideSet::<W>::CAPACITY)
+    };
+    let bits_a: WideSet<W> = members(a_mask).map(pid).collect();
+    let bits_b: WideSet<W> = members(b_mask).map(pid).collect();
+    let tree_a: BTreeSet<ProcessId> = members(a_mask).map(pid).collect();
+    let tree_b: BTreeSet<ProcessId> = members(b_mask).map(pid).collect();
+
+    assert_equiv(
+        bits_a.union(bits_b),
+        &tree_a.union(&tree_b).copied().collect(),
+    );
+    assert_equiv(
+        bits_a.intersection(bits_b),
+        &tree_a.intersection(&tree_b).copied().collect(),
+    );
+    assert_equiv(
+        bits_a.difference(bits_b),
+        &tree_a.difference(&tree_b).copied().collect(),
+    );
+    assert_eq!(bits_a.is_subset(bits_b), tree_a.is_subset(&tree_b));
+    assert_eq!(bits_a.is_disjoint(bits_b), tree_a.is_disjoint(&tree_b));
+    // Operator sugar matches the named methods.
+    assert_eq!(bits_a | bits_b, bits_a.union(bits_b));
+    assert_eq!(bits_a & bits_b, bits_a.intersection(bits_b));
+    assert_eq!(bits_a - bits_b, bits_a.difference(bits_b));
+    // Ord agrees with the big-integer reading of the bit pattern: compare
+    // via the reversed member lists (most significant id first).
+    let desc = |t: &BTreeSet<ProcessId>| {
+        let mut v: Vec<ProcessId> = t.iter().copied().collect();
+        v.reverse();
+        v
+    };
+    assert_eq!(
+        bits_a.cmp(&bits_b),
+        desc(&tree_a).cmp(&desc(&tree_b)),
+        "Ord is the numeric order of the bit pattern"
+    );
+}
+
+fn check_collect_extend<const W: usize>(items: &[usize]) {
+    let spreaded: Vec<usize> = items.iter().map(|&i| spread::<W>(i)).collect();
+    let bits: WideSet<W> = spreaded.iter().copied().map(pid).collect();
+    let tree: BTreeSet<ProcessId> = spreaded.iter().copied().map(pid).collect();
+    assert_equiv(bits, &tree);
+
+    let mut bits2: WideSet<W> = WideSet::new();
+    bits2.extend(spreaded.iter().copied().map(pid));
+    assert_eq!(bits, bits2);
+}
+
+fn check_complement<const W: usize>(mask: u64, n_frac: usize) {
+    // n somewhere in the upper half of the window so complements cross limbs.
+    let cap = WideSet::<W>::CAPACITY;
+    let n = cap / 2 + n_frac % (cap / 2 + 1);
+    let members =
+        |mask: u64| (0..32usize).filter_map(move |i| (mask & (1 << i) != 0).then_some(i * n / 33));
+    let bits: WideSet<W> = members(mask).map(pid).collect();
+    let tree: BTreeSet<ProcessId> = members(mask).map(pid).collect();
+    let full: BTreeSet<ProcessId> = (0..n).map(pid).collect();
+    assert_equiv(
+        bits.complement(n),
+        &full.difference(&tree).copied().collect(),
+    );
+}
+
+fn check_subsets<const W: usize>(mask: u64) {
+    // ≤ 10 members keeps 2^len − 1 small; spread them across limbs.
+    let members: Vec<usize> = (0..10usize)
+        .filter(|i| mask & (1 << i) != 0)
+        .map(|i| spread::<W>(i * 13 + 1))
+        .collect();
+    let bits: WideSet<W> = members.iter().copied().map(pid).collect();
+    let subs: Vec<WideSet<W>> = bits.subsets().collect();
+    assert_eq!(subs.len(), (1usize << bits.len()).saturating_sub(1));
+    if let Some(first) = subs.first() {
+        assert_eq!(*first, bits, "enumeration starts with the full set");
+    }
+    let distinct: BTreeSet<Vec<ProcessId>> = subs.iter().map(|s| s.iter().collect()).collect();
+    assert_eq!(distinct.len(), subs.len(), "subsets are pairwise distinct");
+    for sub in &subs {
+        assert!(!sub.is_empty());
+        assert!(sub.is_subset(bits));
     }
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+    #![proptest_config(ProptestConfig::with_cases(96))]
 
-    /// Insert/remove sequences leave both structures in identical states.
+    /// Insert/remove sequences leave both structures in identical states,
+    /// at W = 2 (the u128-window fast path), W = 4, and W = 8 (the
+    /// ProcessSet width).
     #[test]
-    fn insert_remove_equivalence(ops in proptest::collection::vec((0usize..16, 0u8..2), 0..60)) {
-        let mut bits = ProcessSet::new();
-        let mut tree: BTreeSet<ProcessId> = BTreeSet::new();
-        for (i, op) in ops {
-            let p = pid(i);
-            match op {
-                0 => prop_assert_eq!(bits.insert(p), tree.insert(p)),
-                _ => prop_assert_eq!(bits.remove(p), tree.remove(&p)),
-            }
-            assert_equiv(bits, &tree);
-        }
+    fn insert_remove_equivalence(ops in proptest::collection::vec((0usize..1024, 0u8..2), 0..60)) {
+        check_insert_remove::<2>(&ops);
+        check_insert_remove::<4>(&ops);
+        check_insert_remove::<8>(&ops);
     }
 
-    /// The set algebra (∪, ∩, \) and the relational queries (⊆, disjoint)
-    /// agree with the BTreeSet reference on arbitrary operand pairs.
+    /// The set algebra (∪, ∩, \), the relational queries (⊆, disjoint) and
+    /// `Ord` agree with the BTreeSet reference on arbitrary operand pairs
+    /// at every width.
     #[test]
-    fn algebra_equivalence(a_mask in 0u32..(1 << 16), b_mask in 0u32..(1 << 16)) {
-        let members = |mask: u32| (0..16).filter(move |i| mask & (1 << i) != 0);
-        let bits_a: ProcessSet = members(a_mask).map(pid).collect();
-        let bits_b: ProcessSet = members(b_mask).map(pid).collect();
-        let tree_a: BTreeSet<ProcessId> = members(a_mask).map(pid).collect();
-        let tree_b: BTreeSet<ProcessId> = members(b_mask).map(pid).collect();
-
-        assert_equiv(bits_a.union(bits_b), &tree_a.union(&tree_b).copied().collect());
-        assert_equiv(
-            bits_a.intersection(bits_b),
-            &tree_a.intersection(&tree_b).copied().collect(),
-        );
-        assert_equiv(
-            bits_a.difference(bits_b),
-            &tree_a.difference(&tree_b).copied().collect(),
-        );
-        prop_assert_eq!(bits_a.is_subset(bits_b), tree_a.is_subset(&tree_b));
-        prop_assert_eq!(bits_a.is_disjoint(bits_b), tree_a.is_disjoint(&tree_b));
-        // Operator sugar matches the named methods.
-        prop_assert_eq!(bits_a | bits_b, bits_a.union(bits_b));
-        prop_assert_eq!(bits_a & bits_b, bits_a.intersection(bits_b));
-        prop_assert_eq!(bits_a - bits_b, bits_a.difference(bits_b));
+    fn algebra_equivalence(a_mask in 0u64..(1 << 32), b_mask in 0u64..(1 << 32)) {
+        check_algebra::<2>(a_mask, b_mask);
+        check_algebra::<4>(a_mask, b_mask);
+        check_algebra::<8>(a_mask, b_mask);
     }
 
     /// FromIterator/Extend ignore duplicates exactly like BTreeSet, and
-    /// equality is structural.
+    /// equality is structural, at every width.
     #[test]
-    fn collect_and_extend_equivalence(items in proptest::collection::vec(0usize..16, 0..40)) {
-        let bits: ProcessSet = items.iter().copied().map(pid).collect();
-        let tree: BTreeSet<ProcessId> = items.iter().copied().map(pid).collect();
-        assert_equiv(bits, &tree);
-
-        let mut bits2 = ProcessSet::new();
-        bits2.extend(items.iter().copied().map(pid));
-        prop_assert_eq!(bits, bits2);
-
-        // Display matches the {p1, p2} convention the workspace prints.
-        let rendered: Vec<String> = tree.iter().map(|p| p.to_string()).collect();
-        prop_assert_eq!(bits.to_string(), format!("{{{}}}", rendered.join(", ")));
+    fn collect_and_extend_equivalence(items in proptest::collection::vec(0usize..1024, 0..40)) {
+        check_collect_extend::<2>(&items);
+        check_collect_extend::<4>(&items);
+        check_collect_extend::<8>(&items);
     }
 
     /// Complement within `n` equals the BTreeSet difference from the full
-    /// system.
+    /// system, with `n` crossing limb boundaries.
     #[test]
-    fn complement_equivalence(mask in 0u32..(1 << 12), n in 12usize..=16) {
-        let bits: ProcessSet = (0..12).filter(|i| mask & (1 << i) != 0).map(pid).collect();
-        let tree: BTreeSet<ProcessId> = (0..12).filter(|i| mask & (1 << i) != 0).map(pid).collect();
-        let full: BTreeSet<ProcessId> = (0..n).map(pid).collect();
-        assert_equiv(bits.complement(n), &full.difference(&tree).copied().collect());
+    fn complement_equivalence(mask in 0u64..(1 << 32), n_frac in 0usize..512) {
+        check_complement::<2>(mask, n_frac);
+        check_complement::<4>(mask, n_frac);
+        check_complement::<8>(mask, n_frac);
+    }
+
+    /// Subset enumeration yields exactly the 2^len − 1 distinct non-empty
+    /// subsets, full set first, at every width.
+    #[test]
+    fn subset_enumeration_equivalence(mask in 0u64..(1 << 10)) {
+        check_subsets::<2>(mask);
+        check_subsets::<4>(mask);
+        check_subsets::<8>(mask);
     }
 }

@@ -72,3 +72,122 @@ fn sweep_handles_heterogeneous_cell_costs() {
     let sizes = sweep(&grid, |_, &(n, _)| n);
     assert_eq!(sizes, grid.iter().map(|&(n, _)| n).collect::<Vec<_>>());
 }
+
+// ---------------------------------------------------------------------------
+// Wide-bitset scale grids: n ∈ {64, 128, 256, 512} under the same
+// deterministic cell_seed contract.
+// ---------------------------------------------------------------------------
+
+use kset::core::algorithms::floodmin::{floodmin_rounds, FloodMin};
+use kset::core::algorithms::two_stage::{two_stage_inputs, TwoStage};
+use kset::core::sync::{LockStep, RoundCrash};
+use kset::core::task::distinct_proposals;
+use kset::sim::sched::random::SeededRandom;
+use kset::sim::sweep::{scale_grid, GridCell};
+use kset::sim::{fingerprint, CrashPlan, Engine, ProcessId, ProcessSet, Simulation};
+
+/// One lock-step FloodMin cell: crash layout and observations are a pure
+/// function of the cell's deterministic seed.
+fn run_floodmin_cell(cell: &GridCell) -> (u64, usize, usize) {
+    let GridCell { n, f, k, seed, .. } = *cell;
+    let base = (seed as usize) % n;
+    let crashes: Vec<RoundCrash> = (0..f)
+        .map(|j| RoundCrash {
+            round: 1 + j % floodmin_rounds(f, k),
+            pid: ProcessId::new((base + j) % n),
+            receivers: ProcessId::all((seed >> 8) as usize % n).collect(),
+        })
+        .collect();
+    let mut engine = LockStep::new(
+        FloodMin::system(&distinct_proposals(n), f, k),
+        floodmin_rounds(f, k),
+        &crashes,
+    );
+    engine.drive(u64::MAX);
+    let out = engine.outcome();
+    let distinct = out
+        .decisions
+        .iter()
+        .flatten()
+        .collect::<std::collections::BTreeSet<_>>()
+        .len();
+    (fingerprint(&out.decisions), distinct, out.rounds)
+}
+
+#[test]
+fn wide_grid_parallel_equals_sequential_up_to_512() {
+    // The whole point of the wide bitset: the same sweep contract carries
+    // from the old 128-process cap to n = 512 unchanged.
+    let grid = scale_grid(&[64, 128, 256, 512], &[2], &[1], 42).expect("all n within capacity");
+    assert_eq!(grid.len(), 4);
+    assert!(grid.iter().all(|c| c.n <= ProcessSet::CAPACITY));
+    let parallel = sweep(&grid, |_, c| run_floodmin_cell(c));
+    let sequential = sweep_seq(&grid, |_, c| run_floodmin_cell(c));
+    assert_eq!(
+        parallel, sequential,
+        "parallel wide grid must equal sequential"
+    );
+    for (cell, &(_, distinct, rounds)) in grid.iter().zip(&parallel) {
+        assert!(
+            distinct <= cell.k,
+            "n={} f={} k={}: FloodMin must reach k-agreement, got {distinct} values",
+            cell.n,
+            cell.f,
+            cell.k
+        );
+        assert_eq!(rounds, floodmin_rounds(cell.f, cell.k), "n={}", cell.n);
+    }
+}
+
+#[test]
+fn async_simulation_at_256_is_deterministic_across_substrate() {
+    // The step-level substrate at n = 256: a seeded-random schedule of the
+    // two-stage protocol must fingerprint identically in parallel and
+    // sequential sweeps (same cell_seed ⇒ same run, bit for bit).
+    let grid = scale_grid(&[256], &[3], &[2], 7).expect("n = 256 fits");
+    let run_cell = |_: usize, cell: &GridCell| {
+        let mut sim: Simulation<TwoStage, _> = Simulation::try_new(
+            two_stage_inputs(cell.f, &distinct_proposals(cell.n)),
+            CrashPlan::none(),
+        )
+        .expect("n = 256 is within the ProcessSet capacity");
+        let report = sim.run_to_report(&mut SeededRandom::new(cell.seed), 40_000);
+        (fingerprint(&report.decisions), report.decisions.len())
+    };
+    let parallel = sweep(&grid, run_cell);
+    let sequential = sweep_seq(&grid, run_cell);
+    assert_eq!(parallel, sequential);
+    assert_eq!(parallel[0].1, 256);
+}
+
+#[test]
+fn cell_seed_values_are_pinned() {
+    // Regression pin: cell_seed is part of the sweep's public determinism
+    // contract — experiment tables cite scenarios as (grid_seed, index), so
+    // these exact values must never drift, at any system size.
+    assert_eq!(cell_seed(42, 0), 0xbdd7_3226_2feb_6e95);
+    assert_eq!(cell_seed(42, 1), 0xd7fc_1bde_f4d9_4d80);
+    assert_eq!(cell_seed(42, 2), 0x5e02_37db_c956_d288);
+    assert_eq!(cell_seed(42, 3), 0xc86a_910a_935d_c447);
+    assert_eq!(cell_seed(7, 0), 0x63cb_e1e4_5932_0dd7);
+    assert_eq!(cell_seed(7, 8), 0x4ae0_e1f6_0792_2428);
+    assert_eq!(cell_seed(1234, 17), 0x55cc_9533_f4fa_fec1);
+}
+
+#[test]
+fn legacy_small_grids_keep_their_seeds() {
+    // An existing n ≤ 128 grid: widening the bitset must not renumber its
+    // cells or change any seed (emission order is ns × fs × ks with
+    // infeasible combinations skipped before indexing).
+    let grid = scale_grid(&[4, 6, 8], &[1, 2], &[1], 42).expect("small grid");
+    let expect: Vec<(usize, usize)> = vec![(4, 1), (4, 2), (6, 1), (6, 2), (8, 1), (8, 2)];
+    assert_eq!(grid.iter().map(|c| (c.n, c.f)).collect::<Vec<_>>(), expect);
+    for (i, cell) in grid.iter().enumerate() {
+        assert_eq!(cell.index, i);
+        assert_eq!(cell.seed, cell_seed(42, i));
+    }
+    assert_eq!(
+        grid[0].seed, 0xbdd7_3226_2feb_6e95,
+        "pinned first-cell seed"
+    );
+}
