@@ -5,6 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use kset_impossibility::theorem8::border_demo;
+use kset_impossibility::THEOREM8_BORDER_GRID;
 use kset_sim::sweep::{sweep, sweep_seq};
 
 fn bench_border(c: &mut Criterion) {
@@ -30,17 +31,7 @@ fn bench_border(c: &mut Criterion) {
 fn bench_border_grid_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_border_grid");
     group.sample_size(10);
-    let grid: Vec<(usize, usize)> = vec![
-        (4, 1),
-        (6, 1),
-        (8, 1),
-        (6, 2),
-        (9, 2),
-        (12, 2),
-        (8, 3),
-        (12, 3),
-        (10, 4),
-    ];
+    let grid: Vec<(usize, usize)> = THEOREM8_BORDER_GRID.to_vec();
     let run_cell = |_i: usize, &(n, k): &(usize, usize)| {
         let demo = border_demo(n, k, 300_000).expect("border point");
         assert!(demo.violates_k_agreement());

@@ -13,6 +13,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 
 use kset_core::algorithms::floodmin::{floodmin_rounds, FloodMin};
 use kset_core::algorithms::two_stage::{two_stage_inputs, TwoStage};
+use kset_core::scenario::{differential, to_lockstep, RoundAdapter};
 use kset_core::sync::LockStep;
 use kset_core::task::distinct_proposals;
 use kset_impossibility::lemma12_no_fd;
@@ -20,8 +21,8 @@ use kset_sim::sched::partition::{PartitionScheduler, ReleasePolicy};
 use kset_sim::sched::random::SeededRandom;
 use kset_sim::sched::round_robin::RoundRobin;
 use kset_sim::{
-    Buffer, CrashPlan, Engine, Envelope, MsgId, ProcessId, ProcessSet, SenderMap, SimEngine,
-    Simulation, Time, WideSet,
+    Buffer, CrashPlan, Engine, Envelope, MsgId, ProcessId, ProcessSet, Scenario, SenderMap,
+    SimEngine, Simulation, Time, WideSet,
 };
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -328,6 +329,50 @@ fn bench_wide_sets(c: &mut Criterion) {
     group.finish();
 }
 
+/// The scenario layer: compilation cost of both substrates and full
+/// differential runs on the Theorem 8 border grid — the price of turning
+/// the two-substrate architecture into a *tested* equivalence, tracked
+/// commit over commit.
+fn bench_scenario(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_scenario");
+    group.sample_size(10);
+
+    // The E3 border grid (every divisible point), with f = kn/(k+1) and
+    // seed-derived crash layouts.
+    let border: Vec<Scenario> = kset_impossibility::theorem8_border_cells(42)
+        .iter()
+        .map(Scenario::from_cell)
+        .collect();
+    group.throughput(Throughput::Elements(border.len() as u64));
+
+    group.bench_function("compile_border_grid", |b| {
+        // Compilation only: validate + build both engines, no execution.
+        b.iter(|| {
+            let mut units = 0usize;
+            for sc in &border {
+                let sim = sc.to_sim::<RoundAdapter<FloodMin>>().unwrap();
+                let lock = to_lockstep::<FloodMin>(sc).unwrap();
+                units += sim.n() + Engine::n(&lock);
+            }
+            black_box(units)
+        });
+    });
+
+    group.bench_function("differential_border_grid", |b| {
+        b.iter(|| {
+            let mut agreed = 0usize;
+            for sc in &border {
+                let report = differential::check::<FloodMin>(sc).unwrap();
+                assert!(report.agrees(), "border grid must agree");
+                agreed += usize::from(report.sim.terminated);
+            }
+            black_box(agreed)
+        });
+    });
+
+    group.finish();
+}
+
 fn bench_pasting_cost(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_pasting_cost");
     group.sample_size(10);
@@ -356,6 +401,7 @@ criterion_group!(
     bench_engines,
     bench_buffer_receive,
     bench_wide_sets,
+    bench_scenario,
     bench_pasting_cost
 );
 criterion_main!(benches);

@@ -179,17 +179,7 @@ fn e3_theorem8_border() {
             "violates k-agreement",
         ],
     );
-    let grid: Vec<(usize, usize)> = vec![
-        (4, 1),
-        (6, 1),
-        (8, 1),
-        (6, 2),
-        (9, 2),
-        (12, 2),
-        (8, 3),
-        (12, 3),
-        (10, 4),
-    ];
+    let grid: Vec<(usize, usize)> = kset_impossibility::THEOREM8_BORDER_GRID.to_vec();
     let demos = sweep(&grid, |_, &(n, k)| border_demo(n, k, 300_000));
     for ((n, k), demo) in grid.iter().zip(demos) {
         let Some(demo) = demo else {

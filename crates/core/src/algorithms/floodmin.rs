@@ -12,8 +12,9 @@
 //! impossibility of Theorem 2 is driven purely by the asynchrony of
 //! communication, not by the number of failures.
 
-use kset_sim::SenderMap;
+use kset_sim::{Scenario, SenderMap};
 
+use crate::scenario::ScenarioRounds;
 use crate::sync::RoundProcess;
 use crate::task::Val;
 
@@ -24,7 +25,7 @@ pub fn floodmin_rounds(f: usize, k: usize) -> usize {
 }
 
 /// Per-process FloodMin state.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub struct FloodMin {
     min: Val,
     total_rounds: usize,
@@ -48,6 +49,19 @@ impl FloodMin {
     pub fn system(values: &[Val], f: usize, k: usize) -> Vec<FloodMin> {
         let rounds = floodmin_rounds(f, k);
         values.iter().map(|v| FloodMin::new(*v, rounds)).collect()
+    }
+}
+
+impl ScenarioRounds for FloodMin {
+    /// One FloodMin process per scenario input, running the scenario's
+    /// scheduled round count (which [`kset_sim::Scenario::favourable`]
+    /// defaults to [`floodmin_rounds`]`(f, k)`).
+    fn scenario_system(scenario: &Scenario) -> Vec<FloodMin> {
+        scenario
+            .inputs
+            .iter()
+            .map(|v| FloodMin::new(*v, scenario.rounds))
+            .collect()
     }
 }
 

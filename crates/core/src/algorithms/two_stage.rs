@@ -32,7 +32,10 @@
 use std::collections::BTreeSet;
 
 use kset_graph::{chosen_source_component, Digraph};
-use kset_sim::{Effects, Envelope, Process, ProcessId, ProcessInfo, ProcessSet, SenderMap};
+use kset_sim::{
+    Effects, Envelope, Process, ProcessId, ProcessInfo, ProcessSet, Scenario, ScenarioProcess,
+    SenderMap,
+};
 
 use crate::task::Val;
 
@@ -177,6 +180,16 @@ impl TwoStage {
                 .expect("component members have known info")
                 .0
         }
+    }
+}
+
+impl ScenarioProcess for TwoStage {
+    /// The two-stage protocol at a scenario's model point: the waiting
+    /// threshold is the k-set threshold `L = n − f` of Section VI, so a
+    /// Theorem 8 favourable-side scenario compiles to the protocol that
+    /// solves it.
+    fn scenario_inputs(scenario: &Scenario) -> Vec<TwoStageInput> {
+        two_stage_inputs(kset_threshold(scenario.n, scenario.f), &scenario.inputs)
     }
 }
 

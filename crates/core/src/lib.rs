@@ -44,11 +44,15 @@
 pub mod algorithms;
 pub mod independence;
 pub mod runner;
+pub mod scenario;
 pub mod sync;
 pub mod task;
 
 pub use independence::{
     check_independence, isolated_run, isolated_run_no_fd, witnesses_independence, Family,
     IsolationScheduler,
+};
+pub use scenario::{
+    round_crashes, to_lockstep, RoundAdapter, RoundAdapterInput, RoundMsg, ScenarioRounds,
 };
 pub use task::{distinct_proposals, KSetTask, Val, Verdict};

@@ -14,14 +14,44 @@ use kset_sim::sched::random::SeededRandom;
 use kset_sim::sched::round_robin::RoundRobin;
 use kset_sim::sched::Scheduler;
 use kset_sim::{
-    CrashPlan, Engine, NoOracle, Oracle, Process, ProcessSet, RunReport, RunStatus, SimEngine,
-    Simulation,
+    CrashPlan, Engine, NoOracle, Oracle, Process, ProcessSet, RunReport, RunStatus, Scenario,
+    ScenarioError, ScenarioProcess, SimEngine, Simulation,
 };
+
+use crate::scenario::{to_lockstep, ScenarioRounds};
+use crate::sync::SyncOutcome;
 
 /// Drives any [`Engine`] to completion and returns its status — the
 /// substrate-agnostic execution entry point.
 pub fn run_engine<E: Engine>(engine: &mut E, max_units: u64) -> RunStatus {
     engine.drive(max_units)
+}
+
+/// Compiles a scenario to the step-level substrate and drives it to
+/// completion within the scenario's unit budget.
+///
+/// # Errors
+///
+/// Returns the scenario's first [`ScenarioError`] if it fails validation.
+pub fn run_scenario_sim<P: ScenarioProcess>(
+    scenario: &Scenario,
+) -> Result<RunReport<P::Output>, ScenarioError> {
+    let mut engine = scenario.to_sim::<P>()?;
+    Ok(engine.drive_to_report(scenario.max_units))
+}
+
+/// Compiles a scenario to the round-level substrate and runs its scheduled
+/// rounds.
+///
+/// # Errors
+///
+/// Returns the scenario's first [`ScenarioError`] if it fails validation.
+pub fn run_scenario_lockstep<P: ScenarioRounds>(
+    scenario: &Scenario,
+) -> Result<SyncOutcome, ScenarioError> {
+    let mut engine = to_lockstep::<P>(scenario)?;
+    engine.drive(scenario.rounds as u64);
+    Ok(engine.outcome())
 }
 
 /// Builds the [`SimEngine`] for an oracle-backed algorithm and scheduler.

@@ -51,6 +51,19 @@ pub struct RoundCrash {
     pub receivers: ProcessSet,
 }
 
+impl RoundCrash {
+    /// The round-level reading of a scenario crash — field-for-field the
+    /// same description; the step-level reading is
+    /// [`kset_sim::Scenario::crash_plan`]'s final-step send omission.
+    pub fn from_scenario_crash(crash: &kset_sim::ScenarioCrash) -> Self {
+        RoundCrash {
+            round: crash.round,
+            pid: crash.pid,
+            receivers: crash.receivers,
+        }
+    }
+}
+
 /// Outcome of a synchronous execution.
 #[derive(Debug, Clone)]
 pub struct SyncOutcome {

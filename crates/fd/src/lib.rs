@@ -44,6 +44,7 @@ mod omega;
 mod partition_fd;
 mod perfect;
 mod samples;
+pub mod select;
 mod sigma;
 pub mod transform;
 
@@ -56,6 +57,7 @@ pub use omega::EventualLeaderOmega;
 pub use partition_fd::{PartitionSigmaOmega, RealisticSigmaOmega};
 pub use perfect::{check_perfect, PerfectOracle, SuspectSample};
 pub use samples::{LeaderSample, LonelinessSample, QuorumSample, SigmaOmegaSample};
+pub use select::{loneliness_for, perfect_for, scenario_leaders, sigma_omega_for};
 pub use sigma::TrustAliveSigma;
 pub use transform::{
     emulate, omega_component, sigma_component, FdTransform, GammaToOmega2, PartitionToPlain,

@@ -1,0 +1,145 @@
+//! Detector selection: mapping a scenario's [`DetectorChoice`] to a
+//! concrete oracle.
+//!
+//! The simulator's scenario layer only *names* the failure detector
+//! (`kset-sim` knows no detector classes); this module resolves each name
+//! to the oracle that implements it. The constructors are per-class rather
+//! than one sum type because detector classes have different sample types —
+//! the algorithm an experiment pairs with a scenario fixes the class it
+//! expects, and the matching selector either produces the oracle or reports
+//! that the scenario asked for a different class.
+
+use kset_sim::{DetectorChoice, ProcessId, ProcessSet, Scenario, Time};
+
+use crate::loneliness::LonelinessOracle;
+use crate::partition_fd::RealisticSigmaOmega;
+use crate::perfect::PerfectOracle;
+use crate::samples::LeaderSample;
+
+/// The perfect detector P, if the scenario selects it.
+pub fn perfect_for(scenario: &Scenario) -> Option<PerfectOracle> {
+    matches!(scenario.detector, DetectorChoice::Perfect).then(PerfectOracle::new)
+}
+
+/// The loneliness detector L, if the scenario selects it.
+pub fn loneliness_for(scenario: &Scenario) -> Option<LonelinessOracle> {
+    matches!(scenario.detector, DetectorChoice::Loneliness)
+        .then(|| LonelinessOracle::new(scenario.n))
+}
+
+/// The (Σk, Ωk) pair, if the scenario selects it: a
+/// [`RealisticSigmaOmega`] whose Ωk component stabilizes at the scenario's
+/// `tgst` on [`scenario_leaders`] — a leader set guaranteed to intersect
+/// the scenario's correct processes, as the class demands.
+///
+/// A degree outside `1..=n` returns `None` rather than panicking —
+/// [`Scenario::validate`] rejects such scenarios as
+/// `ScenarioError::DetectorDegree` before they reach a compiler.
+pub fn sigma_omega_for(scenario: &Scenario) -> Option<RealisticSigmaOmega> {
+    match scenario.detector {
+        DetectorChoice::SigmaOmega { k, tgst } if k >= 1 && k <= scenario.n => {
+            Some(RealisticSigmaOmega::new(
+                scenario.n,
+                k,
+                Time::new(tgst),
+                scenario_leaders(scenario, k),
+            ))
+        }
+        _ => None,
+    }
+}
+
+/// A deterministic stabilized leader set of exactly `k` ids for the
+/// scenario: correct processes first (ascending), padded with faulty ids
+/// only if fewer than `k` processes are correct. Since a validated
+/// scenario has at least one correct process, the set always intersects
+/// the correct set — the Ωk validity requirement.
+///
+/// # Panics
+///
+/// Panics if `k > scenario.n`.
+pub fn scenario_leaders(scenario: &Scenario, k: usize) -> LeaderSample {
+    assert!(k <= scenario.n, "need k ≤ n leaders");
+    let faulty = scenario.faulty();
+    let mut leaders = ProcessSet::new();
+    for p in ProcessId::all(scenario.n).filter(|p| !faulty.contains(*p)) {
+        if leaders.len() == k {
+            break;
+        }
+        leaders.insert(p);
+    }
+    for p in faulty {
+        if leaders.len() == k {
+            break;
+        }
+        leaders.insert(p);
+    }
+    leaders
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kset_sim::{FailurePattern, Oracle, ScenarioCrash};
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn selectors_match_only_their_choice() {
+        let none = Scenario::favourable(4, 1, 1);
+        assert!(perfect_for(&none).is_none());
+        assert!(loneliness_for(&none).is_none());
+        assert!(sigma_omega_for(&none).is_none());
+
+        let perfect = none.clone().with_detector(DetectorChoice::Perfect);
+        assert!(perfect_for(&perfect).is_some());
+        assert!(sigma_omega_for(&perfect).is_none());
+
+        let lonely = none.clone().with_detector(DetectorChoice::Loneliness);
+        assert!(loneliness_for(&lonely).is_some());
+
+        let pair = none.with_detector(DetectorChoice::SigmaOmega { k: 2, tgst: 5 });
+        assert!(sigma_omega_for(&pair).is_some());
+        assert!(perfect_for(&pair).is_none());
+    }
+
+    #[test]
+    fn invalid_detector_degree_selects_nothing() {
+        // validate() rejects such scenarios; the selector must not panic on
+        // one that skipped validation.
+        let sc = Scenario::favourable(4, 1, 1)
+            .with_detector(DetectorChoice::SigmaOmega { k: 10, tgst: 5 });
+        assert!(sc.validate().is_err());
+        assert!(sigma_omega_for(&sc).is_none());
+    }
+
+    #[test]
+    fn selected_sigma_omega_stabilizes_on_correct_leaders() {
+        let sc = Scenario::favourable(4, 1, 1)
+            .with_crash(ScenarioCrash {
+                pid: pid(0),
+                round: 1,
+                receivers: ProcessSet::new(),
+            })
+            .with_detector(DetectorChoice::SigmaOmega { k: 2, tgst: 3 });
+        let leaders = scenario_leaders(&sc, 2);
+        assert_eq!(leaders, [pid(1), pid(2)].into(), "correct-first selection");
+
+        let mut oracle = sigma_omega_for(&sc).expect("matching choice");
+        let fp = FailurePattern::all_correct(4);
+        let sample = oracle.sample(pid(1), Time::new(10), &fp);
+        assert_eq!(sample.omega, leaders, "post-tgst samples are stabilized");
+    }
+
+    #[test]
+    fn leaders_pad_with_faulty_when_correct_are_scarce() {
+        let sc = Scenario::favourable(3, 2, 1)
+            .with_initially_dead(pid(0))
+            .with_initially_dead(pid(2));
+        let leaders = scenario_leaders(&sc, 2);
+        assert!(leaders.contains(pid(1)), "the correct process leads");
+        assert_eq!(leaders.len(), 2);
+    }
+}

@@ -4,6 +4,45 @@
 //! (EXPERIMENTS.md); the simulation-based demos in the sibling modules
 //! regenerate the same borders constructively.
 
+use kset_sim::sweep::{cell_seed, GridCell};
+
+/// The divisible Theorem 8 border points `(n, k)` — every grid point with
+/// `kn = (k + 1) f` for an integer `f ≥ 1` that the experiments binary,
+/// the E3/E7 benches and the conformance suites share. One definition:
+/// extending the grid here extends every consumer.
+pub const THEOREM8_BORDER_GRID: &[(usize, usize)] = &[
+    (4, 1),
+    (6, 1),
+    (8, 1),
+    (6, 2),
+    (9, 2),
+    (12, 2),
+    (8, 3),
+    (12, 3),
+    (10, 4),
+];
+
+/// [`THEOREM8_BORDER_GRID`] as sweep cells: `f = kn/(k + 1)` (the exact
+/// border) and the deterministic [`cell_seed`] of `grid_seed` and the
+/// point's position — the form `kset_sim::scenario::Scenario::from_cell`
+/// and the differential conformance suite consume.
+pub fn theorem8_border_cells(grid_seed: u64) -> Vec<GridCell> {
+    THEOREM8_BORDER_GRID
+        .iter()
+        .enumerate()
+        .map(|(index, &(n, k))| {
+            debug_assert!((k * n).is_multiple_of(k + 1), "divisible border point");
+            GridCell {
+                index,
+                n,
+                f: k * n / (k + 1),
+                k,
+                seed: cell_seed(grid_seed, index),
+            }
+        })
+        .collect()
+}
+
 /// Theorem 2: k-set agreement is **impossible** with synchronous processes,
 /// asynchronous communication, atomic broadcast and `f` failures (of which
 /// `f − 1` may be initial and one mid-run) when

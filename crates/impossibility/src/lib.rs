@@ -42,7 +42,7 @@ pub mod theorem8;
 
 pub use borders::{
     bouzid_travers_impossible, corollary13_solvable, theorem10_impossible, theorem2_impossible,
-    theorem8_borderline, theorem8_solvable,
+    theorem8_border_cells, theorem8_borderline, theorem8_solvable, THEOREM8_BORDER_GRID,
 };
 pub use partition::PartitionSpec;
 pub use pasting::{

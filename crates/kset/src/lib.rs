@@ -57,10 +57,21 @@
 //! additionally forks `Simulation` configurations directly for exhaustive
 //! search.
 //!
+//! Above both sits the **scenario layer**: a [`sim::Scenario`] (model
+//! point, proposals, round-oriented crash description, schedule family,
+//! detector choice) compiles to *either* substrate —
+//! [`sim::Scenario::to_sim`] on the step side,
+//! [`core::scenario::to_lockstep`] (via [`core::scenario::RoundAdapter`])
+//! on the round side — and
+//! [`core::scenario::differential::check`] compares the two runs,
+//! turning the two-substrate architecture into a tested equivalence. See
+//! ARCHITECTURE.md for the crash-description mapping.
+//!
 //! Every process set in the workspace — partition blocks, quorum/leader
 //! samples, faulty/correct sets, delivery filters — is a
-//! [`sim::ProcessSet`]: a `Copy`, fixed-capacity (128-process) bitset whose
-//! set algebra is single-word arithmetic. Per-sender round state (inboxes,
+//! [`sim::ProcessSet`]: a `Copy`, fixed-capacity bitset
+//! ([`sim::ProcessSet::CAPACITY`] = 512) whose set algebra is per-limb
+//! word arithmetic. Per-sender round state (inboxes,
 //! stage-2 tables, promise ledgers) uses the dense [`sim::SenderMap`].
 //! Independent `(n, f, k, seed)` grid cells run through the parallel
 //! [`sim::sweep`] module with deterministic per-cell seeds; parallel

@@ -389,13 +389,17 @@ where
         };
 
         // 6. Send: enqueue surviving messages, record all (with drop flag).
+        // A send to an out-of-range destination can never be delivered, so
+        // it is recorded as dropped — traces and fingerprints must not claim
+        // a delivery that never happened.
         let mut sent_records = Vec::with_capacity(sends.len());
         for (dst, payload) in sends {
             let id = MsgId::new(self.next_msg_id);
             self.next_msg_id += 1;
-            let dropped = omission.as_ref().is_some_and(|om| !om.delivers_to(dst));
+            let dropped =
+                dst.index() >= self.n || omission.as_ref().is_some_and(|om| !om.delivers_to(dst));
             let payload_fp = fingerprint(&payload);
-            if !dropped && dst.index() < self.n {
+            if !dropped {
                 self.buffers[dst.index()].push(Envelope::new(id, pid, dst, self.time, payload));
             }
             sent_records.push(SendRecord {
@@ -1068,6 +1072,55 @@ mod tests {
         assert_eq!(status.stop, StopReason::SchedulerDone);
         assert_eq!(status.steps, 0);
         assert!(!engine.done());
+    }
+
+    /// A process that sends one message past the end of the system.
+    #[derive(Debug, Clone, Hash)]
+    struct SendsOutOfRange;
+
+    impl Process for SendsOutOfRange {
+        type Msg = u8;
+        type Input = ();
+        type Output = u8;
+        type Fd = ();
+
+        fn init(_info: ProcessInfo, _input: ()) -> Self {
+            SendsOutOfRange
+        }
+
+        fn step(
+            &mut self,
+            _delivered: &[Envelope<u8>],
+            _fd: Option<&()>,
+            effects: &mut Effects<u8, u8>,
+        ) {
+            effects.send(ProcessId::new(9), 1); // no such process
+            effects.send(ProcessId::new(0), 2); // in range
+        }
+    }
+
+    #[test]
+    fn out_of_range_send_is_recorded_as_dropped() {
+        // Regression: sends to destinations outside the system were
+        // discarded but recorded with `dropped: false`, so traces claimed a
+        // delivery that never happened.
+        let mut sim: Simulation<SendsOutOfRange, NoOracle> =
+            Simulation::new(vec![(), ()], CrashPlan::none());
+        sim.step(ProcessId::new(0), Delivery::None).unwrap();
+        let step = match &sim.trace().events()[0] {
+            TraceEvent::Step(s) => s,
+            other => panic!("expected a step record, got {other:?}"),
+        };
+        assert_eq!(step.sent.len(), 2, "both sends are recorded");
+        let oob = &step.sent[0];
+        assert_eq!(oob.dst, ProcessId::new(9));
+        assert!(oob.dropped, "an undeliverable send must be marked dropped");
+        let ok = &step.sent[1];
+        assert_eq!(ok.dst, ProcessId::new(0));
+        assert!(!ok.dropped);
+        // The in-range message really is buffered; nothing else is.
+        assert_eq!(sim.buffer(ProcessId::new(0)).len(), 1);
+        assert_eq!(sim.buffer(ProcessId::new(1)).len(), 0);
     }
 
     #[test]

@@ -181,6 +181,30 @@ where
     report
 }
 
+/// Exhaustively explores all schedules of a compiled
+/// [`Scenario`](crate::scenario::Scenario): the scenario's crash plan and
+/// inputs become the initial configuration (its schedule family is
+/// irrelevant here — the explorer quantifies over *all* schedules), and
+/// `check` is evaluated at every reached configuration as in [`explore`].
+///
+/// # Errors
+///
+/// Returns the scenario's first
+/// [`ScenarioError`](crate::scenario::ScenarioError) if it fails
+/// validation or compilation.
+pub fn explore_scenario<P>(
+    scenario: &crate::scenario::Scenario,
+    config: &ExploreConfig,
+    check: impl FnMut(&Simulation<P, crate::oracle::NoOracle>) -> Result<(), String>,
+) -> Result<ExploreReport, crate::scenario::ScenarioError>
+where
+    P: crate::scenario::ScenarioProcess,
+    P::Input: Clone,
+{
+    let sim = scenario.to_simulation::<P>()?;
+    Ok(explore(&sim, config, check))
+}
+
 /// The delivery branching menu for one process in one configuration.
 fn delivery_menu<P, O>(
     sim: &Simulation<P, O>,
@@ -203,10 +227,16 @@ where
             // bitset: the classic sub = (sub - 1) & mask walk, width-generic
             // via `WideSet::subsets` so it holds past 128 processes.
             let sources = buffer.sources();
-            // 2^len menu entries; cap the pre-reservation so a wide source
-            // set (type-permitted up to 512 senders) can't overflow the
-            // shift — the extend below grows the Vec as needed anyway.
-            let mut menu = Vec::with_capacity(1usize << sources.len().min(20));
+            // The menu holds exactly 2^len entries (Delivery::None plus the
+            // 2^len − 1 non-empty subsets); pre-reserve that count for the
+            // common small source sets but cap the reservation so a wide
+            // source set cannot demand a huge up-front allocation per
+            // explored step — the extend below grows the Vec as needed.
+            const MENU_RESERVE_CAP: usize = 256;
+            let menu_len = 1usize
+                .checked_shl(sources.len() as u32)
+                .unwrap_or(usize::MAX);
+            let mut menu = Vec::with_capacity(menu_len.min(MENU_RESERVE_CAP));
             menu.push(Delivery::None);
             menu.extend(sources.subsets().map(Delivery::AllFrom));
             menu

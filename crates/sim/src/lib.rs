@@ -100,6 +100,7 @@ mod model;
 mod oracle;
 mod process;
 mod restrict;
+pub mod scenario;
 pub mod sched;
 pub mod sweep;
 pub mod trace;
@@ -119,5 +120,9 @@ pub use oracle::{FnOracle, NoOracle, Oracle};
 pub use process::{Effects, Process, ProcessInfo};
 pub use restrict::{
     restricted_simulation, restricted_simulation_with_oracle, restriction_plan, Restricted,
+};
+pub use scenario::{
+    DetectorChoice, Scenario, ScenarioCrash, ScenarioError, ScenarioProcess, ScenarioScheduler,
+    ScheduleFamily,
 };
 pub use trace::{MessageStats, ProcessView, ScheduleEntry, StepObservation, Trace};

@@ -1,0 +1,831 @@
+//! Declarative scenarios: one description, two substrates.
+//!
+//! The workspace runs the paper's model through two substrates — the
+//! step-level [`Simulation`] and the round-level lock-step executor of
+//! `kset-core` — unified behind the [`Engine`](crate::Engine) trait. A
+//! [`Scenario`] is the declarative layer above both: it names a model point
+//! (system size `n`, failure budget `f`, agreement degree `k`), the
+//! proposal values, a *round-oriented crash plan*, a schedule family and a
+//! failure-detector choice, and **compiles** to either substrate:
+//!
+//! * [`Scenario::to_sim`] builds a [`SimEngine`] — the crash description
+//!   becomes a [`CrashPlan`] whose final-step send omission
+//!   ([`Omission::KeepOnlyTo`]) reproduces the round-level "mid-round
+//!   partial delivery", and the schedule family becomes a concrete
+//!   scheduler ([`ScenarioScheduler`]).
+//! * `kset-core`'s scenario adapters compile the *same* value to a
+//!   `LockStep` round executor (each [`ScenarioCrash`] becomes a
+//!   `RoundCrash` verbatim; initially-dead processes become round-1 crashes
+//!   with no receivers).
+//!
+//! Because both projections derive from one description, the two substrates
+//! can be *differentially tested*: under the synchronous
+//! [`ScheduleFamily::LockStepRounds`] family the compiled simulation is
+//! step-for-step equivalent to the round executor, and the harness in
+//! `kset-core::scenario::differential` asserts it. Under an asynchronous
+//! family the equivalence intentionally breaks — that divergence is the
+//! paper's border made executable.
+//!
+//! The algorithm is *not* part of the scenario value: a scenario compiles
+//! for any [`ScenarioProcess`] (step-level) or `ScenarioRounds`
+//! (round-level) implementation, so the same `(n, f, k)` point can be run
+//! under FloodMin, the two-stage protocol, or any future algorithm.
+
+use std::fmt;
+
+use crate::engine::{SimEngine, Simulation};
+use crate::failure::{CrashPlan, Omission};
+use crate::ids::{CapacityError, ProcessId, ProcessSet};
+use crate::oracle::NoOracle;
+use crate::process::Process;
+use crate::sched::partition::{PartitionScheduler, ReleasePolicy};
+use crate::sched::random::SeededRandom;
+use crate::sched::round_robin::RoundRobin;
+use crate::sched::{Choice, Scheduler, SimView};
+use crate::sweep::{cell_seed, GridCell};
+
+/// One crash in a scenario, described in *round* terms: in round `round`
+/// (1-based), `pid` delivers its round message only to `receivers` and then
+/// crashes.
+///
+/// The two substrates realize this description differently but
+/// equivalently:
+///
+/// * round-level — a `RoundCrash` verbatim (mid-round partial delivery);
+/// * step-level — [`CrashPlan::with_crash_after`]`(pid, round,`
+///   [`Omission::KeepOnlyTo`]`(receivers))`: under the lock-step schedule
+///   family a process's `round`-th local step is exactly the step that
+///   broadcasts its round-`round` message, so the final-step send omission
+///   drops precisely the messages the round executor never delivers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioCrash {
+    /// The crashing process.
+    pub pid: ProcessId,
+    /// The round in which the crash strikes (1-based).
+    pub round: usize,
+    /// The receivers that still get the final round message.
+    pub receivers: ProcessSet,
+}
+
+/// The schedule family a scenario runs under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleFamily {
+    /// The synchronous projection: fair round-robin with eager delivery.
+    /// This is the family under which the step-level compilation is
+    /// equivalent to the lock-step round executor.
+    LockStepRounds,
+    /// Reproducible asynchrony: seeded random process choice and per-source
+    /// random delivery. Differential equivalence is *not* expected here —
+    /// the report flags divergences instead.
+    Async {
+        /// RNG seed (typically the grid cell's [`cell_seed`]).
+        seed: u64,
+        /// Per-source delivery probability in percent (0–100).
+        deliver_percent: u8,
+        /// Starvation bound: every alive process steps at least once every
+        /// this many scheduler picks.
+        fairness_window: u64,
+    },
+    /// The partitioning adversary: cross-block messages are delayed until
+    /// every process decided.
+    Partitioned {
+        /// The pairwise-disjoint partition blocks.
+        blocks: Vec<ProcessSet>,
+    },
+}
+
+/// Which failure detector the scenario equips processes with.
+///
+/// The simulator stays agnostic about detector classes; this enum only
+/// *names* the choice. `kset-fd` maps each variant to a concrete oracle
+/// (`kset_fd::select`), and [`Scenario::to_sim`] serves the
+/// detector-free case directly (all current differential algorithms have
+/// `Fd = ()`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectorChoice {
+    /// No failure detector (dimension 6 unfavourable).
+    None,
+    /// The perfect detector P (suspect exactly the crashed).
+    Perfect,
+    /// The pair (Σk, Ωk) with eventual stabilization time `tgst`.
+    SigmaOmega {
+        /// The detector degree `k`.
+        k: usize,
+        /// Global stabilization time of the Ωk component.
+        tgst: u64,
+    },
+    /// The loneliness detector L.
+    Loneliness,
+}
+
+/// Errors raised when validating or compiling a [`Scenario`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// The system size exceeds the bitset capacity.
+    Capacity(CapacityError),
+    /// `inputs.len()` does not match `n`.
+    InputCount {
+        /// System size the scenario declares.
+        n: usize,
+        /// Number of proposal values provided.
+        inputs: usize,
+    },
+    /// The failure budget or agreement degree is infeasible (`f ≥ n`,
+    /// `k < 1`, or `k > n`).
+    Infeasible {
+        /// System size.
+        n: usize,
+        /// Failure budget.
+        f: usize,
+        /// Agreement degree.
+        k: usize,
+    },
+    /// A process is named by two crash entries (or is both initially dead
+    /// and crash-scheduled).
+    DuplicateCrash(ProcessId),
+    /// A crash round lies outside `1..=rounds`.
+    RoundOutOfRange {
+        /// The offending crash round.
+        round: usize,
+        /// The scenario's scheduled round count.
+        rounds: usize,
+    },
+    /// More processes fail than the budget `f` allows.
+    TooManyFaulty {
+        /// Processes that fail under the crash description.
+        faulty: usize,
+        /// The declared budget.
+        f: usize,
+    },
+    /// A crash (initial or scheduled) names a process outside `0..n` — it
+    /// would silently affect nothing on either substrate.
+    CrashOutOfRange {
+        /// The named process.
+        pid: ProcessId,
+        /// System size.
+        n: usize,
+    },
+    /// The schedule family carries parameters its scheduler rejects
+    /// (delivery probability over 100%, a zero fairness window, or
+    /// overlapping partition blocks).
+    BadSchedule {
+        /// What the scheduler would reject.
+        reason: &'static str,
+    },
+    /// The detector choice's degree is outside `1..=n`.
+    DetectorDegree {
+        /// The requested degree.
+        k: usize,
+        /// System size.
+        n: usize,
+    },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Capacity(e) => write!(f, "system size {e}"),
+            ScenarioError::InputCount { n, inputs } => {
+                write!(f, "scenario declares n = {n} but provides {inputs} inputs")
+            }
+            ScenarioError::Infeasible { n, f: ff, k } => {
+                write!(f, "infeasible model point: n = {n}, f = {ff}, k = {k}")
+            }
+            ScenarioError::DuplicateCrash(p) => write!(f, "process {p} crashes twice"),
+            ScenarioError::RoundOutOfRange { round, rounds } => {
+                write!(f, "crash round {round} outside 1..={rounds}")
+            }
+            ScenarioError::TooManyFaulty { faulty, f: ff } => {
+                write!(f, "{faulty} processes fail but the budget is f = {ff}")
+            }
+            ScenarioError::CrashOutOfRange { pid, n } => {
+                write!(f, "crash names {pid} but the system has n = {n} processes")
+            }
+            ScenarioError::BadSchedule { reason } => {
+                write!(f, "schedule family rejected: {reason}")
+            }
+            ScenarioError::DetectorDegree { k, n } => {
+                write!(f, "detector degree k = {k} outside 1..={n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<CapacityError> for ScenarioError {
+    fn from(e: CapacityError) -> Self {
+        ScenarioError::Capacity(e)
+    }
+}
+
+/// A step-level algorithm that can be instantiated from a [`Scenario`].
+///
+/// The trait decouples the scenario value (which lives in this crate) from
+/// the algorithms (which live in `kset-core`): an implementation maps the
+/// scenario's proposal values and model point to the algorithm's concrete
+/// input type — e.g. the two-stage protocol derives its waiting threshold
+/// `L = n − f` from the scenario, and round-based algorithms wrap
+/// themselves in `kset-core`'s `RoundAdapter`.
+pub trait ScenarioProcess: Process<Fd = ()> {
+    /// Builds the per-process inputs of this algorithm for `scenario`.
+    ///
+    /// Must return exactly `scenario.n` inputs; [`Scenario::to_sim`]
+    /// validates the scenario before calling this.
+    fn scenario_inputs(scenario: &Scenario) -> Vec<Self::Input>;
+}
+
+/// A declarative scenario: model point, proposals, crash description,
+/// schedule family, detector choice, and budgets.
+///
+/// Construct with [`Scenario::favourable`] (lock-step schedule, no crashes)
+/// or [`Scenario::from_cell`] (seed-derived crash layout for sweep grids),
+/// then refine with the builder methods.
+///
+/// # Examples
+///
+/// ```
+/// use kset_sim::scenario::{Scenario, ScenarioCrash, ScheduleFamily};
+/// use kset_sim::{ProcessId, ProcessSet};
+///
+/// let sc = Scenario::favourable(4, 1, 1).with_crash(ScenarioCrash {
+///     pid: ProcessId::new(0),
+///     round: 1,
+///     receivers: [ProcessId::new(1)].into(),
+/// });
+/// assert!(sc.validate().is_ok());
+/// assert_eq!(sc.rounds, 2); // ⌊f/k⌋ + 1
+/// assert_eq!(sc.schedule, ScheduleFamily::LockStepRounds);
+/// let plan = sc.crash_plan();
+/// assert_eq!(plan.num_faulty(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scenario {
+    /// System size `n`.
+    pub n: usize,
+    /// Failure budget `f` (the crash description may use fewer).
+    pub f: usize,
+    /// Agreement degree `k` (k-set agreement).
+    pub k: usize,
+    /// Per-process proposal values.
+    pub inputs: Vec<u64>,
+    /// Scheduled synchronous rounds (defaults to `⌊f/k⌋ + 1`, the FloodMin
+    /// round count for the model point).
+    pub rounds: usize,
+    /// Processes dead from the start.
+    pub initially_dead: ProcessSet,
+    /// Mid-run crashes in round terms.
+    pub crashes: Vec<ScenarioCrash>,
+    /// The schedule family.
+    pub schedule: ScheduleFamily,
+    /// The failure-detector choice.
+    pub detector: DetectorChoice,
+    /// Step budget for the compiled step-level engine.
+    pub max_units: u64,
+}
+
+impl Scenario {
+    /// A favourable-side scenario at `(n, f, k)`: distinct proposals
+    /// `0..n`, `⌊f/k⌋ + 1` rounds, the lock-step schedule family, no
+    /// detector, and no crashes yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` (the round count `⌊f/k⌋ + 1` is undefined).
+    pub fn favourable(n: usize, f: usize, k: usize) -> Self {
+        assert!(k >= 1, "k-set agreement needs k ≥ 1");
+        let rounds = f / k + 1;
+        Scenario {
+            n,
+            f,
+            k,
+            inputs: (0..n as u64).collect(),
+            rounds,
+            initially_dead: ProcessSet::new(),
+            crashes: Vec::new(),
+            schedule: ScheduleFamily::LockStepRounds,
+            detector: DetectorChoice::None,
+            max_units: Self::default_max_units(n, rounds),
+        }
+    }
+
+    /// Maps a sweep [`GridCell`] to a concrete scenario: the cell's
+    /// deterministic seed fixes a crash layout (up to `f` crashes on
+    /// distinct processes, spread over the rounds, each reaching a
+    /// seed-derived prefix of receivers), so "cell 17 of grid 42" is the
+    /// same scenario on every machine — the contract [`cell_seed`]
+    /// established for bare `(n, f, k)` tuples now carries whole scenarios.
+    pub fn from_cell(cell: &GridCell) -> Self {
+        let mut sc = Scenario::favourable(cell.n, cell.f, cell.k);
+        let base = (cell.seed as usize) % cell.n;
+        for j in 0..cell.f {
+            let h = cell_seed(cell.seed, j);
+            let receivers: ProcessSet = ProcessId::all((h as usize) % (cell.n + 1)).collect();
+            sc.crashes.push(ScenarioCrash {
+                pid: ProcessId::new((base + j) % cell.n),
+                round: 1 + j % sc.rounds,
+                receivers,
+            });
+        }
+        sc
+    }
+
+    fn default_max_units(n: usize, rounds: usize) -> u64 {
+        // Lock-step needs n·(rounds + 1) steps; async families re-pick
+        // processes randomly, so leave generous headroom.
+        (n as u64) * (rounds as u64 + 2) * 8 + 64
+    }
+
+    /// Replaces the proposal values. Returns `self` for chaining.
+    #[must_use]
+    pub fn with_inputs(mut self, inputs: Vec<u64>) -> Self {
+        self.inputs = inputs;
+        self
+    }
+
+    /// Adds a round-crash. Returns `self` for chaining.
+    #[must_use]
+    pub fn with_crash(mut self, crash: ScenarioCrash) -> Self {
+        self.crashes.push(crash);
+        self
+    }
+
+    /// Marks a process dead from the start. Returns `self` for chaining.
+    #[must_use]
+    pub fn with_initially_dead(mut self, p: ProcessId) -> Self {
+        self.initially_dead.insert(p);
+        self
+    }
+
+    /// Sets the schedule family. Returns `self` for chaining.
+    #[must_use]
+    pub fn with_schedule(mut self, schedule: ScheduleFamily) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Sets the detector choice. Returns `self` for chaining.
+    #[must_use]
+    pub fn with_detector(mut self, detector: DetectorChoice) -> Self {
+        self.detector = detector;
+        self
+    }
+
+    /// Overrides the scheduled round count (and rescales the step budget).
+    /// Returns `self` for chaining.
+    #[must_use]
+    pub fn with_rounds(mut self, rounds: usize) -> Self {
+        self.rounds = rounds;
+        self.max_units = Self::default_max_units(self.n, rounds);
+        self
+    }
+
+    /// Overrides the step budget of the compiled engine. Returns `self`
+    /// for chaining.
+    #[must_use]
+    pub fn with_max_units(mut self, max_units: u64) -> Self {
+        self.max_units = max_units;
+        self
+    }
+
+    /// Whether this scenario runs under the synchronous lock-step family —
+    /// the precondition for step-level/round-level equivalence.
+    pub fn is_lock_step(&self) -> bool {
+        self.schedule == ScheduleFamily::LockStepRounds
+    }
+
+    /// The set of processes that fail under this scenario's crash
+    /// description (initially dead or round-crashed).
+    pub fn faulty(&self) -> ProcessSet {
+        let mut f = self.initially_dead;
+        f.extend(self.crashes.iter().map(|c| c.pid));
+        f
+    }
+
+    /// Checks the scenario's internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// See [`ScenarioError`] for each rejected shape.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        if self.n > ProcessSet::CAPACITY {
+            return Err(CapacityError::new(self.n, ProcessSet::CAPACITY).into());
+        }
+        if self.f >= self.n || self.k < 1 || self.k > self.n {
+            return Err(ScenarioError::Infeasible {
+                n: self.n,
+                f: self.f,
+                k: self.k,
+            });
+        }
+        if self.inputs.len() != self.n {
+            return Err(ScenarioError::InputCount {
+                n: self.n,
+                inputs: self.inputs.len(),
+            });
+        }
+        let mut seen = ProcessSet::new();
+        for pid in self
+            .initially_dead
+            .iter()
+            .chain(self.crashes.iter().map(|c| c.pid))
+        {
+            if pid.index() >= self.n {
+                return Err(ScenarioError::CrashOutOfRange { pid, n: self.n });
+            }
+            if !seen.insert(pid) {
+                return Err(ScenarioError::DuplicateCrash(pid));
+            }
+        }
+        for c in &self.crashes {
+            if c.round < 1 || c.round > self.rounds {
+                return Err(ScenarioError::RoundOutOfRange {
+                    round: c.round,
+                    rounds: self.rounds,
+                });
+            }
+        }
+        if seen.len() > self.f {
+            return Err(ScenarioError::TooManyFaulty {
+                faulty: seen.len(),
+                f: self.f,
+            });
+        }
+        match &self.schedule {
+            ScheduleFamily::LockStepRounds => {}
+            ScheduleFamily::Async {
+                deliver_percent,
+                fairness_window,
+                ..
+            } => {
+                if *deliver_percent > 100 {
+                    return Err(ScenarioError::BadSchedule {
+                        reason: "delivery probability over 100%",
+                    });
+                }
+                if *fairness_window == 0 {
+                    return Err(ScenarioError::BadSchedule {
+                        reason: "fairness window must be positive",
+                    });
+                }
+            }
+            ScheduleFamily::Partitioned { blocks } => {
+                let mut members = ProcessSet::new();
+                for block in blocks {
+                    for p in block {
+                        if p.index() >= self.n {
+                            return Err(ScenarioError::BadSchedule {
+                                reason: "partition block names a process outside the system",
+                            });
+                        }
+                        if !members.insert(p) {
+                            return Err(ScenarioError::BadSchedule {
+                                reason: "partition blocks must be pairwise disjoint",
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        match self.detector {
+            DetectorChoice::SigmaOmega { k, .. } if k < 1 || k > self.n => {
+                Err(ScenarioError::DetectorDegree { k, n: self.n })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// The step-level projection of the crash description: each
+    /// [`ScenarioCrash`] becomes a crash after `round` local steps with
+    /// [`Omission::KeepOnlyTo`]`(receivers)` — under the lock-step family a
+    /// process's `round`-th step broadcasts its round-`round` message, so
+    /// this reproduces the round executor's mid-round partial delivery.
+    pub fn crash_plan(&self) -> CrashPlan {
+        let mut plan = CrashPlan::initially_dead(self.initially_dead);
+        for c in &self.crashes {
+            plan = plan.with_crash_after(c.pid, c.round as u64, Omission::KeepOnlyTo(c.receivers));
+        }
+        plan
+    }
+
+    /// Builds the scheduler of this scenario's schedule family.
+    pub fn scheduler(&self) -> ScenarioScheduler {
+        match &self.schedule {
+            ScheduleFamily::LockStepRounds => ScenarioScheduler::LockStep(RoundRobin::new()),
+            ScheduleFamily::Async {
+                seed,
+                deliver_percent,
+                fairness_window,
+            } => ScenarioScheduler::Async(
+                SeededRandom::new(*seed)
+                    .with_deliver_percent(*deliver_percent)
+                    .with_fairness_window(*fairness_window),
+            ),
+            ScheduleFamily::Partitioned { blocks } => ScenarioScheduler::Partitioned(
+                PartitionScheduler::new(blocks.clone(), ReleasePolicy::AfterAllDecided),
+            ),
+        }
+    }
+
+    /// Compiles the scenario to a bare step-level [`Simulation`] (no
+    /// scheduler attached) — the form the exhaustive explorer consumes; see
+    /// [`crate::explore::explore_scenario`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ScenarioError`] of [`Scenario::validate`].
+    pub fn to_simulation<P: ScenarioProcess>(
+        &self,
+    ) -> Result<Simulation<P, NoOracle>, ScenarioError> {
+        self.validate()?;
+        Ok(Simulation::try_new(
+            P::scenario_inputs(self),
+            self.crash_plan(),
+        )?)
+    }
+
+    /// Compiles the scenario to the step-level substrate: a [`SimEngine`]
+    /// pairing the simulation with the schedule family's scheduler. The
+    /// round-level compiler (`to_lockstep`) lives in `kset-core`'s scenario
+    /// adapters, next to the round executor it targets.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ScenarioError`] of [`Scenario::validate`].
+    pub fn to_sim<P: ScenarioProcess>(
+        &self,
+    ) -> Result<SimEngine<P, NoOracle, ScenarioScheduler>, ScenarioError> {
+        Ok(SimEngine::new(self.to_simulation::<P>()?, self.scheduler()))
+    }
+}
+
+/// The concrete scheduler a [`ScheduleFamily`] compiles to — an enum rather
+/// than a boxed trait object so [`Scenario::to_sim`] returns a fully
+/// concrete engine type.
+#[derive(Debug, Clone)]
+pub enum ScenarioScheduler {
+    /// [`ScheduleFamily::LockStepRounds`].
+    LockStep(RoundRobin),
+    /// [`ScheduleFamily::Async`].
+    Async(SeededRandom),
+    /// [`ScheduleFamily::Partitioned`].
+    Partitioned(PartitionScheduler),
+}
+
+impl<M> Scheduler<M> for ScenarioScheduler {
+    fn next(&mut self, view: &SimView<'_, M>) -> Option<Choice> {
+        match self {
+            ScenarioScheduler::LockStep(s) => Scheduler::<M>::next(s, view),
+            ScenarioScheduler::Async(s) => Scheduler::<M>::next(s, view),
+            ScenarioScheduler::Partitioned(s) => Scheduler::<M>::next(s, view),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Envelope;
+    use crate::process::{Effects, ProcessInfo};
+    use crate::sweep::scale_grid;
+    use crate::Engine;
+
+    /// Minimal scenario-constructible process: decides its own input.
+    #[derive(Debug, Clone, Hash)]
+    struct Own(u64);
+
+    impl Process for Own {
+        type Msg = u64;
+        type Input = u64;
+        type Output = u64;
+        type Fd = ();
+
+        fn init(_info: ProcessInfo, input: u64) -> Self {
+            Own(input)
+        }
+
+        fn step(
+            &mut self,
+            _delivered: &[Envelope<u64>],
+            _fd: Option<&()>,
+            effects: &mut Effects<u64, u64>,
+        ) {
+            effects.decide(self.0);
+        }
+    }
+
+    impl ScenarioProcess for Own {
+        fn scenario_inputs(scenario: &Scenario) -> Vec<u64> {
+            scenario.inputs.clone()
+        }
+    }
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn favourable_defaults_are_consistent() {
+        let sc = Scenario::favourable(6, 3, 2);
+        assert_eq!(sc.rounds, 2);
+        assert_eq!(sc.inputs, vec![0, 1, 2, 3, 4, 5]);
+        assert!(sc.is_lock_step());
+        assert!(sc.validate().is_ok());
+        assert!(sc.faulty().is_empty());
+    }
+
+    #[test]
+    fn validation_rejects_malformed_scenarios() {
+        let infeasible = Scenario::favourable(4, 4, 1);
+        assert!(matches!(
+            infeasible.validate(),
+            Err(ScenarioError::Infeasible { .. })
+        ));
+
+        let bad_inputs = Scenario::favourable(4, 1, 1).with_inputs(vec![1, 2]);
+        assert!(matches!(
+            bad_inputs.validate(),
+            Err(ScenarioError::InputCount { n: 4, inputs: 2 })
+        ));
+
+        let crash = |round| ScenarioCrash {
+            pid: pid(0),
+            round,
+            receivers: ProcessSet::new(),
+        };
+        let dup = Scenario::favourable(4, 2, 1)
+            .with_crash(crash(1))
+            .with_crash(crash(2));
+        assert_eq!(dup.validate(), Err(ScenarioError::DuplicateCrash(pid(0))));
+
+        let oor = Scenario::favourable(4, 1, 1).with_crash(crash(5));
+        assert!(matches!(
+            oor.validate(),
+            Err(ScenarioError::RoundOutOfRange {
+                round: 5,
+                rounds: 2
+            })
+        ));
+
+        let over = Scenario::favourable(4, 1, 1)
+            .with_initially_dead(pid(1))
+            .with_crash(crash(1));
+        assert_eq!(
+            over.validate(),
+            Err(ScenarioError::TooManyFaulty { faulty: 2, f: 1 })
+        );
+
+        let oversized = Scenario::favourable(ProcessSet::CAPACITY + 1, 1, 1);
+        assert!(matches!(
+            oversized.validate(),
+            Err(ScenarioError::Capacity(_))
+        ));
+
+        // A crash naming a process outside 0..n would silently affect
+        // nothing on either substrate — reject it instead.
+        let ghost = Scenario::favourable(4, 1, 1).with_crash(ScenarioCrash {
+            pid: pid(7),
+            round: 1,
+            receivers: ProcessSet::new(),
+        });
+        assert_eq!(
+            ghost.validate(),
+            Err(ScenarioError::CrashOutOfRange { pid: pid(7), n: 4 })
+        );
+        let ghost_dead = Scenario::favourable(4, 1, 1).with_initially_dead(pid(4));
+        assert_eq!(
+            ghost_dead.validate(),
+            Err(ScenarioError::CrashOutOfRange { pid: pid(4), n: 4 })
+        );
+    }
+
+    #[test]
+    fn validation_covers_schedule_and_detector_parameters() {
+        // to_sim's error contract: malformed family parameters surface as
+        // ScenarioError, never as a scheduler-constructor panic.
+        let base = Scenario::favourable(4, 1, 1);
+        let over_percent = base.clone().with_schedule(ScheduleFamily::Async {
+            seed: 1,
+            deliver_percent: 150,
+            fairness_window: 4,
+        });
+        assert!(matches!(
+            over_percent.validate(),
+            Err(ScenarioError::BadSchedule { .. })
+        ));
+        assert!(over_percent.to_sim::<Own>().is_err());
+
+        let zero_window = base.clone().with_schedule(ScheduleFamily::Async {
+            seed: 1,
+            deliver_percent: 50,
+            fairness_window: 0,
+        });
+        assert!(matches!(
+            zero_window.validate(),
+            Err(ScenarioError::BadSchedule { .. })
+        ));
+
+        let overlapping = base.clone().with_schedule(ScheduleFamily::Partitioned {
+            blocks: vec![[pid(0), pid(1)].into(), [pid(1), pid(2)].into()],
+        });
+        assert!(matches!(
+            overlapping.validate(),
+            Err(ScenarioError::BadSchedule { .. })
+        ));
+        assert!(overlapping.to_sim::<Own>().is_err());
+
+        // A block naming only nonexistent processes would silently leave
+        // every real process in a singleton block — reject it instead.
+        let ghost_block = base.clone().with_schedule(ScheduleFamily::Partitioned {
+            blocks: vec![[pid(8), pid(9)].into()],
+        });
+        assert!(matches!(
+            ghost_block.validate(),
+            Err(ScenarioError::BadSchedule { .. })
+        ));
+
+        let bad_degree = base.with_detector(DetectorChoice::SigmaOmega { k: 10, tgst: 5 });
+        assert_eq!(
+            bad_degree.validate(),
+            Err(ScenarioError::DetectorDegree { k: 10, n: 4 })
+        );
+    }
+
+    #[test]
+    fn crash_plan_projection_maps_rounds_to_local_steps() {
+        let sc = Scenario::favourable(4, 2, 1)
+            .with_initially_dead(pid(3))
+            .with_crash(ScenarioCrash {
+                pid: pid(0),
+                round: 2,
+                receivers: [pid(1)].into(),
+            });
+        let plan = sc.crash_plan();
+        assert!(plan.is_initially_dead(pid(3)));
+        let (steps, om) = plan.crash_for(pid(0)).expect("scheduled");
+        assert_eq!(steps, 2);
+        assert_eq!(om, &Omission::KeepOnlyTo([pid(1)].into()));
+        assert_eq!(sc.faulty(), [pid(0), pid(3)].into());
+    }
+
+    #[test]
+    fn to_sim_compiles_and_runs() {
+        let sc = Scenario::favourable(3, 0, 1);
+        let mut engine = sc.to_sim::<Own>().expect("valid scenario");
+        let status = engine.drive(sc.max_units);
+        assert_eq!(status.stop, crate::StopReason::AllCorrectDecided);
+        assert_eq!(engine.decisions(), vec![Some(0), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn to_sim_rejects_invalid_scenarios() {
+        let sc = Scenario::favourable(4, 1, 1).with_inputs(vec![7]);
+        assert!(sc.to_sim::<Own>().is_err());
+    }
+
+    #[test]
+    fn from_cell_is_deterministic_and_valid() {
+        let grid = scale_grid(&[8, 16], &[3], &[1, 2], 42).expect("within capacity");
+        for cell in &grid {
+            let a = Scenario::from_cell(cell);
+            let b = Scenario::from_cell(cell);
+            assert_eq!(a, b, "same cell must map to the same scenario");
+            a.validate().expect("generated scenarios are valid");
+            assert_eq!(a.faulty().len(), cell.f, "exactly f crashing processes");
+            assert!(a
+                .crashes
+                .iter()
+                .all(|c| c.round >= 1 && c.round <= a.rounds));
+        }
+        // Different seeds produce different crash layouts somewhere.
+        let other = scale_grid(&[8, 16], &[3], &[1, 2], 43).expect("within capacity");
+        assert!(
+            grid.iter()
+                .zip(&other)
+                .any(|(x, y)| Scenario::from_cell(x).crashes != Scenario::from_cell(y).crashes),
+            "grid seed must influence the crash layout"
+        );
+    }
+
+    #[test]
+    fn scheduler_families_compile() {
+        let lock = Scenario::favourable(3, 0, 1);
+        assert!(matches!(lock.scheduler(), ScenarioScheduler::LockStep(_)));
+
+        let async_sc = lock.clone().with_schedule(ScheduleFamily::Async {
+            seed: 7,
+            deliver_percent: 50,
+            fairness_window: 8,
+        });
+        assert!(matches!(async_sc.scheduler(), ScenarioScheduler::Async(_)));
+        assert!(!async_sc.is_lock_step());
+
+        let part = lock.with_schedule(ScheduleFamily::Partitioned {
+            blocks: vec![[pid(0)].into(), [pid(1), pid(2)].into()],
+        });
+        assert!(matches!(
+            part.scheduler(),
+            ScenarioScheduler::Partitioned(_)
+        ));
+    }
+}

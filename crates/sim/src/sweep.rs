@@ -171,22 +171,53 @@ where
             .map(|h| h.join().expect("sweep worker panicked"))
             .collect()
     });
-    // Reassemble in cell order: pop strides round-robin.
-    let mut out: Vec<R> = Vec::with_capacity(cells.len());
-    let mut iters: Vec<_> = strides.iter_mut().map(|s| s.drain(..)).collect();
-    'outer: loop {
-        for it in &mut iters {
-            match it.next() {
-                Some((i, r)) => {
-                    debug_assert_eq!(i, out.len(), "stride interleave out of order");
-                    out.push(r);
-                }
-                None => break 'outer,
-            }
-        }
+    // Reassemble in cell order by *index*, not by interleave position: a
+    // stride bug then loses results loudly (a hole, caught below) instead of
+    // silently permuting them in release builds.
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(cells.len());
+    slots.resize_with(cells.len(), || None);
+    for (i, r) in strides.iter_mut().flat_map(|s| s.drain(..)) {
+        assert!(i < slots.len(), "worker produced an out-of-range index {i}");
+        assert!(slots[i].is_none(), "cell {i} produced two results");
+        slots[i] = Some(r);
     }
-    assert_eq!(out.len(), cells.len(), "every cell must produce a result");
-    out
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| slot.unwrap_or_else(|| panic!("cell {i} produced no result")))
+        .collect()
+}
+
+/// Maps every cell of a [`scale_grid`] to a concrete
+/// [`Scenario`](crate::scenario::Scenario) via
+/// [`Scenario::from_cell`](crate::scenario::Scenario::from_cell): the
+/// sweep's deterministic seed contract now pins whole scenarios (crash
+/// layouts included) instead of bare `(n, f, k)` tuples.
+///
+/// # Errors
+///
+/// As [`scale_grid`]: a [`CapacityError`] if any `n` exceeds
+/// [`ProcessSet::CAPACITY`].
+///
+/// # Examples
+///
+/// ```
+/// use kset_sim::sweep::scenario_grid;
+///
+/// let scenarios = scenario_grid(&[4, 8], &[1], &[1], 42).unwrap();
+/// assert_eq!(scenarios.len(), 2);
+/// assert!(scenarios.iter().all(|sc| sc.validate().is_ok()));
+/// ```
+pub fn scenario_grid(
+    ns: &[usize],
+    fs: &[usize],
+    ks: &[usize],
+    grid_seed: u64,
+) -> Result<Vec<crate::scenario::Scenario>, CapacityError> {
+    Ok(scale_grid(ns, fs, ks, grid_seed)?
+        .iter()
+        .map(crate::scenario::Scenario::from_cell)
+        .collect())
 }
 
 #[cfg(test)]
@@ -237,6 +268,19 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(sweep(&empty, |_, c| *c).is_empty());
         assert_eq!(sweep(&[5u32], |i, c| *c as usize + i), vec![5]);
+    }
+
+    #[test]
+    fn scenario_grid_matches_scale_grid_cells() {
+        let cells = scale_grid(&[4, 8], &[1, 2], &[1], 9).unwrap();
+        let scenarios = scenario_grid(&[4, 8], &[1, 2], &[1], 9).unwrap();
+        assert_eq!(cells.len(), scenarios.len());
+        for (cell, sc) in cells.iter().zip(&scenarios) {
+            assert_eq!((sc.n, sc.f, sc.k), (cell.n, cell.f, cell.k));
+            assert_eq!(sc, &crate::scenario::Scenario::from_cell(cell));
+            sc.validate().expect("grid scenarios are valid");
+        }
+        assert!(scenario_grid(&[ProcessSet::CAPACITY + 1], &[1], &[1], 9).is_err());
     }
 
     #[test]

@@ -44,7 +44,8 @@ pub struct SendRecord {
     pub dst: ProcessId,
     /// Fingerprint of the payload.
     pub payload_fp: u64,
-    /// Whether the send was dropped by a final-step omission rule.
+    /// Whether the send never reached a buffer — dropped by a final-step
+    /// omission rule, or addressed to a destination outside the system.
     pub dropped: bool,
 }
 
@@ -241,8 +242,9 @@ impl<V: Clone> Trace<V> {
     }
 
     /// Message statistics of the run prefix: total sends (including
-    /// omission-dropped ones), dropped sends, and deliveries. The send
-    /// count is the *message complexity* figure reported by experiment E7.
+    /// dropped ones — omission-ruled or out-of-range), dropped sends, and
+    /// deliveries. The send count is the *message complexity* figure
+    /// reported by experiment E7.
     pub fn message_stats(&self) -> MessageStats {
         let mut stats = MessageStats::default();
         for step in self.steps() {

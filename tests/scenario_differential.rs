@@ -1,0 +1,141 @@
+//! Differential conformance between the two substrates: one scenario
+//! description compiled to both the step-level simulator and the round-level
+//! lock-step executor must produce equivalent runs under the synchronous
+//! schedule family — across the full Theorem 8 border grid, under parallel
+//! and sequential sweeps alike — and must *flag* (not panic on) divergence
+//! under asynchronous families.
+
+use kset::core::algorithms::floodmin::FloodMin;
+use kset::core::scenario::differential::{self, DiffReport};
+use kset::core::scenario::RoundAdapter;
+use kset::impossibility::theorem8_border_cells as border_cells;
+use kset::sim::explore::{explore_scenario, Branching, ExploreConfig};
+use kset::sim::scenario::{Scenario, ScheduleFamily};
+use kset::sim::sweep::{scenario_grid, sweep, sweep_seq};
+
+#[test]
+fn theorem8_border_grid_substrates_agree() {
+    // Favourable side of the border: every scenario's lock-step compilation
+    // and step-level compilation must agree on decisions, distinct counts
+    // and termination — the two-substrate architecture as a tested
+    // equivalence, not a trait coincidence.
+    for cell in border_cells(42) {
+        let scenario = Scenario::from_cell(&cell);
+        assert!(scenario.is_lock_step());
+        let report = differential::check::<FloodMin>(&scenario)
+            .unwrap_or_else(|e| panic!("cell {}: {e}", cell.index));
+        assert!(
+            report.agrees(),
+            "n={} f={} k={} seed={:#x}: {:?}",
+            cell.n,
+            cell.f,
+            cell.k,
+            cell.seed,
+            report.divergences
+        );
+        assert!(report.sim.terminated && report.lockstep.terminated);
+        assert_eq!(report.sim.distinct, report.lockstep.distinct);
+        assert!(
+            report.lockstep.k_agreement(cell.k),
+            "FloodMin must reach k-agreement on the favourable side"
+        );
+        assert_eq!(report.lockstep.units, scenario.rounds as u64);
+    }
+}
+
+#[test]
+fn differential_parallel_sweep_equals_sequential() {
+    // The differential check is a pure function of the scenario, so the
+    // parallel sweep over a scenario grid must reproduce the sequential
+    // pass bit for bit — reports included.
+    let scenarios = scenario_grid(&[4, 6, 8], &[1, 2], &[1, 2], 7).expect("within capacity");
+    assert!(!scenarios.is_empty());
+    let worker = |_: usize, sc: &Scenario| -> DiffReport {
+        differential::check::<FloodMin>(sc).expect("grid scenarios are valid")
+    };
+    let parallel = sweep(&scenarios, worker);
+    let sequential = sweep_seq(&scenarios, worker);
+    assert_eq!(parallel, sequential);
+    for (sc, report) in scenarios.iter().zip(&parallel) {
+        assert!(
+            report.agrees(),
+            "n={} f={} k={}: {:?}",
+            sc.n,
+            sc.f,
+            sc.k,
+            report.divergences
+        );
+    }
+}
+
+#[test]
+fn async_schedule_family_divergence_is_flagged_not_fatal() {
+    // The deliberately asymmetric scenario: same model point, same crash
+    // description, but an asynchronous schedule family. The step-level run
+    // consumes incomplete round inboxes, so the substrates disagree — and
+    // the report must carry that divergence instead of panicking.
+    let base = border_cells(42).remove(2); // (n, k) = (8, 1), f = 4
+    let mut diverged = 0usize;
+    for seed in 0..16u64 {
+        let scenario = Scenario::from_cell(&base).with_schedule(ScheduleFamily::Async {
+            seed,
+            deliver_percent: 20,
+            fairness_window: 4,
+        });
+        let report = differential::check::<FloodMin>(&scenario)
+            .expect("an async family is not a scenario error");
+        assert!(!report.lock_step_family);
+        // The round-level side is untouched by the schedule family and
+        // still solves consensus.
+        assert!(report.lockstep.k_agreement(1));
+        assert!(report.lockstep.terminated);
+        if !report.agrees() {
+            diverged += 1;
+        }
+    }
+    assert!(
+        diverged > 0,
+        "a 20%-delivery async family must diverge from lock-step on some seed"
+    );
+}
+
+#[test]
+fn explorer_refutes_floodmin_under_all_schedules() {
+    // The explorer consumes a compiled scenario directly and quantifies
+    // over ALL schedules: FloodMin's round structure only survives the
+    // synchronous family, so exhaustive exploration finds a k-agreement
+    // violation — the unfavourable side of the border, observed on the
+    // same scenario value that the lock-step side solves.
+    let scenario = Scenario::favourable(2, 1, 1).with_inputs(vec![3, 9]);
+    let config = ExploreConfig {
+        max_depth: 8,
+        max_states: 50_000,
+        branching: Branching::NoneOrAll,
+    };
+    let report = explore_scenario::<RoundAdapter<FloodMin>>(&scenario, &config, |sim| {
+        let distinct: std::collections::BTreeSet<u64> =
+            sim.decisions().iter().flatten().copied().collect();
+        if distinct.len() > 1 {
+            return Err(format!("consensus violated: {distinct:?}"));
+        }
+        Ok(())
+    })
+    .expect("valid scenario");
+    let violation = report.violation.expect("a violating schedule exists");
+    assert!(!violation.path.is_empty(), "the schedule is replayable");
+
+    // The same scenario's lock-step compilation is safe — the explorer's
+    // violation is a property of asynchrony, not of the algorithm.
+    let diff = differential::check::<FloodMin>(&scenario).expect("valid scenario");
+    assert!(diff.agrees());
+    assert!(diff.lockstep.k_agreement(1));
+}
+
+#[test]
+fn invalid_scenarios_are_typed_errors_on_both_compilers() {
+    let bad = Scenario::favourable(4, 1, 1).with_inputs(vec![1]);
+    let sim_err = bad.to_sim::<RoundAdapter<FloodMin>>().unwrap_err();
+    let lock_err = kset::core::scenario::to_lockstep::<FloodMin>(&bad).unwrap_err();
+    assert_eq!(sim_err, lock_err, "one validation, two compilers");
+    assert!(differential::check::<FloodMin>(&bad).is_err());
+}

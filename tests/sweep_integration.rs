@@ -3,21 +3,12 @@
 //! sequential pass, and per-cell seeds must be stable.
 
 use kset::impossibility::theorem8::border_demo;
+use kset::impossibility::THEOREM8_BORDER_GRID;
 use kset::sim::sweep::{cell_seed, sweep, sweep_seq};
 
 /// The E3 border grid (every divisible point the experiments binary runs).
 fn border_grid() -> Vec<(usize, usize)> {
-    vec![
-        (4, 1),
-        (6, 1),
-        (8, 1),
-        (6, 2),
-        (9, 2),
-        (12, 2),
-        (8, 3),
-        (12, 3),
-        (10, 4),
-    ]
+    THEOREM8_BORDER_GRID.to_vec()
 }
 
 #[test]
