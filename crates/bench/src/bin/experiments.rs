@@ -1,13 +1,29 @@
-//! The experiments binary: regenerates every border table of the paper.
+//! The experiments binary: regenerates every border table of the paper,
+//! and runs/merges sharded sweeps.
 //!
 //! ```sh
-//! cargo run --release -p kset-bench --bin experiments          # all
-//! cargo run --release -p kset-bench --bin experiments -- --e4  # one
+//! cargo run --release -p kset-bench --bin experiments          # all tables
+//! cargo run --release -p kset-bench --bin experiments -- --e4  # one table
+//!
+//! # Sharded sweeps: run shard 1 of 3 of the border grid, streaming the
+//! # records into a self-describing shard file …
+//! experiments sweep --grid border --shard 1/3 --out border-1.txt
+//! # … the sequential single-process reference of the same grid …
+//! experiments sweep --grid border --seq --out border-seq.txt
+//! # … and merge the shards, verifying exact coverage and (optionally)
+//! # that the merged records equal an in-process sequential recompute.
+//! experiments merge --out merged.txt --check-against-sequential \
+//!     border-0.txt border-1.txt border-2.txt
 //! ```
 //!
-//! The output is recorded in EXPERIMENTS.md; the "paper" columns are the
-//! closed-form borders from the theorems, the "measured" columns come from
-//! the simulator constructions. Agreement between the two is the
+//! The merged file is **byte-identical** to the sequential one whenever
+//! the shards cover the grid exactly — that identity is the shard-matrix
+//! conformance gate in CI. Grid names resolve through
+//! [`kset_bench::sweeps`]; cells are citable as `(grid_seed, index)`.
+//!
+//! The table output is recorded in EXPERIMENTS.md; the "paper" columns are
+//! the closed-form borders from the theorems, the "measured" columns come
+//! from the simulator constructions. Agreement between the two is the
 //! reproduction claim.
 
 use kset_bench::{glyph, Table};
@@ -30,6 +46,11 @@ use kset_sim::ProcessId;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("sweep") => return sweep_cmd(&args[1..]),
+        Some("merge") => return merge_cmd(&args[1..]),
+        _ => {}
+    }
     let want = |tag: &str| args.is_empty() || args.iter().any(|a| a == tag);
 
     if want("--e1") {
@@ -293,6 +314,215 @@ fn e5_corollary13() {
         ]);
     }
     println!("{t}");
+}
+
+// ---------------------------------------------------------------------------
+// Sharded sweeps: `sweep` / `merge` subcommands (the CI shard matrix).
+// ---------------------------------------------------------------------------
+
+/// Incrementally fingerprints the bytes written to a shard file, so the
+/// summary line can report a whole-file digest without rematerializing it.
+/// Uses the release-stable [`kset_sim::StableHasher`]: the digest a shard
+/// job prints must match the digest the (separately built) merge job
+/// prints for the same bytes.
+struct FileDigest(kset_sim::StableHasher);
+
+impl FileDigest {
+    fn new() -> Self {
+        FileDigest(kset_sim::StableHasher::new())
+    }
+
+    fn update(&mut self, chunk: &str) {
+        std::hash::Hasher::write(&mut self.0, chunk.as_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        std::hash::Hasher::finish(&self.0)
+    }
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: experiments sweep --grid <{names}> --out FILE \
+         [--grid-seed N] [--shard I/J] [--window N] [--seq]\n\
+         \u{20}      experiments merge --out FILE [--check-against-sequential] SHARD_FILE...",
+        names = kset_bench::sweeps::GRID_NAMES.join("|")
+    );
+    std::process::exit(2);
+}
+
+/// `sweep`: run one shard of a catalog grid, streaming records to a
+/// self-describing shard file (`--seq` forces the single-threaded
+/// sequential reference pass instead of the streaming parallel runner —
+/// the files they write are byte-identical, which CI asserts).
+fn sweep_cmd(args: &[String]) {
+    use kset_sim::sweep::ShardSpec;
+
+    let mut grid_name: Option<String> = None;
+    let mut grid_seed: u64 = 42;
+    let mut shard = ShardSpec::FULL;
+    let mut out: Option<String> = None;
+    let mut window: usize = 64;
+    let mut seq = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--grid" => grid_name = Some(value("--grid").clone()),
+            "--grid-seed" => {
+                grid_seed = value("--grid-seed")
+                    .parse()
+                    .unwrap_or_else(|e| usage(&format!("bad --grid-seed: {e}")));
+            }
+            "--shard" => {
+                shard = value("--shard")
+                    .parse()
+                    .unwrap_or_else(|e| usage(&format!("bad --shard: {e}")));
+            }
+            "--out" => out = Some(value("--out").clone()),
+            "--window" => {
+                window = value("--window")
+                    .parse()
+                    .ok()
+                    .filter(|&w: &usize| w > 0)
+                    .unwrap_or_else(|| usage("bad --window: need an integer of at least 1"));
+            }
+            "--seq" => seq = true,
+            other => usage(&format!("unknown sweep argument {other:?}")),
+        }
+    }
+    let Some(grid_name) = grid_name else {
+        usage("sweep needs --grid");
+    };
+    let Some(out) = out else {
+        usage("sweep needs --out");
+    };
+    if seq && !shard.is_full() {
+        usage("--seq is the whole-grid reference pass; it cannot take --shard");
+    }
+    let grid = kset_bench::sweeps::grid(&grid_name, grid_seed).unwrap_or_else(|e| fail(e));
+
+    use std::io::Write as _;
+    let file = std::fs::File::create(&out)
+        .unwrap_or_else(|e| fail(format_args!("cannot create {out}: {e}")));
+    let mut file = std::io::BufWriter::new(file);
+    let mut digest = FileDigest::new();
+    let mut emit = |chunk: &str| {
+        digest.update(chunk);
+        file.write_all(chunk.as_bytes())
+            .unwrap_or_else(|e| fail(format_args!("cannot write {out}: {e}")));
+    };
+
+    emit(&grid.header(shard).render());
+    let mut records = 0usize;
+    if seq {
+        for record in grid.sweep_sequential() {
+            records += 1;
+            emit(&format!("{}\n", record.render_line()));
+        }
+    } else {
+        grid.sweep_shard_streaming(shard, window, |record| {
+            records += 1;
+            emit(&format!("{}\n", record.render_line()));
+        });
+    }
+    emit(&kset_sim::sweep::record::render_footer(records));
+    let file_digest = digest.finish();
+    file.flush()
+        .unwrap_or_else(|e| fail(format_args!("cannot write {out}: {e}")));
+    println!(
+        "sweep grid={grid_name} seed={grid_seed} shard={shard} mode={} \
+         cells={records} out={out} file-digest={file_digest:#018x}",
+        if seq { "sequential" } else { "streaming" },
+    );
+}
+
+/// `merge`: reassemble per-shard files into the canonical full-grid file,
+/// verifying exact coverage; `--check-against-sequential` additionally
+/// recomputes the whole grid in-process and demands identical records.
+fn merge_cmd(args: &[String]) {
+    use kset_sim::sweep::{merge, ShardFile, ShardSpec};
+
+    let mut out: Option<String> = None;
+    let mut check = false;
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--out needs a value"))
+                        .clone(),
+                );
+            }
+            "--check-against-sequential" => check = true,
+            flag if flag.starts_with("--") => usage(&format!("unknown merge argument {flag:?}")),
+            path => paths.push(path.to_string()),
+        }
+    }
+    if paths.is_empty() {
+        usage("merge needs at least one shard file");
+    }
+    let shards: Vec<ShardFile> = paths
+        .iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(format_args!("cannot read {path}: {e}")));
+            ShardFile::parse(&text).unwrap_or_else(|e| fail(format_args!("{path}: {e}")))
+        })
+        .collect();
+    let merged = merge(&shards).unwrap_or_else(|e| fail(e));
+    let rendered = merged.render();
+    let mut digest = FileDigest::new();
+    digest.update(&rendered);
+    println!(
+        "merge grid={} seed={} shards={} cells={} file-digest={:#018x}",
+        merged.header.grid,
+        merged.header.grid_seed,
+        shards.len(),
+        merged.records.len(),
+        digest.finish(),
+    );
+    if let Some(out) = &out {
+        std::fs::write(out, &rendered)
+            .unwrap_or_else(|e| fail(format_args!("cannot write {out}: {e}")));
+    }
+    if check {
+        let grid = kset_bench::sweeps::grid(&merged.header.grid, merged.header.grid_seed)
+            .unwrap_or_else(|e| fail(e));
+        let sequential = ShardFile {
+            header: grid.header(ShardSpec::FULL),
+            records: grid.sweep_sequential(),
+        };
+        for (m, s) in merged.records.iter().zip(&sequential.records) {
+            if m != s {
+                fail(format_args!(
+                    "cell {} diverges from the sequential recompute: \
+                     merged {m:?}, sequential {s:?}",
+                    m.index
+                ));
+            }
+        }
+        if rendered != sequential.render() {
+            fail("merged file is not byte-identical to the sequential recompute");
+        }
+        println!(
+            "check grid={} seed={}: merged == sequential ({} cells)",
+            merged.header.grid,
+            merged.header.grid_seed,
+            merged.records.len(),
+        );
+    }
 }
 
 /// E6 — Lemmas 6/7 on random stage-one graphs: source-component counts vs

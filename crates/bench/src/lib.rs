@@ -10,6 +10,8 @@
 
 use std::fmt::Write as _;
 
+pub mod sweeps;
+
 /// A simple fixed-width text table.
 #[derive(Debug, Clone)]
 pub struct Table {

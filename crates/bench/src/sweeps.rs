@@ -1,0 +1,203 @@
+//! The sharded-sweep grid catalog: the named grids CI shards across
+//! processes, with their deterministic per-cell decision digests.
+//!
+//! The `experiments` binary (`sweep` / `merge` subcommands), the
+//! integration tests and the shard-matrix CI workflow all resolve grid
+//! names through this one module, so "grid `border` under seed 42" means
+//! the same cell list and the same digest function everywhere. The
+//! conformance claim the CI gate checks is: merging the [`ShardFile`](kset_sim::sweep::ShardFile)s of
+//! any full shard partition reproduces, **byte for byte**, the file a
+//! sequential single-process sweep writes.
+//!
+//! Two grids are registered:
+//!
+//! * **`border`** — the Theorem 8 border grid (`kn = (k+1)f`): each cell
+//!   runs the full pasted impossibility construction
+//!   ([`border_demo`]) and digests its verdict.
+//! * **`scale`** — a [`scale_grid`] slice spanning n ∈ {64, …, 512}: each
+//!   cell runs lock-step FloodMin with a seed-derived crash layout and
+//!   digests the decision vector.
+
+use std::fmt;
+
+use kset_core::algorithms::floodmin::{floodmin_rounds, FloodMin};
+use kset_core::sync::{LockStep, RoundCrash};
+use kset_core::task::distinct_proposals;
+use kset_impossibility::theorem8::border_demo;
+use kset_impossibility::theorem8_border_cells;
+use kset_sim::sweep::{
+    scale_grid, sweep_seq, sweep_streaming_ordered, CellRecord, GridCell, ShardSpec, SweepHeader,
+};
+use kset_sim::{stable_fingerprint, Engine, ProcessId};
+
+/// The grid names the catalog resolves (the CI matrix runs all of them).
+pub const GRID_NAMES: &[&str] = &["border", "scale"];
+
+/// A named, seeded sweep grid: its cells and its digest semantics.
+pub struct SweepGrid {
+    /// Catalog name (`border` or `scale`).
+    pub name: &'static str,
+    /// Whitespace-free axes description recorded in shard headers.
+    pub axes: &'static str,
+    /// The grid seed every cell seed derives from.
+    pub grid_seed: u64,
+    /// The full cell list, in emission order.
+    pub cells: Vec<GridCell>,
+    digest: fn(&GridCell) -> u64,
+}
+
+impl fmt::Debug for SweepGrid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SweepGrid")
+            .field("name", &self.name)
+            .field("grid_seed", &self.grid_seed)
+            .field("cells", &self.cells.len())
+            .finish()
+    }
+}
+
+/// A grid name outside [`GRID_NAMES`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownGrid(pub String);
+
+impl fmt::Display for UnknownGrid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown grid {:?} (known: {GRID_NAMES:?})", self.0)
+    }
+}
+
+impl std::error::Error for UnknownGrid {}
+
+/// Resolves a catalog grid by name under a grid seed.
+pub fn grid(name: &str, grid_seed: u64) -> Result<SweepGrid, UnknownGrid> {
+    match name {
+        "border" => Ok(SweepGrid {
+            name: "border",
+            axes: "theorem8-border:kn=(k+1)f",
+            grid_seed,
+            cells: theorem8_border_cells(grid_seed),
+            digest: border_digest,
+        }),
+        "scale" => Ok(SweepGrid {
+            name: "scale",
+            axes: "ns=64,128,256,512;fs=1,2,3;ks=1,2",
+            grid_seed,
+            cells: scale_grid(&[64, 128, 256, 512], &[1, 2, 3], &[1, 2], grid_seed)
+                .expect("catalog axes are duplicate-free and within capacity"),
+            digest: floodmin_digest,
+        }),
+        other => Err(UnknownGrid(other.to_string())),
+    }
+}
+
+impl SweepGrid {
+    /// The shard-file header for `shard` of this grid.
+    pub fn header(&self, shard: ShardSpec) -> SweepHeader {
+        SweepHeader::new(
+            self.name,
+            self.grid_seed,
+            self.axes,
+            self.cells.len(),
+            shard,
+        )
+    }
+
+    /// Computes one cell's decision digest (pure: safe to call from any
+    /// shard, any thread, any host).
+    pub fn digest(&self, cell: &GridCell) -> u64 {
+        (self.digest)(cell)
+    }
+
+    /// Sweeps one shard, **streaming**: records flow to `emit` in cell
+    /// order as cells complete (at most `window` results in flight), so a
+    /// caller can write the shard file without materializing the shard.
+    pub fn sweep_shard_streaming(
+        &self,
+        shard: ShardSpec,
+        window: usize,
+        mut emit: impl FnMut(CellRecord),
+    ) {
+        let slice = shard.slice(&self.cells);
+        sweep_streaming_ordered(
+            slice,
+            window,
+            |_, cell| CellRecord::new(cell, self.digest(cell)),
+            |_, record| emit(record),
+        );
+    }
+
+    /// Sweeps the **full** grid sequentially on one thread — the reference
+    /// the merged shard files must reproduce byte for byte.
+    pub fn sweep_sequential(&self) -> Vec<CellRecord> {
+        sweep_seq(&self.cells, |_, cell| {
+            CellRecord::new(cell, self.digest(cell))
+        })
+    }
+}
+
+/// Digest of one Theorem 8 border cell: the verdict of the pasted
+/// impossibility construction at `(n, k)`.
+fn border_digest(cell: &GridCell) -> u64 {
+    let demo = border_demo(cell.n, cell.k, 300_000)
+        .expect("border grid cells are exact divisible border points");
+    debug_assert_eq!(demo.f, cell.f, "border cell carries the derived f");
+    stable_fingerprint(&(
+        demo.f,
+        demo.pasted.verified,
+        demo.pasted.distinct_decisions(),
+        demo.pasted.report.failure_pattern.num_faulty(),
+        demo.violates_k_agreement(),
+    ))
+}
+
+/// Digest of one scale cell: lock-step FloodMin under a seed-derived crash
+/// layout (the same construction `tests/sweep_integration.rs` pins).
+fn floodmin_digest(cell: &GridCell) -> u64 {
+    let GridCell { n, f, k, seed, .. } = *cell;
+    let base = (seed as usize) % n;
+    let crashes: Vec<RoundCrash> = (0..f)
+        .map(|j| RoundCrash {
+            round: 1 + j % floodmin_rounds(f, k),
+            pid: ProcessId::new((base + j) % n),
+            receivers: ProcessId::all((seed >> 8) as usize % n).collect(),
+        })
+        .collect();
+    let mut engine = LockStep::new(
+        FloodMin::system(&distinct_proposals(n), f, k),
+        floodmin_rounds(f, k),
+        &crashes,
+    );
+    engine.drive(u64::MAX);
+    let out = engine.outcome();
+    let distinct = out
+        .decisions
+        .iter()
+        .flatten()
+        .collect::<std::collections::BTreeSet<_>>()
+        .len();
+    stable_fingerprint(&(stable_fingerprint(&out.decisions), distinct, out.rounds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_resolves_every_registered_name() {
+        for name in GRID_NAMES {
+            let g = grid(name, 42).expect("registered name resolves");
+            assert_eq!(g.name, *name);
+            assert!(!g.cells.is_empty());
+        }
+        assert!(grid("no-such-grid", 42).is_err());
+    }
+
+    #[test]
+    fn scale_digest_is_deterministic() {
+        let g = grid("scale", 42).unwrap();
+        let a = g.digest(&g.cells[0]);
+        let b = g.digest(&g.cells[0]);
+        assert_eq!(a, b);
+        assert_ne!(a, g.digest(&g.cells[1]), "cells digest differently");
+    }
+}

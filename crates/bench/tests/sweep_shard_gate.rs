@@ -1,0 +1,98 @@
+//! The shard-matrix CI gate, in-process: for every catalog grid, a 3-way
+//! shard partition swept through the streaming runner and merged from the
+//! text format must reproduce the sequential single-process sweep **byte
+//! for byte** — and withholding a shard must fail the merge loudly.
+//!
+//! `.github/workflows/sweep-shards.yml` runs exactly this across three
+//! runner processes plus artifact upload/download; this test keeps the
+//! gate honest without a CI round-trip.
+
+use kset_bench::sweeps::{grid, GRID_NAMES};
+use kset_sim::sweep::{merge, MergeError, ShardFile, ShardSpec};
+
+const SHARDS: usize = 3;
+
+fn shard_files(name: &str) -> (Vec<ShardFile>, ShardFile) {
+    let g = grid(name, 42).expect("catalog grid");
+    let files: Vec<ShardFile> = (0..SHARDS)
+        .map(|i| {
+            let spec = ShardSpec::new(i, SHARDS).unwrap();
+            let mut records = Vec::new();
+            g.sweep_shard_streaming(spec, 4, |r| records.push(r));
+            ShardFile {
+                header: g.header(spec),
+                records,
+            }
+        })
+        .collect();
+    let sequential = ShardFile {
+        header: g.header(ShardSpec::FULL),
+        records: g.sweep_sequential(),
+    };
+    (files, sequential)
+}
+
+#[test]
+fn merged_shards_are_byte_identical_to_sequential() {
+    for name in GRID_NAMES {
+        let (files, sequential) = shard_files(name);
+        // Each shard file survives the text round-trip unchanged …
+        for file in &files {
+            assert_eq!(
+                ShardFile::parse(&file.render()).as_ref(),
+                Ok(file),
+                "grid {name}: render→parse must be identity"
+            );
+        }
+        // … and the merge of the reparsed files is the sequential file.
+        let reparsed: Vec<ShardFile> = files
+            .iter()
+            .map(|f| ShardFile::parse(&f.render()).unwrap())
+            .collect();
+        let merged = merge(&reparsed).expect("full partition merges");
+        assert_eq!(merged, sequential, "grid {name}");
+        assert_eq!(
+            merged.render(),
+            sequential.render(),
+            "grid {name}: merged file must be byte-identical to sequential"
+        );
+    }
+}
+
+#[test]
+fn withheld_shard_fails_the_merge_loudly() {
+    let (files, _) = shard_files("scale");
+    let withheld: Vec<ShardFile> = files
+        .iter()
+        .filter(|f| f.header.shard.shard_index() != 1)
+        .cloned()
+        .collect();
+    assert_eq!(
+        merge(&withheld),
+        Err(MergeError::MissingShard { shard_index: 1 })
+    );
+    let doubled: Vec<ShardFile> = files.iter().chain(files.first()).cloned().collect();
+    assert_eq!(
+        merge(&doubled),
+        Err(MergeError::DuplicateShard { shard_index: 0 })
+    );
+}
+
+#[test]
+fn grids_under_different_seeds_do_not_mix() {
+    let a = grid("scale", 42).unwrap();
+    let b = grid("scale", 43).unwrap();
+    let file = |g: &kset_bench::sweeps::SweepGrid, i| {
+        let spec = ShardSpec::new(i, 2).unwrap();
+        let mut records = Vec::new();
+        g.sweep_shard_streaming(spec, 4, |r| records.push(r));
+        ShardFile {
+            header: g.header(spec),
+            records,
+        }
+    };
+    assert!(matches!(
+        merge(&[file(&a, 0), file(&b, 1)]),
+        Err(MergeError::GridMismatch { .. })
+    ));
+}

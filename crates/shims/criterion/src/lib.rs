@@ -9,6 +9,18 @@
 //! Timing is a plain wall-clock mean over `sample_size` iterations after one
 //! warm-up run — enough to track the perf trajectory between commits, with
 //! none of upstream criterion's statistics.
+//!
+//! Two environment hooks drive the CI bench-smoke job (both additive on
+//! top of the upstream-compatible API, so swapping in real criterion later
+//! only loses them):
+//!
+//! * `KSET_BENCH_SAMPLES=N` overrides every group's configured sample
+//!   size — the smoke job runs the full bench surface at `N = 3` to catch
+//!   rot cheaply.
+//! * `KSET_BENCH_SUMMARY=PATH` appends one machine-readable,
+//!   tab-separated line per benchmark to `PATH`:
+//!   `group⇥id⇥mean_ns⇥samples`. The smoke job uploads the file as the
+//!   perf-trajectory artifact.
 
 #![warn(rust_2018_idioms)]
 
@@ -102,17 +114,28 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// The sample count actually used: the `KSET_BENCH_SAMPLES`
+    /// environment override when set and positive, the configured size
+    /// otherwise.
+    fn effective_samples(&self) -> usize {
+        std::env::var("KSET_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n: &usize| n > 0)
+            .unwrap_or(self.sample_size)
+    }
+
     /// Runs one benchmark.
     pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         let mut bencher = Bencher {
-            samples: self.sample_size,
+            samples: self.effective_samples(),
             mean: Duration::ZERO,
         };
         f(&mut bencher);
-        self.report(&id.to_string(), bencher.mean);
+        self.report(&id.to_string(), bencher.mean, bencher.samples);
         self
     }
 
@@ -127,15 +150,15 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let mut bencher = Bencher {
-            samples: self.sample_size,
+            samples: self.effective_samples(),
             mean: Duration::ZERO,
         };
         f(&mut bencher, input);
-        self.report(&id.to_string(), bencher.mean);
+        self.report(&id.to_string(), bencher.mean, bencher.samples);
         self
     }
 
-    fn report(&self, id: &str, mean: Duration) {
+    fn report(&self, id: &str, mean: Duration, samples: usize) {
         let rate = match self.throughput {
             Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
                 format!("  ({:.0} elem/s)", n as f64 / mean.as_secs_f64())
@@ -146,6 +169,18 @@ impl BenchmarkGroup<'_> {
             _ => String::new(),
         };
         println!("{}/{id}: {mean:?}/iter{rate}", self.name);
+        if let Ok(path) = std::env::var("KSET_BENCH_SUMMARY") {
+            use std::io::Write as _;
+            let line = format!("{}\t{id}\t{}\t{samples}\n", self.name, mean.as_nanos());
+            let written = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| f.write_all(line.as_bytes()));
+            if let Err(e) = written {
+                eprintln!("warning: cannot append bench summary to {path}: {e}");
+            }
+        }
         let _ = &self.criterion;
     }
 
@@ -205,8 +240,14 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    /// Serializes every test that runs benchmarks: the env hooks are
+    /// process-global, so a test mutating them must not overlap a test
+    /// reading them (tests run on multiple threads by default).
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn group_times_and_reports() {
+        let _env = ENV_LOCK.lock().unwrap();
         let mut c = Criterion::default();
         let mut ran = 0u64;
         {
@@ -219,6 +260,36 @@ mod tests {
             g.finish();
         }
         assert!(ran >= 3, "warm-up + samples executed");
+    }
+
+    #[test]
+    fn summary_env_hooks_write_tsv() {
+        // Drive the CI bench-smoke contract: a sample-count override plus
+        // one machine-readable TSV line per benchmark, appended to the
+        // summary file. ENV_LOCK keeps the env mutation from racing the
+        // other bench-running test's env reads.
+        let _env = ENV_LOCK.lock().unwrap();
+        let path =
+            std::env::temp_dir().join(format!("kset-bench-summary-{}.tsv", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("KSET_BENCH_SAMPLES", "4");
+        std::env::set_var("KSET_BENCH_SUMMARY", &path);
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(1000); // overridden down to 4 by the env hook
+        let mut ran = 0u64;
+        g.bench_function("count", |b| b.iter(|| ran += 1));
+        g.finish();
+        std::env::remove_var("KSET_BENCH_SAMPLES");
+        std::env::remove_var("KSET_BENCH_SUMMARY");
+        assert_eq!(ran, 5, "warm-up + 4 overridden samples");
+        let summary = std::fs::read_to_string(&path).expect("summary file written");
+        let _ = std::fs::remove_file(&path);
+        let fields: Vec<&str> = summary.trim_end().split('\t').collect();
+        assert_eq!(fields[0], "smoke");
+        assert_eq!(fields[1], "count");
+        assert!(fields[2].parse::<u128>().is_ok(), "mean_ns is numeric");
+        assert_eq!(fields[3], "4");
     }
 
     #[test]

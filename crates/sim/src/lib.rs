@@ -114,7 +114,7 @@ pub use ids::{
     CapacityError, MsgId, ProcessId, ProcessSet, ProcessSetIter, SenderMap, SubsetIter, Time,
     WideSet, WideSetIter, PSET_LIMBS,
 };
-pub use message::{fingerprint, Envelope};
+pub use message::{fingerprint, stable_fingerprint, Envelope, StableHasher};
 pub use model::{ModelParams, Setting, SynchronyBounds};
 pub use oracle::{FnOracle, NoOracle, Oracle};
 pub use process::{Effects, Process, ProcessInfo};

@@ -75,9 +75,57 @@ impl<M: Hash> Envelope<M> {
 ///
 /// The simulator uses fingerprints for process states and message payloads
 /// in traces. `DefaultHasher::new()` is deterministic across runs of the
-/// same binary, which is all the determinism the simulator requires.
+/// same binary, which is all the determinism the simulator requires. For
+/// values that outlive one binary — digests written into persisted sweep
+/// result files — use [`stable_fingerprint`] instead: `DefaultHasher`'s
+/// algorithm is documented as free to change between Rust releases.
 pub fn fingerprint<T: Hash + ?Sized>(value: &T) -> u64 {
     let mut hasher = DefaultHasher::new();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// FNV-1a 64-bit hasher: a fixed, in-repo algorithm whose output never
+/// drifts with the Rust release, unlike [`DefaultHasher`].
+///
+/// Used for every digest that is *persisted* (sweep shard files) or
+/// compared across independently built binaries (the CI shard matrix
+/// compiles the shard jobs and the merge job separately). The byte stream
+/// an integer feeds the hasher is its native-endian encoding, so digests
+/// are stable per platform, not across platforms of different endianness —
+/// fine for the single-architecture CI fleet.
+#[derive(Debug, Clone)]
+pub struct StableHasher(u64);
+
+impl StableHasher {
+    /// The FNV-1a offset basis.
+    pub const fn new() -> Self {
+        StableHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher::new()
+    }
+}
+
+impl std::hash::Hasher for StableHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Release-stable 64-bit fingerprint of any hashable value
+/// ([`StableHasher`] under the standard `Hash` dispatch).
+pub fn stable_fingerprint<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut hasher = StableHasher::new();
     value.hash(&mut hasher);
     hasher.finish()
 }
@@ -85,6 +133,21 @@ pub fn fingerprint<T: Hash + ?Sized>(value: &T) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stable_fingerprint_values_are_pinned() {
+        // These exact values are part of the persisted-digest contract:
+        // FNV-1a over the standard Hash byte streams. If this test ever
+        // fails, shard files written by older binaries stop re-verifying —
+        // bump the record format version rather than letting them drift.
+        assert_eq!(stable_fingerprint(&42u64), 0xff3a_dd6b_3789_daef);
+        assert_eq!(stable_fingerprint("kset"), 0xa516_7d46_7ed9_51af);
+        assert_eq!(
+            stable_fingerprint(&(1usize, true, 3u64)),
+            stable_fingerprint(&(1usize, true, 3u64)),
+        );
+        assert_ne!(stable_fingerprint(&1u64), stable_fingerprint(&2u64));
+    }
 
     fn env(payload: &str) -> Envelope<String> {
         Envelope::new(

@@ -18,8 +18,18 @@
 //!   the same scenario on every machine and at every thread count.
 //!
 //! Parallelism uses `std::thread::scope` with one stride of the cell list
-//! per worker thread (the environment vendors no rayon; sharded sweeps over
-//! multiple hosts are a ROADMAP item).
+//! per worker thread (the environment vendors no rayon). Beyond one host,
+//! the grid shards across processes under the same contract:
+//!
+//! * [`ShardSpec`] ([`shard`]) — deterministic, validated cell→shard
+//!   assignment as contiguous ranges over the emitted index space; cell
+//!   indices and seeds are globally stable regardless of shard count.
+//! * [`sweep_streaming`] / [`sweep_streaming_ordered`] ([`stream`]) —
+//!   bounded-memory runners delivering `(index, result)` to a sink as
+//!   cells complete, instead of materializing the grid.
+//! * [`CellRecord`] / [`ShardFile`] / [`merge`] ([`record`]) — the
+//!   plain-text per-shard result format and its coverage-checked merge,
+//!   whose output is byte-identical to a sequential sweep's.
 //!
 //! # Examples
 //!
@@ -32,10 +42,19 @@
 //! assert_eq!(par, seq);
 //! ```
 
+use std::fmt;
 use std::num::NonZeroUsize;
 use std::thread;
 
 use crate::ids::{CapacityError, ProcessSet};
+
+pub mod record;
+pub mod shard;
+pub mod stream;
+
+pub use record::{merge, CellRecord, MergeError, ParseError, ShardFile, SweepHeader};
+pub use shard::{ShardError, ShardSpec};
+pub use stream::{sweep_streaming, sweep_streaming_ordered};
 
 /// One cell of an `(n, f, k)` scale grid, with its deterministic seed.
 ///
@@ -57,37 +76,96 @@ pub struct GridCell {
     pub seed: u64,
 }
 
+/// Why a grid could not be built from its axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GridError {
+    /// An `n` axis value exceeds [`ProcessSet::CAPACITY`].
+    Capacity(CapacityError),
+    /// An axis lists the same value twice. Duplicates would emit the same
+    /// `(n, f, k)` point as two cells with *different* seeds — almost
+    /// certainly an axis typo, and poison for "cell X of grid Y" citations
+    /// — so they are rejected rather than deduplicated.
+    DuplicateAxisValue {
+        /// Which axis repeats (`"ns"`, `"fs"` or `"ks"`).
+        axis: &'static str,
+        /// The repeated value.
+        value: usize,
+    },
+}
+
+impl From<CapacityError> for GridError {
+    fn from(e: CapacityError) -> Self {
+        GridError::Capacity(e)
+    }
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::Capacity(e) => e.fmt(f),
+            GridError::DuplicateAxisValue { axis, value } => write!(
+                f,
+                "axis {axis} lists {value} twice; duplicate axis values would \
+                 emit duplicate (n, f, k) cells under different seeds"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GridError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GridError::Capacity(e) => Some(e),
+            GridError::DuplicateAxisValue { .. } => None,
+        }
+    }
+}
+
 /// Crosses system sizes × failure counts × agreement degrees into a cell
 /// list with deterministic per-cell seeds, validating every `n` against
-/// [`ProcessSet::CAPACITY`] up front so oversized grids fail with a typed
-/// error before any work is scheduled.
+/// [`ProcessSet::CAPACITY`] and every axis against repeated values up
+/// front, so bad grids fail with a typed [`GridError`] before any work is
+/// scheduled.
 ///
 /// Iteration order (and therefore cell indices and seeds) is `ns` outer,
 /// `fs` middle, `ks` inner. Infeasible combinations — `f ≥ n`, `k < 1`, or
 /// `k > n` — are skipped *before* indices are assigned, so the seed of a
 /// surviving cell never depends on how many infeasible neighbours the
-/// caller's axes produced.
+/// caller's axes produced. Duplicate axis values are rejected outright:
+/// they would emit the same `(n, f, k)` point twice under different seeds.
 ///
 /// # Examples
 ///
 /// ```
-/// use kset_sim::sweep::{cell_seed, scale_grid};
+/// use kset_sim::sweep::{cell_seed, scale_grid, GridError};
 ///
 /// let grid = scale_grid(&[64, 128, 256, 512], &[1], &[1, 2], 42).unwrap();
 /// assert_eq!(grid.len(), 8);
 /// assert_eq!((grid[0].n, grid[0].f, grid[0].k), (64, 1, 1));
 /// assert_eq!(grid[0].seed, cell_seed(42, 0));
 /// assert!(scale_grid(&[513], &[0], &[1], 42).is_err());
+/// assert_eq!(
+///     scale_grid(&[128, 128], &[1], &[1], 42),
+///     Err(GridError::DuplicateAxisValue { axis: "ns", value: 128 })
+/// );
 /// ```
 pub fn scale_grid(
     ns: &[usize],
     fs: &[usize],
     ks: &[usize],
     grid_seed: u64,
-) -> Result<Vec<GridCell>, CapacityError> {
+) -> Result<Vec<GridCell>, GridError> {
     for &n in ns {
         if n > ProcessSet::CAPACITY {
-            return Err(CapacityError::new(n, ProcessSet::CAPACITY));
+            return Err(CapacityError::new(n, ProcessSet::CAPACITY).into());
+        }
+    }
+    for (axis, values) in [("ns", ns), ("fs", fs), ("ks", ks)] {
+        let mut seen = std::collections::BTreeSet::new();
+        for &value in values {
+            if !seen.insert(value) {
+                return Err(GridError::DuplicateAxisValue { axis, value });
+            }
         }
     }
     let mut cells = Vec::new();
@@ -196,8 +274,8 @@ where
 ///
 /// # Errors
 ///
-/// As [`scale_grid`]: a [`CapacityError`] if any `n` exceeds
-/// [`ProcessSet::CAPACITY`].
+/// As [`scale_grid`]: a [`GridError`] if any `n` exceeds
+/// [`ProcessSet::CAPACITY`] or an axis repeats a value.
 ///
 /// # Examples
 ///
@@ -213,7 +291,7 @@ pub fn scenario_grid(
     fs: &[usize],
     ks: &[usize],
     grid_seed: u64,
-) -> Result<Vec<crate::scenario::Scenario>, CapacityError> {
+) -> Result<Vec<crate::scenario::Scenario>, GridError> {
     Ok(scale_grid(ns, fs, ks, grid_seed)?
         .iter()
         .map(crate::scenario::Scenario::from_cell)
@@ -241,8 +319,40 @@ mod tests {
     #[test]
     fn scale_grid_rejects_oversized_n_up_front() {
         let err = scale_grid(&[64, ProcessSet::CAPACITY + 1], &[1], &[1], 7).unwrap_err();
+        let GridError::Capacity(err) = err else {
+            panic!("expected a capacity error, got {err:?}");
+        };
         assert_eq!(err.requested(), ProcessSet::CAPACITY + 1);
         assert_eq!(err.capacity(), ProcessSet::CAPACITY);
+    }
+
+    #[test]
+    fn scale_grid_rejects_duplicate_axis_values() {
+        // Regression: ns = [128, 128] used to emit the same (n, f, k) point
+        // twice, as two cells with *different* seeds.
+        assert_eq!(
+            scale_grid(&[128, 128], &[1], &[1], 7),
+            Err(GridError::DuplicateAxisValue {
+                axis: "ns",
+                value: 128
+            })
+        );
+        assert_eq!(
+            scale_grid(&[8, 16], &[1, 2, 1], &[1], 7),
+            Err(GridError::DuplicateAxisValue {
+                axis: "fs",
+                value: 1
+            })
+        );
+        assert_eq!(
+            scale_grid(&[8], &[1], &[2, 2], 7),
+            Err(GridError::DuplicateAxisValue {
+                axis: "ks",
+                value: 2
+            })
+        );
+        // Distinct values stay accepted, whatever their order.
+        assert!(scale_grid(&[16, 8], &[2, 1], &[1, 2], 7).is_ok());
     }
 
     #[test]

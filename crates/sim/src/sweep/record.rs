@@ -1,0 +1,843 @@
+//! The plain-text shard result format and its coverage-checked merge.
+//!
+//! Each shard of a sharded sweep writes a **self-describing, line-oriented
+//! text file** (the workspace vendors no serde): a three-line header naming
+//! the grid, its seed, its axes, the total cell count and the shard spec;
+//! one `cell` line per swept cell carrying the cell's global index, its
+//! `(n, f, k)` point, its [`cell_seed`] and a decision
+//! digest; and an `end <count>` footer so truncated files are detectable.
+//!
+//! ```text
+//! kset-sweep v1
+//! grid border seed 42 axes theorem8-border cells 9
+//! shard 1/3 range 3..6
+//! cell 3 n 6 f 4 k 2 seed 0xc86a910a935dc447 digest 0x0011223344556677
+//! cell 4 n 9 f 6 k 2 seed 0x... digest 0x...
+//! cell 5 n 12 f 8 k 2 seed 0x... digest 0x...
+//! end 3
+//! ```
+//!
+//! [`ShardFile::parse`] validates everything re-derivable: the shard's
+//! declared range must be [`ShardSpec::range`] of
+//! the declared total, cell indices must walk that range exactly (so
+//! duplicated, out-of-order, missing and foreign indices are all typed
+//! errors), every seed must re-derive from `(grid_seed, index)`, and the
+//! footer count must match. [`merge`] then reassembles a full grid from
+//! per-shard files, verifying **exact coverage** — headers identical,
+//! every shard of the partition present exactly once, every cell index
+//! exactly once — before returning the canonical single-shard
+//! ([`ShardSpec::FULL`]) file, whose rendering is byte-identical to what a
+//! sequential single-process sweep of the full grid writes. That byte
+//! identity is the CI conformance gate.
+
+use std::fmt;
+
+use super::{cell_seed, GridCell, ShardError, ShardSpec};
+
+/// The first line of every shard file; bump the version on format changes.
+pub const FORMAT_MAGIC: &str = "kset-sweep v1";
+
+/// One swept cell: its grid coordinates and the digest of its outcome.
+///
+/// `digest` is whatever 64-bit summary the sweep worker produced (the
+/// experiments binary uses the release-stable
+/// [`stable_fingerprint`](crate::stable_fingerprint) of the
+/// cell's decision outcome); equality of digests across runs is the
+/// determinism claim the shard-matrix CI gate checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellRecord {
+    /// Global index of the cell in the full grid's emission order.
+    pub index: usize,
+    /// System size.
+    pub n: usize,
+    /// Failure budget of the cell.
+    pub f: usize,
+    /// Agreement degree.
+    pub k: usize,
+    /// The cell's deterministic seed, `cell_seed(grid_seed, index)`.
+    pub seed: u64,
+    /// 64-bit digest of the cell's decision outcome.
+    pub digest: u64,
+}
+
+impl CellRecord {
+    /// Pairs a grid cell with its decision digest.
+    pub fn new(cell: &GridCell, digest: u64) -> Self {
+        CellRecord {
+            index: cell.index,
+            n: cell.n,
+            f: cell.f,
+            k: cell.k,
+            seed: cell.seed,
+            digest,
+        }
+    }
+
+    /// Renders the `cell` line (no trailing newline).
+    pub fn render_line(&self) -> String {
+        format!(
+            "cell {} n {} f {} k {} seed {:#018x} digest {:#018x}",
+            self.index, self.n, self.f, self.k, self.seed, self.digest
+        )
+    }
+}
+
+/// The self-describing header of a shard file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepHeader {
+    /// Name of the grid (one whitespace-free token, e.g. `border`).
+    pub grid: String,
+    /// The grid seed every cell seed derives from.
+    pub grid_seed: u64,
+    /// Whitespace-free description of the grid's axes
+    /// (e.g. `ns=64,128;fs=1,2;ks=1`): what the index space was built from.
+    pub axes: String,
+    /// Total number of cells in the **full** grid (not this shard).
+    pub total: usize,
+    /// Which shard of the grid this file holds.
+    pub shard: ShardSpec,
+}
+
+impl SweepHeader {
+    /// Builds a header, validating that `grid` and `axes` are single
+    /// non-empty whitespace-free tokens (the format is token-delimited).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or whitespace-containing `grid`/`axes` — those
+    /// are writer bugs, not runtime conditions.
+    pub fn new(
+        grid: impl Into<String>,
+        grid_seed: u64,
+        axes: impl Into<String>,
+        total: usize,
+        shard: ShardSpec,
+    ) -> Self {
+        let (grid, axes) = (grid.into(), axes.into());
+        for (name, value) in [("grid", &grid), ("axes", &axes)] {
+            assert!(
+                !value.is_empty() && !value.contains(char::is_whitespace),
+                "{name} must be one non-empty whitespace-free token, got {value:?}"
+            );
+        }
+        SweepHeader {
+            grid,
+            grid_seed,
+            axes,
+            total,
+            shard,
+        }
+    }
+
+    /// The contiguous range of global cell indices this shard owns.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.shard.range(self.total)
+    }
+
+    /// Renders the three header lines (with trailing newline).
+    pub fn render(&self) -> String {
+        let r = self.range();
+        format!(
+            "{FORMAT_MAGIC}\ngrid {} seed {} axes {} cells {}\nshard {} range {}..{}\n",
+            self.grid, self.grid_seed, self.axes, self.total, self.shard, r.start, r.end
+        )
+    }
+
+    /// The header this file must agree with to merge with `other`:
+    /// everything except the shard index.
+    fn merge_key(&self) -> (&str, u64, &str, usize, usize) {
+        (
+            &self.grid,
+            self.grid_seed,
+            &self.axes,
+            self.total,
+            self.shard.shard_count(),
+        )
+    }
+}
+
+/// Renders the `end <count>` footer line (with trailing newline). Shared
+/// by [`ShardFile::render`] and streaming writers that append record
+/// lines as cells complete.
+pub fn render_footer(records: usize) -> String {
+    format!("end {records}\n")
+}
+
+/// A parsed (or about-to-be-rendered) shard result file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardFile {
+    /// The self-describing header.
+    pub header: SweepHeader,
+    /// One record per owned cell, in global cell order.
+    pub records: Vec<CellRecord>,
+}
+
+impl ShardFile {
+    /// Renders the complete file: header, one line per record, footer.
+    pub fn render(&self) -> String {
+        let mut out = self.header.render();
+        for record in &self.records {
+            out.push_str(&record.render_line());
+            out.push('\n');
+        }
+        out.push_str(&render_footer(self.records.len()));
+        out
+    }
+
+    /// Parses and validates a shard file.
+    ///
+    /// Beyond the grammar, this checks every property re-derivable from
+    /// the header alone: the declared range is the shard's
+    /// [`range`](SweepHeader::range), record indices walk that range
+    /// exactly (duplicates, gaps, reorderings and foreign indices all
+    /// surface as [`ParseError::UnexpectedIndex`]), seeds re-derive via
+    /// [`cell_seed`], the footer count matches, and nothing follows the
+    /// footer. A file that parses is a complete, internally consistent
+    /// shard.
+    pub fn parse(text: &str) -> Result<Self, ParseError> {
+        let mut lines = text.lines().enumerate();
+        let mut next_line = |expect: &str| {
+            lines
+                .next()
+                .ok_or_else(|| ParseError::Truncated {
+                    expected: expect.to_string(),
+                })
+                .map(|(no, line)| (no + 1, line))
+        };
+
+        let (no, magic) = next_line("format magic")?;
+        if magic != FORMAT_MAGIC {
+            return Err(ParseError::BadMagic {
+                line: no,
+                found: magic.to_string(),
+            });
+        }
+
+        let (no, grid_line) = next_line("grid header")?;
+        let t: Vec<&str> = grid_line.split_whitespace().collect();
+        let [_, grid, _, seed, _, axes, _, cells] = t[..] else {
+            return Err(ParseError::bad_line(no, grid_line));
+        };
+        if t[0] != "grid" || t[2] != "seed" || t[4] != "axes" || t[6] != "cells" {
+            return Err(ParseError::bad_line(no, grid_line));
+        }
+        let grid_seed: u64 = seed
+            .parse()
+            .map_err(|_| ParseError::bad_line(no, grid_line))?;
+        let total: usize = cells
+            .parse()
+            .map_err(|_| ParseError::bad_line(no, grid_line))?;
+
+        let (no, shard_line) = next_line("shard header")?;
+        let t: Vec<&str> = shard_line.split_whitespace().collect();
+        let [_, spec, _, range] = t[..] else {
+            return Err(ParseError::bad_line(no, shard_line));
+        };
+        if t[0] != "shard" || t[2] != "range" {
+            return Err(ParseError::bad_line(no, shard_line));
+        }
+        let shard: ShardSpec = spec.parse().map_err(ParseError::BadShard)?;
+        let (start, end) = range
+            .split_once("..")
+            .and_then(|(s, e)| Some((s.parse::<usize>().ok()?, e.parse::<usize>().ok()?)))
+            .ok_or_else(|| ParseError::bad_line(no, shard_line))?;
+        let header = SweepHeader::new(grid, grid_seed, axes, total, shard);
+        let expected = header.range();
+        if (start, end) != (expected.start, expected.end) {
+            return Err(ParseError::RangeMismatch {
+                declared: start..end,
+                derived: expected,
+            });
+        }
+
+        // The range length comes from an untrusted header: cap the
+        // pre-allocation so a file claiming 10^12 cells errors out on its
+        // first bad line instead of aborting on the reservation.
+        let mut records = Vec::with_capacity(expected.len().min(4096));
+        let mut walk = expected.clone();
+        let declared = loop {
+            let (no, line) = next_line("cell record or footer")?;
+            let t: Vec<&str> = line.split_whitespace().collect();
+            match t[..] {
+                ["end", count] => {
+                    break count
+                        .parse::<usize>()
+                        .map_err(|_| ParseError::bad_line(no, line))?;
+                }
+                ["cell", index, "n", n, "f", f, "k", k, "seed", seed, "digest", digest] => {
+                    let record = CellRecord {
+                        index: index.parse().map_err(|_| ParseError::bad_line(no, line))?,
+                        n: n.parse().map_err(|_| ParseError::bad_line(no, line))?,
+                        f: f.parse().map_err(|_| ParseError::bad_line(no, line))?,
+                        k: k.parse().map_err(|_| ParseError::bad_line(no, line))?,
+                        seed: parse_hex(seed).ok_or_else(|| ParseError::bad_line(no, line))?,
+                        digest: parse_hex(digest).ok_or_else(|| ParseError::bad_line(no, line))?,
+                    };
+                    match walk.next() {
+                        Some(expect) if expect == record.index => {}
+                        expect => {
+                            return Err(ParseError::UnexpectedIndex {
+                                expected: expect,
+                                found: record.index,
+                            });
+                        }
+                    }
+                    let derived = cell_seed(grid_seed, record.index);
+                    if record.seed != derived {
+                        return Err(ParseError::SeedMismatch {
+                            index: record.index,
+                            derived,
+                            found: record.seed,
+                        });
+                    }
+                    records.push(record);
+                }
+                _ => return Err(ParseError::bad_line(no, line)),
+            }
+        };
+        if declared != records.len() {
+            return Err(ParseError::CountMismatch {
+                declared,
+                actual: records.len(),
+            });
+        }
+        if let Some(missing) = walk.next() {
+            return Err(ParseError::UnexpectedIndex {
+                expected: Some(missing),
+                found: usize::MAX,
+            });
+        }
+        if let Some((no, line)) = lines.find(|(_, l)| !l.trim().is_empty()) {
+            return Err(ParseError::bad_line(no + 1, line));
+        }
+        Ok(ShardFile { header, records })
+    }
+}
+
+fn parse_hex(token: &str) -> Option<u64> {
+    let hex = token.strip_prefix("0x")?;
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// Why a shard file failed to parse or validate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The input ended before the grammar did — a truncated file.
+    Truncated {
+        /// What the parser was looking for when the input ran out.
+        expected: String,
+    },
+    /// The first line is not [`FORMAT_MAGIC`].
+    BadMagic {
+        /// 1-based line number.
+        line: usize,
+        /// The line found instead.
+        found: String,
+    },
+    /// A line did not match the token grammar.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending line.
+        content: String,
+    },
+    /// The shard spec itself was invalid (e.g. `5/3`).
+    BadShard(ShardError),
+    /// The declared cell range is not what the shard spec derives to.
+    RangeMismatch {
+        /// The range the file claims.
+        declared: std::ops::Range<usize>,
+        /// The range `ShardSpec::range(total)` derives.
+        derived: std::ops::Range<usize>,
+    },
+    /// Cell indices must walk the shard's range exactly; duplicated,
+    /// out-of-order, missing and out-of-shard indices all land here.
+    UnexpectedIndex {
+        /// The next index the range walk expected (`None`: walk done).
+        expected: Option<usize>,
+        /// The index found (`usize::MAX` when a record is missing
+        /// entirely).
+        found: usize,
+    },
+    /// A record's seed does not re-derive from `(grid_seed, index)`.
+    SeedMismatch {
+        /// The record's cell index.
+        index: usize,
+        /// `cell_seed(grid_seed, index)`.
+        derived: u64,
+        /// The seed in the file.
+        found: u64,
+    },
+    /// The `end` footer disagrees with the number of records present.
+    CountMismatch {
+        /// The count the footer declares.
+        declared: usize,
+        /// The records actually present.
+        actual: usize,
+    },
+}
+
+impl ParseError {
+    fn bad_line(line: usize, content: &str) -> Self {
+        ParseError::BadLine {
+            line,
+            content: content.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Truncated { expected } => {
+                write!(f, "truncated shard file: expected {expected}")
+            }
+            ParseError::BadMagic { line, found } => {
+                write!(
+                    f,
+                    "line {line}: not a {FORMAT_MAGIC:?} file (found {found:?})"
+                )
+            }
+            ParseError::BadLine { line, content } => {
+                write!(f, "line {line}: malformed line {content:?}")
+            }
+            ParseError::BadShard(e) => write!(f, "invalid shard spec: {e}"),
+            ParseError::RangeMismatch { declared, derived } => write!(
+                f,
+                "declared range {}..{} but the shard spec derives {}..{}",
+                declared.start, declared.end, derived.start, derived.end
+            ),
+            ParseError::UnexpectedIndex { expected, found } => match expected {
+                Some(e) if *found == usize::MAX => {
+                    write!(f, "missing record for cell {e}")
+                }
+                Some(e) => write!(f, "expected cell {e}, found cell {found}"),
+                None => write!(f, "cell {found} lies outside this shard's range"),
+            },
+            ParseError::SeedMismatch {
+                index,
+                derived,
+                found,
+            } => write!(
+                f,
+                "cell {index}: seed {found:#018x} does not re-derive \
+                 (cell_seed gives {derived:#018x})"
+            ),
+            ParseError::CountMismatch { declared, actual } => {
+                write!(f, "footer declares {declared} records, file has {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Merges per-shard result files back into the canonical full-grid file,
+/// verifying exact coverage.
+///
+/// Requirements, each with a typed [`MergeError`]:
+///
+/// * every file describes the **same grid** — name, grid seed, axes,
+///   total and shard count all equal (cross-grid mixes are rejected);
+/// * the shard indices are exactly `0..shard_count`, each **exactly
+///   once** (a withheld or doubled shard is rejected);
+/// * the union of records covers every cell index **exactly once**, and
+///   every seed re-derives from `(grid_seed, index)` (defense in depth —
+///   [`ShardFile::parse`] already enforces both per file).
+///
+/// The result carries [`ShardSpec::FULL`] and records in cell order, so
+/// `merge(shards)?.render()` is byte-identical to the file a sequential
+/// single-process sweep of the whole grid writes.
+pub fn merge(shards: &[ShardFile]) -> Result<ShardFile, MergeError> {
+    use std::collections::{BTreeMap, BTreeSet};
+
+    let Some(first) = shards.first() else {
+        return Err(MergeError::NoShards);
+    };
+    let key = first.header.merge_key();
+    let count = first.header.shard.shard_count();
+    let total = first.header.total;
+    // Header totals and shard counts come from *files*: never allocate
+    // proportionally to them (a corrupt header claiming 10^12 cells must
+    // produce a typed error, not an OOM abort), only to the actual input.
+    let mut seen_shards: BTreeSet<usize> = BTreeSet::new();
+    let mut slots: BTreeMap<usize, CellRecord> = BTreeMap::new();
+    for file in shards {
+        if file.header.merge_key() != key {
+            return Err(MergeError::GridMismatch {
+                expected: Box::new(first.header.clone()),
+                found: Box::new(file.header.clone()),
+            });
+        }
+        let index = file.header.shard.shard_index();
+        if !seen_shards.insert(index) {
+            return Err(MergeError::DuplicateShard { shard_index: index });
+        }
+        for record in &file.records {
+            let derived = cell_seed(first.header.grid_seed, record.index);
+            if record.seed != derived {
+                return Err(MergeError::SeedMismatch {
+                    index: record.index,
+                    derived,
+                    found: record.seed,
+                });
+            }
+            if record.index >= total {
+                return Err(MergeError::IndexOutOfRange {
+                    index: record.index,
+                    total,
+                });
+            }
+            if slots.insert(record.index, *record).is_some() {
+                return Err(MergeError::DuplicateIndex {
+                    index: record.index,
+                });
+            }
+        }
+    }
+    // The first absent shard (or cell) lies within one position of the
+    // number of *present* ones, so these scans are bounded by the input
+    // size even when the claimed counts are absurd.
+    if seen_shards.len() != count {
+        let shard_index = (0..count)
+            .find(|i| !seen_shards.contains(i))
+            .expect("fewer distinct shards than the count: one is missing");
+        return Err(MergeError::MissingShard { shard_index });
+    }
+    if slots.len() != total {
+        let index = (0..total)
+            .find(|i| !slots.contains_key(i))
+            .expect("fewer distinct cells than the total: one is missing");
+        return Err(MergeError::MissingIndex { index });
+    }
+    Ok(ShardFile {
+        header: SweepHeader {
+            shard: ShardSpec::FULL,
+            ..first.header.clone()
+        },
+        // BTreeMap iteration is index order: exactly the sequential file.
+        records: slots.into_values().collect(),
+    })
+}
+
+/// Why a set of shard files does not merge into a full grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// No input files.
+    NoShards,
+    /// Two files describe different grids (name, seed, axes, total or
+    /// shard count differ) — a cross-grid mix.
+    GridMismatch {
+        /// The header of the first file, setting the expectation.
+        expected: Box<SweepHeader>,
+        /// The disagreeing header.
+        found: Box<SweepHeader>,
+    },
+    /// The same shard index appeared twice.
+    DuplicateShard {
+        /// The doubled shard.
+        shard_index: usize,
+    },
+    /// A shard of the partition was withheld.
+    MissingShard {
+        /// The absent shard.
+        shard_index: usize,
+    },
+    /// Two records claim the same cell.
+    DuplicateIndex {
+        /// The doubled cell index.
+        index: usize,
+    },
+    /// A cell of the grid has no record.
+    MissingIndex {
+        /// The uncovered cell index.
+        index: usize,
+    },
+    /// A record's index lies outside the grid.
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The grid's cell count.
+        total: usize,
+    },
+    /// A record's seed does not re-derive from `(grid_seed, index)`.
+    SeedMismatch {
+        /// The record's cell index.
+        index: usize,
+        /// `cell_seed(grid_seed, index)`.
+        derived: u64,
+        /// The seed in the file.
+        found: u64,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::NoShards => write!(f, "no shard files to merge"),
+            MergeError::GridMismatch { expected, found } => write!(
+                f,
+                "cross-grid mix: expected grid {} seed {} axes {} cells {} ({} shards), \
+                 found grid {} seed {} axes {} cells {} ({} shards)",
+                expected.grid,
+                expected.grid_seed,
+                expected.axes,
+                expected.total,
+                expected.shard.shard_count(),
+                found.grid,
+                found.grid_seed,
+                found.axes,
+                found.total,
+                found.shard.shard_count(),
+            ),
+            MergeError::DuplicateShard { shard_index } => {
+                write!(f, "shard {shard_index} appears more than once")
+            }
+            MergeError::MissingShard { shard_index } => {
+                write!(f, "shard {shard_index} is missing from the merge set")
+            }
+            MergeError::DuplicateIndex { index } => {
+                write!(f, "cell {index} is covered by two records")
+            }
+            MergeError::MissingIndex { index } => {
+                write!(f, "cell {index} is covered by no record")
+            }
+            MergeError::IndexOutOfRange { index, total } => {
+                write!(f, "cell {index} lies outside the {total}-cell grid")
+            }
+            MergeError::SeedMismatch {
+                index,
+                derived,
+                found,
+            } => write!(
+                f,
+                "cell {index}: seed {found:#018x} does not re-derive \
+                 (cell_seed gives {derived:#018x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic grid of `total` cells with digests derived from seeds.
+    fn shard_file(grid: &str, grid_seed: u64, total: usize, spec: ShardSpec) -> ShardFile {
+        let header = SweepHeader::new(grid, grid_seed, "ns=4;fs=1;ks=1", total, spec);
+        let records = header
+            .range()
+            .map(|index| CellRecord {
+                index,
+                n: 4,
+                f: 1,
+                k: 1,
+                seed: cell_seed(grid_seed, index),
+                digest: cell_seed(grid_seed, index).rotate_left(7),
+            })
+            .collect();
+        ShardFile { header, records }
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        for (index, count) in [(0, 1), (0, 3), (1, 3), (2, 3)] {
+            let file = shard_file("demo", 42, 10, ShardSpec::new(index, count).unwrap());
+            let parsed = ShardFile::parse(&file.render()).expect("rendered files parse");
+            assert_eq!(parsed, file);
+            assert_eq!(parsed.render(), file.render());
+        }
+    }
+
+    #[test]
+    fn parse_rejects_truncation() {
+        let full = shard_file("demo", 42, 10, ShardSpec::FULL).render();
+        // Drop the footer line.
+        let truncated = full.trim_end_matches('\n').rsplit_once('\n').unwrap().0;
+        assert!(matches!(
+            ShardFile::parse(truncated),
+            Err(ParseError::Truncated { .. })
+        ));
+        // Drop everything after the header.
+        let header_only: String = full.lines().take(3).collect::<Vec<_>>().join("\n");
+        assert!(matches!(
+            ShardFile::parse(&header_only),
+            Err(ParseError::Truncated { .. })
+        ));
+        assert!(matches!(
+            ShardFile::parse(""),
+            Err(ParseError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_duplicate_and_reordered_indices() {
+        let file = shard_file("demo", 42, 6, ShardSpec::FULL);
+        let mut dup = file.clone();
+        dup.records[3] = dup.records[2];
+        assert_eq!(
+            ShardFile::parse(&dup.render()),
+            Err(ParseError::UnexpectedIndex {
+                expected: Some(3),
+                found: 2
+            })
+        );
+        let mut swapped = file.clone();
+        swapped.records.swap(1, 2);
+        assert!(matches!(
+            ShardFile::parse(&swapped.render()),
+            Err(ParseError::UnexpectedIndex { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_seed_mismatch() {
+        let mut file = shard_file("demo", 42, 6, ShardSpec::FULL);
+        file.records[4].seed ^= 1;
+        assert!(matches!(
+            ShardFile::parse(&file.render()),
+            Err(ParseError::SeedMismatch { index: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_footer_count_mismatch_and_trailing_garbage() {
+        let good = shard_file("demo", 42, 4, ShardSpec::FULL).render();
+        let lying = good.replace("end 4", "end 3");
+        assert_eq!(
+            ShardFile::parse(&lying),
+            Err(ParseError::CountMismatch {
+                declared: 3,
+                actual: 4
+            })
+        );
+        let trailing = format!("{good}cell 9 n 4 f 1 k 1 seed 0x0 digest 0x0\n");
+        assert!(matches!(
+            ShardFile::parse(&trailing),
+            Err(ParseError::BadLine { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_foreign_range_and_bad_shard() {
+        let good = shard_file("demo", 42, 10, ShardSpec::new(1, 3).unwrap()).render();
+        // Claim a range the spec does not derive.
+        let skewed = good.replace("range 4..7", "range 3..7");
+        assert!(matches!(
+            ShardFile::parse(&skewed),
+            Err(ParseError::RangeMismatch { .. })
+        ));
+        let invalid = good.replace("shard 1/3", "shard 7/3");
+        assert!(matches!(
+            ShardFile::parse(&invalid),
+            Err(ParseError::BadShard(_))
+        ));
+    }
+
+    #[test]
+    fn merge_reassembles_any_partition() {
+        let seq = shard_file("demo", 42, 11, ShardSpec::FULL);
+        for count in 1..=5 {
+            let shards: Vec<ShardFile> = (0..count)
+                .map(|i| shard_file("demo", 42, 11, ShardSpec::new(i, count).unwrap()))
+                .collect();
+            // Merge in reverse order too: input order must not matter.
+            let merged = merge(&shards).expect("full partition merges");
+            assert_eq!(merged, seq);
+            let reversed: Vec<ShardFile> = shards.into_iter().rev().collect();
+            assert_eq!(merge(&reversed).unwrap().render(), seq.render());
+        }
+    }
+
+    #[test]
+    fn merge_rejects_withheld_doubled_and_mixed_shards() {
+        let make = |i| shard_file("demo", 42, 11, ShardSpec::new(i, 3).unwrap());
+        assert_eq!(
+            merge(&[make(0), make(2)]),
+            Err(MergeError::MissingShard { shard_index: 1 })
+        );
+        assert_eq!(
+            merge(&[make(0), make(1), make(1)]),
+            Err(MergeError::DuplicateShard { shard_index: 1 })
+        );
+        assert_eq!(merge(&[]), Err(MergeError::NoShards));
+        // Cross-grid mixes: different seed, and different grid name.
+        let other_seed = shard_file("demo", 43, 11, ShardSpec::new(1, 3).unwrap());
+        assert!(matches!(
+            merge(&[make(0), other_seed, make(2)]),
+            Err(MergeError::GridMismatch { .. })
+        ));
+        let other_grid = shard_file("border", 42, 11, ShardSpec::new(1, 3).unwrap());
+        assert!(matches!(
+            merge(&[make(0), other_grid, make(2)]),
+            Err(MergeError::GridMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_claimed_totals_error_instead_of_allocating() {
+        // Header totals and shard counts are untrusted input: a file
+        // claiming ~2^64 cells must produce a typed error, not a capacity
+        // panic or an OOM abort (these tests pass *by terminating*).
+        let range = ShardSpec::new(0, 3).unwrap().range(usize::MAX);
+        let text = format!(
+            "{FORMAT_MAGIC}\n\
+             grid demo seed 42 axes a cells {}\n\
+             shard 0/3 range {}..{}\n\
+             cell 0 n 4 f 1 k 1 seed {:#018x} digest 0x0\n\
+             end 1\n",
+            usize::MAX,
+            range.start,
+            range.end,
+            cell_seed(42, 0),
+        );
+        assert!(matches!(
+            ShardFile::parse(&text),
+            Err(ParseError::UnexpectedIndex { .. })
+        ));
+
+        // Merge side: a programmatic file claiming an absurd grid total …
+        let huge_total = ShardFile {
+            header: SweepHeader::new("demo", 42, "a", usize::MAX, ShardSpec::FULL),
+            records: vec![CellRecord {
+                index: 0,
+                n: 4,
+                f: 1,
+                k: 1,
+                seed: cell_seed(42, 0),
+                digest: 0,
+            }],
+        };
+        assert_eq!(
+            merge(&[huge_total]),
+            Err(MergeError::MissingIndex { index: 1 })
+        );
+        // … or an absurd shard count.
+        let huge_count = ShardFile {
+            header: SweepHeader::new("demo", 42, "a", 1, ShardSpec::new(0, usize::MAX).unwrap()),
+            records: vec![CellRecord {
+                index: 0,
+                n: 4,
+                f: 1,
+                k: 1,
+                seed: cell_seed(42, 0),
+                digest: 0,
+            }],
+        };
+        assert_eq!(
+            merge(&[huge_count]),
+            Err(MergeError::MissingShard { shard_index: 1 })
+        );
+    }
+
+    #[test]
+    fn merged_render_is_byte_identical_to_sequential() {
+        let seq = shard_file("demo", 7, 23, ShardSpec::FULL).render();
+        let shards: Vec<ShardFile> = (0..3)
+            .map(|i| shard_file("demo", 7, 23, ShardSpec::new(i, 3).unwrap()))
+            .collect();
+        assert_eq!(merge(&shards).unwrap().render(), seq);
+    }
+}

@@ -1,0 +1,244 @@
+//! Deterministic cell→shard assignment for multi-process sweeps.
+//!
+//! A [`ShardSpec`] names one shard of a fixed-size partition of a grid's
+//! emitted index space. The assignment is **contiguous ranges**: shard `i`
+//! of `j` owns cells `range(total)` = `[start, start + len)`, where the
+//! first `total % j` shards own one extra cell. The assignment is a pure
+//! function of `(shard_index, shard_count, total)`, so "shard 2 of 5 of
+//! grid 42" denotes the same cell set on every host, and cell indices and
+//! [`cell_seed`](super::cell_seed) values are *globally* stable regardless
+//! of shard count — sharding renumbers nothing.
+//!
+//! # Examples
+//!
+//! ```
+//! use kset_sim::sweep::ShardSpec;
+//!
+//! let spec: ShardSpec = "1/3".parse().unwrap();
+//! assert_eq!(spec.range(10), 4..7); // shard 0 gets 4 cells, 1 and 2 get 3
+//! let cells: Vec<u32> = (0..10).collect();
+//! assert_eq!(spec.slice(&cells), &[4, 5, 6]);
+//! assert!("3/3".parse::<ShardSpec>().is_err());
+//! ```
+
+use std::fmt;
+use std::ops::Range;
+use std::str::FromStr;
+
+/// One shard of a `shard_count`-way partition of a grid.
+///
+/// Construct with [`ShardSpec::new`] (or parse the CLI form `"I/J"`); both
+/// reject `shard_count == 0` and `shard_index >= shard_count` with a typed
+/// [`ShardError`], so a held `ShardSpec` is always valid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardSpec {
+    shard_index: usize,
+    shard_count: usize,
+}
+
+impl ShardSpec {
+    /// The trivial partition: one shard owning the whole grid.
+    pub const FULL: ShardSpec = ShardSpec {
+        shard_index: 0,
+        shard_count: 1,
+    };
+
+    /// Creates shard `shard_index` of `shard_count`.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::ZeroShardCount`] if `shard_count == 0`, and
+    /// [`ShardError::IndexOutOfRange`] if `shard_index >= shard_count`.
+    pub const fn new(shard_index: usize, shard_count: usize) -> Result<Self, ShardError> {
+        if shard_count == 0 {
+            return Err(ShardError::ZeroShardCount);
+        }
+        if shard_index >= shard_count {
+            return Err(ShardError::IndexOutOfRange {
+                shard_index,
+                shard_count,
+            });
+        }
+        Ok(ShardSpec {
+            shard_index,
+            shard_count,
+        })
+    }
+
+    /// This shard's position within the partition (`0..shard_count`).
+    pub const fn shard_index(self) -> usize {
+        self.shard_index
+    }
+
+    /// How many shards partition the grid.
+    pub const fn shard_count(self) -> usize {
+        self.shard_count
+    }
+
+    /// The contiguous range of cell indices this shard owns out of a grid
+    /// of `total` cells.
+    ///
+    /// Cells split as evenly as possible: every shard owns
+    /// `total / shard_count` cells and the first `total % shard_count`
+    /// shards own one more. Over all shards of a partition the ranges are
+    /// disjoint and their union is exactly `0..total`, whatever `total`
+    /// (shards beyond a small grid simply own empty ranges).
+    pub const fn range(self, total: usize) -> Range<usize> {
+        let base = total / self.shard_count;
+        let extra = total % self.shard_count;
+        let bonus = if self.shard_index < extra { 1 } else { 0 };
+        let start = self.shard_index * base
+            + if self.shard_index < extra {
+                self.shard_index
+            } else {
+                extra
+            };
+        start..start + base + bonus
+    }
+
+    /// The sub-slice of `cells` this shard owns — the shard-local view a
+    /// sweep runner works through.
+    ///
+    /// Slicing never renumbers: a cell's global index is its position in
+    /// the *full* list (`self.range(cells.len()).start + local_offset`),
+    /// which is what [`GridCell::index`](super::GridCell::index) already
+    /// records for grid-built cells.
+    pub fn slice<C>(self, cells: &[C]) -> &[C] {
+        &cells[self.range(cells.len())]
+    }
+
+    /// Whether this is the trivial 1-way partition ([`ShardSpec::FULL`]).
+    pub const fn is_full(self) -> bool {
+        self.shard_count == 1
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.shard_index, self.shard_count)
+    }
+}
+
+impl FromStr for ShardSpec {
+    type Err = ShardError;
+
+    /// Parses the CLI form `"I/J"` (shard I of J, zero-based).
+    fn from_str(s: &str) -> Result<Self, ShardError> {
+        let Some((i, j)) = s.split_once('/') else {
+            return Err(ShardError::Malformed(s.to_string()));
+        };
+        let parse = |t: &str| {
+            t.parse::<usize>()
+                .map_err(|_| ShardError::Malformed(s.to_string()))
+        };
+        ShardSpec::new(parse(i)?, parse(j)?)
+    }
+}
+
+/// Why a [`ShardSpec`] could not be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// A partition into zero shards covers nothing.
+    ZeroShardCount,
+    /// `shard_index` does not name a shard of the partition.
+    IndexOutOfRange {
+        /// The offending index.
+        shard_index: usize,
+        /// The partition size it must stay below.
+        shard_count: usize,
+    },
+    /// The textual form was not `"I/J"` with two integers.
+    Malformed(String),
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::ZeroShardCount => write!(f, "shard count must be at least 1"),
+            ShardError::IndexOutOfRange {
+                shard_index,
+                shard_count,
+            } => write!(
+                f,
+                "shard index {shard_index} out of range for {shard_count} shards"
+            ),
+            ShardError::Malformed(s) => {
+                write!(f, "malformed shard spec {s:?} (expected \"I/J\")")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(ShardSpec::new(0, 1).is_ok());
+        assert!(ShardSpec::new(4, 5).is_ok());
+        assert_eq!(ShardSpec::new(0, 0), Err(ShardError::ZeroShardCount));
+        assert_eq!(
+            ShardSpec::new(5, 5),
+            Err(ShardError::IndexOutOfRange {
+                shard_index: 5,
+                shard_count: 5
+            })
+        );
+    }
+
+    #[test]
+    fn parse_round_trips_and_rejects() {
+        let spec: ShardSpec = "2/5".parse().unwrap();
+        assert_eq!((spec.shard_index(), spec.shard_count()), (2, 5));
+        assert_eq!(spec.to_string().parse::<ShardSpec>().unwrap(), spec);
+        for bad in ["", "2", "2/", "/5", "a/5", "2/b", "-1/5", "2/5/7"] {
+            assert!(bad.parse::<ShardSpec>().is_err(), "{bad:?} must not parse");
+        }
+        assert!(matches!(
+            "9/3".parse::<ShardSpec>(),
+            Err(ShardError::IndexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn ranges_partition_exactly() {
+        for total in 0..40usize {
+            for count in 1..12usize {
+                let mut covered = Vec::new();
+                let mut prev_end = 0;
+                for index in 0..count {
+                    let r = ShardSpec::new(index, count).unwrap().range(total);
+                    assert_eq!(r.start, prev_end, "contiguous: {index}/{count} of {total}");
+                    prev_end = r.end;
+                    covered.extend(r);
+                }
+                assert_eq!(covered, (0..total).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn load_is_balanced() {
+        for total in 0..40usize {
+            for count in 1..12usize {
+                let sizes: Vec<usize> = (0..count)
+                    .map(|i| ShardSpec::new(i, count).unwrap().range(total).len())
+                    .collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "total={total} count={count}: {sizes:?}");
+                assert_eq!(sizes.iter().sum::<usize>(), total);
+            }
+        }
+    }
+
+    #[test]
+    fn full_shard_owns_everything() {
+        assert!(ShardSpec::FULL.is_full());
+        assert_eq!(ShardSpec::FULL.range(17), 0..17);
+        let cells: Vec<u8> = (0..9).collect();
+        assert_eq!(ShardSpec::FULL.slice(&cells), &cells[..]);
+    }
+}

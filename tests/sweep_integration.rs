@@ -152,6 +152,59 @@ fn async_simulation_at_256_is_deterministic_across_substrate() {
 }
 
 #[test]
+fn scale_grid_rejects_duplicate_axis_values() {
+    // Regression: `ns = [128, 128]` used to emit the same (n, f, k) point
+    // twice as two cells with *different* seeds — poison for
+    // (grid_seed, index) citations. Duplicates are now a typed error.
+    use kset::sim::sweep::GridError;
+    assert_eq!(
+        scale_grid(&[128, 128], &[2], &[1], 42),
+        Err(GridError::DuplicateAxisValue {
+            axis: "ns",
+            value: 128
+        })
+    );
+}
+
+#[test]
+fn sharded_streaming_floodmin_merges_to_sequential() {
+    // The CI shard-matrix gate on the real lock-step workload, in one
+    // process: shard the grid three ways, stream each shard in bounded
+    // memory, round-trip the records through the text format, merge — and
+    // the merged file must be byte-identical to the sequential sweep's.
+    use kset::sim::sweep::{
+        merge, sweep_streaming_ordered, CellRecord, ShardFile, ShardSpec, SweepHeader,
+    };
+    let grid = scale_grid(&[64, 256], &[2, 3], &[1], 42).expect("valid axes");
+    let digest = |cell: &GridCell| fingerprint(&run_floodmin_cell(cell));
+    let header =
+        |shard| SweepHeader::new("floodmin", 42, "ns=64,256;fs=2,3;ks=1", grid.len(), shard);
+    let sequential = ShardFile {
+        header: header(ShardSpec::FULL),
+        records: sweep_seq(&grid, |_, c| CellRecord::new(c, digest(c))),
+    };
+    let shards: Vec<ShardFile> = (0..3)
+        .map(|i| {
+            let spec = ShardSpec::new(i, 3).unwrap();
+            let mut records = Vec::new();
+            sweep_streaming_ordered(
+                spec.slice(&grid),
+                2,
+                |_, c| CellRecord::new(c, digest(c)),
+                |_, r| records.push(r),
+            );
+            let file = ShardFile {
+                header: header(spec),
+                records,
+            };
+            ShardFile::parse(&file.render()).expect("round-trips")
+        })
+        .collect();
+    let merged = merge(&shards).expect("full partition merges");
+    assert_eq!(merged.render(), sequential.render(), "byte-identical");
+}
+
+#[test]
 fn cell_seed_values_are_pinned() {
     // Regression pin: cell_seed is part of the sweep's public determinism
     // contract — experiment tables cite scenarios as (grid_seed, index), so
