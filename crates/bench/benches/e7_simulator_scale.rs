@@ -17,6 +17,7 @@ use kset_core::scenario::{differential, to_lockstep, RoundAdapter};
 use kset_core::sync::LockStep;
 use kset_core::task::distinct_proposals;
 use kset_impossibility::lemma12_no_fd;
+use kset_sim::observe::{EventCounter, NoObserver};
 use kset_sim::sched::partition::{PartitionScheduler, ReleasePolicy};
 use kset_sim::sched::random::SeededRandom;
 use kset_sim::sched::round_robin::RoundRobin;
@@ -373,6 +374,77 @@ fn bench_scenario(c: &mut Criterion) {
     group.finish();
 }
 
+/// The observation-layer guardrail: `drive` (the statically-dispatched
+/// unobserved loop) vs `drive_observed` with a no-op observer (the dynamic
+/// event stream, discarded) vs a counting observer (the cheapest real
+/// consumer) — on both substrates. The redesign's claim is that the
+/// abstraction is free when unobserved and within noise for a no-op
+/// observer; the measured numbers live in ARCHITECTURE.md's Observation
+/// layer section.
+fn bench_observe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_observe");
+    group.sample_size(30);
+    let n = 8usize;
+
+    let make_sim = || {
+        SimEngine::new(
+            Simulation::<TwoStage, _>::new(
+                two_stage_inputs(3, &distinct_proposals(n)),
+                CrashPlan::none(),
+            ),
+            RoundRobin::new(),
+        )
+    };
+    group.bench_function("sim_drive_plain", |b| {
+        b.iter(|| {
+            let mut engine = make_sim();
+            black_box(engine.drive(100_000).steps)
+        });
+    });
+    group.bench_function("sim_drive_observed_noop", |b| {
+        b.iter(|| {
+            let mut engine = make_sim();
+            black_box(engine.drive_observed(100_000, &mut NoObserver).steps)
+        });
+    });
+    group.bench_function("sim_drive_observed_counter", |b| {
+        b.iter(|| {
+            let mut engine = make_sim();
+            let mut counter: EventCounter<kset_core::Val> = EventCounter::new();
+            let status = engine.drive_observed(100_000, &mut counter);
+            assert_eq!(counter.counts().steps, status.steps);
+            black_box(counter.counts().sends)
+        });
+    });
+
+    let values = distinct_proposals(64);
+    let (f, k) = (3usize, 1usize);
+    let make_lockstep =
+        || LockStep::new(FloodMin::system(&values, f, k), floodmin_rounds(f, k), &[]);
+    group.bench_function("lockstep_drive_plain", |b| {
+        b.iter(|| {
+            let mut engine = make_lockstep();
+            black_box(engine.drive(u64::MAX).steps)
+        });
+    });
+    group.bench_function("lockstep_drive_observed_noop", |b| {
+        b.iter(|| {
+            let mut engine = make_lockstep();
+            black_box(engine.drive_observed(u64::MAX, &mut NoObserver).steps)
+        });
+    });
+    group.bench_function("lockstep_drive_observed_counter", |b| {
+        b.iter(|| {
+            let mut engine = make_lockstep();
+            let mut counter: EventCounter<kset_core::Val> = EventCounter::new();
+            engine.drive_observed(u64::MAX, &mut counter);
+            black_box(counter.counts().delivers)
+        });
+    });
+
+    group.finish();
+}
+
 fn bench_pasting_cost(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_pasting_cost");
     group.sample_size(10);
@@ -402,6 +474,7 @@ criterion_group!(
     bench_buffer_receive,
     bench_wide_sets,
     bench_scenario,
+    bench_observe,
     bench_pasting_cost
 );
 criterion_main!(benches);

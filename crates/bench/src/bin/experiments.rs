@@ -14,6 +14,11 @@
 //! # that the merged records equal an in-process sequential recompute.
 //! experiments merge --out merged.txt --check-against-sequential \
 //!     border-0.txt border-1.txt border-2.txt
+//!
+//! # A sweep killed mid-run leaves a valid partial (kset-sweep v2) file;
+//! # resume recomputes only the owed cells and rewrites the completed
+//! # file, byte-identical to an uninterrupted sweep.
+//! experiments sweep --resume border-1.txt
 //! ```
 //!
 //! The merged file is **byte-identical** to the sequential one whenever
@@ -351,6 +356,7 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: experiments sweep --grid <{names}> --out FILE \
          [--grid-seed N] [--shard I/J] [--window N] [--seq]\n\
+         \u{20}      experiments sweep --resume FILE [--out FILE] [--window N]\n\
          \u{20}      experiments merge --out FILE [--check-against-sequential] SHARD_FILE...",
         names = kset_bench::sweeps::GRID_NAMES.join("|")
     );
@@ -361,6 +367,12 @@ fn usage(msg: &str) -> ! {
 /// self-describing shard file (`--seq` forces the single-threaded
 /// sequential reference pass instead of the streaming parallel runner —
 /// the files they write are byte-identical, which CI asserts).
+///
+/// `--resume FILE` reads a partial `kset-sweep v2` shard file — every
+/// parameter (grid, seed, shard) comes from its header — recomputes
+/// **only the cells the file still owes**, and rewrites the completed
+/// file (in place unless `--out` redirects), byte-identical to an
+/// uninterrupted sweep.
 fn sweep_cmd(args: &[String]) {
     use kset_sim::sweep::ShardSpec;
 
@@ -370,12 +382,17 @@ fn sweep_cmd(args: &[String]) {
     let mut out: Option<String> = None;
     let mut window: usize = 64;
     let mut seq = false;
+    let mut resume: Option<String> = None;
+    let mut explicit = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| {
             it.next()
                 .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
         };
+        if matches!(arg.as_str(), "--grid" | "--grid-seed" | "--shard" | "--seq") {
+            explicit.push(arg.as_str());
+        }
         match arg.as_str() {
             "--grid" => grid_name = Some(value("--grid").clone()),
             "--grid-seed" => {
@@ -397,8 +414,17 @@ fn sweep_cmd(args: &[String]) {
                     .unwrap_or_else(|| usage("bad --window: need an integer of at least 1"));
             }
             "--seq" => seq = true,
+            "--resume" => resume = Some(value("--resume").clone()),
             other => usage(&format!("unknown sweep argument {other:?}")),
         }
+    }
+    if let Some(resume) = resume {
+        if let Some(flag) = explicit.first() {
+            usage(&format!(
+                "--resume reads every parameter from the file's header; drop {flag}"
+            ));
+        }
+        return resume_cmd(&resume, out.as_deref().unwrap_or(&resume), window);
     }
     let Some(grid_name) = grid_name else {
         usage("sweep needs --grid");
@@ -411,38 +437,115 @@ fn sweep_cmd(args: &[String]) {
     }
     let grid = kset_bench::sweeps::grid(&grid_name, grid_seed).unwrap_or_else(|e| fail(e));
 
-    use std::io::Write as _;
-    let file = std::fs::File::create(&out)
-        .unwrap_or_else(|e| fail(format_args!("cannot create {out}: {e}")));
-    let mut file = std::io::BufWriter::new(file);
-    let mut digest = FileDigest::new();
-    let mut emit = |chunk: &str| {
-        digest.update(chunk);
-        file.write_all(chunk.as_bytes())
-            .unwrap_or_else(|e| fail(format_args!("cannot write {out}: {e}")));
-    };
-
-    emit(&grid.header(shard).render());
+    let mut writer = ShardWriter::create(&out);
+    writer.emit(&grid.header(shard).render());
     let mut records = 0usize;
     if seq {
         for record in grid.sweep_sequential() {
             records += 1;
-            emit(&format!("{}\n", record.render_line()));
+            writer.emit(&format!("{}\n", record.render_line()));
         }
     } else {
         grid.sweep_shard_streaming(shard, window, |record| {
             records += 1;
-            emit(&format!("{}\n", record.render_line()));
+            writer.emit(&format!("{}\n", record.render_line()));
         });
     }
-    emit(&kset_sim::sweep::record::render_footer(records));
-    let file_digest = digest.finish();
-    file.flush()
-        .unwrap_or_else(|e| fail(format_args!("cannot write {out}: {e}")));
+    writer.emit(&kset_sim::sweep::record::render_footer(records));
+    let file_digest = writer.finish();
     println!(
         "sweep grid={grid_name} seed={grid_seed} shard={shard} mode={} \
          cells={records} out={out} file-digest={file_digest:#018x}",
         if seq { "sequential" } else { "streaming" },
+    );
+}
+
+/// A shard file being written: bytes stream to disk and into the running
+/// whole-file digest the summary line reports.
+struct ShardWriter {
+    path: String,
+    file: std::io::BufWriter<std::fs::File>,
+    digest: FileDigest,
+}
+
+impl ShardWriter {
+    fn create(path: &str) -> Self {
+        let file = std::fs::File::create(path)
+            .unwrap_or_else(|e| fail(format_args!("cannot create {path}: {e}")));
+        ShardWriter {
+            path: path.to_string(),
+            file: std::io::BufWriter::new(file),
+            digest: FileDigest::new(),
+        }
+    }
+
+    fn emit(&mut self, chunk: &str) {
+        use std::io::Write as _;
+        self.digest.update(chunk);
+        self.file
+            .write_all(chunk.as_bytes())
+            .unwrap_or_else(|e| fail(format_args!("cannot write {}: {e}", self.path)));
+    }
+
+    fn finish(mut self) -> u64 {
+        use std::io::Write as _;
+        self.file
+            .flush()
+            .unwrap_or_else(|e| fail(format_args!("cannot write {}: {e}", self.path)));
+        self.digest.finish()
+    }
+}
+
+/// The `sweep --resume` path: parse the partial file, recompute only the
+/// owed cells, rewrite the completed shard file.
+fn resume_cmd(resume_path: &str, out: &str, window: usize) {
+    use kset_sim::sweep::PartialShardFile;
+
+    let text = std::fs::read_to_string(resume_path)
+        .unwrap_or_else(|e| fail(format_args!("cannot read {resume_path}: {e}")));
+    let partial =
+        PartialShardFile::parse(&text).unwrap_or_else(|e| fail(format_args!("{resume_path}: {e}")));
+    let header = &partial.header;
+    let grid = kset_bench::sweeps::grid(&header.grid, header.grid_seed).unwrap_or_else(|e| fail(e));
+    // The header must still describe the catalog grid it names — resuming
+    // against a drifted catalog would silently mix semantics.
+    let expected = grid.header(header.shard);
+    if *header != expected {
+        fail(format_args!(
+            "{resume_path}: header does not match the current \"{}\" catalog grid \
+             (axes or cell count drifted); re-sweep instead of resuming",
+            header.grid
+        ));
+    }
+    let resumed = partial.records.len();
+    let owed = partial.owed();
+    let recomputed = owed.len();
+
+    // Resume must itself be kill-safe: the default output is the partial
+    // file, and truncating it before the recompute finishes would destroy
+    // exactly the work resuming exists to preserve. Write beside it and
+    // rename into place only once the completed file is flushed (a plain
+    // `sweep` writes directly on purpose — its streamed partial IS the
+    // crash artifact; here the crash artifact already exists).
+    let staging = format!("{out}.resume-tmp");
+    let mut writer = ShardWriter::create(&staging);
+    writer.emit(&header.render());
+    for record in &partial.records {
+        writer.emit(&format!("{}\n", record.render_line()));
+    }
+    let mut records = resumed;
+    grid.sweep_range_streaming(owed, window, |record| {
+        records += 1;
+        writer.emit(&format!("{}\n", record.render_line()));
+    });
+    writer.emit(&kset_sim::sweep::record::render_footer(records));
+    let file_digest = writer.finish();
+    std::fs::rename(&staging, out)
+        .unwrap_or_else(|e| fail(format_args!("cannot move {staging} into {out}: {e}")));
+    println!(
+        "sweep grid={} seed={} shard={} mode=resume resumed={resumed} \
+         recomputed={recomputed} cells={records} out={out} file-digest={file_digest:#018x}",
+        header.grid, header.grid_seed, header.shard,
     );
 }
 

@@ -13,10 +13,17 @@
 //!
 //! * **`border`** — the Theorem 8 border grid (`kn = (k+1)f`): each cell
 //!   runs the full pasted impossibility construction
-//!   ([`border_demo`]) and digests its verdict.
+//!   ([`border_demo`]), digests its verdict and records the distinct
+//!   decision values of the pasted run as its typed observation.
 //! * **`scale`** — a [`scale_grid`] slice spanning n ∈ {64, …, 512}: each
-//!   cell runs lock-step FloodMin with a seed-derived crash layout and
-//!   digests the decision vector.
+//!   cell runs lock-step FloodMin with a seed-derived crash layout under
+//!   an attached [`EventCounter`]
+//!   ([`Engine::drive_observed`]), digests the decision vector and
+//!   records the run's event counts as its typed observation.
+//!
+//! Observations ride the `kset-sweep v2` record format; they must be pure
+//! functions of the cell (resume byte-identity depends on it), which the
+//! deterministic substrates guarantee.
 
 use std::fmt;
 
@@ -25,8 +32,10 @@ use kset_core::sync::{LockStep, RoundCrash};
 use kset_core::task::distinct_proposals;
 use kset_impossibility::theorem8::border_demo;
 use kset_impossibility::theorem8_border_cells;
+use kset_sim::observe::EventCounter;
 use kset_sim::sweep::{
-    scale_grid, sweep_seq, sweep_streaming_ordered, CellRecord, GridCell, ShardSpec, SweepHeader,
+    scale_grid, sweep_seq, sweep_streaming_ordered, CellRecord, GridCell, Observation, ShardSpec,
+    SweepHeader,
 };
 use kset_sim::{stable_fingerprint, Engine, ProcessId};
 
@@ -43,7 +52,8 @@ pub struct SweepGrid {
     pub grid_seed: u64,
     /// The full cell list, in emission order.
     pub cells: Vec<GridCell>,
-    digest: fn(&GridCell) -> u64,
+    /// Computes one cell's digest and typed observation (pure).
+    observe: fn(&GridCell) -> (u64, Option<Observation>),
 }
 
 impl fmt::Debug for SweepGrid {
@@ -76,7 +86,7 @@ pub fn grid(name: &str, grid_seed: u64) -> Result<SweepGrid, UnknownGrid> {
             axes: "theorem8-border:kn=(k+1)f",
             grid_seed,
             cells: theorem8_border_cells(grid_seed),
-            digest: border_digest,
+            observe: border_observe,
         }),
         "scale" => Ok(SweepGrid {
             name: "scale",
@@ -84,7 +94,7 @@ pub fn grid(name: &str, grid_seed: u64) -> Result<SweepGrid, UnknownGrid> {
             grid_seed,
             cells: scale_grid(&[64, 128, 256, 512], &[1, 2, 3], &[1, 2], grid_seed)
                 .expect("catalog axes are duplicate-free and within capacity"),
-            digest: floodmin_digest,
+            observe: floodmin_observe,
         }),
         other => Err(UnknownGrid(other.to_string())),
     }
@@ -105,12 +115,28 @@ impl SweepGrid {
     /// Computes one cell's decision digest (pure: safe to call from any
     /// shard, any thread, any host).
     pub fn digest(&self, cell: &GridCell) -> u64 {
-        (self.digest)(cell)
+        (self.observe)(cell).0
+    }
+
+    /// Computes one cell's full record: digest plus the grid's typed
+    /// observation payload (pure, like [`SweepGrid::digest`]).
+    pub fn record(&self, cell: &GridCell) -> CellRecord {
+        let (digest, obs) = (self.observe)(cell);
+        let record = CellRecord::new(cell, digest);
+        match obs {
+            Some(obs) => record.with_observation(obs),
+            None => record,
+        }
     }
 
     /// Sweeps one shard, **streaming**: records flow to `emit` in cell
     /// order as cells complete (at most `window` results in flight), so a
     /// caller can write the shard file without materializing the shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` (the CLI validates its `--window` before
+    /// reaching here; library callers own the same contract).
     pub fn sweep_shard_streaming(
         &self,
         shard: ShardSpec,
@@ -121,38 +147,66 @@ impl SweepGrid {
         sweep_streaming_ordered(
             slice,
             window,
-            |_, cell| CellRecord::new(cell, self.digest(cell)),
+            |_, cell| self.record(cell),
             |_, record| emit(record),
-        );
+        )
+        .expect("window >= 1 is the caller's contract");
+    }
+
+    /// Sweeps exactly the cells of `range` (global indices), streaming
+    /// records in cell order — the resume path: a partial shard file
+    /// names its owed range and only that remainder is recomputed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` lies outside the grid or `window == 0`.
+    pub fn sweep_range_streaming(
+        &self,
+        range: std::ops::Range<usize>,
+        window: usize,
+        mut emit: impl FnMut(CellRecord),
+    ) {
+        let slice = &self.cells[range];
+        sweep_streaming_ordered(
+            slice,
+            window,
+            |_, cell| self.record(cell),
+            |_, record| emit(record),
+        )
+        .expect("window >= 1 is the caller's contract");
     }
 
     /// Sweeps the **full** grid sequentially on one thread — the reference
     /// the merged shard files must reproduce byte for byte.
     pub fn sweep_sequential(&self) -> Vec<CellRecord> {
-        sweep_seq(&self.cells, |_, cell| {
-            CellRecord::new(cell, self.digest(cell))
-        })
+        sweep_seq(&self.cells, |_, cell| self.record(cell))
     }
 }
 
-/// Digest of one Theorem 8 border cell: the verdict of the pasted
-/// impossibility construction at `(n, k)`.
-fn border_digest(cell: &GridCell) -> u64 {
+/// One Theorem 8 border cell: the digest of the pasted impossibility
+/// construction's verdict at `(n, k)`, observed as the distinct decision
+/// values of the pasted run.
+fn border_observe(cell: &GridCell) -> (u64, Option<Observation>) {
     let demo = border_demo(cell.n, cell.k, 300_000)
         .expect("border grid cells are exact divisible border points");
     debug_assert_eq!(demo.f, cell.f, "border cell carries the derived f");
-    stable_fingerprint(&(
+    let digest = stable_fingerprint(&(
         demo.f,
         demo.pasted.verified,
         demo.pasted.distinct_decisions(),
         demo.pasted.report.failure_pattern.num_faulty(),
         demo.violates_k_agreement(),
-    ))
+    ));
+    let obs = Observation::distinct(demo.pasted.report.distinct_decisions.iter().copied());
+    (digest, Some(obs))
 }
 
-/// Digest of one scale cell: lock-step FloodMin under a seed-derived crash
-/// layout (the same construction `tests/sweep_integration.rs` pins).
-fn floodmin_digest(cell: &GridCell) -> u64 {
+/// One scale cell: lock-step FloodMin under a seed-derived crash layout
+/// (the same construction `tests/sweep_integration.rs` pins), with an
+/// [`EventCounter`] attached through the uniform observation API — the
+/// digest covers the decision vector, the observation records the run's
+/// event totals.
+fn floodmin_observe(cell: &GridCell) -> (u64, Option<Observation>) {
     let GridCell { n, f, k, seed, .. } = *cell;
     let base = (seed as usize) % n;
     let crashes: Vec<RoundCrash> = (0..f)
@@ -167,7 +221,8 @@ fn floodmin_digest(cell: &GridCell) -> u64 {
         floodmin_rounds(f, k),
         &crashes,
     );
-    engine.drive(u64::MAX);
+    let mut counter = EventCounter::new();
+    engine.drive_observed(u64::MAX, &mut counter);
     let out = engine.outcome();
     let distinct = out
         .decisions
@@ -175,7 +230,8 @@ fn floodmin_digest(cell: &GridCell) -> u64 {
         .flatten()
         .collect::<std::collections::BTreeSet<_>>()
         .len();
-    stable_fingerprint(&(stable_fingerprint(&out.decisions), distinct, out.rounds))
+    let digest = stable_fingerprint(&(stable_fingerprint(&out.decisions), distinct, out.rounds));
+    (digest, Some(Observation::Counts(counter.counts())))
 }
 
 #[cfg(test)]

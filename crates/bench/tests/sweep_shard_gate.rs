@@ -1,14 +1,17 @@
 //! The shard-matrix CI gate, in-process: for every catalog grid, a 3-way
 //! shard partition swept through the streaming runner and merged from the
 //! text format must reproduce the sequential single-process sweep **byte
-//! for byte** — and withholding a shard must fail the merge loudly.
+//! for byte** — and withholding a shard must fail the merge loudly. The
+//! kill-and-resume gate rides along: any truncation of a shard file must
+//! resume — recomputing only the owed cells — to those same bytes.
 //!
 //! `.github/workflows/sweep-shards.yml` runs exactly this across three
-//! runner processes plus artifact upload/download; this test keeps the
-//! gate honest without a CI round-trip.
+//! runner processes plus artifact upload/download (and a kill-and-resume
+//! job on the release binary); this test keeps the gate honest without a
+//! CI round-trip.
 
 use kset_bench::sweeps::{grid, GRID_NAMES};
-use kset_sim::sweep::{merge, MergeError, ShardFile, ShardSpec};
+use kset_sim::sweep::{merge, MergeError, PartialShardFile, ShardFile, ShardSpec};
 
 const SHARDS: usize = 3;
 
@@ -76,6 +79,52 @@ fn withheld_shard_fails_the_merge_loudly() {
         merge(&doubled),
         Err(MergeError::DuplicateShard { shard_index: 0 })
     );
+}
+
+#[test]
+fn killed_sweeps_resume_to_identical_bytes() {
+    // The resume contract on the real catalog: cut a shard file anywhere —
+    // between lines or mid-line — and completing the owed cells from the
+    // partial must rebuild the uninterrupted file byte for byte. This is
+    // the in-process form of the CI kill-and-resume job.
+    let g = grid("border", 42).expect("catalog grid");
+    let spec = ShardSpec::new(1, 2).unwrap();
+    let mut records = Vec::new();
+    g.sweep_shard_streaming(spec, 4, |r| records.push(r));
+    let full = ShardFile {
+        header: g.header(spec),
+        records,
+    };
+    let reference = full.render();
+
+    // Every cut position: after the header, after each record line, and a
+    // mid-line tear inside each record line.
+    let line_ends: Vec<usize> = reference
+        .char_indices()
+        .filter(|&(_, c)| c == '\n')
+        .map(|(i, _)| i + 1)
+        .collect();
+    let header_end = line_ends[2];
+    for (i, &line_end) in line_ends.iter().enumerate().skip(2) {
+        for cut in [line_end, line_end.saturating_sub(7).max(header_end)] {
+            if cut < header_end {
+                continue;
+            }
+            let partial = PartialShardFile::parse(&reference[..cut])
+                .unwrap_or_else(|e| panic!("cut at byte {cut} (line {i}): {e}"));
+            let mut resumed = partial.records.clone();
+            g.sweep_range_streaming(partial.owed(), 4, |r| resumed.push(r));
+            let rebuilt = ShardFile {
+                header: partial.header,
+                records: resumed,
+            };
+            assert_eq!(
+                rebuilt.render(),
+                reference,
+                "cut at byte {cut} must resume to identical bytes"
+            );
+        }
+    }
 }
 
 #[test]

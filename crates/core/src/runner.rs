@@ -9,6 +9,7 @@
 //! it accepts *any* engine (the simulator or the lock-step executor of
 //! [`crate::sync::LockStep`]).
 
+use kset_sim::observe::Observer;
 use kset_sim::sched::partition::{PartitionScheduler, ReleasePolicy};
 use kset_sim::sched::random::SeededRandom;
 use kset_sim::sched::round_robin::RoundRobin;
@@ -20,11 +21,54 @@ use kset_sim::{
 
 use crate::scenario::{to_lockstep, ScenarioRounds};
 use crate::sync::SyncOutcome;
+use crate::task::Val;
 
 /// Drives any [`Engine`] to completion and returns its status — the
 /// substrate-agnostic execution entry point.
 pub fn run_engine<E: Engine>(engine: &mut E, max_units: u64) -> RunStatus {
     engine.drive(max_units)
+}
+
+/// Drives any [`Engine`] to completion, reporting every run event to
+/// `obs` — the observed form of [`run_engine`], and the one entry point
+/// through which runners, the differential harness and the sweep workers
+/// thread observers over *either* substrate.
+pub fn run_engine_observed<E: Engine>(
+    engine: &mut E,
+    max_units: u64,
+    obs: &mut dyn Observer<E::Output>,
+) -> RunStatus {
+    engine.drive_observed(max_units, obs)
+}
+
+/// Compiles a scenario to the step-level substrate and drives it to
+/// completion with `obs` attached — [`run_scenario_sim`] observed.
+///
+/// # Errors
+///
+/// Returns the scenario's first [`ScenarioError`] if it fails validation.
+pub fn run_scenario_sim_observed<P: ScenarioProcess>(
+    scenario: &Scenario,
+    obs: &mut dyn Observer<P::Output>,
+) -> Result<RunReport<P::Output>, ScenarioError> {
+    let mut engine = scenario.to_sim::<P>()?;
+    let status = run_engine_observed(&mut engine, scenario.max_units, obs);
+    Ok(engine.report(status.stop))
+}
+
+/// Compiles a scenario to the round-level substrate and runs its scheduled
+/// rounds with `obs` attached — [`run_scenario_lockstep`] observed.
+///
+/// # Errors
+///
+/// Returns the scenario's first [`ScenarioError`] if it fails validation.
+pub fn run_scenario_lockstep_observed<P: ScenarioRounds>(
+    scenario: &Scenario,
+    obs: &mut dyn Observer<Val>,
+) -> Result<SyncOutcome, ScenarioError> {
+    let mut engine = to_lockstep::<P>(scenario)?;
+    run_engine_observed(&mut engine, scenario.rounds as u64, obs);
+    Ok(engine.outcome())
 }
 
 /// Compiles a scenario to the step-level substrate and drives it to

@@ -235,6 +235,7 @@ pub mod differential {
     use std::collections::BTreeSet;
     use std::hash::Hash;
 
+    use kset_sim::observe::{NoObserver, Observer};
     use kset_sim::{Engine, ProcessId, Scenario, ScenarioError};
 
     use super::{to_lockstep, RoundAdapter, ScenarioRounds};
@@ -344,14 +345,36 @@ pub mod differential {
         P: ScenarioRounds + Hash + 'static,
         P::Msg: PartialEq + Hash + 'static,
     {
+        check_observed::<P>(scenario, &mut NoObserver, &mut NoObserver)
+    }
+
+    /// As [`check`], with one observer attached to each substrate's run —
+    /// the same scenario, the same drives, every event reported. This is
+    /// how observation itself is conformance-tested: an
+    /// [`EventCounter`](kset_sim::observe::EventCounter) on each side must
+    /// agree on transmitted sends, decisions and crashes under the
+    /// lock-step family (see `tests/scenario_differential.rs`).
+    ///
+    /// # Errors
+    ///
+    /// As [`check`].
+    pub fn check_observed<P>(
+        scenario: &Scenario,
+        sim_obs: &mut dyn Observer<Val>,
+        lockstep_obs: &mut dyn Observer<Val>,
+    ) -> Result<DiffReport, ScenarioError>
+    where
+        P: ScenarioRounds + Hash + 'static,
+        P::Msg: PartialEq + Hash + 'static,
+    {
         let correct = scenario.faulty().complement(scenario.n);
 
         let mut sim_engine = scenario.to_sim::<RoundAdapter<P>>()?;
-        sim_engine.drive(scenario.max_units);
+        sim_engine.drive_observed(scenario.max_units, sim_obs);
         let sim = outcome(&sim_engine, correct);
 
         let mut lockstep_engine = to_lockstep::<P>(scenario)?;
-        lockstep_engine.drive(scenario.rounds as u64);
+        lockstep_engine.drive_observed(scenario.rounds as u64, lockstep_obs);
         let lockstep = outcome(&lockstep_engine, correct);
 
         let mut divergences = Vec::new();

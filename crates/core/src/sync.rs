@@ -18,7 +18,10 @@
 
 use std::fmt;
 
-use kset_sim::{CapacityError, Engine, ProcessId, ProcessSet, SenderMap};
+use kset_sim::observe::{
+    CrashEvent, DecideEvent, DeliverEvent, NoObserver, Observer, RoundEvent, SendEvent,
+};
+use kset_sim::{CapacityError, Engine, ProcessId, ProcessSet, SenderMap, Time};
 
 use crate::task::Val;
 
@@ -186,8 +189,33 @@ impl<P: RoundProcess> LockStep<P> {
 
     /// Executes one full round (send phase, then receive phase).
     fn execute_round(&mut self) {
+        self.execute_round_observed(&mut NoObserver);
+    }
+
+    /// Executes one full round, reporting the round's typed events to
+    /// `obs` — per the round-substrate contract of [`kset_sim::observe`]:
+    /// one [`SendEvent`] per `(sender, receiver)` pair of the send phase
+    /// (a crashing sender's omitted deliveries appear as `dropped` sends,
+    /// so *transmitted* counts agree with the step substrate), a
+    /// [`CrashEvent`] per mid-round crash, then per alive receiver one
+    /// [`DeliverEvent`] per consumed inbox entry and a [`DecideEvent`]
+    /// when the receive phase first produced a decision, closed by one
+    /// [`RoundEvent`].
+    ///
+    /// The round substrate tracks no message ids and does not fingerprint
+    /// payloads (round messages need not be hashable), so the id and
+    /// fingerprint fields of its send/deliver events are `None`. `time` on
+    /// every event is the 1-based round number.
+    ///
+    /// The unobserved [`LockStep::advance`] is this method with a
+    /// [`NoObserver`], monomorphized away.
+    fn execute_round_observed<Ob>(&mut self, obs: &mut Ob)
+    where
+        Ob: Observer<Val> + ?Sized,
+    {
         let n = self.procs.len();
         let round = self.round + 1;
+        let time = Time::new(round as u64);
         // Send phase: every alive process emits its round message; crashing
         // processes deliver to their chosen subset only.
         let mut inboxes: Vec<SenderMap<P::Msg>> =
@@ -210,20 +238,56 @@ impl<P: RoundProcess> LockStep<P> {
                 if delivered {
                     inboxes[dst.index()].insert(pid, msg.clone());
                 }
+                obs.on_send(&SendEvent {
+                    time,
+                    src: pid,
+                    dst,
+                    id: None,
+                    payload_fp: None,
+                    dropped: !delivered,
+                });
             }
             if crash_now.is_some() {
                 self.crashed.insert(pid);
+                obs.on_crash(&CrashEvent {
+                    time,
+                    pid,
+                    after_step: true,
+                });
             }
         }
         // Receive phase: every alive process consumes its round inbox.
+        let mut delivered_total = 0usize;
         for (i, p) in self.procs.iter_mut().enumerate() {
             let pid = ProcessId::new(i);
             if self.crashed.contains(pid) {
                 continue;
             }
-            p.receive(round, &inboxes[i]);
+            let inbox = &inboxes[i];
+            let had_decided = p.decision().is_some();
+            p.receive(round, inbox);
+            delivered_total += inbox.len();
+            for (src, _) in inbox.iter() {
+                obs.on_deliver(&DeliverEvent {
+                    time,
+                    src,
+                    dst: pid,
+                    id: None,
+                    payload_fp: None,
+                });
+            }
+            if !had_decided {
+                if let Some(value) = p.decision() {
+                    obs.on_decide(&DecideEvent { time, pid, value });
+                }
+            }
         }
         self.round = round;
+        obs.on_round(&RoundEvent {
+            round,
+            alive: n - self.crashed.len(),
+            delivered: delivered_total,
+        });
     }
 }
 
@@ -239,6 +303,21 @@ impl<P: RoundProcess> Engine for LockStep<P> {
             return false;
         }
         self.execute_round();
+        true
+    }
+
+    fn advance_observed(&mut self, obs: &mut dyn Observer<Val>) -> bool {
+        if self.round >= self.max_rounds {
+            return false;
+        }
+        if obs.observes_events() {
+            self.execute_round_observed(obs);
+        } else {
+            // One virtual check instead of one virtual call per event:
+            // the monomorphized no-op path keeps observed-but-no-op
+            // drives at parity with plain `drive`.
+            self.execute_round();
+        }
         true
     }
 
@@ -418,6 +497,76 @@ mod tests {
         assert!(!engine.done());
         assert!(engine.decisions().iter().all(Option::is_none));
         assert_eq!(engine.outcome().rounds, 2, "the scheduled rounds still ran");
+    }
+
+    #[test]
+    fn observed_rounds_emit_typed_events() {
+        use kset_sim::observe::EventCounter;
+
+        // 3 processes, 2 rounds; p1 crashes in round 1 reaching only p2.
+        let crash = RoundCrash {
+            round: 1,
+            pid: ProcessId::new(0),
+            receivers: [ProcessId::new(1)].into(),
+        };
+        let mut engine = LockStep::new(vec![CountRound1 { heard: None }; 3], 2, &[crash]);
+        let mut counter: EventCounter<Val> = EventCounter::new();
+        let status = engine.drive_observed(u64::MAX, &mut counter);
+        let counts = counter.counts();
+        // Round 1: three senders × three destinations; round 2: two alive
+        // senders × three destinations.
+        assert_eq!(counts.sends, 9 + 6);
+        // The crasher reached only its one chosen receiver: the other two
+        // of its three round-1 sends are dropped.
+        assert_eq!(counts.dropped, 2);
+        assert_eq!(counts.transmitted(), 13);
+        // Alive receivers consumed: round 1 → p2 heard 3, p3 heard 2;
+        // round 2 → p2 and p3 heard 2 each.
+        assert_eq!(counts.delivers, 3 + 2 + 2 + 2);
+        assert_eq!(counts.rounds, 2);
+        assert_eq!(counts.crashes, 1);
+        assert_eq!(counts.decides, 2, "both survivors decide in round 1");
+        assert_eq!(counts.halts, 1);
+        assert_eq!(counts.steps, 0, "the round substrate emits no step events");
+        let decided = counter.decisions_by_process();
+        assert_eq!(decided.get(&ProcessId::new(1)), Some(&3));
+        assert_eq!(decided.get(&ProcessId::new(2)), Some(&2));
+        // The observed drive leaves the outcome identical to a plain one.
+        let plain = run_sync(
+            vec![CountRound1 { heard: None }; 3],
+            2,
+            &[RoundCrash {
+                round: 1,
+                pid: ProcessId::new(0),
+                receivers: [ProcessId::new(1)].into(),
+            }],
+        );
+        assert_eq!(engine.outcome().decisions, plain.decisions);
+        assert_eq!(status.stop, StopReason::AllCorrectDecided);
+    }
+
+    #[test]
+    fn trace_recorder_on_round_substrate_keeps_crash_history_only() {
+        // A Trace is a step-substrate notion: attached to the round
+        // executor, the recorder keeps the crash history and discards
+        // each round's staged message records (bounded memory, no
+        // half-assembled step records).
+        use kset_sim::{Time, TraceRecorder};
+
+        let crash = RoundCrash {
+            round: 2,
+            pid: ProcessId::new(1),
+            receivers: ProcessSet::new(),
+        };
+        let mut engine = LockStep::new(vec![CountRound1 { heard: None }; 3], 3, &[crash]);
+        let mut recorder: TraceRecorder<Val> = TraceRecorder::new(3);
+        engine.drive_observed(u64::MAX, &mut recorder);
+        let trace = recorder.into_trace();
+        assert_eq!(trace.step_count(), 0, "no step records from rounds");
+        let fp = trace.failure_pattern();
+        assert_eq!(fp.faulty(), [ProcessId::new(1)].into());
+        assert_eq!(fp.crash_time(ProcessId::new(1)), Some(Time::new(2)));
+        assert_eq!(trace.events().len(), 1, "exactly the crash history");
     }
 
     #[test]

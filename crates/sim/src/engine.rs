@@ -25,10 +25,14 @@ use crate::buffer::Buffer;
 use crate::failure::{CrashPlan, FailurePattern};
 use crate::ids::{CapacityError, MsgId, ProcessId, Time};
 use crate::message::{fingerprint, Envelope};
+use crate::observe::{
+    CrashEvent, DecideEvent, DeliverEvent, FdSampleEvent, HaltEvent, NoObserver, Observer,
+    SendEvent, StepEvent,
+};
 use crate::oracle::{NoOracle, Oracle};
 use crate::process::{Effects, Process, ProcessInfo};
 use crate::sched::{Choice, Delivery, Scheduler, SimView, Status};
-use crate::trace::{DeliveredRecord, SendRecord, StepRecord, Trace, TraceEvent};
+use crate::trace::{Trace, TraceRecorder};
 
 /// Errors surfaced by [`Simulation::step`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -141,7 +145,7 @@ pub struct Simulation<P: Process, O: Oracle<Sample = P::Fd>> {
     next_msg_id: u64,
     observed: FailurePattern,
     violations: Vec<Violation>,
-    trace: Trace<P::Output>,
+    recorder: TraceRecorder<P::Output>,
     total_steps: u64,
 }
 
@@ -220,13 +224,13 @@ where
             .enumerate()
             .map(|(i, input)| P::init(ProcessInfo::new(ProcessId::new(i), n), input))
             .collect();
-        let mut trace = Trace::new(n);
+        let mut recorder = TraceRecorder::new(n);
         let mut statuses = vec![Status::Alive { local_steps: 0 }; n];
         let mut observed = FailurePattern::all_correct(n);
         for p in crash_plan.initially_dead_set() {
             statuses[p.index()] = Status::Crashed { at: Time::ZERO };
             observed.record_crash(p, Time::ZERO);
-            trace.push(TraceEvent::Crash {
+            recorder.on_crash(&CrashEvent {
                 pid: p,
                 time: Time::ZERO,
                 after_step: false,
@@ -245,7 +249,7 @@ where
             next_msg_id: 0,
             observed,
             violations: Vec::new(),
-            trace,
+            recorder,
             total_steps: 0,
         })
     }
@@ -292,7 +296,7 @@ where
 
     /// The trace recorded so far.
     pub fn trace(&self) -> &Trace<P::Output> {
-        &self.trace
+        self.recorder.trace()
     }
 
     /// The crash plan driving failures.
@@ -316,6 +320,31 @@ where
     /// Returns [`SimError::ProcessCrashed`] if `pid` already crashed, and
     /// [`SimError::InvalidProcess`] if `pid` is out of range.
     pub fn step(&mut self, pid: ProcessId, delivery: Delivery) -> Result<(), SimError> {
+        self.step_observed(pid, delivery, &mut NoObserver)
+    }
+
+    /// Executes one atomic step of `pid`, reporting the step's typed
+    /// events — deliveries, the detector sample, a (first) decision, the
+    /// sends, the closing step summary and a possible crash — to `obs`.
+    ///
+    /// Every step flows through here: the unobserved [`Simulation::step`]
+    /// is this method with a [`NoObserver`], monomorphized away, and the
+    /// engine's own trace is assembled by an internal
+    /// [`TraceRecorder`] fed from the *same* event stream, so internal and
+    /// external observers can never disagree about what a step did.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulation::step`].
+    pub fn step_observed<Ob>(
+        &mut self,
+        pid: ProcessId,
+        delivery: Delivery,
+        obs: &mut Ob,
+    ) -> Result<(), SimError>
+    where
+        Ob: Observer<P::Output> + ?Sized,
+    {
         if pid.index() >= self.n {
             return Err(SimError::InvalidProcess(pid));
         }
@@ -392,7 +421,7 @@ where
         // A send to an out-of-range destination can never be delivered, so
         // it is recorded as dropped — traces and fingerprints must not claim
         // a delivery that never happened.
-        let mut sent_records = Vec::with_capacity(sends.len());
+        let mut sent: Vec<SendEvent> = Vec::with_capacity(sends.len());
         for (dst, payload) in sends {
             let id = MsgId::new(self.next_msg_id);
             self.next_msg_id += 1;
@@ -402,40 +431,84 @@ where
             if !dropped {
                 self.buffers[dst.index()].push(Envelope::new(id, pid, dst, self.time, payload));
             }
-            sent_records.push(SendRecord {
-                id,
+            sent.push(SendEvent {
+                time: self.time,
+                src: pid,
                 dst,
-                payload_fp,
+                id: Some(id),
+                payload_fp: Some(payload_fp),
                 dropped,
             });
         }
 
-        // 7. Record the step (and the crash, if this was the final step).
-        self.trace.push(TraceEvent::Step(StepRecord {
-            time: self.time,
-            pid,
-            local_step: local_steps,
-            delivered: delivered
-                .iter()
-                .map(|e| DeliveredRecord {
-                    id: e.id,
-                    src: e.src,
-                    payload_fp: e.payload_fingerprint(),
-                })
-                .collect(),
-            fd_fp,
-            state_fp: fingerprint(&self.procs[pid.index()]),
-            decided: decided_now,
-            sent: sent_records,
-        }));
+        // 7. Report the step's events — to the internal trace recorder and
+        // the external observer alike, in the contract order of
+        // `crate::observe`: deliveries, detector sample, decision, sends,
+        // the closing step summary, and the crash if this was the final
+        // step. The trace is assembled from exactly this stream.
+        macro_rules! emit {
+            ($method:ident, $ev:expr) => {{
+                let ev = $ev;
+                self.recorder.$method(&ev);
+                obs.$method(&ev);
+            }};
+        }
+        for env in &delivered {
+            emit!(
+                on_deliver,
+                DeliverEvent {
+                    time: self.time,
+                    src: env.src,
+                    dst: pid,
+                    id: Some(env.id),
+                    payload_fp: Some(env.payload_fingerprint()),
+                }
+            );
+        }
+        emit!(
+            on_fd_sample,
+            FdSampleEvent {
+                time: self.time,
+                pid,
+                fd_fp,
+            }
+        );
+        if let Some(value) = decided_now {
+            emit!(
+                on_decide,
+                DecideEvent {
+                    time: self.time,
+                    pid,
+                    value,
+                }
+            );
+        }
+        for ev in &sent {
+            self.recorder.on_send(ev);
+            obs.on_send(ev);
+        }
+        emit!(
+            on_step,
+            StepEvent {
+                time: self.time,
+                pid,
+                local_step: local_steps,
+                state_fp: fingerprint(&self.procs[pid.index()]),
+                delivered: delivered.len(),
+                sent: sent.len(),
+            }
+        );
         if omission.is_some() {
             self.statuses[pid.index()] = Status::Crashed { at: self.time };
             self.observed.record_crash(pid, self.time);
-            self.trace.push(TraceEvent::Crash {
-                pid,
-                time: self.time,
-                after_step: true,
-            });
+            emit!(
+                on_crash,
+                CrashEvent {
+                    pid,
+                    time: self.time,
+                    after_step: true,
+                }
+            );
         }
         Ok(())
     }
@@ -458,14 +531,52 @@ where
         engine.drive(max_steps)
     }
 
+    /// As [`Simulation::run`], reporting every run event to `obs` — the
+    /// borrowed-scheduler form of
+    /// [`Engine::drive_observed`].
+    pub fn run_observed<S>(
+        &mut self,
+        scheduler: &mut S,
+        max_steps: u64,
+        obs: &mut dyn Observer<P::Output>,
+    ) -> RunStatus
+    where
+        S: Scheduler<P::Msg> + ?Sized,
+    {
+        let mut engine = BorrowedSimEngine {
+            sim: self,
+            sched: scheduler,
+            units: 0,
+        };
+        engine.drive_observed(max_steps, obs)
+    }
+
+    /// Replays to `obs` the crash events that predate any drive: the
+    /// initially-dead processes, recorded at construction time. Called by
+    /// [`Engine::drive_observed`] so a late-attached observer still sees
+    /// the full failure pattern.
+    pub fn announce_initial<Ob>(&self, obs: &mut Ob)
+    where
+        Ob: Observer<P::Output> + ?Sized,
+    {
+        for pid in self.crash_plan.initially_dead_set() {
+            obs.on_crash(&CrashEvent {
+                pid,
+                time: Time::ZERO,
+                after_step: false,
+            });
+        }
+    }
+
     /// One scheduler-driven unit: ask `scheduler` for a choice and apply it.
     /// Returns `false` when the scheduler has no further moves. A scheduler
     /// picking a crashed process still consumes the unit (adversaries built
     /// from plans may race with plan-driven crashes; they get to observe the
     /// new state on the next call).
-    fn step_once<S>(&mut self, scheduler: &mut S) -> bool
+    fn step_once<S, Ob>(&mut self, scheduler: &mut S, obs: &mut Ob) -> bool
     where
         S: Scheduler<P::Msg> + ?Sized,
+        Ob: Observer<P::Output> + ?Sized,
     {
         let choice = {
             let view = SimView {
@@ -480,7 +591,7 @@ where
         let Some(Choice { pid, delivery }) = choice else {
             return false;
         };
-        let _ = self.step(pid, delivery);
+        let _ = self.step_observed(pid, delivery, obs);
         true
     }
 
@@ -495,7 +606,7 @@ where
             violations: self.violations.clone(),
             stop,
             steps: self.total_steps,
-            trace: self.trace.clone(),
+            trace: self.recorder.trace().clone(),
         }
     }
 
@@ -550,7 +661,7 @@ where
             next_msg_id: self.next_msg_id,
             observed: self.observed.clone(),
             violations: self.violations.clone(),
-            trace: self.trace.clone(),
+            recorder: self.recorder.clone(),
             total_steps: self.total_steps,
         }
     }
@@ -578,6 +689,26 @@ pub trait Engine {
     /// further moves (scheduler exhausted / all rounds executed).
     fn advance(&mut self) -> bool;
 
+    /// Executes one unit of work, reporting its typed run events to `obs`
+    /// (see [`crate::observe`] for the per-substrate emission contract).
+    ///
+    /// The default ignores the observer — a substrate that has not grown
+    /// observation support still drives correctly, it just emits nothing.
+    /// Both workspace substrates override this.
+    fn advance_observed(&mut self, obs: &mut dyn Observer<Self::Output>) -> bool {
+        let _ = obs;
+        self.advance()
+    }
+
+    /// Reports to `obs` the events that predate any drive (e.g. the
+    /// step substrate's initially-dead crashes, recorded at construction).
+    /// Called once by [`Engine::drive_observed`] before the first unit, so
+    /// an observer attached late still sees the full failure pattern. The
+    /// default announces nothing.
+    fn announce_initial(&self, obs: &mut dyn Observer<Self::Output>) {
+        let _ = obs;
+    }
+
     /// Whether the substrate reached its goal: every correct process
     /// decided (plus, for the lock-step executor, every scheduled round
     /// executed). [`Engine::drive`] maps this to
@@ -598,6 +729,13 @@ pub trait Engine {
 
     /// Drives the engine until [`Engine::done`], the substrate runs out of
     /// moves, or `max_units` further units were executed.
+    ///
+    /// Deliberately *not* routed through [`Engine::drive_observed`] with a
+    /// [`NoObserver`]: the unobserved loop calls [`Engine::advance`]
+    /// directly, so substrates whose internal step is generic over the
+    /// observer (the simulator's `step_observed`) monomorphize the no-op
+    /// observer away instead of paying a virtual call per event. The
+    /// `e7_observe` bench group pins the two paths at parity.
     fn drive(&mut self, max_units: u64) -> RunStatus {
         let mut steps = 0;
         loop {
@@ -621,6 +759,51 @@ pub trait Engine {
             }
             steps += 1;
         }
+    }
+
+    /// Drives the engine exactly as [`Engine::drive`] does, reporting
+    /// every run event to `obs`: first [`Engine::announce_initial`], then
+    /// the per-unit events of [`Engine::advance_observed`], and finally
+    /// one [`Observer::on_halt`] carrying the drive's status — emitted on
+    /// every exit path, so an observer can always bracket a run.
+    ///
+    /// This is the uniform observation entry point: the same call drives
+    /// the step-level simulator and the round-level lock-step executor,
+    /// which is what lets runners, the differential harness and the sweep
+    /// workers thread one observer through either substrate.
+    fn drive_observed(
+        &mut self,
+        max_units: u64,
+        obs: &mut dyn Observer<Self::Output>,
+    ) -> RunStatus {
+        self.announce_initial(obs);
+        let mut steps = 0;
+        let status = loop {
+            if self.done() {
+                break RunStatus {
+                    steps,
+                    stop: StopReason::AllCorrectDecided,
+                };
+            }
+            if steps >= max_units {
+                break RunStatus {
+                    steps,
+                    stop: StopReason::StepLimit,
+                };
+            }
+            if !self.advance_observed(obs) {
+                break RunStatus {
+                    steps,
+                    stop: StopReason::SchedulerDone,
+                };
+            }
+            steps += 1;
+        };
+        obs.on_halt(&HaltEvent {
+            status,
+            units: self.units(),
+        });
+        status
     }
 }
 
@@ -652,11 +835,27 @@ where
     }
 
     fn advance(&mut self) -> bool {
-        let progressed = self.sim.step_once(self.sched);
+        let progressed = self.sim.step_once(self.sched, &mut NoObserver);
         if progressed {
             self.units += 1;
         }
         progressed
+    }
+
+    fn advance_observed(&mut self, obs: &mut dyn Observer<P::Output>) -> bool {
+        let progressed = if obs.observes_events() {
+            self.sim.step_once(self.sched, obs)
+        } else {
+            self.sim.step_once(self.sched, &mut NoObserver)
+        };
+        if progressed {
+            self.units += 1;
+        }
+        progressed
+    }
+
+    fn announce_initial(&self, obs: &mut dyn Observer<P::Output>) {
+        self.sim.announce_initial(obs);
     }
 
     fn done(&self) -> bool {
@@ -764,11 +963,27 @@ where
     }
 
     fn advance(&mut self) -> bool {
-        let progressed = self.sim.step_once(&mut self.sched);
+        let progressed = self.sim.step_once(&mut self.sched, &mut NoObserver);
         if progressed {
             self.units += 1;
         }
         progressed
+    }
+
+    fn advance_observed(&mut self, obs: &mut dyn Observer<P::Output>) -> bool {
+        let progressed = if obs.observes_events() {
+            self.sim.step_once(&mut self.sched, obs)
+        } else {
+            self.sim.step_once(&mut self.sched, &mut NoObserver)
+        };
+        if progressed {
+            self.units += 1;
+        }
+        progressed
+    }
+
+    fn announce_initial(&self, obs: &mut dyn Observer<P::Output>) {
+        self.sim.announce_initial(obs);
     }
 
     fn done(&self) -> bool {
@@ -789,6 +1004,7 @@ mod tests {
     use super::*;
     use crate::failure::Omission;
     use crate::process::{Effects, ProcessInfo};
+    use crate::trace::TraceEvent;
 
     /// A toy process: broadcasts its input once, decides the minimum value
     /// it has seen once it heard from everyone alive it expects (here:
@@ -1121,6 +1337,72 @@ mod tests {
         // The in-range message really is buffered; nothing else is.
         assert_eq!(sim.buffer(ProcessId::new(0)).len(), 1);
         assert_eq!(sim.buffer(ProcessId::new(1)).len(), 0);
+    }
+
+    #[test]
+    fn external_trace_recorder_reproduces_internal_trace() {
+        // The engine's own trace is one Observer impl fed from the same
+        // event stream as any external observer — so an externally
+        // attached TraceRecorder must assemble the *identical* trace,
+        // crash events, drop flags and fingerprints included.
+        let plan = CrashPlan::initially_dead([ProcessId::new(2)]).with_crash_after(
+            ProcessId::new(0),
+            2,
+            Omission::All,
+        );
+        let sim: Simulation<MinEcho, NoOracle> = Simulation::new(vec![5, 3, 9, 7], plan);
+        let mut engine = SimEngine::new(sim, crate::sched::round_robin::RoundRobin::new());
+        let mut external = TraceRecorder::new(4);
+        engine.drive_observed(500, &mut external);
+        assert_eq!(
+            external.trace().events(),
+            engine.simulation().trace().events()
+        );
+        assert_eq!(
+            external.trace().failure_pattern(),
+            *engine.simulation().failure_pattern()
+        );
+    }
+
+    #[test]
+    fn drive_observed_matches_drive_and_emits_halt() {
+        let sim: Simulation<MinEcho, NoOracle> = Simulation::new(vec![5, 3, 9], CrashPlan::none());
+        let mut plain = SimEngine::new(sim.clone(), crate::sched::round_robin::RoundRobin::new());
+        let plain_status = plain.drive(10_000);
+
+        let mut observed = SimEngine::new(sim, crate::sched::round_robin::RoundRobin::new());
+        let mut counter: crate::observe::EventCounter<u64> = crate::observe::EventCounter::new();
+        let observed_status = observed.drive_observed(10_000, &mut counter);
+
+        assert_eq!(plain_status, observed_status);
+        assert_eq!(plain.decisions(), observed.decisions());
+        let counts = counter.counts();
+        assert_eq!(counts.halts, 1);
+        assert_eq!(counts.steps, observed_status.steps);
+        assert_eq!(counts.decides, 3);
+        assert_eq!(counts.fd_samples, counts.steps, "one sample per step");
+        assert_eq!(
+            counts.transmitted(),
+            counts.delivers,
+            "a crash-free run delivers every transmitted message"
+        );
+        assert_eq!(
+            counter.decisions_by_process().values().copied().min(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn initially_dead_crashes_are_announced_to_late_observers() {
+        // Initial deaths happen at construction, before any observer can
+        // attach; drive_observed replays them so the observer still sees
+        // the full failure pattern.
+        let plan = CrashPlan::initially_dead([ProcessId::new(0), ProcessId::new(2)]);
+        let sim: Simulation<MinEcho, NoOracle> = Simulation::new(vec![1, 2, 3], plan);
+        let mut engine = SimEngine::new(sim, crate::sched::round_robin::RoundRobin::new());
+        let mut counter: crate::observe::EventCounter<u64> = crate::observe::EventCounter::new();
+        engine.drive_observed(50, &mut counter);
+        assert_eq!(counter.counts().crashes, 2);
     }
 
     #[test]

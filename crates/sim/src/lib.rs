@@ -97,12 +97,14 @@ mod ids;
 pub mod indist;
 mod message;
 mod model;
+pub mod observe;
 mod oracle;
 mod process;
 mod restrict;
 pub mod scenario;
 pub mod sched;
 pub mod sweep;
+mod textfmt;
 pub mod trace;
 
 pub use buffer::Buffer;
@@ -116,13 +118,17 @@ pub use ids::{
 };
 pub use message::{fingerprint, stable_fingerprint, Envelope, StableHasher};
 pub use model::{ModelParams, Setting, SynchronyBounds};
+pub use observe::{
+    CrashEvent, DecideEvent, DeliverEvent, EventCounter, EventCounts, FdSampleEvent, HaltEvent,
+    NoObserver, Observer, RoundEvent, SendEvent, StepEvent,
+};
 pub use oracle::{FnOracle, NoOracle, Oracle};
 pub use process::{Effects, Process, ProcessInfo};
 pub use restrict::{
     restricted_simulation, restricted_simulation_with_oracle, restriction_plan, Restricted,
 };
 pub use scenario::{
-    DetectorChoice, Scenario, ScenarioCrash, ScenarioError, ScenarioProcess, ScenarioScheduler,
-    ScheduleFamily,
+    DetectorChoice, Scenario, ScenarioCrash, ScenarioError, ScenarioParseError, ScenarioProcess,
+    ScenarioScheduler, ScheduleFamily,
 };
-pub use trace::{MessageStats, ProcessView, ScheduleEntry, StepObservation, Trace};
+pub use trace::{MessageStats, ProcessView, ScheduleEntry, StepObservation, Trace, TraceRecorder};

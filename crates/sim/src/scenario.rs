@@ -559,6 +559,297 @@ impl Scenario {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Plain-text scenario serialization: one line per scenario.
+// ---------------------------------------------------------------------------
+
+/// Why a scenario line failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioParseError {
+    /// The line does not start with the `scenario` keyword.
+    NotAScenario,
+    /// A required field keyword is missing or out of order.
+    MissingField(&'static str),
+    /// A field's value token does not parse.
+    BadField {
+        /// The field being read.
+        field: &'static str,
+        /// The offending token.
+        token: String,
+    },
+    /// Tokens remain after the last field.
+    TrailingTokens(String),
+}
+
+impl fmt::Display for ScenarioParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioParseError::NotAScenario => {
+                write!(f, "not a scenario line (expected the `scenario` keyword)")
+            }
+            ScenarioParseError::MissingField(field) => {
+                write!(f, "missing or misplaced field {field:?}")
+            }
+            ScenarioParseError::BadField { field, token } => {
+                write!(f, "field {field:?}: cannot parse {token:?}")
+            }
+            ScenarioParseError::TrailingTokens(rest) => {
+                write!(f, "trailing tokens after the last field: {rest:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioParseError {}
+
+use crate::textfmt::{parse_csv_with, render_csv};
+
+/// Parses a comma-separated list rendered by
+/// [`render_csv`](crate::textfmt::render_csv), mapping a malformed
+/// element to the typed field error.
+fn parse_csv<T>(
+    field: &'static str,
+    token: &str,
+    parse_one: impl Fn(&str) -> Option<T>,
+) -> Result<Vec<T>, ScenarioParseError> {
+    parse_csv_with(token, parse_one).ok_or_else(|| ScenarioParseError::BadField {
+        field,
+        token: token.to_string(),
+    })
+}
+
+impl Scenario {
+    /// Renders the scenario as **one line** of the plain-text scenario
+    /// table format — the citable form: an EXPERIMENTS table can name a
+    /// scenario by content, not just by `(grid_seed, index)`.
+    ///
+    /// The grammar is token-delimited with fixed field order; empty lists
+    /// render as `-`:
+    ///
+    /// ```text
+    /// scenario n 5 f 3 k 1 rounds 4 inputs 0,1,2,3,4 dead 4 \
+    ///   crashes 0@1>1;1@2>2,3 schedule lockstep detector none units 368
+    /// ```
+    ///
+    /// Crashes are `pid@round>receivers`, semicolon-separated; schedules
+    /// are `lockstep`, `async:seed,percent,window` or
+    /// `partitioned:block|block` (each block a pid csv); detectors are
+    /// `none`, `perfect`, `sigmaomega:k,tgst` or `loneliness`.
+    /// [`Scenario::parse_line`] inverts this exactly
+    /// (`parse_line(render_line(s)) == s` for every scenario, valid or
+    /// not — serialization does not validate; run
+    /// [`Scenario::validate`] separately).
+    pub fn render_line(&self) -> String {
+        // Crash entries contain commas (receiver lists), so the crash
+        // list joins with semicolons instead of `render_csv`'s commas.
+        let crashes = if self.crashes.is_empty() {
+            "-".to_string()
+        } else {
+            self.crashes
+                .iter()
+                .map(|c| {
+                    format!(
+                        "{}@{}>{}",
+                        c.pid.index(),
+                        c.round,
+                        render_csv(c.receivers.iter().map(|p| p.index().to_string()))
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(";")
+        };
+        let schedule = match &self.schedule {
+            ScheduleFamily::LockStepRounds => "lockstep".to_string(),
+            ScheduleFamily::Async {
+                seed,
+                deliver_percent,
+                fairness_window,
+            } => format!("async:{seed},{deliver_percent},{fairness_window}"),
+            ScheduleFamily::Partitioned { blocks } => {
+                let rendered: Vec<String> = blocks
+                    .iter()
+                    .map(|b| render_csv(b.iter().map(|p| p.index().to_string())))
+                    .collect();
+                if rendered.is_empty() {
+                    "partitioned:-".to_string()
+                } else {
+                    format!("partitioned:{}", rendered.join("|"))
+                }
+            }
+        };
+        let detector = match self.detector {
+            DetectorChoice::None => "none".to_string(),
+            DetectorChoice::Perfect => "perfect".to_string(),
+            DetectorChoice::SigmaOmega { k, tgst } => format!("sigmaomega:{k},{tgst}"),
+            DetectorChoice::Loneliness => "loneliness".to_string(),
+        };
+        format!(
+            "scenario n {} f {} k {} rounds {} inputs {} dead {} crashes {} \
+             schedule {} detector {} units {}",
+            self.n,
+            self.f,
+            self.k,
+            self.rounds,
+            render_csv(self.inputs.iter().map(u64::to_string)),
+            render_csv(self.initially_dead.iter().map(|p| p.index().to_string())),
+            crashes,
+            schedule,
+            detector,
+            self.max_units,
+        )
+    }
+
+    /// Parses one line of the scenario table format — the exact inverse
+    /// of [`Scenario::render_line`].
+    ///
+    /// Parsing restores the value without validating it; call
+    /// [`Scenario::validate`] on the result before compiling.
+    ///
+    /// # Errors
+    ///
+    /// A [`ScenarioParseError`] naming the first offending field.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use kset_sim::Scenario;
+    ///
+    /// let sc = Scenario::favourable(4, 1, 1);
+    /// let line = sc.render_line();
+    /// assert_eq!(Scenario::parse_line(&line), Ok(sc));
+    /// ```
+    pub fn parse_line(line: &str) -> Result<Self, ScenarioParseError> {
+        let mut tokens = line.split_whitespace();
+        if tokens.next() != Some("scenario") {
+            return Err(ScenarioParseError::NotAScenario);
+        }
+        let mut field = |name: &'static str| -> Result<&str, ScenarioParseError> {
+            if tokens.next() != Some(name) {
+                return Err(ScenarioParseError::MissingField(name));
+            }
+            tokens.next().ok_or(ScenarioParseError::MissingField(name))
+        };
+        fn num<T: std::str::FromStr>(
+            field: &'static str,
+            token: &str,
+        ) -> Result<T, ScenarioParseError> {
+            token.parse().map_err(|_| ScenarioParseError::BadField {
+                field,
+                token: token.to_string(),
+            })
+        }
+
+        let n: usize = num("n", field("n")?)?;
+        let f: usize = num("f", field("f")?)?;
+        let k: usize = num("k", field("k")?)?;
+        let rounds: usize = num("rounds", field("rounds")?)?;
+        let inputs: Vec<u64> = parse_csv("inputs", field("inputs")?, |t| t.parse().ok())?;
+        let dead: Vec<usize> = parse_csv("dead", field("dead")?, |t| t.parse().ok())?;
+
+        let crashes_token = field("crashes")?;
+        let mut crashes = Vec::new();
+        if crashes_token != "-" {
+            for entry in crashes_token.split(';') {
+                let bad = || ScenarioParseError::BadField {
+                    field: "crashes",
+                    token: entry.to_string(),
+                };
+                let (pid_round, receivers) = entry.split_once('>').ok_or_else(bad)?;
+                let (pid, round) = pid_round.split_once('@').ok_or_else(bad)?;
+                let receivers: Vec<usize> =
+                    parse_csv("crashes", receivers, |t| t.parse().ok()).map_err(|_| bad())?;
+                crashes.push(ScenarioCrash {
+                    pid: ProcessId::new(pid.parse().map_err(|_| bad())?),
+                    round: round.parse().map_err(|_| bad())?,
+                    receivers: receivers.into_iter().map(ProcessId::new).collect(),
+                });
+            }
+        }
+
+        let schedule_token = field("schedule")?;
+        let schedule = match schedule_token.split_once(':') {
+            None if schedule_token == "lockstep" => ScheduleFamily::LockStepRounds,
+            Some(("async", rest)) => {
+                let parts: Vec<&str> = rest.split(',').collect();
+                let bad = || ScenarioParseError::BadField {
+                    field: "schedule",
+                    token: schedule_token.to_string(),
+                };
+                let [seed, percent, window] = parts[..] else {
+                    return Err(bad());
+                };
+                ScheduleFamily::Async {
+                    seed: seed.parse().map_err(|_| bad())?,
+                    deliver_percent: percent.parse().map_err(|_| bad())?,
+                    fairness_window: window.parse().map_err(|_| bad())?,
+                }
+            }
+            Some(("partitioned", rest)) => {
+                let blocks = if rest == "-" {
+                    Vec::new()
+                } else {
+                    rest.split('|')
+                        .map(|b| {
+                            parse_csv("schedule", b, |t| t.parse::<usize>().ok())
+                                .map(|pids| pids.into_iter().map(ProcessId::new).collect())
+                        })
+                        .collect::<Result<Vec<ProcessSet>, _>>()?
+                };
+                ScheduleFamily::Partitioned { blocks }
+            }
+            _ => {
+                return Err(ScenarioParseError::BadField {
+                    field: "schedule",
+                    token: schedule_token.to_string(),
+                });
+            }
+        };
+
+        let detector_token = field("detector")?;
+        let detector = match detector_token.split_once(':') {
+            None if detector_token == "none" => DetectorChoice::None,
+            None if detector_token == "perfect" => DetectorChoice::Perfect,
+            None if detector_token == "loneliness" => DetectorChoice::Loneliness,
+            Some(("sigmaomega", rest)) => {
+                let bad = || ScenarioParseError::BadField {
+                    field: "detector",
+                    token: detector_token.to_string(),
+                };
+                let (dk, tgst) = rest.split_once(',').ok_or_else(bad)?;
+                DetectorChoice::SigmaOmega {
+                    k: dk.parse().map_err(|_| bad())?,
+                    tgst: tgst.parse().map_err(|_| bad())?,
+                }
+            }
+            _ => {
+                return Err(ScenarioParseError::BadField {
+                    field: "detector",
+                    token: detector_token.to_string(),
+                });
+            }
+        };
+
+        let max_units: u64 = num("units", field("units")?)?;
+        let rest: Vec<&str> = tokens.collect();
+        if !rest.is_empty() {
+            return Err(ScenarioParseError::TrailingTokens(rest.join(" ")));
+        }
+
+        Ok(Scenario {
+            n,
+            f,
+            k,
+            inputs,
+            rounds,
+            initially_dead: dead.into_iter().map(ProcessId::new).collect(),
+            crashes,
+            schedule,
+            detector,
+            max_units,
+        })
+    }
+}
+
 /// The concrete scheduler a [`ScheduleFamily`] compiles to — an enum rather
 /// than a boxed trait object so [`Scenario::to_sim`] returns a fully
 /// concrete engine type.
@@ -805,6 +1096,117 @@ mod tests {
                 .any(|(x, y)| Scenario::from_cell(x).crashes != Scenario::from_cell(y).crashes),
             "grid seed must influence the crash layout"
         );
+    }
+
+    #[test]
+    fn scenario_lines_round_trip() {
+        // Every schedule family, detector choice, crash shape and empty
+        // list must survive render → parse exactly.
+        let scenarios = vec![
+            Scenario::favourable(4, 1, 1),
+            Scenario::favourable(5, 3, 2)
+                .with_initially_dead(pid(4))
+                .with_crash(ScenarioCrash {
+                    pid: pid(0),
+                    round: 1,
+                    receivers: [pid(1), pid(3)].into(),
+                })
+                .with_crash(ScenarioCrash {
+                    pid: pid(2),
+                    round: 2,
+                    receivers: ProcessSet::new(),
+                }),
+            Scenario::favourable(6, 2, 1)
+                .with_schedule(ScheduleFamily::Async {
+                    seed: 0xDEAD_BEEF,
+                    deliver_percent: 35,
+                    fairness_window: 9,
+                })
+                .with_detector(DetectorChoice::SigmaOmega { k: 2, tgst: 777 })
+                .with_inputs(vec![9, 9, 9, 0, 0, 0]),
+            Scenario::favourable(5, 1, 1)
+                .with_schedule(ScheduleFamily::Partitioned {
+                    blocks: vec![[pid(0), pid(1)].into(), [pid(2)].into()],
+                })
+                .with_detector(DetectorChoice::Perfect),
+            Scenario::favourable(3, 1, 2)
+                .with_detector(DetectorChoice::Loneliness)
+                .with_max_units(123_456),
+        ];
+        for sc in scenarios {
+            let line = sc.render_line();
+            assert!(line.starts_with("scenario n "), "one-line table row");
+            assert!(!line.contains('\n'));
+            let parsed = Scenario::parse_line(&line)
+                .unwrap_or_else(|e| panic!("round-trip of {line:?}: {e}"));
+            assert_eq!(parsed, sc, "line {line:?}");
+            assert_eq!(parsed.render_line(), line, "re-render is stable");
+        }
+    }
+
+    #[test]
+    fn grid_scenarios_round_trip_by_content() {
+        // The citation use case: every scenario a sweep grid generates is
+        // recoverable from its table line alone — content, not
+        // (grid_seed, index).
+        let grid = scale_grid(&[8, 16, 32], &[1, 3], &[1, 2], 42).expect("within capacity");
+        for cell in &grid {
+            let sc = Scenario::from_cell(cell);
+            let parsed = Scenario::parse_line(&sc.render_line()).expect("grid scenarios parse");
+            assert_eq!(parsed, sc);
+            parsed.validate().expect("parsed scenarios stay valid");
+        }
+    }
+
+    #[test]
+    fn scenario_parse_errors_are_typed() {
+        assert_eq!(
+            Scenario::parse_line("not a scenario"),
+            Err(ScenarioParseError::NotAScenario)
+        );
+        let good = Scenario::favourable(4, 1, 1).render_line();
+        assert_eq!(
+            Scenario::parse_line(&good.replace(" f 1 ", " g 1 ")),
+            Err(ScenarioParseError::MissingField("f"))
+        );
+        assert_eq!(
+            Scenario::parse_line(&good.replace(" n 4 ", " n four ")),
+            Err(ScenarioParseError::BadField {
+                field: "n",
+                token: "four".to_string()
+            })
+        );
+        assert!(matches!(
+            Scenario::parse_line(&good.replace("schedule lockstep", "schedule chaos")),
+            Err(ScenarioParseError::BadField {
+                field: "schedule",
+                ..
+            })
+        ));
+        assert!(matches!(
+            Scenario::parse_line(&format!("{good} extra")),
+            Err(ScenarioParseError::TrailingTokens(_))
+        ));
+        // Crash grammar: missing the `>` receiver separator.
+        let crashy = Scenario::favourable(4, 1, 1)
+            .with_crash(ScenarioCrash {
+                pid: pid(0),
+                round: 1,
+                receivers: [pid(1)].into(),
+            })
+            .render_line();
+        assert!(matches!(
+            Scenario::parse_line(&crashy.replace("0@1>1", "0@1")),
+            Err(ScenarioParseError::BadField {
+                field: "crashes",
+                ..
+            })
+        ));
+        // Serialization restores without validating; validation is the
+        // caller's separate step.
+        let infeasible = Scenario::favourable(4, 1, 1).with_inputs(vec![1]);
+        let parsed = Scenario::parse_line(&infeasible.render_line()).expect("parses unvalidated");
+        assert!(parsed.validate().is_err());
     }
 
     #[test]

@@ -52,9 +52,12 @@ pub mod record;
 pub mod shard;
 pub mod stream;
 
-pub use record::{merge, CellRecord, MergeError, ParseError, ShardFile, SweepHeader};
+pub use record::{
+    merge, CellRecord, FormatVersion, MergeError, Observation, ParseError, PartialShardFile,
+    ShardFile, SweepHeader,
+};
 pub use shard::{ShardError, ShardSpec};
-pub use stream::{sweep_streaming, sweep_streaming_ordered};
+pub use stream::{sweep_streaming, sweep_streaming_ordered, StreamError};
 
 /// One cell of an `(n, f, k)` scale grid, with its deterministic seed.
 ///

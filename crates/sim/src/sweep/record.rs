@@ -1,21 +1,38 @@
-//! The plain-text shard result format and its coverage-checked merge.
+//! The plain-text shard result format (v1 and v2) and its coverage-checked
+//! merge.
 //!
 //! Each shard of a sharded sweep writes a **self-describing, line-oriented
 //! text file** (the workspace vendors no serde): a three-line header naming
 //! the grid, its seed, its axes, the total cell count and the shard spec;
 //! one `cell` line per swept cell carrying the cell's global index, its
-//! `(n, f, k)` point, its [`cell_seed`] and a decision
-//! digest; and an `end <count>` footer so truncated files are detectable.
+//! `(n, f, k)` point, its [`cell_seed`], a decision digest and — from
+//! format v2 — an optional typed [`Observation`] payload; and an
+//! `end <count>` footer so truncated files are detectable.
 //!
 //! ```text
-//! kset-sweep v1
+//! kset-sweep v2
 //! grid border seed 42 axes theorem8-border cells 9
 //! shard 1/3 range 3..6
-//! cell 3 n 6 f 4 k 2 seed 0xc86a910a935dc447 digest 0x0011223344556677
-//! cell 4 n 9 f 6 k 2 seed 0x... digest 0x...
+//! cell 3 n 6 f 4 k 2 seed 0xc86a910a935dc447 digest 0x0011223344556677 obs distinct 0,3,7
+//! cell 4 n 9 f 6 k 2 seed 0x... digest 0x... obs counts sends 81 dropped 12 delivers 54 fd 0 steps 0 rounds 3 crashes 6 decides 3 halts 1
 //! cell 5 n 12 f 8 k 2 seed 0x... digest 0x...
 //! end 3
 //! ```
+//!
+//! **v1 compatibility.** v1 files (magic `kset-sweep v1`, no `obs` tails)
+//! still parse — through the *same* parser, with identical semantics; the
+//! parsed [`SweepHeader`] simply carries [`FormatVersion::V1`]. An `obs`
+//! tail inside a v1 file is a typed error, never silently ignored.
+//!
+//! **Partial files.** A v2 file whose cell lines stop before the footer is
+//! no longer garbage: [`PartialShardFile::parse`] accepts any prefix that
+//! extends past the three header lines (a torn final line — a write cut
+//! mid-line by a crash — is tolerated when nothing follows it; a cut
+//! *inside* the header leaves nothing to resume and stays a typed error)
+//! and derives **exactly which cells are still owed** from the header's
+//! range and the validated record prefix. That is what makes sweeps resumable: `experiments sweep
+//! --resume FILE` recomputes only [`PartialShardFile::owed`] and rewrites
+//! the completed file, byte-identical to an uninterrupted sweep.
 //!
 //! [`ShardFile::parse`] validates everything re-derivable: the shard's
 //! declared range must be [`ShardSpec::range`] of
@@ -28,23 +45,172 @@
 //! exactly once — before returning the canonical single-shard
 //! ([`ShardSpec::FULL`]) file, whose rendering is byte-identical to what a
 //! sequential single-process sweep of the full grid writes. That byte
-//! identity is the CI conformance gate.
+//! identity is the CI conformance gate, and it holds for v2 files with
+//! observation payloads exactly as it did for v1 digests.
 
 use std::fmt;
 
 use super::{cell_seed, GridCell, ShardError, ShardSpec};
+use crate::observe::EventCounts;
 
-/// The first line of every shard file; bump the version on format changes.
+/// The first line of every v1 shard file.
 pub const FORMAT_MAGIC: &str = "kset-sweep v1";
 
-/// One swept cell: its grid coordinates and the digest of its outcome.
+/// The first line of every v2 shard file (typed observations, partial
+/// files).
+pub const FORMAT_MAGIC_V2: &str = "kset-sweep v2";
+
+/// The shard-file format revision, carried by [`SweepHeader`] and decided
+/// by the magic line.
+///
+/// v2 extends v1 in two ways: `cell` lines may carry a typed
+/// [`Observation`] payload, and a file cut short mid-sweep is a valid
+/// *partial* artifact ([`PartialShardFile`]) naming exactly the cells
+/// still owed. Everything else — header grammar, index walking, seed
+/// re-derivation, footer — is shared, and v1 files parse unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FormatVersion {
+    /// `kset-sweep v1`: digest-only records, complete files only.
+    V1,
+    /// `kset-sweep v2`: optional typed observations, resumable partials.
+    V2,
+}
+
+impl FormatVersion {
+    /// The magic line of this version.
+    pub const fn magic(self) -> &'static str {
+        match self {
+            FormatVersion::V1 => FORMAT_MAGIC,
+            FormatVersion::V2 => FORMAT_MAGIC_V2,
+        }
+    }
+}
+
+/// A typed, plain-text observation payload attached to a v2 cell record —
+/// what the cell's run *looked like*, not just a digest of it.
+///
+/// Three shapes, one per observation style the workspace produces:
+///
+/// * [`Observation::Decisions`] — the per-process decision vector
+///   (`-` renders an undecided slot);
+/// * [`Observation::Distinct`] — the distinct decision values, strictly
+///   ascending (the quantity k-Agreement bounds);
+/// * [`Observation::Counts`] — the [`EventCounts`] of an
+///   [`EventCounter`](crate::observe::EventCounter) attached to the cell's
+///   run through [`Engine::drive_observed`](crate::Engine::drive_observed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Observation {
+    /// Per-process decisions, `None` = undecided.
+    Decisions(Vec<Option<u64>>),
+    /// Distinct decision values, strictly ascending.
+    Distinct(Vec<u64>),
+    /// Event totals of the cell's observed run.
+    Counts(EventCounts),
+}
+
+impl Observation {
+    /// Builds a [`Observation::Distinct`] from any value iterator,
+    /// sorting and deduplicating so the rendering is canonical.
+    pub fn distinct(values: impl IntoIterator<Item = u64>) -> Self {
+        let mut v: Vec<u64> = values.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        Observation::Distinct(v)
+    }
+
+    /// Renders the observation tail (the part after `obs `, no
+    /// surrounding whitespace). List fields use the workspace's shared
+    /// csv grammar (comma-separated, `-` when empty).
+    pub fn render(&self) -> String {
+        use crate::textfmt::render_csv as csv;
+        match self {
+            Observation::Decisions(ds) => {
+                // An empty decision vector would render like one undecided
+                // slot; systems have n ≥ 1 processes, so an empty vector
+                // is a writer bug, not a runtime condition.
+                assert!(!ds.is_empty(), "decision vectors cover n >= 1 processes");
+                format!(
+                    "decisions {}",
+                    csv(ds.iter().map(|d| match d {
+                        Some(v) => v.to_string(),
+                        None => "-".to_string(),
+                    }))
+                )
+            }
+            Observation::Distinct(vs) => {
+                format!("distinct {}", csv(vs.iter().map(u64::to_string)))
+            }
+            Observation::Counts(c) => format!(
+                "counts sends {} dropped {} delivers {} fd {} steps {} rounds {} \
+                 crashes {} decides {} halts {}",
+                c.sends,
+                c.dropped,
+                c.delivers,
+                c.fd_samples,
+                c.steps,
+                c.rounds,
+                c.crashes,
+                c.decides,
+                c.halts
+            ),
+        }
+    }
+
+    /// Parses the observation tail tokens (everything after the `obs`
+    /// keyword). `None` = malformed.
+    fn parse_tokens(tokens: &[&str]) -> Option<Observation> {
+        match tokens {
+            ["decisions", csv] => {
+                if *csv == "-" {
+                    // A 1-process grid cell with an undecided process
+                    // renders the same "-" as an empty vector would; the
+                    // vector is never empty in practice (n ≥ 1), so "-"
+                    // reads back as one undecided slot.
+                    return Some(Observation::Decisions(vec![None]));
+                }
+                let out = crate::textfmt::parse_csv_with(csv, |tok| match tok {
+                    "-" => Some(None),
+                    _ => tok.parse().ok().map(Some),
+                })?;
+                Some(Observation::Decisions(out))
+            }
+            ["distinct", csv] => {
+                let out: Vec<u64> = crate::textfmt::parse_csv_with(csv, |tok| tok.parse().ok())?;
+                if out.windows(2).any(|w| w[0] >= w[1]) {
+                    return None; // not strictly ascending: not canonical
+                }
+                Some(Observation::Distinct(out))
+            }
+            ["counts", "sends", sends, "dropped", dropped, "delivers", delivers, "fd", fd, "steps", steps, "rounds", rounds, "crashes", crashes, "decides", decides, "halts", halts] => {
+                Some(Observation::Counts(EventCounts {
+                    sends: sends.parse().ok()?,
+                    dropped: dropped.parse().ok()?,
+                    delivers: delivers.parse().ok()?,
+                    fd_samples: fd.parse().ok()?,
+                    steps: steps.parse().ok()?,
+                    rounds: rounds.parse().ok()?,
+                    crashes: crashes.parse().ok()?,
+                    decides: decides.parse().ok()?,
+                    halts: halts.parse().ok()?,
+                }))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// One swept cell: its grid coordinates, the digest of its outcome, and —
+/// in v2 files — an optional typed [`Observation`].
 ///
 /// `digest` is whatever 64-bit summary the sweep worker produced (the
 /// experiments binary uses the release-stable
 /// [`stable_fingerprint`](crate::stable_fingerprint) of the
 /// cell's decision outcome); equality of digests across runs is the
-/// determinism claim the shard-matrix CI gate checks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// determinism claim the shard-matrix CI gate checks. The observation is
+/// *payload*, not checksum: it must be a deterministic function of the
+/// cell (resume byte-identity depends on it) but takes no part in
+/// coverage checking.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CellRecord {
     /// Global index of the cell in the full grid's emission order.
     pub index: usize,
@@ -58,10 +224,13 @@ pub struct CellRecord {
     pub seed: u64,
     /// 64-bit digest of the cell's decision outcome.
     pub digest: u64,
+    /// Typed observation payload (v2 files only; `None` in v1 files and
+    /// for cells swept without an observer).
+    pub obs: Option<Observation>,
 }
 
 impl CellRecord {
-    /// Pairs a grid cell with its decision digest.
+    /// Pairs a grid cell with its decision digest (no observation).
     pub fn new(cell: &GridCell, digest: u64) -> Self {
         CellRecord {
             index: cell.index,
@@ -70,21 +239,36 @@ impl CellRecord {
             k: cell.k,
             seed: cell.seed,
             digest,
+            obs: None,
         }
+    }
+
+    /// Attaches a typed observation payload. Returns `self` for chaining.
+    #[must_use]
+    pub fn with_observation(mut self, obs: Observation) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// Renders the `cell` line (no trailing newline).
     pub fn render_line(&self) -> String {
-        format!(
+        let mut line = format!(
             "cell {} n {} f {} k {} seed {:#018x} digest {:#018x}",
             self.index, self.n, self.f, self.k, self.seed, self.digest
-        )
+        );
+        if let Some(obs) = &self.obs {
+            line.push_str(" obs ");
+            line.push_str(&obs.render());
+        }
+        line
     }
 }
 
 /// The self-describing header of a shard file.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SweepHeader {
+    /// The format revision (decided by the magic line on parse).
+    pub version: FormatVersion,
     /// Name of the grid (one whitespace-free token, e.g. `border`).
     pub grid: String,
     /// The grid seed every cell seed derives from.
@@ -99,8 +283,10 @@ pub struct SweepHeader {
 }
 
 impl SweepHeader {
-    /// Builds a header, validating that `grid` and `axes` are single
-    /// non-empty whitespace-free tokens (the format is token-delimited).
+    /// Builds a header for the current writer format
+    /// ([`FormatVersion::V2`]), validating that `grid` and `axes` are
+    /// single non-empty whitespace-free tokens (the format is
+    /// token-delimited). Use [`SweepHeader::with_version`] to target v1.
     ///
     /// # Panics
     ///
@@ -121,12 +307,21 @@ impl SweepHeader {
             );
         }
         SweepHeader {
+            version: FormatVersion::V2,
             grid,
             grid_seed,
             axes,
             total,
             shard,
         }
+    }
+
+    /// Retargets the header to another format version. Returns `self` for
+    /// chaining.
+    #[must_use]
+    pub fn with_version(mut self, version: FormatVersion) -> Self {
+        self.version = version;
+        self
     }
 
     /// The contiguous range of global cell indices this shard owns.
@@ -138,15 +333,25 @@ impl SweepHeader {
     pub fn render(&self) -> String {
         let r = self.range();
         format!(
-            "{FORMAT_MAGIC}\ngrid {} seed {} axes {} cells {}\nshard {} range {}..{}\n",
-            self.grid, self.grid_seed, self.axes, self.total, self.shard, r.start, r.end
+            "{}\ngrid {} seed {} axes {} cells {}\nshard {} range {}..{}\n",
+            self.version.magic(),
+            self.grid,
+            self.grid_seed,
+            self.axes,
+            self.total,
+            self.shard,
+            r.start,
+            r.end
         )
     }
 
     /// The header this file must agree with to merge with `other`:
-    /// everything except the shard index.
-    fn merge_key(&self) -> (&str, u64, &str, usize, usize) {
+    /// everything except the shard index (format versions may not mix —
+    /// the merged rendering must be byte-deterministic, and a v1/v2 mix
+    /// has no single faithful rendering).
+    fn merge_key(&self) -> (FormatVersion, &str, u64, &str, usize, usize) {
         (
+            self.version,
             &self.grid,
             self.grid_seed,
             &self.axes,
@@ -174,7 +379,19 @@ pub struct ShardFile {
 
 impl ShardFile {
     /// Renders the complete file: header, one line per record, footer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a v1 header is paired with observation-carrying records —
+    /// v1 has no observation grammar, so that file could never re-parse;
+    /// a writer producing it is buggy.
     pub fn render(&self) -> String {
+        if self.header.version == FormatVersion::V1 {
+            assert!(
+                self.records.iter().all(|r| r.obs.is_none()),
+                "v1 files cannot carry observations"
+            );
+        }
         let mut out = self.header.render();
         for record in &self.records {
             out.push_str(&record.render_line());
@@ -184,18 +401,106 @@ impl ShardFile {
         out
     }
 
-    /// Parses and validates a shard file.
+    /// Parses and validates a **complete** shard file, v1 or v2 (the magic
+    /// line decides; the parsed header records the version).
     ///
     /// Beyond the grammar, this checks every property re-derivable from
     /// the header alone: the declared range is the shard's
     /// [`range`](SweepHeader::range), record indices walk that range
     /// exactly (duplicates, gaps, reorderings and foreign indices all
     /// surface as [`ParseError::UnexpectedIndex`]), seeds re-derive via
-    /// [`cell_seed`], the footer count matches, and nothing follows the
-    /// footer. A file that parses is a complete, internally consistent
-    /// shard.
+    /// [`cell_seed`], observation tails appear only in v2 files
+    /// ([`ParseError::ObservationInV1`]), the footer count matches, and
+    /// nothing follows the footer. A file that parses is a complete,
+    /// internally consistent shard; for the prefix of one, see
+    /// [`PartialShardFile::parse`].
     pub fn parse(text: &str) -> Result<Self, ParseError> {
-        let mut lines = text.lines().enumerate();
+        let partial = PartialShardFile::parse_inner(text, false)?;
+        debug_assert!(partial.is_complete(), "strict parsing rejects prefixes");
+        Ok(ShardFile {
+            header: partial.header,
+            records: partial.records,
+        })
+    }
+}
+
+/// A validated **prefix** of a v2 shard file: everything swept before the
+/// writer stopped — crash, kill, or clean completion — plus the derived
+/// set of cells still owed.
+///
+/// The prefix carries the full self-describing header, so the partial
+/// file alone determines the grid, the shard, and [`owed`](Self::owed) —
+/// exactly the cells a `--resume` run must recompute. A complete file is
+/// the degenerate partial with nothing owed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartialShardFile {
+    /// The self-describing header.
+    pub header: SweepHeader,
+    /// The validated record prefix, in global cell order from the start
+    /// of the shard's range.
+    pub records: Vec<CellRecord>,
+}
+
+impl PartialShardFile {
+    /// Parses a possibly-incomplete v2 shard file (complete v1/v2 files
+    /// also parse, as the degenerate partial with nothing owed).
+    ///
+    /// The prefix must extend past the three header lines — a file cut
+    /// inside the header identifies no grid, no shard and no owed set,
+    /// so there is nothing to resume and the cut stays a typed error
+    /// ([`ParseError::Truncated`] / [`ParseError::BadMagic`] /
+    /// [`ParseError::BadLine`], depending on where the knife fell).
+    /// Past the header, the accepted endings in place of the strict
+    /// `end <count>` footer are:
+    ///
+    /// * end of input after any number of complete cell lines — the
+    ///   writer was killed between lines;
+    /// * one torn final line with no trailing newline — the writer was
+    ///   killed mid-write; the torn tail is discarded and its cell is
+    ///   owed again.
+    ///
+    /// Everything *before* the cut is validated exactly as in
+    /// [`ShardFile::parse`]: prefix indices walk the range from its
+    /// start, seeds re-derive, observations are well-formed. A malformed
+    /// line *followed by more input* is corruption, not truncation, and
+    /// stays a typed error — as does a truncated **v1** file, which never
+    /// promised resumability ([`ParseError::Truncated`]).
+    pub fn parse(text: &str) -> Result<Self, ParseError> {
+        Self::parse_inner(text, true)
+    }
+
+    /// The contiguous range of cell indices this shard still owes: the
+    /// tail of the header's range not covered by the record prefix.
+    pub fn owed(&self) -> std::ops::Range<usize> {
+        let range = self.header.range();
+        range.start + self.records.len()..range.end
+    }
+
+    /// Whether the prefix already covers the whole shard (a complete
+    /// file: nothing owed; the footer was present and correct).
+    pub fn is_complete(&self) -> bool {
+        self.owed().is_empty()
+    }
+
+    /// Reinterprets a complete partial as the [`ShardFile`] it is.
+    ///
+    /// # Panics
+    ///
+    /// Panics if cells are still owed — completing them first is the
+    /// caller's job (that is what resuming *is*).
+    pub fn into_complete(self) -> ShardFile {
+        assert!(self.is_complete(), "cells still owed: {:?}", self.owed());
+        ShardFile {
+            header: self.header,
+            records: self.records,
+        }
+    }
+
+    fn parse_inner(text: &str, allow_partial: bool) -> Result<Self, ParseError> {
+        let lines: Vec<&str> = text.lines().collect();
+        let total_lines = lines.len();
+        let torn_tail = !text.is_empty() && !text.ends_with('\n');
+        let mut lines = lines.into_iter().enumerate();
         let mut next_line = |expect: &str| {
             lines
                 .next()
@@ -206,12 +511,19 @@ impl ShardFile {
         };
 
         let (no, magic) = next_line("format magic")?;
-        if magic != FORMAT_MAGIC {
-            return Err(ParseError::BadMagic {
-                line: no,
-                found: magic.to_string(),
-            });
-        }
+        let version = match magic {
+            m if m == FORMAT_MAGIC => FormatVersion::V1,
+            m if m == FORMAT_MAGIC_V2 => FormatVersion::V2,
+            _ => {
+                return Err(ParseError::BadMagic {
+                    line: no,
+                    found: magic.to_string(),
+                });
+            }
+        };
+        // Partial reading applies to v2 only; a cut-short v1 file keeps
+        // erroring exactly as before this format revision.
+        let allow_partial = allow_partial && version == FormatVersion::V2;
 
         let (no, grid_line) = next_line("grid header")?;
         let t: Vec<&str> = grid_line.split_whitespace().collect();
@@ -241,7 +553,7 @@ impl ShardFile {
             .split_once("..")
             .and_then(|(s, e)| Some((s.parse::<usize>().ok()?, e.parse::<usize>().ok()?)))
             .ok_or_else(|| ParseError::bad_line(no, shard_line))?;
-        let header = SweepHeader::new(grid, grid_seed, axes, total, shard);
+        let header = SweepHeader::new(grid, grid_seed, axes, total, shard).with_version(version);
         let expected = header.range();
         if (start, end) != (expected.start, expected.end) {
             return Err(ParseError::RangeMismatch {
@@ -256,7 +568,27 @@ impl ShardFile {
         let mut records = Vec::with_capacity(expected.len().min(4096));
         let mut walk = expected.clone();
         let declared = loop {
-            let (no, line) = next_line("cell record or footer")?;
+            let (no, line) = match lines.next() {
+                Some((no, line)) => (no + 1, line),
+                None if allow_partial => {
+                    // Clean cut between lines: everything parsed so far is
+                    // the valid prefix.
+                    return Ok(PartialShardFile { header, records });
+                }
+                None => {
+                    return Err(ParseError::Truncated {
+                        expected: "cell record or footer".to_string(),
+                    });
+                }
+            };
+            // The writer emits whole `\n`-terminated lines, so text that
+            // does not end in a newline ends in a *torn* line — and a torn
+            // line must never be parsed: a digest cut mid-hex still reads
+            // as valid hex and would resume into a corrupt record. Drop it
+            // categorically; its cell is owed again.
+            if allow_partial && torn_tail && no == total_lines {
+                return Ok(PartialShardFile { header, records });
+            }
             let t: Vec<&str> = line.split_whitespace().collect();
             match t[..] {
                 ["end", count] => {
@@ -264,7 +596,20 @@ impl ShardFile {
                         .parse::<usize>()
                         .map_err(|_| ParseError::bad_line(no, line))?;
                 }
-                ["cell", index, "n", n, "f", f, "k", k, "seed", seed, "digest", digest] => {
+                ["cell", index, "n", n, "f", f, "k", k, "seed", seed, "digest", digest, ref obs_tokens @ ..] =>
+                {
+                    let obs = match obs_tokens {
+                        [] => None,
+                        ["obs", rest @ ..] if version == FormatVersion::V1 => {
+                            let _ = rest;
+                            return Err(ParseError::ObservationInV1 { line: no });
+                        }
+                        ["obs", rest @ ..] => Some(
+                            Observation::parse_tokens(rest)
+                                .ok_or_else(|| ParseError::bad_line(no, line))?,
+                        ),
+                        _ => return Err(ParseError::bad_line(no, line)),
+                    };
                     let record = CellRecord {
                         index: index.parse().map_err(|_| ParseError::bad_line(no, line))?,
                         n: n.parse().map_err(|_| ParseError::bad_line(no, line))?,
@@ -272,6 +617,7 @@ impl ShardFile {
                         k: k.parse().map_err(|_| ParseError::bad_line(no, line))?,
                         seed: parse_hex(seed).ok_or_else(|| ParseError::bad_line(no, line))?,
                         digest: parse_hex(digest).ok_or_else(|| ParseError::bad_line(no, line))?,
+                        obs,
                     };
                     match walk.next() {
                         Some(expect) if expect == record.index => {}
@@ -310,7 +656,7 @@ impl ShardFile {
         if let Some((no, line)) = lines.find(|(_, l)| !l.trim().is_empty()) {
             return Err(ParseError::bad_line(no + 1, line));
         }
-        Ok(ShardFile { header, records })
+        Ok(PartialShardFile { header, records })
     }
 }
 
@@ -375,6 +721,13 @@ pub enum ParseError {
         /// The records actually present.
         actual: usize,
     },
+    /// A v1 file carries an `obs` observation tail — v1 has no
+    /// observation grammar, so the tail is a version lie, not extra data
+    /// to skip.
+    ObservationInV1 {
+        /// 1-based line number of the offending record.
+        line: usize,
+    },
 }
 
 impl ParseError {
@@ -425,6 +778,13 @@ impl fmt::Display for ParseError {
             ),
             ParseError::CountMismatch { declared, actual } => {
                 write!(f, "footer declares {declared} records, file has {actual}")
+            }
+            ParseError::ObservationInV1 { line } => {
+                write!(
+                    f,
+                    "line {line}: a {FORMAT_MAGIC:?} file cannot carry an obs tail \
+                     (observations are {FORMAT_MAGIC_V2:?})"
+                )
             }
         }
     }
@@ -488,7 +848,7 @@ pub fn merge(shards: &[ShardFile]) -> Result<ShardFile, MergeError> {
                     total,
                 });
             }
-            if slots.insert(record.index, *record).is_some() {
+            if slots.insert(record.index, record.clone()).is_some() {
                 return Err(MergeError::DuplicateIndex {
                     index: record.index,
                 });
@@ -636,6 +996,7 @@ mod tests {
                 k: 1,
                 seed: cell_seed(grid_seed, index),
                 digest: cell_seed(grid_seed, index).rotate_left(7),
+                obs: None,
             })
             .collect();
         ShardFile { header, records }
@@ -676,7 +1037,7 @@ mod tests {
     fn parse_rejects_duplicate_and_reordered_indices() {
         let file = shard_file("demo", 42, 6, ShardSpec::FULL);
         let mut dup = file.clone();
-        dup.records[3] = dup.records[2];
+        dup.records[3] = dup.records[2].clone();
         assert_eq!(
             ShardFile::parse(&dup.render()),
             Err(ParseError::UnexpectedIndex {
@@ -808,6 +1169,7 @@ mod tests {
                 k: 1,
                 seed: cell_seed(42, 0),
                 digest: 0,
+                obs: None,
             }],
         };
         assert_eq!(
@@ -824,12 +1186,277 @@ mod tests {
                 k: 1,
                 seed: cell_seed(42, 0),
                 digest: 0,
+                obs: None,
             }],
         };
         assert_eq!(
             merge(&[huge_count]),
             Err(MergeError::MissingShard { shard_index: 1 })
         );
+    }
+
+    /// The v2 sibling of `shard_file`: every third cell carries a counts
+    /// observation, every fifth a distinct-set, to exercise the obs
+    /// grammar.
+    fn shard_file_v2(grid: &str, grid_seed: u64, total: usize, spec: ShardSpec) -> ShardFile {
+        let mut file = shard_file(grid, grid_seed, total, spec);
+        for record in &mut file.records {
+            record.obs = match record.index % 5 {
+                0 => Some(Observation::Counts(EventCounts {
+                    sends: record.index as u64 * 3,
+                    dropped: 1,
+                    delivers: record.index as u64 * 2,
+                    fd_samples: 0,
+                    steps: 9,
+                    rounds: 0,
+                    crashes: 1,
+                    decides: 3,
+                    halts: 1,
+                })),
+                1 => Some(Observation::distinct([record.index as u64, 2, 2, 1])),
+                2 => Some(Observation::Decisions(vec![
+                    Some(7),
+                    None,
+                    Some(record.index as u64),
+                ])),
+                3 => Some(Observation::Distinct(Vec::new())),
+                _ => None,
+            };
+        }
+        file
+    }
+
+    #[test]
+    fn v2_round_trip_with_observations_is_identity() {
+        for (index, count) in [(0, 1), (0, 3), (1, 3), (2, 3)] {
+            let file = shard_file_v2("demo", 42, 10, ShardSpec::new(index, count).unwrap());
+            assert_eq!(file.header.version, FormatVersion::V2);
+            let parsed = ShardFile::parse(&file.render()).expect("rendered v2 files parse");
+            assert_eq!(parsed, file);
+            assert_eq!(parsed.render(), file.render());
+        }
+    }
+
+    #[test]
+    fn v1_files_parse_with_identical_semantics() {
+        let v2 = shard_file("demo", 42, 10, ShardSpec::FULL);
+        let v1 = ShardFile {
+            header: v2.header.clone().with_version(FormatVersion::V1),
+            records: v2.records.clone(),
+        };
+        let parsed = ShardFile::parse(&v1.render()).expect("v1 files still parse");
+        assert_eq!(parsed.header.version, FormatVersion::V1);
+        assert_eq!(parsed.records, v2.records, "same records, either magic");
+        assert_eq!(parsed.render(), v1.render());
+    }
+
+    #[test]
+    fn v1_rejects_observation_tails() {
+        let mut file = shard_file("demo", 42, 4, ShardSpec::FULL);
+        file.records[2].obs = Some(Observation::distinct([1, 2]));
+        let text = ShardFile {
+            header: file.header.clone().with_version(FormatVersion::V1),
+            records: file.records.clone(),
+        };
+        // Rendering such a file is a writer bug …
+        let rendered = std::panic::catch_unwind(|| text.render());
+        assert!(rendered.is_err(), "v1 render with obs must panic");
+        // … and parsing one (hand-forged) is a typed error.
+        let forged = shard_file("demo", 42, 4, ShardSpec::FULL)
+            .render()
+            .replace(FORMAT_MAGIC_V2, FORMAT_MAGIC)
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                if i == 4 {
+                    format!("{l} obs distinct 1,2")
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n";
+        assert_eq!(
+            ShardFile::parse(&forged),
+            Err(ParseError::ObservationInV1 { line: 5 })
+        );
+    }
+
+    #[test]
+    fn malformed_observation_tails_are_rejected() {
+        let good = shard_file_v2("demo", 42, 10, ShardSpec::FULL).render();
+        for (from, to) in [
+            ("obs distinct 1,2", "obs distinct 2,1"),  // not ascending
+            ("obs distinct 1,2", "obs distinct 1,,2"), // empty token
+            ("obs counts sends", "obs counts snds"),   // bad keyword
+            ("obs decisions", "obs decision"),         // bad kind
+        ] {
+            let bad = good.replace(from, to);
+            assert_ne!(bad, good, "replacement {from:?} must apply");
+            assert!(
+                matches!(ShardFile::parse(&bad), Err(ParseError::BadLine { .. })),
+                "{to:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn partial_parse_accepts_any_clean_prefix_and_names_owed_cells() {
+        let file = shard_file_v2("demo", 42, 10, ShardSpec::new(1, 3).unwrap());
+        let full = file.render();
+        let range = file.header.range(); // 4..7
+        for kept in 0..range.len() {
+            // Header (3 lines) + `kept` cell lines, each newline-complete.
+            let prefix: String = full
+                .lines()
+                .take(3 + kept)
+                .fold(String::new(), |mut acc, l| {
+                    acc.push_str(l);
+                    acc.push('\n');
+                    acc
+                });
+            let partial = PartialShardFile::parse(&prefix).expect("clean prefixes parse");
+            assert_eq!(partial.records.len(), kept);
+            assert_eq!(partial.records[..], file.records[..kept]);
+            assert_eq!(partial.owed(), range.start + kept..range.end);
+            assert!(!partial.is_complete());
+        }
+        // All cells but no footer yet: nothing is owed — the resume pass
+        // just rewrites the file with its footer.
+        let all_cells: String =
+            full.lines()
+                .take(3 + range.len())
+                .fold(String::new(), |mut acc, l| {
+                    acc.push_str(l);
+                    acc.push('\n');
+                    acc
+                });
+        let footerless = PartialShardFile::parse(&all_cells).expect("footer-less prefix parses");
+        assert!(footerless.is_complete());
+        // The complete file is the degenerate partial with nothing owed.
+        let complete = PartialShardFile::parse(&full).expect("complete files parse");
+        assert!(complete.is_complete());
+        assert_eq!(complete.owed(), range.end..range.end);
+        assert_eq!(complete.into_complete(), file);
+    }
+
+    #[test]
+    fn partial_parse_drops_torn_final_lines() {
+        let file = shard_file_v2("demo", 42, 10, ShardSpec::FULL);
+        let full = file.render();
+        // Cut mid-way through the third cell line — including cuts that
+        // leave a grammatically parseable (but value-truncated) digest.
+        let third_line_end: usize = full.lines().take(6).map(|l| l.len() + 1).sum();
+        for cut_back in [1, 3, 9, 17] {
+            let torn = &full[..third_line_end - cut_back];
+            assert!(!torn.ends_with('\n'));
+            let partial = PartialShardFile::parse(torn).expect("torn tails are dropped");
+            assert_eq!(
+                partial.records.len(),
+                2,
+                "cut_back {cut_back}: the torn third record is owed again"
+            );
+            assert_eq!(partial.owed(), 2..10);
+        }
+    }
+
+    #[test]
+    fn partial_parse_rejects_cuts_inside_the_header() {
+        // A file cut inside its 3-line header identifies no grid and no
+        // owed set — nothing to resume, so every header cut is a typed
+        // error, not an empty partial.
+        let full = shard_file_v2("demo", 42, 10, ShardSpec::FULL).render();
+        let header_end: usize = full.lines().take(3).map(|l| l.len() + 1).sum();
+        // (Cutting exactly the header's final newline is the one benign
+        // header cut: the shard line is complete and must re-derive the
+        // declared range byte-exactly, so it parses as an empty partial.)
+        assert!(PartialShardFile::parse(&full[..header_end - 1]).is_ok());
+        for cut in [0, 5, 14, header_end / 2, header_end - 2] {
+            let err =
+                PartialShardFile::parse(&full[..cut]).expect_err("header cuts cannot be resumed");
+            assert!(
+                matches!(
+                    err,
+                    ParseError::Truncated { .. }
+                        | ParseError::BadMagic { .. }
+                        | ParseError::BadLine { .. }
+                        | ParseError::RangeMismatch { .. }
+                ),
+                "cut at byte {cut}: unexpected error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn partial_parse_still_rejects_mid_file_corruption() {
+        let file = shard_file_v2("demo", 42, 10, ShardSpec::FULL);
+        let full = file.render();
+        // A malformed line *followed by more input* is corruption.
+        let corrupt = full.replacen("digest", "digset", 1);
+        assert!(matches!(
+            PartialShardFile::parse(&corrupt),
+            Err(ParseError::BadLine { .. })
+        ));
+        // Seed lies stay fatal even in the last complete line.
+        let mut seed_lie = file.clone();
+        seed_lie.records[9].seed ^= 1;
+        assert!(matches!(
+            PartialShardFile::parse(&seed_lie.render()),
+            Err(ParseError::SeedMismatch { index: 9, .. })
+        ));
+        // A lying footer is fatal: the file *claims* completeness.
+        let lying = full.replace("end 10", "end 9");
+        assert!(matches!(
+            PartialShardFile::parse(&lying),
+            Err(ParseError::CountMismatch { .. })
+        ));
+        // Truncated v1 files never became resumable.
+        let v1 = ShardFile {
+            header: file.header.clone().with_version(FormatVersion::V1),
+            records: file
+                .records
+                .iter()
+                .map(|r| CellRecord {
+                    obs: None,
+                    ..r.clone()
+                })
+                .collect(),
+        };
+        let v1_text = v1.render();
+        let v1_prefix: String = v1_text.lines().take(5).fold(String::new(), |mut acc, l| {
+            acc.push_str(l);
+            acc.push('\n');
+            acc
+        });
+        assert!(matches!(
+            PartialShardFile::parse(&v1_prefix),
+            Err(ParseError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn merge_rejects_mixed_format_versions() {
+        let a = shard_file("demo", 42, 10, ShardSpec::new(0, 2).unwrap());
+        let b = shard_file("demo", 42, 10, ShardSpec::new(1, 2).unwrap());
+        let b_v1 = ShardFile {
+            header: b.header.clone().with_version(FormatVersion::V1),
+            records: b.records.clone(),
+        };
+        assert!(matches!(
+            merge(&[a.clone(), b_v1]),
+            Err(MergeError::GridMismatch { .. })
+        ));
+        assert!(merge(&[a, b]).is_ok());
+    }
+
+    #[test]
+    fn merged_v2_render_with_observations_is_byte_identical_to_sequential() {
+        let seq = shard_file_v2("demo", 7, 23, ShardSpec::FULL).render();
+        let shards: Vec<ShardFile> = (0..3)
+            .map(|i| shard_file_v2("demo", 7, 23, ShardSpec::new(i, 3).unwrap()))
+            .collect();
+        assert_eq!(merge(&shards).unwrap().render(), seq);
     }
 
     #[test]

@@ -21,6 +21,18 @@
 //! shard files of [`record`](super::record) and the merge gate in CI rely
 //! on.
 //!
+//! # The window contract
+//!
+//! The window is the explicit edge of the API:
+//!
+//! * `window == 0` is a **typed error** ([`StreamError::ZeroWindow`]) —
+//!   a zero window could never deliver anything, so it is always a
+//!   caller bug, reported before any thread spawns or any cell runs;
+//! * `window >= cells.len()` is a **documented no-op bound**: the gate
+//!   never blocks and the runner behaves exactly like an unwindowed
+//!   parallel sweep — same results, same order, just nothing left for
+//!   the window to limit. Both properties are pinned by tests.
+//!
 //! # Examples
 //!
 //! ```
@@ -29,17 +41,37 @@
 //! let cells: Vec<u64> = (0..100).collect();
 //! let mut seen = Vec::new();
 //! // Stream a 100-cell grid through an 8-result window.
-//! sweep_streaming_ordered(&cells, 8, |_, &c| c * 3, |i, r| seen.push((i, r)));
+//! sweep_streaming_ordered(&cells, 8, |_, &c| c * 3, |i, r| seen.push((i, r))).unwrap();
 //! let seq = sweep_seq(&cells, |_, &c| c * 3);
 //! assert!(seen.iter().map(|&(i, _)| i).eq(0..100));
 //! assert!(seen.iter().map(|&(_, r)| r).eq(seq));
 //! ```
 
 use std::collections::BTreeMap;
+use std::fmt;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Condvar, Mutex};
 use std::thread;
+
+/// Why a streaming sweep could not start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamError {
+    /// The in-flight window is zero: nothing could ever be delivered.
+    ZeroWindow,
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::ZeroWindow => {
+                write!(f, "streaming sweep needs a window of at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
 
 fn worker_threads(cells: usize) -> usize {
     thread::available_parallelism()
@@ -59,28 +91,42 @@ fn worker_threads(cells: usize) -> usize {
 /// *order* is whatever the thread schedule produced, so use
 /// [`sweep_streaming_ordered`] when the consumer needs cell order.
 ///
+/// `window >= cells.len()` is a documented no-op bound: the channel never
+/// fills (see the [module docs](self)).
+///
+/// # Errors
+///
+/// [`StreamError::ZeroWindow`] if `window == 0`, before any thread
+/// spawns or any cell runs.
+///
 /// # Panics
 ///
-/// Panics if `window == 0`, and propagates panics from `worker`.
+/// Propagates panics from `worker`.
 pub fn sweep_streaming<C, R>(
     cells: &[C],
     window: usize,
     worker: impl Fn(usize, &C) -> R + Sync,
     mut sink: impl FnMut(usize, R),
-) where
+) -> Result<(), StreamError>
+where
     C: Sync,
     R: Send,
 {
-    assert!(window > 0, "streaming sweep needs a window of at least 1");
+    if window == 0 {
+        return Err(StreamError::ZeroWindow);
+    }
     let threads = worker_threads(cells.len());
     if threads <= 1 || cells.len() <= 1 {
         for (i, c) in cells.iter().enumerate() {
             sink(i, worker(i, c));
         }
-        return;
+        return Ok(());
     }
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::sync_channel::<(usize, R)>(window);
+    // A window beyond the grid buys nothing: clamp the channel bound so
+    // `window >= cells.len()` is a true no-op (and absurd windows do not
+    // ask the channel to reserve absurd capacity).
+    let (tx, rx) = mpsc::sync_channel::<(usize, R)>(window.min(cells.len()));
     let (next, worker) = (&next, &worker);
     thread::scope(|scope| {
         for _ in 0..threads {
@@ -101,6 +147,7 @@ pub fn sweep_streaming<C, R>(
             sink(i, r);
         }
     });
+    Ok(())
 }
 
 /// Shuts the sweep down when the consumer stops consuming (normally or by
@@ -136,26 +183,38 @@ impl Drop for GateOpener<'_> {
 /// the runner of choice for writing shard result files: bytes on disk are
 /// identical to a sequential sweep's, whatever the thread count.
 ///
+/// `window >= cells.len()` is a documented no-op bound: the gate never
+/// blocks, and the sweep equals the unwindowed parallel runner (see the
+/// [module docs](self)).
+///
+/// # Errors
+///
+/// [`StreamError::ZeroWindow`] if `window == 0`, before any thread
+/// spawns or any cell runs.
+///
 /// # Panics
 ///
-/// Panics if `window == 0`, and propagates panics from `worker`.
+/// Propagates panics from `worker`.
 pub fn sweep_streaming_ordered<C, R>(
     cells: &[C],
     window: usize,
     worker: impl Fn(usize, &C) -> R + Sync,
     mut sink: impl FnMut(usize, R),
-) where
+) -> Result<(), StreamError>
+where
     C: Sync,
     R: Send,
 {
-    assert!(window > 0, "streaming sweep needs a window of at least 1");
+    if window == 0 {
+        return Err(StreamError::ZeroWindow);
+    }
     // More workers than the window can never run: they would gate-block.
     let threads = worker_threads(cells.len()).min(window);
     if threads <= 1 || cells.len() <= 1 {
         for (i, c) in cells.iter().enumerate() {
             sink(i, worker(i, c));
         }
-        return;
+        return Ok(());
     }
     let next = AtomicUsize::new(0);
     let emitted = Mutex::new(0usize);
@@ -222,6 +281,7 @@ pub fn sweep_streaming_ordered<C, R>(
             cvar.notify_all();
         }
     });
+    Ok(())
 }
 
 #[cfg(test)]
@@ -241,7 +301,8 @@ mod tests {
                 assert!(seen[i].is_none(), "cell {i} delivered twice");
                 seen[i] = Some(r);
             },
-        );
+        )
+        .unwrap();
         let expect = sweep_seq(&cells, |i, &c| c + i as u64);
         assert_eq!(
             seen.into_iter().map(Option::unwrap).collect::<Vec<_>>(),
@@ -257,7 +318,8 @@ mod tests {
         sweep_streaming_ordered(&cells, 8, f, |i, r| {
             assert_eq!(i, got.len(), "sink must see cell order");
             got.push(r);
-        });
+        })
+        .unwrap();
         assert_eq!(got, sweep_seq(&cells, f));
     }
 
@@ -288,7 +350,8 @@ mod tests {
             |_, _| {
                 delivered.fetch_add(1, Ordering::SeqCst);
             },
-        );
+        )
+        .unwrap();
         assert_eq!(delivered.load(Ordering::SeqCst), cells.len());
         let peak = peak.load(Ordering::SeqCst);
         assert!(
@@ -315,7 +378,8 @@ mod tests {
                 c
             },
             |_, _| {},
-        );
+        )
+        .unwrap();
     }
 
     #[test]
@@ -333,22 +397,97 @@ mod tests {
                     panic!("sink boom");
                 }
             },
-        );
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn zero_window_is_a_typed_error_before_any_work() {
+        // The window contract at the API boundary: window == 0 could never
+        // deliver, so it errors before any thread spawns or worker runs —
+        // on empty and non-empty grids alike.
+        let cells: Vec<u32> = (0..10).collect();
+        let worker_ran = AtomicUsize::new(0);
+        let run = |f: &dyn Fn() -> Result<(), StreamError>| {
+            let err = f().unwrap_err();
+            assert_eq!(err, StreamError::ZeroWindow);
+            assert_eq!(
+                err.to_string(),
+                "streaming sweep needs a window of at least 1"
+            );
+            assert_eq!(worker_ran.load(Ordering::SeqCst), 0, "no cell may run");
+        };
+        run(&|| {
+            sweep_streaming(
+                &cells,
+                0,
+                |_, &c| {
+                    worker_ran.fetch_add(1, Ordering::SeqCst);
+                    c
+                },
+                |_, _| {},
+            )
+        });
+        run(&|| {
+            sweep_streaming_ordered(
+                &cells,
+                0,
+                |_, &c| {
+                    worker_ran.fetch_add(1, Ordering::SeqCst);
+                    c
+                },
+                |_, _| {},
+            )
+        });
+        let empty: Vec<u32> = Vec::new();
+        run(&|| sweep_streaming(&empty, 0, |_, &c| c, |_, _| {}));
+        run(&|| sweep_streaming_ordered(&empty, 0, |_, &c| c, |_, _| {}));
+    }
+
+    #[test]
+    fn oversized_windows_are_documented_no_ops() {
+        // window >= cells.len(): the gate never blocks and the sweep is
+        // exactly the unwindowed parallel run — same coverage, and (for
+        // the ordered variant) the same sequential delivery order.
+        let cells: Vec<u64> = (0..50).rev().collect();
+        let f = |i: usize, c: &u64| c.wrapping_mul(11).wrapping_add(i as u64);
+        let seq = sweep_seq(&cells, f);
+        for window in [cells.len(), cells.len() + 1, 10 * cells.len(), usize::MAX] {
+            let mut got = Vec::new();
+            sweep_streaming_ordered(&cells, window, f, |i, r| {
+                assert_eq!(i, got.len(), "window {window}: cell order holds");
+                got.push(r);
+            })
+            .unwrap();
+            assert_eq!(got, seq, "window {window}");
+
+            let mut seen: Vec<Option<u64>> = vec![None; cells.len()];
+            sweep_streaming(&cells, window, f, |i, r| {
+                assert!(seen[i].is_none());
+                seen[i] = Some(r);
+            })
+            .unwrap();
+            assert_eq!(
+                seen.into_iter().map(Option::unwrap).collect::<Vec<_>>(),
+                seq
+            );
+        }
     }
 
     #[test]
     fn window_one_is_lock_step() {
         let cells: Vec<u32> = (0..40).collect();
         let mut got = Vec::new();
-        sweep_streaming_ordered(&cells, 1, |_, &c| c, |i, r| got.push((i, r)));
+        sweep_streaming_ordered(&cells, 1, |_, &c| c, |i, r| got.push((i, r))).unwrap();
         assert_eq!(got, (0..40).map(|c| (c as usize, c)).collect::<Vec<_>>());
     }
 
     #[test]
     fn empty_grid_streams_nothing() {
         let cells: Vec<u32> = Vec::new();
-        sweep_streaming(&cells, 3, |_, &c| c, |_, _| panic!("no cells to deliver"));
-        sweep_streaming_ordered(&cells, 3, |_, &c| c, |_, _| panic!("no cells to deliver"));
+        sweep_streaming(&cells, 3, |_, &c| c, |_, _| panic!("no cells to deliver")).unwrap();
+        sweep_streaming_ordered(&cells, 3, |_, &c| c, |_, _| panic!("no cells to deliver"))
+            .unwrap();
     }
 
     #[test]
@@ -375,7 +514,8 @@ mod tests {
                         assert!(merged[global].is_none());
                         merged[global] = Some(r);
                     },
-                );
+                )
+                .unwrap();
             }
             let merged: Vec<u64> = merged.into_iter().map(Option::unwrap).collect();
             assert_eq!(

@@ -1,0 +1,46 @@
+//! Shared grammar helpers for the workspace's token-delimited plain-text
+//! formats (scenario table lines, sweep record observations): one
+//! definition of "comma-separated list with `-` as the empty sentinel",
+//! so the formats cannot drift apart element by element.
+
+/// Renders a comma-separated list, `-` when empty.
+pub(crate) fn render_csv(values: impl Iterator<Item = String>) -> String {
+    let joined: Vec<String> = values.collect();
+    if joined.is_empty() {
+        "-".to_string()
+    } else {
+        joined.join(",")
+    }
+}
+
+/// Parses a list rendered by [`render_csv`]: `-` is the empty list, and
+/// every element must satisfy `parse_one` (`None` on the first that does
+/// not).
+pub(crate) fn parse_csv_with<T>(
+    token: &str,
+    parse_one: impl Fn(&str) -> Option<T>,
+) -> Option<Vec<T>> {
+    if token == "-" {
+        return Some(Vec::new());
+    }
+    token.split(',').map(parse_one).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trips_including_the_empty_sentinel() {
+        assert_eq!(render_csv(std::iter::empty()), "-");
+        assert_eq!(parse_csv_with("-", |t| t.parse::<u64>().ok()), Some(vec![]));
+        let values = [3u64, 1, 4];
+        let rendered = render_csv(values.iter().map(u64::to_string));
+        assert_eq!(rendered, "3,1,4");
+        assert_eq!(
+            parse_csv_with(&rendered, |t| t.parse::<u64>().ok()),
+            Some(values.to_vec())
+        );
+        assert_eq!(parse_csv_with("3,,4", |t| t.parse::<u64>().ok()), None);
+    }
+}

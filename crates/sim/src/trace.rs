@@ -20,9 +20,18 @@
 //! The trace is generic only in the decision value type `V`; message
 //! payloads and process states are stored as 64-bit fingerprints so traces
 //! of different algorithms share one representation.
+//!
+//! Recording is an observation concern: [`TraceRecorder`] is an
+//! [`Observer`] that assembles a [`Trace`] from the typed event stream of
+//! [`crate::observe`] — the engine's built-in trace is just this observer
+//! attached internally, and the same recorder can be attached to any
+//! engine through [`Engine::drive_observed`](crate::Engine::drive_observed).
 
 use crate::failure::FailurePattern;
 use crate::ids::{MsgId, ProcessId, Time};
+use crate::observe::{
+    CrashEvent, DecideEvent, DeliverEvent, FdSampleEvent, Observer, SendEvent, StepEvent,
+};
 
 /// One delivered message as recorded in a trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -350,6 +359,121 @@ impl ProcessView {
             Some(k) => &self.obs[..k],
             None => &self.obs,
         }
+    }
+}
+
+/// Assembles a [`Trace`] from the typed event stream of
+/// [`crate::observe`] — the trace recorder, reworked as just one
+/// [`Observer`] implementation.
+///
+/// Within one step the substrates emit deliveries, the detector sample,
+/// the decision and the sends *before* the closing
+/// [`on_step`](Observer::on_step) (see the emission contract in
+/// [`crate::observe`]); the recorder buffers them and folds the step into
+/// a [`StepRecord`] when the step event closes. Crash events append
+/// directly.
+///
+/// A `Trace` is a *step-substrate* notion — its records are per-process
+/// atomic steps. Attached to the round substrate (which emits
+/// [`on_round`](Observer::on_round), never `on_step`), the recorder
+/// therefore keeps only what a trace can faithfully hold there: the
+/// **crash history**. Each round event discards that round's staged
+/// message records (so memory stays bounded by one round, not the run);
+/// round-level message observation belongs to purpose-built observers
+/// such as [`EventCounter`](crate::observe::EventCounter).
+/// [`TraceRecorder::NO_ID`] / fingerprint `0` substitute for id and
+/// fingerprint fields when an event does not carry them.
+#[derive(Debug, Clone)]
+pub struct TraceRecorder<V> {
+    trace: Trace<V>,
+    delivered: Vec<DeliveredRecord>,
+    sent: Vec<SendRecord>,
+    fd_fp: Option<u64>,
+    decided: Option<V>,
+}
+
+impl<V: Clone> TraceRecorder<V> {
+    /// The message id recorded for events whose substrate tracks no ids.
+    pub const NO_ID: MsgId = MsgId::new(u64::MAX);
+
+    /// A recorder over an empty trace for a system of `n` processes.
+    pub fn new(n: usize) -> Self {
+        TraceRecorder {
+            trace: Trace::new(n),
+            delivered: Vec::new(),
+            sent: Vec::new(),
+            fd_fp: None,
+            decided: None,
+        }
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &Trace<V> {
+        &self.trace
+    }
+
+    /// Consumes the recorder, returning the trace.
+    pub fn into_trace(self) -> Trace<V> {
+        self.trace
+    }
+}
+
+impl<V: Clone> Observer<V> for TraceRecorder<V> {
+    fn on_deliver(&mut self, event: &DeliverEvent) {
+        self.delivered.push(DeliveredRecord {
+            id: event.id.unwrap_or(Self::NO_ID),
+            src: event.src,
+            payload_fp: event.payload_fp.unwrap_or(0),
+        });
+    }
+
+    fn on_fd_sample(&mut self, event: &FdSampleEvent) {
+        self.fd_fp = event.fd_fp;
+    }
+
+    fn on_decide(&mut self, event: &DecideEvent<V>) {
+        self.decided = Some(event.value.clone());
+    }
+
+    fn on_send(&mut self, event: &SendEvent) {
+        self.sent.push(SendRecord {
+            id: event.id.unwrap_or(Self::NO_ID),
+            dst: event.dst,
+            payload_fp: event.payload_fp.unwrap_or(0),
+            dropped: event.dropped,
+        });
+    }
+
+    fn on_step(&mut self, event: &StepEvent) {
+        self.trace.push(TraceEvent::Step(StepRecord {
+            time: event.time,
+            pid: event.pid,
+            local_step: event.local_step,
+            delivered: std::mem::take(&mut self.delivered),
+            fd_fp: self.fd_fp.take(),
+            state_fp: event.state_fp,
+            decided: self.decided.take(),
+            sent: std::mem::take(&mut self.sent),
+        }));
+    }
+
+    fn on_round(&mut self, _event: &crate::observe::RoundEvent) {
+        // Round-substrate attachment: a step-shaped trace cannot hold
+        // round-granular message events, and no on_step will ever flush
+        // the staging buffers — drop this round's staged records so the
+        // recorder's memory is bounded by one round, never the run.
+        self.delivered.clear();
+        self.sent.clear();
+        self.fd_fp = None;
+        self.decided = None;
+    }
+
+    fn on_crash(&mut self, event: &CrashEvent) {
+        self.trace.push(TraceEvent::Crash {
+            pid: event.pid,
+            time: event.time,
+            after_step: event.after_step,
+        });
     }
 }
 

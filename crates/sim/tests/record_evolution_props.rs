@@ -1,0 +1,156 @@
+//! Property tests for shard-file format evolution: v1 files keep parsing
+//! under the v2 parser with identical semantics, and any truncation of a
+//! v2 file resumes — recomputing only the owed cells — to bytes identical
+//! to the uninterrupted sweep, through the merge gate included.
+
+use proptest::prelude::*;
+
+use kset_sim::observe::EventCounts;
+use kset_sim::sweep::{
+    cell_seed, merge, CellRecord, FormatVersion, Observation, PartialShardFile, ShardFile,
+    ShardSpec, SweepHeader,
+};
+
+/// The deterministic per-cell "sweep worker" of these tests: digest and
+/// observation are pure functions of `(grid_seed, index)`, like every real
+/// catalog worker.
+fn record(grid_seed: u64, index: usize) -> CellRecord {
+    let seed = cell_seed(grid_seed, index);
+    let base = CellRecord {
+        index,
+        n: 4 + index % 7,
+        f: index % 3,
+        k: 1 + index % 2,
+        seed,
+        digest: seed.rotate_left((index % 61) as u32),
+        obs: None,
+    };
+    match seed % 4 {
+        0 => base,
+        1 => base.with_observation(Observation::distinct((0..seed % 5).map(|v| v * 3))),
+        2 => base.with_observation(Observation::Decisions(
+            (0..3)
+                .map(|i| !(seed >> i).is_multiple_of(3))
+                .map(|d| d.then_some(seed % 9))
+                .collect(),
+        )),
+        _ => base.with_observation(Observation::Counts(EventCounts {
+            sends: seed % 100,
+            dropped: seed % 7,
+            delivers: seed % 90,
+            fd_samples: seed % 11,
+            steps: seed % 50,
+            rounds: seed % 6,
+            crashes: seed % 3,
+            decides: seed % 5,
+            halts: 1,
+        })),
+    }
+}
+
+fn shard_file(grid_seed: u64, total: usize, spec: ShardSpec, version: FormatVersion) -> ShardFile {
+    let header =
+        SweepHeader::new("props", grid_seed, "synthetic", total, spec).with_version(version);
+    let records = header
+        .range()
+        .map(|index| {
+            let mut r = record(grid_seed, index);
+            if version == FormatVersion::V1 {
+                r.obs = None; // v1 has no observation grammar
+            }
+            r
+        })
+        .collect();
+    ShardFile { header, records }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every valid v1 shard file parses under the (shared) v2-era parser
+    /// with identical semantics: same records, the version preserved, the
+    /// re-rendering byte-identical.
+    #[test]
+    fn valid_v1_files_parse_with_identical_semantics(
+        grid_seed in 0u64..1_000_000,
+        total in 0usize..60,
+        shard_count in 1usize..6,
+        shard_index in 0usize..6,
+    ) {
+        let spec = ShardSpec::new(shard_index % shard_count, shard_count).unwrap();
+        let v1 = shard_file(grid_seed, total, spec, FormatVersion::V1);
+        let text = v1.render();
+        prop_assert!(text.starts_with("kset-sweep v1\n"));
+
+        let parsed = ShardFile::parse(&text).expect("valid v1 files parse");
+        prop_assert_eq!(&parsed, &v1, "identical records and header");
+        prop_assert_eq!(parsed.render(), text, "re-render is byte-identical");
+
+        // The same bytes with only the magic bumped parse as v2 with the
+        // same record semantics (the cell grammar is shared).
+        let bumped = text.replacen("kset-sweep v1", "kset-sweep v2", 1);
+        let as_v2 = ShardFile::parse(&bumped).expect("magic bump stays parseable");
+        prop_assert_eq!(as_v2.header.version, FormatVersion::V2);
+        prop_assert_eq!(&as_v2.records, &v1.records);
+
+        // And the partial parser accepts complete v1 files as the
+        // degenerate partial.
+        let partial = PartialShardFile::parse(&text).expect("complete v1 accepted");
+        prop_assert!(partial.is_complete());
+        prop_assert_eq!(partial.records, v1.records);
+    }
+
+    /// Cut a v2 shard file at ANY byte past its header: the partial
+    /// parses, owes exactly the un-recorded tail, and recomputing only
+    /// that remainder rebuilds the uninterrupted bytes — which then merge
+    /// (with the untouched sibling shards) to the sequential file.
+    #[test]
+    fn truncated_v2_resumes_to_uninterrupted_bytes(
+        grid_seed in 0u64..1_000_000,
+        total in 1usize..40,
+        shard_count in 1usize..5,
+        cut_permille in 0usize..1001,
+    ) {
+        let victim_index = (grid_seed as usize) % shard_count;
+        let spec = ShardSpec::new(victim_index, shard_count).unwrap();
+        let full = shard_file(grid_seed, total, spec, FormatVersion::V2);
+        let reference = full.render();
+
+        // Cut anywhere strictly past the 3-line header.
+        let header_len = full.header.render().len();
+        let cut = header_len + (reference.len() - header_len) * cut_permille / 1000;
+        let cut = cut.min(reference.len());
+        let partial = PartialShardFile::parse(&reference[..cut])
+            .unwrap_or_else(|e| panic!("cut at byte {cut}/{}: {e}", reference.len()));
+
+        // The prefix is honest: records are exactly the leading ones, and
+        // owed names exactly the rest.
+        let range = full.header.range();
+        prop_assert_eq!(&partial.records[..], &full.records[..partial.records.len()]);
+        prop_assert_eq!(
+            partial.owed(),
+            range.start + partial.records.len()..range.end
+        );
+
+        // Resume: recompute ONLY the owed cells with the same pure worker.
+        let mut rebuilt_records = partial.records.clone();
+        rebuilt_records.extend(partial.owed().map(|index| record(grid_seed, index)));
+        let rebuilt = ShardFile { header: partial.header, records: rebuilt_records };
+        prop_assert_eq!(rebuilt.render(), reference.clone(), "resume == uninterrupted");
+
+        // The merge gate cannot tell a resumed shard from a clean one.
+        let shards: Vec<ShardFile> = (0..shard_count)
+            .map(|i| {
+                if i == victim_index {
+                    rebuilt.clone()
+                } else {
+                    shard_file(grid_seed, total, ShardSpec::new(i, shard_count).unwrap(),
+                        FormatVersion::V2)
+                }
+            })
+            .collect();
+        let sequential = shard_file(grid_seed, total, ShardSpec::FULL, FormatVersion::V2);
+        let merged = merge(&shards).expect("full partition merges");
+        prop_assert_eq!(merged.render(), sequential.render());
+    }
+}

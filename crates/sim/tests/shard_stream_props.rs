@@ -99,7 +99,7 @@ proptest! {
             // Stream each shard through a bounded window, in cell order.
             let mut records = Vec::with_capacity(slice.len());
             sweep_streaming_ordered(slice, window, |_, c| CellRecord::new(c, digest(c)),
-                |_, r| records.push(r));
+                |_, r| records.push(r)).unwrap();
             shard_files.push(ShardFile { header: header(grid_seed, total, spec), records });
         }
         // Every shard file round-trips through the text format.
@@ -127,7 +127,7 @@ proptest! {
         sweep_streaming(&cells, window, f, |i, r| {
             assert!(seen[i].is_none(), "cell {i} delivered twice");
             seen[i] = Some(r);
-        });
+        }).unwrap();
         let got: Vec<u64> = seen.into_iter().map(Option::unwrap).collect();
         prop_assert_eq!(got, expect);
     }

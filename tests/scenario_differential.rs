@@ -69,6 +69,82 @@ fn differential_parallel_sweep_equals_sequential() {
 }
 
 #[test]
+fn observer_counts_agree_across_substrates_on_the_border_grid() {
+    // The observation acceptance claim: one Observer impl (the event
+    // counter) attached to the SAME scenario compiled to both substrates
+    // under the lock-step family produces consistent observations —
+    // transmitted sends, decisions (values included) and crashes agree
+    // exactly, on every cell of the Theorem 8 border grid.
+    use kset::core::scenario::differential::check_observed;
+    use kset::core::Val;
+    use kset::sim::observe::EventCounter;
+
+    for cell in border_cells(42) {
+        let scenario = Scenario::from_cell(&cell);
+        let mut sim_counter: EventCounter<Val> = EventCounter::new();
+        let mut lock_counter: EventCounter<Val> = EventCounter::new();
+        let report = check_observed::<FloodMin>(&scenario, &mut sim_counter, &mut lock_counter)
+            .unwrap_or_else(|e| panic!("cell {}: {e}", cell.index));
+        assert!(
+            report.agrees(),
+            "cell {}: {:?}",
+            cell.index,
+            report.divergences
+        );
+
+        let (sim, lock) = (sim_counter.counts(), lock_counter.counts());
+        let tag = format!("n={} f={} k={}", cell.n, cell.f, cell.k);
+        // Border scenarios have no initially-dead processes, so even the
+        // raw send counts (dropped ones included) line up.
+        assert_eq!(sim.sends, lock.sends, "{tag}: sends");
+        assert_eq!(sim.transmitted(), lock.transmitted(), "{tag}: transmitted");
+        assert_eq!(sim.crashes, lock.crashes, "{tag}: crashes");
+        assert_eq!(sim.crashes, cell.f as u64, "{tag}: exactly f crashes");
+        assert_eq!(sim.decides, lock.decides, "{tag}: decide count");
+        assert_eq!(
+            sim_counter.decisions_by_process(),
+            lock_counter.decisions_by_process(),
+            "{tag}: decided values per process"
+        );
+        // The step substrate may consume messages that reach a buffer
+        // before the crash the round executor expresses as "skip the
+        // receive phase" — it can deliver more, never less.
+        assert!(sim.delivers >= lock.delivers, "{tag}: deliver relation");
+        // Substrate-specific units: steps on one side, rounds on the other.
+        assert_eq!(lock.rounds, scenario.rounds as u64, "{tag}: rounds");
+        assert_eq!(lock.steps, 0, "{tag}: no step events from the rounds side");
+        assert_eq!(sim.rounds, 0, "{tag}: no round events from the steps side");
+        assert_eq!((sim.halts, lock.halts), (1, 1), "{tag}: one halt each");
+    }
+}
+
+#[test]
+fn observer_counts_agree_exactly_without_crashes() {
+    // With no crashes there is no in-flight edge: every event total the
+    // counter tracks (deliveries included) is equal across substrates.
+    use kset::core::scenario::differential::check_observed;
+    use kset::core::Val;
+    use kset::sim::observe::EventCounter;
+
+    let scenario = Scenario::favourable(6, 2, 1);
+    let mut sim_counter: EventCounter<Val> = EventCounter::new();
+    let mut lock_counter: EventCounter<Val> = EventCounter::new();
+    let report = check_observed::<FloodMin>(&scenario, &mut sim_counter, &mut lock_counter)
+        .expect("favourable scenario is valid");
+    assert!(report.agrees());
+    let (sim, lock) = (sim_counter.counts(), lock_counter.counts());
+    assert_eq!(sim.sends, lock.sends);
+    assert_eq!((sim.dropped, lock.dropped), (0, 0));
+    assert_eq!(sim.delivers, lock.delivers);
+    assert_eq!(sim.decides, lock.decides);
+    assert_eq!((sim.crashes, lock.crashes), (0, 0));
+    assert_eq!(
+        sim_counter.decisions_by_process(),
+        lock_counter.decisions_by_process()
+    );
+}
+
+#[test]
 fn async_schedule_family_divergence_is_flagged_not_fatal() {
     // The deliberately asymmetric scenario: same model point, same crash
     // description, but an asynchronous schedule family. The step-level run

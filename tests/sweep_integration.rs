@@ -192,7 +192,8 @@ fn sharded_streaming_floodmin_merges_to_sequential() {
                 2,
                 |_, c| CellRecord::new(c, digest(c)),
                 |_, r| records.push(r),
-            );
+            )
+            .unwrap();
             let file = ShardFile {
                 header: header(spec),
                 records,
