@@ -10,6 +10,9 @@
 //! experiments sweep --grid border --shard 1/3 --out border-1.txt
 //! # … the sequential single-process reference of the same grid …
 //! experiments sweep --grid border --seq --out border-seq.txt
+//! # … the batched schedule: same-shape cells fused into
+//! # structure-of-arrays batches of 16, output byte-identical to --seq …
+//! experiments sweep --grid scale --batch 16 --out scale-batched.txt
 //! # … and merge the shards, verifying exact coverage and (optionally)
 //! # that the merged records equal an in-process sequential recompute.
 //! experiments merge --out merged.txt --check-against-sequential \
@@ -355,7 +358,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: experiments sweep --grid <{names}> --out FILE \
-         [--grid-seed N] [--shard I/J] [--window N] [--seq]\n\
+         [--grid-seed N] [--shard I/J] [--window N] [--seq | --batch B]\n\
          \u{20}      experiments sweep --resume FILE [--out FILE] [--window N]\n\
          \u{20}      experiments merge --out FILE [--check-against-sequential] SHARD_FILE...",
         names = kset_bench::sweeps::GRID_NAMES.join("|")
@@ -366,7 +369,9 @@ fn usage(msg: &str) -> ! {
 /// `sweep`: run one shard of a catalog grid, streaming records to a
 /// self-describing shard file (`--seq` forces the single-threaded
 /// sequential reference pass instead of the streaming parallel runner —
-/// the files they write are byte-identical, which CI asserts).
+/// the files they write are byte-identical, which CI asserts; `--batch B`
+/// runs same-shape cells through the grid's structure-of-arrays kernel in
+/// batches of at most B lanes, again byte-identical).
 ///
 /// `--resume FILE` reads a partial `kset-sweep v2` shard file — every
 /// parameter (grid, seed, shard) comes from its header — recomputes
@@ -382,6 +387,7 @@ fn sweep_cmd(args: &[String]) {
     let mut out: Option<String> = None;
     let mut window: usize = 64;
     let mut seq = false;
+    let mut batch: Option<usize> = None;
     let mut resume: Option<String> = None;
     let mut explicit = Vec::new();
     let mut it = args.iter();
@@ -390,7 +396,10 @@ fn sweep_cmd(args: &[String]) {
             it.next()
                 .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
         };
-        if matches!(arg.as_str(), "--grid" | "--grid-seed" | "--shard" | "--seq") {
+        if matches!(
+            arg.as_str(),
+            "--grid" | "--grid-seed" | "--shard" | "--seq" | "--batch"
+        ) {
             explicit.push(arg.as_str());
         }
         match arg.as_str() {
@@ -414,6 +423,15 @@ fn sweep_cmd(args: &[String]) {
                     .unwrap_or_else(|| usage("bad --window: need an integer of at least 1"));
             }
             "--seq" => seq = true,
+            "--batch" => {
+                batch = Some(
+                    value("--batch")
+                        .parse()
+                        .ok()
+                        .filter(|&b: &usize| b > 0)
+                        .unwrap_or_else(|| usage("bad --batch: need an integer of at least 1")),
+                );
+            }
             "--resume" => resume = Some(value("--resume").clone()),
             other => usage(&format!("unknown sweep argument {other:?}")),
         }
@@ -435,17 +453,29 @@ fn sweep_cmd(args: &[String]) {
     if seq && !shard.is_full() {
         usage("--seq is the whole-grid reference pass; it cannot take --shard");
     }
+    if seq && batch.is_some() {
+        usage("--seq and --batch are different execution schedules; pick one");
+    }
     let grid = kset_bench::sweeps::grid(&grid_name, grid_seed).unwrap_or_else(|e| fail(e));
 
     let mut writer = ShardWriter::create(&out);
     writer.emit(&grid.header(shard).render());
     let mut records = 0usize;
+    let mode;
     if seq {
+        mode = "sequential".to_string();
         for record in grid.sweep_sequential() {
             records += 1;
             writer.emit(&format!("{}\n", record.render_line()));
         }
+    } else if let Some(batch) = batch {
+        mode = format!("batched:{batch}");
+        for record in grid.sweep_shard_batched(shard, batch) {
+            records += 1;
+            writer.emit(&format!("{}\n", record.render_line()));
+        }
     } else {
+        mode = "streaming".to_string();
         grid.sweep_shard_streaming(shard, window, |record| {
             records += 1;
             writer.emit(&format!("{}\n", record.render_line()));
@@ -454,9 +484,8 @@ fn sweep_cmd(args: &[String]) {
     writer.emit(&kset_sim::sweep::record::render_footer(records));
     let file_digest = writer.finish();
     println!(
-        "sweep grid={grid_name} seed={grid_seed} shard={shard} mode={} \
+        "sweep grid={grid_name} seed={grid_seed} shard={shard} mode={mode} \
          cells={records} out={out} file-digest={file_digest:#018x}",
-        if seq { "sequential" } else { "streaming" },
     );
 }
 

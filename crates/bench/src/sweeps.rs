@@ -27,15 +27,15 @@
 
 use std::fmt;
 
-use kset_core::algorithms::floodmin::{floodmin_rounds, FloodMin};
+use kset_core::algorithms::floodmin::{floodmin_batch, floodmin_rounds, FloodMin, FloodMinLane};
 use kset_core::sync::{LockStep, RoundCrash};
 use kset_core::task::distinct_proposals;
 use kset_impossibility::theorem8::border_demo;
 use kset_impossibility::theorem8_border_cells;
 use kset_sim::observe::EventCounter;
 use kset_sim::sweep::{
-    scale_grid, sweep_seq, sweep_streaming_ordered, CellRecord, GridCell, Observation, ShardSpec,
-    SweepHeader,
+    scale_grid, sweep_batched, sweep_seq, sweep_streaming_ordered, CellRecord, GridCell,
+    Observation, ShardSpec, SweepHeader,
 };
 use kset_sim::{stable_fingerprint, Engine, ProcessId};
 
@@ -54,6 +54,28 @@ pub struct SweepGrid {
     pub cells: Vec<GridCell>,
     /// Computes one cell's digest and typed observation (pure).
     observe: fn(&GridCell) -> (u64, Option<Observation>),
+    /// Optional structure-of-arrays kernel: the shape key two cells must
+    /// share to ride one batch, and the batch observe function (one
+    /// digest/observation pair per lane, in lane order, each identical to
+    /// what `observe` computes for that cell). Grids without a kernel —
+    /// or grids where no two cells share a shape — fall back to the
+    /// scalar path cell by cell, so `--batch` is a no-op there rather
+    /// than a failure.
+    batch: Option<BatchKernel>,
+}
+
+/// Per-lane `(digest, observation)` pairs, in lane order.
+type LaneResults = Vec<(u64, Option<Observation>)>;
+
+/// The shape-keyed batch kernel of a [`SweepGrid`].
+#[derive(Clone, Copy)]
+struct BatchKernel {
+    /// Cells may share a batch iff this key matches (`(n, rounds)` for
+    /// the lock-step grids).
+    shape: fn(&GridCell) -> (usize, usize),
+    /// Runs one same-shape batch; returns per-lane `(digest, observation)`
+    /// pairs in lane order.
+    run: fn(&[&GridCell]) -> LaneResults,
 }
 
 impl fmt::Debug for SweepGrid {
@@ -87,6 +109,10 @@ pub fn grid(name: &str, grid_seed: u64) -> Result<SweepGrid, UnknownGrid> {
             grid_seed,
             cells: theorem8_border_cells(grid_seed),
             observe: border_observe,
+            // The pasted construction has no SoA kernel (and border cells
+            // rarely share a shape anyway): --batch falls back to the
+            // scalar path.
+            batch: None,
         }),
         "scale" => Ok(SweepGrid {
             name: "scale",
@@ -95,6 +121,10 @@ pub fn grid(name: &str, grid_seed: u64) -> Result<SweepGrid, UnknownGrid> {
             cells: scale_grid(&[64, 128, 256, 512], &[1, 2, 3], &[1, 2], grid_seed)
                 .expect("catalog axes are duplicate-free and within capacity"),
             observe: floodmin_observe,
+            batch: Some(BatchKernel {
+                shape: |cell| (cell.n, floodmin_rounds(cell.f, cell.k)),
+                run: floodmin_observe_batch,
+            }),
         }),
         other => Err(UnknownGrid(other.to_string())),
     }
@@ -181,6 +211,65 @@ impl SweepGrid {
     pub fn sweep_sequential(&self) -> Vec<CellRecord> {
         sweep_seq(&self.cells, |_, cell| self.record(cell))
     }
+
+    /// Whether this grid registers a structure-of-arrays batch kernel
+    /// (grids without one run `--batch` on the scalar path).
+    pub fn supports_batching(&self) -> bool {
+        self.batch.is_some()
+    }
+
+    /// Computes the records of one **same-shape** batch through the grid's
+    /// SoA kernel, in lane order — or cell by cell through the scalar
+    /// path if the grid has no kernel. Each record is identical to what
+    /// [`SweepGrid::record`] computes for that cell; only the execution
+    /// schedule differs.
+    pub fn record_batch(&self, lanes: &[&GridCell]) -> Vec<CellRecord> {
+        let Some(kernel) = self.batch else {
+            return lanes.iter().map(|cell| self.record(cell)).collect();
+        };
+        (kernel.run)(lanes)
+            .into_iter()
+            .zip(lanes)
+            .map(|((digest, obs), cell)| {
+                let record = CellRecord::new(cell, digest);
+                match obs {
+                    Some(obs) => record.with_observation(obs),
+                    None => record,
+                }
+            })
+            .collect()
+    }
+
+    /// Sweeps one shard **batched**: cells grouped by the grid's shape
+    /// key, executed through the SoA kernel in batches of at most `batch`
+    /// lanes, and re-serialized in canonical cell order. Cell indices,
+    /// seeds and record contents are invariant under batching, so the
+    /// resulting records — and any shard file rendered from them — are
+    /// byte-identical to the streaming/sequential reference.
+    ///
+    /// Grids without a kernel fall back to the scalar path (same records,
+    /// no fusion); a degenerate grid where no two cells share a shape
+    /// simply yields single-lane batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`.
+    pub fn sweep_shard_batched(&self, shard: ShardSpec, batch: usize) -> Vec<CellRecord> {
+        let slice = shard.slice(&self.cells);
+        let Some(kernel) = self.batch else {
+            assert!(batch >= 1, "batch size must be at least 1");
+            return slice.iter().map(|cell| self.record(cell)).collect();
+        };
+        sweep_batched(
+            slice,
+            batch,
+            |_, cell| (kernel.shape)(cell),
+            |lanes| {
+                let cells: Vec<&GridCell> = lanes.iter().map(|(_, c)| *c).collect();
+                self.record_batch(&cells)
+            },
+        )
+    }
 }
 
 /// One Theorem 8 border cell: the digest of the pasted impossibility
@@ -207,31 +296,65 @@ fn border_observe(cell: &GridCell) -> (u64, Option<Observation>) {
 /// digest covers the decision vector, the observation records the run's
 /// event totals.
 fn floodmin_observe(cell: &GridCell) -> (u64, Option<Observation>) {
+    let GridCell { n, f, k, .. } = *cell;
+    let mut engine = LockStep::new(
+        FloodMin::system(&distinct_proposals(n), f, k),
+        floodmin_rounds(f, k),
+        &scale_cell_crashes(cell),
+    );
+    let mut counter = EventCounter::new();
+    engine.drive_observed(u64::MAX, &mut counter);
+    let out = engine.outcome();
+    let digest = floodmin_digest(&out);
+    (digest, Some(Observation::Counts(counter.counts())))
+}
+
+/// The seed-derived crash layout of one scale cell — shared verbatim by
+/// the scalar and batched paths, so the two execute the *same* scenario.
+fn scale_cell_crashes(cell: &GridCell) -> Vec<RoundCrash> {
     let GridCell { n, f, k, seed, .. } = *cell;
     let base = (seed as usize) % n;
-    let crashes: Vec<RoundCrash> = (0..f)
+    (0..f)
         .map(|j| RoundCrash {
             round: 1 + j % floodmin_rounds(f, k),
             pid: ProcessId::new((base + j) % n),
             receivers: ProcessId::all((seed >> 8) as usize % n).collect(),
         })
-        .collect();
-    let mut engine = LockStep::new(
-        FloodMin::system(&distinct_proposals(n), f, k),
-        floodmin_rounds(f, k),
-        &crashes,
-    );
-    let mut counter = EventCounter::new();
-    engine.drive_observed(u64::MAX, &mut counter);
-    let out = engine.outcome();
-    let distinct = out
-        .decisions
+        .collect()
+}
+
+/// The scale grid's decision digest (allocation-free distinct count —
+/// same value the old per-cell `BTreeSet` produced).
+fn floodmin_digest(out: &kset_core::sync::SyncOutcome) -> u64 {
+    stable_fingerprint(&(
+        stable_fingerprint(&out.decisions),
+        out.distinct_count(),
+        out.rounds,
+    ))
+}
+
+/// The batched twin of [`floodmin_observe`]: one [`floodmin_batch`] call
+/// over a same-shape lane set, producing per lane exactly the digest and
+/// [`Observation::Counts`] the scalar path computes for that cell.
+fn floodmin_observe_batch(lanes: &[&GridCell]) -> LaneResults {
+    let Some(first) = lanes.first() else {
+        return Vec::new();
+    };
+    let rounds = floodmin_rounds(first.f, first.k);
+    let cells: Vec<FloodMinLane> = lanes
         .iter()
-        .flatten()
-        .collect::<std::collections::BTreeSet<_>>()
-        .len();
-    let digest = stable_fingerprint(&(stable_fingerprint(&out.decisions), distinct, out.rounds));
-    (digest, Some(Observation::Counts(counter.counts())))
+        .map(|cell| {
+            debug_assert_eq!((cell.n, floodmin_rounds(cell.f, cell.k)), (first.n, rounds));
+            FloodMinLane {
+                values: distinct_proposals(cell.n),
+                crashes: scale_cell_crashes(cell),
+            }
+        })
+        .collect();
+    floodmin_batch(first.n, rounds, &cells)
+        .into_iter()
+        .map(|(out, counts)| (floodmin_digest(&out), Some(Observation::Counts(counts))))
+        .collect()
 }
 
 #[cfg(test)]
@@ -246,6 +369,26 @@ mod tests {
             assert!(!g.cells.is_empty());
         }
         assert!(grid("no-such-grid", 42).is_err());
+    }
+
+    #[test]
+    fn batched_records_match_sequential_for_every_grid() {
+        use kset_sim::sweep::ShardSpec;
+
+        for name in GRID_NAMES {
+            let g = grid(name, 42).unwrap();
+            let reference = g.sweep_sequential();
+            for batch in [1, 3, 16] {
+                let batched = g.sweep_shard_batched(ShardSpec::FULL, batch);
+                assert_eq!(batched, reference, "grid {name} batch {batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn scale_grid_registers_a_batch_kernel() {
+        assert!(grid("scale", 42).unwrap().supports_batching());
+        assert!(!grid("border", 42).unwrap().supports_batching());
     }
 
     #[test]

@@ -12,10 +12,12 @@
 //! impossibility of Theorem 2 is driven purely by the asynchrony of
 //! communication, not by the number of failures.
 
-use kset_sim::{Scenario, SenderMap};
+use kset_sim::observe::EventCounts;
+use kset_sim::planes::LimbPlanes;
+use kset_sim::{ProcessId, ProcessSet, Scenario, SenderMap, PSET_LIMBS};
 
 use crate::scenario::ScenarioRounds;
-use crate::sync::RoundProcess;
+use crate::sync::{RoundCrash, RoundProcess, SyncOutcome};
 use crate::task::Val;
 
 /// The number of rounds FloodMin needs: `⌊f/k⌋ + 1`.
@@ -63,6 +65,168 @@ impl ScenarioRounds for FloodMin {
             .map(|v| FloodMin::new(*v, scenario.rounds))
             .collect()
     }
+}
+
+/// One cell of a [`floodmin_batch`]: its proposal vector and crash
+/// schedule. All lanes of a batch share one `(n, rounds)` shape.
+#[derive(Debug, Clone)]
+pub struct FloodMinLane {
+    /// Proposal values, one per process (`values.len() == n`). Every
+    /// value must be below [`Val::MAX`], which the kernel reserves as its
+    /// crashed-lane sentinel.
+    pub values: Vec<Val>,
+    /// The lane's crash schedule, [`LockStep`](crate::sync::LockStep)
+    /// semantics.
+    pub crashes: Vec<RoundCrash>,
+}
+
+/// Runs `lanes.len()` independent FloodMin cells of shared shape
+/// `(n, rounds)` as one structure-of-arrays computation.
+///
+/// The per-process minima of all lanes live in a single `n × B` buffer
+/// (row-major by process, lane-minor), so the round body — "everyone
+/// broadcasts its minimum, everyone keeps the smallest value heard" —
+/// collapses to one branch-free column-minimum pass over `n × B`
+/// contiguous words plus a select-update, with crash omissions applied
+/// sparsely afterwards. Crashed slots carry a [`Val::MAX`] sentinel and
+/// the per-lane alive masks are [`LimbPlanes`] columns, so a crash is a
+/// single-word and-not.
+///
+/// Each lane's `(SyncOutcome, EventCounts)` is **identical** to what a
+/// scalar [`run_sync`](crate::sync::run_sync) of the same cell under an
+/// [`EventCounter`](kset_sim::observe::EventCounter) produces — the
+/// property the batched sweep's byte-identity gate rests on.
+///
+/// # Panics
+///
+/// Panics if a lane's proposal count differs from `n`, a proposal equals
+/// [`Val::MAX`], a lane schedules two crashes for one process, or
+/// `rounds` is zero.
+pub fn floodmin_batch(
+    n: usize,
+    rounds: usize,
+    lanes: &[FloodMinLane],
+) -> Vec<(SyncOutcome, EventCounts)> {
+    assert!(rounds >= 1, "at least one round");
+    let b = lanes.len();
+    if b == 0 {
+        return Vec::new();
+    }
+    let full = ProcessSet::full(n);
+    // mins[p * B + lane]: process p's current minimum in each lane;
+    // Val::MAX marks a crashed slot.
+    let mut mins = vec![Val::MAX; n * b];
+    let mut alive: LimbPlanes<PSET_LIMBS> = LimbPlanes::filled(b, full);
+    let mut alive_count = vec![n as u64; b];
+    let mut counts = vec![EventCounts::default(); b];
+    // Crash schedules bucketed by round; entries that can never fire in a
+    // scalar run (pid ≥ n, round out of schedule) are dropped, but still
+    // checked for the duplicate-pid contract first.
+    let mut by_round: Vec<Vec<(usize, ProcessId, ProcessSet)>> = vec![Vec::new(); rounds + 1];
+    for (lane, cell) in lanes.iter().enumerate() {
+        assert_eq!(cell.values.len(), n, "lane {lane}: proposal count");
+        let mut seen = ProcessSet::new();
+        for c in &cell.crashes {
+            assert!(seen.insert(c.pid), "duplicate crash for {}", c.pid);
+            if c.pid.index() < n && (1..=rounds).contains(&c.round) {
+                by_round[c.round].push((lane, c.pid, c.receivers));
+            }
+        }
+        for (p, v) in cell.values.iter().enumerate() {
+            assert!(*v < Val::MAX, "Val::MAX is the crashed-slot sentinel");
+            mins[p * b + lane] = *v;
+        }
+    }
+    // (lane, sent value, reach ∩ alive-after) of this round's crashers.
+    let mut late: Vec<(usize, Val, ProcessSet)> = Vec::new();
+    let mut col_min = vec![Val::MAX; b];
+    for (round, round_crashes) in by_round.iter().enumerate().skip(1) {
+        let alive_start: Vec<u64> = alive_count.clone();
+        for c in counts.iter_mut() {
+            c.rounds += 1;
+        }
+        for (lane, c) in counts.iter_mut().enumerate() {
+            c.sends += alive_start[lane] * n as u64;
+        }
+        // Crash phase: withdraw each crasher from its lane before the
+        // broadcast pass; its send reaches only its chosen receivers.
+        late.clear();
+        for &(lane, pid, receivers) in round_crashes {
+            let slot = &mut mins[pid.index() * b + lane];
+            let sent = *slot;
+            *slot = Val::MAX;
+            alive.lane_remove(lane, pid);
+            alive_count[lane] -= 1;
+            let reach = receivers.intersection(full);
+            counts[lane].dropped += (n - reach.len()) as u64;
+            counts[lane].crashes += 1;
+            late.push((lane, sent, reach));
+        }
+        // Broadcast pass: the column minimum over all n rows is the
+        // smallest value any surviving sender broadcast this round
+        // (crashed slots are Val::MAX and drop out); the select keeps
+        // crashed slots at the sentinel.
+        col_min.iter_mut().for_each(|m| *m = Val::MAX);
+        for row in mins.chunks_exact(b) {
+            for (m, v) in col_min.iter_mut().zip(row) {
+                *m = (*m).min(*v);
+            }
+        }
+        for row in mins.chunks_exact_mut(b) {
+            for (v, m) in row.iter_mut().zip(&col_min) {
+                let lowered = (*v).min(*m);
+                *v = if *v == Val::MAX { Val::MAX } else { lowered };
+            }
+        }
+        // Omission deliveries: each crasher's value still reaches the
+        // survivors it chose.
+        for (lane, sent, reach) in late.iter_mut() {
+            let alive_after = alive.lane(*lane);
+            *reach = reach.intersection(alive_after);
+            for p in reach.iter() {
+                let slot = &mut mins[p.index() * b + *lane];
+                *slot = (*slot).min(*sent);
+            }
+        }
+        // Event arithmetic, matching an EventCounter on the scalar run:
+        // every survivor consumed one message per round-start sender,
+        // minus the crashers that omitted it.
+        for (lane, c) in counts.iter_mut().enumerate() {
+            c.delivers += alive_count[lane] * alive_start[lane];
+        }
+        for (lane, _, reach) in &late {
+            counts[*lane].delivers -= alive_count[*lane] - reach.len() as u64;
+        }
+        if round == rounds {
+            // FloodMin decides exactly at its final receive, so first
+            // decisions are the processes still alive after it.
+            for (lane, c) in counts.iter_mut().enumerate() {
+                c.decides += alive_count[lane];
+            }
+        }
+    }
+    (0..b)
+        .map(|lane| {
+            let alive_set = alive.lane(lane);
+            let decisions = (0..n)
+                .map(|p| {
+                    alive_set
+                        .contains(ProcessId::new(p))
+                        .then(|| mins[p * b + lane])
+                })
+                .collect();
+            let mut c = counts[lane];
+            c.halts = 1;
+            (
+                SyncOutcome {
+                    decisions,
+                    crashed: full.difference(alive_set),
+                    rounds,
+                },
+                c,
+            )
+        })
+        .collect()
 }
 
 impl RoundProcess for FloodMin {
@@ -203,6 +367,96 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn batched_floodmin_matches_scalar_under_random_schedules() {
+        use kset_sim::observe::EventCounter;
+        use kset_sim::Engine;
+
+        use crate::sync::LockStep;
+
+        for seed in 0..30u64 {
+            let mut rng = StdRng::seed_from_u64(0xf100d ^ seed);
+            let n = rng.gen_range(2..=10usize);
+            let f = rng.gen_range(0..n);
+            let k = rng.gen_range(1..=3usize);
+            let rounds = floodmin_rounds(f, k);
+            let lanes: Vec<FloodMinLane> = (0..rng.gen_range(1..=7usize))
+                .map(|_| {
+                    let values: Vec<Val> =
+                        (0..n).map(|_| rng.gen_range(0..=1000u64) as Val).collect();
+                    let mut victims: Vec<usize> = (0..n).collect();
+                    victims.shuffle(&mut rng);
+                    let crashes: Vec<RoundCrash> = victims[..f]
+                        .iter()
+                        .map(|&v| {
+                            let receivers: ProcessSet =
+                                (0..n).filter(|_| rng.gen_bool(0.5)).map(pid).collect();
+                            RoundCrash {
+                                round: rng.gen_range(1..=rounds),
+                                pid: pid(v),
+                                receivers,
+                            }
+                        })
+                        .collect();
+                    FloodMinLane { values, crashes }
+                })
+                .collect();
+            let batched = floodmin_batch(n, rounds, &lanes);
+            for (lane, cell) in lanes.iter().enumerate() {
+                let procs: Vec<FloodMin> = cell
+                    .values
+                    .iter()
+                    .map(|v| FloodMin::new(*v, rounds))
+                    .collect();
+                let mut engine = LockStep::new(procs, rounds, &cell.crashes);
+                let mut counter: EventCounter<Val> = EventCounter::new();
+                engine.drive_observed(u64::MAX, &mut counter);
+                let scalar = engine.outcome();
+                let (out, counts) = &batched[lane];
+                assert_eq!(
+                    (out.decisions.clone(), out.crashed, out.rounds),
+                    (scalar.decisions, scalar.crashed, scalar.rounds),
+                    "seed {seed} lane {lane} outcome (n={n} f={f} k={k})"
+                );
+                assert_eq!(
+                    *counts,
+                    counter.counts(),
+                    "seed {seed} lane {lane} event totals (n={n} f={f} k={k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_floodmin_empty_batch_is_empty() {
+        assert!(floodmin_batch(4, 2, &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate crash")]
+    fn batched_floodmin_rejects_duplicate_crashes() {
+        let c = |round| RoundCrash {
+            round,
+            pid: pid(0),
+            receivers: ProcessSet::new(),
+        };
+        let lanes = [FloodMinLane {
+            values: vec![1, 2],
+            crashes: vec![c(1), c(2)],
+        }];
+        let _ = floodmin_batch(2, 2, &lanes);
+    }
+
+    #[test]
+    #[should_panic(expected = "proposal count")]
+    fn batched_floodmin_rejects_ragged_lanes() {
+        let lanes = [FloodMinLane {
+            values: vec![1, 2, 3],
+            crashes: Vec::new(),
+        }];
+        let _ = floodmin_batch(2, 1, &lanes);
     }
 
     #[test]

@@ -30,6 +30,10 @@
 //! * [`CellRecord`] / [`ShardFile`] / [`merge`] ([`record`]) — the
 //!   plain-text per-shard result format and its coverage-checked merge,
 //!   whose output is byte-identical to a sequential sweep's.
+//! * [`sweep_batched`] ([`batched`]) — shape-grouped batched execution:
+//!   same-shape cells run as one structure-of-arrays kernel invocation,
+//!   with results scattered back into canonical cell order (so records
+//!   stay byte-identical to the sequential reference).
 //!
 //! # Examples
 //!
@@ -48,10 +52,12 @@ use std::thread;
 
 use crate::ids::{CapacityError, ProcessSet};
 
+pub mod batched;
 pub mod record;
 pub mod shard;
 pub mod stream;
 
+pub use batched::sweep_batched;
 pub use record::{
     merge, CellRecord, FormatVersion, MergeError, Observation, ParseError, PartialShardFile,
     ShardFile, SweepHeader,
