@@ -119,6 +119,7 @@ pub fn grid(name: &str, grid_seed: u64) -> Result<SweepGrid, UnknownGrid> {
             axes: "ns=64,128,256,512;fs=1,2,3;ks=1,2",
             grid_seed,
             cells: scale_grid(&[64, 128, 256, 512], &[1, 2, 3], &[1, 2], grid_seed)
+                // kset-lint: allow(panic-in-library): invariant — the axes are compile-time catalog constants already validated against the grid contract
                 .expect("catalog axes are duplicate-free and within capacity"),
             observe: floodmin_observe,
             batch: Some(BatchKernel {
@@ -180,6 +181,7 @@ impl SweepGrid {
             |_, cell| self.record(cell),
             |_, record| emit(record),
         )
+        // kset-lint: allow(panic-in-library): documented panicking contract — window == 0 is a caller bug, surfaced per the # Panics section
         .expect("window >= 1 is the caller's contract");
     }
 
@@ -203,6 +205,7 @@ impl SweepGrid {
             |_, cell| self.record(cell),
             |_, record| emit(record),
         )
+        // kset-lint: allow(panic-in-library): documented panicking contract — window == 0 is a caller bug, surfaced per the # Panics section
         .expect("window >= 1 is the caller's contract");
     }
 
@@ -277,6 +280,7 @@ impl SweepGrid {
 /// values of the pasted run.
 fn border_observe(cell: &GridCell) -> (u64, Option<Observation>) {
     let demo = border_demo(cell.n, cell.k, 300_000)
+        // kset-lint: allow(panic-in-library): invariant — theorem8_border_cells only emits exact divisible border points, so the demo always constructs
         .expect("border grid cells are exact divisible border points");
     debug_assert_eq!(demo.f, cell.f, "border cell carries the derived f");
     let digest = stable_fingerprint(&(
@@ -297,6 +301,7 @@ fn border_observe(cell: &GridCell) -> (u64, Option<Observation>) {
 /// event totals.
 fn floodmin_observe(cell: &GridCell) -> (u64, Option<Observation>) {
     let GridCell { n, f, k, .. } = *cell;
+    // kset-lint: allow(unchecked-capacity): cell.n comes from scale_grid, which capacity-validates every axis value at grid construction
     let mut engine = LockStep::new(
         FloodMin::system(&distinct_proposals(n), f, k),
         floodmin_rounds(f, k),

@@ -112,6 +112,7 @@ pub fn floodmin_batch(
     if b == 0 {
         return Vec::new();
     }
+    // kset-lint: allow(unchecked-capacity): floodmin_batch mirrors run_sync's documented panicking contract; sweep drivers validate n at grid construction
     let full = ProcessSet::full(n);
     // mins[p * B + lane]: process p's current minimum in each lane;
     // Val::MAX marks a crashed slot.

@@ -122,6 +122,7 @@ impl TwoStage {
     /// `Some(K)` when every member's info is known (closure complete).
     fn closure(&self) -> Option<ProcessSet> {
         let my_heard = self.my_heard?;
+        // kset-lint: allow(unchecked-capacity): self.me is a live process id of a capacity-validated system, so the singleton cannot overflow
         let mut k = ProcessSet::singleton(self.me).union(my_heard);
         loop {
             let mut grew = false;
@@ -150,8 +151,10 @@ impl TwoStage {
         let mut g = Digraph::new(self.n);
         for p in k_set {
             let heard = if p == self.me {
+                // kset-lint: allow(panic-in-library): invariant — decide_from is only called with the Some(K) returned by closure(), which requires my_heard
                 self.my_heard.expect("closure implies stage 1 complete")
             } else {
+                // kset-lint: allow(panic-in-library): invariant — closure() returns None unless every member of K has an info entry
                 self.infos.get(p).expect("closure implies info present").1
             };
             for u in heard {
@@ -164,12 +167,14 @@ impl TwoStage {
         let me_new = old_of_new
             .iter()
             .position(|old| *old == self.me.index())
+            // kset-lint: allow(panic-in-library): invariant — closure() seeds K with {me}, so the induced subgraph always carries self
             .expect("self is in its own closure");
         let comp = chosen_source_component(&sub, me_new);
         let min_old = comp
             .iter()
             .map(|new| old_of_new[*new])
             .min()
+            // kset-lint: allow(panic-in-library): invariant — chosen_source_component returns a strongly connected component, which is nonempty by definition
             .expect("source components are nonempty");
         let min_pid = ProcessId::new(min_old);
         if min_pid == self.me {
@@ -177,6 +182,7 @@ impl TwoStage {
         } else {
             self.infos
                 .get(min_pid)
+                // kset-lint: allow(panic-in-library): invariant — the component is a subset of K, and closure() guarantees infos for every member of K
                 .expect("component members have known info")
                 .0
         }

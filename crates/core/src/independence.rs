@@ -170,6 +170,7 @@ where
     O: Oracle<Sample = P::Fd>,
 {
     let mut sched = IsolationScheduler::new(s);
+    // kset-lint: allow(unchecked-capacity): analysis entry point mirroring Simulation::with_oracle's documented panicking contract for oversized input vectors
     let mut sim: Simulation<P, O> = Simulation::with_oracle(inputs, oracle, plan);
     sim.run_to_report(&mut sched, max_steps)
 }
@@ -185,6 +186,7 @@ where
     P: Process<Fd = ()>,
 {
     let mut sched = IsolationScheduler::new(s);
+    // kset-lint: allow(unchecked-capacity): analysis entry point mirroring Simulation::new's documented panicking contract for oversized input vectors
     let mut sim: Simulation<P, NoOracle> = Simulation::new(inputs, plan);
     sim.run_to_report(&mut sched, max_steps)
 }

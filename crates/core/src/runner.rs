@@ -111,6 +111,7 @@ where
     O: Oracle<Sample = P::Fd>,
     S: Scheduler<P::Msg>,
 {
+    // kset-lint: allow(unchecked-capacity): convenience builder mirroring Simulation::with_oracle's documented panicking contract for oversized input vectors
     SimEngine::new(Simulation::with_oracle(inputs, oracle, plan), sched)
 }
 

@@ -171,6 +171,7 @@ impl<P: RoundProcess> LockStep<P> {
     pub fn new(procs: Vec<P>, rounds: usize, crashes: &[RoundCrash]) -> Self {
         match Self::try_new(procs, rounds, crashes) {
             Ok(ls) => ls,
+            // kset-lint: allow(panic-in-library): documented panicking convenience wrapper over try_new
             Err(e) => panic!("system size {e}"),
         }
     }
@@ -393,6 +394,7 @@ pub fn run_sync<P: RoundProcess>(
     rounds: usize,
     crashes: &[RoundCrash],
 ) -> SyncOutcome {
+    // kset-lint: allow(unchecked-capacity): run_sync is itself the documented panicking convenience entry point; capacity-aware callers go through LockStep::try_new directly
     let mut engine = LockStep::new(procs, rounds, crashes);
     engine.drive(rounds as u64);
     engine.outcome()
@@ -556,6 +558,7 @@ impl<P: RoundProcess> BatchedLockStep<P> {
             round: 0,
             procs,
             crashes,
+            // kset-lint: allow(unchecked-capacity): n ≤ CAPACITY was typed-checked a few lines above (BatchError::Capacity), so full(n) cannot panic here
             alive: LimbPlanes::filled(lane_count, ProcessSet::full(n)),
             counts: vec![EventCounts::default(); lane_count],
             inbox: (0..n).map(|_| SenderMap::with_capacity(n)).collect(),
@@ -609,6 +612,7 @@ impl<P: RoundProcess> BatchedLockStep<P> {
                         }
                     }
                     Some(c) => {
+                        // kset-lint: allow(unchecked-capacity): n was capacity-validated by try_new and is immutable after construction
                         let reach = c.receivers.intersection(ProcessSet::full(n));
                         for dst in reach.iter() {
                             self.inbox[dst.index()].insert(pid, msg.clone());
@@ -656,6 +660,7 @@ impl<P: RoundProcess> BatchedLockStep<P> {
 
     /// Per-lane outcomes at the current point, in lane order.
     pub fn outcomes(&self) -> Vec<SyncOutcome> {
+        // kset-lint: allow(unchecked-capacity): self.n was capacity-validated by try_new and is immutable after construction
         let full = ProcessSet::full(self.n);
         (0..self.procs.len())
             .map(|b| SyncOutcome {

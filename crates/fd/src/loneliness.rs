@@ -71,8 +71,7 @@ pub fn check_loneliness(
         return Err("safety violated: every process output true at some point".into());
     }
     let correct = fp.correct();
-    if correct.len() == 1 {
-        let p = correct.first().unwrap();
+    if let (1, Some(p)) = (correct.len(), correct.first()) {
         let last_crash = fp
             .faulty()
             .iter()

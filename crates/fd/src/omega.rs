@@ -80,6 +80,7 @@ pub(crate) fn k_window(pool: ProcessSet, k: usize, n: usize) -> LeaderSample {
     let mut out: LeaderSample = pool.iter().take(k).collect();
     let mut filler = ProcessId::all(n);
     while out.len() < k {
+        // kset-lint: allow(panic-in-library): invariant — every oracle constructor asserts k ≤ n, so 0..n always holds k filler ids
         let next = filler.next().expect("k ≤ n guarantees enough filler ids");
         out.insert(next);
     }

@@ -103,6 +103,7 @@ impl PartitionSigmaOmega {
             .iter()
             .copied()
             .find(|b| b.contains(p))
+            // kset-lint: allow(panic-in-library): invariant — the constructor takes a PartitionSpec, whose blocks partition (and hence cover) Π
             .expect("blocks cover Π")
     }
 
@@ -112,6 +113,7 @@ impl PartitionSigmaOmega {
             // p itself is the last member standing (it is querying, so it
             // has not crashed *before* t; the observed pattern may list its
             // crash at exactly t when this is its final step).
+            // kset-lint: allow(unchecked-capacity): p is a live process id of a capacity-validated system, so the singleton cannot overflow
             ProcessSet::singleton(p)
         } else {
             alive
@@ -175,6 +177,7 @@ impl Oracle for RealisticSigmaOmega {
         let omega = if t > self.tgst {
             self.ld
         } else {
+            // kset-lint: allow(unchecked-capacity): p is a live process id of a capacity-validated system, so the singleton cannot overflow
             k_window(ProcessSet::singleton(p), self.k, self.n)
         };
         SigmaOmegaSample::new(sigma, omega)

@@ -117,6 +117,7 @@ pub fn tarjan_scc(g: &Digraph) -> SccDecomposition {
                         let c = members.len();
                         let mut comp = Vec::new();
                         loop {
+                            // kset-lint: allow(panic-in-library): invariant — Tarjan's algorithm guarantees v sits on the stack when lowlink[v] == index[v], so the pop cannot run dry before reaching v
                             let w = stack.pop().expect("tarjan stack invariant");
                             on_stack[w] = false;
                             component_of[w] = c;

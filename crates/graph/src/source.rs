@@ -56,6 +56,7 @@ pub fn chosen_source_component(g: &Digraph, v: usize) -> Vec<usize> {
     source_components_reaching(g, v)
         .into_iter()
         .next()
+        // kset-lint: allow(panic-in-library): invariant — the condensation of any finite digraph has a source SCC reaching every vertex; documented as a caller-bug panic
         .expect("every vertex is reached by at least one source component")
 }
 

@@ -69,6 +69,7 @@ impl PartitionSpec {
         let j = n - k + 1; // j ≥ 3
         let dbar: ProcessSet = (0..j).map(ProcessId::new).collect();
         let blocks: Vec<ProcessSet> = (j..n)
+            // kset-lint: allow(unchecked-capacity): ids stay below n, and PartitionSpec::new re-validates the layout against the system size
             .map(|i| ProcessSet::singleton(ProcessId::new(i)))
             .collect();
         Some(PartitionSpec::new(n, blocks, dbar))
@@ -85,6 +86,7 @@ impl PartitionSpec {
         let mut groups: Vec<ProcessSet> = (0..=k)
             .map(|i| (i * size..(i + 1) * size).map(ProcessId::new).collect())
             .collect();
+        // kset-lint: allow(panic-in-library): invariant — the collect above builds exactly k+1 ≥ 1 groups, so the pop always succeeds
         let dbar = groups.pop().expect("k+1 ≥ 1 groups");
         Some(PartitionSpec::new(n, groups, dbar))
     }

@@ -80,6 +80,7 @@ where
             plan = plan.with_initially_dead(p);
         }
     }
+    // kset-lint: allow(unchecked-capacity): theorem-construction entry point mirroring Simulation::with_oracle's documented panicking contract for oversized input vectors
     let mut sim: Simulation<P, O> = Simulation::with_oracle(inputs, oracle, plan);
     sim.run_to_report(&mut RoundRobin::new(), max_steps)
 }
@@ -146,6 +147,7 @@ where
                 plan = plan.with_initially_dead(p);
             }
         }
+        // kset-lint: allow(unchecked-capacity): theorem-construction entry point mirroring Simulation::with_oracle's documented panicking contract for oversized input vectors
         let mut sim: Simulation<P, O> = Simulation::with_oracle(make_inputs(), mk_oracle(), plan);
         let mut sched = mk_sched(i, block);
         let report = sim.run_to_report(&mut *sched, max_steps);
@@ -155,6 +157,7 @@ where
     let schedules: Vec<_> = solos.iter().map(|s| s.report.trace.schedule()).collect();
     let merged = Scripted::interleave(schedules);
     let mut sim: Simulation<P, O> =
+        // kset-lint: allow(unchecked-capacity): theorem-construction entry point mirroring Simulation::with_oracle's documented panicking contract for oversized input vectors
         Simulation::with_oracle(make_inputs(), mk_oracle(), CrashPlan::none());
     let mut replay = Scripted::new(merged);
     let report = sim.run_to_report(&mut replay, max_steps);

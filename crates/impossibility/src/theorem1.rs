@@ -175,6 +175,7 @@ where
             .solos
             .last()
             .map(|s| &s.report)
+            // kset-lint: allow(panic-in-library): invariant — PartitionSpec always carries D̄ as its final part, so the pasted run has at least one solo
             .expect("spec has at least D̄"),
         max_steps,
     );
@@ -261,6 +262,7 @@ where
     let n = inputs.len();
     let wrapped: Vec<(ProcessSet, P::Input)> = inputs.into_iter().map(|x| (dbar, x)).collect();
     let plan = restriction_plan(n, dbar, CrashPlan::none());
+    // kset-lint: allow(unchecked-capacity): theorem-construction entry point mirroring Simulation::with_oracle's documented panicking contract for oversized input vectors
     let mut sim: Simulation<Restricted<P>, O> = Simulation::with_oracle(wrapped, mk_oracle(), plan);
     // Replay the solo schedule; fall back to round-robin if it runs dry
     // before everyone in D̄ decided (should not happen for deterministic

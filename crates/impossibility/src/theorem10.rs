@@ -164,6 +164,7 @@ where
         Some(pasted) => {
             let schedule = pasted.report.trace.schedule();
             let mut rec = Recorder::new(mk_oracle());
+            // kset-lint: allow(unchecked-capacity): theorem-construction entry point mirroring Simulation::with_oracle's documented panicking contract for oversized input vectors
             let mut sim: kset_sim::Simulation<P, _> = kset_sim::Simulation::with_oracle(
                 make_inputs(),
                 &mut rec,

@@ -1,0 +1,97 @@
+//! CLI for the workspace lint pass.
+//!
+//! ```text
+//! kset-lint [--root DIR] [--summary FILE] [--show-allowed] [--list-rules]
+//!           [--write-shim-manifest]
+//! ```
+//!
+//! Exit status: 0 when the pass is clean (zero non-allowed diagnostics),
+//! 1 on violations, 2 on usage or IO errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut summary: Option<PathBuf> = None;
+    let mut show_allowed = false;
+    let mut list_rules = false;
+    let mut write_manifest = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a directory"),
+            },
+            "--summary" => match args.next() {
+                Some(v) => summary = Some(PathBuf::from(v)),
+                None => return usage("--summary needs a file path"),
+            },
+            "--show-allowed" => show_allowed = true,
+            "--list-rules" => list_rules = true,
+            "--write-shim-manifest" => write_manifest = true,
+            "--help" | "-h" => {
+                println!(
+                    "kset-lint: workspace static-analysis pass\n\n\
+                     USAGE: kset-lint [--root DIR] [--summary FILE] [--show-allowed]\n\
+                     \x20                [--list-rules] [--write-shim-manifest]\n\n\
+                     Suppress a diagnostic at its site with a justified comment:\n\
+                     \x20   // kset-lint: allow(<rule>): <justification>"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if list_rules {
+        for rule in kset_lint::rules::RULES {
+            println!("{rule}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if write_manifest {
+        let text = match kset_lint::regenerate_shim_manifest(&root) {
+            Ok(t) => t,
+            Err(e) => return fail(&format!("kset-lint: {e}")),
+        };
+        let path = root.join(kset_lint::SHIM_MANIFEST_PATH);
+        if let Err(e) = std::fs::write(&path, text) {
+            return fail(&format!("kset-lint: writing {}: {e}", path.display()));
+        }
+        println!("kset-lint: wrote {}", path.display());
+        return ExitCode::SUCCESS;
+    }
+
+    let report = match kset_lint::run_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("kset-lint: {e}")),
+    };
+
+    print!("{}", report.render_human(show_allowed));
+
+    if let Some(path) = summary {
+        if let Err(e) = std::fs::write(&path, report.render_summary()) {
+            return fail(&format!("kset-lint: writing {}: {e}", path.display()));
+        }
+    }
+
+    if report.violation_count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("kset-lint: {msg} (see --help)");
+    ExitCode::from(2)
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("{msg}");
+    ExitCode::from(2)
+}

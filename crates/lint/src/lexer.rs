@@ -1,0 +1,403 @@
+//! A byte-class lexer for Rust source: partitions a file into *code*,
+//! *comment*, and *literal* bytes without parsing — the whole static-analysis
+//! layer rests on this classification being right.
+//!
+//! The scanner deliberately does **not** build a syntax tree (no `syn`; the
+//! workspace builds offline with zero external dependencies). Instead it
+//! answers one question exactly: *is byte `i` part of executable code, or is
+//! it inside a comment / string / char literal?* Rule matchers then search
+//! for tokens in a [`masked`](Lexed::masked) copy of the source where every
+//! non-code byte is blanked, so `"HashMap"` in a string, `// HashMap` in a
+//! comment, and `r#"unwrap()"#` in a raw string can never fire a rule.
+//!
+//! Handled forms, each pinned by unit and property tests:
+//!
+//! - line comments `//…` (incl. doc `///`, `//!`) to end of line;
+//! - block comments `/* … */` with **nesting**, incl. doc `/** … */`;
+//! - string literals `"…"` with escapes (`\"`, `\\`, `\n`, …);
+//! - raw strings `r"…"`, `r#"…"#`, … with any hash depth, and the byte /
+//!   C-string forms `b"…"`, `br#"…"#`, `c"…"`, `cr#"…"#`;
+//! - char literals `'a'`, `'\''`, `'\u{1F600}'`;
+//! - lifetimes `'a`, `'static`, and the label form `'outer:` — an apostrophe
+//!   followed by an identifier is **code**, not an unterminated char literal.
+
+/// Classification of one byte of source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ByteClass {
+    /// Executable code (identifiers, punctuation, whitespace between tokens).
+    Code,
+    /// Inside a `//…` or `/*…*/` comment, including the delimiters.
+    Comment,
+    /// Inside a string / raw-string / byte-string literal, including quotes.
+    Str,
+    /// Inside a char literal, including the quotes.
+    Char,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Clone)]
+pub struct Lexed {
+    /// Per-byte classification; same length as the input.
+    pub classes: Vec<ByteClass>,
+    /// The source with every non-[`Code`](ByteClass::Code) byte replaced by a
+    /// space (newlines are preserved everywhere, so line/column arithmetic on
+    /// `masked` matches the original source exactly).
+    pub masked: String,
+}
+
+/// Whether `b` can appear in a Rust identifier (ASCII approximation — the
+/// workspace is ASCII-only and the conformance tests would catch drift).
+pub fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Whether `b` can *start* a Rust identifier.
+pub fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+/// Lexes `src` into per-byte classes plus the code-only masked text.
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let n = bytes.len();
+    let mut classes = vec![ByteClass::Code; n];
+    let mut i = 0;
+
+    // Mark `bytes[from..to]` with `class`.
+    let mark = |classes: &mut [ByteClass], from: usize, to: usize, class: ByteClass| {
+        for c in &mut classes[from..to] {
+            *c = class;
+        }
+    };
+
+    while i < n {
+        let b = bytes[i];
+        match b {
+            b'/' if i + 1 < n && bytes[i + 1] == b'/' => {
+                let start = i;
+                while i < n && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                mark(&mut classes, start, i, ByteClass::Comment);
+            }
+            b'/' if i + 1 < n && bytes[i + 1] == b'*' => {
+                let start = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if i + 1 < n && bytes[i] == b'/' && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if i + 1 < n && bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                mark(&mut classes, start, i, ByteClass::Comment);
+            }
+            b'"' => {
+                let start = i;
+                i = skip_plain_string(bytes, i);
+                mark(&mut classes, start, i, ByteClass::Str);
+            }
+            b'r' | b'b' | b'c' if starts_prefixed_literal(bytes, i) => {
+                let start = i;
+                // Skip the prefix letters (`r`, `br`, `cr`, `b`, `c`).
+                while i < n && (bytes[i] == b'r' || bytes[i] == b'b' || bytes[i] == b'c') {
+                    i += 1;
+                }
+                if i < n && (bytes[i] == b'#' || bytes[i] == b'"') {
+                    // Raw form (possibly zero hashes): r"…", r#"…"#, br"…", …
+                    let mut hashes = 0usize;
+                    while i < n && bytes[i] == b'#' {
+                        hashes += 1;
+                        i += 1;
+                    }
+                    if i < n && bytes[i] == b'"' {
+                        let raw = start < i && bytes[start..i].contains(&b'r');
+                        if raw {
+                            i += 1;
+                            i = skip_raw_string_body(bytes, i, hashes);
+                        } else {
+                            // b"…" / c"…": plain escape rules.
+                            i = skip_plain_string(bytes, i);
+                        }
+                        mark(&mut classes, start, i, ByteClass::Str);
+                    }
+                    // `r#ident` (raw identifier): fell through with no quote —
+                    // everything stays Code and the scan resumes where we are.
+                } else {
+                    // `b'x'` byte-char literal.
+                    debug_assert!(i < n && bytes[i] == b'\'');
+                    let end = skip_char_literal(bytes, i);
+                    if end > i {
+                        mark(&mut classes, start, end, ByteClass::Char);
+                        i = end;
+                    }
+                }
+            }
+            b'\'' => {
+                // Lifetime vs char literal. `'ident` with no closing quote
+                // after one character is a lifetime/label: code.
+                let end = skip_char_literal(bytes, i);
+                if end > i {
+                    mark(&mut classes, i, end, ByteClass::Char);
+                    i = end;
+                } else {
+                    i += 1; // lifetime apostrophe: code
+                }
+            }
+            _ => i += 1,
+        }
+        // Anything not handled above advanced `i` already; identifiers and
+        // other code bytes fall through one at a time.
+        if i < n && !matches!(bytes[i], b'/' | b'"' | b'\'' | b'r' | b'b' | b'c') {
+            // Fast-forward through runs of plainly uninteresting bytes, but
+            // never across a byte that could *end* an identifier directly
+            // before a literal prefix (e.g. `bar"x"` must not treat `"x"` as
+            // part of an identifier).
+            while i < n && !matches!(bytes[i], b'/' | b'"' | b'\'' | b'r' | b'b' | b'c') {
+                i += 1;
+            }
+        }
+    }
+
+    // Literal prefixes glued to a preceding identifier are not prefixes:
+    // in `foo_r"x"` the `r` belongs to the identifier. The main loop above
+    // already handles this because identifier bytes are consumed one at a
+    // time only when they are `r`/`b`/`c`; fix up by re-checking: a Str/Char
+    // span whose first byte is preceded by an identifier byte classified as
+    // Code is only legitimate for bare `"` openers. `starts_prefixed_literal`
+    // performs that check, so nothing to do here.
+
+    let mut masked = String::with_capacity(n);
+    for (idx, &b) in bytes.iter().enumerate() {
+        if classes[idx] == ByteClass::Code || b == b'\n' {
+            // Keep newlines even inside literals/comments so line numbers in
+            // `masked` line up with the original source.
+            masked.push(if classes[idx] == ByteClass::Code {
+                b as char
+            } else {
+                '\n'
+            });
+        } else {
+            masked.push(' ');
+        }
+    }
+    // `masked` was built byte-by-byte from ASCII-or-replaced bytes; multi-byte
+    // UTF-8 sequences only occur inside comments/strings in this workspace,
+    // where each byte becomes a space, so the String stays valid UTF-8.
+
+    Lexed { classes, masked }
+}
+
+/// Whether position `i` (at an `r`/`b`/`c` byte) starts a prefixed string or
+/// byte-char literal rather than an ordinary identifier.
+fn starts_prefixed_literal(bytes: &[u8], i: usize) -> bool {
+    // A prefix only counts if not glued to a preceding identifier byte.
+    if i > 0 && is_ident_byte(bytes[i - 1]) {
+        return false;
+    }
+    let n = bytes.len();
+    let mut j = i;
+    // Accept the prefixes: r, b, c, br, cr (at most two letters).
+    let mut letters = 0;
+    while j < n && matches!(bytes[j], b'r' | b'b' | b'c') && letters < 2 {
+        j += 1;
+        letters += 1;
+    }
+    if j >= n {
+        return false;
+    }
+    match bytes[j] {
+        b'"' => true,
+        b'#' => {
+            // Raw string: hashes then a quote. `r#ident` is a raw identifier,
+            // not a literal — require the quote.
+            let mut k = j;
+            while k < n && bytes[k] == b'#' {
+                k += 1;
+            }
+            k < n && bytes[k] == b'"' && bytes[i..j].contains(&b'r')
+        }
+        // b'x' byte-char literal.
+        b'\'' => letters == 1 && bytes[i] == b'b' && skip_char_literal(bytes, j) > j,
+        _ => false,
+    }
+}
+
+/// Skips a plain (escaped) string literal starting at the opening quote;
+/// returns the index one past the closing quote (or end of input).
+fn skip_plain_string(bytes: &[u8], open: usize) -> usize {
+    let n = bytes.len();
+    debug_assert!(bytes[open] == b'"');
+    let mut i = open + 1;
+    while i < n {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    n
+}
+
+/// Skips a raw-string body (cursor just past the opening quote); returns the
+/// index one past the closing `"###…` run of `hashes` hashes.
+fn skip_raw_string_body(bytes: &[u8], mut i: usize, hashes: usize) -> usize {
+    let n = bytes.len();
+    while i < n {
+        if bytes[i] == b'"' {
+            let mut k = i + 1;
+            let mut seen = 0usize;
+            while k < n && seen < hashes && bytes[k] == b'#' {
+                k += 1;
+                seen += 1;
+            }
+            if seen == hashes {
+                return k;
+            }
+        }
+        i += 1;
+    }
+    n
+}
+
+/// If a valid char literal starts at `open` (an apostrophe), returns the index
+/// one past its closing quote; otherwise returns `open` (it is a lifetime).
+fn skip_char_literal(bytes: &[u8], open: usize) -> usize {
+    let n = bytes.len();
+    debug_assert!(open < n && bytes[open] == b'\'');
+    let mut i = open + 1;
+    if i >= n {
+        return open;
+    }
+    if bytes[i] == b'\\' {
+        // Escaped char: consume the backslash + escape body up to the quote.
+        i += 2; // backslash and the escape head (n, ', u, x, …)
+        while i < n && bytes[i] != b'\'' && bytes[i] != b'\n' {
+            i += 1;
+        }
+        if i < n && bytes[i] == b'\'' {
+            return i + 1;
+        }
+        return open;
+    }
+    // Unescaped: exactly one character then a quote ⇒ char literal; an
+    // identifier character NOT followed by a quote ⇒ lifetime.
+    let first = bytes[i];
+    if first == b'\'' {
+        return open; // `''` is not a char literal
+    }
+    // Multi-byte UTF-8 scalar: consume continuation bytes.
+    let mut j = i + 1;
+    while j < n && bytes[j] & 0b1100_0000 == 0b1000_0000 {
+        j += 1;
+    }
+    if j < n && bytes[j] == b'\'' {
+        // `'a'` — but `'a''` after a lifetime cannot occur in valid Rust;
+        // prefer the char-literal reading, matching rustc.
+        return j + 1;
+    }
+    open
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mask(src: &str) -> String {
+        lex(src).masked
+    }
+
+    #[test]
+    fn line_comment_blanked() {
+        let m = mask("let x = 1; // HashMap here\nlet y = 2;");
+        assert!(!m.contains("HashMap"));
+        assert!(m.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let m = mask("a /* outer /* inner */ still comment */ b");
+        assert!(m.contains('a'));
+        assert!(m.contains('b'));
+        assert!(!m.contains("inner"));
+        assert!(!m.contains("still"));
+    }
+
+    #[test]
+    fn string_with_escaped_quote() {
+        let m = mask(r#"let s = "he said \"unwrap()\""; step();"#);
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("step();"));
+    }
+
+    #[test]
+    fn raw_string_with_hashes() {
+        let m = mask(r###"let s = r#"contains "quotes" and unwrap()"#; done();"###);
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("done();"));
+    }
+
+    #[test]
+    fn byte_and_cstr_literals() {
+        let m = mask(r##"let a = b"panic!("; let b = br#"expect("#; tail();"##);
+        assert!(!m.contains("panic"));
+        assert!(m.contains("tail();"));
+    }
+
+    #[test]
+    fn lifetime_is_code_char_literal_is_not() {
+        let m = mask("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; }");
+        assert!(m.contains("<'a>"));
+        assert!(m.contains("&'a str"));
+        assert!(!m.contains("'x'"));
+    }
+
+    #[test]
+    fn label_loop_is_code() {
+        let m = mask("'outer: loop { break 'outer; }");
+        assert!(m.contains("'outer: loop"));
+        assert!(m.contains("break 'outer;"));
+    }
+
+    #[test]
+    fn raw_identifier_stays_code() {
+        let m = mask("let r#type = 1; use r#fn;");
+        assert!(m.contains("r#type"));
+        assert!(m.contains("r#fn"));
+    }
+
+    #[test]
+    fn ident_glued_prefix_not_a_literal() {
+        let m = mask(r#"let bar = car + r0; foo_r"not a raw string start"#);
+        assert!(m.contains("bar"));
+        assert!(m.contains("car"));
+        // `foo_r` is an identifier; the `"` after it opens a normal string.
+        assert!(!m.contains("not a raw"));
+    }
+
+    #[test]
+    fn newlines_preserved_inside_literals() {
+        let src = "let a = \"line1\nline2\"; // c\nlet b = 1;";
+        let m = mask(src);
+        assert_eq!(m.matches('\n').count(), src.matches('\n').count());
+        assert!(m.lines().nth(2).unwrap().contains("let b = 1;"));
+    }
+
+    #[test]
+    fn unterminated_string_swallows_tail() {
+        let m = mask("let s = \"unterminated unwrap()");
+        assert!(!m.contains("unwrap"));
+    }
+
+    #[test]
+    fn char_escape_u_form() {
+        let m = mask(r"let c = '\u{1F600}'; rest();");
+        assert!(m.contains("rest();"));
+        assert!(!m.contains("1F600"));
+    }
+}

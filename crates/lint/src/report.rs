@@ -1,0 +1,180 @@
+//! Diagnostic aggregation and rendering: human-readable `file:line` output
+//! plus the machine-readable summary CI archives as an artifact.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::rules::{Diagnostic, Status, META_RULES, RULES};
+
+/// The result of a full workspace pass.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every diagnostic, in (file, line, rule) order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Sorts diagnostics into stable report order.
+    pub fn finish(&mut self) {
+        self.diagnostics
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    }
+
+    /// Diagnostics that fail the pass.
+    pub fn violations(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.status == Status::Violation)
+    }
+
+    /// Count of non-allowed diagnostics.
+    pub fn violation_count(&self) -> usize {
+        self.violations().count()
+    }
+
+    /// Count of allowed (justified) hits.
+    pub fn allowed_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.status == Status::Allowed)
+            .count()
+    }
+
+    /// Human-readable diagnostic listing (one `file:line: rule: message`
+    /// per line; allowed hits are annotated, not hidden, so the justified
+    /// surface stays reviewable).
+    pub fn render_human(&self, show_allowed: bool) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            match d.status {
+                Status::Violation => {
+                    let _ = writeln!(out, "{}:{}: {}: {}", d.file, d.line, d.rule, d.message);
+                }
+                Status::Allowed if show_allowed => {
+                    let _ = writeln!(
+                        out,
+                        "{}:{}: {}: allowed: {}",
+                        d.file,
+                        d.line,
+                        d.rule,
+                        d.justification.as_deref().unwrap_or("")
+                    );
+                }
+                Status::Allowed => {}
+            }
+        }
+        let _ = writeln!(
+            out,
+            "kset-lint: {} files, {} violations, {} allowed",
+            self.files_scanned,
+            self.violation_count(),
+            self.allowed_count()
+        );
+        out
+    }
+
+    /// Machine-readable TSV summary:
+    ///
+    /// ```text
+    /// kset-lint-summary\tv1
+    /// files\t<N>
+    /// rule\t<name>\t<violations>\t<allowed>
+    /// …
+    /// total\t<violations>\t<allowed>
+    /// diag\t<rule>\t<file>\t<line>\t<violation|allowed>\t<message or justification>
+    /// …
+    /// ```
+    pub fn render_summary(&self) -> String {
+        let mut per_rule: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+        for rule in RULES.iter().chain(META_RULES) {
+            per_rule.insert(rule, (0, 0));
+        }
+        for d in &self.diagnostics {
+            let slot = per_rule.entry(d.rule).or_insert((0, 0));
+            match d.status {
+                Status::Violation => slot.0 += 1,
+                Status::Allowed => slot.1 += 1,
+            }
+        }
+        let mut out = String::from("kset-lint-summary\tv1\n");
+        let _ = writeln!(out, "files\t{}", self.files_scanned);
+        for (rule, (viol, allowed)) in &per_rule {
+            let _ = writeln!(out, "rule\t{rule}\t{viol}\t{allowed}");
+        }
+        let _ = writeln!(
+            out,
+            "total\t{}\t{}",
+            self.violation_count(),
+            self.allowed_count()
+        );
+        for d in &self.diagnostics {
+            let (status, detail) = match d.status {
+                Status::Violation => ("violation", d.message.as_str()),
+                Status::Allowed => ("allowed", d.justification.as_deref().unwrap_or("")),
+            };
+            let _ = writeln!(
+                out,
+                "diag\t{}\t{}\t{}\t{}\t{}",
+                d.rule,
+                d.file,
+                d.line,
+                status,
+                detail.replace(['\t', '\n'], " ")
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &'static str, file: &str, line: usize, status: Status) -> Diagnostic {
+        Diagnostic {
+            rule,
+            file: file.to_string(),
+            line,
+            message: "m".to_string(),
+            status,
+            justification: (status == Status::Allowed).then(|| "j".to_string()),
+        }
+    }
+
+    #[test]
+    fn summary_counts_per_rule() {
+        let mut r = Report {
+            diagnostics: vec![
+                diag("panic-in-library", "a.rs", 3, Status::Violation),
+                diag("panic-in-library", "a.rs", 9, Status::Allowed),
+                diag("observer-bypass", "b.rs", 1, Status::Violation),
+            ],
+            files_scanned: 2,
+        };
+        r.finish();
+        let s = r.render_summary();
+        assert!(s.contains("rule\tpanic-in-library\t1\t1"), "{s}");
+        assert!(s.contains("rule\tobserver-bypass\t1\t0"), "{s}");
+        assert!(s.contains("total\t2\t1"), "{s}");
+        assert!(s.starts_with("kset-lint-summary\tv1\n"));
+    }
+
+    #[test]
+    fn human_rendering_sorted_and_totalled() {
+        let mut r = Report {
+            diagnostics: vec![
+                diag("panic-in-library", "b.rs", 2, Status::Violation),
+                diag("panic-in-library", "a.rs", 5, Status::Violation),
+            ],
+            files_scanned: 2,
+        };
+        r.finish();
+        let h = r.render_human(false);
+        let a = h.find("a.rs:5").expect("a.rs line present");
+        let b = h.find("b.rs:2").expect("b.rs line present");
+        assert!(a < b, "sorted by file: {h}");
+        assert!(h.contains("2 violations"));
+    }
+}

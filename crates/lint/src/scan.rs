@@ -1,0 +1,389 @@
+//! Per-file scan model: lexes a source file, extracts
+//! `// kset-lint: allow(<rule>): <justification>` suppression comments, and
+//! computes the byte ranges occupied by `#[cfg(test)]` / `#[test]` items so
+//! rules can restrict themselves to non-test code.
+
+use crate::lexer::{self, ByteClass, Lexed};
+
+/// One parsed `kset-lint: allow(...)` suppression comment.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Rule name inside the parentheses.
+    pub rule: String,
+    /// Justification text after the second colon (trimmed).
+    pub justification: String,
+    /// 1-based line the comment itself sits on.
+    pub comment_line: usize,
+    /// 1-based line the suppression applies to: the comment's own line for a
+    /// trailing comment, otherwise the next line containing code.
+    pub target_line: usize,
+    /// Set by the rule engine when a diagnostic was actually suppressed;
+    /// stale allows are themselves reported.
+    pub used: bool,
+}
+
+/// A lexed source file plus the derived suppression / test-code structure.
+#[derive(Debug)]
+pub struct ScannedFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel_path: String,
+    /// Raw source text.
+    pub source: String,
+    /// Lexer output over `source`.
+    pub lexed: Lexed,
+    /// Byte offset of the start of each line (index 0 = line 1).
+    pub line_starts: Vec<usize>,
+    /// Parsed allow comments, in file order.
+    pub allows: Vec<Allow>,
+    /// Malformed `kset-lint:` comments: `(line, problem)`.
+    pub malformed_allows: Vec<(usize, String)>,
+    /// Sorted, disjoint byte ranges covered by `#[cfg(test)]` / `#[test]`
+    /// items (the attribute through the item's closing brace or semicolon).
+    pub test_ranges: Vec<(usize, usize)>,
+}
+
+impl ScannedFile {
+    /// Lexes and scans one file.
+    pub fn scan(rel_path: &str, source: String) -> ScannedFile {
+        let lexed = lexer::lex(&source);
+        let line_starts = line_starts(&source);
+        let (allows, malformed_allows) = parse_allows(&source, &lexed, &line_starts);
+        let test_ranges = find_test_ranges(&lexed.masked);
+        ScannedFile {
+            rel_path: rel_path.to_string(),
+            source,
+            lexed,
+            line_starts,
+            allows,
+            malformed_allows,
+            test_ranges,
+        }
+    }
+
+    /// 1-based line number containing byte `offset`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// Whether byte `offset` falls inside a `#[cfg(test)]` / `#[test]` item.
+    pub fn in_test_code(&self, offset: usize) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(a, b)| offset >= a && offset < b)
+    }
+
+    /// Whether a (non-stale) allow for `rule` covers `line`; marks it used.
+    pub fn consume_allow(&mut self, rule: &str, line: usize) -> Option<&Allow> {
+        let idx = self
+            .allows
+            .iter()
+            .position(|a| a.rule == rule && a.target_line == line)?;
+        self.allows[idx].used = true;
+        Some(&self.allows[idx])
+    }
+}
+
+/// Byte offsets of line starts (line 1 starts at 0).
+pub fn line_starts(src: &str) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for (i, b) in src.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+const ALLOW_MARKER: &str = "kset-lint:";
+
+/// Extracts `// kset-lint: allow(rule): justification` comments.
+///
+/// Grammar (anything else mentioning `kset-lint:` in a comment is reported
+/// as malformed so typos cannot silently fail to suppress):
+///
+/// ```text
+/// // kset-lint: allow(<rule-name>): <non-empty justification>
+/// ```
+///
+/// A comment with code earlier on the same line suppresses that line; a
+/// standalone comment line suppresses the next line containing code.
+fn parse_allows(
+    src: &str,
+    lexed: &Lexed,
+    line_starts: &[usize],
+) -> (Vec<Allow>, Vec<(usize, String)>) {
+    let mut allows = Vec::new();
+    let mut malformed = Vec::new();
+    let bytes = src.as_bytes();
+
+    for (li, &start) in line_starts.iter().enumerate() {
+        let end = line_starts
+            .get(li + 1)
+            .map_or(src.len(), |&next| next.saturating_sub(1));
+        if start >= end {
+            continue;
+        }
+        let line_no = li + 1;
+        let line = &src[start..end];
+        let Some(pos) = line.find(ALLOW_MARKER) else {
+            continue;
+        };
+        // Only honor the marker inside an actual comment; the same text in a
+        // string literal is somebody's data, not a suppression.
+        if lexed.classes[start + pos] != ByteClass::Comment {
+            continue;
+        }
+        // Doc comments are documentation *about* the grammar, not
+        // suppressions: a real allow must be a plain `//` or `/*` comment.
+        if in_doc_comment(src, &lexed.classes, start + pos) {
+            continue;
+        }
+        let rest = line[pos + ALLOW_MARKER.len()..].trim_start();
+        let Some(paren_open) = rest.strip_prefix("allow(") else {
+            malformed.push((line_no, "expected `allow(<rule>): <justification>`".into()));
+            continue;
+        };
+        let Some(close) = paren_open.find(')') else {
+            malformed.push((line_no, "unclosed `allow(` rule name".into()));
+            continue;
+        };
+        let rule = paren_open[..close].trim().to_string();
+        if rule.is_empty() {
+            malformed.push((line_no, "empty rule name in `allow()`".into()));
+            continue;
+        }
+        let after = paren_open[close + 1..].trim_start();
+        let Some(justification) = after.strip_prefix(':') else {
+            malformed.push((line_no, "missing `:` before justification".into()));
+            continue;
+        };
+        let justification = justification.trim();
+        if justification.is_empty() {
+            malformed.push((line_no, "empty justification".into()));
+            continue;
+        }
+
+        // Trailing comment (code earlier on this line) targets its own line;
+        // a standalone comment targets the next line that contains code.
+        let has_code_before = (start..start + pos)
+            .any(|i| lexed.classes[i] == ByteClass::Code && !bytes[i].is_ascii_whitespace());
+        let target_line = if has_code_before {
+            line_no
+        } else {
+            next_code_line(lexed, line_starts, li + 1).unwrap_or(line_no)
+        };
+        allows.push(Allow {
+            rule,
+            justification: justification.to_string(),
+            comment_line: line_no,
+            target_line,
+            used: false,
+        });
+    }
+    (allows, malformed)
+}
+
+/// Whether the comment containing byte `at` is a doc comment (`///`, `//!`,
+/// `/**`, `/*!`). Walks back to the comment's opening delimiter.
+fn in_doc_comment(src: &str, classes: &[crate::lexer::ByteClass], at: usize) -> bool {
+    let mut start = at;
+    while start > 0 && classes[start - 1] == crate::lexer::ByteClass::Comment {
+        start -= 1;
+    }
+    let head = &src[start..src.len().min(start + 4)];
+    // `/**/` and `/***/`-style separators are not docs; `/**x` is.
+    head.starts_with("///")
+        || head.starts_with("//!")
+        || head.starts_with("/*!")
+        || (head.starts_with("/**") && !head.starts_with("/**/"))
+}
+
+/// First 1-based line at index ≥ `from` (0-based) containing code.
+fn next_code_line(lexed: &Lexed, line_starts: &[usize], from: usize) -> Option<usize> {
+    let masked = lexed.masked.as_bytes();
+    for li in from..line_starts.len() {
+        let start = line_starts[li];
+        let end = line_starts
+            .get(li + 1)
+            .copied()
+            .unwrap_or(masked.len())
+            .min(masked.len());
+        if masked[start..end].iter().any(|&b| !b.is_ascii_whitespace()) {
+            return Some(li + 1);
+        }
+    }
+    None
+}
+
+/// Finds byte ranges of `#[cfg(test)]`-gated and `#[test]`-attributed items
+/// in the masked text.
+///
+/// The range runs from the `#` of the attribute to the matching `}` of the
+/// first brace block that opens after it (or the first `;` at attribute
+/// depth for brace-less items). Nested attributes between the gate and the
+/// item body (`#[test] #[should_panic] fn …`) are covered because the scan
+/// looks for the first *top-level* `{` after the attribute.
+fn find_test_ranges(masked: &str) -> Vec<(usize, usize)> {
+    let bytes = masked.as_bytes();
+    let mut ranges: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        // Skip ranges we already attributed (outermost gate wins).
+        if let Some(&(_, e)) = ranges.last() {
+            if i < e {
+                i = e;
+                continue;
+            }
+        }
+        if bytes[i] != b'#' {
+            i += 1;
+            continue;
+        }
+        let rest = &masked[i..];
+        let is_gate = rest.starts_with("#[cfg(test)]")
+            || rest.starts_with("#[cfg(all(test")
+            || rest.starts_with("#[cfg(any(test")
+            || rest.starts_with("#[test]")
+            || rest.starts_with("#[bench]");
+        if !is_gate {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        // Advance past the attribute's closing bracket.
+        let mut j = i;
+        let mut bracket_depth = 0i32;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'[' => bracket_depth += 1,
+                b']' => {
+                    bracket_depth -= 1;
+                    if bracket_depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        // Find the item's body: first `{` (then match braces) or a `;`
+        // before any `{` (e.g. a gated `use` or macro invocation).
+        let mut brace_depth = 0i32;
+        let mut opened = false;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'{' => {
+                    brace_depth += 1;
+                    opened = true;
+                }
+                b'}' => {
+                    brace_depth -= 1;
+                    if opened && brace_depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                b';' if !opened => {
+                    j += 1;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        ranges.push((start, j));
+        i = j;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> ScannedFile {
+        ScannedFile::scan("test.rs", src.to_string())
+    }
+
+    #[test]
+    fn trailing_allow_targets_own_line() {
+        let f = scan("let x = v.unwrap(); // kset-lint: allow(panic-in-library): seeded above\n");
+        assert_eq!(f.allows.len(), 1);
+        assert_eq!(f.allows[0].rule, "panic-in-library");
+        assert_eq!(f.allows[0].target_line, 1);
+        assert_eq!(f.allows[0].justification, "seeded above");
+    }
+
+    #[test]
+    fn standalone_allow_targets_next_code_line() {
+        let src = "\n// kset-lint: allow(observer-bypass): explorer drives raw steps\n\nsim.step(p, d);\n";
+        let f = scan(src);
+        assert_eq!(f.allows.len(), 1);
+        assert_eq!(f.allows[0].comment_line, 2);
+        assert_eq!(f.allows[0].target_line, 4);
+    }
+
+    #[test]
+    fn malformed_allow_reported() {
+        let f = scan("// kset-lint: allow(panic-in-library)\nlet x = 1;\n");
+        assert!(f.allows.is_empty());
+        assert_eq!(f.malformed_allows.len(), 1);
+        assert_eq!(f.malformed_allows[0].0, 1);
+    }
+
+    #[test]
+    fn empty_justification_is_malformed() {
+        let f = scan("// kset-lint: allow(shim-drift):   \nlet x = 1;\n");
+        assert!(f.allows.is_empty());
+        assert_eq!(f.malformed_allows.len(), 1);
+    }
+
+    #[test]
+    fn marker_inside_string_ignored() {
+        let f = scan("let s = \"kset-lint: allow(x): y\";\n");
+        assert!(f.allows.is_empty());
+        assert!(f.malformed_allows.is_empty());
+    }
+
+    #[test]
+    fn cfg_test_mod_range_covers_body() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn tail() {}\n";
+        let f = scan(src);
+        assert_eq!(f.test_ranges.len(), 1);
+        let unwrap_at = src.find("unwrap").unwrap();
+        assert!(f.in_test_code(unwrap_at));
+        assert!(!f.in_test_code(src.find("fn lib").unwrap()));
+        assert!(!f.in_test_code(src.find("fn tail").unwrap()));
+    }
+
+    #[test]
+    fn test_attr_fn_range() {
+        let src = "#[test]\nfn t() { let v = x.unwrap(); }\nfn lib() {}\n";
+        let f = scan(src);
+        assert!(f.in_test_code(src.find("unwrap").unwrap()));
+        assert!(!f.in_test_code(src.find("fn lib").unwrap()));
+    }
+
+    #[test]
+    fn braces_in_strings_do_not_confuse_ranges() {
+        let src = "#[cfg(test)]\nmod tests {\n    const S: &str = \"}\";\n    fn t() {}\n}\nfn lib() { after(); }\n";
+        let f = scan(src);
+        // The stray `}` lives in a string: masked text hides it, so the range
+        // must extend to the real closing brace.
+        assert!(f.in_test_code(src.find("fn t").unwrap()));
+        assert!(!f.in_test_code(src.find("after").unwrap()));
+    }
+
+    #[test]
+    fn line_of_maps_offsets() {
+        let f = scan("a\nbb\nccc\n");
+        assert_eq!(f.line_of(0), 1);
+        assert_eq!(f.line_of(2), 2);
+        assert_eq!(f.line_of(5), 3);
+    }
+}

@@ -1,0 +1,386 @@
+//! The `shim-drift` rule: `crates/shims/*` are offline stand-ins for real
+//! crates (rand, criterion, proptest), kept to an **upstream-API subset** so
+//! a future swap to the real crates is a manifest-local change. This module
+//! extracts each shim's public surface from source and compares it against
+//! the checked-in manifest (`crates/lint/shim-manifest.txt`).
+//!
+//! Any new public item must be added to the manifest deliberately (via
+//! `kset-lint --write-shim-manifest`), which makes "the shim grew API the
+//! upstream crate does not have" a reviewable diff instead of silent drift.
+
+use std::fs;
+use std::path::Path;
+
+use crate::lexer;
+use crate::rules::{Diagnostic, Status, SHIM_DRIFT};
+use crate::workspace::{Member, WorkspaceError};
+
+/// One public item of a shim crate: `(crate, kind, path)` — e.g.
+/// `("rand", "struct", "rngs::StdRng")`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ShimItem {
+    pub krate: String,
+    pub kind: String,
+    pub path: String,
+    /// 1-based line of the declaration, for diagnostics.
+    pub line: usize,
+}
+
+impl ShimItem {
+    /// Manifest line rendering: `crate<TAB>kind<TAB>path`.
+    pub fn render(&self) -> String {
+        format!("{}\t{}\t{}", self.krate, self.kind, self.path)
+    }
+}
+
+const ITEM_KINDS: &[&str] = &[
+    "fn", "struct", "enum", "trait", "mod", "use", "const", "static", "type",
+];
+
+/// Extracts the public items of one shim source file.
+///
+/// Walks the masked text tracking `mod` nesting by brace depth; records
+/// every `pub <kind> <name>` at its module path, plus `#[macro_export]
+/// macro_rules!` macros (exported at crate root by definition). `pub(crate)`
+/// and friends are not part of the public surface and are skipped.
+pub fn extract_pub_items(krate: &str, source: &str) -> Vec<ShimItem> {
+    let lexed = lexer::lex(source);
+    let masked = &lexed.masked;
+    let bytes = masked.as_bytes();
+    let line_starts = crate::scan::line_starts(source);
+    let line_of = |off: usize| match line_starts.binary_search(&off) {
+        Ok(i) => i + 1,
+        Err(i) => i,
+    };
+
+    // (depth_at_open, module_name) stack; depth counts `{` nesting.
+    let mut mod_stack: Vec<(i32, String)> = Vec::new();
+    let mut depth: i32 = 0;
+    let mut items = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' => {
+                depth += 1;
+                i += 1;
+            }
+            b'}' => {
+                depth -= 1;
+                while mod_stack.last().is_some_and(|&(d, _)| d > depth) {
+                    mod_stack.pop();
+                }
+                i += 1;
+            }
+            b'p' if masked[i..].starts_with("pub")
+                && (i == 0 || !lexer::is_ident_byte(bytes[i - 1]))
+                && !lexer::is_ident_byte(*bytes.get(i + 3).unwrap_or(&b' ')) =>
+            {
+                let at = i;
+                i += 3;
+                // `pub(crate)` / `pub(super)` / `pub(in …)`: restricted, skip.
+                let mut j = i;
+                while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                    j += 1;
+                }
+                if bytes.get(j) == Some(&b'(') {
+                    continue;
+                }
+                let (kind, name, consumed) = match parse_pub_item(masked, j) {
+                    Some(t) => t,
+                    None => continue,
+                };
+                let path = mod_stack
+                    .iter()
+                    .map(|(_, m)| m.as_str())
+                    .chain(std::iter::once(name.as_str()))
+                    .collect::<Vec<_>>()
+                    .join("::");
+                if kind == "mod" {
+                    // An inline `pub mod x {` contributes a path segment; the
+                    // brace is handled by the main loop when reached.
+                    mod_stack.push((depth + 1, name.clone()));
+                }
+                items.push(ShimItem {
+                    krate: krate.to_string(),
+                    kind: kind.to_string(),
+                    path,
+                    line: line_of(at),
+                });
+                i = consumed;
+            }
+            b'm' if masked[i..].starts_with("macro_rules!")
+                && (i == 0 || !lexer::is_ident_byte(bytes[i - 1])) =>
+            {
+                // Only exported macros are public API: `#[macro_export]`
+                // must directly precede `macro_rules!` (whitespace only in
+                // between, so an earlier macro's attribute cannot leak in).
+                let window_start = i.saturating_sub(200);
+                let exported = masked[window_start..i]
+                    .rfind("#[macro_export]")
+                    .is_some_and(|p| {
+                        masked[window_start + p + "#[macro_export]".len()..i]
+                            .chars()
+                            .all(char::is_whitespace)
+                    });
+                let j = i + "macro_rules!".len();
+                if let Some((name, consumed)) = parse_ident_after_ws(masked, j) {
+                    if exported {
+                        items.push(ShimItem {
+                            krate: krate.to_string(),
+                            kind: "macro".to_string(),
+                            path: name,
+                            line: line_of(i),
+                        });
+                    }
+                    i = consumed;
+                } else {
+                    i = j;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    items
+}
+
+/// Parses `<kind> <name>` after a `pub` keyword at masked offset `j`.
+/// Returns `(kind, name, next_offset)`.
+fn parse_pub_item(masked: &str, j: usize) -> Option<(&'static str, String, usize)> {
+    for &kind in ITEM_KINDS {
+        if masked[j..].starts_with(kind)
+            && !lexer::is_ident_byte(*masked.as_bytes().get(j + kind.len()).unwrap_or(&b' '))
+        {
+            let mut k = j + kind.len();
+            // `pub use a::b::{c, d}` — record the whole use path compactly.
+            if kind == "use" {
+                let end = masked[k..].find(';').map(|p| k + p)?;
+                let path: String = masked[k..end]
+                    .split_whitespace()
+                    .collect::<Vec<_>>()
+                    .join("");
+                return Some(("use", path, end + 1));
+            }
+            // `pub unsafe fn` / `pub const fn`: `const`/`static` matched
+            // first for actual consts; `pub const fn` parses as kind=const
+            // name=fn — fix by retrying when the "name" is a keyword.
+            let (name, next) = parse_ident_after_ws(masked, k)?;
+            if kind == "const" && name == "fn" {
+                let (real, next2) = parse_ident_after_ws(masked, next)?;
+                return Some(("fn", real, next2));
+            }
+            if name == "r" {
+                // raw identifier `r#name` was split by the lexer mask; rare
+                // and not used by the shims — treat as opaque.
+                return None;
+            }
+            k = next;
+            return Some((kind, name, k));
+        }
+    }
+    // `pub unsafe fn`, `pub async fn`, `pub extern …` — skip the qualifier
+    // and retry once.
+    for qual in ["unsafe", "async"] {
+        if masked[j..].starts_with(qual) {
+            let mut k = j + qual.len();
+            while masked
+                .as_bytes()
+                .get(k)
+                .is_some_and(u8::is_ascii_whitespace)
+            {
+                k += 1;
+            }
+            return parse_pub_item(masked, k);
+        }
+    }
+    None
+}
+
+/// Parses an identifier after optional whitespace; returns `(ident, next)`.
+fn parse_ident_after_ws(masked: &str, mut k: usize) -> Option<(String, usize)> {
+    let bytes = masked.as_bytes();
+    while k < bytes.len() && bytes[k].is_ascii_whitespace() {
+        k += 1;
+    }
+    let start = k;
+    while k < bytes.len() && lexer::is_ident_byte(bytes[k]) {
+        k += 1;
+    }
+    (k > start).then(|| (masked[start..k].to_string(), k))
+}
+
+/// Extracts the public surface of every shim member (`crates/shims/*`).
+pub fn extract_shim_surface(
+    root: &Path,
+    members: &[Member],
+) -> Result<Vec<ShimItem>, WorkspaceError> {
+    let mut items = Vec::new();
+    for member in members {
+        if !member.rel_dir.starts_with("crates/shims/") {
+            continue;
+        }
+        let src_dir = root.join(&member.rel_dir).join("src");
+        let mut files = Vec::new();
+        collect_rs(&src_dir, &mut files)?;
+        for path in files {
+            let text =
+                fs::read_to_string(&path).map_err(|e| WorkspaceError::Io(path.clone(), e))?;
+            items.extend(extract_pub_items(&member.name, &text));
+        }
+    }
+    items.sort();
+    Ok(items)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> Result<(), WorkspaceError> {
+    let entries = fs::read_dir(dir).map_err(|e| WorkspaceError::Io(dir.to_path_buf(), e))?;
+    let mut paths: Vec<std::path::PathBuf> = Vec::new();
+    for e in entries {
+        paths.push(
+            e.map_err(|e| WorkspaceError::Io(dir.to_path_buf(), e))?
+                .path(),
+        );
+    }
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Renders the manifest text for a surface (stable order, trailing newline).
+pub fn render_manifest(items: &[ShimItem]) -> String {
+    let mut lines: Vec<String> = items.iter().map(ShimItem::render).collect();
+    lines.sort();
+    lines.dedup();
+    let mut out = String::from(
+        "# kset-lint shim manifest v1\n\
+         # Upstream-API-subset ledger for crates/shims/*: every public item of a shim\n\
+         # must appear here. Regenerate with `kset-lint --write-shim-manifest` and\n\
+         # review the diff against the real crate's API before committing.\n",
+    );
+    for l in lines {
+        out.push_str(&l);
+        out.push('\n');
+    }
+    out
+}
+
+/// Compares the live surface against the checked-in manifest.
+pub fn check_drift(manifest_text: &str, surface: &[ShimItem]) -> Vec<Diagnostic> {
+    let manifest: std::collections::BTreeSet<&str> = manifest_text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    let live: std::collections::BTreeSet<String> = surface.iter().map(ShimItem::render).collect();
+
+    let mut diags = Vec::new();
+    for item in surface {
+        if !manifest.contains(item.render().as_str()) {
+            diags.push(Diagnostic {
+                rule: SHIM_DRIFT,
+                file: format!("crates/shims/{}", item.krate),
+                line: item.line,
+                message: format!(
+                    "public item `{} {}` is not in shim-manifest.txt; if the upstream crate has \
+                     it, regenerate the manifest (`kset-lint --write-shim-manifest`), otherwise \
+                     the shim is growing API a real-crate swap would break",
+                    item.kind, item.path
+                ),
+                status: Status::Violation,
+                justification: None,
+            });
+        }
+    }
+    for entry in &manifest {
+        if !live.contains(*entry) {
+            diags.push(Diagnostic {
+                rule: SHIM_DRIFT,
+                file: "crates/lint/shim-manifest.txt".to_string(),
+                line: 1,
+                message: format!(
+                    "stale manifest entry `{entry}`: no such public item in the shims anymore; \
+                     regenerate the manifest"
+                ),
+                status: Status::Violation,
+                justification: None,
+            });
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_nested_mod_items() {
+        let src = "pub mod rngs {\n    pub struct StdRng { seed: u64 }\n}\npub fn top() {}\n";
+        let items = extract_pub_items("rand", src);
+        let paths: Vec<String> = items.iter().map(|i| i.render()).collect();
+        assert!(paths.contains(&"rand\tmod\trngs".to_string()), "{paths:?}");
+        assert!(
+            paths.contains(&"rand\tstruct\trngs::StdRng".to_string()),
+            "{paths:?}"
+        );
+        assert!(paths.contains(&"rand\tfn\ttop".to_string()), "{paths:?}");
+    }
+
+    #[test]
+    fn pub_crate_is_not_public_surface() {
+        let items = extract_pub_items("rand", "pub(crate) fn hidden() {}\npub fn shown() {}\n");
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].path, "shown");
+    }
+
+    #[test]
+    fn exported_macro_recorded_unexported_skipped() {
+        let src = "#[macro_export]\nmacro_rules! visible { () => {}; }\nmacro_rules! internal { () => {}; }\n";
+        let items = extract_pub_items("proptest", src);
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].kind, "macro");
+        assert_eq!(items[0].path, "visible");
+    }
+
+    #[test]
+    fn drift_and_stale_are_both_reported() {
+        let surface = extract_pub_items("rand", "pub fn a() {}\npub fn b() {}\n");
+        let manifest = "# header\nrand\tfn\ta\nrand\tfn\tgone\n";
+        let diags = check_drift(manifest, &surface);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().any(|d| d.message.contains("`fn b`")));
+        assert!(diags.iter().any(|d| d.message.contains("stale")));
+    }
+
+    #[test]
+    fn round_trip_is_clean() {
+        let surface = extract_pub_items(
+            "rand",
+            "pub fn a() {}\npub mod m { pub const C: u8 = 0; }\n",
+        );
+        let manifest = render_manifest(&surface);
+        assert!(check_drift(&manifest, &surface).is_empty());
+    }
+
+    #[test]
+    fn pub_const_fn_parses_as_fn() {
+        let items = extract_pub_items(
+            "rand",
+            "pub const fn cf() -> u8 { 0 }\npub const K: u8 = 1;\n",
+        );
+        let rendered: Vec<String> = items.iter().map(|i| i.render()).collect();
+        assert!(
+            rendered.contains(&"rand\tfn\tcf".to_string()),
+            "{rendered:?}"
+        );
+        assert!(
+            rendered.contains(&"rand\tconst\tK".to_string()),
+            "{rendered:?}"
+        );
+    }
+}

@@ -1,0 +1,194 @@
+//! Workspace discovery: reads the root `Cargo.toml` members list and walks
+//! each member's `src/` tree, classifying files as library or binary targets.
+//!
+//! Test, bench, and example targets are *not* scanned: by workspace policy
+//! the contracts the rules enforce (determinism in record paths, observed
+//! engine driving, capacity-checked construction, no panics) apply to
+//! shipping library/binary code; tests exercise panicking forms on purpose.
+//! `#[cfg(test)]` items inside library files are excluded by the scanner.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Which compilation target a source file belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetKind {
+    /// Part of the crate's library (`src/**`, excluding `src/bin/`).
+    Lib,
+    /// A binary entry point (`src/bin/**` or a `[[bin]]`-style `main.rs`).
+    Bin,
+}
+
+/// One source file in scope for the pass.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative, `/`-separated path.
+    pub rel_path: String,
+    /// Target classification.
+    pub kind: TargetKind,
+    /// Package name of the owning member crate.
+    pub crate_name: String,
+}
+
+/// A discovered workspace member.
+#[derive(Debug, Clone)]
+pub struct Member {
+    /// Workspace-relative member directory (e.g. `crates/sim`).
+    pub rel_dir: String,
+    /// Package name from the member's `Cargo.toml`.
+    pub name: String,
+}
+
+/// Errors from workspace discovery.
+#[derive(Debug)]
+pub enum WorkspaceError {
+    /// Reading a file or directory failed.
+    Io(PathBuf, io::Error),
+    /// The root manifest has no parsable `members = [...]` list.
+    NoMembers(PathBuf),
+    /// A member manifest has no `name = "..."` entry.
+    NoPackageName(PathBuf),
+}
+
+impl std::fmt::Display for WorkspaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkspaceError::Io(p, e) => write!(f, "{}: {e}", p.display()),
+            WorkspaceError::NoMembers(p) => {
+                write!(f, "{}: no `members = [...]` list found", p.display())
+            }
+            WorkspaceError::NoPackageName(p) => {
+                write!(f, "{}: no `name = \"...\"` found", p.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkspaceError {}
+
+/// Parses the `members = [...]` list out of the root manifest.
+///
+/// This is a deliberately small hand parser (no TOML dependency): it finds
+/// the first `members` key, takes the bracketed list after `=`, and collects
+/// the double-quoted entries. The workspace manifest is under our control,
+/// and the conformance test (`tests/workspace_scan.rs`) fails loudly if the
+/// shape ever drifts past what this reads.
+pub fn parse_members(manifest: &str) -> Option<Vec<String>> {
+    let key = manifest.find("members")?;
+    let open = manifest[key..].find('[')? + key;
+    let close = manifest[open..].find(']')? + open;
+    let body = &manifest[open + 1..close];
+    let mut members = Vec::new();
+    let mut rest = body;
+    while let Some(q1) = rest.find('"') {
+        let after = &rest[q1 + 1..];
+        let q2 = after.find('"')?;
+        members.push(after[..q2].to_string());
+        rest = &after[q2 + 1..];
+    }
+    Some(members)
+}
+
+/// Extracts the `[package] name` from a member manifest (first `name = "…"`
+/// occurrence; `[package]` is the leading table in every member).
+pub fn parse_package_name(manifest: &str) -> Option<String> {
+    let key = manifest.find("name")?;
+    let eq = manifest[key..].find('=')? + key;
+    let q1 = manifest[eq..].find('"')? + eq;
+    let q2 = manifest[q1 + 1..].find('"')? + q1 + 1;
+    Some(manifest[q1 + 1..q2].to_string())
+}
+
+/// Discovers the members of the workspace rooted at `root`.
+pub fn discover_members(root: &Path) -> Result<Vec<Member>, WorkspaceError> {
+    let manifest_path = root.join("Cargo.toml");
+    let manifest = fs::read_to_string(&manifest_path)
+        .map_err(|e| WorkspaceError::Io(manifest_path.clone(), e))?;
+    let member_dirs = parse_members(&manifest).ok_or(WorkspaceError::NoMembers(manifest_path))?;
+    let mut members = Vec::new();
+    for rel_dir in member_dirs {
+        let mpath = root.join(&rel_dir).join("Cargo.toml");
+        let mtext = fs::read_to_string(&mpath).map_err(|e| WorkspaceError::Io(mpath.clone(), e))?;
+        let name = parse_package_name(&mtext).ok_or(WorkspaceError::NoPackageName(mpath))?;
+        members.push(Member { rel_dir, name });
+    }
+    Ok(members)
+}
+
+/// Lists every `.rs` file under the members' `src/` trees, classified.
+pub fn discover_sources(
+    root: &Path,
+    members: &[Member],
+) -> Result<Vec<SourceFile>, WorkspaceError> {
+    let mut files = Vec::new();
+    for member in members {
+        let src_dir = root.join(&member.rel_dir).join("src");
+        if !src_dir.is_dir() {
+            continue;
+        }
+        let mut found = Vec::new();
+        walk_rs_files(&src_dir, &mut found)?;
+        for path in found {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            let kind = if rel.contains("/src/bin/") {
+                TargetKind::Bin
+            } else {
+                TargetKind::Lib
+            };
+            files.push(SourceFile {
+                rel_path: rel,
+                kind,
+                crate_name: member.name.clone(),
+            });
+        }
+    }
+    files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(files)
+}
+
+fn walk_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), WorkspaceError> {
+    let entries = fs::read_dir(dir).map_err(|e| WorkspaceError::Io(dir.to_path_buf(), e))?;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| WorkspaceError::Io(dir.to_path_buf(), e))?;
+        paths.push(entry.path());
+    }
+    // Deterministic order: the report (and the machine-readable summary CI
+    // archives) must not depend on readdir order.
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            walk_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_members_reads_quoted_list() {
+        let m = parse_members("[workspace]\nmembers = [\n  \"crates/a\",\n  \"crates/b\",\n]\n");
+        assert_eq!(
+            m,
+            Some(vec!["crates/a".to_string(), "crates/b".to_string()])
+        );
+    }
+
+    #[test]
+    fn parse_package_name_reads_first_name() {
+        let n = parse_package_name("[package]\nname = \"kset-sim\"\n[[bin]]\nname = \"other\"\n");
+        assert_eq!(n, Some("kset-sim".to_string()));
+    }
+}

@@ -1,0 +1,20 @@
+//! Nondeterminism fixture: forbidden ambient types on a record path.
+
+use std::collections::HashMap;
+
+// HashSet in a comment must not fire.
+pub const LABEL: &str = "SystemTime in a string must not fire";
+
+pub fn build() -> HashMap<u32, u32> {
+    HashMap::new()
+}
+
+// kset-lint: allow(nondeterminism-in-record-path): fixture proves suppression works
+pub type Timer = std::time::Instant;
+
+#[cfg(test)]
+mod tests {
+    pub fn in_tests() {
+        let _ = std::time::SystemTime::now();
+    }
+}

@@ -1,0 +1,26 @@
+//! Panic-in-library fixture: unwrap/expect/panic! in non-test library code.
+
+pub fn boom(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn msg(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+
+// .unwrap() in a comment must not fire.
+pub const S: &str = ".unwrap() and panic! in a string";
+
+pub fn never() {
+    // kset-lint: allow(panic-in-library): fixture proves suppression works
+    panic!("boom");
+}
+
+pub fn unwrap_or_is_fine(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+#[test]
+fn in_test_fn() {
+    Some(1).unwrap();
+}

@@ -1,0 +1,15 @@
+//! Shim-drift fixture: a miniature shim crate surface.
+
+pub struct StdRng {
+    seed: u64,
+}
+
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng { seed }
+}
+
+pub mod rngs {
+    pub const DEFAULT_SEED: u64 = 42;
+}
+
+pub(crate) fn internal_only() {}

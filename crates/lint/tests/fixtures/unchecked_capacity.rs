@@ -1,0 +1,24 @@
+//! Unchecked-capacity fixture: panicking constructors where try_* exists.
+
+pub fn build(n: usize) -> ProcessSet {
+    ProcessSet::full(n)
+}
+
+// ProcessSet::full(n) in a comment must not fire.
+pub const DOC: &str = "ProcessSet::singleton(p)";
+
+pub fn fine(n: usize) -> Result<ProcessSet, CapacityError> {
+    ProcessSet::try_full(n)
+}
+
+pub fn suppressed(p: ProcessId) -> ProcessSet {
+    // kset-lint: allow(unchecked-capacity): fixture proves suppression works
+    ProcessSet::singleton(p)
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn in_tests() {
+        let _ = ProcessSet::full(8);
+    }
+}

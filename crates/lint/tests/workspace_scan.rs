@@ -1,0 +1,34 @@
+//! The in-process workspace pass: `cargo test -q` fails if any non-allowed
+//! diagnostic exists anywhere in the workspace, so CI cannot go green with a
+//! lint violation even before the dedicated `kset-lint` job runs.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let report = kset_lint::run_workspace(&root).expect("workspace discovery must succeed");
+    assert!(
+        report.violation_count() == 0,
+        "kset-lint found violations:\n{}",
+        report.render_human(false)
+    );
+    // Sanity: the pass actually covered the workspace, not an empty dir.
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+}
+
+#[test]
+fn shim_manifest_is_in_sync() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let regenerated = kset_lint::regenerate_shim_manifest(&root).expect("shim surface extraction");
+    let on_disk = std::fs::read_to_string(root.join(kset_lint::SHIM_MANIFEST_PATH))
+        .expect("checked-in shim manifest");
+    assert_eq!(
+        regenerated, on_disk,
+        "shim manifest drifted; run `cargo run -p kset-lint -- --write-shim-manifest`"
+    );
+}

@@ -342,6 +342,7 @@ macro_rules! __proptest_items {
                     ::std::result::Result::Ok(()) => accepted += 1,
                     ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
                     ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        // kset-lint: allow(panic-in-library): upstream proptest contract — a failing property panics the generated #[test]; this macro body only ever expands inside test code
                         panic!("property {} failed: {}", stringify!($name), msg)
                     }
                 }

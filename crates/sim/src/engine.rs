@@ -166,6 +166,7 @@ where
     pub fn new(inputs: Vec<P::Input>, crash_plan: CrashPlan) -> Self {
         match Self::try_new(inputs, crash_plan) {
             Ok(sim) => sim,
+            // kset-lint: allow(panic-in-library): documented panicking convenience wrapper over try_new
             Err(e) => panic!("system size {e}"),
         }
     }
@@ -194,6 +195,7 @@ where
     pub fn with_oracle(inputs: Vec<P::Input>, oracle: O, crash_plan: CrashPlan) -> Self {
         match Self::try_with_oracle(inputs, oracle, crash_plan) {
             Ok(sim) => sim,
+            // kset-lint: allow(panic-in-library): documented panicking convenience wrapper over try_with_oracle
             Err(e) => panic!("system size {e}"),
         }
     }
@@ -410,6 +412,7 @@ where
                 *local_steps += 1;
                 *local_steps
             }
+            // kset-lint: allow(panic-in-library): invariant — step() returns Err(StepError::Crashed) before reaching this match, so the arm is dead by the liveness check above
             Status::Crashed { .. } => unreachable!("liveness checked above"),
         };
         let omission = match self.crash_plan.crash_for(pid) {

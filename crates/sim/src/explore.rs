@@ -153,6 +153,7 @@ where
             }
             for delivery in delivery_menu(&current, pid, config.branching) {
                 let mut child = current.clone();
+                // kset-lint: allow(observer-bypass): the DFS explorer forks thousands of throwaway child configurations per expansion; observer event streams are a per-run concept and would only alias across branches here
                 if child.step(pid, delivery.clone()).is_err() {
                     continue;
                 }

@@ -328,6 +328,7 @@ impl<const W: usize> WideSet<W> {
     pub fn singleton(p: ProcessId) -> Self {
         match Self::try_singleton(p) {
             Ok(s) => s,
+            // kset-lint: allow(panic-in-library): documented panicking convenience wrapper over try_singleton
             Err(e) => panic!("{e}"),
         }
     }
@@ -347,6 +348,7 @@ impl<const W: usize> WideSet<W> {
     pub fn full(n: usize) -> Self {
         match Self::try_full(n) {
             Ok(s) => s,
+            // kset-lint: allow(panic-in-library): documented panicking convenience wrapper over try_full
             Err(e) => panic!("{e}"),
         }
     }
@@ -377,7 +379,13 @@ impl<const W: usize> WideSet<W> {
         if rem > 0 {
             limbs[i] = (1u64 << rem) - 1;
         }
-        Ok(WideSet { limbs })
+        let s = WideSet { limbs };
+        debug_assert_eq!(
+            s.len(),
+            n,
+            "WideSet::try_full must set exactly the first n bits and no stragglers above n"
+        );
+        Ok(s)
     }
 
     /// Builds a set directly from a `u128` bit pattern (bit `i` ⇔ `p_{i+1}`),
@@ -487,6 +495,7 @@ impl<const W: usize> WideSet<W> {
     pub fn insert(&mut self, p: ProcessId) -> bool {
         match self.try_insert(p) {
             Ok(fresh) => fresh,
+            // kset-lint: allow(panic-in-library): documented panicking convenience wrapper over try_insert
             Err(e) => panic!("{e}"),
         }
     }
@@ -585,7 +594,12 @@ impl<const W: usize> WideSet<W> {
     /// `Π \ self` for a system of size `n`.
     #[must_use]
     pub fn complement(self, n: usize) -> WideSet<W> {
-        Self::full(n).difference(self)
+        let out = Self::full(n).difference(self);
+        debug_assert!(
+            out.is_subset(Self::full(n)),
+            "complement(n) must stay confined to the first n ids"
+        );
+        out
     }
 
     /// Whether every member of `self` is in `other`.
@@ -1016,7 +1030,9 @@ pub mod planes {
             for &limb in set.limbs() {
                 buf.resize(buf.len() + lanes, limb);
             }
-            LimbPlanes { buf, lanes }
+            let p = LimbPlanes { buf, lanes };
+            p.debug_check_layout();
+            p
         }
 
         /// Number of lanes (sets) in the batch.
@@ -1050,6 +1066,7 @@ pub mod planes {
             for (l, &limb) in set.limbs().iter().enumerate() {
                 self.buf[l * self.lanes + b] = limb;
             }
+            self.debug_check_layout();
         }
 
         /// Removes `p` from lane `b` — the single-word and-not a per-lane
@@ -1064,6 +1081,7 @@ pub mod planes {
             let word = &mut self.buf[l * self.lanes + b];
             let present = *word & bit != 0;
             *word &= !bit;
+            self.debug_check_layout();
             present
         }
 
@@ -1071,18 +1089,21 @@ pub mod planes {
         pub fn union_with(&mut self, other: &Self) {
             assert_eq!(self.lanes, other.lanes, "lane counts must match");
             union_planes(&mut self.buf, &other.buf);
+            self.debug_check_layout();
         }
 
         /// `self[b] ∩= other[b]` for every lane, as one buffer pass.
         pub fn intersect_with(&mut self, other: &Self) {
             assert_eq!(self.lanes, other.lanes, "lane counts must match");
             intersect_planes(&mut self.buf, &other.buf);
+            self.debug_check_layout();
         }
 
         /// `self[b] \= other[b]` for every lane, as one buffer pass.
         pub fn andnot_with(&mut self, other: &Self) {
             assert_eq!(self.lanes, other.lanes, "lane counts must match");
             andnot_planes(&mut self.buf, &other.buf);
+            self.debug_check_layout();
         }
 
         /// Total members across all lanes.
@@ -1093,6 +1114,18 @@ pub mod planes {
         /// Per-lane member counts, into `out` (`out.len() == lanes`).
         pub fn lane_counts_into(&self, out: &mut [u32]) {
             lane_counts(&self.buf, self.lanes, out);
+        }
+
+        /// Layout invariant: the buffer holds exactly `W` planes of `lanes`
+        /// words each. Every mutator re-establishes this before returning;
+        /// a drift would silently shear the strided `lane()` gathers.
+        #[inline]
+        fn debug_check_layout(&self) {
+            debug_assert_eq!(
+                self.buf.len(),
+                W * self.lanes,
+                "LimbPlanes layout invariant violated: buffer is not W × lanes words"
+            );
         }
     }
 }
@@ -1162,6 +1195,7 @@ impl<M> SenderMap<M> {
             *slot = None;
         }
         self.len = 0;
+        self.debug_check_density();
     }
 
     /// Whether no entry is present.
@@ -1189,18 +1223,27 @@ impl<M> SenderMap<M> {
         if prev.is_none() {
             self.len += 1;
         }
+        self.debug_check_density();
         prev
     }
 
     /// Inserts `value` only if `sender` has no entry yet; returns a
     /// reference to the entry.
     pub fn entry_or_insert_with(&mut self, sender: ProcessId, value: impl FnOnce() -> M) -> &M {
-        if !self.contains(sender) {
-            self.insert(sender, value());
+        if sender.index() >= self.slots.len() {
+            self.slots.resize_with(sender.index() + 1, || None);
         }
-        self.slots[sender.index()]
-            .as_ref()
-            .expect("just ensured present")
+        let idx = sender.index();
+        if self.slots[idx].is_none() {
+            self.slots[idx] = Some(value());
+            self.len += 1;
+        }
+        self.debug_check_density();
+        let Some(entry) = self.slots[idx].as_ref() else {
+            // kset-lint: allow(panic-in-library): the slot was filled two lines above
+            unreachable!("slot {idx} filled above")
+        };
+        entry
     }
 
     /// Removes and returns the entry of `sender`.
@@ -1209,6 +1252,7 @@ impl<M> SenderMap<M> {
         if prev.is_some() {
             self.len -= 1;
         }
+        self.debug_check_density();
         prev
     }
 
@@ -1228,6 +1272,19 @@ impl<M> SenderMap<M> {
     /// The set of senders with an entry.
     pub fn senders(&self) -> ProcessSet {
         self.iter().map(|(p, _)| p).collect()
+    }
+
+    /// Density invariant: the cached `len` must equal the number of present
+    /// slots. Every mutator re-establishes this before returning; a drift
+    /// would silently corrupt `Eq`/`Hash` (both trust `len`) and the
+    /// round-termination checks built on `len()`.
+    #[inline]
+    fn debug_check_density(&self) {
+        debug_assert_eq!(
+            self.len,
+            self.slots.iter().filter(|s| s.is_some()).count(),
+            "SenderMap density invariant violated: cached len disagrees with present slots"
+        );
     }
 }
 

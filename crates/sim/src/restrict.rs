@@ -15,7 +15,7 @@
 
 use crate::engine::Simulation;
 use crate::failure::CrashPlan;
-use crate::ids::{ProcessId, ProcessSet};
+use crate::ids::{CapacityError, ProcessId, ProcessSet};
 use crate::message::Envelope;
 use crate::oracle::{NoOracle, Oracle};
 use crate::process::{Effects, Process, ProcessInfo};
@@ -70,6 +70,7 @@ impl<P: Process> Process for Restricted<P> {
         effects: &mut Effects<Self::Msg, Self::Output>,
     ) {
         let mut inner_effects = Effects::new(effects.info());
+        // kset-lint: allow(observer-bypass): Process::step delegation to the wrapped algorithm, not a Simulation::step call; the engine drives this through the observed path
         self.inner.step(delivered, fd, &mut inner_effects);
         let (sends, decision) = inner_effects.into_parts();
         for (dst, msg) in sends {
@@ -101,9 +102,27 @@ where
     P: Process<Fd = ()>,
     P::Input: Clone,
 {
+    match try_restricted_simulation(inputs, d, extra_plan) {
+        Ok(sim) => sim,
+        // kset-lint: allow(panic-in-library): documented panicking convenience wrapper over try_restricted_simulation
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// As [`restricted_simulation`], but a system size beyond the process-set
+/// capacity is a [`CapacityError`] instead of a panic.
+pub fn try_restricted_simulation<P>(
+    inputs: Vec<P::Input>,
+    d: ProcessSet,
+    extra_plan: CrashPlan,
+) -> Result<Simulation<Restricted<P>, NoOracle>, CapacityError>
+where
+    P: Process<Fd = ()>,
+    P::Input: Clone,
+{
     let plan = restriction_plan(inputs.len(), d, extra_plan);
     let wrapped: Vec<(ProcessSet, P::Input)> = inputs.into_iter().map(|x| (d, x)).collect();
-    Simulation::new(wrapped, plan)
+    Simulation::try_new(wrapped, plan)
 }
 
 /// As [`restricted_simulation`], with a failure-detector oracle.
@@ -119,9 +138,30 @@ where
     P::Fd: std::hash::Hash,
     O: Oracle<Sample = P::Fd>,
 {
+    match try_restricted_simulation_with_oracle(inputs, d, oracle, extra_plan) {
+        Ok(sim) => sim,
+        // kset-lint: allow(panic-in-library): documented panicking convenience wrapper over try_restricted_simulation_with_oracle
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// As [`restricted_simulation_with_oracle`], but a system size beyond the
+/// process-set capacity is a [`CapacityError`] instead of a panic.
+pub fn try_restricted_simulation_with_oracle<P, O>(
+    inputs: Vec<P::Input>,
+    d: ProcessSet,
+    oracle: O,
+    extra_plan: CrashPlan,
+) -> Result<Simulation<Restricted<P>, O>, CapacityError>
+where
+    P: Process,
+    P::Input: Clone,
+    P::Fd: std::hash::Hash,
+    O: Oracle<Sample = P::Fd>,
+{
     let plan = restriction_plan(inputs.len(), d, extra_plan);
     let wrapped: Vec<(ProcessSet, P::Input)> = inputs.into_iter().map(|x| (d, x)).collect();
-    Simulation::with_oracle(wrapped, oracle, plan)
+    Simulation::try_with_oracle(wrapped, oracle, plan)
 }
 
 /// The crash plan of the restricted environment: everyone outside `d` is

@@ -79,6 +79,7 @@ impl PartitionScheduler {
             .iter()
             .copied()
             .find(|b| b.contains(pid))
+            // kset-lint: allow(unchecked-capacity): pid comes from the live simulation view, whose system size was capacity-validated at construction
             .unwrap_or_else(|| ProcessSet::singleton(pid))
     }
 }

@@ -92,6 +92,7 @@ where
     slots
         .into_iter()
         .enumerate()
+        // kset-lint: allow(panic-in-library): deliberate loud hole-check — a reassembly gap must abort the sweep rather than silently permute records
         .map(|(i, slot)| slot.unwrap_or_else(|| panic!("cell {i} produced no result")))
         .collect()
 }

@@ -255,6 +255,7 @@ where
             .collect();
         handles
             .into_iter()
+            // kset-lint: allow(panic-in-library): propagating a worker panic at join keeps a failed cell loud; swallowing it would silently drop part of the grid
             .map(|h| h.join().expect("sweep worker panicked"))
             .collect()
     });
@@ -271,6 +272,7 @@ where
     slots
         .into_iter()
         .enumerate()
+        // kset-lint: allow(panic-in-library): deliberate loud hole-check — a reassembly gap must abort the sweep rather than silently permute records
         .map(|(i, slot)| slot.unwrap_or_else(|| panic!("cell {i} produced no result")))
         .collect()
 }

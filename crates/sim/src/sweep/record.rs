@@ -861,12 +861,14 @@ pub fn merge(shards: &[ShardFile]) -> Result<ShardFile, MergeError> {
     if seen_shards.len() != count {
         let shard_index = (0..count)
             .find(|i| !seen_shards.contains(i))
+            // kset-lint: allow(panic-in-library): pigeonhole — seen_shards.len() != count with all members below count guarantees a missing index
             .expect("fewer distinct shards than the count: one is missing");
         return Err(MergeError::MissingShard { shard_index });
     }
     if slots.len() != total {
         let index = (0..total)
             .find(|i| !slots.contains_key(i))
+            // kset-lint: allow(panic-in-library): pigeonhole — slots.len() != total with all keys below total guarantees a missing index
             .expect("fewer distinct cells than the total: one is missing");
         return Err(MergeError::MissingIndex { index });
     }

@@ -51,7 +51,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Condvar, Mutex};
+use std::sync::{mpsc, Condvar, Mutex, PoisonError};
 use std::thread;
 
 /// Why a streaming sweep could not start.
@@ -162,7 +162,11 @@ struct GateOpener<'a> {
 impl Drop for GateOpener<'_> {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        *self.emitted.lock().unwrap() = usize::MAX;
+        // Poison-proof: this drop runs while unwinding out of a panicking
+        // sink, and a second panic here (on a poisoned lock) would abort
+        // the process instead of propagating the sink's panic. The guarded
+        // value is a plain counter, so a torn update cannot exist.
+        *self.emitted.lock().unwrap_or_else(PoisonError::into_inner) = usize::MAX;
         self.cvar.notify_all();
     }
 }
@@ -236,9 +240,13 @@ where
                 }
                 {
                     // Gate: stay within `window` of the delivery frontier.
-                    let mut e = emitted.lock().unwrap();
+                    // Poison-proof (see GateOpener::drop): the counter has
+                    // no multi-step invariant, so a poisoned lock still
+                    // yields a usable frontier and the worker proceeds to
+                    // the shutdown check instead of double-panicking.
+                    let mut e = emitted.lock().unwrap_or_else(PoisonError::into_inner);
                     while i >= e.saturating_add(window) {
-                        e = cvar.wait(e).unwrap();
+                        e = cvar.wait(e).unwrap_or_else(PoisonError::into_inner);
                     }
                 }
                 if shutdown.load(Ordering::SeqCst) {
@@ -269,6 +277,7 @@ where
                 if let Some(r) = stash.remove(&expect) {
                     break r;
                 }
+                // kset-lint: allow(panic-in-library): load-bearing liveness check; a closed channel here means workers died without even a panic payload, which the gate protocol makes unreachable
                 let (i, r) = rx.recv().expect("workers ended before the grid completed");
                 let r = r.unwrap_or_else(|panic| std::panic::resume_unwind(panic));
                 if i == expect {
@@ -277,7 +286,7 @@ where
                 stash.insert(i, r);
             };
             sink(expect, r);
-            *emitted.lock().unwrap() += 1;
+            *emitted.lock().unwrap_or_else(PoisonError::into_inner) += 1;
             cvar.notify_all();
         }
     });
