@@ -22,6 +22,13 @@
 //! # resume recomputes only the owed cells and rewrites the completed
 //! # file, byte-identical to an uninterrupted sweep.
 //! experiments sweep --resume border-1.txt
+//!
+//! # Fleet mode: a coordinator leases cell ranges to TCP workers, steals
+//! # work back from crashed or hung ones, and streams the incrementally
+//! # merged file — byte-identical to --seq under any worker churn.
+//! experiments coordinate --grid scale --listen 127.0.0.1:7700 --out scale.txt
+//! experiments work --connect 127.0.0.1:7700 --name w0
+//! experiments work --connect 127.0.0.1:7700 --name w1 --fail-after 5  # chaos
 //! ```
 //!
 //! The merged file is **byte-identical** to the sequential one whenever
@@ -57,6 +64,8 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("sweep") => return sweep_cmd(&args[1..]),
         Some("merge") => return merge_cmd(&args[1..]),
+        Some("coordinate") => return coordinate_cmd(&args[1..]),
+        Some("work") => return work_cmd(&args[1..]),
         _ => {}
     }
     let want = |tag: &str| args.is_empty() || args.iter().any(|a| a == tag);
@@ -360,7 +369,10 @@ fn usage(msg: &str) -> ! {
         "usage: experiments sweep --grid <{names}> --out FILE \
          [--grid-seed N] [--shard I/J] [--window N] [--seq | --batch B]\n\
          \u{20}      experiments sweep --resume FILE [--out FILE] [--window N]\n\
-         \u{20}      experiments merge --out FILE [--check-against-sequential] SHARD_FILE...",
+         \u{20}      experiments merge --out FILE [--check-against-sequential] SHARD_FILE...\n\
+         \u{20}      experiments coordinate --grid <{names}> --listen ADDR --out FILE \
+         [--grid-seed N] [--lease-cells N] [--lease-timeout-ms N] [--resume FILE]\n\
+         \u{20}      experiments work --connect ADDR [--name NAME] [--fail-after N]",
         names = kset_bench::sweeps::GRID_NAMES.join("|")
     );
     std::process::exit(2);
@@ -654,6 +666,231 @@ fn merge_cmd(args: &[String]) {
             merged.header.grid_seed,
             merged.records.len(),
         );
+    }
+}
+
+/// Coordinator-side progress log: one stderr line per scheduling event,
+/// driven by the fleet's typed observer hooks (stdout stays reserved for
+/// the machine-readable listening/summary lines).
+struct LogObserver;
+
+impl kset_sim::fleet::FleetObserver for LogObserver {
+    fn on_worker_connected(&mut self, worker: &str) {
+        eprintln!("fleet: worker {worker} connected");
+    }
+    fn on_lease_granted(&mut self, lease: u64, worker: &str, range: &std::ops::Range<usize>) {
+        eprintln!(
+            "fleet: lease {lease} -> {worker}: cells {}..{}",
+            range.start, range.end
+        );
+    }
+    fn on_lease_expired(&mut self, lease: u64, worker: &str, remainder: &std::ops::Range<usize>) {
+        eprintln!(
+            "fleet: lease {lease} ({worker}) expired; reassigning {}..{}",
+            remainder.start, remainder.end
+        );
+    }
+    fn on_worker_lost(&mut self, worker: &str) {
+        eprintln!("fleet: worker {worker} lost");
+    }
+    fn on_protocol_fault(&mut self, worker: &str) {
+        eprintln!("fleet: worker {worker} violated the protocol; cut off");
+    }
+    fn on_stale_dropped(&mut self, lease: u64) {
+        eprintln!("fleet: stale message for dead lease {lease} dropped");
+    }
+    fn on_complete(&mut self, cells: usize) {
+        eprintln!("fleet: all {cells} cells merged");
+    }
+}
+
+/// `coordinate`: serve a catalog grid to fleet workers until every cell
+/// has merged, streaming the incrementally merged file to `--out` (always
+/// a valid partial-file prefix, so a killed coordinator can be restarted
+/// with `--resume` on its own output). The final file is byte-identical
+/// to `sweep --seq` of the same grid — the fleet CI gate `cmp`s exactly
+/// that.
+fn coordinate_cmd(args: &[String]) {
+    use kset_sim::fleet::{Coordinator, CoordinatorConfig, LeaseParams};
+    use kset_sim::sweep::{PartialShardFile, ShardSpec};
+
+    let mut grid_name: Option<String> = None;
+    let mut grid_seed: u64 = 42;
+    let mut listen: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut lease_cells: usize = 4;
+    let mut lease_timeout_ms: u64 = 30_000;
+    let mut poll_ms: u64 = 10;
+    let mut resume: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--grid" => grid_name = Some(value("--grid").clone()),
+            "--grid-seed" => {
+                grid_seed = value("--grid-seed")
+                    .parse()
+                    .unwrap_or_else(|e| usage(&format!("bad --grid-seed: {e}")));
+            }
+            "--listen" => listen = Some(value("--listen").clone()),
+            "--out" => out = Some(value("--out").clone()),
+            "--lease-cells" => {
+                lease_cells = value("--lease-cells")
+                    .parse()
+                    .ok()
+                    .filter(|&c: &usize| c > 0)
+                    .unwrap_or_else(|| usage("bad --lease-cells: need an integer of at least 1"));
+            }
+            "--lease-timeout-ms" => {
+                lease_timeout_ms = value("--lease-timeout-ms")
+                    .parse()
+                    .ok()
+                    .filter(|&t: &u64| t > 0)
+                    .unwrap_or_else(|| {
+                        usage("bad --lease-timeout-ms: need an integer of at least 1")
+                    });
+            }
+            "--poll-ms" => {
+                poll_ms = value("--poll-ms")
+                    .parse()
+                    .ok()
+                    .filter(|&t: &u64| t > 0)
+                    .unwrap_or_else(|| usage("bad --poll-ms: need an integer of at least 1"));
+            }
+            "--resume" => resume = Some(value("--resume").clone()),
+            other => usage(&format!("unknown coordinate argument {other:?}")),
+        }
+    }
+    let Some(grid_name) = grid_name else {
+        usage("coordinate needs --grid");
+    };
+    let Some(listen) = listen else {
+        usage("coordinate needs --listen");
+    };
+    let Some(out) = out else {
+        usage("coordinate needs --out");
+    };
+    let grid = kset_bench::sweeps::grid(&grid_name, grid_seed).unwrap_or_else(|e| fail(e));
+    let grid_id = kset_bench::fleet::grid_id(&grid);
+
+    // `--resume FILE` seeds the merge from a partial coordinator artifact.
+    // Like `sweep --resume`, the rewrite must be kill-safe when it targets
+    // the partial file itself: stage beside it, rename once complete. A
+    // fresh run writes `--out` directly — the streamed partial IS the
+    // crash artifact.
+    let resume_records = match &resume {
+        None => Vec::new(),
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(format_args!("cannot read {path}: {e}")));
+            let partial = PartialShardFile::parse(&text)
+                .unwrap_or_else(|e| fail(format_args!("{path}: {e}")));
+            let expected = grid.header(ShardSpec::FULL);
+            if partial.header != expected {
+                fail(format_args!(
+                    "{path}: header does not match the current \"{grid_name}\" catalog \
+                     grid (fleet artifacts are always full-grid, shard 0/1); \
+                     re-coordinate instead of resuming"
+                ));
+            }
+            partial.records
+        }
+    };
+    let resumed = resume_records.len();
+
+    let config = CoordinatorConfig {
+        lease: LeaseParams {
+            cells: lease_cells,
+            timeout: std::time::Duration::from_millis(lease_timeout_ms),
+        },
+        poll: std::time::Duration::from_millis(poll_ms),
+    };
+    let coordinator =
+        Coordinator::bind(&listen, grid_id, resume_records, config).unwrap_or_else(|e| fail(e));
+    let addr = coordinator.local_addr().unwrap_or_else(|e| fail(e));
+    println!("coordinate listening on {addr} grid={grid_name} seed={grid_seed}");
+    // The line above is how spawning tests/scripts learn the bound port;
+    // make sure it crosses a pipe before the (potentially long) run.
+    {
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+    }
+
+    let staging = resume.as_deref().map(|_| format!("{out}.resume-tmp"));
+    let write_path = staging.as_deref().unwrap_or(&out);
+    let mut writer = ShardWriter::create(write_path);
+    let mut log = LogObserver;
+    let (_file, counts) = coordinator
+        .run(&mut log, |chunk| writer.emit(chunk))
+        .unwrap_or_else(|e| fail(e));
+    let file_digest = writer.finish();
+    if let Some(staging) = &staging {
+        std::fs::rename(staging, &out)
+            .unwrap_or_else(|e| fail(format_args!("cannot move {staging} into {out}: {e}")));
+    }
+    println!(
+        "coordinate grid={grid_name} seed={grid_seed} cells={merged} resumed={resumed} \
+         workers={workers} leases={leases} completed={completed} expired={expired} \
+         stale={stale} lost={lost} faults={faults} out={out} file-digest={file_digest:#018x}",
+        merged = counts.merged,
+        workers = counts.workers,
+        leases = counts.leases,
+        completed = counts.completed,
+        expired = counts.expired,
+        stale = counts.stale,
+        lost = counts.lost,
+        faults = counts.faults,
+    );
+}
+
+/// `work`: one fleet worker computing catalog cells for the coordinator at
+/// `--connect` until it says fin. `--fail-after N` is deterministic fault
+/// injection — the worker drops its connection cold after computing N
+/// cells (exit code 3), which is what the chaos gates use to kill workers
+/// mid-range on purpose.
+fn work_cmd(args: &[String]) {
+    use kset_sim::fleet::{run_worker, WorkerConfig};
+
+    let mut connect: Option<String> = None;
+    let mut name = "worker".to_string();
+    let mut fail_after: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--connect" => connect = Some(value("--connect").clone()),
+            "--name" => name = value("--name").clone(),
+            "--fail-after" => {
+                fail_after = Some(
+                    value("--fail-after")
+                        .parse()
+                        .unwrap_or_else(|e| usage(&format!("bad --fail-after: {e}"))),
+                );
+            }
+            other => usage(&format!("unknown work argument {other:?}")),
+        }
+    }
+    let Some(connect) = connect else {
+        usage("work needs --connect");
+    };
+    let config = WorkerConfig { name, fail_after };
+    let report = run_worker(&connect, &config, kset_bench::fleet::catalog_source())
+        .unwrap_or_else(|e| fail(e));
+    println!(
+        "work name={} leases={} cells={} injected-failure={}",
+        config.name,
+        report.leases,
+        report.cells,
+        glyph(report.injected_failure),
+    );
+    if report.injected_failure {
+        std::process::exit(3);
     }
 }
 

@@ -1,0 +1,128 @@
+//! Catalog adapter for the fleet worker: resolves a leased [`GridId`]
+//! against [`crate::sweeps`] and computes cells with [`SweepGrid::record`]
+//! — the exact same cell function the sequential reference and the
+//! sharded sweeps use, which is what makes a fleet sweep byte-identical
+//! to `sweep --seq`.
+//!
+//! Resolution is *verified*, not trusted: the grid name must exist in the
+//! catalog, and the catalog grid's axes signature and cell count must
+//! match what the lease announced. A coordinator built against a drifted
+//! catalog is refused with a [`GridRejected`] naming the drift (the
+//! coordinator-side seed re-derivation would catch the lie anyway, but a
+//! named refusal beats a silent protocol fault).
+
+use kset_sim::fleet::{GridId, GridRejected};
+use kset_sim::sweep::CellRecord;
+
+use crate::sweeps::{self, SweepGrid};
+
+/// A resolving, caching compute source for [`kset_sim::fleet::run_worker`]:
+/// call [`CatalogSource::compute`] (or use [`catalog_source`] for a ready
+/// closure). Resolution happens once per distinct [`GridId`] — every
+/// coordinator sticks to one grid, so in practice once per run.
+#[derive(Debug, Default)]
+pub struct CatalogSource {
+    cached: Option<(GridId, SweepGrid)>,
+}
+
+impl CatalogSource {
+    /// A source with an empty cache.
+    pub fn new() -> CatalogSource {
+        CatalogSource::default()
+    }
+
+    fn resolve(&mut self, id: &GridId) -> Result<&SweepGrid, GridRejected> {
+        if self.cached.as_ref().is_none_or(|(cid, _)| cid != id) {
+            let grid = sweeps::grid(&id.grid, id.grid_seed).map_err(|e| GridRejected {
+                reason: e.to_string(),
+            })?;
+            if grid.axes != id.axes || grid.cells.len() != id.total {
+                return Err(GridRejected {
+                    reason: format!(
+                        "catalog grid {:?} drifted from the lease: axes {:?} vs {:?}, \
+                         {} vs {} cells",
+                        id.grid,
+                        grid.axes,
+                        id.axes,
+                        grid.cells.len(),
+                        id.total
+                    ),
+                });
+            }
+            self.cached = Some((id.clone(), grid));
+        }
+        match &self.cached {
+            Some((_, grid)) => Ok(grid),
+            None => Err(GridRejected {
+                reason: "catalog cache invariant broken".to_string(),
+            }),
+        }
+    }
+
+    /// Computes one leased cell through the catalog's own cell function.
+    pub fn compute(&mut self, id: &GridId, index: usize) -> Result<CellRecord, GridRejected> {
+        let grid = self.resolve(id)?;
+        let cell = grid.cells.get(index).ok_or_else(|| GridRejected {
+            reason: format!(
+                "cell {index} outside grid {:?} ({} cells)",
+                id.grid, id.total
+            ),
+        })?;
+        Ok(grid.record(cell))
+    }
+}
+
+/// The compute closure [`kset_sim::fleet::run_worker`] wants, backed by a
+/// fresh [`CatalogSource`].
+pub fn catalog_source() -> impl FnMut(&GridId, usize) -> Result<CellRecord, GridRejected> {
+    let mut source = CatalogSource::new();
+    move |id, index| source.compute(id, index)
+}
+
+/// The [`GridId`] a coordinator should announce for a catalog grid — the
+/// shared vocabulary between `coordinate` and `work`.
+pub fn grid_id(grid: &SweepGrid) -> GridId {
+    GridId {
+        grid: grid.name.to_string(),
+        grid_seed: grid.grid_seed,
+        axes: grid.axes.to_string(),
+        total: grid.cells.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computes_catalog_cells_identically_to_sequential() {
+        let grid = sweeps::grid("border", 42).unwrap();
+        let id = grid_id(&grid);
+        let mut source = CatalogSource::new();
+        let sequential = grid.sweep_sequential();
+        for (index, expected) in sequential.iter().enumerate() {
+            assert_eq!(source.compute(&id, index).as_ref(), Ok(expected));
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_grid_and_drifted_lease() {
+        let mut source = CatalogSource::new();
+        let mut id = grid_id(&sweeps::grid("border", 42).unwrap());
+        id.grid = "no-such-grid".to_string();
+        assert!(source.compute(&id, 0).is_err());
+
+        let mut drifted = grid_id(&sweeps::grid("border", 42).unwrap());
+        drifted.total += 1;
+        let err = source.compute(&drifted, 0).unwrap_err();
+        assert!(err.reason.contains("drifted"), "{err:?}");
+    }
+
+    #[test]
+    fn rejects_out_of_range_cells() {
+        let grid = sweeps::grid("border", 42).unwrap();
+        let id = grid_id(&grid);
+        let mut source = CatalogSource::new();
+        assert!(source.compute(&id, id.total).is_err());
+    }
+}

@@ -1,0 +1,338 @@
+//! Catalog-backed fleet conformance: the chaos gate the CI workflow
+//! (`sweep-fleet.yml`) re-proves with real processes, run here in-process
+//! (plus one real-process SIGKILL variant) so `cargo test` alone certifies
+//! the property: under worker churn, the merged fleet output of a catalog
+//! grid is byte-identical to `sweep --seq` of the same grid.
+//!
+//! The synthetic-grid equivalents (torn lines, hangs, resume) live in
+//! `crates/sim/tests/fleet_conformance.rs`; these tests pay for real
+//! simulation to pin the *catalog* path end-to-end.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+use kset_bench::fleet::{catalog_source, grid_id};
+use kset_bench::sweeps;
+use kset_sim::fleet::{
+    run_worker, Coordinator, CoordinatorConfig, FleetCounter, FleetCounts, FleetError, GridId,
+    LeaseParams, WorkerConfig,
+};
+use kset_sim::sweep::record::ShardFile;
+use kset_sim::sweep::{cell_seed, ShardSpec};
+
+fn reference_bytes(name: &str, grid_seed: u64) -> String {
+    let grid = sweeps::grid(name, grid_seed).expect("catalog grid");
+    ShardFile {
+        header: grid.header(ShardSpec::FULL),
+        records: grid.sweep_sequential(),
+    }
+    .render()
+}
+
+fn test_config() -> CoordinatorConfig {
+    CoordinatorConfig {
+        lease: LeaseParams {
+            cells: 3,
+            // Generous on purpose: catalog cells run REAL simulation, and a
+            // deadline shorter than the slowest cell livelocks the sweep
+            // (the lease expires mid-compute, the progress arrives stale,
+            // the reassignment expires the same way). Crashed workers in
+            // these tests are recovered by EOF, which is immediate; the
+            // deadline only backstops silent hangs.
+            timeout: Duration::from_secs(10),
+        },
+        poll: Duration::from_millis(2),
+    }
+}
+
+/// Runs an in-process coordinator for `id` and hands `drive` the bound
+/// address; returns the streamed bytes and the final counts.
+fn run_fleet(id: &GridId, drive: impl FnOnce(SocketAddr)) -> (String, FleetCounts) {
+    let coordinator =
+        Coordinator::bind("127.0.0.1:0", id.clone(), Vec::new(), test_config()).expect("bind");
+    let addr = coordinator.local_addr().expect("local_addr");
+    std::thread::scope(|scope| {
+        let run = scope.spawn(move || {
+            let mut counter = FleetCounter::default();
+            let mut out = String::new();
+            let (file, counts) = coordinator
+                .run(&mut counter, |chunk| out.push_str(chunk))
+                .expect("fleet run");
+            assert_eq!(out, file.render(), "streamed bytes == certified render");
+            (out, counts)
+        });
+        drive(addr);
+        run.join().expect("coordinator thread")
+    })
+}
+
+/// The worker-side tolerance: a worker that outlives completion may see
+/// the coordinator hang up instead of a polite fin.
+fn expect_clean(result: Result<kset_sim::fleet::WorkerReport, FleetError>, who: &str) {
+    match result {
+        Ok(report) => assert!(!report.injected_failure, "{who}: unexpected injection"),
+        Err(FleetError::Disconnected { .. }) | Err(FleetError::Io { .. }) => {}
+        other => panic!("{who}: {other:?}"),
+    }
+}
+
+#[test]
+fn chaos_20_seeded_border_runs_match_sequential_bytes() {
+    let reference = reference_bytes("border", 42);
+    let grid = sweeps::grid("border", 42).expect("catalog grid");
+    let id = grid_id(&grid);
+    let total = grid.cells.len();
+    for run_seed in 0..20u64 {
+        // Two saboteurs dying at seeded points inside their first lease,
+        // then a healthy worker so the sweep always completes.
+        let fails = [
+            cell_seed(run_seed, 10_000) as usize % 3,
+            cell_seed(run_seed, 20_000) as usize % 3,
+        ];
+        let (out, counts) = run_fleet(&id, |addr| {
+            // Saboteurs first, to their deaths: each dies inside its first
+            // lease (fail_after < lease cells) and two of them can cover at
+            // most 4 of the 9 cells, so the grid is never complete when a
+            // saboteur connects — the injection always fires. Only then
+            // does the healthy worker sweep what is owed.
+            std::thread::scope(|scope| {
+                for (w, fail_after) in fails.into_iter().enumerate() {
+                    scope.spawn(move || {
+                        let config = WorkerConfig {
+                            name: format!("w-{w}"),
+                            fail_after: Some(fail_after),
+                        };
+                        match run_worker(&addr.to_string(), &config, catalog_source()) {
+                            Ok(report) => assert!(report.injected_failure),
+                            other => panic!("saboteur w-{w}: {other:?}"),
+                        }
+                    });
+                }
+            });
+            let healthy = run_worker(
+                &addr.to_string(),
+                &WorkerConfig::new("healthy"),
+                catalog_source(),
+            );
+            expect_clean(healthy, "healthy");
+        });
+        assert_eq!(out, reference, "run_seed {run_seed}: byte drift");
+        assert_eq!(counts.merged as usize, total, "run_seed {run_seed}");
+        assert!(
+            counts.lost + counts.expired >= 2,
+            "run_seed {run_seed}: two deaths must be recovered: {counts:?}"
+        );
+    }
+}
+
+#[test]
+fn chaos_scale_runs_match_sequential_bytes() {
+    let reference = reference_bytes("scale", 42);
+    let grid = sweeps::grid("scale", 42).expect("catalog grid");
+    let id = grid_id(&grid);
+    for run_seed in [3u64, 11] {
+        let fail_after = cell_seed(run_seed, 30_000) as usize % 3;
+        let (out, counts) = run_fleet(&id, |addr| {
+            // Saboteur to its death first (the grid cannot complete on its
+            // at-most-2 cells), then the healthy sweep.
+            let config = WorkerConfig {
+                name: "saboteur".to_string(),
+                fail_after: Some(fail_after),
+            };
+            match run_worker(&addr.to_string(), &config, catalog_source()) {
+                Ok(report) => assert!(report.injected_failure),
+                other => panic!("saboteur: {other:?}"),
+            }
+            let healthy = run_worker(
+                &addr.to_string(),
+                &WorkerConfig::new("healthy"),
+                catalog_source(),
+            );
+            expect_clean(healthy, "healthy");
+        });
+        assert_eq!(out, reference, "run_seed {run_seed}: byte drift");
+        assert!(counts.lost + counts.expired >= 1, "{counts:?}");
+    }
+}
+
+/// The harshest churn: a *real* `experiments work` process SIGKILLed from
+/// outside mid-sweep — no drop handlers, no polite hangup, just a dead
+/// peer the coordinator must recover from by EOF or deadline.
+#[test]
+fn sigkilled_worker_process_is_recovered_without_byte_drift() {
+    let reference = reference_bytes("border", 42);
+    let grid = sweeps::grid("border", 42).expect("catalog grid");
+    let id = grid_id(&grid);
+    let (out, counts) = run_fleet(&id, |addr| {
+        let spawn = |name: &str| {
+            Command::new(env!("CARGO_BIN_EXE_experiments"))
+                .args(["work", "--connect", &addr.to_string(), "--name", name])
+                .stdout(Stdio::null())
+                .stderr(Stdio::null())
+                .spawn()
+                .expect("spawn worker process")
+        };
+        // The hanger pins the sweep open: it takes the first lease and
+        // sits on it, so no amount of scheduling luck lets the sweep
+        // finish before the rescuer joins — the kill below always lands
+        // on a coordinator that is still mid-run.
+        use std::io::Write as _;
+        let mut hanger = std::net::TcpStream::connect(addr).expect("connect hanger");
+        hanger
+            .write_all(b"hello kset-fleet v1 worker hanger\n")
+            .expect("hello");
+        std::thread::sleep(Duration::from_millis(20));
+        let mut victim = spawn("victim");
+        std::thread::sleep(Duration::from_millis(100));
+        victim.kill().expect("SIGKILL victim");
+        victim.wait().expect("reap victim");
+        let mut rescuer = spawn("rescuer");
+        // Only once the rescuer exists does the hanger let go; its lease
+        // is recovered by EOF and the rescuer finishes the sweep.
+        std::thread::sleep(Duration::from_millis(50));
+        drop(hanger);
+        let status = rescuer.wait().expect("reap rescuer");
+        assert!(status.success(), "rescuer must finish cleanly: {status}");
+    });
+    assert_eq!(out, reference, "SIGKILL churn: byte drift");
+    assert_eq!(counts.merged as usize, grid.cells.len());
+}
+
+/// `work --fail-after` really drops the connection cold and exits 3 — the
+/// chaos workflow keys on that exit code.
+#[test]
+fn fail_after_process_exits_with_code_3() {
+    let grid = sweeps::grid("border", 42).expect("catalog grid");
+    let id = grid_id(&grid);
+    let (out, _counts) = run_fleet(&id, |addr| {
+        let saboteur = Command::new(env!("CARGO_BIN_EXE_experiments"))
+            .args([
+                "work",
+                "--connect",
+                &addr.to_string(),
+                "--name",
+                "saboteur",
+                "--fail-after",
+                "2",
+            ])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .status()
+            .expect("run saboteur");
+        assert_eq!(saboteur.code(), Some(3), "injected failure exits 3");
+        let healthy = run_worker(
+            &addr.to_string(),
+            &WorkerConfig::new("healthy"),
+            catalog_source(),
+        );
+        expect_clean(healthy, "healthy");
+    });
+    assert_eq!(out, reference_bytes("border", 42));
+}
+
+/// Satellite: unreachable `--connect` is a typed CLI error — exit 1 with
+/// an `error:` line, never a panic (exit 101).
+#[test]
+fn unreachable_connect_is_a_typed_cli_error() {
+    // A port that was just released: connecting is refused, not hung.
+    let released = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = released.local_addr().expect("local_addr").to_string();
+    drop(released);
+    let output = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(["work", "--connect", &addr])
+        .output()
+        .expect("run work");
+    assert_eq!(output.status.code(), Some(1), "typed failure, not a panic");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.starts_with("error:"), "stderr: {stderr}");
+    assert!(stderr.contains("connect"), "stderr: {stderr}");
+}
+
+/// Satellite: an in-use `--listen` address is a typed CLI error too.
+#[test]
+fn in_use_listen_is_a_typed_cli_error() {
+    let taken = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = taken.local_addr().expect("local_addr").to_string();
+    let dir = std::env::temp_dir().join("kset-fleet-gate-listen");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let out = dir.join("never-written.txt");
+    let output = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args([
+            "coordinate",
+            "--grid",
+            "border",
+            "--listen",
+            &addr,
+            "--out",
+            out.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("run coordinate");
+    assert_eq!(output.status.code(), Some(1), "typed failure, not a panic");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.starts_with("error:"), "stderr: {stderr}");
+    assert!(stderr.contains("bind"), "stderr: {stderr}");
+}
+
+/// The coordinator binary resumes from its own partial artifact: kill a
+/// run mid-stream (simulated by truncating a finished file), restart with
+/// `--resume`, and the rebuilt file must match the reference byte-for-byte.
+#[test]
+fn coordinate_binary_resumes_from_truncated_artifact() {
+    let reference = reference_bytes("border", 42);
+    let dir = std::env::temp_dir().join(format!("kset-fleet-gate-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    // A killed coordinator's artifact: header + a few records + torn tail.
+    let keep_lines = 3 + 4; // header (3 lines) + 4 full records
+    let mut partial: String = reference
+        .lines()
+        .take(keep_lines)
+        .map(|l| format!("{l}\n"))
+        .collect();
+    partial.push_str("cell 4 n 4 f 1 k"); // torn mid-line, no newline
+    let partial_path = dir.join("partial.txt");
+    std::fs::write(&partial_path, &partial).expect("write partial");
+
+    let out_path = dir.join("resumed.txt");
+    let mut coordinator = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args([
+            "coordinate",
+            "--grid",
+            "border",
+            "--listen",
+            "127.0.0.1:0",
+            "--out",
+            out_path.to_str().expect("utf8 path"),
+            "--resume",
+            partial_path.to_str().expect("utf8 path"),
+            "--lease-cells",
+            "2",
+            "--poll-ms",
+            "2",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn coordinator");
+    // The first stdout line announces the bound port.
+    let stdout = coordinator.stdout.take().expect("stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let announce = lines.next().expect("announce line").expect("read announce");
+    let addr = announce
+        .split_whitespace()
+        .nth(3)
+        .expect("addr token in announce")
+        .to_string();
+    let report = run_worker(&addr, &WorkerConfig::new("resumer"), catalog_source());
+    expect_clean(report, "resumer");
+    let status = coordinator.wait().expect("reap coordinator");
+    assert!(status.success(), "coordinator exit: {status}");
+    let resumed = std::fs::read_to_string(&out_path).expect("read resumed");
+    assert_eq!(
+        resumed, reference,
+        "resume must converge to reference bytes"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

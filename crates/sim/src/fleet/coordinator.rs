@@ -1,0 +1,366 @@
+//! The coordinator's socket shell: a [`TcpListener`], one handler thread
+//! per connection, and a mutex around the pure [`FleetState`] from
+//! `state.rs`. Everything timing-related lives here — lease deadlines are
+//! *checked* by the state machine but the `Instant`s are *read* here, so
+//! this file sits outside the `kset-lint` record path while the
+//! byte-producing modules (`proto.rs`, `merge.rs`) sit inside it.
+//!
+//! Liveness is poll-based rather than event-based: sockets carry a short
+//! read timeout, and every timeout tick (in any handler, or the accept
+//! loop) reaps expired leases and checks for completion. That keeps the
+//! design free of a dedicated timer thread and guarantees every handler
+//! returns within one poll interval of completion — which `run` relies on,
+//! because [`std::thread::scope`] joins all handlers before returning.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use super::observe::{FleetCounts, FleetObserver};
+use super::proto::{FinReason, GridId, Message};
+use super::state::{FleetState, Grant, LeaseParams};
+use super::wire::{read_line, write_line, LineRead};
+use super::FleetError;
+use crate::sweep::record::{render_footer, CellRecord, ShardFile};
+
+/// Tuning for a coordinator run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoordinatorConfig {
+    /// Lease sizing and expiry (see [`LeaseParams`]).
+    pub lease: LeaseParams,
+    /// The liveness tick: socket read timeout, accept-poll interval, and
+    /// the idle-worker retry interval. Expired leases are reaped within
+    /// roughly one tick.
+    pub poll: Duration,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            lease: LeaseParams {
+                cells: 4,
+                timeout: Duration::from_secs(30),
+            },
+            poll: Duration::from_millis(10),
+        }
+    }
+}
+
+/// A bound-but-not-yet-running coordinator. [`Coordinator::bind`] claims
+/// the port (typed error if it is in use), [`Coordinator::run`] serves
+/// workers until every cell of the grid has merged.
+#[derive(Debug)]
+pub struct Coordinator {
+    listener: TcpListener,
+    state: FleetState,
+    config: CoordinatorConfig,
+}
+
+/// Everything the handler threads share, behind one mutex: the pure state
+/// machine, the caller's observer, and the incremental byte sink.
+struct Shared<'o, S: FnMut(&str)> {
+    state: FleetState,
+    observer: &'o mut dyn FleetObserver,
+    sink: S,
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl<S: FnMut(&str)> Shared<'_, S> {
+    fn tick(&mut self, now: Instant) {
+        self.state.expire_due(now, self.observer);
+    }
+
+    fn complete(&self) -> bool {
+        self.state.is_complete()
+    }
+
+    fn hello(&mut self, worker: &str) {
+        self.state.worker_connected(worker, self.observer);
+    }
+
+    fn grant(&mut self, worker: &str, now: Instant) -> Grant {
+        self.state.grant(worker, now, self.observer)
+    }
+
+    /// Routes one progress record; `false` means the worker faulted and
+    /// must be cut off (the lease is already released).
+    fn progress(&mut self, lease: u64, record: CellRecord, worker: &str, now: Instant) -> bool {
+        match self.state.progress(lease, record, now, self.observer) {
+            Ok(_) => {
+                // Merged (or stale-dropped); release any newly contiguous
+                // prefix to the sink while we still hold the lock, so the
+                // on-disk artifact is always a valid partial file.
+                let Shared { state, sink, .. } = self;
+                state.drain_ready(|record| {
+                    let mut line = record.render_line();
+                    line.push('\n');
+                    sink(&line);
+                });
+                true
+            }
+            Err(_) => {
+                self.state
+                    .protocol_fault(Some(lease), worker, self.observer);
+                false
+            }
+        }
+    }
+
+    /// Routes one done message; `false` means the worker faulted.
+    fn done(&mut self, lease: u64, cells: usize, worker: &str) -> bool {
+        match self.state.done(lease, cells, self.observer) {
+            Ok(_) => true,
+            Err(_) => {
+                self.state
+                    .protocol_fault(Some(lease), worker, self.observer);
+                false
+            }
+        }
+    }
+
+    fn fault(&mut self, lease: Option<u64>, worker: &str) {
+        self.state.protocol_fault(lease, worker, self.observer);
+    }
+
+    fn lost(&mut self, lease: Option<u64>, worker: &str) {
+        self.state.worker_lost(lease, worker, self.observer);
+    }
+}
+
+impl Coordinator {
+    /// Validates the grid, seeds the state (optionally from `resume`
+    /// records recovered from a partial file), and claims `addr`. A port
+    /// already in use surfaces as [`FleetError::Io`], not a panic.
+    pub fn bind(
+        addr: &str,
+        grid: GridId,
+        resume: Vec<CellRecord>,
+        config: CoordinatorConfig,
+    ) -> Result<Coordinator, FleetError> {
+        let state = FleetState::new(grid, config.lease, resume)?;
+        let listener =
+            TcpListener::bind(addr).map_err(|e| FleetError::io(format!("bind {addr}"), &e))?;
+        Ok(Coordinator {
+            listener,
+            state,
+            config,
+        })
+    }
+
+    /// The address actually bound (resolves `:0` ephemeral ports).
+    pub fn local_addr(&self) -> Result<SocketAddr, FleetError> {
+        self.listener
+            .local_addr()
+            .map_err(|e| FleetError::io("local_addr".to_string(), &e))
+    }
+
+    /// Serves workers until every cell has merged, then certifies the
+    /// result through the `record::merge` coverage checker.
+    ///
+    /// `sink` receives the file incrementally — header first, then cell
+    /// lines strictly in index order as their prefix completes, then the
+    /// footer — so whatever the sink has written is a valid
+    /// [`PartialShardFile`](crate::sweep::PartialShardFile) prefix at
+    /// every instant: a killed coordinator leaves a resumable artifact.
+    ///
+    /// Blocks until completion; if no workers show up (or all die and
+    /// none return), it waits indefinitely — callers own the overall
+    /// deadline.
+    pub fn run<S: FnMut(&str) + Send>(
+        mut self,
+        observer: &mut dyn FleetObserver,
+        mut sink: S,
+    ) -> Result<(ShardFile, FleetCounts), FleetError> {
+        sink(&self.state.header().render());
+        self.state.drain_ready(|record| {
+            let mut line = record.render_line();
+            line.push('\n');
+            sink(&line);
+        });
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| FleetError::io("set_nonblocking".to_string(), &e))?;
+
+        let poll = self.config.poll;
+        let shared = Mutex::new(Shared {
+            state: self.state,
+            observer,
+            sink,
+        });
+        std::thread::scope(|scope| {
+            let shared = &shared;
+            loop {
+                // Accept errors are ignored: WouldBlock is the idle case,
+                // and transient ones (e.g. a peer resetting mid-handshake)
+                // cost nothing — the worker will retry or stay lost.
+                if let Ok((stream, _)) = self.listener.accept() {
+                    scope.spawn(move || handle_connection(stream, shared, poll));
+                }
+                {
+                    let mut guard = lock(shared);
+                    let sh = &mut *guard;
+                    sh.tick(Instant::now());
+                    if sh.complete() {
+                        break;
+                    }
+                }
+                std::thread::sleep(poll);
+            }
+        });
+
+        let Shared {
+            state,
+            observer,
+            mut sink,
+        } = shared.into_inner().unwrap_or_else(PoisonError::into_inner);
+        let (file, counts) = state.finish(observer).map_err(FleetError::Merge)?;
+        sink(&render_footer(file.records.len()));
+        Ok((file, counts))
+    }
+}
+
+/// One worker conversation. Every exit path either completes cleanly
+/// (fin) or releases the worker's active lease back to the queue; and
+/// every blocking read carries the poll timeout, so the handler notices
+/// sweep completion (and expired leases) within one tick no matter how
+/// silent its peer is.
+fn handle_connection<S: FnMut(&str) + Send>(
+    mut stream: TcpStream,
+    shared: &Mutex<Shared<'_, S>>,
+    poll: Duration,
+) {
+    if stream.set_read_timeout(Some(poll)).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let Ok(clone) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(clone);
+    let mut buf = Vec::new();
+
+    // Phase 1: the peer must hello before anything else.
+    let worker = loop {
+        match read_line(&mut reader, &mut buf) {
+            LineRead::Line(line) => match Message::parse(&line) {
+                Ok(Message::Hello { worker }) => break worker,
+                _ => {
+                    let mut guard = lock(shared);
+                    (*guard).fault(None, "pre-hello");
+                    return;
+                }
+            },
+            LineRead::Timeout => {
+                let mut guard = lock(shared);
+                let sh = &mut *guard;
+                sh.tick(Instant::now());
+                if sh.complete() {
+                    drop(guard);
+                    let _ = write_line(
+                        &mut stream,
+                        &Message::Fin {
+                            reason: FinReason::Complete,
+                        },
+                    );
+                    return;
+                }
+            }
+            LineRead::Eof | LineRead::Failed => return,
+        }
+    };
+    {
+        let mut guard = lock(shared);
+        (*guard).hello(&worker);
+    }
+
+    loop {
+        // Phase 2: get the next lease (or learn the sweep is over).
+        let message = loop {
+            {
+                let mut guard = lock(shared);
+                let sh = &mut *guard;
+                let now = Instant::now();
+                sh.tick(now);
+                match sh.grant(&worker, now) {
+                    Grant::Lease(message) => break message,
+                    Grant::Complete => {
+                        drop(guard);
+                        let _ = write_line(
+                            &mut stream,
+                            &Message::Fin {
+                                reason: FinReason::Complete,
+                            },
+                        );
+                        return;
+                    }
+                    Grant::Wait => {}
+                }
+            }
+            std::thread::sleep(poll);
+        };
+        let lease_id = match &message {
+            Message::Lease { lease, .. } => *lease,
+            _ => return,
+        };
+        if write_line(&mut stream, &message).is_err() {
+            let mut guard = lock(shared);
+            (*guard).lost(Some(lease_id), &worker);
+            return;
+        }
+
+        // Phase 3: drain the lease — progress lines, then done.
+        loop {
+            match read_line(&mut reader, &mut buf) {
+                LineRead::Line(line) => match Message::parse(&line) {
+                    Ok(Message::Progress { lease, record }) => {
+                        let mut guard = lock(shared);
+                        if !(*guard).progress(lease, record, &worker, Instant::now()) {
+                            return;
+                        }
+                    }
+                    Ok(Message::Done { lease, cells }) => {
+                        let mut guard = lock(shared);
+                        if (*guard).done(lease, cells, &worker) {
+                            break;
+                        }
+                        return;
+                    }
+                    Ok(_) | Err(_) => {
+                        let mut guard = lock(shared);
+                        (*guard).fault(Some(lease_id), &worker);
+                        return;
+                    }
+                },
+                LineRead::Timeout => {
+                    let mut guard = lock(shared);
+                    let sh = &mut *guard;
+                    sh.tick(Instant::now());
+                    if sh.complete() {
+                        drop(guard);
+                        let _ = write_line(
+                            &mut stream,
+                            &Message::Fin {
+                                reason: FinReason::Complete,
+                            },
+                        );
+                        return;
+                    }
+                }
+                LineRead::Eof => {
+                    let mut guard = lock(shared);
+                    (*guard).lost(Some(lease_id), &worker);
+                    return;
+                }
+                LineRead::Failed => {
+                    let mut guard = lock(shared);
+                    (*guard).fault(Some(lease_id), &worker);
+                    return;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Incremental, coverage-checked assembly of a full-grid shard file from
+//! out-of-order fleet fragments.
+//!
+//! [`IncrementalMerge`] is the coordinator's single source of truth about
+//! which cells exist: a record is *in the sweep* exactly when `insert`
+//! accepted it. Everything else (leases, workers, reassignments) is
+//! scheduling noise on top. Two properties make worker churn safe:
+//!
+//! - **Validation on entry.** Every record's index must be in range, its
+//!   seed must re-derive from the grid seed ([`cell_seed`]), and no index
+//!   may merge twice — the same checks [`merge`] applies to whole shard
+//!   files, applied one record at a time.
+//! - **Prefix streaming.** [`drain_ready`](IncrementalMerge::drain_ready)
+//!   releases records strictly in index order, so a sink that appends them
+//!   after the header always holds a valid
+//!   [`PartialShardFile`](crate::sweep::PartialShardFile) prefix —
+//!   a coordinator killed mid-run leaves a resumable artifact, exactly
+//!   like a killed sequential sweep.
+//!
+//! [`finish`](IncrementalMerge::finish) does not trust the bookkeeping:
+//! it runs the assembled file back through the existing
+//! [`merge`] coverage checker, so the final bytes are
+//! certified by the same code path that certifies sharded sweeps.
+//!
+//! Like `proto.rs`, this file is on the `kset-lint` record path: no
+//! clocks, no randomized iteration order, no panics.
+
+use std::fmt;
+
+use super::proto::GridId;
+use crate::sweep::cell_seed;
+use crate::sweep::record::{merge, CellRecord, MergeError, ShardFile, SweepHeader};
+
+/// Assembles a [`ShardFile`] covering the whole grid from records arriving
+/// in any order, validating each on entry. See the module docs.
+#[derive(Debug)]
+pub struct IncrementalMerge {
+    header: SweepHeader,
+    grid_seed: u64,
+    slots: Vec<Option<CellRecord>>,
+    filled: usize,
+    written: usize,
+}
+
+impl IncrementalMerge {
+    /// An empty merge for `grid` (the caller validates the `GridId`).
+    pub fn new(grid: &GridId) -> IncrementalMerge {
+        IncrementalMerge {
+            header: grid.full_header(),
+            grid_seed: grid.grid_seed,
+            slots: std::iter::repeat_with(|| None).take(grid.total).collect(),
+            filled: 0,
+            written: 0,
+        }
+    }
+
+    /// The full-grid header (`shard 0/1`) of the file being assembled.
+    pub fn header(&self) -> &SweepHeader {
+        &self.header
+    }
+
+    /// Accepts one record, or rejects it with the reason. Rejection never
+    /// corrupts the merge — the caller decides whether the *source* of the
+    /// bad record is worth keeping.
+    pub fn insert(&mut self, record: CellRecord) -> Result<(), FleetMergeError> {
+        let index = record.index;
+        let Some(slot) = self.slots.get_mut(index) else {
+            return Err(FleetMergeError::IndexOutOfRange {
+                index,
+                total: self.header.total,
+            });
+        };
+        let derived = cell_seed(self.grid_seed, index);
+        if record.seed != derived {
+            return Err(FleetMergeError::SeedMismatch {
+                index,
+                derived,
+                found: record.seed,
+            });
+        }
+        if slot.is_some() {
+            return Err(FleetMergeError::DuplicateIndex { index });
+        }
+        *slot = Some(record);
+        self.filled += 1;
+        Ok(())
+    }
+
+    /// Whether `index` has merged already.
+    pub fn covered(&self, index: usize) -> bool {
+        self.slots.get(index).is_some_and(Option::is_some)
+    }
+
+    /// How many cells have merged.
+    pub fn filled(&self) -> usize {
+        self.filled
+    }
+
+    /// Whether every cell of the grid has merged.
+    pub fn is_complete(&self) -> bool {
+        self.filled == self.slots.len()
+    }
+
+    /// The maximal runs of still-missing indices, in index order — the
+    /// work a coordinator (fresh or restarted from a partial file) still
+    /// owes.
+    pub fn owed_runs(&self) -> Vec<std::ops::Range<usize>> {
+        let mut runs = Vec::new();
+        let mut run_start = None;
+        for (index, slot) in self.slots.iter().enumerate() {
+            match (slot, run_start) {
+                (None, None) => run_start = Some(index),
+                (Some(_), Some(start)) => {
+                    runs.push(start..index);
+                    run_start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(start) = run_start {
+            runs.push(start..self.slots.len());
+        }
+        runs
+    }
+
+    /// Feeds `emit` every record of the contiguous merged prefix that has
+    /// not been emitted yet, in index order. Appending these (rendered)
+    /// after the header keeps the sink a valid partial-file prefix at all
+    /// times.
+    pub fn drain_ready(&mut self, mut emit: impl FnMut(&CellRecord)) {
+        while let Some(Some(record)) = self.slots.get(self.written) {
+            emit(record);
+            self.written += 1;
+        }
+    }
+
+    /// Certifies and returns the completed file by running it through the
+    /// [`merge`] coverage checker — the same referee
+    /// that certifies sharded sweeps. Incomplete coverage surfaces as the
+    /// checker's own [`MergeError`], never as a panic.
+    pub fn finish(self) -> Result<ShardFile, MergeError> {
+        let file = ShardFile {
+            header: self.header,
+            records: self.slots.into_iter().flatten().collect(),
+        };
+        merge(&[file])
+    }
+}
+
+/// Why a record was rejected by [`IncrementalMerge::insert`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetMergeError {
+    /// The record indexes a cell outside the grid.
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The grid's cell count.
+        total: usize,
+    },
+    /// The record's seed does not re-derive from the grid seed — the
+    /// worker computed a different grid than it was leased.
+    SeedMismatch {
+        /// The offending index.
+        index: usize,
+        /// The seed the grid derives for that index.
+        derived: u64,
+        /// The seed the record carried.
+        found: u64,
+    },
+    /// The cell already merged (a record may enter the sweep only once).
+    DuplicateIndex {
+        /// The offending index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for FleetMergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetMergeError::IndexOutOfRange { index, total } => {
+                write!(f, "cell {index} outside the grid ({total} cells)")
+            }
+            FleetMergeError::SeedMismatch {
+                index,
+                derived,
+                found,
+            } => write!(
+                f,
+                "cell {index}: seed {found:#018x} does not re-derive from the \
+                 grid seed (expected {derived:#018x})"
+            ),
+            FleetMergeError::DuplicateIndex { index } => {
+                write!(f, "cell {index} already merged")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetMergeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::record::render_footer;
+
+    fn grid_id(total: usize) -> GridId {
+        GridId {
+            grid: "synthetic".to_string(),
+            grid_seed: 7,
+            axes: "unit".to_string(),
+            total,
+        }
+    }
+
+    fn record(grid: &GridId, index: usize) -> CellRecord {
+        CellRecord {
+            index,
+            n: 4,
+            f: 1,
+            k: 1,
+            seed: cell_seed(grid.grid_seed, index),
+            digest: 0x1000 + index as u64,
+            obs: None,
+        }
+    }
+
+    #[test]
+    fn out_of_order_inserts_finish_to_sequential_bytes() {
+        let id = grid_id(5);
+        let mut inc = IncrementalMerge::new(&id);
+        for index in [3, 0, 4, 1, 2] {
+            inc.insert(record(&id, index)).unwrap();
+        }
+        assert!(inc.is_complete());
+        let file = inc.finish().unwrap();
+        let sequential = ShardFile {
+            header: id.full_header(),
+            records: (0..5).map(|i| record(&id, i)).collect(),
+        };
+        assert_eq!(file.render(), sequential.render());
+    }
+
+    #[test]
+    fn drain_ready_streams_a_valid_prefix() {
+        let id = grid_id(4);
+        let mut inc = IncrementalMerge::new(&id);
+        let mut sink = inc.header().render();
+        let drain = |inc: &mut IncrementalMerge, sink: &mut String| {
+            inc.drain_ready(|r| {
+                sink.push_str(&r.render_line());
+                sink.push('\n');
+            });
+        };
+        inc.insert(record(&id, 2)).unwrap();
+        drain(&mut inc, &mut sink);
+        // Index 2 is merged but not ready: 0 and 1 are missing.
+        let partial = crate::sweep::PartialShardFile::parse(&sink).unwrap();
+        assert_eq!(partial.owed(), 0..4);
+
+        inc.insert(record(&id, 0)).unwrap();
+        inc.insert(record(&id, 1)).unwrap();
+        drain(&mut inc, &mut sink);
+        let partial = crate::sweep::PartialShardFile::parse(&sink).unwrap();
+        assert_eq!(partial.owed(), 3..4, "0..=2 released once 0 and 1 landed");
+
+        inc.insert(record(&id, 3)).unwrap();
+        drain(&mut inc, &mut sink);
+        sink.push_str(&render_footer(4));
+        let file = inc.finish().unwrap();
+        assert_eq!(sink, file.render(), "streamed bytes == certified render");
+    }
+
+    #[test]
+    fn rejects_bad_records_without_corruption() {
+        let id = grid_id(3);
+        let mut inc = IncrementalMerge::new(&id);
+        inc.insert(record(&id, 1)).unwrap();
+        assert_eq!(
+            inc.insert(record(&id, 3)),
+            Err(FleetMergeError::IndexOutOfRange { index: 3, total: 3 })
+        );
+        let mut lying = record(&id, 0);
+        lying.seed ^= 1;
+        assert!(matches!(
+            inc.insert(lying),
+            Err(FleetMergeError::SeedMismatch { index: 0, .. })
+        ));
+        assert_eq!(
+            inc.insert(record(&id, 1)),
+            Err(FleetMergeError::DuplicateIndex { index: 1 })
+        );
+        assert_eq!(inc.filled(), 1, "rejections merged nothing");
+        assert_eq!(inc.owed_runs(), vec![0..1, 2..3]);
+    }
+
+    #[test]
+    fn incomplete_finish_is_a_merge_error_not_a_panic() {
+        let id = grid_id(3);
+        let mut inc = IncrementalMerge::new(&id);
+        inc.insert(record(&id, 0)).unwrap();
+        assert!(inc.finish().is_err());
+    }
+
+    #[test]
+    fn owed_runs_cover_sparse_seeding() {
+        let id = grid_id(6);
+        let mut inc = IncrementalMerge::new(&id);
+        assert_eq!(inc.owed_runs(), vec![0..6]);
+        inc.insert(record(&id, 0)).unwrap();
+        inc.insert(record(&id, 3)).unwrap();
+        assert_eq!(inc.owed_runs(), vec![1..3, 4..6]);
+        assert!(inc.covered(3) && !inc.covered(4));
+    }
+}

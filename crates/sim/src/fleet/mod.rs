@@ -1,0 +1,115 @@
+//! Fleet coordination: a work-stealing coordinator that farms sweep cells
+//! out to TCP workers and incrementally merges their `kset-sweep v2`
+//! fragments back into the sequential reference bytes.
+//!
+//! The paper's failure model — processes crash, messages go undelivered —
+//! is exactly the failure model of a sweep fleet, and this module holds
+//! the same line the sharded sweeps of PRs 4–5 hold: **any** execution
+//! history, under **any** worker churn, either merges to a file
+//! byte-identical to `sweep --seq` or fails loudly with a typed error.
+//! No lost cells, no duplicated cells, no silent drift.
+//!
+//! The layering, from pure to imperative:
+//!
+//! - [`proto`] — the five-verb line protocol (`hello` / `lease` /
+//!   `progress` / `done` / `fin`). Pure grammar, on the lint record path.
+//! - [`merge`] — [`IncrementalMerge`]: out-of-order record assembly with
+//!   validation on entry and in-order prefix streaming, certified at the
+//!   end by [`crate::sweep::merge`]. Also on the record path.
+//! - [`state`] — [`FleetState`]: leases, deadlines, reassignment, stale
+//!   message discard. Pure (every method takes `now`), so the nasty races
+//!   are plain unit tests.
+//! - [`observe`] — [`FleetObserver`] hooks and [`FleetCounts`], in the
+//!   mold of [`crate::observe`].
+//! - [`coordinator`] / [`worker`] — the socket shells.
+//!
+//! The merge is the single source of truth: leases only schedule work,
+//! and a record exists exactly when [`IncrementalMerge`] accepted it.
+//! Everything a flaky network or a dying worker can produce — torn lines,
+//! duplicate leases, stale `done`s, re-sent records — is either rejected
+//! at a validation boundary or dropped as stale, and can never change the
+//! output bytes.
+
+pub mod coordinator;
+pub mod merge;
+pub mod observe;
+pub mod proto;
+pub mod state;
+mod wire;
+pub mod worker;
+
+pub use coordinator::{Coordinator, CoordinatorConfig};
+pub use merge::{FleetMergeError, IncrementalMerge};
+pub use observe::{FleetCounter, FleetCounts, FleetObserver, NoFleetObserver};
+pub use proto::{BadGridId, FinReason, GridId, Message, ProtoError, PROTOCOL_MAGIC};
+pub use state::{DoneOutcome, FleetFault, FleetState, Grant, LeaseParams, ProgressOutcome};
+pub use worker::{run_worker, GridRejected, WorkerConfig, WorkerReport};
+
+use std::fmt;
+
+use crate::sweep::record::MergeError;
+
+/// Any way a fleet run can fail. Every variant is a typed, printable
+/// error — fleet code never panics on bad input, bad peers, or bad I/O.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetError {
+    /// The [`GridId`] cannot be rendered on a protocol line.
+    Grid(BadGridId),
+    /// [`LeaseParams::cells`] was zero.
+    BadLeaseParams,
+    /// A resume record failed validation against the grid.
+    Resume(FleetMergeError),
+    /// The completed sweep failed the final coverage certification.
+    Merge(MergeError),
+    /// A socket operation failed (bind, connect, read, write).
+    Io {
+        /// What was being attempted.
+        context: String,
+        /// The rendered [`std::io::Error`].
+        error: String,
+    },
+    /// The peer sent a line outside the protocol grammar.
+    Proto(ProtoError),
+    /// The peer hung up mid-conversation.
+    Disconnected {
+        /// Where in the conversation.
+        context: String,
+    },
+    /// The worker's compute closure refused the leased grid.
+    Rejected(GridRejected),
+    /// A worker name that cannot be a protocol token.
+    BadWorkerName {
+        /// The offending name.
+        name: String,
+    },
+}
+
+impl FleetError {
+    pub(crate) fn io(context: String, error: &std::io::Error) -> FleetError {
+        FleetError::Io {
+            context,
+            error: error.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Grid(e) => write!(f, "bad grid id: {e}"),
+            FleetError::BadLeaseParams => write!(f, "lease size must be at least one cell"),
+            FleetError::Resume(e) => write!(f, "resume record rejected: {e}"),
+            FleetError::Merge(e) => write!(f, "final certification failed: {e}"),
+            FleetError::Io { context, error } => write!(f, "{context}: {error}"),
+            FleetError::Proto(e) => write!(f, "protocol error: {e}"),
+            FleetError::Disconnected { context } => write!(f, "disconnected: {context}"),
+            FleetError::Rejected(e) => write!(f, "{e}"),
+            FleetError::BadWorkerName { name } => write!(
+                f,
+                "worker name must be one non-empty whitespace-free token, got {name:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}

@@ -1,0 +1,113 @@
+//! Fleet-side observation, in the mold of [`crate::observe`]: a trait of
+//! typed per-event hooks with no-op defaults, a do-nothing observer for
+//! callers that only want the final counts, and a counting observer.
+//!
+//! Observation is strictly *read-only reporting*: the state machine in
+//! `state.rs` behaves identically under any observer, and the byte output
+//! of a fleet sweep never depends on what an observer does.
+
+use std::ops::Range;
+
+/// Typed hooks for fleet coordination events. All methods default to
+/// no-ops; implement only what you care about. Implementations must be
+/// `Send` — the coordinator invokes the observer from connection-handler
+/// threads (under the state lock, so callbacks are serialized).
+pub trait FleetObserver: Send {
+    /// A worker completed its `hello`.
+    fn on_worker_connected(&mut self, worker: &str) {
+        let _ = worker;
+    }
+    /// A lease was granted to `worker` for `range`.
+    fn on_lease_granted(&mut self, lease: u64, worker: &str, range: &Range<usize>) {
+        let _ = (lease, worker, range);
+    }
+    /// One cell record was accepted and merged.
+    fn on_cell_merged(&mut self, index: usize) {
+        let _ = index;
+    }
+    /// A lease delivered its whole range and retired cleanly.
+    fn on_lease_completed(&mut self, lease: u64) {
+        let _ = lease;
+    }
+    /// A lease deadline passed; `remainder` goes back to the queue.
+    fn on_lease_expired(&mut self, lease: u64, worker: &str, remainder: &Range<usize>) {
+        let _ = (lease, worker, remainder);
+    }
+    /// A message named a lease that is no longer active and was dropped.
+    fn on_stale_dropped(&mut self, lease: u64) {
+        let _ = lease;
+    }
+    /// A worker's connection ended while it still mattered.
+    fn on_worker_lost(&mut self, worker: &str) {
+        let _ = worker;
+    }
+    /// A worker violated the protocol and was cut off.
+    fn on_protocol_fault(&mut self, worker: &str) {
+        let _ = worker;
+    }
+    /// Every cell of the grid has merged.
+    fn on_complete(&mut self, cells: usize) {
+        let _ = cells;
+    }
+}
+
+/// The do-nothing observer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFleetObserver;
+
+impl FleetObserver for NoFleetObserver {}
+
+/// Monotonic tallies of fleet events — the coordinator's progress report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetCounts {
+    /// Workers that completed `hello`.
+    pub workers: u64,
+    /// Leases granted (including re-grants of stolen ranges).
+    pub leases: u64,
+    /// Leases retired by a matching `done`.
+    pub completed: u64,
+    /// Leases whose deadline passed (remainder requeued).
+    pub expired: u64,
+    /// Cell records accepted and merged.
+    pub merged: u64,
+    /// Stale messages (dead lease ids) dropped without merging.
+    pub stale: u64,
+    /// Worker connections that ended early.
+    pub lost: u64,
+    /// Protocol violations that cut a worker off.
+    pub faults: u64,
+}
+
+/// A [`FleetObserver`] that counts every event into [`FleetCounts`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FleetCounter {
+    /// The tallies so far.
+    pub counts: FleetCounts,
+}
+
+impl FleetObserver for FleetCounter {
+    fn on_worker_connected(&mut self, _worker: &str) {
+        self.counts.workers += 1;
+    }
+    fn on_lease_granted(&mut self, _lease: u64, _worker: &str, _range: &Range<usize>) {
+        self.counts.leases += 1;
+    }
+    fn on_cell_merged(&mut self, _index: usize) {
+        self.counts.merged += 1;
+    }
+    fn on_lease_completed(&mut self, _lease: u64) {
+        self.counts.completed += 1;
+    }
+    fn on_lease_expired(&mut self, _lease: u64, _worker: &str, _remainder: &Range<usize>) {
+        self.counts.expired += 1;
+    }
+    fn on_stale_dropped(&mut self, _lease: u64) {
+        self.counts.stale += 1;
+    }
+    fn on_worker_lost(&mut self, _worker: &str) {
+        self.counts.lost += 1;
+    }
+    fn on_protocol_fault(&mut self, _worker: &str) {
+        self.counts.faults += 1;
+    }
+}

@@ -1,0 +1,638 @@
+//! The coordinator's lease/reassignment state machine, kept pure: every
+//! method takes the current [`Instant`] as an argument and nothing here
+//! reads a clock, touches a socket, or sleeps. The socket shell in
+//! `coordinator.rs` is a thin driver around this type, which is what makes
+//! the duplicate-lease, late-DONE, and expiry races deterministic to test
+//! — the unit tests *choose* `now`.
+//!
+//! State machine (per lease):
+//!
+//! ```text
+//!   pending range --grant--> active --all progress + done--> completed
+//!        ^                     |
+//!        |   deadline passes / | worker lost / protocol fault
+//!        +--- remainder -------+
+//! ```
+//!
+//! Two invariants do all the safety work:
+//!
+//! - Progress within a lease must arrive **in index order**, so an
+//!   expired lease's unfinished remainder is exactly
+//!   `range.start + received .. range.end` — requeueing it loses nothing
+//!   and duplicates nothing.
+//! - A message naming a lease that is no longer active is **stale**: it is
+//!   counted and dropped, never merged. A reassigned-and-completed range
+//!   therefore cannot be double-merged no matter how late the original
+//!   worker's `done` straggles in.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::ops::Range;
+use std::time::{Duration, Instant};
+
+use super::merge::{FleetMergeError, IncrementalMerge};
+use super::observe::{FleetCounts, FleetObserver};
+use super::proto::{GridId, Message};
+use super::FleetError;
+use crate::sweep::record::{CellRecord, MergeError, ShardFile, SweepHeader};
+
+/// How leases are cut and when they expire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseParams {
+    /// Maximum cells per lease (≥ 1). Smaller leases steal work at a
+    /// finer grain; larger ones amortize round-trips.
+    pub cells: usize,
+    /// How long a lease may go without an accepted `progress` record
+    /// before its remainder is reassigned. Must comfortably exceed the
+    /// slowest single cell's compute time, or healthy workers get
+    /// reassigned mid-cell (correct, but wasteful).
+    pub timeout: Duration,
+}
+
+#[derive(Debug)]
+struct ActiveLease {
+    range: Range<usize>,
+    received: usize,
+    worker: String,
+    deadline: Instant,
+}
+
+impl ActiveLease {
+    fn remainder(&self) -> Range<usize> {
+        self.range.start + self.received..self.range.end
+    }
+}
+
+/// What [`FleetState::grant`] handed out.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Grant {
+    /// A lease; send this [`Message::Lease`] to the worker.
+    Lease(Message),
+    /// No work right now, but outstanding leases may still expire and
+    /// requeue — ask again after a tick.
+    Wait,
+    /// Every cell has merged; send `fin` and hang up.
+    Complete,
+}
+
+/// What happened to one `progress` record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgressOutcome {
+    /// Accepted and merged; the lease deadline was extended.
+    Merged,
+    /// The lease is no longer active (expired and reassigned, or simply
+    /// unknown); the record was dropped, not merged.
+    Stale,
+}
+
+/// What happened to a `done` message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DoneOutcome {
+    /// The lease delivered its whole range and is retired.
+    Completed,
+    /// The lease is no longer active; the `done` was dropped.
+    Stale,
+}
+
+/// A worker did something an honest worker cannot do. The shell responds
+/// by failing the lease and closing the connection; the sweep itself is
+/// unharmed (the lease's remainder is requeued).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetFault {
+    /// Progress within a lease must walk the range in order.
+    UnexpectedIndex {
+        /// The lease at fault.
+        lease: u64,
+        /// The next index the lease owes.
+        expected: usize,
+        /// The index the record carried.
+        found: usize,
+    },
+    /// The record failed merge validation (bad index, lying seed, or a
+    /// duplicate — see [`FleetMergeError`]).
+    Merge(FleetMergeError),
+    /// A `done` whose cell count disagrees with what the lease received.
+    DoneMismatch {
+        /// The lease at fault.
+        lease: u64,
+        /// The count the worker declared.
+        declared: usize,
+        /// The count the coordinator accepted.
+        received: usize,
+    },
+}
+
+impl fmt::Display for FleetFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetFault::UnexpectedIndex {
+                lease,
+                expected,
+                found,
+            } => write!(
+                f,
+                "lease {lease}: expected cell {expected} next, got {found}"
+            ),
+            FleetFault::Merge(e) => write!(f, "record rejected: {e}"),
+            FleetFault::DoneMismatch {
+                lease,
+                declared,
+                received,
+            } => write!(
+                f,
+                "lease {lease}: done declares {declared} cells, coordinator \
+                 accepted {received}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FleetFault {}
+
+/// The coordinator's complete scheduling + merging state. See the module
+/// docs for the state machine; see `coordinator.rs` for the socket shell
+/// that drives it.
+#[derive(Debug)]
+pub struct FleetState {
+    grid: GridId,
+    merge: IncrementalMerge,
+    params: LeaseParams,
+    pending: VecDeque<Range<usize>>,
+    active: BTreeMap<u64, ActiveLease>,
+    next_lease: u64,
+    counts: FleetCounts,
+}
+
+impl FleetState {
+    /// A fresh state for `grid`, optionally seeded with `resume` records
+    /// recovered from a partial file (each is validated like any other
+    /// record; only the still-missing runs become pending leases).
+    pub fn new(
+        grid: GridId,
+        params: LeaseParams,
+        resume: Vec<CellRecord>,
+    ) -> Result<FleetState, FleetError> {
+        grid.validate().map_err(FleetError::Grid)?;
+        if params.cells == 0 {
+            return Err(FleetError::BadLeaseParams);
+        }
+        let mut merge = IncrementalMerge::new(&grid);
+        for record in resume {
+            merge.insert(record).map_err(FleetError::Resume)?;
+        }
+        let mut pending = VecDeque::new();
+        for run in merge.owed_runs() {
+            let mut start = run.start;
+            while start < run.end {
+                let end = run.end.min(start + params.cells);
+                pending.push_back(start..end);
+                start = end;
+            }
+        }
+        Ok(FleetState {
+            grid,
+            merge,
+            params,
+            pending,
+            active: BTreeMap::new(),
+            next_lease: 0,
+            counts: FleetCounts::default(),
+        })
+    }
+
+    /// The header of the file this fleet is assembling.
+    pub fn header(&self) -> &SweepHeader {
+        self.merge.header()
+    }
+
+    /// Event counts so far (also mirrored to the observer as events).
+    pub fn counts(&self) -> FleetCounts {
+        self.counts
+    }
+
+    /// Whether every cell of the grid has merged. Outstanding leases do
+    /// not block completion — once all cells are in, their messages are
+    /// stale by definition.
+    pub fn is_complete(&self) -> bool {
+        self.merge.is_complete()
+    }
+
+    /// Records a successful `hello`.
+    pub fn worker_connected(&mut self, worker: &str, obs: &mut dyn FleetObserver) {
+        self.counts.workers += 1;
+        obs.on_worker_connected(worker);
+    }
+
+    /// Hands `worker` the next pending range, if any.
+    pub fn grant(&mut self, worker: &str, now: Instant, obs: &mut dyn FleetObserver) -> Grant {
+        if self.is_complete() {
+            return Grant::Complete;
+        }
+        let Some(range) = self.pending.pop_front() else {
+            return Grant::Wait;
+        };
+        let lease = self.next_lease;
+        self.next_lease += 1;
+        self.active.insert(
+            lease,
+            ActiveLease {
+                range: range.clone(),
+                received: 0,
+                worker: worker.to_string(),
+                deadline: now + self.params.timeout,
+            },
+        );
+        self.counts.leases += 1;
+        obs.on_lease_granted(lease, worker, &range);
+        Grant::Lease(Message::Lease {
+            lease,
+            grid: self.grid.clone(),
+            range,
+        })
+    }
+
+    /// Accepts (or rejects, or drops as stale) one `progress` record.
+    pub fn progress(
+        &mut self,
+        lease: u64,
+        record: CellRecord,
+        now: Instant,
+        obs: &mut dyn FleetObserver,
+    ) -> Result<ProgressOutcome, FleetFault> {
+        let Some(active) = self.active.get_mut(&lease) else {
+            self.counts.stale += 1;
+            obs.on_stale_dropped(lease);
+            return Ok(ProgressOutcome::Stale);
+        };
+        let expected = active.range.start + active.received;
+        if record.index != expected {
+            return Err(FleetFault::UnexpectedIndex {
+                lease,
+                expected,
+                found: record.index,
+            });
+        }
+        let index = record.index;
+        self.merge.insert(record).map_err(FleetFault::Merge)?;
+        active.received += 1;
+        active.deadline = now + self.params.timeout;
+        self.counts.merged += 1;
+        obs.on_cell_merged(index);
+        Ok(ProgressOutcome::Merged)
+    }
+
+    /// Retires a lease whose worker declared it finished.
+    pub fn done(
+        &mut self,
+        lease: u64,
+        cells: usize,
+        obs: &mut dyn FleetObserver,
+    ) -> Result<DoneOutcome, FleetFault> {
+        let Some(active) = self.active.get(&lease) else {
+            self.counts.stale += 1;
+            obs.on_stale_dropped(lease);
+            return Ok(DoneOutcome::Stale);
+        };
+        if cells != active.received || active.received != active.range.len() {
+            return Err(FleetFault::DoneMismatch {
+                lease,
+                declared: cells,
+                received: active.received,
+            });
+        }
+        self.active.remove(&lease);
+        self.counts.completed += 1;
+        obs.on_lease_completed(lease);
+        Ok(DoneOutcome::Completed)
+    }
+
+    /// Reaps every lease whose deadline has passed, requeueing unfinished
+    /// remainders at the *front* of the queue (stolen work is the most
+    /// urgent work). Returns how many leases expired.
+    pub fn expire_due(&mut self, now: Instant, obs: &mut dyn FleetObserver) -> usize {
+        let due: Vec<u64> = self
+            .active
+            .iter()
+            .filter(|(_, l)| l.deadline <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &due {
+            if let Some(lease) = self.active.remove(id) {
+                let remainder = lease.remainder();
+                self.counts.expired += 1;
+                obs.on_lease_expired(*id, &lease.worker, &remainder);
+                if !remainder.is_empty() {
+                    self.pending.push_front(remainder);
+                }
+            }
+        }
+        due.len()
+    }
+
+    /// The worker behind `lease` disconnected (EOF, write error). Requeues
+    /// the unfinished remainder immediately.
+    pub fn worker_lost(&mut self, lease: Option<u64>, worker: &str, obs: &mut dyn FleetObserver) {
+        self.counts.lost += 1;
+        obs.on_worker_lost(worker);
+        self.release(lease);
+    }
+
+    /// The worker behind `lease` violated the protocol (bad line, bad
+    /// record, bad counts). Requeues the unfinished remainder immediately;
+    /// the shell closes the connection.
+    pub fn protocol_fault(
+        &mut self,
+        lease: Option<u64>,
+        worker: &str,
+        obs: &mut dyn FleetObserver,
+    ) {
+        self.counts.faults += 1;
+        obs.on_protocol_fault(worker);
+        self.release(lease);
+    }
+
+    fn release(&mut self, lease: Option<u64>) {
+        if let Some(id) = lease {
+            if let Some(lease) = self.active.remove(&id) {
+                let remainder = lease.remainder();
+                if !remainder.is_empty() {
+                    self.pending.push_front(remainder);
+                }
+            }
+        }
+    }
+
+    /// Streams the not-yet-emitted contiguous prefix of merged records
+    /// (see [`IncrementalMerge::drain_ready`]).
+    pub fn drain_ready(&mut self, emit: impl FnMut(&CellRecord)) {
+        self.merge.drain_ready(emit);
+    }
+
+    /// Certifies the completed sweep through the [`crate::sweep::merge`]
+    /// coverage checker and returns the file plus final counts.
+    pub fn finish(
+        self,
+        obs: &mut dyn FleetObserver,
+    ) -> Result<(ShardFile, FleetCounts), MergeError> {
+        let file = self.merge.finish()?;
+        obs.on_complete(file.records.len());
+        Ok((file, self.counts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::observe::NoFleetObserver;
+    use super::*;
+    use crate::sweep::cell_seed;
+
+    fn grid_id(total: usize) -> GridId {
+        GridId {
+            grid: "synthetic".to_string(),
+            grid_seed: 11,
+            axes: "unit".to_string(),
+            total,
+        }
+    }
+
+    fn record(grid: &GridId, index: usize) -> CellRecord {
+        CellRecord {
+            index,
+            n: 4,
+            f: 1,
+            k: 1,
+            seed: cell_seed(grid.grid_seed, index),
+            digest: 0x2000 + index as u64,
+            obs: None,
+        }
+    }
+
+    fn state(total: usize, cells: usize) -> FleetState {
+        FleetState::new(
+            grid_id(total),
+            LeaseParams {
+                cells,
+                timeout: Duration::from_millis(100),
+            },
+            Vec::new(),
+        )
+        .unwrap()
+    }
+
+    fn lease_of(grant: Grant) -> (u64, Range<usize>) {
+        match grant {
+            Grant::Lease(Message::Lease { lease, range, .. }) => (lease, range),
+            other => panic!("expected a lease, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn grants_cover_the_grid_in_chunks() {
+        let mut s = state(7, 3);
+        let obs = &mut NoFleetObserver;
+        let t0 = Instant::now();
+        let (_, r0) = lease_of(s.grant("a", t0, obs));
+        let (_, r1) = lease_of(s.grant("b", t0, obs));
+        let (_, r2) = lease_of(s.grant("a", t0, obs));
+        assert_eq!((r0, r1, r2), (0..3, 3..6, 6..7));
+        assert_eq!(s.grant("b", t0, obs), Grant::Wait);
+    }
+
+    #[test]
+    fn expiry_requeues_exactly_the_remainder() {
+        let mut s = state(6, 3);
+        let obs = &mut NoFleetObserver;
+        let t0 = Instant::now();
+        let (id, range) = lease_of(s.grant("slow", t0, obs));
+        assert_eq!(range, 0..3);
+        let grid = grid_id(6);
+        // One cell lands, then the worker goes quiet past the deadline.
+        s.progress(id, record(&grid, 0), t0, obs).unwrap();
+        assert_eq!(s.expire_due(t0 + Duration::from_millis(99), obs), 0);
+        assert_eq!(s.expire_due(t0 + Duration::from_millis(101), obs), 1);
+        // The remainder 1..3 is requeued at the FRONT.
+        let (_, stolen) = lease_of(s.grant("fast", t0, obs));
+        assert_eq!(stolen, 1..3);
+        assert_eq!(s.counts().expired, 1);
+    }
+
+    #[test]
+    fn progress_extends_the_deadline() {
+        let mut s = state(3, 3);
+        let obs = &mut NoFleetObserver;
+        let t0 = Instant::now();
+        let (id, _) = lease_of(s.grant("w", t0, obs));
+        let grid = grid_id(3);
+        let t1 = t0 + Duration::from_millis(90);
+        s.progress(id, record(&grid, 0), t1, obs).unwrap();
+        // t0's deadline (t0+100) has passed, but progress at t1 renewed it.
+        assert_eq!(s.expire_due(t0 + Duration::from_millis(150), obs), 0);
+        assert_eq!(s.expire_due(t1 + Duration::from_millis(101), obs), 1);
+    }
+
+    #[test]
+    fn stale_progress_and_late_done_are_dropped_not_merged() {
+        let mut s = state(3, 3);
+        let obs = &mut NoFleetObserver;
+        let t0 = Instant::now();
+        let grid = grid_id(3);
+        let (old, _) = lease_of(s.grant("slow", t0, obs));
+        s.progress(old, record(&grid, 0), t0, obs).unwrap();
+        s.expire_due(t0 + Duration::from_secs(1), obs);
+
+        // The range is reassigned and completed by a healthy worker.
+        let (new, range) = lease_of(s.grant("fast", t0, obs));
+        assert_eq!(range, 1..3);
+        for i in range {
+            assert_eq!(
+                s.progress(new, record(&grid, i), t0, obs),
+                Ok(ProgressOutcome::Merged)
+            );
+        }
+        assert_eq!(s.done(new, 2, obs), Ok(DoneOutcome::Completed));
+        assert!(s.is_complete());
+
+        // The original worker straggles back: every message is stale.
+        assert_eq!(
+            s.progress(old, record(&grid, 1), t0, obs),
+            Ok(ProgressOutcome::Stale)
+        );
+        assert_eq!(s.done(old, 3, obs), Ok(DoneOutcome::Stale));
+        assert_eq!(s.counts().stale, 2);
+        assert_eq!(s.counts().merged, 3, "the stale record did not merge");
+        let (file, _) = s.finish(obs).unwrap();
+        assert_eq!(file.records.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_lease_grant_cannot_double_merge() {
+        // The "duplicate lease" race: a lease expires while its worker is
+        // alive; the worker keeps sending under the old id while the new
+        // holder works the same range. Only the active id merges.
+        let mut s = state(2, 2);
+        let obs = &mut NoFleetObserver;
+        let t0 = Instant::now();
+        let grid = grid_id(2);
+        let (old, _) = lease_of(s.grant("a", t0, obs));
+        s.expire_due(t0 + Duration::from_secs(1), obs);
+        let (new, _) = lease_of(s.grant("b", t0, obs));
+        assert_ne!(old, new, "lease ids are never reused");
+        s.progress(new, record(&grid, 0), t0, obs).unwrap();
+        assert_eq!(
+            s.progress(old, record(&grid, 0), t0, obs),
+            Ok(ProgressOutcome::Stale)
+        );
+        s.progress(new, record(&grid, 1), t0, obs).unwrap();
+        assert!(s.is_complete());
+    }
+
+    #[test]
+    fn out_of_order_progress_is_a_fault() {
+        let mut s = state(3, 3);
+        let obs = &mut NoFleetObserver;
+        let t0 = Instant::now();
+        let grid = grid_id(3);
+        let (id, _) = lease_of(s.grant("w", t0, obs));
+        assert_eq!(
+            s.progress(id, record(&grid, 1), t0, obs),
+            Err(FleetFault::UnexpectedIndex {
+                lease: id,
+                expected: 0,
+                found: 1
+            })
+        );
+        // The shell then fails the lease; the whole range requeues.
+        s.protocol_fault(Some(id), "w", obs);
+        let (_, range) = lease_of(s.grant("w2", t0, obs));
+        assert_eq!(range, 0..3);
+    }
+
+    #[test]
+    fn done_count_mismatch_is_a_fault() {
+        let mut s = state(2, 2);
+        let obs = &mut NoFleetObserver;
+        let t0 = Instant::now();
+        let grid = grid_id(2);
+        let (id, _) = lease_of(s.grant("w", t0, obs));
+        s.progress(id, record(&grid, 0), t0, obs).unwrap();
+        assert!(matches!(
+            s.done(id, 1, obs),
+            Err(FleetFault::DoneMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn lying_seed_is_a_fault() {
+        let mut s = state(2, 2);
+        let obs = &mut NoFleetObserver;
+        let t0 = Instant::now();
+        let grid = grid_id(2);
+        let (id, _) = lease_of(s.grant("w", t0, obs));
+        let mut lying = record(&grid, 0);
+        lying.seed ^= 0xdead;
+        assert!(matches!(
+            s.progress(id, lying, t0, obs),
+            Err(FleetFault::Merge(FleetMergeError::SeedMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    fn resume_leases_only_owed_cells() {
+        let grid = grid_id(5);
+        let resume: Vec<CellRecord> = (0..2).map(|i| record(&grid, i)).collect();
+        let mut s = FleetState::new(
+            grid.clone(),
+            LeaseParams {
+                cells: 10,
+                timeout: Duration::from_millis(100),
+            },
+            resume,
+        )
+        .unwrap();
+        let obs = &mut NoFleetObserver;
+        let (_, range) = lease_of(s.grant("w", Instant::now(), obs));
+        assert_eq!(range, 2..5, "only the owed tail is leased");
+    }
+
+    #[test]
+    fn fully_seeded_resume_is_complete_before_any_worker() {
+        let grid = grid_id(3);
+        let resume: Vec<CellRecord> = (0..3).map(|i| record(&grid, i)).collect();
+        let mut s = FleetState::new(
+            grid,
+            LeaseParams {
+                cells: 2,
+                timeout: Duration::from_millis(100),
+            },
+            resume,
+        )
+        .unwrap();
+        assert!(s.is_complete());
+        assert_eq!(
+            s.grant("w", Instant::now(), &mut NoFleetObserver),
+            Grant::Complete
+        );
+    }
+
+    #[test]
+    fn bad_lease_params_and_bad_grid_are_typed_errors() {
+        let params = LeaseParams {
+            cells: 0,
+            timeout: Duration::from_millis(1),
+        };
+        assert!(matches!(
+            FleetState::new(grid_id(1), params, Vec::new()),
+            Err(FleetError::BadLeaseParams)
+        ));
+        let mut bad = grid_id(1);
+        bad.axes = "two tokens".to_string();
+        let params = LeaseParams {
+            cells: 1,
+            timeout: Duration::from_millis(1),
+        };
+        assert!(matches!(
+            FleetState::new(bad, params, Vec::new()),
+            Err(FleetError::Grid(_))
+        ));
+    }
+}

@@ -1,0 +1,61 @@
+//! Line framing over TCP, shared by the coordinator and the worker.
+//!
+//! The one non-obvious requirement: the coordinator reads with a short
+//! socket timeout so handler threads can tick lease expiry while a peer
+//! is silent — and a timeout can fire **mid-line**. `read_line` therefore
+//! accumulates into a caller-owned buffer that survives timeouts; a line
+//! is only ever surfaced once its `\n` arrives, so a torn protocol line
+//! is never parsed (mirroring how `PartialShardFile` drops torn tails).
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+use super::proto::Message;
+
+/// One attempt to read a line. `Timeout` means "nothing complete yet,
+/// call again with the same buffer"; bytes already received are kept.
+#[derive(Debug)]
+pub(crate) enum LineRead {
+    /// A complete `\n`-terminated line (newline stripped).
+    Line(String),
+    /// The read timed out before the newline arrived.
+    Timeout,
+    /// The peer closed the stream (any torn unterminated tail is
+    /// dropped, never parsed).
+    Eof,
+    /// The stream failed (I/O error or non-UTF-8 line).
+    Failed,
+}
+
+pub(crate) fn read_line<R: Read>(reader: &mut BufReader<R>, buf: &mut Vec<u8>) -> LineRead {
+    match reader.read_until(b'\n', buf) {
+        Ok(0) => LineRead::Eof,
+        Ok(_) => {
+            if buf.last() != Some(&b'\n') {
+                // read_until returns without a delimiter only at EOF:
+                // the line is torn, so the bytes are unusable.
+                return LineRead::Eof;
+            }
+            buf.pop();
+            match String::from_utf8(std::mem::take(buf)) {
+                Ok(line) => LineRead::Line(line),
+                Err(_) => LineRead::Failed,
+            }
+        }
+        Err(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
+            ) =>
+        {
+            LineRead::Timeout
+        }
+        Err(_) => LineRead::Failed,
+    }
+}
+
+pub(crate) fn write_line(stream: &mut TcpStream, msg: &Message) -> io::Result<()> {
+    let mut line = msg.render();
+    line.push('\n');
+    stream.write_all(line.as_bytes())
+}

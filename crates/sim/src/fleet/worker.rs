@@ -1,0 +1,156 @@
+//! The fleet worker: connect, hello, then loop — take a lease, stream one
+//! `progress` record per computed cell, declare `done`, repeat until the
+//! coordinator says `fin`.
+//!
+//! The worker is grid-agnostic: the `compute` closure owns catalog
+//! resolution (and must *reject* a [`GridId`] it cannot faithfully
+//! reproduce — a worker computing the wrong grid is caught again
+//! coordinator-side by seed re-derivation, but rejecting early is
+//! cheaper and names the reason).
+//!
+//! Fault injection for the conformance suites and the CI chaos gate:
+//! [`WorkerConfig::fail_after`] makes the worker drop its connection
+//! cold — no goodbye, mid-lease — after computing that many cells
+//! lifetime, which is exactly what a crash looks like to the
+//! coordinator.
+
+use std::fmt;
+use std::io::BufReader;
+use std::net::TcpStream;
+
+use super::proto::{GridId, Message, ProtoError};
+use super::wire::{read_line, write_line, LineRead};
+use super::FleetError;
+use crate::sweep::record::CellRecord;
+
+/// Worker identity and fault injection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerConfig {
+    /// Self-chosen name (one non-empty whitespace-free token), used only
+    /// in coordinator-side reporting.
+    pub name: String,
+    /// If set, the worker abruptly drops its connection after computing
+    /// this many cells in total — `Some(0)` dies holding a fresh lease
+    /// before sending any progress.
+    pub fail_after: Option<usize>,
+}
+
+impl WorkerConfig {
+    /// A healthy worker named `name`.
+    pub fn new(name: impl Into<String>) -> WorkerConfig {
+        WorkerConfig {
+            name: name.into(),
+            fail_after: None,
+        }
+    }
+}
+
+/// What a worker did before returning.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Leases accepted.
+    pub leases: usize,
+    /// Cells computed *and delivered*.
+    pub cells: usize,
+    /// Whether the run ended by [`WorkerConfig::fail_after`] injection.
+    pub injected_failure: bool,
+}
+
+/// The compute closure refused a [`GridId`] (unknown grid, wrong seed or
+/// axes signature, index out of range — anything it cannot faithfully
+/// reproduce).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridRejected {
+    /// Why, for the human reading the worker's exit.
+    pub reason: String,
+}
+
+impl fmt::Display for GridRejected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "grid rejected: {}", self.reason)
+    }
+}
+
+impl std::error::Error for GridRejected {}
+
+/// Runs one worker to completion against the coordinator at `addr`.
+///
+/// Returns the report when the coordinator says `fin` (or when an
+/// injected failure triggers — the only case where `injected_failure` is
+/// set). An unreachable address, a mid-conversation disconnect, and a
+/// rejected grid are all typed [`FleetError`]s, never panics.
+pub fn run_worker<F>(
+    addr: &str,
+    config: &WorkerConfig,
+    mut compute: F,
+) -> Result<WorkerReport, FleetError>
+where
+    F: FnMut(&GridId, usize) -> Result<CellRecord, GridRejected>,
+{
+    if config.name.is_empty() || config.name.contains(char::is_whitespace) {
+        return Err(FleetError::BadWorkerName {
+            name: config.name.clone(),
+        });
+    }
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| FleetError::io(format!("connect {addr}"), &e))?;
+    let _ = stream.set_nodelay(true);
+    let clone = stream
+        .try_clone()
+        .map_err(|e| FleetError::io("clone stream".to_string(), &e))?;
+    let mut reader = BufReader::new(clone);
+    let io = |context: &str| {
+        let context = context.to_string();
+        move |e: std::io::Error| FleetError::io(context, &e)
+    };
+    write_line(
+        &mut stream,
+        &Message::Hello {
+            worker: config.name.clone(),
+        },
+    )
+    .map_err(io("send hello"))?;
+
+    let mut report = WorkerReport::default();
+    let mut buf = Vec::new();
+    loop {
+        let line = match read_line(&mut reader, &mut buf) {
+            LineRead::Line(line) => line,
+            LineRead::Timeout => continue,
+            LineRead::Eof => {
+                return Err(FleetError::Disconnected {
+                    context: "coordinator hung up without fin".to_string(),
+                });
+            }
+            LineRead::Failed => {
+                return Err(FleetError::Disconnected {
+                    context: "stream failed mid-conversation".to_string(),
+                });
+            }
+        };
+        match Message::parse(&line).map_err(FleetError::Proto)? {
+            Message::Lease { lease, grid, range } => {
+                report.leases += 1;
+                let mut sent = 0;
+                for index in range {
+                    if Some(report.cells) == config.fail_after {
+                        // Crash: drop the connection cold, mid-lease.
+                        report.injected_failure = true;
+                        return Ok(report);
+                    }
+                    let record = compute(&grid, index).map_err(FleetError::Rejected)?;
+                    write_line(&mut stream, &Message::Progress { lease, record })
+                        .map_err(io("send progress"))?;
+                    report.cells += 1;
+                    sent += 1;
+                }
+                write_line(&mut stream, &Message::Done { lease, cells: sent })
+                    .map_err(io("send done"))?;
+            }
+            Message::Fin { .. } => return Ok(report),
+            Message::Hello { .. } | Message::Progress { .. } | Message::Done { .. } => {
+                return Err(FleetError::Proto(ProtoError::Malformed { line }));
+            }
+        }
+    }
+}

@@ -93,6 +93,7 @@ mod buffer;
 mod engine;
 pub mod explore;
 mod failure;
+pub mod fleet;
 mod ids;
 pub mod indist;
 mod message;

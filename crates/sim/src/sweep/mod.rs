@@ -59,8 +59,8 @@ pub mod stream;
 
 pub use batched::sweep_batched;
 pub use record::{
-    merge, CellRecord, FormatVersion, MergeError, Observation, ParseError, PartialShardFile,
-    ShardFile, SweepHeader,
+    merge, CellLineError, CellRecord, FormatVersion, MergeError, Observation, ParseError,
+    PartialShardFile, ShardFile, SweepHeader,
 };
 pub use shard::{ShardError, ShardSpec};
 pub use stream::{sweep_streaming, sweep_streaming_ordered, StreamError};

@@ -262,7 +262,66 @@ impl CellRecord {
         }
         line
     }
+
+    /// Parses one `cell` line (the inverse of [`CellRecord::render_line`])
+    /// under the grammar of `version` — the single-record entry point the
+    /// fleet protocol shares with the file parser, so a record on the wire
+    /// and a record in a shard file can never drift apart.
+    ///
+    /// This validates the *line* only; contextual checks (index walking,
+    /// seed re-derivation) belong to the caller, exactly as in
+    /// [`ShardFile::parse`].
+    pub fn parse_line(line: &str, version: FormatVersion) -> Result<CellRecord, CellLineError> {
+        let t: Vec<&str> = line.split_whitespace().collect();
+        let ["cell", index, "n", n, "f", f, "k", k, "seed", seed, "digest", digest, ref obs_tokens @ ..] =
+            t[..]
+        else {
+            return Err(CellLineError::Malformed);
+        };
+        let obs = match obs_tokens {
+            [] => None,
+            ["obs", ..] if version == FormatVersion::V1 => {
+                return Err(CellLineError::ObservationInV1);
+            }
+            ["obs", rest @ ..] => {
+                Some(Observation::parse_tokens(rest).ok_or(CellLineError::Malformed)?)
+            }
+            _ => return Err(CellLineError::Malformed),
+        };
+        Ok(CellRecord {
+            index: index.parse().map_err(|_| CellLineError::Malformed)?,
+            n: n.parse().map_err(|_| CellLineError::Malformed)?,
+            f: f.parse().map_err(|_| CellLineError::Malformed)?,
+            k: k.parse().map_err(|_| CellLineError::Malformed)?,
+            seed: parse_hex(seed).ok_or(CellLineError::Malformed)?,
+            digest: parse_hex(digest).ok_or(CellLineError::Malformed)?,
+            obs,
+        })
+    }
 }
+
+/// Why one `cell` line failed to parse (see [`CellRecord::parse_line`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellLineError {
+    /// The line does not match the `cell` token grammar.
+    Malformed,
+    /// The line carries an `obs` tail under the v1 grammar, which has no
+    /// observation syntax.
+    ObservationInV1,
+}
+
+impl fmt::Display for CellLineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellLineError::Malformed => write!(f, "malformed cell line"),
+            CellLineError::ObservationInV1 => {
+                write!(f, "a {FORMAT_MAGIC:?} record cannot carry an obs tail")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CellLineError {}
 
 /// The self-describing header of a shard file.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -596,29 +655,11 @@ impl PartialShardFile {
                         .parse::<usize>()
                         .map_err(|_| ParseError::bad_line(no, line))?;
                 }
-                ["cell", index, "n", n, "f", f, "k", k, "seed", seed, "digest", digest, ref obs_tokens @ ..] =>
-                {
-                    let obs = match obs_tokens {
-                        [] => None,
-                        ["obs", rest @ ..] if version == FormatVersion::V1 => {
-                            let _ = rest;
-                            return Err(ParseError::ObservationInV1 { line: no });
-                        }
-                        ["obs", rest @ ..] => Some(
-                            Observation::parse_tokens(rest)
-                                .ok_or_else(|| ParseError::bad_line(no, line))?,
-                        ),
-                        _ => return Err(ParseError::bad_line(no, line)),
-                    };
-                    let record = CellRecord {
-                        index: index.parse().map_err(|_| ParseError::bad_line(no, line))?,
-                        n: n.parse().map_err(|_| ParseError::bad_line(no, line))?,
-                        f: f.parse().map_err(|_| ParseError::bad_line(no, line))?,
-                        k: k.parse().map_err(|_| ParseError::bad_line(no, line))?,
-                        seed: parse_hex(seed).ok_or_else(|| ParseError::bad_line(no, line))?,
-                        digest: parse_hex(digest).ok_or_else(|| ParseError::bad_line(no, line))?,
-                        obs,
-                    };
+                ["cell", ..] => {
+                    let record = CellRecord::parse_line(line, version).map_err(|e| match e {
+                        CellLineError::Malformed => ParseError::bad_line(no, line),
+                        CellLineError::ObservationInV1 => ParseError::ObservationInV1 { line: no },
+                    })?;
                     match walk.next() {
                         Some(expect) if expect == record.index => {}
                         expect => {

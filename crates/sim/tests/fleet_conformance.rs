@@ -1,0 +1,315 @@
+//! End-to-end fleet conformance over real loopback sockets: under worker
+//! churn (crash injection, hangs, torn lines, protocol garbage), the
+//! coordinator's incrementally-streamed output must be byte-identical to
+//! the sequential reference rendering of the same grid — every time.
+//!
+//! These tests drive a *synthetic* grid (arbitrary digests derived from
+//! the cell seed) so they exercise the fleet machinery without paying for
+//! simulation; the catalog-backed equivalents live in
+//! `crates/bench/tests/fleet_gate.rs`.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use kset_sim::fleet::{
+    run_worker, Coordinator, CoordinatorConfig, FleetCounter, FleetCounts, FleetError, GridId,
+    GridRejected, LeaseParams, WorkerConfig,
+};
+use kset_sim::sweep::record::{Observation, ShardFile};
+use kset_sim::sweep::CellRecord;
+use kset_sim::sweep::{cell_seed, PartialShardFile, ShardSpec};
+
+fn grid_id(grid_seed: u64, total: usize) -> GridId {
+    GridId {
+        grid: "synthetic".to_string(),
+        grid_seed,
+        axes: "conformance-unit".to_string(),
+        total,
+    }
+}
+
+/// The synthetic cell function: fully determined by the grid, so every
+/// worker (and the sequential reference) computes identical records.
+fn synth_record(id: &GridId, index: usize) -> CellRecord {
+    let seed = cell_seed(id.grid_seed, index);
+    CellRecord {
+        index,
+        n: 4 + index % 5,
+        f: 1 + index % 2,
+        k: 1,
+        seed,
+        digest: seed.rotate_left(17) ^ 0x9e37_79b9_7f4a_7c15,
+        obs: if index.is_multiple_of(3) {
+            Some(Observation::Distinct(vec![seed % 3, 7 + seed % 2]))
+        } else {
+            None
+        },
+    }
+}
+
+fn synth_compute(id: &GridId, index: usize) -> Result<CellRecord, GridRejected> {
+    if index >= id.total {
+        return Err(GridRejected {
+            reason: format!("cell {index} outside {} cells", id.total),
+        });
+    }
+    Ok(synth_record(id, index))
+}
+
+fn reference_bytes(id: &GridId) -> String {
+    ShardFile {
+        header: id.full_header(),
+        records: (0..id.total).map(|i| synth_record(id, i)).collect(),
+    }
+    .render()
+}
+
+fn test_config() -> CoordinatorConfig {
+    CoordinatorConfig {
+        lease: LeaseParams {
+            cells: 3,
+            timeout: Duration::from_millis(60),
+        },
+        poll: Duration::from_millis(2),
+    }
+}
+
+/// Binds a coordinator, runs it in a scoped thread while `drive` does
+/// whatever it wants against the address, and returns the streamed bytes
+/// plus the final counts.
+fn run_fleet(
+    id: &GridId,
+    resume: Vec<CellRecord>,
+    drive: impl FnOnce(SocketAddr),
+) -> (String, FleetCounts) {
+    let coordinator =
+        Coordinator::bind("127.0.0.1:0", id.clone(), resume, test_config()).expect("bind");
+    let addr = coordinator.local_addr().expect("local_addr");
+    std::thread::scope(|scope| {
+        let run = scope.spawn(move || {
+            let mut counter = FleetCounter::default();
+            let mut out = String::new();
+            let (file, counts) = coordinator
+                .run(&mut counter, |chunk| out.push_str(chunk))
+                .expect("fleet run");
+            assert_eq!(
+                counter.counts, counts,
+                "observer events and state counts must agree"
+            );
+            assert_eq!(out, file.render(), "streamed bytes == certified render");
+            (out, counts)
+        });
+        drive(addr);
+        run.join().expect("coordinator thread")
+    })
+}
+
+#[test]
+fn chaos_20_seeded_runs_with_killed_workers_merge_to_reference_bytes() {
+    for run_seed in 0..20u64 {
+        let id = grid_id(run_seed, 14 + (run_seed as usize % 7));
+        let reference = reference_bytes(&id);
+        let total = id.total;
+        // Three workers; two die at seeded cells, one stays healthy so the
+        // sweep always finishes. Derive the crash points from `cell_seed`
+        // so the schedule is reproducible but different every run, and
+        // keep them inside the first lease (< 3 cells) so the death is
+        // guaranteed to happen while a lease is held. The saboteurs run to
+        // their deaths *before* the healthy worker starts: two of them can
+        // cover at most 4 of the >=14 cells, so the grid is never complete
+        // when a saboteur connects and the injection always fires.
+        let fails = [
+            cell_seed(run_seed, 1_000) as usize % 3,
+            cell_seed(run_seed, 2_000) as usize % 3,
+        ];
+        let (out, counts) = run_fleet(&id, Vec::new(), |addr| {
+            std::thread::scope(|scope| {
+                for (w, fail_after) in fails.into_iter().enumerate() {
+                    scope.spawn(move || {
+                        let config = WorkerConfig {
+                            name: format!("w-{w}"),
+                            fail_after: Some(fail_after),
+                        };
+                        match run_worker(&addr.to_string(), &config, synth_compute) {
+                            Ok(report) => assert!(report.injected_failure),
+                            other => panic!("saboteur w-{w}: {other:?}"),
+                        }
+                    });
+                }
+            });
+            let healthy = run_worker(&addr.to_string(), &WorkerConfig::new("healthy"), |g, i| {
+                synth_compute(g, i)
+            });
+            match healthy {
+                Ok(report) => assert!(!report.injected_failure),
+                // A worker that outlives completion may see the coordinator
+                // hang up instead of fin.
+                Err(FleetError::Disconnected { .. }) | Err(FleetError::Io { .. }) => {}
+                other => panic!("healthy worker: {other:?}"),
+            }
+        });
+        assert_eq!(out, reference, "run_seed {run_seed}: byte drift");
+        assert_eq!(counts.merged as usize, total, "run_seed {run_seed}");
+        assert!(
+            counts.lost + counts.expired >= 2,
+            "two workers died; their leases must have been recovered: {counts:?}"
+        );
+    }
+}
+
+#[test]
+fn hello_then_silent_hang_is_stolen_by_the_deadline() {
+    let id = grid_id(77, 9);
+    let reference = reference_bytes(&id);
+    let (out, counts) = run_fleet(&id, Vec::new(), |addr| {
+        // The hanger: says hello, takes (implicitly) a lease, never speaks
+        // again. Its lease can only be recovered by deadline expiry.
+        let mut hanger = TcpStream::connect(addr).expect("connect hanger");
+        hanger
+            .write_all(b"hello kset-fleet v1 worker hanger\n")
+            .expect("hello");
+        // Give the coordinator time to grant the hanger the first lease so
+        // the test really exercises expiry, then start the healthy worker.
+        std::thread::sleep(Duration::from_millis(20));
+        let report = run_worker(
+            &addr.to_string(),
+            &WorkerConfig::new("healthy"),
+            synth_compute,
+        )
+        .expect("healthy worker");
+        assert!(report.cells > 0);
+        drop(hanger);
+    });
+    assert_eq!(out, reference);
+    assert!(
+        counts.expired >= 1,
+        "the hanger's lease must expire, not linger: {counts:?}"
+    );
+}
+
+#[test]
+fn torn_lines_and_garbage_are_cut_off_without_byte_drift() {
+    let id = grid_id(5150, 10);
+    let reference = reference_bytes(&id);
+    let (out, counts) = run_fleet(&id, Vec::new(), |addr| {
+        // Peer 1: garbage before hello.
+        let mut garbage = TcpStream::connect(addr).expect("connect");
+        garbage.write_all(b"begin transaction\n").expect("write");
+        // Peer 2: valid hello, then a *torn* progress line (no newline)
+        // and a hangup — the fragment must be dropped, never parsed.
+        let mut torn = TcpStream::connect(addr).expect("connect");
+        torn.write_all(b"hello kset-fleet v1 worker torn\n")
+            .expect("hello");
+        std::thread::sleep(Duration::from_millis(10));
+        torn.write_all(b"progress lease 0 cell 0 n 4 f 1 k 1 seed 0x12")
+            .expect("torn fragment");
+        drop(torn);
+        // Peer 3: valid hello, then a complete-but-malformed line.
+        let mut mangled = TcpStream::connect(addr).expect("connect");
+        mangled
+            .write_all(b"hello kset-fleet v1 worker mangled\n")
+            .expect("hello");
+        std::thread::sleep(Duration::from_millis(10));
+        mangled
+            .write_all(b"progress lease 0 cell zero n 4 f 1 k 1 seed 0x12 digest 0x34\n")
+            .expect("mangled line");
+        drop(garbage);
+        // The healthy worker sweeps whatever the vandals left owed.
+        run_worker(&addr.to_string(), &WorkerConfig::new("healthy"), |g, i| {
+            synth_compute(g, i)
+        })
+        .expect("healthy worker");
+    });
+    assert_eq!(out, reference);
+    assert!(
+        counts.faults >= 1,
+        "the mangled line is a protocol fault: {counts:?}"
+    );
+}
+
+#[test]
+fn restart_from_partial_file_computes_only_owed_cells() {
+    let id = grid_id(31, 12);
+    let reference = reference_bytes(&id);
+
+    // Simulate a coordinator killed mid-run: its on-disk artifact is a
+    // valid partial prefix (here: header + first 5 records + a torn tail
+    // that the parser must drop).
+    let keep = 5;
+    let mut artifact = id.full_header().render();
+    for i in 0..keep {
+        artifact.push_str(&synth_record(&id, i).render_line());
+        artifact.push('\n');
+    }
+    artifact.push_str("cell 5 n 4 f 1 k 1 seed 0x9"); // torn mid-line
+    let partial = PartialShardFile::parse(&artifact).expect("partial parse");
+    assert_eq!(partial.header.shard, ShardSpec::FULL);
+    assert_eq!(partial.owed(), keep..id.total);
+
+    // Restart: seed the new coordinator with the recovered records and
+    // count exactly how many cells the worker recomputes.
+    let computed = AtomicUsize::new(0);
+    let (out, counts) = run_fleet(&id, partial.records, |addr| {
+        run_worker(&addr.to_string(), &WorkerConfig::new("resumer"), |g, i| {
+            computed.fetch_add(1, Ordering::Relaxed);
+            synth_compute(g, i)
+        })
+        .expect("resuming worker");
+    });
+    assert_eq!(out, reference, "resume must converge to the same bytes");
+    assert_eq!(
+        computed.load(Ordering::Relaxed),
+        id.total - keep,
+        "only the owed cells may be recomputed"
+    );
+    assert_eq!(counts.merged as usize, id.total - keep);
+}
+
+#[test]
+fn fully_seeded_resume_completes_without_any_worker() {
+    let id = grid_id(8, 6);
+    let records: Vec<CellRecord> = (0..id.total).map(|i| synth_record(&id, i)).collect();
+    let (out, counts) = run_fleet(&id, records, |_addr| {});
+    assert_eq!(out, reference_bytes(&id));
+    assert_eq!(counts.merged, 0, "nothing left to merge");
+    assert_eq!(counts.leases, 0, "nothing left to lease");
+}
+
+#[test]
+fn in_use_listen_port_is_a_typed_error() {
+    let taken = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = taken.local_addr().expect("local_addr").to_string();
+    let err = Coordinator::bind(&addr, grid_id(1, 3), Vec::new(), test_config())
+        .expect_err("second bind must fail");
+    assert!(
+        matches!(&err, FleetError::Io { context, .. } if context.contains("bind")),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn unreachable_connect_is_a_typed_error() {
+    // A port that was just released: connecting is refused, not hung.
+    let released = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = released.local_addr().expect("local_addr").to_string();
+    drop(released);
+    let err =
+        run_worker(&addr, &WorkerConfig::new("w"), synth_compute).expect_err("connect must fail");
+    assert!(
+        matches!(&err, FleetError::Io { context, .. } if context.contains("connect")),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn bad_worker_name_is_rejected_before_connecting() {
+    let err = run_worker(
+        "127.0.0.1:1",
+        &WorkerConfig::new("two tokens"),
+        synth_compute,
+    )
+    .expect_err("bad name");
+    assert!(matches!(err, FleetError::BadWorkerName { .. }), "{err:?}");
+}
