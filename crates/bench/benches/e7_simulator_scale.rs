@@ -499,6 +499,110 @@ fn bench_batched(c: &mut Criterion) {
     group.finish();
 }
 
+/// The discrete-event substrate's idle-skip claim, measured. One flooding
+/// workload (broadcast once, decide on full coverage; n = 16) runs four
+/// ways:
+///
+/// * `sim_round_robin_eager` — the step substrate with eager delivery:
+///   the dense baseline, 2n units.
+/// * `sim_delay_bounded_2048` — the step substrate emulating latency with
+///   [`DelayBounded`]: every unit of message age costs a scheduler pick,
+///   so the run burns ~Δ idle steps before the first delivery.
+/// * `des_timed_dense_1` / `des_timed_sparse_2048` — the discrete-event
+///   engine at fixed latency 1 and 2048: virtual time between arrivals is
+///   *skipped*, so both cost the same 2n units and the same wall time.
+///
+/// The win is the sparse pair: `des_timed_sparse_2048` stays flat where
+/// `sim_delay_bounded_2048` scales with the latency bound.
+fn bench_des(c: &mut Criterion) {
+    use kset_sim::des::{DesEngine, Latency};
+    use kset_sim::sched::delay_bounded::DelayBounded;
+    use kset_sim::{Effects, Process, ProcessInfo};
+
+    /// Broadcasts its input on the first step, then decides the minimum
+    /// once it has seen values from all `n` processes.
+    #[derive(Debug, Clone, Hash)]
+    struct MinFlood {
+        n: usize,
+        seen: BTreeSet<u64>,
+        sent: bool,
+    }
+
+    impl Process for MinFlood {
+        type Msg = u64;
+        type Input = u64;
+        type Output = u64;
+        type Fd = ();
+
+        fn init(info: ProcessInfo, input: u64) -> Self {
+            MinFlood {
+                n: info.n,
+                seen: BTreeSet::from([input]),
+                sent: false,
+            }
+        }
+
+        fn step(
+            &mut self,
+            delivered: &[Envelope<u64>],
+            _fd: Option<&()>,
+            effects: &mut Effects<u64, u64>,
+        ) {
+            if !self.sent {
+                self.sent = true;
+                let mine = *self.seen.iter().next().unwrap();
+                effects.broadcast(mine);
+            }
+            self.seen.extend(delivered.iter().map(|e| e.payload));
+            if self.seen.len() >= self.n {
+                effects.decide(*self.seen.iter().next().unwrap());
+            }
+        }
+    }
+
+    let mut group = c.benchmark_group("e7_des");
+    group.sample_size(10);
+    let n = 16usize;
+    let delta = 2048u64;
+    let make_sim = || Simulation::<MinFlood, _>::new((0..n as u64).collect(), CrashPlan::none());
+
+    group.bench_function("sim_round_robin_eager", |b| {
+        b.iter(|| {
+            let mut engine = SimEngine::new(make_sim(), RoundRobin::new());
+            engine.drive(u64::MAX);
+            assert_eq!(engine.distinct_decisions().len(), 1);
+            black_box(engine.units())
+        });
+    });
+    group.bench_function("sim_delay_bounded_2048", |b| {
+        b.iter(|| {
+            let mut engine = SimEngine::new(make_sim(), DelayBounded::new(delta));
+            engine.drive(u64::MAX);
+            assert_eq!(engine.distinct_decisions().len(), 1);
+            black_box(engine.units())
+        });
+    });
+    group.bench_function("des_timed_dense_1", |b| {
+        b.iter(|| {
+            let mut engine = DesEngine::timed(make_sim(), Latency::fixed(1), 0, 42);
+            engine.drive(u64::MAX);
+            assert_eq!(engine.distinct_decisions().len(), 1);
+            black_box(engine.units())
+        });
+    });
+    group.bench_function("des_timed_sparse_2048", |b| {
+        b.iter(|| {
+            let mut engine = DesEngine::timed(make_sim(), Latency::fixed(delta), 0, 42);
+            engine.drive(u64::MAX);
+            assert_eq!(engine.distinct_decisions().len(), 1);
+            // The whole point: 2n units regardless of the latency bound.
+            assert_eq!(engine.units(), 2 * n as u64);
+            black_box(engine.units())
+        });
+    });
+    group.finish();
+}
+
 fn bench_pasting_cost(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_pasting_cost");
     group.sample_size(10);
@@ -530,6 +634,7 @@ criterion_group!(
     bench_scenario,
     bench_observe,
     bench_batched,
+    bench_des,
     bench_pasting_cost
 );
 criterion_main!(benches);

@@ -88,6 +88,9 @@ fn main() {
     if want("--e6") {
         e6_graph_lemmas();
     }
+    if want("--e7") {
+        e7_discrete_event();
+    }
 }
 
 /// E1 — Theorem 2: the partially synchronous border, with the Theorem 1
@@ -929,6 +932,62 @@ fn e6_graph_lemmas() {
             glyph(okb).into(),
             max_sources.to_string(),
             (n / (delta + 1)).to_string(),
+        ]);
+    }
+    println!("{t}");
+}
+
+/// E7 — the discrete-event substrate: three-substrate agreement over the
+/// Theorem 8 border grid, then the timed family's idle-skip — the virtual
+/// horizon grows linearly with the latency bound while the executed units
+/// stay constant.
+fn e7_discrete_event() {
+    use kset_core::scenario::{differential, RoundAdapter};
+    use kset_sim::des::Latency;
+    use kset_sim::scenario::{Scenario, ScheduleFamily};
+    use kset_sim::Engine;
+
+    let mut t = Table::new(
+        "E7a — three substrates on the Theorem 8 border grid",
+        &["n", "k", "f", "sim = lock", "des = sim", "units sim/des"],
+    );
+    for cell in kset_impossibility::theorem8_border_cells(42) {
+        let scenario = Scenario::from_cell(&cell);
+        let report = match differential::check::<FloodMin>(&scenario) {
+            Ok(report) => report,
+            Err(_) => continue,
+        };
+        t.row(&[
+            cell.n.to_string(),
+            cell.k.to_string(),
+            cell.f.to_string(),
+            glyph(report.agrees()).into(),
+            glyph(report.des.decisions == report.sim.decisions).into(),
+            format!("{}/{}", report.sim.units, report.des.units),
+        ]);
+    }
+    println!("{t}");
+
+    let mut t = Table::new(
+        "E7b — timed family, fixed latency d (n=8, f=3, k=1): idle time is skipped",
+        &["d", "virtual horizon", "units", "distinct", "decided"],
+    );
+    for d in [1u64, 4, 64, 1024] {
+        let scenario = Scenario::favourable(8, 3, 1).with_schedule(ScheduleFamily::Timed {
+            latency: Latency::fixed(d),
+            gst: 0,
+            seed: 42,
+        });
+        let Ok(mut engine) = scenario.to_des::<RoundAdapter<FloodMin>>() else {
+            continue;
+        };
+        engine.drive(scenario.max_units);
+        t.row(&[
+            d.to_string(),
+            engine.now().to_string(),
+            engine.units().to_string(),
+            engine.distinct_decisions().len().to_string(),
+            glyph(engine.done()).into(),
         ]);
     }
     println!("{t}");

@@ -71,6 +71,36 @@ pub fn run_scenario_lockstep_observed<P: ScenarioRounds>(
     Ok(engine.outcome())
 }
 
+/// Compiles a scenario to the discrete-event substrate and drives it to
+/// completion with `obs` attached — [`run_scenario_des`] observed.
+///
+/// # Errors
+///
+/// Returns the scenario's first [`ScenarioError`] if it fails validation.
+pub fn run_scenario_des_observed<P: ScenarioProcess>(
+    scenario: &Scenario,
+    obs: &mut dyn Observer<P::Output>,
+) -> Result<RunReport<P::Output>, ScenarioError> {
+    let mut engine = scenario.to_des::<P>()?;
+    let status = run_engine_observed(&mut engine, scenario.max_units, obs);
+    Ok(engine.report(status.stop))
+}
+
+/// Compiles a scenario to the discrete-event substrate
+/// ([`kset_sim::des::DesEngine`]) and drives it to completion within the
+/// scenario's unit budget: the timed family runs natively, every other
+/// family through the unit→time embedding.
+///
+/// # Errors
+///
+/// Returns the scenario's first [`ScenarioError`] if it fails validation.
+pub fn run_scenario_des<P: ScenarioProcess>(
+    scenario: &Scenario,
+) -> Result<RunReport<P::Output>, ScenarioError> {
+    let mut engine = scenario.to_des::<P>()?;
+    Ok(engine.drive_to_report(scenario.max_units))
+}
+
 /// Compiles a scenario to the step-level substrate and drives it to
 /// completion within the scenario's unit budget.
 ///

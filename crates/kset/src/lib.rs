@@ -34,12 +34,12 @@
 //! assert!(corollary13_solvable(6, 5));
 //! ```
 //!
-//! See the `examples/` directory for end-to-end demonstrations, and
-//! `EXPERIMENTS.md` for the regenerated border tables.
+//! See the `examples/` directory for end-to-end demonstrations, and the
+//! `experiments` binary (`kset-bench`) for the regenerated border tables.
 //!
-//! ## Architecture: one execution substrate, compact process sets
+//! ## Architecture: three execution substrates, compact process sets
 //!
-//! The workspace executes the paper's computing model through two
+//! The workspace executes the paper's computing model through three
 //! substrates, unified behind the [`sim::Engine`] trait:
 //!
 //! * **the step-level simulator** — [`sim::Simulation`] models the DDS
@@ -50,22 +50,32 @@
 //!   synchronous rounds with mid-round crash injection (the fully
 //!   favourable DDS point, where FloodMin lives). Its engine unit is one
 //!   full round.
+//! * **the discrete-event engine** — [`sim::des::DesEngine`] advances a
+//!   virtual clock through a deterministic min-heap of component
+//!   wake-ups: messages carry real delivery times drawn from seeded
+//!   per-link [`sim::des::Latency`] models, partial synchrony has an
+//!   explicit GST, and crashes strike at timed instants. Sparse
+//!   schedules skip idle time instead of burning steps.
 //!
 //! `Engine` exposes `advance`/`done`/`decisions`/`drive`, so runners
-//! ([`core::runner`]), the experiment harness and the benches drive either
+//! ([`core::runner`]), the experiment harness and the benches drive any
 //! substrate through one API; the bounded explorer ([`sim::explore`])
 //! additionally forks `Simulation` configurations directly for exhaustive
 //! search.
 //!
-//! Above both sits the **scenario layer**: a [`sim::Scenario`] (model
+//! Above all three sits the **scenario layer**: a [`sim::Scenario`] (model
 //! point, proposals, round-oriented crash description, schedule family,
-//! detector choice) compiles to *either* substrate —
+//! detector choice) compiles to *any* substrate —
 //! [`sim::Scenario::to_sim`] on the step side,
+//! [`sim::Scenario::to_des`] on the discrete-event side (unit families
+//! run under a unit→time embedding; the time-native
+//! `ScheduleFamily::Timed` family compiles *only* here), and
 //! [`core::scenario::to_lockstep`] (via [`core::scenario::RoundAdapter`])
 //! on the round side — and
-//! [`core::scenario::differential::check`] compares the two runs,
-//! turning the two-substrate architecture into a tested equivalence. See
-//! ARCHITECTURE.md for the crash-description mapping.
+//! [`core::scenario::differential::check`] compares the three runs
+//! ([`core::scenario::differential::DiffReport`]), turning the multi-substrate
+//! architecture into a tested equivalence. See ARCHITECTURE.md for the
+//! crash-description mapping.
 //!
 //! Every process set in the workspace — partition blocks, quorum/leader
 //! samples, faulty/correct sets, delivery filters — is a

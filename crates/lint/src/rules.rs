@@ -77,8 +77,13 @@ const RECORD_PATH_PREFIXES: &[&str] = &[
 ];
 
 /// Files where the engine-driving internals legitimately live: the homes of
-/// the `_observed` unified event stream.
-const OBSERVER_HOME_FILES: &[&str] = &["crates/sim/src/engine.rs", "crates/core/src/sync.rs"];
+/// the `_observed` unified event stream — the step engine, the lock-step
+/// round executor, and the discrete-event dispatcher.
+const OBSERVER_HOME_FILES: &[&str] = &[
+    "crates/sim/src/engine.rs",
+    "crates/core/src/sync.rs",
+    "crates/sim/src/des/engine.rs",
+];
 
 /// The defining module of `WideSet`/`ProcessSet`: its panicking wrappers are
 /// implemented (and documented) here in terms of the `try_*` forms.
@@ -270,6 +275,9 @@ fn observer_bypass_hits(scanned: &ScannedFile, hits: &mut Vec<(usize, &'static s
         "step_observed",
         "execute_round",
         "execute_round_observed",
+        "tick",
+        "dispatch",
+        "dispatch_observed",
     ];
     for &ident in DRIVERS {
         for at in ident_occurrences(&scanned.lexed.masked, ident) {
@@ -280,8 +288,9 @@ fn observer_bypass_hits(scanned: &ScannedFile, hits: &mut Vec<(usize, &'static s
                     at,
                     OBSERVER_BYPASS,
                     format!(
-                        "`.{ident}(…)` drives an engine outside engine.rs/sync.rs, skipping the \
-                         `_observed` unified event stream"
+                        "`.{ident}(…)` drives an engine outside the substrate homes \
+                         (engine.rs/sync.rs/des/engine.rs), skipping the `_observed` unified \
+                         event stream"
                     ),
                 ));
             }
@@ -395,6 +404,25 @@ mod tests {
             .iter()
             .any(|d| d.rule == OBSERVER_BYPASS));
         assert!(run("crates/sim/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn des_dispatch_entry_points_fire_outside_their_home() {
+        // The discrete-event substrate's drivers are bypass vectors too…
+        for src in [
+            "fn f(e: &mut E) { e.tick(now, &mut acts); }\n",
+            "fn f(e: &mut E) { e.dispatch(); }\n",
+            "fn f(e: &mut E) { e.dispatch_observed(&mut obs); }\n",
+        ] {
+            assert!(
+                run("crates/sim/src/explore.rs", src)
+                    .iter()
+                    .any(|d| d.rule == OBSERVER_BYPASS),
+                "{src}"
+            );
+            // …and their home file is exempt like the other substrates'.
+            assert!(run("crates/sim/src/des/engine.rs", src).is_empty(), "{src}");
+        }
     }
 
     #[test]

@@ -16,3 +16,9 @@ pub fn ok(sim: &mut Sim) {
 pub fn not_a_call(step: usize) -> usize {
     step + 1
 }
+
+pub fn drive_des(engine: &mut DesEngine) {
+    engine.tick(now, &mut actions);
+    engine.dispatch();
+    engine.dispatch_observed(&mut obs);
+}

@@ -114,19 +114,27 @@ fn observer_bypass_fires_at_expected_lines() {
             (rules::OBSERVER_BYPASS, 4, Status::Violation),
             (rules::OBSERVER_BYPASS, 5, Status::Violation),
             (rules::OBSERVER_BYPASS, 13, Status::Allowed),
+            (rules::OBSERVER_BYPASS, 21, Status::Violation),
+            (rules::OBSERVER_BYPASS, 22, Status::Violation),
+            (rules::OBSERVER_BYPASS, 23, Status::Violation),
         ],
         "expected .step/.step_observed at 4/5, allowed .execute_round at 13, \
+         the DES drivers .tick/.dispatch/.dispatch_observed at 21/22/23, and \
          nothing from the comment, the string, or the bare `step` ident: {diags:#?}"
     );
 }
 
 #[test]
 fn observer_bypass_exempts_home_files() {
-    for home in ["crates/sim/src/engine.rs", "crates/core/src/sync.rs"] {
+    for home in [
+        "crates/sim/src/engine.rs",
+        "crates/core/src/sync.rs",
+        "crates/sim/src/des/engine.rs",
+    ] {
         let diags = run_fixture(
             home,
             TargetKind::Lib,
-            "pub fn f(sim: &mut Sim) {\n    sim.step(0);\n}\n",
+            "pub fn f(sim: &mut Sim) {\n    sim.step(0);\n    sim.dispatch();\n}\n",
         );
         assert!(
             diags.iter().all(|d| d.rule != rules::OBSERVER_BYPASS),

@@ -576,7 +576,12 @@ where
     /// picking a crashed process still consumes the unit (adversaries built
     /// from plans may race with plan-driven crashes; they get to observe the
     /// new state on the next call).
-    fn step_once<S, Ob>(&mut self, scheduler: &mut S, obs: &mut Ob) -> bool
+    ///
+    /// `pub(crate)` so the discrete-event substrate
+    /// ([`crate::des::DesEngine`]) can embed unit schedulers tick-for-tick,
+    /// guaranteeing that embedded runs replay the exact `SimEngine` step
+    /// sequence.
+    pub(crate) fn step_once<S, Ob>(&mut self, scheduler: &mut S, obs: &mut Ob) -> bool
     where
         S: Scheduler<P::Msg> + ?Sized,
         Ob: Observer<P::Output> + ?Sized,

@@ -70,7 +70,7 @@ fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 impl<S: FnMut(&str)> Shared<'_, S> {
-    fn tick(&mut self, now: Instant) {
+    fn reap(&mut self, now: Instant) {
         self.state.expire_due(now, self.observer);
     }
 
@@ -203,7 +203,7 @@ impl Coordinator {
                 {
                     let mut guard = lock(shared);
                     let sh = &mut *guard;
-                    sh.tick(Instant::now());
+                    sh.reap(Instant::now());
                     if sh.complete() {
                         break;
                     }
@@ -257,7 +257,7 @@ fn handle_connection<S: FnMut(&str) + Send>(
             LineRead::Timeout => {
                 let mut guard = lock(shared);
                 let sh = &mut *guard;
-                sh.tick(Instant::now());
+                sh.reap(Instant::now());
                 if sh.complete() {
                     drop(guard);
                     let _ = write_line(
@@ -284,7 +284,7 @@ fn handle_connection<S: FnMut(&str) + Send>(
                 let mut guard = lock(shared);
                 let sh = &mut *guard;
                 let now = Instant::now();
-                sh.tick(now);
+                sh.reap(now);
                 match sh.grant(&worker, now) {
                     Grant::Lease(message) => break message,
                     Grant::Complete => {
@@ -300,7 +300,26 @@ fn handle_connection<S: FnMut(&str) + Send>(
                     Grant::Wait => {}
                 }
             }
-            std::thread::sleep(poll);
+            // Wait for capacity by listening on the socket (its read
+            // timeout is the poll interval) instead of sleeping blind: a
+            // queued worker that hangs up cleanly is noticed HERE, so the
+            // summary's `lost` count stays accurate instead of the handler
+            // spinning on grants for a peer that is gone. A worker has
+            // nothing legitimate to say before it holds a lease, so any
+            // line is a protocol fault.
+            match read_line(&mut reader, &mut buf) {
+                LineRead::Timeout => {}
+                LineRead::Eof => {
+                    let mut guard = lock(shared);
+                    (*guard).lost(None, &worker);
+                    return;
+                }
+                LineRead::Line(_) | LineRead::Failed => {
+                    let mut guard = lock(shared);
+                    (*guard).fault(None, &worker);
+                    return;
+                }
+            }
         };
         let lease_id = match &message {
             Message::Lease { lease, .. } => *lease,
@@ -338,7 +357,7 @@ fn handle_connection<S: FnMut(&str) + Send>(
                 LineRead::Timeout => {
                     let mut guard = lock(shared);
                     let sh = &mut *guard;
-                    sh.tick(Instant::now());
+                    sh.reap(Instant::now());
                     if sh.complete() {
                         drop(guard);
                         let _ = write_line(

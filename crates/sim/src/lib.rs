@@ -90,6 +90,7 @@
 
 pub mod admissible;
 mod buffer;
+pub mod des;
 mod engine;
 pub mod explore;
 mod failure;

@@ -1,12 +1,14 @@
-//! Declarative scenarios: one description, two substrates.
+//! Declarative scenarios: one description, three substrates.
 //!
-//! The workspace runs the paper's model through two substrates — the
-//! step-level [`Simulation`] and the round-level lock-step executor of
-//! `kset-core` — unified behind the [`Engine`](crate::Engine) trait. A
-//! [`Scenario`] is the declarative layer above both: it names a model point
+//! The workspace runs the paper's model through three substrates — the
+//! step-level [`Simulation`], the round-level lock-step executor of
+//! `kset-core`, and the discrete-event engine
+//! ([`DesEngine`]) — unified behind the
+//! [`Engine`](crate::Engine) trait. A
+//! [`Scenario`] is the declarative layer above them: it names a model point
 //! (system size `n`, failure budget `f`, agreement degree `k`), the
 //! proposal values, a *round-oriented crash plan*, a schedule family and a
-//! failure-detector choice, and **compiles** to either substrate:
+//! failure-detector choice, and **compiles** to any substrate:
 //!
 //! * [`Scenario::to_sim`] builds a [`SimEngine`] — the crash description
 //!   becomes a [`CrashPlan`] whose final-step send omission
@@ -17,6 +19,11 @@
 //!   `LockStep` round executor (each [`ScenarioCrash`] becomes a
 //!   `RoundCrash` verbatim; initially-dead processes become round-1 crashes
 //!   with no receivers).
+//! * [`Scenario::to_des`] builds a [`DesEngine`]:
+//!   the [`ScheduleFamily::Timed`] family compiles natively (latency
+//!   draws, GST, virtual-time crash strikes), and every *other* family
+//!   takes the unit→time embedding, replaying the exact `to_sim` step
+//!   sequence under the event-driven clock.
 //!
 //! Because both projections derive from one description, the two substrates
 //! can be *differentially tested*: under the synchronous
@@ -33,6 +40,7 @@
 
 use std::fmt;
 
+use crate::des::{DesEngine, Latency, VirtualTime};
 use crate::engine::{SimEngine, Simulation};
 use crate::failure::{CrashPlan, Omission};
 use crate::ids::{CapacityError, ProcessId, ProcessSet};
@@ -91,6 +99,27 @@ pub enum ScheduleFamily {
     Partitioned {
         /// The pairwise-disjoint partition blocks.
         blocks: Vec<ProcessSet>,
+    },
+    /// The timed family: the discrete-event substrate with real delivery
+    /// times. Messages take `max(send, gst) + draw` virtual-time ticks,
+    /// with `draw` a seeded per-link draw from the latency model; before
+    /// the GST the delay-bounded adversary parks every message.
+    ///
+    /// This family compiles only with [`Scenario::to_des`] —
+    /// [`Scenario::to_sim`] rejects it with a typed
+    /// [`ScenarioError::BadSchedule`], since no unit scheduler expresses
+    /// arrival-driven execution. Crash entries are reinterpreted: `round`
+    /// is the *virtual time* of an adversary strike (crash-stop, so
+    /// `receivers` must be empty — earlier sends still arrive on their
+    /// own schedule).
+    Timed {
+        /// Per-link delivery-delay model (must satisfy `1 ≤ lo ≤ hi`).
+        latency: Latency,
+        /// Global stabilization time; `0` means synchronous-bounded from
+        /// the start.
+        gst: u64,
+        /// Seed of the per-link latency draws.
+        seed: u64,
     },
 }
 
@@ -437,11 +466,19 @@ impl Scenario {
                 return Err(ScenarioError::DuplicateCrash(pid));
             }
         }
+        let timed = matches!(self.schedule, ScheduleFamily::Timed { .. });
         for c in &self.crashes {
-            if c.round < 1 || c.round > self.rounds {
+            // Under the timed family `round` is a virtual time, not an
+            // index into the scheduled rounds — only `≥ 1` applies.
+            if c.round < 1 || (!timed && c.round > self.rounds) {
                 return Err(ScenarioError::RoundOutOfRange {
                     round: c.round,
                     rounds: self.rounds,
+                });
+            }
+            if timed && !c.receivers.is_empty() {
+                return Err(ScenarioError::BadSchedule {
+                    reason: "timed crashes are crash-stop and cannot name receivers",
                 });
             }
         }
@@ -486,6 +523,13 @@ impl Scenario {
                     }
                 }
             }
+            ScheduleFamily::Timed { latency, .. } => {
+                if !latency.is_well_formed() {
+                    return Err(ScenarioError::BadSchedule {
+                        reason: "latency model must satisfy 1 ≤ lo ≤ hi",
+                    });
+                }
+            }
         }
         match self.detector {
             DetectorChoice::SigmaOmega { k, .. } if k < 1 || k > self.n => {
@@ -508,22 +552,31 @@ impl Scenario {
         plan
     }
 
-    /// Builds the scheduler of this scenario's schedule family.
-    pub fn scheduler(&self) -> ScenarioScheduler {
+    /// Builds the unit scheduler of this scenario's schedule family.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::BadSchedule`] for [`ScheduleFamily::Timed`] — the
+    /// timed family is arrival-driven, no unit scheduler expresses it;
+    /// compile with [`Scenario::to_des`] instead.
+    pub fn scheduler(&self) -> Result<ScenarioScheduler, ScenarioError> {
         match &self.schedule {
-            ScheduleFamily::LockStepRounds => ScenarioScheduler::LockStep(RoundRobin::new()),
+            ScheduleFamily::LockStepRounds => Ok(ScenarioScheduler::LockStep(RoundRobin::new())),
             ScheduleFamily::Async {
                 seed,
                 deliver_percent,
                 fairness_window,
-            } => ScenarioScheduler::Async(
+            } => Ok(ScenarioScheduler::Async(
                 SeededRandom::new(*seed)
                     .with_deliver_percent(*deliver_percent)
                     .with_fairness_window(*fairness_window),
-            ),
-            ScheduleFamily::Partitioned { blocks } => ScenarioScheduler::Partitioned(
+            )),
+            ScheduleFamily::Partitioned { blocks } => Ok(ScenarioScheduler::Partitioned(
                 PartitionScheduler::new(blocks.clone(), ReleasePolicy::AfterAllDecided),
-            ),
+            )),
+            ScheduleFamily::Timed { .. } => Err(ScenarioError::BadSchedule {
+                reason: "the timed family has no unit scheduler; compile with to_des",
+            }),
         }
     }
 
@@ -555,7 +608,52 @@ impl Scenario {
     pub fn to_sim<P: ScenarioProcess>(
         &self,
     ) -> Result<SimEngine<P, NoOracle, ScenarioScheduler>, ScenarioError> {
-        Ok(SimEngine::new(self.to_simulation::<P>()?, self.scheduler()))
+        // Validation (inside to_simulation) must precede scheduler
+        // construction: the schedulers assert their parameters, and the
+        // error contract promises a typed ScenarioError instead.
+        let sim = self.to_simulation::<P>()?;
+        Ok(SimEngine::new(sim, self.scheduler()?))
+    }
+
+    /// Compiles the scenario to the discrete-event substrate — defined for
+    /// **every** schedule family:
+    ///
+    /// * [`ScheduleFamily::Timed`] compiles natively: initially-dead
+    ///   processes enter the simulation's crash plan, every
+    ///   [`ScenarioCrash`] becomes a virtual-time adversary strike
+    ///   ([`DesEngine::schedule_crash`] at `t = round`), and a non-`None`
+    ///   detector choice enables the sampling cadence at the latency lower
+    ///   bound (the fastest the modelled network can change).
+    /// * Every other family takes the unit→time embedding
+    ///   ([`DesEngine::embedded`]) around the family's own scheduler, so
+    ///   the run replays the exact [`Scenario::to_sim`] step sequence under
+    ///   the event-driven clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ScenarioError`] of [`Scenario::validate`].
+    pub fn to_des<P: ScenarioProcess>(&self) -> Result<DesEngine<P, NoOracle>, ScenarioError> {
+        self.validate()?;
+        match &self.schedule {
+            ScheduleFamily::Timed { latency, gst, seed } => {
+                let sim = Simulation::try_new(
+                    P::scenario_inputs(self),
+                    CrashPlan::initially_dead(self.initially_dead),
+                )?;
+                let mut engine = DesEngine::timed(sim, *latency, *gst, *seed);
+                for c in &self.crashes {
+                    engine.schedule_crash(c.pid, VirtualTime::new(c.round as u64));
+                }
+                if self.detector != DetectorChoice::None {
+                    engine = engine.with_detector_cadence(latency.lo);
+                }
+                Ok(engine)
+            }
+            _ => {
+                let scheduler = self.scheduler()?;
+                Ok(DesEngine::embedded(self.to_simulation::<P>()?, scheduler))
+            }
+        }
     }
 }
 
@@ -632,9 +730,12 @@ impl Scenario {
     /// ```
     ///
     /// Crashes are `pid@round>receivers`, semicolon-separated; schedules
-    /// are `lockstep`, `async:seed,percent,window` or
-    /// `partitioned:block|block` (each block a pid csv); detectors are
-    /// `none`, `perfect`, `sigmaomega:k,tgst` or `loneliness`.
+    /// are `lockstep`, `async:seed,percent,window`,
+    /// `partitioned:block|block` (each block a pid csv) or
+    /// `timed:lo..hi,gst,seed`; detectors are `none`, `perfect`,
+    /// `sigmaomega:k,tgst` or `loneliness`. Unknown schedule or detector
+    /// dialects (from newer writers) are rejected with a typed
+    /// [`ScenarioParseError::BadField`], never a panic.
     /// [`Scenario::parse_line`] inverts this exactly
     /// (`parse_line(render_line(s)) == s` for every scenario, valid or
     /// not — serialization does not validate; run
@@ -675,6 +776,9 @@ impl Scenario {
                 } else {
                     format!("partitioned:{}", rendered.join("|"))
                 }
+            }
+            ScheduleFamily::Timed { latency, gst, seed } => {
+                format!("timed:{latency},{gst},{seed}")
             }
         };
         let detector = match self.detector {
@@ -796,6 +900,25 @@ impl Scenario {
                         .collect::<Result<Vec<ProcessSet>, _>>()?
                 };
                 ScheduleFamily::Partitioned { blocks }
+            }
+            Some(("timed", rest)) => {
+                let bad = || ScenarioParseError::BadField {
+                    field: "schedule",
+                    token: schedule_token.to_string(),
+                };
+                let parts: Vec<&str> = rest.split(',').collect();
+                let [latency, gst, seed] = parts[..] else {
+                    return Err(bad());
+                };
+                let (lo, hi) = latency.split_once("..").ok_or_else(bad)?;
+                ScheduleFamily::Timed {
+                    latency: Latency::uniform(
+                        lo.parse().map_err(|_| bad())?,
+                        hi.parse().map_err(|_| bad())?,
+                    ),
+                    gst: gst.parse().map_err(|_| bad())?,
+                    seed: seed.parse().map_err(|_| bad())?,
+                }
             }
             _ => {
                 return Err(ScenarioParseError::BadField {
@@ -1132,6 +1255,17 @@ mod tests {
             Scenario::favourable(3, 1, 2)
                 .with_detector(DetectorChoice::Loneliness)
                 .with_max_units(123_456),
+            Scenario::favourable(5, 2, 1)
+                .with_schedule(ScheduleFamily::Timed {
+                    latency: Latency::uniform(2, 9),
+                    gst: 50,
+                    seed: 0xFEED,
+                })
+                .with_crash(ScenarioCrash {
+                    pid: pid(1),
+                    round: 7,
+                    receivers: ProcessSet::new(),
+                }),
         ];
         for sc in scenarios {
             let line = sc.render_line();
@@ -1183,6 +1317,36 @@ mod tests {
                 ..
             })
         ));
+        // Forward compatibility: an unknown dialect from a newer writer —
+        // parameterized or not — is a typed rejection, not a panic.
+        for unknown in ["schedule quantum:1,2,3", "schedule timed2:4..9,0,1"] {
+            assert!(matches!(
+                Scenario::parse_line(&good.replace("schedule lockstep", unknown)),
+                Err(ScenarioParseError::BadField {
+                    field: "schedule",
+                    ..
+                })
+            ));
+        }
+        // Malformed timed forms: missing parts, missing the `..` range
+        // separator, non-numeric tokens.
+        for malformed in [
+            "schedule timed:2..9,50",
+            "schedule timed:9,50,1",
+            "schedule timed:a..9,50,1",
+            "schedule timed:2..9,50,1,8",
+        ] {
+            assert!(
+                matches!(
+                    Scenario::parse_line(&good.replace("schedule lockstep", malformed)),
+                    Err(ScenarioParseError::BadField {
+                        field: "schedule",
+                        ..
+                    })
+                ),
+                "{malformed} must be rejected"
+            );
+        }
         assert!(matches!(
             Scenario::parse_line(&format!("{good} extra")),
             Err(ScenarioParseError::TrailingTokens(_))
@@ -1212,22 +1376,134 @@ mod tests {
     #[test]
     fn scheduler_families_compile() {
         let lock = Scenario::favourable(3, 0, 1);
-        assert!(matches!(lock.scheduler(), ScenarioScheduler::LockStep(_)));
+        assert!(matches!(
+            lock.scheduler(),
+            Ok(ScenarioScheduler::LockStep(_))
+        ));
 
         let async_sc = lock.clone().with_schedule(ScheduleFamily::Async {
             seed: 7,
             deliver_percent: 50,
             fairness_window: 8,
         });
-        assert!(matches!(async_sc.scheduler(), ScenarioScheduler::Async(_)));
+        assert!(matches!(
+            async_sc.scheduler(),
+            Ok(ScenarioScheduler::Async(_))
+        ));
         assert!(!async_sc.is_lock_step());
 
-        let part = lock.with_schedule(ScheduleFamily::Partitioned {
+        let part = lock.clone().with_schedule(ScheduleFamily::Partitioned {
             blocks: vec![[pid(0)].into(), [pid(1), pid(2)].into()],
         });
         assert!(matches!(
             part.scheduler(),
-            ScenarioScheduler::Partitioned(_)
+            Ok(ScenarioScheduler::Partitioned(_))
         ));
+
+        // The timed family has no unit scheduler: scheduler() and to_sim
+        // reject it with a typed error, to_des compiles it natively.
+        let timed = lock.with_schedule(ScheduleFamily::Timed {
+            latency: Latency::uniform(1, 3),
+            gst: 0,
+            seed: 5,
+        });
+        assert!(matches!(
+            timed.scheduler(),
+            Err(ScenarioError::BadSchedule { .. })
+        ));
+        assert!(matches!(
+            timed.to_sim::<Own>(),
+            Err(ScenarioError::BadSchedule { .. })
+        ));
+    }
+
+    #[test]
+    fn timed_scenarios_validate_their_own_rules() {
+        let timed = |latency| {
+            Scenario::favourable(4, 1, 1).with_schedule(ScheduleFamily::Timed {
+                latency,
+                gst: 10,
+                seed: 1,
+            })
+        };
+        assert!(timed(Latency::uniform(1, 3)).validate().is_ok());
+        // Zero-latency links admit Zeno cascades; inverted bounds are
+        // nonsense — both are typed rejections.
+        assert!(matches!(
+            timed(Latency::fixed(0)).validate(),
+            Err(ScenarioError::BadSchedule { .. })
+        ));
+        assert!(matches!(
+            timed(Latency::uniform(5, 2)).validate(),
+            Err(ScenarioError::BadSchedule { .. })
+        ));
+        // Timed crashes are crash-stop: receivers express mid-round
+        // partial delivery, which has no timed counterpart.
+        let receivers = timed(Latency::fixed(2)).with_crash(ScenarioCrash {
+            pid: pid(0),
+            round: 1,
+            receivers: [pid(1)].into(),
+        });
+        assert!(matches!(
+            receivers.validate(),
+            Err(ScenarioError::BadSchedule { .. })
+        ));
+        // `round` is a virtual time under this family: values beyond the
+        // scheduled round count are fine, zero is not.
+        let late = timed(Latency::fixed(2)).with_crash(ScenarioCrash {
+            pid: pid(0),
+            round: 500,
+            receivers: ProcessSet::new(),
+        });
+        assert!(late.validate().is_ok());
+        let zero = timed(Latency::fixed(2)).with_crash(ScenarioCrash {
+            pid: pid(0),
+            round: 0,
+            receivers: ProcessSet::new(),
+        });
+        assert!(matches!(
+            zero.validate(),
+            Err(ScenarioError::RoundOutOfRange { round: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn to_des_compiles_every_family() {
+        // Native timed compilation, crash strike included.
+        let timed = Scenario::favourable(4, 1, 1)
+            .with_schedule(ScheduleFamily::Timed {
+                latency: Latency::uniform(2, 6),
+                gst: 0,
+                seed: 11,
+            })
+            .with_crash(ScenarioCrash {
+                pid: pid(3),
+                round: 1,
+                receivers: ProcessSet::new(),
+            });
+        let mut engine = timed.to_des::<Own>().expect("valid timed scenario");
+        let status = engine.drive(timed.max_units);
+        assert_eq!(status.stop, crate::StopReason::AllCorrectDecided);
+        let decisions = engine.decisions();
+        assert_eq!(decisions[0..3], [Some(0), Some(1), Some(2)]);
+        assert_eq!(decisions[3], None, "struck at t=1, before its first step");
+
+        // The unit→time embedding: a lock-step scenario decides
+        // identically on the DES engine and on the step engine.
+        let lock = Scenario::favourable(3, 0, 1);
+        let mut des = lock.to_des::<Own>().expect("valid");
+        let mut sim = lock.to_sim::<Own>().expect("valid");
+        assert_eq!(
+            des.drive(lock.max_units),
+            sim.drive(lock.max_units),
+            "embedded drive status matches the step substrate"
+        );
+        assert_eq!(des.decisions(), sim.decisions());
+
+        // Invalid scenarios are rejected before compilation.
+        assert!(Scenario::favourable(4, 1, 1)
+            .with_inputs(vec![7])
+            .to_des::<Own>()
+            .is_err());
     }
 }

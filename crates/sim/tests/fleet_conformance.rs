@@ -190,6 +190,69 @@ fn hello_then_silent_hang_is_stolen_by_the_deadline() {
 }
 
 #[test]
+fn clean_hangup_while_queued_for_a_grant_is_counted_lost() {
+    // Regression: the grant-wait loop used to sleep blind between grant
+    // attempts, so a worker that said hello, queued behind a fully-leased
+    // grid, and hung up cleanly was never noticed — if the sweep finished
+    // before a lease ever freed up, the summary under-reported `lost`.
+    // The loop now listens on the socket while waiting, so the EOF lands.
+    let id = grid_id(404, 3);
+    let reference = reference_bytes(&id);
+    // One lease covers the whole grid, and it never expires within the
+    // test: the idler can only ever be told to wait.
+    let config = CoordinatorConfig {
+        lease: LeaseParams {
+            cells: 3,
+            timeout: Duration::from_millis(500),
+        },
+        poll: Duration::from_millis(2),
+    };
+    let coordinator =
+        Coordinator::bind("127.0.0.1:0", id.clone(), Vec::new(), config).expect("bind");
+    let addr = coordinator.local_addr().expect("local_addr");
+    let (out, counts) = std::thread::scope(|scope| {
+        let run = scope.spawn(move || {
+            let mut counter = FleetCounter::default();
+            let mut out = String::new();
+            let (_, counts) = coordinator
+                .run(&mut counter, |chunk| out.push_str(chunk))
+                .expect("fleet run");
+            (out, counts)
+        });
+        // The holder: sweeps every cell, slowly enough that the idler's
+        // whole lifetime fits inside its lease.
+        let holder = scope.spawn(move || {
+            run_worker(&addr.to_string(), &WorkerConfig::new("holder"), |g, i| {
+                std::thread::sleep(Duration::from_millis(15));
+                synth_compute(g, i)
+            })
+            .expect("holder worker");
+        });
+        // Give the holder time to claim the (only) lease, then enqueue the
+        // idler: hello, wait for a grant that cannot come, hang up cleanly.
+        std::thread::sleep(Duration::from_millis(5));
+        let mut idler = TcpStream::connect(addr).expect("connect idler");
+        idler
+            .write_all(b"hello kset-fleet v1 worker idler\n")
+            .expect("hello");
+        std::thread::sleep(Duration::from_millis(10));
+        drop(idler);
+        holder.join().expect("holder thread");
+        run.join().expect("coordinator thread")
+    });
+    assert_eq!(out, reference, "the sweep itself is untouched");
+    assert_eq!(counts.merged as usize, id.total);
+    assert_eq!(
+        counts.expired, 0,
+        "the holder's lease never expires: {counts:?}"
+    );
+    assert!(
+        counts.lost >= 1,
+        "the idler's clean EOF while queued must be counted: {counts:?}"
+    );
+}
+
+#[test]
 fn torn_lines_and_garbage_are_cut_off_without_byte_drift() {
     let id = grid_id(5150, 10);
     let reference = reference_bytes(&id);

@@ -1,9 +1,11 @@
-//! Differential conformance between the two substrates: one scenario
-//! description compiled to both the step-level simulator and the round-level
-//! lock-step executor must produce equivalent runs under the synchronous
-//! schedule family — across the full Theorem 8 border grid, under parallel
-//! and sequential sweeps alike — and must *flag* (not panic on) divergence
-//! under asynchronous families.
+//! Differential conformance between the three substrates: one scenario
+//! description compiled to the step-level simulator, the round-level
+//! lock-step executor, and the discrete-event engine must produce
+//! equivalent runs under the synchronous schedule family — across the full
+//! Theorem 8 border grid, under parallel and sequential sweeps alike — and
+//! must *flag* (not panic on) divergence under asynchronous families. The
+//! natively timed family is compared against the round executor directly:
+//! fixed latency with `gst = 0` walks the exact round cadence.
 
 use kset::core::algorithms::floodmin::FloodMin;
 use kset::core::scenario::differential::{self, DiffReport};
@@ -40,6 +42,12 @@ fn theorem8_border_grid_substrates_agree() {
             "FloodMin must reach k-agreement on the favourable side"
         );
         assert_eq!(report.lockstep.units, scenario.rounds as u64);
+        // The third substrate: the discrete-event engine's unit→time
+        // embedding replays the step-level run exactly — decisions AND
+        // unit accounting.
+        assert!(report.des.terminated);
+        assert_eq!(report.des.decisions, report.sim.decisions);
+        assert_eq!(report.des.units, report.sim.units);
     }
 }
 
@@ -83,13 +91,32 @@ fn observer_counts_agree_across_substrates_on_the_border_grid() {
         let scenario = Scenario::from_cell(&cell);
         let mut sim_counter: EventCounter<Val> = EventCounter::new();
         let mut lock_counter: EventCounter<Val> = EventCounter::new();
-        let report = check_observed::<FloodMin>(&scenario, &mut sim_counter, &mut lock_counter)
-            .unwrap_or_else(|e| panic!("cell {}: {e}", cell.index));
+        let mut des_counter: EventCounter<Val> = EventCounter::new();
+        let report = check_observed::<FloodMin>(
+            &scenario,
+            &mut sim_counter,
+            &mut lock_counter,
+            &mut des_counter,
+        )
+        .unwrap_or_else(|e| panic!("cell {}: {e}", cell.index));
         assert!(
             report.agrees(),
             "cell {}: {:?}",
             cell.index,
             report.divergences
+        );
+
+        // The embedded discrete-event run emits the *identical* event
+        // stream as the step substrate — every counter equal.
+        assert_eq!(
+            des_counter.counts(),
+            sim_counter.counts(),
+            "cell {}: embedded DES event totals",
+            cell.index
+        );
+        assert_eq!(
+            des_counter.decisions_by_process(),
+            sim_counter.decisions_by_process()
         );
 
         let (sim, lock) = (sim_counter.counts(), lock_counter.counts());
@@ -129,8 +156,15 @@ fn observer_counts_agree_exactly_without_crashes() {
     let scenario = Scenario::favourable(6, 2, 1);
     let mut sim_counter: EventCounter<Val> = EventCounter::new();
     let mut lock_counter: EventCounter<Val> = EventCounter::new();
-    let report = check_observed::<FloodMin>(&scenario, &mut sim_counter, &mut lock_counter)
-        .expect("favourable scenario is valid");
+    let mut des_counter: EventCounter<Val> = EventCounter::new();
+    let report = check_observed::<FloodMin>(
+        &scenario,
+        &mut sim_counter,
+        &mut lock_counter,
+        &mut des_counter,
+    )
+    .expect("favourable scenario is valid");
+    assert_eq!(des_counter.counts(), sim_counter.counts());
     assert!(report.agrees());
     let (sim, lock) = (sim_counter.counts(), lock_counter.counts());
     assert_eq!(sim.sends, lock.sends);
@@ -205,6 +239,106 @@ fn explorer_refutes_floodmin_under_all_schedules() {
     let diff = differential::check::<FloodMin>(&scenario).expect("valid scenario");
     assert!(diff.agrees());
     assert!(diff.lockstep.k_agreement(1));
+}
+
+#[test]
+fn timed_fixed_latency_replays_the_round_executor() {
+    // The timed family has no unit scheduler, so `differential::check`
+    // rejects it — instead we compare it against the round executor
+    // directly, exploiting the cadence fact pinned by the engine's own
+    // tests: with fixed latency `d` and `gst = 0`, step `r` of every
+    // process happens at virtual time `1 + (r-1)·d`, and a crash strike
+    // scheduled at exactly that instant wins the same-instant tie. A
+    // lock-step scenario whose round-`r` crash reaches *nobody* therefore
+    // has a timed twin — the same crash expressed in virtual time — and
+    // the two substrates must agree on every process's decision.
+    use kset::core::scenario::to_lockstep;
+    use kset::sim::des::Latency;
+    use kset::sim::{Engine, ProcessId, ProcessSet, ScenarioCrash};
+
+    let d: u64 = 4;
+    for (n, f, k) in [(5usize, 2usize, 1usize), (6, 3, 2), (7, 3, 1)] {
+        // Crash process j in round (j mod rounds) + 1 — staying inside the
+        // scenario's round budget — with the final message reaching nobody.
+        let rounds = f / k + 1;
+        let crashes: Vec<ScenarioCrash> = (0..f)
+            .map(|j| ScenarioCrash {
+                pid: ProcessId::new(j),
+                round: (j % rounds) + 1,
+                receivers: ProcessSet::new(),
+            })
+            .collect();
+
+        let mut lock_sc = Scenario::favourable(n, f, k);
+        lock_sc.crashes = crashes.clone();
+        let mut lock = to_lockstep::<FloodMin>(&lock_sc).expect("valid lock-step scenario");
+        lock.drive(lock_sc.rounds as u64);
+
+        let mut timed_sc = Scenario::favourable(n, f, k).with_schedule(ScheduleFamily::Timed {
+            latency: Latency::fixed(d),
+            gst: 0,
+            seed: 0xC0FFEE,
+        });
+        timed_sc.crashes = crashes
+            .iter()
+            .map(|c| ScenarioCrash {
+                pid: c.pid,
+                // Round r → the virtual time of step r.
+                round: 1 + (c.round - 1) * d as usize,
+                receivers: ProcessSet::new(),
+            })
+            .collect();
+        let mut des = timed_sc
+            .to_des::<RoundAdapter<FloodMin>>()
+            .expect("valid timed scenario");
+        let status = des.drive(timed_sc.max_units);
+        let tag = format!("n={n} f={f} k={k}");
+        assert!(des.done(), "{tag}: timed run terminates ({status:?})");
+        assert_eq!(
+            des.decisions(),
+            lock.decisions(),
+            "{tag}: per-process decisions across the timed/round pair"
+        );
+        assert_eq!(des.distinct_decisions(), lock.distinct_decisions(), "{tag}");
+        assert!(
+            des.distinct_decisions().len() <= k,
+            "{tag}: k-agreement on the timed substrate"
+        );
+    }
+}
+
+#[test]
+fn timed_uniform_latency_terminates_and_is_seed_deterministic() {
+    // Under jittered latencies the round cadence dissolves — steps consume
+    // whatever arrived — so neither equality with the round executor nor
+    // k-agreement is promised (FloodMin's round structure is exactly what
+    // jitter breaks). What IS promised: the run terminates, every decision
+    // is one of the proposals, and the whole outcome is a pure function of
+    // the seed.
+    use kset::sim::des::Latency;
+    use kset::sim::Engine;
+
+    for seed in 0..8u64 {
+        let run = || {
+            let scenario = Scenario::favourable(6, 2, 1).with_schedule(ScheduleFamily::Timed {
+                latency: Latency::uniform(2, 9),
+                gst: 11,
+                seed,
+            });
+            let mut des = scenario
+                .to_des::<RoundAdapter<FloodMin>>()
+                .expect("valid timed scenario");
+            des.drive(scenario.max_units);
+            assert!(des.done(), "seed {seed}: the timed run terminates");
+            des.decisions()
+        };
+        let (first, second) = (run(), run());
+        assert_eq!(first, second, "seed {seed}: reproducible decisions");
+        for (i, d) in first.iter().enumerate() {
+            let v = d.unwrap_or_else(|| panic!("seed {seed}: process {i} decided"));
+            assert!(v < 6, "seed {seed}: decisions are proposals");
+        }
+    }
 }
 
 #[test]
